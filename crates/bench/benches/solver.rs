@@ -1,0 +1,57 @@
+//! Supporting bench: throughput of the minismt constraint solver on
+//! GCatch-shaped instances (order chains + match variables + buffer sums).
+//! This is the component the paper offloads to Z3; its cost dominates the
+//! per-group query time of the BMOC detector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minismt::{Atom, Cmp, Solver, Term};
+
+/// Builds a GCatch-like instance: two goroutines with `n` ops each on one
+/// unbuffered channel, full match-variable matrix, exactly-one matching.
+fn build_instance(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let sends: Vec<_> = (0..n).map(|_| s.fresh_int()).collect();
+    let recvs: Vec<_> = (0..n).map(|_| s.fresh_int()).collect();
+    for w in sends.windows(2) {
+        s.assert(Term::lt(w[0], w[1]));
+    }
+    for w in recvs.windows(2) {
+        s.assert(Term::lt(w[0], w[1]));
+    }
+    let mut p = vec![vec![None; n]; n];
+    for (i, &si) in sends.iter().enumerate() {
+        for (j, &rj) in recvs.iter().enumerate() {
+            let v = s.fresh_bool();
+            p[i][j] = Some(v);
+            s.assert(Term::implies(Term::var(v), Term::eq_int(si, rj)));
+        }
+    }
+    for (i, p_row) in p.iter().enumerate() {
+        let row: Vec<Atom> = p_row.iter().map(|v| Atom::Bool(v.expect("built"))).collect();
+        s.assert(Term::exactly_one(row));
+        let col: Vec<Atom> = (0..n).map(|j| Atom::Bool(p[j][i].expect("built"))).collect();
+        s.assert(Term::Linear {
+            terms: col.into_iter().map(|a| (1, a)).collect(),
+            cmp: Cmp::Le,
+            k: 1,
+        });
+    }
+    s
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_gcatch_instances");
+    group.sample_size(20);
+    for n in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("match_matrix", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = build_instance(n);
+                s.solve().is_sat()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

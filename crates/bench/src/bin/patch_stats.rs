@@ -1,0 +1,55 @@
+//! E11 — §5.3 patch readability: changed lines of code per strategy.
+//!
+//! Paper shape: 124 patches averaging 2.67 changed lines; Strategy-I = 1
+//! line each, Strategy-II = 4 lines, Strategy-III ≈ 10.3 (max 16).
+//!
+//! Note on counting: the paper counts a replaced line once; our diff counts
+//! removal + addition separately, so a Strategy-I patch (one replaced line)
+//! shows as 2 diff lines. Both columns are printed.
+
+use bench::{corpus, detector_config, render_table};
+use gfix::Strategy;
+use go_corpus::census::run_app;
+use std::collections::BTreeMap;
+
+fn main() {
+    let apps = corpus();
+    let config = detector_config();
+    let mut by_strategy: BTreeMap<Strategy, Vec<usize>> = BTreeMap::new();
+    for app in &apps {
+        let result = run_app(app, &config);
+        for (strategy, lines) in result.patch_lines {
+            by_strategy.entry(strategy).or_default().push(lines);
+        }
+    }
+    let mut rows = Vec::new();
+    let mut all: Vec<usize> = Vec::new();
+    for (strategy, lines) in &by_strategy {
+        all.extend(lines);
+        let diff_avg = lines.iter().sum::<usize>() as f64 / lines.len() as f64;
+        // Paper-style counting: a replacement counts once.
+        let paper_avg: f64 = lines
+            .iter()
+            .map(|&l| if *strategy == Strategy::IncreaseBuffer { (l / 2) as f64 } else { l as f64 })
+            .sum::<f64>()
+            / lines.len() as f64;
+        rows.push(vec![
+            strategy.to_string(),
+            lines.len().to_string(),
+            format!("{diff_avg:.1}"),
+            format!("{paper_avg:.1}"),
+            lines.iter().max().copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    println!("Patch readability (§5.3)\n");
+    println!(
+        "{}",
+        render_table(&["strategy", "patches", "avg diff lines", "avg paper-style", "max"], &rows)
+    );
+    let grand = all.iter().sum::<usize>() as f64 / all.len().max(1) as f64;
+    println!(
+        "overall: {} patches, {:.2} avg diff lines  [paper: 124 patches, 2.67 avg changed lines]",
+        all.len(),
+        grand
+    );
+}

@@ -1,0 +1,86 @@
+//! Shared helpers for the benchmark harness: replica generation at a
+//! configurable scale and plain-text table rendering.
+
+use gcatch::DetectorConfig;
+use go_corpus::apps::{generate_all, GenConfig, GeneratedApp};
+
+/// Reads the filler scale from `GCATCH_FILLER` (filler functions per kLoC of
+/// the original application). The default keeps full-corpus runs under a
+/// minute while preserving Table 1's size ordering.
+pub fn filler_per_kloc() -> f64 {
+    std::env::var("GCATCH_FILLER")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+/// Generates all 21 replicas at the configured scale.
+pub fn corpus() -> Vec<GeneratedApp> {
+    generate_all(&GenConfig { seed: 2026, filler_per_kloc: filler_per_kloc() })
+}
+
+/// The detector configuration used by every harness.
+pub fn detector_config() -> DetectorConfig {
+    DetectorConfig::default()
+}
+
+/// Renders rows as a fixed-width table with a header and separator.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(4)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a Table 1 cell as `real/fp` (matching the paper's `x_y`).
+pub fn cell(real: usize, fp: usize) -> String {
+    if real == 0 && fp == 0 {
+        "-".to_string()
+    } else {
+        format!("{real}/{fp}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["App", "Bugs"],
+            &[vec!["Docker".into(), "56".into()], vec!["bbolt".into(), "6".into()]],
+        );
+        assert!(t.contains("Docker"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(cell(0, 0), "-");
+        assert_eq!(cell(21, 2), "21/2");
+    }
+}

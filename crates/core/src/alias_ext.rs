@@ -1,0 +1,59 @@
+//! Small helpers over the points-to results shared by several detectors.
+
+use golite_ir::alias::{AbstractObject, Analysis};
+use golite_ir::ir::{FuncId, Loc, Operand};
+
+/// Channel and mutex creation sites an operand may refer to, tagged with
+/// whether each site is a mutex.
+pub fn chan_sites_of(analysis: &Analysis, func: FuncId, op: &Operand) -> Vec<(Loc, bool)> {
+    analysis
+        .operand_points_to(func, op)
+        .into_iter()
+        .filter_map(|obj| match obj {
+            AbstractObject::Chan(loc) => Some((loc, false)),
+            AbstractObject::Mutex(loc) => Some((loc, true)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Mutex creation sites only.
+pub fn mutex_sites_of(analysis: &Analysis, func: FuncId, op: &Operand) -> Vec<Loc> {
+    analysis
+        .operand_points_to(func, op)
+        .into_iter()
+        .filter_map(|obj| match obj {
+            AbstractObject::Mutex(loc) => Some(loc),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use golite_ir::{analyze, lower_source, Instr};
+
+    #[test]
+    fn distinguishes_mutex_from_channel() {
+        let m = lower_source(
+            "func main() {\n ch := make(chan int)\n var mu sync.Mutex\n mu.Lock()\n close(ch)\n mu.Unlock()\n}",
+        )
+        .unwrap();
+        let a = analyze(&m);
+        let f = m.func_by_name("main").unwrap();
+        let lock = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .find_map(|i| match i {
+                Instr::Lock { mutex, .. } => Some(mutex.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let sites = chan_sites_of(&a, f.id, &lock);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].1, "lock target is a mutex");
+        assert_eq!(mutex_sites_of(&a, f.id, &lock).len(), 1);
+    }
+}

@@ -1,0 +1,507 @@
+//! The BMOC detector driver (Algorithm 1 of the paper).
+//!
+//! For every channel: compute its scope and Pset (disentangling, §3.2),
+//! enumerate path combinations for the goroutines in scope (§3.3), compute
+//! suspicious groups, and ask the constraint solver whether the group can
+//! block forever (§3.4). The `disentangle` switch exists solely for the
+//! paper's ablation (§5.2, ">115× slowdown without disentangling"): when
+//! off, every channel is analyzed from `main` with *all* primitives in its
+//! Pset.
+
+use crate::constraints::{check_group, Verdict};
+use crate::disentangle::{build_dependency_graph, compute_scope, pset, Scope};
+use crate::paths::{Enumerator, Event, Limits, Path};
+use crate::primitives::{collect, OpKind, PrimId, Primitives};
+use crate::report::{BugKind, BugReport, OpRef};
+use golite_ir::alias::Analysis;
+use golite_ir::ir::*;
+use std::collections::HashSet;
+
+/// One goroutine of a path combination.
+#[derive(Debug, Clone)]
+pub struct GoroutinePath {
+    /// The chosen execution path.
+    pub path: Path,
+    /// `(parent goroutine index, event index of the spawn)`, `None` for the
+    /// root goroutine.
+    pub spawned_at: Option<(usize, usize)>,
+    /// The function the goroutine starts in.
+    pub root_func: FuncId,
+}
+
+/// A path combination: one path per goroutine (Algorithm 1, line 12).
+#[derive(Debug, Clone)]
+pub struct Combo {
+    /// Goroutines; index 0 is the scope root.
+    pub gos: Vec<GoroutinePath>,
+}
+
+/// One member of a suspicious group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupMember {
+    /// Goroutine index in the combination.
+    pub goroutine: usize,
+    /// Event index of the blocking operation (an `Op` or `Select`).
+    pub event: usize,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Path-enumeration limits.
+    pub limits: Limits,
+    /// Disentangling on (default) or off (ablation mode).
+    pub disentangle: bool,
+    /// Maximum path combinations examined per channel.
+    pub max_combos: usize,
+    /// Maximum goroutines per combination.
+    pub max_goroutines: usize,
+    /// Maximum suspicious-group size (the paper's bugs involve 1–2 blocked
+    /// goroutines).
+    pub max_group_size: usize,
+    /// Solver step budget per query.
+    pub solver_steps: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            limits: Limits::default(),
+            disentangle: true,
+            max_combos: 192,
+            max_goroutines: 5,
+            max_group_size: 2,
+            solver_steps: 400_000,
+        }
+    }
+}
+
+/// The GCatch BMOC detector bound to one module.
+pub struct Detector<'m> {
+    module: &'m Module,
+    /// Shared points-to / call-graph results.
+    pub analysis: Analysis,
+    /// Discovered primitives and operations.
+    pub prims: Primitives,
+}
+
+impl<'m> Detector<'m> {
+    /// Runs the preparatory whole-module analyses (Algorithm 1, lines 2–7).
+    pub fn new(module: &'m Module) -> Detector<'m> {
+        let analysis = golite_ir::analyze(module);
+        let prims = collect(module, &analysis);
+        Detector { module, analysis, prims }
+    }
+
+    /// Runs the BMOC detector over every channel (Algorithm 1, lines 8–25).
+    pub fn detect_bmoc(&self, config: &DetectorConfig) -> Vec<BugReport> {
+        let dg = build_dependency_graph(self.module, &self.analysis, &self.prims);
+        let scopes: Vec<Scope> = self
+            .prims
+            .all
+            .iter()
+            .map(|p| compute_scope(self.module, &self.analysis, &self.prims, p.id))
+            .collect();
+
+        let mut reports: Vec<BugReport> = Vec::new();
+        let mut seen: HashSet<(BugKind, Option<Loc>, Vec<Loc>)> = HashSet::new();
+
+        for chan in self.prims.channels() {
+            if chan.buffer_size().is_none() {
+                continue; // dynamic capacity: not modeled
+            }
+            let (root, prim_set): (FuncId, Vec<PrimId>) = if config.disentangle {
+                (scopes[chan.id.0].root, pset(chan.id, &dg, &scopes, &self.prims))
+            } else {
+                // Ablation: whole program from main, all primitives.
+                let Some(main) = self.module.func_by_name("main") else { continue };
+                (main.id, self.prims.all.iter().map(|p| p.id).collect())
+            };
+            let mut enumerator = Enumerator::new(
+                self.module,
+                &self.analysis,
+                &self.prims,
+                &prim_set,
+                config.limits.clone(),
+            );
+            let combos = self.build_combos(&mut enumerator, root, config);
+            for combo in &combos {
+                for group in self.suspicious_groups(combo, chan.id, config.max_group_size) {
+                    let key = self.group_key(combo, &group);
+                    if seen.contains(&key) {
+                        continue;
+                    }
+                    match check_group(&self.prims, combo, &group, config.solver_steps) {
+                        Verdict::Blocking(witness) => {
+                            seen.insert(key);
+                            reports.push(self.make_report(chan.id, combo, &group, witness, root));
+                        }
+                        Verdict::Safe | Verdict::Unknown => {}
+                    }
+                }
+            }
+        }
+        reports
+    }
+
+    // ------------------------------------------------------- combinations
+
+    fn build_combos(
+        &self,
+        enumerator: &mut Enumerator<'_>,
+        root: FuncId,
+        config: &DetectorConfig,
+    ) -> Vec<Combo> {
+        let mut out: Vec<Combo> = Vec::new();
+        let root_paths = enumerator.paths_of(root);
+        for rp in root_paths {
+            let partial = vec![GoroutinePath { path: rp, spawned_at: None, root_func: root }];
+            self.expand_goroutine(enumerator, partial, 0, config, &mut out);
+            if out.len() >= config.max_combos {
+                break;
+            }
+        }
+        out.truncate(config.max_combos);
+        out
+    }
+
+    /// Expands spawn events of goroutine `gi`, then moves to `gi + 1`.
+    fn expand_goroutine(
+        &self,
+        enumerator: &mut Enumerator<'_>,
+        partial: Vec<GoroutinePath>,
+        gi: usize,
+        config: &DetectorConfig,
+        out: &mut Vec<Combo>,
+    ) {
+        if out.len() >= config.max_combos {
+            return;
+        }
+        if gi == partial.len() {
+            out.push(Combo { gos: partial });
+            return;
+        }
+        let spawns: Vec<(usize, FuncId)> = partial[gi]
+            .path
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(ei, e)| match e {
+                Event::Spawn { target, .. } => Some((ei, *target)),
+                _ => None,
+            })
+            .collect();
+        self.choose_children(enumerator, partial, gi, &spawns, 0, config, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn choose_children(
+        &self,
+        enumerator: &mut Enumerator<'_>,
+        partial: Vec<GoroutinePath>,
+        gi: usize,
+        spawns: &[(usize, FuncId)],
+        si: usize,
+        config: &DetectorConfig,
+        out: &mut Vec<Combo>,
+    ) {
+        if out.len() >= config.max_combos {
+            return;
+        }
+        if si == spawns.len() {
+            self.expand_goroutine(enumerator, partial, gi + 1, config, out);
+            return;
+        }
+        let (ev, target) = spawns[si];
+        if partial.len() >= config.max_goroutines {
+            // Goroutine budget exhausted: ignore further spawns.
+            self.choose_children(enumerator, partial, gi, spawns, si + 1, config, out);
+            return;
+        }
+        for child_path in enumerator.paths_of(target) {
+            let mut next = partial.clone();
+            next.push(GoroutinePath {
+                path: child_path,
+                spawned_at: Some((gi, ev)),
+                root_func: target,
+            });
+            self.choose_children(enumerator, next, gi, spawns, si + 1, config, out);
+            if out.len() >= config.max_combos {
+                return;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- grouping
+
+    /// Suspicious groups (Algorithm 1, line 15): up to `max_size` blocking
+    /// operations from distinct goroutines, at least one on channel `c`,
+    /// that cannot unblock each other.
+    fn suspicious_groups(
+        &self,
+        combo: &Combo,
+        c: PrimId,
+        max_size: usize,
+    ) -> Vec<Vec<GroupMember>> {
+        // Candidates per goroutine.
+        let mut per_go: Vec<Vec<GroupMember>> = Vec::new();
+        for (gi, g) in combo.gos.iter().enumerate() {
+            let cands: Vec<GroupMember> = g
+                .path
+                .blocking_candidates()
+                .into_iter()
+                .map(|event| GroupMember { goroutine: gi, event })
+                .collect();
+            per_go.push(cands);
+        }
+        let on_channel = |m: &GroupMember| -> bool {
+            self.member_ops(combo, m).iter().any(|(p, _)| *p == c)
+        };
+
+        let mut out: Vec<Vec<GroupMember>> = Vec::new();
+        // Size 1.
+        for cands in &per_go {
+            for &m in cands {
+                if on_channel(&m) {
+                    out.push(vec![m]);
+                }
+            }
+        }
+        // Size 2 (distinct goroutines, non-complementary).
+        if max_size >= 2 {
+            for (gi, ci) in per_go.iter().enumerate() {
+                for cj in per_go.iter().skip(gi + 1) {
+                    for &a in ci {
+                        for &b in cj {
+                            if !(on_channel(&a) || on_channel(&b)) {
+                                continue;
+                            }
+                            if self.can_unblock_each_other(combo, &a, &b) {
+                                continue;
+                            }
+                            out.push(vec![a, b]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The (primitive, kind) pairs a group member waits on.
+    fn member_ops(&self, combo: &Combo, m: &GroupMember) -> Vec<(PrimId, OpKind)> {
+        match &combo.gos[m.goroutine].path.events[m.event] {
+            Event::Op(op) => vec![(op.prim, op.kind)],
+            Event::Select { cases, .. } => {
+                cases.iter().map(|(_, op)| (op.prim, op.kind)).collect()
+            }
+            _ => vec![],
+        }
+    }
+
+    /// Whether two blocked operations could unblock each other (a send and
+    /// a receive on the same primitive) — such pairs are not suspicious.
+    fn can_unblock_each_other(&self, combo: &Combo, a: &GroupMember, b: &GroupMember) -> bool {
+        let oa = self.member_ops(combo, a);
+        let ob = self.member_ops(combo, b);
+        for (pa, ka) in &oa {
+            for (pb, kb) in &ob {
+                if pa == pb && ka != kb {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn group_key(
+        &self,
+        combo: &Combo,
+        group: &[GroupMember],
+    ) -> (BugKind, Option<Loc>, Vec<Loc>) {
+        let mut locs: Vec<Loc> = group
+            .iter()
+            .filter_map(|m| match &combo.gos[m.goroutine].path.events[m.event] {
+                Event::Op(op) => Some(op.loc),
+                Event::Select { loc, .. } => Some(*loc),
+                _ => None,
+            })
+            .collect();
+        locs.sort_unstable();
+        (BugKind::BmocChannel, None, locs)
+    }
+
+    fn make_report(
+        &self,
+        chan: PrimId,
+        combo: &Combo,
+        group: &[GroupMember],
+        witness: Vec<String>,
+        root: FuncId,
+    ) -> BugReport {
+        let prim = &self.prims.all[chan.0];
+        // BMOC-M when any kept event in the combination touches a mutex.
+        let involves_mutex = combo.gos.iter().flat_map(|g| &g.path.events).any(|e| match e {
+            Event::Op(op) => op.from_mutex,
+            Event::Select { cases, .. } => cases.iter().any(|(_, op)| op.from_mutex),
+            _ => false,
+        });
+        let kind = if involves_mutex { BugKind::BmocChannelMutex } else { BugKind::BmocChannel };
+        let ops: Vec<OpRef> = group
+            .iter()
+            .filter_map(|m| {
+                let g = &combo.gos[m.goroutine];
+                let func_name = self.module.func(g.root_func).name.clone();
+                match &g.path.events[m.event] {
+                    Event::Op(op) => Some(OpRef {
+                        loc: op.loc,
+                        span: op.span,
+                        what: format!(
+                            "{} {}",
+                            match (op.kind, op.from_mutex) {
+                                (OpKind::Send, false) => "send on",
+                                (OpKind::Recv, false) => "recv from",
+                                (OpKind::Close, _) => "close of",
+                                (OpKind::Send, true) => "lock of",
+                                (OpKind::Recv, true) => "unlock of",
+                            },
+                            self.prims.all[op.prim.0].name
+                        ),
+                        func_name,
+                    }),
+                    Event::Select { loc, span, .. } => Some(OpRef {
+                        loc: *loc,
+                        span: *span,
+                        what: "select with no runnable case".to_string(),
+                        func_name,
+                    }),
+                    _ => None,
+                }
+            })
+            .collect();
+        BugReport {
+            kind,
+            primitive: Some(prim.site),
+            primitive_span: prim.span,
+            primitive_name: prim.name.clone(),
+            ops,
+            witness_order: witness,
+            notes: format!("scope root: {}", self.module.func(root).name),
+        }
+    }
+}
+
+impl<'m> Detector<'m> {
+    /// §6 extension: detects *non-blocking* misuse of channels — a send
+    /// that some interleaving can execute after a close of the same channel
+    /// (a guaranteed runtime panic). The paper describes this as a new bug
+    /// constraint `O_close < O_send` over the same ΦR machinery.
+    pub fn detect_send_on_closed(&self, config: &DetectorConfig) -> Vec<BugReport> {
+        let dg = build_dependency_graph(self.module, &self.analysis, &self.prims);
+        let scopes: Vec<Scope> = self
+            .prims
+            .all
+            .iter()
+            .map(|p| compute_scope(self.module, &self.analysis, &self.prims, p.id))
+            .collect();
+        let mut reports = Vec::new();
+        let mut seen: HashSet<(Loc, Loc)> = HashSet::new();
+
+        for chan in self.prims.channels() {
+            if chan.buffer_size().is_none() {
+                continue;
+            }
+            // Fast filter: the channel must have both a send and a close.
+            let has_send = self.prims.ops_of(chan.id).any(|o| o.kind == crate::primitives::OpKind::Send);
+            let has_close = self.prims.ops_of(chan.id).any(|o| o.kind == crate::primitives::OpKind::Close);
+            if !has_send || !has_close {
+                continue;
+            }
+            let root = scopes[chan.id.0].root;
+            let prim_set = pset(chan.id, &dg, &scopes, &self.prims);
+            let mut enumerator = Enumerator::new(
+                self.module,
+                &self.analysis,
+                &self.prims,
+                &prim_set,
+                config.limits.clone(),
+            );
+            let combos = self.build_combos(&mut enumerator, root, config);
+            for combo in &combos {
+                // Collect sends and closes on this channel.
+                let mut sends = Vec::new();
+                let mut closes = Vec::new();
+                for (gi, g) in combo.gos.iter().enumerate() {
+                    for (ei, event) in g.path.events.iter().enumerate() {
+                        if let Event::Op(op) = event {
+                            if op.prim == chan.id {
+                                match op.kind {
+                                    crate::primitives::OpKind::Send => {
+                                        sends.push((GroupMember { goroutine: gi, event: ei }, op.clone()))
+                                    }
+                                    crate::primitives::OpKind::Close => {
+                                        closes.push((GroupMember { goroutine: gi, event: ei }, op.clone()))
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+                for (send_m, send_op) in &sends {
+                    for (close_m, close_op) in &closes {
+                        if !seen.insert((send_op.loc, close_op.loc)) {
+                            continue;
+                        }
+                        match crate::constraints::check_send_after_close(
+                            &self.prims,
+                            combo,
+                            *send_m,
+                            *close_m,
+                            config.solver_steps,
+                        ) {
+                            crate::constraints::Verdict::Blocking(witness) => {
+                                reports.push(BugReport {
+                                    kind: BugKind::SendOnClosedChannel,
+                                    primitive: Some(chan.site),
+                                    primitive_span: chan.span,
+                                    primitive_name: chan.name.clone(),
+                                    ops: vec![
+                                        OpRef {
+                                            loc: send_op.loc,
+                                            span: send_op.span,
+                                            what: format!("send on {} after close", chan.name),
+                                            func_name: self
+                                                .module
+                                                .func(send_op.loc.func)
+                                                .name
+                                                .clone(),
+                                        },
+                                        OpRef {
+                                            loc: close_op.loc,
+                                            span: close_op.span,
+                                            what: format!("close of {}", chan.name),
+                                            func_name: self
+                                                .module
+                                                .func(close_op.loc.func)
+                                                .name
+                                                .clone(),
+                                        },
+                                    ],
+                                    witness_order: witness,
+                                    notes: "a schedule orders the close before the send \
+                                            (runtime panic)"
+                                        .into(),
+                                });
+                            }
+                            _ => {
+                                seen.remove(&(send_op.loc, close_op.loc));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        reports
+    }
+}

@@ -1,0 +1,168 @@
+//! Bug reports produced by GCatch's detectors.
+
+use golite::Span;
+use golite_ir::Loc;
+use std::fmt;
+
+/// Which detector produced a report (Table 1's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugKind {
+    /// Blocking misuse-of-channel bug involving only channels (BMOC-C).
+    BmocChannel,
+    /// Blocking misuse-of-channel bug involving channels and mutexes
+    /// (BMOC-M).
+    BmocChannelMutex,
+    /// A lock acquired on some path without a matching unlock.
+    MissingUnlock,
+    /// The same mutex acquired twice by one goroutine.
+    DoubleLock,
+    /// Two mutexes acquired in conflicting orders.
+    ConflictingLockOrder,
+    /// A struct field usually accessed under a lock, accessed without it.
+    StructFieldRace,
+    /// `testing.T.Fatal` called from a goroutine other than the test's.
+    FatalInChildGoroutine,
+    /// A send that can execute after a close of the same channel — a
+    /// runtime panic (§6's non-blocking misuse-of-channel extension).
+    SendOnClosedChannel,
+}
+
+impl BugKind {
+    /// Whether this is one of the two BMOC categories.
+    pub fn is_bmoc(&self) -> bool {
+        matches!(self, BugKind::BmocChannel | BugKind::BmocChannelMutex)
+    }
+
+    /// Short column label matching Table 1.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BugKind::BmocChannel => "BMOC-C",
+            BugKind::BmocChannelMutex => "BMOC-M",
+            BugKind::MissingUnlock => "ForgetUnlock",
+            BugKind::DoubleLock => "DoubleLock",
+            BugKind::ConflictingLockOrder => "ConflictLock",
+            BugKind::StructFieldRace => "StructField",
+            BugKind::FatalInChildGoroutine => "Fatal",
+            BugKind::SendOnClosedChannel => "SendOnClosed",
+        }
+    }
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One operation participating in a bug (e.g. a blocking send).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRef {
+    /// Instruction location in the IR.
+    pub loc: Loc,
+    /// Source span.
+    pub span: Span,
+    /// Human-readable description, e.g. `send on outDone`.
+    pub what: String,
+    /// Name of the containing function.
+    pub func_name: String,
+}
+
+/// A detected bug.
+#[derive(Debug, Clone)]
+pub struct BugReport {
+    /// Which detector fired.
+    pub kind: BugKind,
+    /// Creation site of the primary primitive (channel/mutex), if any.
+    pub primitive: Option<Loc>,
+    /// Source span of the primitive's creation site.
+    pub primitive_span: Span,
+    /// Human-readable primitive description (e.g. variable name).
+    pub primitive_name: String,
+    /// The operations that block forever (the suspicious group), or the
+    /// offending accesses for traditional bugs.
+    pub ops: Vec<OpRef>,
+    /// The witness interleaving from the solver: operation descriptions in
+    /// execution order (empty for traditional detectors).
+    pub witness_order: Vec<String>,
+    /// Free-form notes: analysis scope, path combination, etc.
+    pub notes: String,
+}
+
+impl BugReport {
+    /// A stable deduplication key: detector plus the involved op locations.
+    pub fn dedup_key(&self) -> (BugKind, Option<Loc>, Vec<Loc>) {
+        let mut locs: Vec<Loc> = self.ops.iter().map(|o| o.loc).collect();
+        locs.sort_unstable();
+        (self.kind, self.primitive, locs)
+    }
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {} ({})", self.kind, self.primitive_name, self.primitive_span)?;
+        for op in &self.ops {
+            writeln!(f, "  blocked: {} at {} in {}", op.what, op.span, op.func_name)?;
+        }
+        if !self.witness_order.is_empty() {
+            writeln!(f, "  witness: {}", self.witness_order.join(" -> "))?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f, "  note: {}", self.notes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use golite_ir::{BlockId, FuncId};
+
+    fn mk_report() -> BugReport {
+        BugReport {
+            kind: BugKind::BmocChannel,
+            primitive: Some(Loc { func: FuncId(0), block: BlockId(0), idx: 0 }),
+            primitive_span: Span::new(0, 5, 3, 5),
+            primitive_name: "outDone".into(),
+            ops: vec![OpRef {
+                loc: Loc { func: FuncId(1), block: BlockId(0), idx: 2 },
+                span: Span::new(10, 12, 7, 5),
+                what: "send on outDone".into(),
+                func_name: "Exec$closure0".into(),
+            }],
+            witness_order: vec!["make".into(), "send".into()],
+            notes: "scope: Exec".into(),
+        }
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let text = mk_report().to_string();
+        assert!(text.contains("BMOC-C"));
+        assert!(text.contains("outDone"));
+        assert!(text.contains("send on outDone"));
+        assert!(text.contains("witness"));
+    }
+
+    #[test]
+    fn dedup_key_ignores_op_order() {
+        let mut a = mk_report();
+        let extra = OpRef {
+            loc: Loc { func: FuncId(0), block: BlockId(1), idx: 0 },
+            span: Span::synthetic(),
+            what: "recv".into(),
+            func_name: "main".into(),
+        };
+        a.ops.push(extra.clone());
+        let mut b = a.clone();
+        b.ops.reverse();
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn bmoc_classification() {
+        assert!(BugKind::BmocChannel.is_bmoc());
+        assert!(BugKind::BmocChannelMutex.is_bmoc());
+        assert!(!BugKind::DoubleLock.is_bmoc());
+    }
+}

@@ -1,0 +1,365 @@
+//! Synthetic replicas of the 21 applications evaluated in the paper.
+//!
+//! Each profile carries Table 1's ground truth: per-detector real-bug and
+//! false-positive counts plus the GFix per-strategy fix counts. The
+//! generator plants exactly those pattern instances (with app-unique ids)
+//! into a program padded with filler code proportional to the real
+//! application's size, so the scaling experiment (E5) sees the same size
+//! ordering the paper reports (Kubernetes largest, bbolt smallest, ten
+//! small apps analyzed in under a minute).
+
+use crate::patterns::{emit, Plant, PatternKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// (real bugs, false positives) for one Table 1 column.
+pub type Cell = (usize, usize);
+
+/// One evaluated application's ground truth (a row of Table 1).
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    /// Application name.
+    pub name: &'static str,
+    /// Approximate size of the real application in kLoC (drives filler).
+    pub kloc: usize,
+    /// BMOC bugs involving channels only.
+    pub bmoc_c: Cell,
+    /// BMOC bugs involving channels and mutexes.
+    pub bmoc_m: Cell,
+    /// Missing unlocks.
+    pub unlock: Cell,
+    /// Double locks.
+    pub double_lock: Cell,
+    /// Conflicting lock orders.
+    pub conflict: Cell,
+    /// Struct-field lockset races.
+    pub struct_field: Cell,
+    /// `Fatal` from child goroutines.
+    pub fatal: Cell,
+    /// GFix fixes by strategy (S-I, S-II, S-III).
+    pub gfix: (usize, usize, usize),
+}
+
+impl AppProfile {
+    /// Total real bugs across all detectors.
+    pub fn total_real(&self) -> usize {
+        self.bmoc_c.0
+            + self.bmoc_m.0
+            + self.unlock.0
+            + self.double_lock.0
+            + self.conflict.0
+            + self.struct_field.0
+            + self.fatal.0
+    }
+
+    /// Total false positives across all detectors.
+    pub fn total_fp(&self) -> usize {
+        self.bmoc_c.1
+            + self.bmoc_m.1
+            + self.unlock.1
+            + self.double_lock.1
+            + self.conflict.1
+            + self.struct_field.1
+            + self.fatal.1
+    }
+
+    /// Total GFix patches.
+    pub fn total_fixed(&self) -> usize {
+        self.gfix.0 + self.gfix.1 + self.gfix.2
+    }
+}
+
+/// The 21 applications of Table 1, in the paper's (GitHub-stars) order.
+pub fn table1_profiles() -> Vec<AppProfile> {
+    let p = |name,
+             kloc,
+             bmoc_c,
+             bmoc_m,
+             unlock,
+             double_lock,
+             conflict,
+             struct_field,
+             fatal,
+             gfix| AppProfile {
+        name,
+        kloc,
+        bmoc_c,
+        bmoc_m,
+        unlock,
+        double_lock,
+        conflict,
+        struct_field,
+        fatal,
+        gfix,
+    };
+    vec![
+        p("Go", 1600, (21, 2), (1, 1), (8, 3), (0, 2), (1, 0), (2, 5), (3, 0), (12, 0, 2)),
+        p("Kubernetes", 3100, (14, 5), (1, 0), (1, 0), (1, 0), (0, 0), (5, 6), (10, 0), (8, 0, 0)),
+        p("Docker", 1100, (49, 8), (0, 0), (1, 1), (2, 3), (1, 0), (3, 1), (0, 0), (40, 1, 6)),
+        p("HUGO", 80, (0, 0), (0, 0), (2, 0), (0, 1), (0, 0), (2, 1), (0, 0), (0, 0, 0)),
+        p("Gin", 25, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
+        p("frp", 30, (0, 0), (0, 0), (1, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
+        p("Gogs", 100, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
+        p("Syncthing", 140, (0, 1), (0, 0), (3, 1), (0, 0), (0, 0), (1, 2), (0, 0), (0, 0, 0)),
+        p("etcd", 440, (39, 8), (0, 0), (6, 1), (1, 2), (0, 1), (7, 2), (4, 0), (24, 1, 9)),
+        p("v2ray-core", 120, (0, 0), (0, 1), (0, 0), (2, 1), (2, 1), (3, 0), (0, 0), (0, 0, 0)),
+        p("Prometheus", 300, (2, 1), (0, 0), (1, 1), (1, 1), (0, 2), (0, 2), (0, 0), (2, 0, 0)),
+        p("fzf", 15, (0, 0), (0, 0), (0, 1), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
+        p("traefik", 150, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
+        p("Caddy", 50, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
+        p("Go-Ethereum", 640, (9, 19), (0, 3), (4, 1), (9, 1), (0, 0), (6, 7), (3, 0), (6, 0, 2)),
+        p("Beego", 90, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (3, 0), (0, 0), (0, 0, 0)),
+        p("mkcert", 2, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
+        p("TiDB", 850, (1, 0), (0, 0), (0, 6), (3, 0), (2, 0), (0, 2), (0, 0), (1, 0, 0)),
+        p("CockroachDB", 1500, (4, 2), (0, 0), (5, 0), (0, 4), (2, 1), (0, 3), (0, 0), (1, 2, 0)),
+        p("gRPC", 160, (6, 0), (0, 0), (0, 0), (0, 1), (1, 0), (1, 0), (2, 0), (4, 0, 1)),
+        p("bbolt", 10, (2, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (4, 0), (1, 0, 1)),
+    ]
+}
+
+/// A generated application replica.
+#[derive(Debug)]
+pub struct GeneratedApp {
+    /// Profile name.
+    pub name: &'static str,
+    /// The full GoLite source.
+    pub source: String,
+    /// Every planted pattern instance.
+    pub plants: Vec<Plant>,
+}
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed for filler variety.
+    pub seed: u64,
+    /// Filler functions per kLoC of the real application (the default
+    /// yields program sizes whose *ordering* matches Table 1).
+    pub filler_per_kloc: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { seed: 1, filler_per_kloc: 0.25 }
+    }
+}
+
+/// The global BMOC-C false-positive quota, matching the §5.2 census:
+/// 20 infeasible paths (9 conditions + 11 loops, with 5 of the condition
+/// kind flavored BMOC-M elsewhere), 17 alias (15 channel-through-channel +
+/// 2 slice), 14 call graph.
+fn bmoc_c_fp_quota() -> Vec<PatternKind> {
+    let mut q = Vec::new();
+    q.extend(std::iter::repeat_n(PatternKind::FpInfeasibleCond, 4));
+    q.extend(std::iter::repeat_n(PatternKind::FpLoopUnroll, 11));
+    q.extend(std::iter::repeat_n(PatternKind::FpAliasChanChan, 15));
+    q.extend(std::iter::repeat_n(PatternKind::FpAliasSlice, 2));
+    q.extend(std::iter::repeat_n(PatternKind::FpCallGraph, 14));
+    q
+}
+
+/// Generates every Table 1 replica (the FP quota is distributed across apps
+/// in row order, so generate all apps together).
+pub fn generate_all(config: &GenConfig) -> Vec<GeneratedApp> {
+    let mut quota = bmoc_c_fp_quota();
+    quota.reverse(); // pop() consumes in declaration order
+    let mut next_id = 1u32;
+    table1_profiles()
+        .iter()
+        .map(|profile| generate_app(profile, config, &mut quota, &mut next_id))
+        .collect()
+}
+
+/// Generates one replica (used by `generate_all`; callable directly with a
+/// private quota for single-app experiments).
+pub fn generate_app(
+    profile: &AppProfile,
+    config: &GenConfig,
+    bmoc_fp_quota: &mut Vec<PatternKind>,
+    next_id: &mut u32,
+) -> GeneratedApp {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ profile.kloc as u64);
+    let mut plants: Vec<Plant> = Vec::new();
+    let mut source = String::from("package main\n\n");
+    let fresh = |n: &mut u32| {
+        let id = *n;
+        *n += 1;
+        id
+    };
+    let plant = |kind: PatternKind, plants: &mut Vec<Plant>, source: &mut String, n: &mut u32| {
+        let p = emit(kind, fresh(n));
+        source.push_str(&p.source);
+        plants.push(p);
+    };
+
+    // Real BMOC-C bugs: GFix split first, remainder unfixable.
+    let (s1, s2, s3) = profile.gfix;
+    for _ in 0..s1 {
+        plant(PatternKind::SingleSend, &mut plants, &mut source, next_id);
+    }
+    for i in 0..s2 {
+        let kind = if i % 2 == 0 {
+            PatternKind::MissingInteractionSend
+        } else {
+            PatternKind::MissingInteractionClose
+        };
+        plant(kind, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..s3 {
+        plant(PatternKind::MultipleOps, &mut plants, &mut source, next_id);
+    }
+    let unfixable = profile.bmoc_c.0.saturating_sub(profile.total_fixed());
+    for _ in 0..unfixable {
+        plant(PatternKind::BlockedParent, &mut plants, &mut source, next_id);
+    }
+    // Other real categories.
+    for _ in 0..profile.bmoc_m.0 {
+        plant(PatternKind::BmocMutex, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..profile.unlock.0 {
+        plant(PatternKind::MissingUnlock, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..profile.double_lock.0 {
+        plant(PatternKind::DoubleLock, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..profile.conflict.0 {
+        plant(PatternKind::LockOrder, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..profile.struct_field.0 {
+        plant(PatternKind::FieldRace, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..profile.fatal.0 {
+        plant(PatternKind::FatalChild, &mut plants, &mut source, next_id);
+    }
+    // False positives.
+    for _ in 0..profile.bmoc_c.1 {
+        let kind = bmoc_fp_quota.pop().unwrap_or(PatternKind::FpAliasChanChan);
+        plant(kind, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..profile.bmoc_m.1 {
+        plant(PatternKind::FpMutexInfeasible, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..profile.unlock.1 {
+        plant(PatternKind::FpUnlockWrapper, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..profile.double_lock.1 {
+        plant(PatternKind::FpDoubleLockHidden, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..profile.conflict.1 {
+        plant(PatternKind::FpLockOrderDead, &mut plants, &mut source, next_id);
+    }
+    for _ in 0..profile.struct_field.1 {
+        plant(PatternKind::FpFieldContext, &mut plants, &mut source, next_id);
+    }
+    // (fatal FP count is zero for every app in Table 1.)
+
+    // Filler proportional to real-application size.
+    let n_filler = (profile.kloc as f64 * config.filler_per_kloc).ceil() as usize;
+    for _ in 0..n_filler {
+        let id = fresh(next_id);
+        let a: i64 = rng.gen_range(1..100);
+        let b: i64 = rng.gen_range(1..100);
+        source.push_str(&format!(
+            r#"
+func filler{id}(n int) int {{
+    acc := {a}
+    for i := 0; i < n; i++ {{
+        if i%2 == 0 {{
+            acc = acc + {b}
+        }} else {{
+            acc = acc - i
+        }}
+    }}
+    return acc
+}}
+"#
+        ));
+    }
+    source.push_str("\nfunc main() {\n}\n");
+    GeneratedApp { name: profile.name, source, plants }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_sum_to_paper_totals() {
+        let profiles = table1_profiles();
+        assert_eq!(profiles.len(), 21);
+        let sum = |f: fn(&AppProfile) -> Cell| -> Cell {
+            profiles.iter().fold((0, 0), |acc, p| {
+                let c = f(p);
+                (acc.0 + c.0, acc.1 + c.1)
+            })
+        };
+        assert_eq!(sum(|p| p.bmoc_c), (147, 46), "BMOC-C row total");
+        assert_eq!(sum(|p| p.bmoc_m), (2, 5), "BMOC-M row total");
+        assert_eq!(sum(|p| p.unlock), (32, 15));
+        assert_eq!(sum(|p| p.double_lock), (19, 16));
+        assert_eq!(sum(|p| p.conflict), (9, 5));
+        assert_eq!(sum(|p| p.struct_field), (33, 31));
+        assert_eq!(sum(|p| p.fatal), (26, 0));
+        // 149 BMOC + 119 traditional = 268 real bugs; 51 + 67 = 118 FPs.
+        let total_real: usize = profiles.iter().map(|p| p.total_real()).sum();
+        let total_fp: usize = profiles.iter().map(|p| p.total_fp()).sum();
+        assert_eq!(total_real, 268);
+        assert_eq!(total_fp, 118);
+        // GFix: 99 + 4 + 21 = 124 patches.
+        let (s1, s2, s3) = profiles.iter().fold((0, 0, 0), |acc, p| {
+            (acc.0 + p.gfix.0, acc.1 + p.gfix.1, acc.2 + p.gfix.2)
+        });
+        assert_eq!((s1, s2, s3), (99, 4, 21));
+    }
+
+    #[test]
+    fn fp_quota_matches_census() {
+        let q = bmoc_c_fp_quota();
+        assert_eq!(q.len(), 46, "BMOC-C FPs");
+        // Plus the 5 BMOC-M FPs = 51 total (paper: 20 + 17 + 14).
+    }
+
+    #[test]
+    fn generated_apps_parse_and_lower() {
+        let config = GenConfig { seed: 3, filler_per_kloc: 0.01 };
+        for app in generate_all(&config) {
+            let module = golite_ir::lower_source(&app.source)
+                .unwrap_or_else(|e| panic!("{} fails to lower: {e}", app.name));
+            assert!(module.funcs.len() > 1, "{} too small", app.name);
+        }
+    }
+
+    #[test]
+    fn plant_counts_match_profile() {
+        let config = GenConfig { seed: 3, filler_per_kloc: 0.0 };
+        let mut quota = bmoc_c_fp_quota();
+        quota.reverse();
+        let mut next_id = 1;
+        let profiles = table1_profiles();
+        let docker = profiles.iter().find(|p| p.name == "Docker").unwrap();
+        let app = generate_app(docker, &config, &mut quota, &mut next_id);
+        let real = app.plants.iter().filter(|p| !p.fp).count();
+        let fp = app.plants.iter().filter(|p| p.fp).count();
+        assert_eq!(real, docker.total_real());
+        assert_eq!(fp, docker.total_fp());
+    }
+
+    #[test]
+    fn app_sizes_follow_kloc_ordering() {
+        let config = GenConfig { seed: 3, filler_per_kloc: 0.05 };
+        let apps = generate_all(&config);
+        let k8s = apps.iter().find(|a| a.name == "Kubernetes").unwrap();
+        let bbolt = apps.iter().find(|a| a.name == "bbolt").unwrap();
+        assert!(k8s.source.len() > 5 * bbolt.source.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = GenConfig { seed: 42, filler_per_kloc: 0.02 };
+        let a = generate_all(&config);
+        let b = generate_all(&config);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Pattern-based baseline checkers standing in for `go vet` and
+//! `staticcheck` (§7's comparison).
+//!
+//! The paper runs both suites over its 268 reported bugs: they detect **0 of
+//! the 149 BMOC bugs** and **20 of the 119 traditional bugs — all of them
+//! `testing.Fatal` calls inside child goroutines** (vet's `testinggoroutine`
+//! rule). These tools are syntactic: they match specific AST shapes with no
+//! interleaving reasoning, which this module reimplements faithfully:
+//!
+//! * `testinggoroutine` — `t.Fatal`/`Fatalf`/`FailNow` lexically inside a
+//!   `go func() { ... }()` literal in a test function;
+//! * `lostcancel` (vet) — a `context.WithCancel` cancel function that is
+//!   never mentioned again;
+//! * `SA2001` (staticcheck) — an empty critical section
+//!   (`mu.Lock(); mu.Unlock()` with nothing in between... reported as
+//!   suspicious but never as a blocking bug).
+
+use golite::ast::*;
+use golite::Program;
+
+/// A baseline finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineFinding {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// The enclosing function.
+    pub func: String,
+    /// Short description.
+    pub message: String,
+}
+
+/// Runs all baseline rules over a parsed program.
+pub fn run_baseline(prog: &Program) -> Vec<BaselineFinding> {
+    let mut out = Vec::new();
+    for f in prog.funcs() {
+        testinggoroutine(f, &mut out);
+        lostcancel(f, &mut out);
+        empty_critical_section(f, &mut out);
+    }
+    out
+}
+
+/// vet `testinggoroutine`: Fatal-family calls inside `go` closures.
+fn testinggoroutine(f: &FuncDecl, out: &mut Vec<BaselineFinding>) {
+    // Only applies to test functions (by Go convention).
+    let is_test = f.name.starts_with("Test")
+        || f.params.iter().any(|p| matches!(p.ty, Type::Ptr(ref t) if **t == Type::TestingT));
+    if !is_test {
+        return;
+    }
+    fn block_has_fatal(b: &Block) -> bool {
+        b.stmts.iter().any(stmt_has_fatal)
+    }
+    fn stmt_has_fatal(s: &Stmt) -> bool {
+        match &s.kind {
+            StmtKind::Expr(e) => expr_is_fatal(e),
+            StmtKind::If { then, els, .. } => {
+                block_has_fatal(then) || els.as_deref().is_some_and(stmt_has_fatal)
+            }
+            StmtKind::For { body, .. } | StmtKind::ForRange { body, .. } => block_has_fatal(body),
+            StmtKind::Select(cases) => cases.iter().any(|c| block_has_fatal(&c.body)),
+            StmtKind::Block(b) => block_has_fatal(b),
+            _ => false,
+        }
+    }
+    fn expr_is_fatal(e: &Expr) -> bool {
+        matches!(
+            &e.unparen().kind,
+            ExprKind::Method { name, .. } if name == "Fatal" || name == "Fatalf" || name == "FailNow"
+        )
+    }
+    fn walk(b: &Block, f_name: &str, out: &mut Vec<BaselineFinding>) {
+        for s in &b.stmts {
+            if let StmtKind::Go(call) = &s.kind {
+                if let ExprKind::Call { callee, .. } = &call.unparen().kind {
+                    if let ExprKind::Closure { body, .. } = &callee.unparen().kind {
+                        if block_has_fatal(body) {
+                            out.push(BaselineFinding {
+                                rule: "testinggoroutine",
+                                func: f_name.to_string(),
+                                message: "call to t.Fatal from a non-test goroutine".into(),
+                            });
+                        }
+                        walk(body, f_name, out);
+                    }
+                }
+            }
+            match &s.kind {
+                StmtKind::If { then, els, .. } => {
+                    walk(then, f_name, out);
+                    if let Some(e) = els {
+                        if let StmtKind::Block(b) = &e.kind {
+                            walk(b, f_name, out);
+                        }
+                    }
+                }
+                StmtKind::For { body, .. } | StmtKind::ForRange { body, .. } => {
+                    walk(body, f_name, out)
+                }
+                StmtKind::Select(cases) => {
+                    for c in cases {
+                        walk(&c.body, f_name, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(&f.body, &f.name, out);
+}
+
+/// vet `lostcancel`: the cancel function of `context.WithCancel` is unused.
+fn lostcancel(f: &FuncDecl, out: &mut Vec<BaselineFinding>) {
+    let mut cancels: Vec<String> = Vec::new();
+    for s in &f.body.stmts {
+        if let StmtKind::Define { names, rhs } = &s.kind {
+            if let ExprKind::Method { recv, name, .. } = &rhs.unparen().kind {
+                if recv.as_ident() == Some("context") && name == "WithCancel" && names.len() == 2 {
+                    cancels.push(names[1].clone());
+                }
+            }
+        }
+    }
+    let printed = golite::print_program(&Program {
+        package: "p".into(),
+        imports: vec![],
+        decls: vec![Decl::Func(f.clone())],
+        next_node_id: 0,
+    });
+    for cancel in cancels {
+        if cancel == "_" {
+            continue;
+        }
+        // Used exactly once means only the definition site mentions it.
+        if printed.matches(&cancel).count() <= 1 {
+            out.push(BaselineFinding {
+                rule: "lostcancel",
+                func: f.name.clone(),
+                message: format!("the cancel function `{cancel}` is never used"),
+            });
+        }
+    }
+}
+
+/// staticcheck SA2001-style: empty critical section.
+fn empty_critical_section(f: &FuncDecl, out: &mut Vec<BaselineFinding>) {
+    fn walk(b: &Block, f_name: &str, out: &mut Vec<BaselineFinding>) {
+        for pair in b.stmts.windows(2) {
+            let lock_of = |s: &Stmt| -> Option<String> {
+                if let StmtKind::Expr(e) = &s.kind {
+                    if let ExprKind::Method { recv, name, .. } = &e.unparen().kind {
+                        if name == "Lock" {
+                            return recv.as_ident().map(str::to_string);
+                        }
+                    }
+                }
+                None
+            };
+            let unlock_of = |s: &Stmt| -> Option<String> {
+                if let StmtKind::Expr(e) = &s.kind {
+                    if let ExprKind::Method { recv, name, .. } = &e.unparen().kind {
+                        if name == "Unlock" {
+                            return recv.as_ident().map(str::to_string);
+                        }
+                    }
+                }
+                None
+            };
+            if let (Some(a), Some(b)) = (lock_of(&pair[0]), unlock_of(&pair[1])) {
+                if a == b {
+                    out.push(BaselineFinding {
+                        rule: "SA2001",
+                        func: f_name.to_string(),
+                        message: format!("empty critical section on `{a}`"),
+                    });
+                }
+            }
+        }
+        for s in &b.stmts {
+            match &s.kind {
+                StmtKind::If { then, els, .. } => {
+                    walk(then, f_name, out);
+                    if let Some(e) = els {
+                        if let StmtKind::Block(inner) = &e.kind {
+                            walk(inner, f_name, out);
+                        }
+                    }
+                }
+                StmtKind::For { body, .. } | StmtKind::ForRange { body, .. } => {
+                    walk(body, f_name, out)
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(&f.body, &f.name, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use golite::parse;
+
+    #[test]
+    fn testinggoroutine_catches_fatal_in_go_closure() {
+        let prog = parse(
+            "func TestX(t *testing.T) {\n go func() {\n  t.Fatalf(\"nope\")\n }()\n}",
+        )
+        .unwrap();
+        let findings = run_baseline(&prog);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "testinggoroutine");
+    }
+
+    #[test]
+    fn fatal_on_test_goroutine_is_fine() {
+        let prog = parse("func TestX(t *testing.T) {\n t.Fatalf(\"fine\")\n}").unwrap();
+        assert!(run_baseline(&prog).is_empty());
+    }
+
+    #[test]
+    fn baseline_is_blind_to_bmoc_bugs() {
+        // The Figure 1 bug: purely semantic, no syntactic marker. The
+        // baseline must stay silent — this is the paper's 0/149 result.
+        let prog = parse(
+            r#"
+func Exec(ctx context.Context) error {
+    outDone := make(chan error)
+    go func() {
+        outDone <- nil
+    }()
+    select {
+    case err := <-outDone:
+        return err
+    case <-ctx.Done():
+        return ctx.Err()
+    }
+}
+"#,
+        )
+        .unwrap();
+        assert!(run_baseline(&prog).is_empty());
+    }
+
+    #[test]
+    fn lostcancel_fires_on_discarded_cancel() {
+        let prog = parse(
+            "func f() {\n ctx, cancel := context.WithCancel(context.Background())\n _ = ctx\n}",
+        )
+        .unwrap();
+        let findings = run_baseline(&prog);
+        assert!(findings.iter().any(|f| f.rule == "lostcancel"), "{findings:?}");
+        let _ = &prog;
+    }
+
+    #[test]
+    fn lostcancel_quiet_when_deferred() {
+        let prog = parse(
+            "func f() {\n ctx, cancel := context.WithCancel(context.Background())\n defer cancel()\n _ = ctx\n}",
+        )
+        .unwrap();
+        assert!(!run_baseline(&prog).iter().any(|f| f.rule == "lostcancel"));
+    }
+
+    #[test]
+    fn empty_critical_section_detected() {
+        let prog = parse(
+            "func f() {\n var mu sync.Mutex\n mu.Lock()\n mu.Unlock()\n}",
+        )
+        .unwrap();
+        assert!(run_baseline(&prog).iter().any(|f| f.rule == "SA2001"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Running the detectors over generated replicas and classifying reports
+//! against the planted ground truth — the machinery behind the Table 1,
+//! FP-census, and patch-statistics harnesses.
+
+use crate::apps::GeneratedApp;
+use crate::patterns::{FpCause, Plant};
+use gcatch::report::{BugKind, BugReport};
+use gcatch::{DetectorConfig, GCatch};
+use gfix::{Pipeline, Strategy};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One Table 1 cell: detected real bugs and reported false positives.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellResult {
+    /// Planted real bugs that were detected.
+    pub real: usize,
+    /// Planted FP triggers that were (falsely) reported.
+    pub fp: usize,
+}
+
+/// The outcome of one application replica run.
+#[derive(Debug)]
+pub struct AppResult {
+    /// Application name.
+    pub name: &'static str,
+    /// Per-category results keyed by [`BugKind`].
+    pub cells: HashMap<BugKind, CellResult>,
+    /// GFix patches by strategy.
+    pub gfix: HashMap<Strategy, usize>,
+    /// Per-strategy changed-lines samples.
+    pub patch_lines: Vec<(Strategy, usize)>,
+    /// Wall-clock time of the detection phase.
+    pub detect_time: Duration,
+    /// Wall-clock time of the fixing phase.
+    pub fix_time: Duration,
+    /// Planted real bugs that were *not* detected (should be zero).
+    pub missed: Vec<String>,
+    /// Reports matching no plant (should be zero).
+    pub unexpected: Vec<String>,
+    /// FP census by cause.
+    pub fp_causes: HashMap<FpCause, usize>,
+    /// Program size in IR instructions (scaling metric).
+    pub instr_count: usize,
+}
+
+impl AppResult {
+    /// Total detected real bugs.
+    pub fn total_real(&self) -> usize {
+        self.cells.values().map(|c| c.real).sum()
+    }
+
+    /// Total reported false positives.
+    pub fn total_fp(&self) -> usize {
+        self.cells.values().map(|c| c.fp).sum()
+    }
+
+    /// Total patches.
+    pub fn total_fixed(&self) -> usize {
+        self.gfix.values().sum()
+    }
+}
+
+fn report_matches(report: &BugReport, plant: &Plant) -> bool {
+    crate::patterns::report_hits_plant(report, plant)
+}
+
+/// Runs GCatch and GFix over one replica, classifying every report against
+/// the planted ground truth.
+pub fn run_app(app: &GeneratedApp, config: &DetectorConfig) -> AppResult {
+    let pipeline = Pipeline::from_source(&app.source)
+        .unwrap_or_else(|e| panic!("{} does not lower: {e}", app.name));
+    let instr_count = pipeline.module().instr_count();
+
+    let t0 = Instant::now();
+    let gcatch = GCatch::new(pipeline.module());
+    let bugs = gcatch.detect_all(config);
+    let detect_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let detector = gcatch.detector();
+    let gfix_sys = gfix::GFix::new(
+        pipeline.program(),
+        pipeline.module(),
+        &detector.analysis,
+        &detector.prims,
+    );
+    let mut cells: HashMap<BugKind, CellResult> = HashMap::new();
+    let mut gfix_counts: HashMap<Strategy, usize> = HashMap::new();
+    let mut patch_lines = Vec::new();
+    let mut missed = Vec::new();
+    let mut fp_causes: HashMap<FpCause, usize> = HashMap::new();
+    let mut matched_reports: Vec<bool> = vec![false; bugs.len()];
+
+    for plant in &app.plants {
+        let hits: Vec<usize> = bugs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| report_matches(r, plant))
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &hits {
+            matched_reports[i] = true;
+        }
+        if hits.is_empty() {
+            missed.push(format!("{}: {}", app.name, plant.marker));
+            continue;
+        }
+        let cell = cells.entry(plant.kind).or_default();
+        if plant.fp {
+            cell.fp += 1;
+            if let Some(cause) = plant.fp_cause {
+                *fp_causes.entry(cause).or_default() += 1;
+            }
+        } else {
+            cell.real += 1;
+        }
+        // Fix the first matching BMOC-C report when the plant promises one.
+        if let Some(expected) = plant.fix {
+            let fixed = hits.iter().find_map(|&i| gfix_sys.fix(&bugs[i]).ok());
+            if let Some(patch) = fixed {
+                debug_assert_eq!(patch.strategy, expected, "{}", plant.marker);
+                *gfix_counts.entry(patch.strategy).or_default() += 1;
+                patch_lines.push((patch.strategy, patch.changed_lines));
+            } else {
+                missed.push(format!("{}: {} (unfixed)", app.name, plant.marker));
+            }
+        }
+    }
+    let fix_time = t1.elapsed();
+
+    let unexpected = bugs
+        .iter()
+        .zip(&matched_reports)
+        .filter(|(_, &m)| !m)
+        .map(|(r, _)| r.to_string())
+        .collect();
+
+    AppResult {
+        name: app.name,
+        cells,
+        gfix: gfix_counts,
+        patch_lines,
+        detect_time,
+        fix_time,
+        missed,
+        unexpected,
+        fp_causes,
+        instr_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{generate_all, GenConfig};
+
+    /// The smallest interesting replica (bbolt: 2 BMOC-C + 4 Fatal) must
+    /// reproduce its Table 1 row exactly.
+    #[test]
+    fn bbolt_reproduces_its_table1_row() {
+        let config = GenConfig { seed: 5, filler_per_kloc: 0.05 };
+        let apps = generate_all(&config);
+        let bbolt = apps.iter().find(|a| a.name == "bbolt").unwrap();
+        let result = run_app(bbolt, &DetectorConfig::default());
+        assert!(result.missed.is_empty(), "missed: {:?}", result.missed);
+        assert_eq!(result.cells[&BugKind::BmocChannel].real, 2);
+        assert_eq!(result.cells[&BugKind::FatalInChildGoroutine].real, 4);
+        assert_eq!(result.total_fp(), 0);
+        assert_eq!(result.gfix.get(&Strategy::IncreaseBuffer), Some(&1));
+        assert_eq!(result.gfix.get(&Strategy::AddStopChannel), Some(&1));
+    }
+
+    /// gRPC exercises five categories including a conflict and a fatal.
+    #[test]
+    fn grpc_reproduces_its_table1_row() {
+        let config = GenConfig { seed: 5, filler_per_kloc: 0.02 };
+        let apps = generate_all(&config);
+        let grpc = apps.iter().find(|a| a.name == "gRPC").unwrap();
+        let result = run_app(grpc, &DetectorConfig::default());
+        assert!(result.missed.is_empty(), "missed: {:?}", result.missed);
+        assert_eq!(result.cells[&BugKind::BmocChannel].real, 6);
+        assert_eq!(result.cells[&BugKind::ConflictingLockOrder].real, 1);
+        assert_eq!(result.cells[&BugKind::StructFieldRace].real, 1);
+        assert_eq!(result.cells[&BugKind::FatalInChildGoroutine].real, 2);
+        assert_eq!(result.cells[&BugKind::DoubleLock].fp, 1);
+        assert_eq!(result.total_fixed(), 5);
+    }
+}

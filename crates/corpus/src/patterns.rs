@@ -1,0 +1,879 @@
+//! The bug-pattern library.
+//!
+//! Every pattern is a parameterized GoLite snippet with a unique instance
+//! id. *Real* patterns plant a genuine concurrency bug of a known Table 1
+//! category (and, for BMOC-C bugs, a known GFix strategy). *FP* patterns
+//! exercise one of the detector limitations the paper's §5.2 false-positive
+//! census documents — the detector reports them even though no schedule can
+//! block (their primitive names carry an `fp` marker so harnesses can
+//! classify reports).
+
+use gcatch::report::BugKind;
+use gfix::Strategy;
+
+/// Everything a generated pattern instance promises.
+#[derive(Debug, Clone)]
+pub struct Plant {
+    /// The snippet source (self-contained top-level declarations).
+    pub source: String,
+    /// Substring identifying this instance in reports (primitive name or
+    /// containing-function name).
+    pub marker: String,
+    /// The report category this instance produces.
+    pub kind: BugKind,
+    /// Whether the report is a false positive (no schedule actually blocks).
+    pub fp: bool,
+    /// For real BMOC-C bugs: the GFix strategy expected to fix it.
+    pub fix: Option<Strategy>,
+    /// An entry function for dynamic validation, when the snippet is
+    /// self-driving.
+    pub entry: Option<String>,
+    /// The §5.2 false-positive cause, for the census (E8).
+    pub fp_cause: Option<FpCause>,
+}
+
+/// The false-positive causes of the paper's §5.2 census.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FpCause {
+    /// Branch conditions over non-read-only variables (9 in the paper).
+    InfeasiblePathCondition,
+    /// Mis-counted loop iterations under 2-bounded unrolling (11).
+    InfeasiblePathLoop,
+    /// Channel passed through another channel (15).
+    AliasChannelThroughChannel,
+    /// Channel stored in a slice (2).
+    AliasSliceElement,
+    /// Unresolvable function-value call sites (14).
+    CallGraph,
+}
+
+impl FpCause {
+    /// The coarse census bucket (§5.2 groups 20 / 17 / 14).
+    pub fn bucket(&self) -> &'static str {
+        match self {
+            FpCause::InfeasiblePathCondition | FpCause::InfeasiblePathLoop => "infeasible paths",
+            FpCause::AliasChannelThroughChannel | FpCause::AliasSliceElement => "alias analysis",
+            FpCause::CallGraph => "call-graph analysis",
+        }
+    }
+}
+
+/// The pattern vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PatternKind {
+    /// Fig. 1: child's single send orphaned by a select race (S-I).
+    SingleSend,
+    /// Fig. 3: parent's send skipped by `t.Fatal` (S-II, defer send).
+    MissingInteractionSend,
+    /// S-II variant where the parent forgets to `close` (defer close).
+    MissingInteractionClose,
+    /// Fig. 4: producer loop orphaned by an aborting consumer (S-III).
+    MultipleOps,
+    /// The *parent* blocks — detected but not fixable (§5.3 reason 1).
+    BlockedParent,
+    /// Channel blocked inside a critical section (BMOC-M; not a GFix target).
+    BmocMutex,
+    /// Double lock.
+    DoubleLock,
+    /// Missing unlock on an early return.
+    MissingUnlock,
+    /// Conflicting lock order between two goroutines.
+    LockOrder,
+    /// Struct field mostly guarded, once not.
+    FieldRace,
+    /// `t.Fatal` on a child goroutine.
+    FatalChild,
+    /// FP: the blocking path contradicts runtime-correlated conditions.
+    FpInfeasibleCond,
+    /// FP: 2-bounded unrolling loses the producer's final `close`.
+    FpLoopUnroll,
+    /// FP: receiver obtained the channel through another channel.
+    FpAliasChanChan,
+    /// FP: receiver obtained the channel from a slice.
+    FpAliasSlice,
+    /// FP: the unblocking op hides behind an unresolvable call.
+    FpCallGraph,
+    /// FP: BMOC-M flavored infeasible path (mutex in the Pset).
+    FpMutexInfeasible,
+    /// FP: wrapper function intentionally returns holding the lock.
+    FpUnlockWrapper,
+    /// FP: the unlock hides behind an unresolvable call → double lock.
+    FpDoubleLockHidden,
+    /// FP: the conflicting order lives on a dynamically dead path.
+    FpLockOrderDead,
+    /// FP: callee access protected by the callers' lock (calling context).
+    FpFieldContext,
+}
+
+/// Emits one pattern instance with unique names derived from `id`.
+pub fn emit(kind: PatternKind, id: u32) -> Plant {
+    match kind {
+        PatternKind::SingleSend => Plant {
+            source: format!(
+                r#"
+func workerJob{id}() error {{
+    return nil
+}}
+
+func Run{id}() {{
+    done{id} := make(chan error)
+    quit{id} := make(chan struct{{}}, 1)
+    quit{id} <- struct{{}}{{}}
+    go func() {{
+        done{id} <- workerJob{id}()
+    }}()
+    select {{
+    case err := <-done{id}:
+        _ = err
+    case <-quit{id}:
+        return
+    }}
+}}
+"#
+            ),
+            marker: format!("done{id}"),
+            kind: BugKind::BmocChannel,
+            fp: false,
+            fix: Some(Strategy::IncreaseBuffer),
+            entry: Some(format!("Run{id}")),
+            fp_cause: None,
+        },
+        PatternKind::MissingInteractionSend => Plant {
+            source: format!(
+                r#"
+func waiter{id}(stop{id} chan struct{{}}) {{
+    <-stop{id}
+}}
+
+func connect{id}() error {{
+    return errors.New("connection refused")
+}}
+
+func TestDialer{id}(t *testing.T) {{
+    stop{id} := make(chan struct{{}})
+    go waiter{id}(stop{id})
+    err := connect{id}()
+    if err != nil {{
+        t.Fatalf("dial failed")
+    }}
+    stop{id} <- struct{{}}{{}}
+}}
+"#
+            ),
+            marker: format!("stop{id}"),
+            kind: BugKind::BmocChannel,
+            fp: false,
+            fix: Some(Strategy::DeferOperation),
+            entry: Some(format!("TestDialer{id}")),
+            fp_cause: None,
+        },
+        PatternKind::MissingInteractionClose => Plant {
+            source: format!(
+                r#"
+func drain{id}(feed{id} chan int) {{
+    <-feed{id}
+}}
+
+func load{id}() error {{
+    return errors.New("load failed")
+}}
+
+func TestFeed{id}(t *testing.T) {{
+    feed{id} := make(chan int)
+    go drain{id}(feed{id})
+    err := load{id}()
+    if err != nil {{
+        t.Fatalf("load failed")
+    }}
+    close(feed{id})
+}}
+"#
+            ),
+            marker: format!("feed{id}"),
+            kind: BugKind::BmocChannel,
+            fp: false,
+            fix: Some(Strategy::DeferOperation),
+            entry: Some(format!("TestFeed{id}")),
+            fp_cause: None,
+        },
+        PatternKind::MultipleOps => Plant {
+            source: format!(
+                r#"
+func nextLine{id}() (string, error) {{
+    return "line", nil
+}}
+
+func Drive{id}() {{
+    abort{id} := make(chan struct{{}}, 1)
+    abort{id} <- struct{{}}{{}}
+    sched{id} := make(chan string)
+    go func() {{
+        for {{
+            line, err := nextLine{id}()
+            if err != nil {{
+                close(sched{id})
+                return
+            }}
+            sched{id} <- line
+        }}
+    }}()
+    for {{
+        select {{
+        case <-abort{id}:
+            return
+        case _, ok := <-sched{id}:
+            if !ok {{
+                return
+            }}
+        }}
+    }}
+}}
+"#
+            ),
+            marker: format!("sched{id}"),
+            kind: BugKind::BmocChannel,
+            fp: false,
+            fix: Some(Strategy::AddStopChannel),
+            entry: Some(format!("Drive{id}")),
+            fp_cause: None,
+        },
+        PatternKind::BlockedParent => Plant {
+            source: format!(
+                r#"
+func Gather{id}() int {{
+    results{id} := make(chan int)
+    go func() {{
+        results{id} <- 1
+    }}()
+    a := <-results{id}
+    b := <-results{id}
+    return a + b
+}}
+"#
+            ),
+            marker: format!("results{id}"),
+            kind: BugKind::BmocChannel,
+            fp: false,
+            fix: None, // the blocked goroutine is the parent (§5.3)
+            entry: Some(format!("Gather{id}")),
+            fp_cause: None,
+        },
+        PatternKind::BmocMutex => Plant {
+            source: format!(
+                r#"
+func Exchange{id}() {{
+    var gate{id} sync.Mutex
+    hand{id} := make(chan int)
+    go func() {{
+        gate{id}.Lock()
+        hand{id} <- 1
+        gate{id}.Unlock()
+    }}()
+    gate{id}.Lock()
+    <-hand{id}
+    gate{id}.Unlock()
+}}
+"#
+            ),
+            marker: format!("hand{id}"),
+            kind: BugKind::BmocChannelMutex,
+            fp: false,
+            fix: None, // BMOC-M bugs are outside GFix's problem scope
+            entry: Some(format!("Exchange{id}")),
+            fp_cause: None,
+        },
+        PatternKind::DoubleLock => Plant {
+            source: format!(
+                r#"
+func Reenter{id}() {{
+    var guard{id} sync.Mutex
+    guard{id}.Lock()
+    guard{id}.Lock()
+    held := 1
+    _ = held
+    guard{id}.Unlock()
+}}
+"#
+            ),
+            marker: format!("guard{id}"),
+            kind: BugKind::DoubleLock,
+            fp: false,
+            fix: None,
+            entry: Some(format!("Reenter{id}")),
+            fp_cause: None,
+        },
+        PatternKind::MissingUnlock => Plant {
+            source: format!(
+                r#"
+func Leaky{id}(fail bool) int {{
+    var latch{id} sync.Mutex
+    latch{id}.Lock()
+    if fail {{
+        return 0
+    }}
+    latch{id}.Unlock()
+    return 1
+}}
+"#
+            ),
+            marker: format!("latch{id}"),
+            kind: BugKind::MissingUnlock,
+            fp: false,
+            fix: None,
+            entry: None, // driving needs a caller; checked statically
+            fp_cause: None,
+        },
+        PatternKind::LockOrder => Plant {
+            source: format!(
+                r#"
+func forward{id}(a{id} *sync.Mutex, b{id} *sync.Mutex) {{
+    a{id}.Lock()
+    b{id}.Lock()
+    b{id}.Unlock()
+    a{id}.Unlock()
+}}
+
+func backward{id}(a{id} *sync.Mutex, b{id} *sync.Mutex) {{
+    b{id}.Lock()
+    a{id}.Lock()
+    a{id}.Unlock()
+    b{id}.Unlock()
+}}
+
+func Entangle{id}() {{
+    var first{id} sync.Mutex
+    var second{id} sync.Mutex
+    go forward{id}(&first{id}, &second{id})
+    backward{id}(&first{id}, &second{id})
+}}
+"#
+            ),
+            marker: format!("first{id}"),
+            kind: BugKind::ConflictingLockOrder,
+            fp: false,
+            fix: None,
+            entry: None, // a real deadlock only under specific schedules
+            fp_cause: None,
+        },
+        PatternKind::FieldRace => Plant {
+            source: format!(
+                r#"
+type Stats{id} struct {{
+    mu sync.Mutex
+    hits{id} int
+}}
+
+func tally{id}(s *Stats{id}) {{
+    s.mu.Lock()
+    s.hits{id} = s.hits{id} + 1
+    s.mu.Unlock()
+}}
+
+func Race{id}() {{
+    s := Stats{id}{{hits{id}: 0}}
+    tally{id}(&s)
+    tally{id}(&s)
+    go func() {{
+        s.hits{id} = 0
+    }}()
+}}
+"#
+            ),
+            marker: format!("hits{id}"),
+            kind: BugKind::StructFieldRace,
+            fp: false,
+            fix: None,
+            entry: Some(format!("Race{id}")),
+            fp_cause: None,
+        },
+        PatternKind::FatalChild => Plant {
+            source: format!(
+                r#"
+func TestAsync{id}(t *testing.T) {{
+    ready{id} := make(chan struct{{}}, 1)
+    go func() {{
+        ready{id} <- struct{{}}{{}}
+        t.Fatalf("checked on the wrong goroutine")
+    }}()
+    <-ready{id}
+}}
+"#
+            ),
+            marker: format!("TestAsync{id}"),
+            kind: BugKind::FatalInChildGoroutine,
+            fp: false,
+            fix: None,
+            entry: None,
+            fp_cause: None,
+        },
+        PatternKind::FpInfeasibleCond => Plant {
+            source: format!(
+                r#"
+func fpFlip{id}(mode int) {{
+    fpCond{id} := make(chan int)
+    armed := mode > 0
+    go func() {{
+        if armed {{
+            fpCond{id} <- 1
+        }}
+    }}()
+    consumed := false
+    if armed {{
+        <-fpCond{id}
+        consumed = true
+    }}
+    _ = consumed
+}}
+
+func FpDriveCond{id}() {{
+    fpFlip{id}(1)
+    fpFlip{id}(0)
+}}
+"#
+            ),
+            marker: format!("fpCond{id}"),
+            kind: BugKind::BmocChannel,
+            fp: true,
+            fix: None,
+            entry: Some(format!("FpDriveCond{id}")),
+            fp_cause: Some(FpCause::InfeasiblePathCondition),
+        },
+        PatternKind::FpLoopUnroll => Plant {
+            source: format!(
+                r#"
+func fpBatch{id}() int {{
+    return 3
+}}
+
+func FpPump{id}() {{
+    fpLoop{id} := make(chan int)
+    go func() {{
+        n := fpBatch{id}()
+        for i := 0; i < n; i++ {{
+            fpLoop{id} <- i
+        }}
+        close(fpLoop{id})
+    }}()
+    for v := range fpLoop{id} {{
+        _ = v
+    }}
+}}
+"#
+            ),
+            marker: format!("fpLoop{id}"),
+            kind: BugKind::BmocChannel,
+            fp: true,
+            fix: None,
+            entry: Some(format!("FpPump{id}")),
+            fp_cause: Some(FpCause::InfeasiblePathLoop),
+        },
+        PatternKind::FpAliasChanChan => Plant {
+            source: format!(
+                r#"
+func FpCourier{id}() {{
+    fpCarrier{id} := make(chan chan int, 1)
+    fpInner{id} := make(chan int)
+    fpCarrier{id} <- fpInner{id}
+    go func() {{
+        got := <-fpCarrier{id}
+        got <- 42
+    }}()
+    <-fpInner{id}
+}}
+"#
+            ),
+            marker: format!("fpInner{id}"),
+            kind: BugKind::BmocChannel,
+            fp: true,
+            fix: None,
+            entry: Some(format!("FpCourier{id}")),
+            fp_cause: Some(FpCause::AliasChannelThroughChannel),
+        },
+        PatternKind::FpAliasSlice => Plant {
+            source: format!(
+                r#"
+func FpShelf{id}() {{
+    fpShelf{id} := make(chan int)
+    rack := []chan int{{fpShelf{id}}}
+    go func() {{
+        picked := rack[0]
+        <-picked
+    }}()
+    fpShelf{id} <- 7
+}}
+"#
+            ),
+            marker: format!("fpShelf{id}"),
+            kind: BugKind::BmocChannel,
+            fp: true,
+            fix: None,
+            entry: Some(format!("FpShelf{id}")),
+            fp_cause: Some(FpCause::AliasSliceElement),
+        },
+        PatternKind::FpCallGraph => Plant {
+            source: format!(
+                r#"
+func FpIndirect{id}() {{
+    fpHook{id} := make(chan int)
+    actions := []func(){{}}
+    reply := func() {{
+        <-fpHook{id}
+    }}
+    other := func() {{
+        _ = 0
+    }}
+    _ = other
+    actions = []func(){{reply, other}}
+    go actions[0]()
+    fpHook{id} <- 5
+}}
+"#
+            ),
+            marker: format!("fpHook{id}"),
+            kind: BugKind::BmocChannel,
+            fp: true,
+            fix: None,
+            entry: Some(format!("FpIndirect{id}")),
+            fp_cause: Some(FpCause::CallGraph),
+        },
+        PatternKind::FpMutexInfeasible => Plant {
+            source: format!(
+                r#"
+func fpMuFlip{id}(mode int) {{
+    var fpGate{id} sync.Mutex
+    fpMu{id} := make(chan int)
+    armed := mode > 0
+    go func() {{
+        if armed {{
+            fpMu{id} <- 1
+        }}
+    }}()
+    if armed {{
+        fpGate{id}.Lock()
+        <-fpMu{id}
+        fpGate{id}.Unlock()
+    }}
+}}
+
+func FpDriveMu{id}() {{
+    fpMuFlip{id}(1)
+    fpMuFlip{id}(0)
+}}
+"#
+            ),
+            marker: format!("fpMu{id}"),
+            kind: BugKind::BmocChannelMutex,
+            fp: true,
+            fix: None,
+            entry: Some(format!("FpDriveMu{id}")),
+            fp_cause: Some(FpCause::InfeasiblePathCondition),
+        },
+        PatternKind::FpUnlockWrapper => Plant {
+            source: format!(
+                r#"
+func fpAcquire{id}(fpWrap{id} *sync.Mutex) {{
+    fpWrap{id}.Lock()
+}}
+
+func FpGuarded{id}() int {{
+    var fpWrap{id} sync.Mutex
+    fpAcquire{id}(&fpWrap{id})
+    v := 1
+    fpWrap{id}.Unlock()
+    return v
+}}
+"#
+            ),
+            marker: format!("fpWrap{id}"),
+            kind: BugKind::MissingUnlock,
+            fp: true,
+            fix: None,
+            entry: Some(format!("FpGuarded{id}")),
+            fp_cause: None,
+        },
+        PatternKind::FpDoubleLockHidden => Plant {
+            source: format!(
+                r#"
+func FpRelocker{id}() {{
+    var fpRe{id} sync.Mutex
+    releasers := []func(){{}}
+    unlockIt := func() {{
+        fpRe{id}.Unlock()
+    }}
+    releasers = []func(){{unlockIt}}
+    fpRe{id}.Lock()
+    releasers[0]()
+    fpRe{id}.Lock()
+    again := 2
+    _ = again
+    fpRe{id}.Unlock()
+}}
+"#
+            ),
+            marker: format!("fpRe{id}"),
+            kind: BugKind::DoubleLock,
+            fp: true,
+            fix: None,
+            entry: Some(format!("FpRelocker{id}")),
+            fp_cause: None,
+        },
+        PatternKind::FpLockOrderDead => Plant {
+            source: format!(
+                r#"
+func fpNever{id}() bool {{
+    return false
+}}
+
+func fpTwist{id}(fpOrdA{id} *sync.Mutex, fpOrdB{id} *sync.Mutex) {{
+    if fpNever{id}() {{
+        fpOrdB{id}.Lock()
+        fpOrdA{id}.Lock()
+        fpOrdA{id}.Unlock()
+        fpOrdB{id}.Unlock()
+    }}
+}}
+
+func FpOrder{id}() {{
+    var fpOrdA{id} sync.Mutex
+    var fpOrdB{id} sync.Mutex
+    fpOrdA{id}.Lock()
+    fpOrdB{id}.Lock()
+    fpOrdB{id}.Unlock()
+    fpOrdA{id}.Unlock()
+    fpTwist{id}(&fpOrdA{id}, &fpOrdB{id})
+}}
+"#
+            ),
+            marker: format!("fpOrdA{id}"),
+            kind: BugKind::ConflictingLockOrder,
+            fp: true,
+            fix: None,
+            entry: Some(format!("FpOrder{id}")),
+            fp_cause: None,
+        },
+        PatternKind::FpFieldContext => Plant {
+            source: format!(
+                r#"
+type FpCache{id} struct {{
+    mu sync.Mutex
+    fpSlot{id} int
+}}
+
+func fpBump{id}(c *FpCache{id}) {{
+    c.fpSlot{id} = c.fpSlot{id} + 1
+}}
+
+func FpUseCache{id}() {{
+    c := FpCache{id}{{fpSlot{id}: 0}}
+    c.mu.Lock()
+    c.fpSlot{id} = 1
+    c.mu.Unlock()
+    c.mu.Lock()
+    c.fpSlot{id} = 2
+    c.mu.Unlock()
+    c.mu.Lock()
+    c.fpSlot{id} = 3
+    c.mu.Unlock()
+    c.mu.Lock()
+    c.fpSlot{id} = 4
+    c.mu.Unlock()
+    c.mu.Lock()
+    fpBump{id}(&c)
+    c.mu.Unlock()
+}}
+"#
+            ),
+            marker: format!("fpSlot{id}"),
+            kind: BugKind::StructFieldRace,
+            fp: true,
+            fix: None,
+            entry: Some(format!("FpUseCache{id}")),
+            fp_cause: None,
+        },
+    }
+}
+
+/// Whether `text` mentions `marker` as a whole token (the marker must not
+/// be followed by another digit — `done1` must not match `done12`).
+pub fn marker_hit(text: &str, marker: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(marker) {
+        let end = start + pos + marker.len();
+        let next_is_digit = text[end..].chars().next().is_some_and(|c| c.is_ascii_digit());
+        if !next_is_digit {
+            return true;
+        }
+        start += pos + 1;
+    }
+    false
+}
+
+/// Whether a report mentions the plant's marker.
+pub fn report_hits_plant(report: &gcatch::BugReport, plant: &Plant) -> bool {
+    marker_hit(&report.primitive_name, &plant.marker)
+        || report
+            .ops
+            .iter()
+            .any(|o| marker_hit(&o.func_name, &plant.marker) || marker_hit(&o.what, &plant.marker))
+}
+
+/// All real (non-FP) pattern kinds.
+pub fn real_patterns() -> Vec<PatternKind> {
+    vec![
+        PatternKind::SingleSend,
+        PatternKind::MissingInteractionSend,
+        PatternKind::MissingInteractionClose,
+        PatternKind::MultipleOps,
+        PatternKind::BlockedParent,
+        PatternKind::BmocMutex,
+        PatternKind::DoubleLock,
+        PatternKind::MissingUnlock,
+        PatternKind::LockOrder,
+        PatternKind::FieldRace,
+        PatternKind::FatalChild,
+    ]
+}
+
+/// All FP pattern kinds.
+pub fn fp_patterns() -> Vec<PatternKind> {
+    vec![
+        PatternKind::FpInfeasibleCond,
+        PatternKind::FpLoopUnroll,
+        PatternKind::FpAliasChanChan,
+        PatternKind::FpAliasSlice,
+        PatternKind::FpCallGraph,
+        PatternKind::FpMutexInfeasible,
+        PatternKind::FpUnlockWrapper,
+        PatternKind::FpDoubleLockHidden,
+        PatternKind::FpLockOrderDead,
+        PatternKind::FpFieldContext,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcatch::{DetectorConfig, GCatch};
+    use golite_sim::{Config, Simulator};
+
+    /// Builds a standalone program from one pattern instance.
+    fn program_for(kind: PatternKind, id: u32) -> (Plant, String) {
+        let plant = emit(kind, id);
+        let source = format!("package main\n{}\nfunc main() {{\n}}\n", plant.source);
+        (plant, source)
+    }
+
+    fn reports_for(source: &str) -> Vec<gcatch::BugReport> {
+        let module = golite_ir::lower_source(source).expect("pattern lowers");
+        let gcatch = GCatch::new(&module);
+        gcatch.detect_all(&DetectorConfig::default())
+    }
+
+    fn matches_marker(report: &gcatch::BugReport, plant: &Plant) -> bool {
+        report_hits_plant(report, plant)
+    }
+
+    fn matches(report: &gcatch::BugReport, plant: &Plant) -> bool {
+        report.kind == plant.kind && matches_marker(report, plant)
+    }
+
+    /// Every pattern must produce exactly one report of its promised kind.
+    #[test]
+    fn every_pattern_is_detected_once() {
+        for kind in real_patterns().into_iter().chain(fp_patterns()) {
+            let (plant, source) = program_for(kind, 7);
+            let reports = reports_for(&source);
+            let hits =
+                reports.iter().filter(|r| matches(r, &plant)).count();
+            assert!(
+                hits >= 1,
+                "{kind:?} must yield a {:?} report on marker {}; got {reports:#?}",
+                plant.kind, plant.marker
+            );
+        }
+    }
+
+    /// No pattern may pollute other categories with extra reports.
+    #[test]
+    fn patterns_do_not_cross_talk() {
+        for kind in real_patterns().into_iter().chain(fp_patterns()) {
+            let (plant, source) = program_for(kind, 9);
+            let reports = reports_for(&source);
+            for r in &reports {
+                assert!(
+                    matches_marker(r, &plant),
+                    "{kind:?} produced an unrelated report: {r}"
+                );
+            }
+        }
+    }
+
+    /// Real self-driving patterns must block under some schedule; FP
+    /// patterns must never block (that is what makes them false positives).
+    #[test]
+    fn dynamic_ground_truth_matches_fp_flags() {
+        for kind in real_patterns().into_iter().chain(fp_patterns()) {
+            let (plant, source) = program_for(kind, 11);
+            let Some(entry) = plant.entry.clone() else { continue };
+            let module = golite_ir::lower_source(&source).expect("pattern lowers");
+            let sim = Simulator::new(&module);
+            let mut blocked = false;
+            for sleep in [false, true] {
+                let config =
+                    Config { entry: entry.clone(), sleep_injection: sleep, ..Config::default() };
+                for r in sim.explore(&config, 0..30) {
+                    assert!(
+                        !matches!(r.outcome, golite_sim::Outcome::Panic(_)),
+                        "{kind:?} panicked: {:?}",
+                        r.outcome
+                    );
+                    blocked |= r.is_blocking();
+                }
+            }
+            if plant.fp {
+                assert!(!blocked, "{kind:?} is an FP pattern but blocked dynamically");
+            } else if plant.kind.is_bmoc() {
+                assert!(blocked, "{kind:?} is a real blocking bug but never blocked");
+            }
+        }
+    }
+
+    /// Fixable patterns get exactly the promised GFix strategy.
+    #[test]
+    fn gfix_strategies_match_promises() {
+        for kind in real_patterns() {
+            let (plant, source) = program_for(kind, 13);
+            let pipeline = gfix::Pipeline::from_source(&source).expect("pattern parses");
+            let results = pipeline.run(&DetectorConfig::default());
+            let patch = results
+                .patches
+                .iter()
+                .find(|p| p.primitive_name.contains(&plant.marker));
+            match plant.fix {
+                Some(expected) => {
+                    let patch = patch.unwrap_or_else(|| {
+                        panic!(
+                            "{kind:?} promised {expected:?} but got no patch; rejections: {:?}",
+                            results.rejections
+                        )
+                    });
+                    assert_eq!(patch.strategy, expected, "{kind:?}");
+                }
+                None => {
+                    assert!(patch.is_none(), "{kind:?} promised no fix but was patched");
+                }
+            }
+        }
+    }
+
+    /// Two instances of the same pattern coexist without interference.
+    #[test]
+    fn instances_are_independent() {
+        let a = emit(PatternKind::SingleSend, 100);
+        let b = emit(PatternKind::SingleSend, 200);
+        let source = format!("package main\n{}\n{}\nfunc main() {{\n}}\n", a.source, b.source);
+        let reports = reports_for(&source);
+        assert_eq!(reports.iter().filter(|r| matches(r, &a)).count(), 1);
+        assert_eq!(reports.iter().filter(|r| matches(r, &b)).count(), 1);
+    }
+}

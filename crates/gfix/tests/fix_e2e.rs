@@ -1,0 +1,417 @@
+//! End-to-end detect→fix→validate tests on the paper's three figures — each
+//! exercising one strategy — plus dispatcher rejections.
+
+use gcatch::DetectorConfig;
+use gfix::{validate, Pipeline, Strategy};
+
+const FIGURE1: &str = r#"
+func StdCopy() error {
+    return nil
+}
+
+func Exec(ctx context.Context) error {
+    outDone := make(chan error)
+    go func() {
+        err := StdCopy()
+        outDone <- err
+    }()
+    select {
+    case err := <-outDone:
+        if err != nil {
+            return err
+        }
+    case <-ctx.Done():
+        return ctx.Err()
+    }
+    return nil
+}
+
+func main() {
+    ctx, cancel := context.WithCancel(context.Background())
+    cancel()
+    Exec(ctx)
+}
+"#;
+
+#[test]
+fn figure1_gets_strategy1_buffer_patch() {
+    let pipeline = Pipeline::from_source(FIGURE1).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    let patch = results
+        .patches
+        .iter()
+        .find(|p| p.primitive_name == "outDone")
+        .unwrap_or_else(|| panic!("no patch for outDone: {:?}", results.rejections));
+    assert_eq!(patch.strategy, Strategy::IncreaseBuffer);
+    assert!(patch.after.contains("make(chan error, 1)"), "patched:\n{}", patch.after);
+    // §5.3: Strategy-I patches change exactly one line (= 2 diff lines:
+    // one removed + one added).
+    assert_eq!(patch.changed_lines, 2);
+}
+
+#[test]
+fn figure1_patch_validates_dynamically() {
+    let pipeline = Pipeline::from_source(FIGURE1).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    let patch = results.patches.iter().find(|p| p.primitive_name == "outDone").unwrap();
+    let v = validate(&patch.before, &patch.after, "main", 40);
+    assert!(v.bug_realized, "the original program must leak under some schedule");
+    assert!(v.patch_blocks_never, "the patched program must never block");
+    assert!(v.semantics_preserved, "clean outputs must agree");
+    assert!(v.is_correct());
+}
+
+const FIGURE3: &str = r#"
+func Start(stop chan struct{}) {
+    <-stop
+}
+
+func Dial() (int, error) {
+    return 0, errors.New("connection refused")
+}
+
+func TestRWDialer(t *testing.T) {
+    stop := make(chan struct{})
+    go Start(stop)
+    conn, err := Dial()
+    _ = conn
+    if err != nil {
+        t.Fatalf("dial failed")
+    }
+    stop <- struct{}{}
+}
+"#;
+
+#[test]
+fn figure3_gets_strategy2_defer_patch() {
+    let pipeline = Pipeline::from_source(FIGURE3).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    let patch = results
+        .patches
+        .iter()
+        .find(|p| p.primitive_name == "stop")
+        .unwrap_or_else(|| panic!("no patch for stop: {:?}", results.rejections));
+    assert_eq!(patch.strategy, Strategy::DeferOperation);
+    assert!(
+        patch.after.contains("defer func() {"),
+        "expected a deferred send closure; patched:\n{}",
+        patch.after
+    );
+    // The original trailing send is gone.
+    let after_decl = patch.after.split("defer").nth(1).expect("defer present");
+    assert!(after_decl.contains("stop <- struct{}{}"));
+    // §5.3: Strategy-II patches change four lines.
+    assert_eq!(patch.changed_lines, 4, "patched:\n{}", patch.after);
+}
+
+#[test]
+fn figure3_patch_validates_dynamically() {
+    let pipeline = Pipeline::from_source(FIGURE3).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    let patch = results.patches.iter().find(|p| p.primitive_name == "stop").unwrap();
+    let v = validate(&patch.before, &patch.after, "TestRWDialer", 40);
+    assert!(v.bug_realized, "Fatal skips the send, leaking Start");
+    assert!(v.patch_blocks_never);
+    assert!(v.is_correct());
+}
+
+const FIGURE4: &str = r#"
+func Input() (string, error) {
+    return "line", nil
+}
+
+func Interactive(abort chan struct{}) {
+    scheduler := make(chan string)
+    go func() {
+        for {
+            line, err := Input()
+            if err != nil {
+                close(scheduler)
+                return
+            }
+            scheduler <- line
+        }
+    }()
+    for {
+        select {
+        case <-abort:
+            return
+        case _, ok := <-scheduler:
+            if !ok {
+                return
+            }
+        }
+    }
+}
+
+func main() {
+    abort := make(chan struct{}, 1)
+    abort <- struct{}{}
+    Interactive(abort)
+}
+"#;
+
+#[test]
+fn figure4_gets_strategy3_stop_channel_patch() {
+    let pipeline = Pipeline::from_source(FIGURE4).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    let patch = results
+        .patches
+        .iter()
+        .find(|p| p.primitive_name == "scheduler")
+        .unwrap_or_else(|| panic!("no patch for scheduler: {:?}", results.rejections));
+    assert_eq!(patch.strategy, Strategy::AddStopChannel);
+    assert!(patch.after.contains("stop := make(chan struct{})"), "patched:\n{}", patch.after);
+    assert!(patch.after.contains("defer close(stop)"));
+    assert!(patch.after.contains("case scheduler <- line:"));
+    assert!(patch.after.contains("case <-stop:"));
+    // §5.3: Strategy-III patches are the largest (~10 lines, max 16).
+    assert!(
+        patch.changed_lines >= 6 && patch.changed_lines <= 16,
+        "changed {} lines; patched:\n{}",
+        patch.changed_lines,
+        patch.after
+    );
+}
+
+#[test]
+fn figure4_patch_validates_dynamically() {
+    let pipeline = Pipeline::from_source(FIGURE4).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    let patch =
+        results.patches.iter().find(|p| p.primitive_name == "scheduler").unwrap();
+    let v = validate(&patch.before, &patch.after, "main", 40);
+    assert!(v.bug_realized, "abort-first schedules leak the producer");
+    assert!(v.patch_blocks_never, "closing stop releases the producer");
+}
+
+#[test]
+fn blocked_parent_is_rejected() {
+    // The *parent* blocks (no child goroutine exists at all).
+    let src = r#"
+func main() {
+    ch := make(chan int)
+    go func() {
+        ch <- 1
+    }()
+    <-ch
+    <-ch
+}
+"#;
+    let pipeline = Pipeline::from_source(src).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    // The second receive (parent side) is reported but not fixable.
+    assert!(
+        results
+            .rejections
+            .iter()
+            .any(|(b, _)| b.ops.iter().any(|o| o.what.contains("recv"))),
+        "parent-side blocking must be rejected; got patches {:?}",
+        results.patches
+    );
+}
+
+#[test]
+fn side_effects_after_o2_are_rejected_for_strategy1() {
+    // The child writes a global after its send: unblocking the send would
+    // leak that effect, so Strategy I must refuse (§4.2 step four). No other
+    // strategy applies either.
+    let src = r#"
+var flag int
+
+func main() {
+    done := make(chan int)
+    stopper := make(chan int, 1)
+    stopper <- 1
+    go func() {
+        done <- 1
+        flag = 1
+    }()
+    select {
+    case <-done:
+    case <-stopper:
+    }
+}
+"#;
+    let pipeline = Pipeline::from_source(src).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    let rejected = results
+        .rejections
+        .iter()
+        .any(|(b, r)| b.primitive_name == "done" && *r == gfix::Rejection::SideEffectsAfterO2);
+    let patched = results.patches.iter().any(|p| p.primitive_name == "done");
+    assert!(
+        rejected && !patched,
+        "side effects after o2 must block all strategies; rejections: {:?}",
+        results.rejections
+    );
+}
+
+#[test]
+fn strategy2_defer_close_form() {
+    // Parent closes the channel on the happy path only; child ranges on it.
+    let src = r#"
+func consume(ch chan int, out chan int) {
+    s := 0
+    for v := range ch {
+        s = s + v
+    }
+    out <- s
+}
+
+func produce(t *testing.T, fail bool) {
+    ch := make(chan int)
+    out := make(chan int, 1)
+    go consume(ch, out)
+    if fail {
+        t.Fatalf("early exit")
+    }
+    close(ch)
+    <-out
+}
+"#;
+    let pipeline = Pipeline::from_source(src).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    if let Some(patch) = results.patches.iter().find(|p| p.primitive_name == "ch") {
+        assert_eq!(patch.strategy, Strategy::DeferOperation);
+        assert!(patch.after.contains("defer close(ch)"), "patched:\n{}", patch.after);
+    } else {
+        // The range receive is two static ops after lowering; rejection is
+        // acceptable, but the bug must at least be reported.
+        assert!(
+            results.bugs.iter().any(|b| b.primitive_name == "ch"),
+            "bug must be detected; got {:?}",
+            results.bugs
+        );
+    }
+}
+
+#[test]
+fn strategy2_defer_recv_when_value_unused() {
+    // Child sends on a *buffered* channel the parent pre-filled, so
+    // Strategy I (which requires an unbuffered channel) does not apply;
+    // the parent's draining receive (value discarded) is skipped by a
+    // Fatal — GFix defers the receive.
+    let src = r#"
+func produce(out chan int) {
+    out <- 42
+}
+
+func check() error {
+    return errors.New("bad state")
+}
+
+func TestProduce(t *testing.T) {
+    out := make(chan int, 1)
+    out <- 7
+    go produce(out)
+    err := check()
+    if err != nil {
+        t.Fatalf("check failed")
+    }
+    <-out
+}
+"#;
+    let pipeline = Pipeline::from_source(src).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    let patch = results
+        .patches
+        .iter()
+        .find(|p| p.primitive_name == "out")
+        .unwrap_or_else(|| panic!("expected a patch; rejections: {:?}", results.rejections));
+    assert_eq!(patch.strategy, Strategy::DeferOperation);
+    assert!(patch.after.contains("<-out"), "patched:\n{}", patch.after);
+    let v = validate(&patch.before, &patch.after, "TestProduce", 40);
+    assert!(v.bug_realized && v.is_correct());
+}
+
+#[test]
+fn o1_value_used_is_rejected() {
+    // Same buffered shape, but the received value is used — deferring the
+    // receive would discard it, so GFix must refuse (§5.3's third decline
+    // reason).
+    let src = r#"
+func produce(out chan int) {
+    out <- 42
+}
+
+func check() error {
+    return errors.New("bad state")
+}
+
+func TestProduce(t *testing.T) {
+    out := make(chan int, 1)
+    out <- 7
+    go produce(out)
+    err := check()
+    if err != nil {
+        t.Fatalf("check failed")
+    }
+    v := <-out
+    fmt.Println(v)
+}
+"#;
+    let pipeline = Pipeline::from_source(src).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    assert!(
+        results.patches.iter().all(|p| p.primitive_name != "out"),
+        "must not patch: {:?}",
+        results.patches
+    );
+    assert!(
+        results
+            .rejections
+            .iter()
+            .any(|(b, r)| b.primitive_name == "out" && *r == gfix::Rejection::O1ValueUsed),
+        "expected O1ValueUsed; got {:?}",
+        results.rejections
+    );
+}
+
+#[test]
+fn strategy3_fresh_name_avoids_collision() {
+    // The parent already uses `stop`; the synthesized channel must pick a
+    // fresh name.
+    let src = r#"
+func Feed() {
+    stop := 0
+    _ = stop
+    quit := make(chan int, 1)
+    quit <- 1
+    lines := make(chan string)
+    go func() {
+        for {
+            lines <- "x"
+        }
+    }()
+    for {
+        select {
+        case <-quit:
+            return
+        case v := <-lines:
+            _ = v
+        }
+    }
+}
+"#;
+    // `lines` is created in Feed; its blocking send sits in the closure.
+    let wrapped = format!("{src}\nfunc main() {{\n}}\n");
+    let pipeline = Pipeline::from_source(&wrapped).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    if let Some(patch) = results.patches.iter().find(|p| p.primitive_name == "lines") {
+        assert_eq!(patch.strategy, Strategy::AddStopChannel);
+        assert!(
+            patch.after.contains("stop2 := make(chan struct{})"),
+            "fresh name expected; patched:\n{}",
+            patch.after
+        );
+    } else {
+        // `quit` shares the select with `lines`; whichever shape the
+        // detector reports, the bug must at least be detected.
+        assert!(
+            results.bugs.iter().any(|b| b.primitive_name == "lines"),
+            "bug must be detected; got {:?}",
+            results.bugs
+        );
+    }
+}

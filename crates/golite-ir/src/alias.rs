@@ -1,0 +1,763 @@
+//! Andersen-style points-to analysis with on-the-fly call-graph
+//! construction.
+//!
+//! This replaces the `golang.org/x/tools/go/pointer` and `go/callgraph`
+//! packages the original GCatch builds on. The analysis is flow- and
+//! context-insensitive, field-sensitive per struct allocation site, and
+//! resolves closures precisely through `MakeClosure` bindings.
+//!
+//! Two imprecisions of the original toolchain are reproduced *deliberately*,
+//! because the paper's §5.2 false-positive census attributes 17 BMOC false
+//! positives to them:
+//!
+//! * a channel **sent through another channel** is not tracked: `Recv`
+//!   destinations get an empty points-to set, so the receiving side's
+//!   operations cannot be matched to the sending side's channel;
+//! * a channel **stored into a slice** and loaded back by index is not
+//!   tracked: `IndexLoad` destinations get an empty points-to set.
+//!
+//! Dynamic calls whose operand has an empty points-to set fall back to
+//! arity matching over all module functions (the CHA-style behavior of the
+//! paper's call-graph package); call sites that end up with more than one
+//! candidate are marked [`ambiguous`](CallSite::ambiguous), and GCatch
+//! ignores their targets exactly as §5.1 of the paper describes.
+
+use crate::ir::*;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An abstract heap object, identified by its creation site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbstractObject {
+    /// A channel created by `make(chan ..)` at the given site.
+    Chan(Loc),
+    /// A mutex created at the given site.
+    Mutex(Loc),
+    /// A wait group created at the given site.
+    WaitGroup(Loc),
+    /// A condition variable created at the given site.
+    Cond(Loc),
+    /// A struct object allocated at the given site.
+    Struct(Loc),
+    /// A slice allocated at the given site.
+    Slice(Loc),
+    /// A closure created at the given site.
+    Closure {
+        /// The lifted function.
+        func: FuncId,
+        /// The `MakeClosure` site.
+        site: Loc,
+    },
+    /// A plain function constant.
+    Func(FuncId),
+}
+
+impl AbstractObject {
+    /// The target function, if this object is callable.
+    pub fn callee(&self) -> Option<FuncId> {
+        match self {
+            AbstractObject::Closure { func, .. } => Some(*func),
+            AbstractObject::Func(func) => Some(*func),
+            _ => None,
+        }
+    }
+}
+
+/// A node in the points-to constraint graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Node {
+    /// A function-local register.
+    Var(FuncId, Var),
+    /// A module global.
+    Global(GlobalId),
+    /// A field of a struct allocation site.
+    Field(Loc, u32),
+    /// The i-th return value of a function.
+    Ret(FuncId, u32),
+}
+
+/// What kind of invocation a call site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// Ordinary call.
+    Call,
+    /// `go` spawn.
+    Go,
+    /// `defer`red call.
+    Defer,
+}
+
+/// A resolved call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The calling function.
+    pub caller: FuncId,
+    /// Location of the call instruction.
+    pub loc: Loc,
+    /// Call, go, or defer.
+    pub kind: CallKind,
+    /// Candidate callees.
+    pub targets: Vec<FuncId>,
+    /// External callee name, when the target is not in the module.
+    pub external: Option<String>,
+    /// True when the targets came from arity matching with more than one
+    /// candidate; GCatch ignores such sites (paper §5.1).
+    pub ambiguous: bool,
+}
+
+/// Results of the combined points-to / call-graph analysis.
+#[derive(Debug)]
+pub struct Analysis {
+    points_to: HashMap<(FuncId, Var), HashSet<AbstractObject>>,
+    /// All call sites, in deterministic order.
+    pub call_sites: Vec<CallSite>,
+    /// callee → call-site indices.
+    callers_of: HashMap<FuncId, Vec<usize>>,
+    /// caller → call-site indices.
+    calls_in: HashMap<FuncId, Vec<usize>>,
+    /// Memoized transitive-reachability sets (queried heavily by the
+    /// detectors and GFix's dispatcher).
+    reach_cache: std::cell::RefCell<HashMap<FuncId, std::rc::Rc<HashSet<FuncId>>>>,
+}
+
+impl Analysis {
+    /// The points-to set of a register.
+    pub fn points_to(&self, func: FuncId, var: Var) -> impl Iterator<Item = &AbstractObject> {
+        self.points_to.get(&(func, var)).into_iter().flatten()
+    }
+
+    /// The points-to set of an operand (constants resolve to function
+    /// objects or nothing).
+    pub fn operand_points_to(&self, func: FuncId, op: &Operand) -> Vec<AbstractObject> {
+        match op {
+            Operand::Var(v) => {
+                let mut objs: Vec<AbstractObject> =
+                    self.points_to(func, *v).copied().collect();
+                objs.sort_unstable();
+                objs
+            }
+            Operand::Const(ConstVal::Func(f)) => vec![AbstractObject::Func(*f)],
+            Operand::Const(_) => vec![],
+        }
+    }
+
+    /// Whether two operands may alias (share at least one abstract object).
+    pub fn may_alias(&self, f1: FuncId, op1: &Operand, f2: FuncId, op2: &Operand) -> bool {
+        let a = self.operand_points_to(f1, op1);
+        if a.is_empty() {
+            return false;
+        }
+        let b = self.operand_points_to(f2, op2);
+        a.iter().any(|o| b.contains(o))
+    }
+
+    /// Call sites inside `func`.
+    pub fn calls_in(&self, func: FuncId) -> impl Iterator<Item = &CallSite> {
+        self.calls_in.get(&func).into_iter().flatten().map(move |&i| &self.call_sites[i])
+    }
+
+    /// Call sites that may target `func`.
+    pub fn callers_of(&self, func: FuncId) -> impl Iterator<Item = &CallSite> {
+        self.callers_of.get(&func).into_iter().flatten().map(move |&i| &self.call_sites[i])
+    }
+
+    /// Functions transitively reachable from `root` through unambiguous
+    /// call/go/defer edges (including `root`). Memoized.
+    pub fn reachable_from(&self, root: FuncId) -> std::rc::Rc<HashSet<FuncId>> {
+        if let Some(cached) = self.reach_cache.borrow().get(&root) {
+            return cached.clone();
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(root);
+        queue.push_back(root);
+        while let Some(f) = queue.pop_front() {
+            for cs in self.calls_in(f) {
+                if cs.ambiguous {
+                    continue;
+                }
+                for &t in &cs.targets {
+                    if seen.insert(t) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        let rc = std::rc::Rc::new(seen);
+        self.reach_cache.borrow_mut().insert(root, rc.clone());
+        rc
+    }
+}
+
+/// Runs the analysis over a module.
+pub fn analyze(module: &Module) -> Analysis {
+    Solver::new(module).run()
+}
+
+struct Solver<'m> {
+    module: &'m Module,
+    pts: HashMap<Node, HashSet<AbstractObject>>,
+    /// Simple inclusion edges src → dsts.
+    copy_edges: HashMap<Node, Vec<Node>>,
+    /// Worklist of nodes whose sets grew.
+    worklist: VecDeque<Node>,
+    /// Field names interned per struct type.
+    field_ids: HashMap<String, u32>,
+    /// Dynamic call sites awaiting resolution: (caller, loc, kind, operand node, args, dsts).
+    dyn_calls: Vec<DynCall>,
+    /// Already-installed (dyn-call-index, callee) bindings.
+    installed: HashSet<(usize, FuncId)>,
+    /// Field loads awaiting struct objects: (base node, field, destination).
+    deferred_field_loads: Vec<(Node, u32, Node)>,
+    /// Field stores awaiting struct objects: (base node, field, value, fn).
+    deferred_field_stores: Vec<(Node, u32, Operand, FuncId)>,
+    call_sites: Vec<CallSite>,
+}
+
+struct DynCall {
+    caller: FuncId,
+    loc: Loc,
+    kind: CallKind,
+    op_node: Option<Node>,
+    const_target: Option<FuncId>,
+    args: Vec<Operand>,
+    dsts: Vec<Var>,
+}
+
+impl<'m> Solver<'m> {
+    fn new(module: &'m Module) -> Solver<'m> {
+        Solver {
+            module,
+            pts: HashMap::new(),
+            copy_edges: HashMap::new(),
+            worklist: VecDeque::new(),
+            field_ids: HashMap::new(),
+            dyn_calls: Vec::new(),
+            installed: HashSet::new(),
+            deferred_field_loads: Vec::new(),
+            deferred_field_stores: Vec::new(),
+            call_sites: Vec::new(),
+        }
+    }
+
+    fn field_id(&mut self, name: &str) -> u32 {
+        let next = self.field_ids.len() as u32;
+        *self.field_ids.entry(name.to_string()).or_insert(next)
+    }
+
+    fn add_obj(&mut self, node: Node, obj: AbstractObject) {
+        if self.pts.entry(node).or_default().insert(obj) {
+            self.worklist.push_back(node);
+        }
+    }
+
+    fn add_edge(&mut self, src: Node, dst: Node) {
+        let edges = self.copy_edges.entry(src).or_default();
+        if !edges.contains(&dst) {
+            edges.push(dst);
+            // Propagate current contents immediately.
+            let objs: Vec<AbstractObject> =
+                self.pts.get(&src).into_iter().flatten().copied().collect();
+            for o in objs {
+                self.add_obj(dst, o);
+            }
+        }
+    }
+
+    fn operand_node(&mut self, func: FuncId, op: &Operand) -> Option<Node> {
+        match op {
+            Operand::Var(v) => Some(Node::Var(func, *v)),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// Links an operand into a destination node (constant functions become
+    /// direct objects).
+    fn flow(&mut self, func: FuncId, src: &Operand, dst: Node) {
+        match src {
+            Operand::Var(v) => self.add_edge(Node::Var(func, *v), dst),
+            Operand::Const(ConstVal::Func(f)) => self.add_obj(dst, AbstractObject::Func(*f)),
+            Operand::Const(_) => {}
+        }
+    }
+
+    fn run(mut self) -> Analysis {
+        // Phase 1: seed constraints from every instruction.
+        for function in &self.module.funcs {
+            let fid = function.id;
+            for (bid, block) in function.iter_blocks() {
+                for (idx, instr) in block.instrs.iter().enumerate() {
+                    let loc = Loc { func: fid, block: bid, idx: idx as u32 };
+                    self.seed_instr(fid, loc, instr);
+                }
+                // Select terminators bind received values — which we do not
+                // track (channel-through-channel imprecision), so nothing to
+                // seed for them.
+                if let Terminator::Return(vals) = &block.term {
+                    for (i, v) in vals.iter().enumerate() {
+                        self.flow(fid, &v.clone(), Node::Ret(fid, i as u32));
+                    }
+                }
+            }
+        }
+
+        // Phase 2: fixpoint — propagate sets and resolve dynamic calls.
+        loop {
+            while let Some(node) = self.worklist.pop_front() {
+                let objs: Vec<AbstractObject> =
+                    self.pts.get(&node).into_iter().flatten().copied().collect();
+                let dsts = self.copy_edges.get(&node).cloned().unwrap_or_default();
+                for dst in dsts {
+                    for &o in &objs {
+                        self.add_obj(dst, o);
+                    }
+                }
+            }
+            // Re-evaluate field constraints against the current struct sets
+            // (add_edge/flow are idempotent, so this is safe to repeat).
+            for i in 0..self.deferred_field_loads.len() {
+                let (base, f, dst) = self.deferred_field_loads[i];
+                let structs: Vec<Loc> = self
+                    .pts
+                    .get(&base)
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|o| match o {
+                        AbstractObject::Struct(loc) => Some(*loc),
+                        _ => None,
+                    })
+                    .collect();
+                for s in structs {
+                    self.add_edge(Node::Field(s, f), dst);
+                }
+            }
+            for i in 0..self.deferred_field_stores.len() {
+                let (base, f, value, fid) = self.deferred_field_stores[i].clone();
+                let structs: Vec<Loc> = self
+                    .pts
+                    .get(&base)
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|o| match o {
+                        AbstractObject::Struct(loc) => Some(*loc),
+                        _ => None,
+                    })
+                    .collect();
+                for s in structs {
+                    self.flow(fid, &value, Node::Field(s, f));
+                }
+            }
+            // Resolve dynamic calls with newly discovered callees.
+            let mut changed = false;
+            for i in 0..self.dyn_calls.len() {
+                let (op_node, const_target) =
+                    (self.dyn_calls[i].op_node, self.dyn_calls[i].const_target);
+                let mut callees: Vec<(FuncId, bool)> = Vec::new();
+                if let Some(f) = const_target {
+                    callees.push((f, false));
+                }
+                if let Some(node) = op_node {
+                    let objs: Vec<AbstractObject> =
+                        self.pts.get(&node).into_iter().flatten().copied().collect();
+                    for o in objs {
+                        match o {
+                            AbstractObject::Closure { func, .. } => callees.push((func, true)),
+                            AbstractObject::Func(func) => callees.push((func, false)),
+                            _ => {}
+                        }
+                    }
+                }
+                for (callee, via_closure) in callees {
+                    if self.installed.insert((i, callee)) {
+                        self.install_binding(i, callee, via_closure);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed && self.worklist.is_empty() {
+                break;
+            }
+        }
+
+        // Phase 3: materialize call sites.
+        for i in 0..self.dyn_calls.len() {
+            let dc = &self.dyn_calls[i];
+            let mut targets: Vec<FuncId> = self
+                .installed
+                .iter()
+                .filter(|(j, _)| *j == i)
+                .map(|(_, f)| *f)
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+            let mut ambiguous = false;
+            if targets.is_empty() {
+                // CHA-style arity fallback (paper's workaround source).
+                let arity = dc.args.len();
+                targets = self
+                    .module
+                    .funcs
+                    .iter()
+                    .filter(|f| f.params.len() - f.n_captures == arity && f.is_closure)
+                    .map(|f| f.id)
+                    .collect();
+                ambiguous = targets.len() > 1;
+            }
+            self.call_sites.push(CallSite {
+                caller: dc.caller,
+                loc: dc.loc,
+                kind: dc.kind,
+                targets,
+                external: None,
+                ambiguous,
+            });
+        }
+
+        let mut callers_of: HashMap<FuncId, Vec<usize>> = HashMap::new();
+        let mut calls_in: HashMap<FuncId, Vec<usize>> = HashMap::new();
+        self.call_sites.sort_by_key(|cs| cs.loc);
+        for (i, cs) in self.call_sites.iter().enumerate() {
+            calls_in.entry(cs.caller).or_default().push(i);
+            for &t in &cs.targets {
+                callers_of.entry(t).or_default().push(i);
+            }
+        }
+
+        let mut points_to = HashMap::new();
+        for (node, objs) in &self.pts {
+            if let Node::Var(f, v) = node {
+                points_to.insert((*f, *v), objs.clone());
+            }
+        }
+
+        Analysis {
+            points_to,
+            call_sites: self.call_sites,
+            callers_of,
+            calls_in,
+            reach_cache: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn seed_instr(&mut self, fid: FuncId, loc: Loc, instr: &Instr) {
+        match instr {
+            Instr::MakeChan { dst, .. } => {
+                self.add_obj(Node::Var(fid, *dst), AbstractObject::Chan(loc));
+            }
+            Instr::MakeMutex { dst, .. } => {
+                self.add_obj(Node::Var(fid, *dst), AbstractObject::Mutex(loc));
+            }
+            Instr::MakeWaitGroup { dst } => {
+                self.add_obj(Node::Var(fid, *dst), AbstractObject::WaitGroup(loc));
+            }
+            Instr::MakeCond { dst } => {
+                self.add_obj(Node::Var(fid, *dst), AbstractObject::Cond(loc));
+            }
+            Instr::MakeStruct { dst, fields, .. } => {
+                self.add_obj(Node::Var(fid, *dst), AbstractObject::Struct(loc));
+                for (fname, op) in fields {
+                    let f = self.field_id(fname);
+                    self.flow(fid, op, Node::Field(loc, f));
+                }
+            }
+            Instr::MakeSlice { dst, .. } => {
+                // Slice contents are deliberately untracked (paper §5.2).
+                self.add_obj(Node::Var(fid, *dst), AbstractObject::Slice(loc));
+            }
+            Instr::MakeClosure { dst, func, bound } => {
+                self.add_obj(
+                    Node::Var(fid, *dst),
+                    AbstractObject::Closure { func: *func, site: loc },
+                );
+                // Bind captures directly to the closure's leading params.
+                let callee = self.module.func(*func);
+                for (i, b) in bound.iter().enumerate() {
+                    if let Some(&param) = callee.params.get(i) {
+                        self.flow(fid, b, Node::Var(*func, param));
+                    }
+                }
+            }
+            Instr::Copy { dst, src } => {
+                self.flow(fid, src, Node::Var(fid, *dst));
+            }
+            Instr::FieldLoad { dst, obj, field } => {
+                // Complex constraint: for each struct object the base may
+                // point to, the field node flows into the destination.
+                // Re-evaluated every fixpoint round (idempotent).
+                let f = self.field_id(field);
+                if let Some(base) = self.operand_node(fid, obj) {
+                    self.deferred_field_loads.push((base, f, Node::Var(fid, *dst)));
+                }
+            }
+            Instr::FieldStore { obj, field, value } => {
+                let f = self.field_id(field);
+                if let Some(base) = self.operand_node(fid, obj) {
+                    self.deferred_field_stores.push((base, f, value.clone(), fid));
+                }
+            }
+            Instr::LoadGlobal { dst, global } => {
+                self.add_edge(Node::Global(*global), Node::Var(fid, *dst));
+            }
+            Instr::StoreGlobal { global, src } => {
+                self.flow(fid, src, Node::Global(*global));
+            }
+            Instr::Call { dsts, func, args } => {
+                self.seed_call(fid, loc, CallKind::Call, func, args, dsts);
+            }
+            Instr::Go { func, args } => {
+                self.seed_call(fid, loc, CallKind::Go, func, args, &[]);
+            }
+            Instr::DeferCall { func, args } => {
+                self.seed_call(fid, loc, CallKind::Defer, func, args, &[]);
+            }
+            // Recv and IndexLoad destinations: intentionally no constraints
+            // (reproduces the paper's alias-analysis false positives).
+            _ => {}
+        }
+    }
+
+    fn seed_call(
+        &mut self,
+        fid: FuncId,
+        loc: Loc,
+        kind: CallKind,
+        func: &FuncRef,
+        args: &[Operand],
+        dsts: &[Var],
+    ) {
+        match func {
+            FuncRef::Static(callee) => {
+                self.install_static(fid, *callee, args, dsts, 0);
+                self.call_sites.push(CallSite {
+                    caller: fid,
+                    loc,
+                    kind,
+                    targets: vec![*callee],
+                    external: None,
+                    ambiguous: false,
+                });
+            }
+            FuncRef::External(name) => {
+                self.call_sites.push(CallSite {
+                    caller: fid,
+                    loc,
+                    kind,
+                    targets: vec![],
+                    external: Some(name.clone()),
+                    ambiguous: false,
+                });
+            }
+            FuncRef::Dynamic(op) => {
+                let op_node = self.operand_node(fid, op);
+                let const_target = match op {
+                    Operand::Const(ConstVal::Func(f)) => Some(*f),
+                    _ => None,
+                };
+                self.dyn_calls.push(DynCall {
+                    caller: fid,
+                    loc,
+                    kind,
+                    op_node,
+                    const_target,
+                    args: args.to_vec(),
+                    dsts: dsts.to_vec(),
+                });
+            }
+        }
+    }
+
+    /// Installs parameter/return bindings for a static call.
+    fn install_static(
+        &mut self,
+        caller: FuncId,
+        callee: FuncId,
+        args: &[Operand],
+        dsts: &[Var],
+        skip_params: usize,
+    ) {
+        let callee_fn = self.module.func(callee);
+        for (i, a) in args.iter().enumerate() {
+            if let Some(&param) = callee_fn.params.get(skip_params + i) {
+                self.flow(caller, a, Node::Var(callee, param));
+            }
+        }
+        for (i, &d) in dsts.iter().enumerate() {
+            self.add_edge(Node::Ret(callee, i as u32), Node::Var(caller, d));
+        }
+    }
+
+    /// Installs bindings for a dynamic call resolved to `callee`.
+    fn install_binding(&mut self, dyn_idx: usize, callee: FuncId, via_closure: bool) {
+        let dc = &self.dyn_calls[dyn_idx];
+        let (caller, args, dsts) = (dc.caller, dc.args.clone(), dc.dsts.clone());
+        let skip = if via_closure { self.module.func(callee).n_captures } else { 0 };
+        self.install_static(caller, callee, &args, &dsts, skip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_source;
+
+    fn analyze_src(src: &str) -> (Module, Analysis) {
+        let m = lower_source(src).expect("lowering");
+        let a = analyze(&m);
+        (m, a)
+    }
+
+    /// Finds the first instruction in `func` matching the predicate.
+    fn find_instr<'m>(
+        m: &'m Module,
+        func: &str,
+        pred: impl Fn(&Instr) -> bool,
+    ) -> (Loc, &'m Instr) {
+        let f = m.func_by_name(func).unwrap();
+        for (bid, block) in f.iter_blocks() {
+            for (idx, instr) in block.instrs.iter().enumerate() {
+                if pred(instr) {
+                    return (Loc { func: f.id, block: bid, idx: idx as u32 }, instr);
+                }
+            }
+        }
+        panic!("no matching instruction in {func}");
+    }
+
+    #[test]
+    fn channel_flows_through_call() {
+        let (m, a) = analyze_src(
+            "func worker(ch chan int) {\n ch <- 1\n}\nfunc main() {\n ch := make(chan int)\n go worker(ch)\n <-ch\n}",
+        );
+        let (make_loc, _) = find_instr(&m, "main", |i| matches!(i, Instr::MakeChan { .. }));
+        let worker = m.func_by_name("worker").unwrap();
+        let pts: Vec<AbstractObject> =
+            a.points_to(worker.id, worker.params[0]).copied().collect();
+        assert_eq!(pts, vec![AbstractObject::Chan(make_loc)]);
+    }
+
+    #[test]
+    fn closure_capture_aliases_parent_channel() {
+        let (m, a) = analyze_src(
+            "func main() {\n ch := make(chan int)\n go func() {\n  ch <- 1\n }()\n <-ch\n}",
+        );
+        let closure = m.funcs.iter().find(|f| f.is_closure).unwrap();
+        let main = m.func_by_name("main").unwrap();
+        let send = closure
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .find(|i| matches!(i, Instr::Send { .. }))
+            .unwrap();
+        let Instr::Send { chan, .. } = send else { unreachable!() };
+        let (recv_loc, recv) = find_instr(&m, "main", |i| matches!(i, Instr::Recv { .. }));
+        let _ = recv_loc;
+        let Instr::Recv { chan: rchan, .. } = recv else { unreachable!() };
+        assert!(a.may_alias(closure.id, chan, main.id, rchan));
+    }
+
+    #[test]
+    fn channel_through_channel_is_untracked() {
+        // The paper's alias FP source: a channel received from another
+        // channel has an unknown points-to set.
+        let (m, a) = analyze_src(
+            "func main() {\n carrier := make(chan chan int)\n inner := make(chan int)\n carrier <- inner\n got := <-carrier\n <-got\n}",
+        );
+        let main = m.func_by_name("main").unwrap();
+        // `got` is the Recv destination; its points-to set must be empty.
+        let (_, recv) = find_instr(&m, "main", |i| matches!(i, Instr::Recv { dst: Some(_), .. }));
+        let Instr::Recv { dst: Some(got), .. } = recv else { unreachable!() };
+        assert_eq!(a.points_to(main.id, *got).count(), 0);
+    }
+
+    #[test]
+    fn slice_element_is_untracked() {
+        let (m, a) = analyze_src(
+            "func main() {\n chans := []chan int{}\n ch := chans[0]\n <-ch\n}",
+        );
+        let main = m.func_by_name("main").unwrap();
+        let (_, load) = find_instr(&m, "main", |i| matches!(i, Instr::IndexLoad { .. }));
+        let Instr::IndexLoad { dst, .. } = load else { unreachable!() };
+        assert_eq!(a.points_to(main.id, *dst).count(), 0);
+    }
+
+    #[test]
+    fn struct_field_is_tracked() {
+        let (m, a) = analyze_src(
+            "type Box struct {\n ch chan int\n}\nfunc main() {\n b := Box{ch: make(chan int)}\n c := b.ch\n <-c\n}",
+        );
+        let main = m.func_by_name("main").unwrap();
+        let (make_loc, _) = find_instr(&m, "main", |i| matches!(i, Instr::MakeChan { .. }));
+        let c = main
+            .var_names
+            .iter()
+            .position(|n| n == "c")
+            .map(|i| Var(i as u32))
+            .unwrap();
+        let pts: Vec<AbstractObject> = a.points_to(main.id, c).copied().collect();
+        assert_eq!(pts, vec![AbstractObject::Chan(make_loc)]);
+    }
+
+    #[test]
+    fn go_call_site_resolves_closure_precisely() {
+        let (m, a) = analyze_src(
+            "func main() {\n ch := make(chan int)\n go func() {\n  ch <- 1\n }()\n <-ch\n}",
+        );
+        let main = m.func_by_name("main").unwrap();
+        let closure = m.funcs.iter().find(|f| f.is_closure).unwrap();
+        let go_sites: Vec<&CallSite> = a
+            .calls_in(main.id)
+            .filter(|cs| matches!(cs.kind, CallKind::Go))
+            .collect();
+        assert_eq!(go_sites.len(), 1);
+        assert_eq!(go_sites[0].targets, vec![closure.id]);
+        assert!(!go_sites[0].ambiguous);
+    }
+
+    #[test]
+    fn reachability_follows_call_chain() {
+        let (m, a) = analyze_src(
+            "func leaf() {\n}\nfunc mid() {\n leaf()\n}\nfunc main() {\n mid()\n}\nfunc unrelated() {\n}",
+        );
+        let main = m.func_by_name("main").unwrap().id;
+        let reach = a.reachable_from(main);
+        assert!(reach.contains(&m.func_by_name("mid").unwrap().id));
+        assert!(reach.contains(&m.func_by_name("leaf").unwrap().id));
+        assert!(!reach.contains(&m.func_by_name("unrelated").unwrap().id));
+    }
+
+    #[test]
+    fn globals_propagate() {
+        let (m, a) = analyze_src(
+            "var shared chan int\nfunc setup() {\n shared = make(chan int)\n}\nfunc use() {\n <-shared\n}",
+        );
+        let use_fn = m.func_by_name("use").unwrap();
+        let (_, recv) = find_instr(&m, "use", |i| matches!(i, Instr::Recv { .. }));
+        let Instr::Recv { chan, .. } = recv else { unreachable!() };
+        let pts = a.operand_points_to(use_fn.id, chan);
+        assert_eq!(pts.len(), 1, "global channel must be tracked");
+        assert!(matches!(pts[0], AbstractObject::Chan(_)));
+    }
+
+    #[test]
+    fn function_value_parameter_resolves() {
+        let (m, a) = analyze_src(
+            "func run(f func()) {\n f()\n}\nfunc task() {\n}\nfunc main() {\n run(task)\n}",
+        );
+        let run = m.func_by_name("run").unwrap();
+        let task = m.func_by_name("task").unwrap();
+        let dyn_sites: Vec<&CallSite> = a
+            .calls_in(run.id)
+            .filter(|cs| cs.external.is_none())
+            .collect();
+        assert_eq!(dyn_sites.len(), 1);
+        assert_eq!(dyn_sites[0].targets, vec![task.id]);
+    }
+
+    #[test]
+    fn external_calls_are_recorded() {
+        let (_, a) = analyze_src("func main() {\n Mystery()\n}");
+        let ext: Vec<&CallSite> =
+            a.call_sites.iter().filter(|cs| cs.external.is_some()).collect();
+        assert_eq!(ext.len(), 1);
+        assert_eq!(ext[0].external.as_deref(), Some("Mystery"));
+    }
+}

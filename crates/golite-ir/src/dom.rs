@@ -1,0 +1,222 @@
+//! Dominance and post-dominance over function CFGs.
+//!
+//! GFix's safety checks need both directions (§4.3 of the paper): Strategy-II
+//! must verify that every `return` is dominated by a static `o1` send, and
+//! that the `return` *post-dominating* an `o1` is reachable without crossing
+//! other synchronization. The analyses here are the classic iterative
+//! set-based formulation, which is plenty fast for GoLite-sized functions.
+
+use crate::ir::{BlockId, Function, Terminator};
+use std::collections::HashSet;
+
+/// Dominator sets for one function (forward direction).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `doms[b]` = set of blocks dominating `b` (including `b`).
+    doms: Vec<HashSet<u32>>,
+}
+
+impl Dominators {
+    /// Computes dominators with entry block 0.
+    pub fn compute(f: &Function) -> Dominators {
+        let n = f.blocks.len();
+        let all: HashSet<u32> = (0..n as u32).collect();
+        let mut doms = vec![all.clone(); n];
+        doms[0] = HashSet::from([0]);
+
+        let preds = predecessors(f);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..n {
+                let mut new: Option<HashSet<u32>> = None;
+                for &p in &preds[b] {
+                    new = Some(match new {
+                        None => doms[p as usize].clone(),
+                        Some(acc) => acc.intersection(&doms[p as usize]).copied().collect(),
+                    });
+                }
+                let mut new = new.unwrap_or_default();
+                new.insert(b as u32);
+                if new != doms[b] {
+                    doms[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { doms }
+    }
+
+    /// Whether block `a` dominates block `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.doms
+            .get(b.0 as usize)
+            .is_some_and(|set| set.contains(&a.0))
+    }
+}
+
+/// Post-dominator sets for one function (backward direction, with a virtual
+/// exit node joining all `Return`/`Unreachable` blocks).
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    pdoms: Vec<HashSet<u32>>,
+}
+
+impl PostDominators {
+    /// Computes post-dominators.
+    pub fn compute(f: &Function) -> PostDominators {
+        let n = f.blocks.len();
+        let exits: Vec<u32> = f
+            .iter_blocks()
+            .filter(|(_, b)| {
+                matches!(b.term, Terminator::Return(_) | Terminator::Unreachable)
+            })
+            .map(|(id, _)| id.0)
+            .collect();
+        let all: HashSet<u32> = (0..n as u32).collect();
+        let mut pdoms = vec![all; n];
+        for &e in &exits {
+            pdoms[e as usize] = HashSet::from([e]);
+        }
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                if exits.contains(&(b as u32)) {
+                    continue;
+                }
+                let succs = f.blocks[b].term.successors();
+                let mut new: Option<HashSet<u32>> = None;
+                for s in &succs {
+                    new = Some(match new {
+                        None => pdoms[s.0 as usize].clone(),
+                        Some(acc) => {
+                            acc.intersection(&pdoms[s.0 as usize]).copied().collect()
+                        }
+                    });
+                }
+                let mut new = new.unwrap_or_default();
+                new.insert(b as u32);
+                if new != pdoms[b] {
+                    pdoms[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        PostDominators { pdoms }
+    }
+
+    /// Whether block `a` post-dominates block `b` (every path from `b` to an
+    /// exit passes through `a`).
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.pdoms
+            .get(b.0 as usize)
+            .is_some_and(|set| set.contains(&a.0))
+    }
+}
+
+/// Predecessor lists for every block of `f`.
+pub fn predecessors(f: &Function) -> Vec<Vec<u32>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for (bid, block) in f.iter_blocks() {
+        for s in block.term.successors() {
+            preds[s.0 as usize].push(bid.0);
+        }
+    }
+    preds
+}
+
+/// Blocks reachable from the entry block.
+pub fn reachable_blocks(f: &Function) -> HashSet<BlockId> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![BlockId(0)];
+    seen.insert(BlockId(0));
+    while let Some(b) = stack.pop() {
+        for s in f.block(b).term.successors() {
+            if seen.insert(s) {
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_source;
+
+    fn func(src: &str, name: &str) -> Function {
+        let m = lower_source(src).expect("lowering");
+        m.func_by_name(name).expect("function").clone()
+    }
+
+    #[test]
+    fn straight_line_dominance() {
+        let f = func("func f() {\n a := 1\n _ = a\n}", "f");
+        let dom = Dominators::compute(&f);
+        assert!(dom.dominates(BlockId(0), BlockId(0)));
+    }
+
+    #[test]
+    fn branch_join_dominance() {
+        // entry dominates all; neither arm dominates the join.
+        let f = func(
+            "func f(c bool) {\n if c {\n  a()\n } else {\n  b()\n }\n done()\n}",
+            "f",
+        );
+        let dom = Dominators::compute(&f);
+        // Entry is block 0; then/else are 1 and 2; join is 3 (per lowering).
+        assert!(dom.dominates(BlockId(0), BlockId(1)));
+        assert!(dom.dominates(BlockId(0), BlockId(2)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn join_postdominates_arms_when_no_return() {
+        let f = func(
+            "func f(c bool) {\n if c {\n  a()\n } else {\n  b()\n }\n done()\n}",
+            "f",
+        );
+        let pdom = PostDominators::compute(&f);
+        assert!(pdom.post_dominates(BlockId(3), BlockId(0)));
+        assert!(pdom.post_dominates(BlockId(3), BlockId(1)));
+        assert!(pdom.post_dominates(BlockId(3), BlockId(2)));
+    }
+
+    #[test]
+    fn early_return_breaks_postdominance() {
+        let f = func(
+            "func f(c bool) {\n if c {\n  return\n }\n done()\n}",
+            "f",
+        );
+        let pdom = PostDominators::compute(&f);
+        // The join (done()) does not post-dominate the entry because the
+        // then-arm returns.
+        let dom = Dominators::compute(&f);
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!pdom.post_dominates(BlockId(3), BlockId(0)));
+    }
+
+    #[test]
+    fn loop_head_dominates_body() {
+        let f = func("func f(n int) {\n for i := 0; i < n; i++ {\n  w(i)\n }\n}", "f");
+        let dom = Dominators::compute(&f);
+        // Block 1 is the loop head (condition); block 2 the body.
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(!dom.dominates(BlockId(2), BlockId(1)));
+    }
+
+    #[test]
+    fn predecessors_and_reachability() {
+        let f = func("func f(c bool) {\n if c {\n  a()\n }\n}", "f");
+        let preds = predecessors(&f);
+        // The join block has two predecessors (then arm and empty else arm).
+        let join_preds = preds.iter().filter(|p| p.len() == 2).count();
+        assert!(join_preds >= 1);
+        assert_eq!(reachable_blocks(&f).len(), f.blocks.len());
+    }
+}

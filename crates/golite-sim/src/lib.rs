@@ -1,0 +1,413 @@
+//! # golite-sim — a deterministic-seeded goroutine scheduler for GoLite
+//!
+//! The GCatch/GFix paper validates patches and measures their overhead by
+//! running each buggy application's unit tests on real hardware, injecting
+//! random-length sleeps around the channel operations involved in each bug
+//! (§5.3). This crate is the testbed substitute: an interpreter for the
+//! [`golite_ir`] IR with full Go channel semantics and a seeded random
+//! scheduler, able to
+//!
+//! * realize blocking bugs dynamically (goroutine leaks and global
+//!   deadlocks are first-class [`Outcome`]s),
+//! * validate GFix patches differentially (buggy program blocks under some
+//!   seed, patched program never blocks, outputs agree on clean runs), and
+//! * measure patch overhead as executed-instruction counts.
+//!
+//! # Examples
+//!
+//! The Figure 1 Docker bug leaks its child goroutine when the context is
+//! cancelled first; the simulator finds a seed that realizes the leak:
+//!
+//! ```
+//! let module = golite_ir::lower_source(r#"
+//! func main() {
+//!     ctx, cancel := context.WithCancel(context.Background())
+//!     outDone := make(chan error)
+//!     go func() {
+//!         outDone <- nil
+//!     }()
+//!     cancel()
+//!     select {
+//!     case <-outDone:
+//!     case <-ctx.Done():
+//!     }
+//! }
+//! "#).unwrap();
+//! let sim = golite_sim::Simulator::new(&module);
+//! let reports = sim.explore(&golite_sim::Config::default(), 0..40);
+//! assert!(reports.iter().any(|r| r.is_blocking()), "some schedule leaks the child");
+//! assert!(reports.iter().any(|r| !r.is_blocking()), "some schedule completes");
+//! ```
+
+#![warn(missing_docs)]
+
+mod machine;
+
+pub use machine::{
+    BlockReason, BlockedGoroutine, Config, Outcome, RunReport, Simulator, Value,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_src(src: &str, seed: u64) -> RunReport {
+        let module = golite_ir::lower_source(src).expect("lowering");
+        let sim = Simulator::new(&module);
+        sim.run(&Config { seed, ..Config::default() })
+    }
+
+    fn explore_src(src: &str, n: u64) -> Vec<RunReport> {
+        let module = golite_ir::lower_source(src).expect("lowering");
+        let sim = Simulator::new(&module);
+        sim.explore(&Config::default(), 0..n)
+    }
+
+    #[test]
+    fn buffered_send_recv_completes() {
+        let r = run_src("func main() {\n ch := make(chan int, 1)\n ch <- 42\n x := <-ch\n _ = x\n}", 0);
+        assert_eq!(r.outcome, Outcome::Clean);
+    }
+
+    #[test]
+    fn unbuffered_rendezvous_completes() {
+        for seed in 0..10 {
+            let r = run_src(
+                "func main() {\n ch := make(chan int)\n go func() {\n  ch <- 7\n }()\n x := <-ch\n _ = x\n}",
+                seed,
+            );
+            assert_eq!(r.outcome, Outcome::Clean, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn self_deadlock_detected() {
+        let r = run_src("func main() {\n ch := make(chan int)\n ch <- 1\n}", 0);
+        assert_eq!(r.outcome, Outcome::GlobalDeadlock);
+        assert_eq!(r.blocked.len(), 1);
+        assert!(matches!(r.blocked[0].reason, BlockReason::Send(_)));
+    }
+
+    #[test]
+    fn child_leak_detected() {
+        // The child sends on an unbuffered channel nobody receives from
+        // after main takes the other select case.
+        let reports = explore_src(
+            "func main() {\n done := make(chan int)\n stop := make(chan int, 1)\n stop <- 1\n go func() {\n  done <- 1\n }()\n select {\n case <-done:\n case <-stop:\n }\n}",
+            50,
+        );
+        assert!(reports.iter().any(|r| r.outcome == Outcome::Leak));
+        assert!(reports.iter().any(|r| r.outcome == Outcome::Clean));
+    }
+
+    #[test]
+    fn closed_channel_receives_zero_values() {
+        let r = run_src(
+            "func main() {\n ch := make(chan int, 1)\n ch <- 5\n close(ch)\n a, ok1 := <-ch\n b, ok2 := <-ch\n fmt.Println(a, ok1, b, ok2)\n}",
+            0,
+        );
+        assert_eq!(r.outcome, Outcome::Clean);
+        assert_eq!(r.output, vec!["5 true <nil> false"]);
+    }
+
+    #[test]
+    fn send_on_closed_channel_panics() {
+        let r = run_src("func main() {\n ch := make(chan int, 1)\n close(ch)\n ch <- 1\n}", 0);
+        assert!(matches!(r.outcome, Outcome::Panic(_)));
+    }
+
+    #[test]
+    fn close_of_closed_channel_panics() {
+        let r = run_src("func main() {\n ch := make(chan int)\n close(ch)\n close(ch)\n}", 0);
+        assert!(matches!(r.outcome, Outcome::Panic(_)));
+    }
+
+    #[test]
+    fn nil_channel_blocks_forever() {
+        let r = run_src("func main() {\n var ch chan int\n <-ch\n}", 0);
+        assert_eq!(r.outcome, Outcome::GlobalDeadlock);
+        assert!(matches!(r.blocked[0].reason, BlockReason::NilChannelOp));
+    }
+
+    #[test]
+    fn select_prefers_ready_case() {
+        let r = run_src(
+            "func main() {\n a := make(chan int, 1)\n b := make(chan int)\n a <- 1\n select {\n case v := <-a:\n  fmt.Println(v)\n case <-b:\n  fmt.Println(99)\n }\n}",
+            3,
+        );
+        assert_eq!(r.outcome, Outcome::Clean);
+        assert_eq!(r.output, vec!["1"]);
+    }
+
+    #[test]
+    fn select_default_when_nothing_ready() {
+        let r = run_src(
+            "func main() {\n ch := make(chan int)\n select {\n case <-ch:\n  fmt.Println(1)\n default:\n  fmt.Println(2)\n }\n}",
+            0,
+        );
+        assert_eq!(r.output, vec!["2"]);
+    }
+
+    #[test]
+    fn select_blocks_without_default_then_unblocks() {
+        for seed in 0..10 {
+            let r = run_src(
+                "func main() {\n ch := make(chan int)\n go func() {\n  ch <- 5\n }()\n select {\n case v := <-ch:\n  fmt.Println(v)\n }\n}",
+                seed,
+            );
+            assert_eq!(r.outcome, Outcome::Clean, "seed {seed}");
+            assert_eq!(r.output, vec!["5"]);
+        }
+    }
+
+    #[test]
+    fn mutex_mutual_exclusion() {
+        // Two goroutines increment a shared struct field under a lock; the
+        // final value must be deterministic despite scheduling.
+        let src = r#"
+type Counter struct {
+    mu sync.Mutex
+    n int
+}
+
+func bump(c *Counter, done chan struct{}, iters int) {
+    for i := 0; i < iters; i++ {
+        c.mu.Lock()
+        c.n = c.n + 1
+        c.mu.Unlock()
+    }
+    done <- struct{}{}
+}
+
+func main() {
+    c := Counter{n: 0}
+    done := make(chan struct{}, 2)
+    go bump(&c, done, 10)
+    go bump(&c, done, 10)
+    <-done
+    <-done
+    fmt.Println(c.n)
+}
+"#;
+        for seed in 0..10 {
+            let r = run_src(src, seed);
+            assert_eq!(r.outcome, Outcome::Clean, "seed {seed}");
+            assert_eq!(r.output, vec!["20"], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn double_lock_self_deadlocks() {
+        let r = run_src("func main() {\n var mu sync.Mutex\n mu.Lock()\n mu.Lock()\n}", 0);
+        assert_eq!(r.outcome, Outcome::GlobalDeadlock);
+        assert!(matches!(r.blocked[0].reason, BlockReason::Lock(_)));
+    }
+
+    #[test]
+    fn waitgroup_waits_for_children() {
+        let src = r#"
+func main() {
+    var wg sync.WaitGroup
+    total := make(chan int, 3)
+    wg.Add(3)
+    for i := 0; i < 3; i++ {
+        go func() {
+            total <- 1
+            wg.Done()
+        }()
+    }
+    wg.Wait()
+    s := 0
+    for i := 0; i < 3; i++ {
+        s = s + <-total
+    }
+    fmt.Println(s)
+}
+"#;
+        for seed in 0..10 {
+            let r = run_src(src, seed);
+            assert_eq!(r.outcome, Outcome::Clean, "seed {seed}");
+            assert_eq!(r.output, vec!["3"]);
+        }
+    }
+
+    #[test]
+    fn defer_runs_on_return() {
+        let r = run_src(
+            "func main() {\n ch := make(chan int, 1)\n defer func() {\n  fmt.Println(\"deferred\")\n }()\n ch <- 1\n fmt.Println(\"body\")\n}",
+            0,
+        );
+        assert_eq!(r.output, vec!["body", "deferred"]);
+    }
+
+    #[test]
+    fn defer_close_unblocks_ranger() {
+        let src = r#"
+func produce(ch chan int) {
+    defer close(ch)
+    for i := 0; i < 3; i++ {
+        ch <- i
+    }
+}
+
+func main() {
+    ch := make(chan int)
+    go produce(ch)
+    s := 0
+    for v := range ch {
+        s = s + v
+    }
+    fmt.Println(s)
+}
+"#;
+        for seed in 0..10 {
+            let r = run_src(src, seed);
+            assert_eq!(r.outcome, Outcome::Clean, "seed {seed}");
+            assert_eq!(r.output, vec!["3"]);
+        }
+    }
+
+    #[test]
+    fn fatal_stops_goroutine_running_defers() {
+        // Figure 3 shape: Fatal skips the final send, leaking the child —
+        // unless a defer provides it.
+        let src_buggy = r#"
+func Start(stop chan struct{}) {
+    <-stop
+}
+
+func TestX(t *testing.T) {
+    stop := make(chan struct{})
+    go Start(stop)
+    t.Fatalf("boom")
+    stop <- struct{}{}
+}
+"#;
+        let module = golite_ir::lower_source(src_buggy).unwrap();
+        let sim = Simulator::new(&module);
+        let r = sim.run(&Config { entry: "TestX".into(), ..Config::default() });
+        assert_eq!(r.outcome, Outcome::Leak, "child leaks when Fatal fires");
+
+        let src_fixed = r#"
+func Start(stop chan struct{}) {
+    <-stop
+}
+
+func TestX(t *testing.T) {
+    stop := make(chan struct{})
+    defer func() {
+        stop <- struct{}{}
+    }()
+    go Start(stop)
+    t.Fatalf("boom")
+}
+"#;
+        let module = golite_ir::lower_source(src_fixed).unwrap();
+        let sim = Simulator::new(&module);
+        for seed in 0..10 {
+            let r = sim.run(&Config { entry: "TestX".into(), seed, ..Config::default() });
+            assert_eq!(r.outcome, Outcome::Clean, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn figure1_docker_bug_leaks_under_some_schedule() {
+        let src = r#"
+func StdCopy() error {
+    return nil
+}
+
+func main() {
+    ctx, cancel := context.WithCancel(context.Background())
+    outDone := make(chan error)
+    go func() {
+        err := StdCopy()
+        outDone <- err
+    }()
+    cancel()
+    select {
+    case err := <-outDone:
+        _ = err
+    case <-ctx.Done():
+    }
+}
+"#;
+        let reports = explore_src(src, 60);
+        assert!(
+            reports.iter().any(|r| r.outcome == Outcome::Leak),
+            "the ctx.Done() race must leak under some schedule"
+        );
+        // And the Figure 1 patch (buffer size 1) never blocks.
+        let fixed = src.replace("make(chan error)", "make(chan error, 1)");
+        let reports = explore_src(&fixed, 60);
+        assert!(reports.iter().all(|r| !r.is_blocking()), "patched program never blocks");
+    }
+
+    #[test]
+    fn timer_select_timeout_path() {
+        let r = run_src(
+            "func main() {\n ch := make(chan int)\n select {\n case <-ch:\n  fmt.Println(\"data\")\n case <-time.After(5):\n  fmt.Println(\"timeout\")\n }\n}",
+            1,
+        );
+        assert_eq!(r.outcome, Outcome::Clean);
+        assert_eq!(r.output, vec!["timeout"]);
+    }
+
+    #[test]
+    fn sleep_injection_still_terminates() {
+        let module = golite_ir::lower_source(
+            "func main() {\n ch := make(chan int)\n go func() {\n  ch <- 1\n }()\n <-ch\n}",
+        )
+        .unwrap();
+        let sim = Simulator::new(&module);
+        for seed in 0..10 {
+            let r = sim.run(&Config { seed, sleep_injection: true, ..Config::default() });
+            assert_eq!(r.outcome, Outcome::Clean, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn instruction_count_is_deterministic_per_seed() {
+        let src = "func main() {\n ch := make(chan int, 4)\n for i := 0; i < 4; i++ {\n  ch <- i\n }\n s := 0\n for i := 0; i < 4; i++ {\n  s = s + <-ch\n }\n fmt.Println(s)\n}";
+        let a = run_src(src, 7);
+        let b = run_src(src, 7);
+        assert_eq!(a.instrs_executed, b.instrs_executed);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.output, vec!["6"]);
+    }
+
+    #[test]
+    fn step_limit_reports_cleanly() {
+        let module = golite_ir::lower_source("func main() {\n for {\n  x := 1\n  _ = x\n }\n}").unwrap();
+        let sim = Simulator::new(&module);
+        let r = sim.run(&Config { max_steps: 100, ..Config::default() });
+        assert_eq!(r.outcome, Outcome::StepLimit);
+    }
+
+    #[test]
+    fn global_initializers_run_before_main() {
+        let r = run_src("var n int = 41\nfunc main() {\n fmt.Println(n + 1)\n}", 0);
+        assert_eq!(r.output, vec!["42"]);
+    }
+
+    #[test]
+    fn cond_signal_wakes_waiter() {
+        let src = r#"
+func main() {
+    var c sync.Cond
+    done := make(chan int, 1)
+    go func() {
+        c.Wait()
+        done <- 1
+    }()
+    time.Sleep(3)
+    c.Signal()
+    <-done
+}
+"#;
+        for seed in 0..5 {
+            let r = run_src(src, seed);
+            assert_eq!(r.outcome, Outcome::Clean, "seed {seed}");
+        }
+    }
+}

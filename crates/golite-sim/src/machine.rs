@@ -1,0 +1,1516 @@
+//! The goroutine scheduler and IR interpreter.
+//!
+//! The simulator executes a lowered [`Module`] under a seeded random
+//! scheduler with Go channel semantics: unbuffered rendezvous, buffered FIFO
+//! queues, `close` broadcast, `select` with uniform choice among ready cases,
+//! mutexes/rwmutexes, wait groups, condition variables, `defer` (LIFO, run on
+//! return, panic-free subset), and `t.Fatal`'s goroutine-exit semantics.
+//!
+//! Scheduling is one instruction per step, picking uniformly among runnable
+//! goroutines, which realizes the interleaving non-determinism the paper's
+//! bug patterns depend on. With `sleep_injection` enabled the scheduler
+//! additionally skips goroutines that are about to perform a channel
+//! operation with some probability — the "random-length sleeps around the
+//! channel operations" the authors use to validate patches (§5.3).
+
+use golite_ir::ir::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Zero value of reference types; also the `error` nil.
+    Nil,
+    /// The unit value `struct{}{}`.
+    Unit,
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String (also non-nil `error` values).
+    Str(Rc<str>),
+    /// Channel reference.
+    Chan(usize),
+    /// Mutex reference.
+    Mutex(usize),
+    /// Wait-group reference.
+    WaitGroup(usize),
+    /// Condition-variable reference.
+    Cond(usize),
+    /// Struct object reference.
+    Struct(usize),
+    /// Slice reference.
+    Slice(usize),
+    /// A function value with bound captures.
+    Closure {
+        /// Target function.
+        func: FuncId,
+        /// Captured values.
+        bound: Rc<Vec<Value>>,
+    },
+}
+
+impl Value {
+    fn truthy(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// Structural/reference equality matching Go `==` for the GoLite subset.
+    fn eq_value(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Nil, Value::Chan(_)) | (Value::Chan(_), Value::Nil) => false,
+            (Value::Nil, Value::Str(_)) | (Value::Str(_), Value::Nil) => false,
+            (Value::Nil, _) | (_, Value::Nil) => false,
+            (Value::Unit, Value::Unit) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Chan(a), Value::Chan(b)) => a == b,
+            (Value::Mutex(a), Value::Mutex(b)) => a == b,
+            (Value::Struct(a), Value::Struct(b)) => a == b,
+            (Value::Slice(a), Value::Slice(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Value::Nil => "<nil>".into(),
+            Value::Unit => "{}".into(),
+            Value::Int(v) => v.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => s.to_string(),
+            Value::Chan(i) => format!("chan#{i}"),
+            Value::Mutex(i) => format!("mutex#{i}"),
+            Value::WaitGroup(i) => format!("wg#{i}"),
+            Value::Cond(i) => format!("cond#{i}"),
+            Value::Struct(i) => format!("struct#{i}"),
+            Value::Slice(i) => format!("slice#{i}"),
+            Value::Closure { func, .. } => format!("func#{}", func.0),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ChanState {
+    cap: usize,
+    buf: VecDeque<Value>,
+    closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    locked: bool,
+    readers: usize,
+}
+
+#[derive(Debug, Default)]
+struct WgState {
+    count: i64,
+}
+
+#[derive(Debug, Default)]
+struct CondState {
+    /// Goroutine ids currently waiting.
+    waiters: Vec<usize>,
+    /// Wake tokens granted by Signal/Broadcast.
+    wakes: Vec<usize>,
+}
+
+/// Why a goroutine cannot currently run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockReason {
+    /// Blocked sending on a channel.
+    Send(usize),
+    /// Blocked sending on a nil channel (blocks forever).
+    NilChannelOp,
+    /// Blocked receiving on a channel.
+    Recv(usize),
+    /// Blocked in a `select` with the given channels (send?, chan id).
+    Select(Vec<(bool, usize)>),
+    /// Blocked acquiring a mutex.
+    Lock(usize),
+    /// Blocked in `WaitGroup.Wait`.
+    WgWait(usize),
+    /// Blocked in `Cond.Wait`.
+    CondWait(usize),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum GoState {
+    Runnable,
+    Blocked(BlockReason),
+    Sleeping(u64),
+    Done,
+}
+
+/// A pending deferred call.
+#[derive(Debug, Clone)]
+struct Deferred {
+    target: CallTarget,
+    args: Vec<Value>,
+}
+
+#[derive(Debug, Clone)]
+enum CallTarget {
+    Func(FuncId, Vec<Value>), // with bound captures
+    External,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    regs: Vec<Value>,
+    block: BlockId,
+    idx: usize,
+    defers: Vec<Deferred>,
+    /// Result registers in the *caller* awaiting this frame's return.
+    ret_dsts: Vec<Var>,
+    /// Set once a return/goexit started; defers drain before the pop.
+    ret_vals: Option<Vec<Value>>,
+    /// Whether the frame is a deferred-call frame (returns are absorbed).
+    is_defer: bool,
+}
+
+#[derive(Debug)]
+struct Goroutine {
+    id: usize,
+    frames: Vec<Frame>,
+    state: GoState,
+    /// Set when `t.Fatal` fired: unwind everything, running defers.
+    goexit: bool,
+    /// Source location where the goroutine was spawned (kept for debug dumps).
+    #[allow(dead_code)]
+    spawn_loc: Option<Loc>,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// RNG seed for the scheduler.
+    pub seed: u64,
+    /// Abort after this many scheduler steps.
+    pub max_steps: u64,
+    /// Entry function name.
+    pub entry: String,
+    /// Randomly delay goroutines at channel operations (§5.3 validation).
+    pub sleep_injection: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { seed: 0, max_steps: 200_000, entry: "main".into(), sleep_injection: false }
+    }
+}
+
+/// How a simulation ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Every goroutine finished.
+    Clean,
+    /// The entry goroutine finished but some goroutines remain blocked
+    /// forever — the paper's "blocked bug" (goroutine leak).
+    Leak,
+    /// Every live goroutine is blocked (classic global deadlock).
+    GlobalDeadlock,
+    /// A goroutine panicked (including send/close on closed channel).
+    Panic(String),
+    /// The step budget ran out with runnable goroutines remaining.
+    StepLimit,
+}
+
+/// A blocked-goroutine description in a [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct BlockedGoroutine {
+    /// Goroutine id (0 = entry).
+    pub id: usize,
+    /// Function at the top of its stack.
+    pub func: String,
+    /// Why it is blocked.
+    pub reason: BlockReason,
+    /// Source span of the blocking operation.
+    pub span: golite::Span,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// Scheduler steps taken.
+    pub steps: u64,
+    /// Instructions actually executed (the overhead metric of §5.3).
+    pub instrs_executed: u64,
+    /// Lines printed by the program.
+    pub output: Vec<String>,
+    /// Goroutines still blocked at the end.
+    pub blocked: Vec<BlockedGoroutine>,
+}
+
+impl RunReport {
+    /// Whether this run exhibits a blocking bug (leak or global deadlock).
+    pub fn is_blocking(&self) -> bool {
+        matches!(self.outcome, Outcome::Leak | Outcome::GlobalDeadlock)
+    }
+}
+
+/// The simulator. Construct once per module, then [`Simulator::run`] under
+/// as many seeds as desired.
+///
+/// # Examples
+///
+/// ```
+/// let module = golite_ir::lower_source("
+/// func main() {
+///     ch := make(chan int, 1)
+///     ch <- 42
+///     <-ch
+/// }
+/// ").unwrap();
+/// let sim = golite_sim::Simulator::new(&module);
+/// let report = sim.run(&golite_sim::Config::default());
+/// assert_eq!(report.outcome, golite_sim::Outcome::Clean);
+/// ```
+pub struct Simulator<'m> {
+    module: &'m Module,
+}
+
+struct Machine<'m> {
+    module: &'m Module,
+    chans: Vec<ChanState>,
+    mutexes: Vec<MutexState>,
+    wgs: Vec<WgState>,
+    conds: Vec<CondState>,
+    structs: Vec<std::collections::HashMap<String, Value>>,
+    slices: Vec<Vec<Value>>,
+    globals: Vec<Value>,
+    goroutines: Vec<Goroutine>,
+    rng: StdRng,
+    tick: u64,
+    steps: u64,
+    instrs: u64,
+    output: Vec<String>,
+    panic_msg: Option<String>,
+    sleep_injection: bool,
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator for `module`.
+    pub fn new(module: &'m Module) -> Simulator<'m> {
+        Simulator { module }
+    }
+
+    /// Runs the program once under the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry function does not exist or takes parameters other
+    /// than an optional `*testing.T` (which receives a dummy value).
+    pub fn run(&self, config: &Config) -> RunReport {
+        let entry = self
+            .module
+            .func_by_name(&config.entry)
+            .unwrap_or_else(|| panic!("entry function `{}` not found", config.entry));
+        let mut m = Machine {
+            module: self.module,
+            chans: Vec::new(),
+            mutexes: Vec::new(),
+            wgs: Vec::new(),
+            conds: Vec::new(),
+            structs: Vec::new(),
+            slices: Vec::new(),
+            globals: vec![Value::Nil; self.module.globals.len()],
+            goroutines: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            tick: 0,
+            steps: 0,
+            instrs: 0,
+            output: Vec::new(),
+            panic_msg: None,
+            sleep_injection: config.sleep_injection,
+        };
+        // Run __init (global initializers) to completion first, if present.
+        if let Some(init) = self.module.func_by_name("__init") {
+            m.spawn_frame(init.id, vec![], None);
+            m.run_scheduler(u64::MAX, true);
+            m.goroutines.clear();
+        }
+        // Entry goroutine; a *testing.T parameter receives a dummy value.
+        let args: Vec<Value> =
+            entry.params.iter().map(|_| Value::Nil).collect();
+        m.spawn_frame(entry.id, args, None);
+        m.run_scheduler(config.max_steps, false);
+        m.report()
+    }
+
+    /// Runs under many seeds, returning every report. Used by GFix's patch
+    /// validation and by the differential tests.
+    pub fn explore(&self, base: &Config, seeds: std::ops::Range<u64>) -> Vec<RunReport> {
+        seeds
+            .map(|seed| {
+                let mut c = base.clone();
+                c.seed = seed;
+                self.run(&c)
+            })
+            .collect()
+    }
+}
+
+impl<'m> Machine<'m> {
+    fn spawn_frame(&mut self, func: FuncId, args: Vec<Value>, spawn_loc: Option<Loc>) {
+        let f = self.module.func(func);
+        let mut regs = vec![Value::Nil; f.var_names.len()];
+        for (i, a) in args.into_iter().enumerate() {
+            if let Some(&p) = f.params.get(i) {
+                regs[p.0 as usize] = a;
+            }
+        }
+        let frame = Frame {
+            func,
+            regs,
+            block: BlockId(0),
+            idx: 0,
+            defers: Vec::new(),
+            ret_dsts: Vec::new(),
+            ret_vals: None,
+            is_defer: false,
+        };
+        let id = self.goroutines.len();
+        self.goroutines.push(Goroutine {
+            id,
+            frames: vec![frame],
+            state: GoState::Runnable,
+            goexit: false,
+            spawn_loc,
+        });
+    }
+
+    fn report(&mut self) -> RunReport {
+        let blocked = self.collect_blocked();
+        let outcome = if let Some(msg) = &self.panic_msg {
+            Outcome::Panic(msg.clone())
+        } else if self.steps == u64::MAX {
+            Outcome::StepLimit
+        } else if blocked.is_empty() {
+            Outcome::Clean
+        } else if self.goroutines.first().is_some_and(|g| g.state == GoState::Done) {
+            Outcome::Leak
+        } else {
+            Outcome::GlobalDeadlock
+        };
+        RunReport {
+            outcome,
+            steps: self.steps,
+            instrs_executed: self.instrs,
+            output: std::mem::take(&mut self.output),
+            blocked,
+        }
+    }
+
+    fn collect_blocked(&self) -> Vec<BlockedGoroutine> {
+        self.goroutines
+            .iter()
+            .filter_map(|g| match &g.state {
+                GoState::Blocked(reason) => {
+                    let top = g.frames.last()?;
+                    let f = self.module.func(top.func);
+                    let span = f
+                        .blocks
+                        .get(top.block.0 as usize)
+                        .and_then(|b| {
+                            if top.idx < b.instrs.len() {
+                                b.spans.get(top.idx).copied()
+                            } else {
+                                Some(b.term_span)
+                            }
+                        })
+                        .unwrap_or_default();
+                    Some(BlockedGoroutine {
+                        id: g.id,
+                        func: f.name.clone(),
+                        reason: reason.clone(),
+                        span,
+                    })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn run_scheduler(&mut self, max_steps: u64, init_mode: bool) {
+        let mut budget = max_steps;
+        loop {
+            if self.panic_msg.is_some() {
+                return;
+            }
+            if budget == 0 {
+                self.steps = u64::MAX; // marks StepLimit in report()
+                return;
+            }
+            // Wake sleepers whose deadline passed; collect runnables.
+            let mut runnable: Vec<usize> = Vec::new();
+            let mut min_wake: Option<u64> = None;
+            for g in &mut self.goroutines {
+                match g.state {
+                    GoState::Sleeping(until) if until <= self.tick => {
+                        g.state = GoState::Runnable;
+                        runnable.push(g.id);
+                    }
+                    GoState::Sleeping(until) => {
+                        min_wake = Some(min_wake.map_or(until, |w: u64| w.min(until)));
+                    }
+                    GoState::Runnable => runnable.push(g.id),
+                    _ => {}
+                }
+            }
+            // Blocked goroutines may have become unblockable; try them too.
+            let blocked: Vec<usize> = self
+                .goroutines
+                .iter()
+                .filter(|g| matches!(g.state, GoState::Blocked(_)))
+                .map(|g| g.id)
+                .collect();
+
+            if runnable.is_empty() {
+                // Try to resolve a blocked goroutine (rendezvous pairing).
+                let mut progressed = false;
+                for &gid in &blocked {
+                    if self.try_unblock(gid) {
+                        progressed = true;
+                        break;
+                    }
+                }
+                if progressed {
+                    continue;
+                }
+                if let Some(wake) = min_wake {
+                    self.tick = wake; // fast-forward time
+                    continue;
+                }
+                // No runnable, no sleeper, nothing unblockable: done or stuck.
+                return;
+            }
+
+            // Also opportunistically unblock one blocked goroutine per round
+            // so rendezvous pairs resolve even while others run.
+            if !blocked.is_empty() {
+                let pick = blocked[self.rng.gen_range(0..blocked.len())];
+                let _ = self.try_unblock(pick);
+            }
+
+            let gid = runnable[self.rng.gen_range(0..runnable.len())];
+            self.steps += 1;
+            self.tick += 1;
+            budget -= 1;
+            self.step(gid, init_mode);
+        }
+    }
+
+    /// Attempts to unblock goroutine `gid` by re-checking its block reason
+    /// (including rendezvous pairing). Returns true if it made progress.
+    fn try_unblock(&mut self, gid: usize) -> bool {
+        let reason = match &self.goroutines[gid].state {
+            GoState::Blocked(r) => r.clone(),
+            _ => return false,
+        };
+        match reason {
+            BlockReason::NilChannelOp => false,
+            BlockReason::Send(ch) => self.try_send_blocked(gid, ch),
+            BlockReason::Recv(ch) => self.try_recv_blocked(gid, ch),
+            BlockReason::Select(_) => self.try_select_blocked(gid),
+            BlockReason::Lock(mu) => {
+                let read = match self.current_instr(gid) {
+                    Some(Instr::Lock { read, .. }) => *read,
+                    _ => false,
+                };
+                if self.can_lock(mu, read) {
+                    self.do_lock(mu, read);
+                    self.advance(gid);
+                    self.goroutines[gid].state = GoState::Runnable;
+                    true
+                } else {
+                    false
+                }
+            }
+            BlockReason::WgWait(wg) => {
+                if self.wgs[wg].count <= 0 {
+                    self.advance(gid);
+                    self.goroutines[gid].state = GoState::Runnable;
+                    true
+                } else {
+                    false
+                }
+            }
+            BlockReason::CondWait(c) => {
+                if let Some(pos) =
+                    self.conds[c].wakes.iter().position(|&w| w == gid)
+                {
+                    self.conds[c].wakes.remove(pos);
+                    self.conds[c].waiters.retain(|&w| w != gid);
+                    self.advance(gid);
+                    self.goroutines[gid].state = GoState::Runnable;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ stepping
+
+    fn current_instr(&self, gid: usize) -> Option<&Instr> {
+        let frame = self.goroutines[gid].frames.last()?;
+        let f = self.module.func(frame.func);
+        f.blocks.get(frame.block.0 as usize)?.instrs.get(frame.idx)
+    }
+
+    fn advance(&mut self, gid: usize) {
+        if let Some(frame) = self.goroutines[gid].frames.last_mut() {
+            frame.idx += 1;
+        }
+    }
+
+    fn eval(&self, gid: usize, op: &Operand) -> Value {
+        match op {
+            Operand::Var(v) => {
+                let frame = self.goroutines[gid].frames.last().expect("live frame");
+                frame.regs[v.0 as usize].clone()
+            }
+            Operand::Const(c) => match c {
+                ConstVal::Int(v) => Value::Int(*v),
+                ConstVal::Bool(b) => Value::Bool(*b),
+                ConstVal::Str(s) => Value::Str(Rc::from(s.as_str())),
+                ConstVal::Unit => Value::Unit,
+                ConstVal::Nil => Value::Nil,
+                ConstVal::Func(f) => Value::Closure { func: *f, bound: Rc::new(vec![]) },
+            },
+        }
+    }
+
+    fn set_reg(&mut self, gid: usize, var: Var, value: Value) {
+        let frame = self.goroutines[gid].frames.last_mut().expect("live frame");
+        frame.regs[var.0 as usize] = value;
+    }
+
+    fn block_on(&mut self, gid: usize, reason: BlockReason) {
+        self.goroutines[gid].state = GoState::Blocked(reason);
+    }
+
+    fn panic_program(&mut self, msg: impl Into<String>) {
+        self.panic_msg = Some(msg.into());
+    }
+
+    /// Executes one step of goroutine `gid`: either its current instruction
+    /// or its block terminator.
+    fn step(&mut self, gid: usize, init_mode: bool) {
+        let _ = init_mode;
+        let Some(frame) = self.goroutines[gid].frames.last() else {
+            self.goroutines[gid].state = GoState::Done;
+            return;
+        };
+        // A frame in return-unwinding mode drains defers first.
+        if self.goroutines[gid].frames.last().expect("checked").ret_vals.is_some() {
+            self.continue_unwind(gid);
+            return;
+        }
+        let func = frame.func;
+        let block = frame.block;
+        let idx = frame.idx;
+        let f = self.module.func(func);
+        let blk = &f.blocks[block.0 as usize];
+
+        if idx < blk.instrs.len() {
+            // Sleep-injection: randomly delay goroutines at channel ops.
+            if self.sleep_injection
+                && blk.instrs[idx].can_block()
+                && self.rng.gen_bool(0.3)
+            {
+                let delay = self.rng.gen_range(1..5);
+                self.goroutines[gid].state = GoState::Sleeping(self.tick + delay);
+                return;
+            }
+            let instr = blk.instrs[idx].clone();
+            self.instrs += 1;
+            self.exec_instr(gid, &instr);
+        } else {
+            let term = blk.term.clone();
+            self.instrs += 1;
+            self.exec_term(gid, &term);
+        }
+    }
+
+    fn exec_instr(&mut self, gid: usize, instr: &Instr) {
+        match instr {
+            Instr::Const { dst, value } => {
+                let v = self.eval(gid, &Operand::Const(value.clone()));
+                self.set_reg(gid, *dst, v);
+                self.advance(gid);
+            }
+            Instr::Copy { dst, src } => {
+                let v = self.eval(gid, src);
+                self.set_reg(gid, *dst, v);
+                self.advance(gid);
+            }
+            Instr::UnOp { dst, op, src } => {
+                let v = self.eval(gid, src);
+                let out = match (op, v) {
+                    (golite::UnOp::Neg, Value::Int(i)) => Value::Int(-i),
+                    (golite::UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                    (_, other) => other,
+                };
+                self.set_reg(gid, *dst, out);
+                self.advance(gid);
+            }
+            Instr::BinOp { dst, op, l, r } => {
+                let lv = self.eval(gid, l);
+                let rv = self.eval(gid, r);
+                let out = self.eval_binop(*op, lv, rv);
+                self.set_reg(gid, *dst, out);
+                self.advance(gid);
+            }
+            Instr::MakeChan { dst, cap, .. } => {
+                let cap = match self.eval(gid, cap) {
+                    Value::Int(n) if n >= 0 => n as usize,
+                    _ => 0,
+                };
+                let id = self.chans.len();
+                self.chans.push(ChanState { cap, buf: VecDeque::new(), closed: false });
+                self.set_reg(gid, *dst, Value::Chan(id));
+                self.advance(gid);
+            }
+            Instr::MakeMutex { dst, .. } => {
+                let id = self.mutexes.len();
+                self.mutexes.push(MutexState::default());
+                self.set_reg(gid, *dst, Value::Mutex(id));
+                self.advance(gid);
+            }
+            Instr::MakeWaitGroup { dst } => {
+                let id = self.wgs.len();
+                self.wgs.push(WgState::default());
+                self.set_reg(gid, *dst, Value::WaitGroup(id));
+                self.advance(gid);
+            }
+            Instr::MakeCond { dst } => {
+                let id = self.conds.len();
+                self.conds.push(CondState::default());
+                self.set_reg(gid, *dst, Value::Cond(id));
+                self.advance(gid);
+            }
+            Instr::MakeStruct { dst, fields, name } => {
+                let mut map = std::collections::HashMap::new();
+                // Initialize declared primitive fields with fresh objects.
+                if let Some(decl) = self.module.struct_decl(name) {
+                    for (fname, fty) in &decl.fields {
+                        let v = match fty {
+                            golite::Type::Mutex | golite::Type::RwMutex => {
+                                let id = self.mutexes.len();
+                                self.mutexes.push(MutexState::default());
+                                Value::Mutex(id)
+                            }
+                            golite::Type::WaitGroup => {
+                                let id = self.wgs.len();
+                                self.wgs.push(WgState::default());
+                                Value::WaitGroup(id)
+                            }
+                            golite::Type::Int => Value::Int(0),
+                            golite::Type::Bool => Value::Bool(false),
+                            golite::Type::String => Value::Str(Rc::from("")),
+                            _ => Value::Nil,
+                        };
+                        map.insert(fname.clone(), v);
+                    }
+                }
+                for (fname, op) in fields {
+                    let v = self.eval(gid, op);
+                    map.insert(fname.clone(), v);
+                }
+                let id = self.structs.len();
+                self.structs.push(map);
+                self.set_reg(gid, *dst, Value::Struct(id));
+                self.advance(gid);
+            }
+            Instr::MakeSlice { dst, elems } => {
+                let vals: Vec<Value> = elems.iter().map(|e| self.eval(gid, e)).collect();
+                let id = self.slices.len();
+                self.slices.push(vals);
+                self.set_reg(gid, *dst, Value::Slice(id));
+                self.advance(gid);
+            }
+            Instr::MakeClosure { dst, func, bound } => {
+                let vals: Vec<Value> = bound.iter().map(|b| self.eval(gid, b)).collect();
+                self.set_reg(gid, *dst, Value::Closure { func: *func, bound: Rc::new(vals) });
+                self.advance(gid);
+            }
+            Instr::Len { dst, obj } => {
+                let n = match self.eval(gid, obj) {
+                    Value::Slice(s) => self.slices[s].len() as i64,
+                    Value::Str(s) => s.len() as i64,
+                    _ => 0,
+                };
+                self.set_reg(gid, *dst, Value::Int(n));
+                self.advance(gid);
+            }
+            Instr::IndexLoad { dst, obj, index } => {
+                let o = self.eval(gid, obj);
+                let i = match self.eval(gid, index) {
+                    Value::Int(i) => i,
+                    _ => 0,
+                };
+                match o {
+                    Value::Slice(s) => match self.slices[s].get(i as usize) {
+                        Some(v) => {
+                            let v = v.clone();
+                            self.set_reg(gid, *dst, v);
+                            self.advance(gid);
+                        }
+                        None => self.panic_program(format!("index out of range [{i}]")),
+                    },
+                    _ => self.panic_program("index of non-slice"),
+                }
+            }
+            Instr::IndexStore { obj, index, value } => {
+                let o = self.eval(gid, obj);
+                let i = match self.eval(gid, index) {
+                    Value::Int(i) => i,
+                    _ => 0,
+                };
+                let v = self.eval(gid, value);
+                match o {
+                    Value::Slice(s) => {
+                        let slice = &mut self.slices[s];
+                        if (i as usize) < slice.len() {
+                            slice[i as usize] = v;
+                            self.advance(gid);
+                        } else if i as usize == slice.len() {
+                            slice.push(v); // tolerate append-style writes
+                            self.advance(gid);
+                        } else {
+                            self.panic_program(format!("index out of range [{i}]"));
+                        }
+                    }
+                    _ => self.panic_program("index store into non-slice"),
+                }
+            }
+            Instr::FieldLoad { dst, obj, field } => {
+                let o = self.eval(gid, obj);
+                match o {
+                    Value::Struct(s) => {
+                        let v = self.structs[s].get(field).cloned().unwrap_or(Value::Nil);
+                        self.set_reg(gid, *dst, v);
+                        self.advance(gid);
+                    }
+                    Value::Nil => self.panic_program("nil pointer dereference"),
+                    _ => {
+                        self.set_reg(gid, *dst, Value::Nil);
+                        self.advance(gid);
+                    }
+                }
+            }
+            Instr::FieldStore { obj, field, value } => {
+                let o = self.eval(gid, obj);
+                let v = self.eval(gid, value);
+                match o {
+                    Value::Struct(s) => {
+                        self.structs[s].insert(field.clone(), v);
+                        self.advance(gid);
+                    }
+                    Value::Nil => self.panic_program("nil pointer dereference"),
+                    _ => self.advance(gid),
+                }
+            }
+            Instr::LoadGlobal { dst, global } => {
+                let v = self.globals[global.0 as usize].clone();
+                self.set_reg(gid, *dst, v);
+                self.advance(gid);
+            }
+            Instr::StoreGlobal { global, src } => {
+                let v = self.eval(gid, src);
+                self.globals[global.0 as usize] = v;
+                self.advance(gid);
+            }
+            Instr::Send { chan, value } => {
+                let c = self.eval(gid, chan);
+                match c {
+                    Value::Chan(ch) => {
+                        if !self.try_send_now(gid, ch, value) {
+                            self.block_on(gid, BlockReason::Send(ch));
+                        }
+                    }
+                    Value::Nil => self.block_on(gid, BlockReason::NilChannelOp),
+                    _ => self.panic_program("send on non-channel"),
+                }
+            }
+            Instr::Recv { chan, .. } => {
+                let c = self.eval(gid, chan);
+                match c {
+                    Value::Chan(ch) => {
+                        if !self.try_recv_now(gid, ch) {
+                            self.block_on(gid, BlockReason::Recv(ch));
+                        }
+                    }
+                    Value::Nil => self.block_on(gid, BlockReason::NilChannelOp),
+                    _ => self.panic_program("receive on non-channel"),
+                }
+            }
+            Instr::Close { chan } => {
+                let c = self.eval(gid, chan);
+                match c {
+                    Value::Chan(ch) => {
+                        if self.chans[ch].closed {
+                            self.panic_program("close of closed channel");
+                        } else {
+                            self.chans[ch].closed = true;
+                            self.advance(gid);
+                        }
+                    }
+                    Value::Nil => self.panic_program("close of nil channel"),
+                    _ => self.panic_program("close of non-channel"),
+                }
+            }
+            Instr::Lock { mutex, read } => {
+                let m = self.eval(gid, mutex);
+                match m {
+                    Value::Mutex(mu) => {
+                        if self.can_lock(mu, *read) {
+                            self.do_lock(mu, *read);
+                            self.advance(gid);
+                        } else {
+                            self.block_on(gid, BlockReason::Lock(mu));
+                        }
+                    }
+                    _ => self.panic_program("lock of non-mutex"),
+                }
+            }
+            Instr::Unlock { mutex, read } => {
+                let m = self.eval(gid, mutex);
+                match m {
+                    Value::Mutex(mu) => {
+                        let st = &mut self.mutexes[mu];
+                        if *read {
+                            if st.readers == 0 {
+                                self.panic_program("RUnlock of unlocked RWMutex");
+                                return;
+                            }
+                            st.readers -= 1;
+                        } else {
+                            if !st.locked {
+                                self.panic_program("unlock of unlocked mutex");
+                                return;
+                            }
+                            st.locked = false;
+                        }
+                        self.advance(gid);
+                    }
+                    _ => self.panic_program("unlock of non-mutex"),
+                }
+            }
+            Instr::WgAdd { wg, n } => {
+                let w = self.eval(gid, wg);
+                let n = match self.eval(gid, n) {
+                    Value::Int(i) => i,
+                    _ => 0,
+                };
+                if let Value::WaitGroup(id) = w {
+                    self.wgs[id].count += n;
+                    if self.wgs[id].count < 0 {
+                        self.panic_program("negative WaitGroup counter");
+                        return;
+                    }
+                }
+                self.advance(gid);
+            }
+            Instr::WgDone { wg } => {
+                let w = self.eval(gid, wg);
+                if let Value::WaitGroup(id) = w {
+                    self.wgs[id].count -= 1;
+                    if self.wgs[id].count < 0 {
+                        self.panic_program("negative WaitGroup counter");
+                        return;
+                    }
+                }
+                self.advance(gid);
+            }
+            Instr::WgWait { wg } => {
+                let w = self.eval(gid, wg);
+                if let Value::WaitGroup(id) = w {
+                    if self.wgs[id].count <= 0 {
+                        self.advance(gid);
+                    } else {
+                        self.block_on(gid, BlockReason::WgWait(id));
+                    }
+                } else {
+                    self.advance(gid);
+                }
+            }
+            Instr::CondWait { cond } => {
+                let c = self.eval(gid, cond);
+                if let Value::Cond(id) = c {
+                    self.conds[id].waiters.push(gid);
+                    self.block_on(gid, BlockReason::CondWait(id));
+                } else {
+                    self.advance(gid);
+                }
+            }
+            Instr::CondSignal { cond } => {
+                let c = self.eval(gid, cond);
+                if let Value::Cond(id) = c {
+                    if let Some(&w) = self.conds[id].waiters.first() {
+                        self.conds[id].wakes.push(w);
+                    }
+                }
+                self.advance(gid);
+            }
+            Instr::CondBroadcast { cond } => {
+                let c = self.eval(gid, cond);
+                if let Value::Cond(id) = c {
+                    let all: Vec<usize> = self.conds[id].waiters.clone();
+                    self.conds[id].wakes.extend(all);
+                }
+                self.advance(gid);
+            }
+            Instr::Go { func, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(gid, a)).collect();
+                let loc = self.loc_of(gid);
+                match self.resolve_target(gid, func) {
+                    Some((fid, bound)) => {
+                        let mut all = bound;
+                        all.extend(vals);
+                        self.advance(gid);
+                        self.spawn_frame(fid, all, loc);
+                    }
+                    None => self.advance(gid), // external spawn: no-op
+                }
+            }
+            Instr::Call { dsts, func, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(gid, a)).collect();
+                match self.resolve_target(gid, func) {
+                    Some((fid, bound)) => {
+                        let mut all = bound;
+                        all.extend(vals);
+                        self.advance(gid);
+                        self.push_frame(gid, fid, all, dsts.clone(), false);
+                    }
+                    None => {
+                        // External call: zero results.
+                        for &d in dsts {
+                            self.set_reg(gid, d, Value::Nil);
+                        }
+                        self.advance(gid);
+                    }
+                }
+            }
+            Instr::DeferCall { func, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(gid, a)).collect();
+                let target = match self.resolve_target(gid, func) {
+                    Some((fid, bound)) => CallTarget::Func(fid, bound),
+                    None => CallTarget::External,
+                };
+                let frame = self.goroutines[gid].frames.last_mut().expect("live frame");
+                frame.defers.push(Deferred { target, args: vals });
+                self.advance(gid);
+            }
+            Instr::Sleep { n } => {
+                let n = match self.eval(gid, n) {
+                    Value::Int(i) if i > 0 => i as u64,
+                    _ => 1,
+                };
+                self.advance(gid);
+                self.goroutines[gid].state = GoState::Sleeping(self.tick + n);
+            }
+            Instr::Fatal => {
+                // runtime.Goexit semantics: unwind all frames running defers.
+                self.goroutines[gid].goexit = true;
+                let frame = self.goroutines[gid].frames.last_mut().expect("live frame");
+                frame.ret_vals = Some(vec![]);
+            }
+            Instr::Panic { value } => {
+                let v = self.eval(gid, value);
+                self.panic_program(format!("panic: {}", v.render()));
+            }
+            Instr::Print { args } => {
+                let line: Vec<String> =
+                    args.iter().map(|a| self.eval(gid, a).render()).collect();
+                self.output.push(line.join(" "));
+                self.advance(gid);
+            }
+            Instr::Nop => self.advance(gid),
+        }
+    }
+
+    fn loc_of(&self, gid: usize) -> Option<Loc> {
+        let frame = self.goroutines[gid].frames.last()?;
+        Some(Loc { func: frame.func, block: frame.block, idx: frame.idx as u32 })
+    }
+
+    fn eval_binop(&mut self, op: golite::BinOp, l: Value, r: Value) -> Value {
+        use golite::BinOp as B;
+        match (op, &l, &r) {
+            (B::Add, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
+            (B::Add, Value::Str(a), Value::Str(b)) => {
+                Value::Str(Rc::from(format!("{a}{b}").as_str()))
+            }
+            (B::Sub, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(*b)),
+            (B::Mul, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(*b)),
+            (B::Div, Value::Int(a), Value::Int(b)) => {
+                Value::Int(if *b == 0 { 0 } else { a / b })
+            }
+            (B::Rem, Value::Int(a), Value::Int(b)) => {
+                Value::Int(if *b == 0 { 0 } else { a % b })
+            }
+            (B::Eq, _, _) => Value::Bool(l.eq_value(&r)),
+            (B::Ne, _, _) => Value::Bool(!l.eq_value(&r)),
+            (B::Lt, Value::Int(a), Value::Int(b)) => Value::Bool(a < b),
+            (B::Le, Value::Int(a), Value::Int(b)) => Value::Bool(a <= b),
+            (B::Gt, Value::Int(a), Value::Int(b)) => Value::Bool(a > b),
+            (B::Ge, Value::Int(a), Value::Int(b)) => Value::Bool(a >= b),
+            (B::Lt, Value::Str(a), Value::Str(b)) => Value::Bool(a < b),
+            (B::And, Value::Bool(a), Value::Bool(b)) => Value::Bool(*a && *b),
+            (B::Or, Value::Bool(a), Value::Bool(b)) => Value::Bool(*a || *b),
+            _ => Value::Nil,
+        }
+    }
+
+    fn resolve_target(&mut self, gid: usize, func: &FuncRef) -> Option<(FuncId, Vec<Value>)> {
+        match func {
+            FuncRef::Static(f) => Some((*f, vec![])),
+            FuncRef::External(_) => None,
+            FuncRef::Dynamic(op) => match self.eval(gid, op) {
+                Value::Closure { func, bound } => Some((func, bound.as_ref().clone())),
+                _ => None,
+            },
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        gid: usize,
+        func: FuncId,
+        args: Vec<Value>,
+        ret_dsts: Vec<Var>,
+        is_defer: bool,
+    ) {
+        let f = self.module.func(func);
+        let mut regs = vec![Value::Nil; f.var_names.len()];
+        for (i, a) in args.into_iter().enumerate() {
+            if let Some(&p) = f.params.get(i) {
+                regs[p.0 as usize] = a;
+            }
+        }
+        self.goroutines[gid].frames.push(Frame {
+            func,
+            regs,
+            block: BlockId(0),
+            idx: 0,
+            defers: Vec::new(),
+            ret_dsts,
+            ret_vals: None,
+            is_defer,
+        });
+    }
+
+    // --------------------------------------------------- channel operations
+
+    /// Finds a blocked goroutine able to complete the counterpart of a
+    /// `send` (if `want_recv`) or `recv` (if `!want_recv`) on channel `ch`.
+    fn find_counterpart(&self, ch: usize, want_recv: bool) -> Option<usize> {
+        for g in &self.goroutines {
+            match &g.state {
+                GoState::Blocked(BlockReason::Recv(c)) if want_recv && *c == ch => {
+                    return Some(g.id)
+                }
+                GoState::Blocked(BlockReason::Send(c)) if !want_recv && *c == ch => {
+                    return Some(g.id)
+                }
+                GoState::Blocked(BlockReason::Select(cases)) => {
+                    for (is_send, c) in cases {
+                        if *c == ch && *is_send != want_recv {
+                            return Some(g.id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Attempts an immediate send by goroutine `gid` (currently at a Send
+    /// instruction). Returns false if it must block.
+    fn try_send_now(&mut self, gid: usize, ch: usize, value: &Operand) -> bool {
+        if self.chans[ch].closed {
+            self.panic_program("send on closed channel");
+            return true;
+        }
+        let v = self.eval(gid, value);
+        if self.chans[ch].buf.len() < self.chans[ch].cap {
+            self.chans[ch].buf.push_back(v);
+            self.advance(gid);
+            return true;
+        }
+        if let Some(peer) = self.find_counterpart(ch, true) {
+            self.deliver_to_receiver(peer, ch, v, true);
+            self.advance(gid);
+            return true;
+        }
+        false
+    }
+
+    /// Re-attempts a blocked send (the value operand is re-evaluated from
+    /// the still-live frame).
+    fn try_send_blocked(&mut self, gid: usize, ch: usize) -> bool {
+        let value = match self.current_instr(gid) {
+            Some(Instr::Send { value, .. }) => value.clone(),
+            _ => return false,
+        };
+        if self.try_send_now(gid, ch, &value) {
+            if self.panic_msg.is_none() {
+                self.goroutines[gid].state = GoState::Runnable;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Attempts an immediate receive by `gid` (currently at a Recv
+    /// instruction). Returns false if it must block.
+    fn try_recv_now(&mut self, gid: usize, ch: usize) -> bool {
+        let (dst, ok_dst) = match self.current_instr(gid) {
+            Some(Instr::Recv { dst, ok, .. }) => (*dst, *ok),
+            _ => return false,
+        };
+        if let Some(v) = self.chans[ch].buf.pop_front() {
+            if let Some(d) = dst {
+                self.set_reg(gid, d, v);
+            }
+            if let Some(o) = ok_dst {
+                self.set_reg(gid, o, Value::Bool(true));
+            }
+            self.advance(gid);
+            return true;
+        }
+        if self.chans[ch].closed {
+            if let Some(d) = dst {
+                self.set_reg(gid, d, Value::Nil);
+            }
+            if let Some(o) = ok_dst {
+                self.set_reg(gid, o, Value::Bool(false));
+            }
+            self.advance(gid);
+            return true;
+        }
+        if let Some(peer) = self.find_counterpart(ch, false) {
+            // Take the value from the blocked sender and unblock it.
+            if let Some(v) = self.take_from_sender(peer, ch) {
+                if let Some(d) = dst {
+                    self.set_reg(gid, d, v);
+                }
+                if let Some(o) = ok_dst {
+                    self.set_reg(gid, o, Value::Bool(true));
+                }
+                self.advance(gid);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn try_recv_blocked(&mut self, gid: usize, ch: usize) -> bool {
+        if self.try_recv_now(gid, ch) {
+            self.goroutines[gid].state = GoState::Runnable;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Delivers `v` directly to a goroutine blocked receiving on `ch`
+    /// (plain recv or select recv case). `unblock` marks it runnable.
+    fn deliver_to_receiver(&mut self, peer: usize, ch: usize, v: Value, unblock: bool) {
+        let state = self.goroutines[peer].state.clone();
+        match state {
+            GoState::Blocked(BlockReason::Recv(_)) => {
+                if let Some(Instr::Recv { dst, ok, .. }) = self.current_instr(peer).cloned() {
+                    if let Some(d) = dst {
+                        self.set_reg(peer, d, v);
+                    }
+                    if let Some(o) = ok {
+                        self.set_reg(peer, o, Value::Bool(true));
+                    }
+                    self.advance(peer);
+                    if unblock {
+                        self.goroutines[peer].state = GoState::Runnable;
+                    }
+                }
+            }
+            GoState::Blocked(BlockReason::Select(_)) => {
+                // Commit the select to the matching recv case.
+                let frame = self.goroutines[peer].frames.last().expect("live frame");
+                let f = self.module.func(frame.func);
+                let term = f.blocks[frame.block.0 as usize].term.clone();
+                if let Terminator::Select { cases, .. } = term {
+                    for case in cases {
+                        if let SelectOp::Recv { dst, ok, chan } = &case.op {
+                            let cv = self.eval(peer, chan);
+                            if matches!(cv, Value::Chan(c) if c == ch) {
+                                if let Some(d) = dst {
+                                    self.set_reg(peer, *d, v);
+                                }
+                                if let Some(o) = ok {
+                                    self.set_reg(peer, *o, Value::Bool(true));
+                                }
+                                self.jump_to(peer, case.target);
+                                if unblock {
+                                    self.goroutines[peer].state = GoState::Runnable;
+                                }
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Extracts the pending value from a goroutine blocked sending on `ch`
+    /// (plain send or select send case) and unblocks it.
+    fn take_from_sender(&mut self, peer: usize, ch: usize) -> Option<Value> {
+        let state = self.goroutines[peer].state.clone();
+        match state {
+            GoState::Blocked(BlockReason::Send(_)) => {
+                if let Some(Instr::Send { value, .. }) = self.current_instr(peer).cloned() {
+                    let v = self.eval(peer, &value);
+                    self.advance(peer);
+                    self.goroutines[peer].state = GoState::Runnable;
+                    return Some(v);
+                }
+                None
+            }
+            GoState::Blocked(BlockReason::Select(_)) => {
+                let frame = self.goroutines[peer].frames.last()?;
+                let f = self.module.func(frame.func);
+                let term = f.blocks[frame.block.0 as usize].term.clone();
+                if let Terminator::Select { cases, .. } = term {
+                    for case in cases {
+                        if let SelectOp::Send { chan, value } = &case.op {
+                            let cv = self.eval(peer, chan);
+                            if matches!(cv, Value::Chan(c) if c == ch) {
+                                let v = self.eval(peer, value);
+                                self.jump_to(peer, case.target);
+                                self.goroutines[peer].state = GoState::Runnable;
+                                return Some(v);
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Re-attempts a blocked `select` by re-executing its terminator. The
+    /// goroutine is temporarily marked runnable so it cannot match itself.
+    fn try_select_blocked(&mut self, gid: usize) -> bool {
+        let Some(frame) = self.goroutines[gid].frames.last() else { return false };
+        let f = self.module.func(frame.func);
+        let term = f.blocks[frame.block.0 as usize].term.clone();
+        if !matches!(term, Terminator::Select { .. }) {
+            return false;
+        }
+        self.goroutines[gid].state = GoState::Runnable;
+        self.exec_term(gid, &term);
+        !matches!(self.goroutines[gid].state, GoState::Blocked(_))
+    }
+
+    fn jump_to(&mut self, gid: usize, target: BlockId) {
+        let frame = self.goroutines[gid].frames.last_mut().expect("live frame");
+        frame.block = target;
+        frame.idx = 0;
+    }
+
+    fn can_lock(&self, mu: usize, read: bool) -> bool {
+        let st = &self.mutexes[mu];
+        if read {
+            !st.locked
+        } else {
+            !st.locked && st.readers == 0
+        }
+    }
+
+    fn do_lock(&mut self, mu: usize, read: bool) {
+        let st = &mut self.mutexes[mu];
+        if read {
+            st.readers += 1;
+        } else {
+            st.locked = true;
+        }
+    }
+
+    // ---------------------------------------------------------- terminators
+
+    fn exec_term(&mut self, gid: usize, term: &Terminator) {
+        match term {
+            Terminator::Jump(b) => self.jump_to(gid, *b),
+            Terminator::Branch { cond, then, els } => {
+                let c = self.eval(gid, cond);
+                self.jump_to(gid, if c.truthy() { *then } else { *els });
+            }
+            Terminator::Return(vals) => {
+                let values: Vec<Value> = vals.iter().map(|v| self.eval(gid, v)).collect();
+                let frame = self.goroutines[gid].frames.last_mut().expect("live frame");
+                frame.ret_vals = Some(values);
+                self.continue_unwind(gid);
+            }
+            Terminator::Select { cases, default } => {
+                // Collect ready cases.
+                let mut ready: Vec<usize> = Vec::new();
+                for (i, case) in cases.iter().enumerate() {
+                    let chan_val = self.eval(gid, case.op.chan());
+                    let Value::Chan(ch) = chan_val else { continue }; // nil chan: never ready
+                    let ok = match &case.op {
+                        SelectOp::Send { .. } => {
+                            self.chans[ch].closed
+                                || self.chans[ch].buf.len() < self.chans[ch].cap
+                                || self.find_counterpart(ch, true).is_some()
+                        }
+                        SelectOp::Recv { .. } => {
+                            !self.chans[ch].buf.is_empty()
+                                || self.chans[ch].closed
+                                || self.find_counterpart(ch, false).is_some()
+                        }
+                    };
+                    if ok {
+                        ready.push(i);
+                    }
+                }
+                if ready.is_empty() {
+                    match default {
+                        Some(d) => self.jump_to(gid, *d),
+                        None => {
+                            let chans: Vec<(bool, usize)> = cases
+                                .iter()
+                                .filter_map(|c| {
+                                    let v = self.eval(gid, c.op.chan());
+                                    match v {
+                                        Value::Chan(ch) => Some((
+                                            matches!(c.op, SelectOp::Send { .. }),
+                                            ch,
+                                        )),
+                                        _ => None,
+                                    }
+                                })
+                                .collect();
+                            self.block_on(gid, BlockReason::Select(chans));
+                        }
+                    }
+                    return;
+                }
+                let pick = ready[self.rng.gen_range(0..ready.len())];
+                self.commit_select_case(gid, &cases[pick]);
+            }
+            Terminator::Unreachable => {
+                // Treat as goroutine end (used after panic statements).
+                let frame = self.goroutines[gid].frames.last_mut().expect("live frame");
+                frame.ret_vals = Some(vec![]);
+                self.continue_unwind(gid);
+            }
+        }
+    }
+
+    fn commit_select_case(&mut self, gid: usize, case: &SelectCase) {
+        let chan_val = self.eval(gid, case.op.chan());
+        let Value::Chan(ch) = chan_val else { return };
+        match &case.op {
+            SelectOp::Send { value, .. } => {
+                if self.chans[ch].closed {
+                    self.panic_program("send on closed channel");
+                    return;
+                }
+                let v = self.eval(gid, value);
+                if self.chans[ch].buf.len() < self.chans[ch].cap {
+                    self.chans[ch].buf.push_back(v);
+                } else if let Some(peer) = self.find_counterpart(ch, true) {
+                    self.deliver_to_receiver(peer, ch, v, true);
+                } else {
+                    return; // became unready; re-execute select next step
+                }
+                self.jump_to(gid, case.target);
+            }
+            SelectOp::Recv { dst, ok, .. } => {
+                if let Some(v) = self.chans[ch].buf.pop_front() {
+                    if let Some(d) = dst {
+                        self.set_reg(gid, *d, v);
+                    }
+                    if let Some(o) = ok {
+                        self.set_reg(gid, *o, Value::Bool(true));
+                    }
+                } else if self.chans[ch].closed {
+                    if let Some(d) = dst {
+                        self.set_reg(gid, *d, Value::Nil);
+                    }
+                    if let Some(o) = ok {
+                        self.set_reg(gid, *o, Value::Bool(false));
+                    }
+                } else if let Some(peer) = self.find_counterpart(ch, false) {
+                    if let Some(v) = self.take_from_sender(peer, ch) {
+                        if let Some(d) = dst {
+                            self.set_reg(gid, *d, v);
+                        }
+                        if let Some(o) = ok {
+                            self.set_reg(gid, *o, Value::Bool(true));
+                        }
+                    } else {
+                        return;
+                    }
+                } else {
+                    return;
+                }
+                self.jump_to(gid, case.target);
+            }
+        }
+    }
+
+    /// Drains defers of the top frame, then pops it, delivering return
+    /// values. With `goexit` set, unwinding continues through all frames.
+    fn continue_unwind(&mut self, gid: usize) {
+        let frame = self.goroutines[gid].frames.last_mut().expect("live frame");
+        if let Some(d) = frame.defers.pop() {
+            match d.target {
+                CallTarget::Func(fid, bound) => {
+                    let mut args = bound;
+                    args.extend(d.args);
+                    self.push_frame(gid, fid, args, vec![], true);
+                }
+                CallTarget::External => {}
+            }
+            return;
+        }
+        // No more defers: pop the frame.
+        let frame = self.goroutines[gid].frames.pop().expect("live frame");
+        let ret_vals = frame.ret_vals.unwrap_or_default();
+        let goexit = self.goroutines[gid].goexit;
+        match self.goroutines[gid].frames.last_mut() {
+            Some(caller) => {
+                if goexit {
+                    // Keep unwinding: force the caller into return mode too.
+                    if caller.ret_vals.is_none() {
+                        caller.ret_vals = Some(vec![]);
+                    }
+                } else if !frame.is_defer {
+                    for (i, d) in frame.ret_dsts.iter().enumerate() {
+                        let v = ret_vals.get(i).cloned().unwrap_or(Value::Nil);
+                        caller.regs[d.0 as usize] = v;
+                    }
+                }
+            }
+            None => self.goroutines[gid].state = GoState::Done,
+        }
+    }
+}

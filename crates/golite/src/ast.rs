@@ -1,0 +1,469 @@
+//! Abstract syntax tree for GoLite programs.
+//!
+//! Every node carries a [`Span`] into the original source plus a stable
+//! [`NodeId`], so detectors can report precise locations and GFix can address
+//! individual statements when synthesizing patches.
+
+use crate::token::Span;
+use std::fmt;
+
+/// Identifier of an AST node, unique within one parsed [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A GoLite type expression.
+///
+/// GoLite resolves the handful of standard-library types the paper's analyses
+/// care about (`sync.Mutex`, `context.Context`, `testing.T`, …) into dedicated
+/// variants so later phases never need to consult import tables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `string`
+    String,
+    /// `error` — modeled as a nil-able string.
+    Error,
+    /// `struct{}` — the empty struct, Go's conventional signal payload.
+    Unit,
+    /// `chan T`
+    Chan(Box<Type>),
+    /// `*T`
+    Ptr(Box<Type>),
+    /// `[]T`
+    Slice(Box<Type>),
+    /// `sync.Mutex`
+    Mutex,
+    /// `sync.RWMutex`
+    RwMutex,
+    /// `sync.WaitGroup`
+    WaitGroup,
+    /// `sync.Cond`
+    Cond,
+    /// `context.Context`
+    Context,
+    /// `*testing.T`
+    TestingT,
+    /// `func(params) results`
+    Func(Vec<Type>, Vec<Type>),
+    /// A user-declared struct type, by name.
+    Named(String),
+}
+
+impl Type {
+    /// The element type if `self` is a channel type.
+    pub fn chan_elem(&self) -> Option<&Type> {
+        match self {
+            Type::Chan(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether values of this type are synchronization primitives that the
+    /// BMOC detector models (channels and mutexes, per §3.4 of the paper).
+    pub fn is_modeled_primitive(&self) -> bool {
+        matches!(self, Type::Chan(_) | Type::Mutex | Type::RwMutex)
+            || matches!(self, Type::Ptr(inner) if inner.is_modeled_primitive())
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Go operator precedence (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::And => 2,
+            BinOp::Or => 1,
+        }
+    }
+
+    /// The Go surface syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+    /// `&x`
+    Addr,
+    /// `*x`
+    Deref,
+}
+
+impl UnOp {
+    /// The Go surface syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::Addr => "&",
+            UnOp::Deref => "*",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression's payload.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+    /// Stable node identity.
+    pub id: NodeId,
+}
+
+/// The payload of an [`Expr`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are named self-descriptively
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `nil`
+    Nil,
+    /// `struct{}{}` — the unit value.
+    UnitLit,
+    /// A variable reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `<-ch` used as an expression.
+    Recv(Box<Expr>),
+    /// A plain function call `f(args)` or call of a closure expression.
+    Call { callee: Box<Expr>, args: Vec<Expr> },
+    /// A method or package-qualified call `x.Name(args)`.
+    ///
+    /// Whether `recv` denotes a package (`context.WithCancel`) or a value
+    /// (`mu.Lock`) is resolved during IR lowering.
+    Method { recv: Box<Expr>, name: String, args: Vec<Expr> },
+    /// Struct field access `x.f` (not a call).
+    Field { obj: Box<Expr>, name: String },
+    /// `make(chan T)` / `make(chan T, n)` / `make([]T, n)`.
+    Make { ty: Type, cap: Option<Box<Expr>> },
+    /// A function literal.
+    Closure { params: Vec<Param>, results: Vec<Type>, body: Block },
+    /// `arr[i]`
+    Index { obj: Box<Expr>, index: Box<Expr> },
+    /// `T{f: v, ...}` struct literal (also `[]T{...}` slice literal via `Slice` type).
+    Composite { ty: Type, fields: Vec<(Option<String>, Expr)> },
+    /// Parenthesized expression, kept for faithful reprinting.
+    Paren(Box<Expr>),
+}
+
+impl Expr {
+    /// Strips parentheses.
+    pub fn unparen(&self) -> &Expr {
+        match &self.kind {
+            ExprKind::Paren(inner) => inner.unparen(),
+            _ => self,
+        }
+    }
+
+    /// The identifier name if this expression (ignoring parens) is a bare
+    /// variable reference.
+    pub fn as_ident(&self) -> Option<&str> {
+        match &self.unparen().kind {
+            ExprKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+/// A single function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (`_` allowed).
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+    /// Span covering the braces.
+    pub span: Span,
+}
+
+/// One arm of a `select` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectCase {
+    /// What this case waits for.
+    pub kind: SelectCaseKind,
+    /// The case body.
+    pub body: Block,
+    /// Span of the `case`/`default` header.
+    pub span: Span,
+}
+
+/// The communication clause of a [`SelectCase`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are named self-descriptively
+pub enum SelectCaseKind {
+    /// `case v, ok := <-ch:` — either binding may be absent (`case <-ch:`).
+    Recv { value: Option<String>, ok: Option<String>, chan: Expr },
+    /// `case ch <- v:`
+    Send { chan: Expr, value: Expr },
+    /// `default:`
+    Default,
+}
+
+/// Assignment flavors for [`StmtKind::Assign`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+}
+
+/// A statement with source identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement's payload.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+    /// Stable node identity.
+    pub id: NodeId,
+}
+
+/// The payload of a [`Stmt`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are named self-descriptively
+pub enum StmtKind {
+    /// `a, b := rhs` — short variable declaration. Names may be `_`.
+    Define { names: Vec<String>, rhs: Expr },
+    /// `lhs, ... = rhs` (or `+=`/`-=` with a single target).
+    Assign { lhs: Vec<Expr>, op: AssignOp, rhs: Expr },
+    /// `var name T [= init]`
+    VarDecl { name: String, ty: Type, init: Option<Expr> },
+    /// `ch <- v`
+    Send { chan: Expr, value: Expr },
+    /// An expression evaluated for effect (calls, `<-ch`).
+    Expr(Expr),
+    /// `go call`
+    Go(Expr),
+    /// `defer call` (including `defer close(ch)` as a builtin call).
+    Defer(Expr),
+    /// `close(ch)`
+    Close(Expr),
+    /// `panic(v)`
+    Panic(Expr),
+    /// `return exprs`
+    Return(Vec<Expr>),
+    /// `if cond { .. } [else ..]`
+    If { cond: Expr, then: Block, els: Option<Box<Stmt>> },
+    /// Three-clause / condition-only / infinite `for`.
+    For { init: Option<Box<Stmt>>, cond: Option<Expr>, post: Option<Box<Stmt>>, body: Block },
+    /// `for v := range over { .. }` — `over` may be an int bound or a channel.
+    ForRange { var: Option<String>, over: Expr, body: Block },
+    /// `select { cases }`
+    Select(Vec<SelectCase>),
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `x++` / `x--`
+    IncDec { target: Expr, inc: bool },
+    /// A nested bare block.
+    Block(Block),
+}
+
+/// A struct type declaration: `type Name struct { fields }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDecl {
+    /// The declared type name.
+    pub name: String,
+    /// Field names and types, in order.
+    pub fields: Vec<(String, Type)>,
+    /// Span of the whole declaration.
+    pub span: Span,
+    /// Stable node identity.
+    pub id: NodeId,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Result types (empty for none).
+    pub results: Vec<Type>,
+    /// The function body.
+    pub body: Block,
+    /// Span of the whole declaration.
+    pub span: Span,
+    /// Stable node identity.
+    pub id: NodeId,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// A function.
+    Func(FuncDecl),
+    /// A struct type.
+    Struct(StructDecl),
+    /// A package-level `var`.
+    #[allow(missing_docs)] // fields are named self-descriptively
+    GlobalVar { name: String, ty: Type, init: Option<Expr>, span: Span, id: NodeId },
+}
+
+/// A parsed GoLite source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The `package` clause name (defaults to `main`).
+    pub package: String,
+    /// Imported package paths, kept for faithful reprinting.
+    pub imports: Vec<String>,
+    /// Top-level declarations in source order.
+    pub decls: Vec<Decl>,
+    /// Number of [`NodeId`]s allocated while parsing; fresh ids for
+    /// synthesized nodes should start here.
+    pub next_node_id: u32,
+}
+
+impl Program {
+    /// Looks up a function declaration by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDecl> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Func(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Looks up a struct declaration by name.
+    pub fn struct_decl(&self, name: &str) -> Option<&StructDecl> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Struct(s) if s.name == name => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Iterates over all function declarations.
+    pub fn funcs(&self) -> impl Iterator<Item = &FuncDecl> {
+        self.decls.iter().filter_map(|d| match d {
+            Decl::Func(f) => Some(f),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_orders_match_go() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+
+    #[test]
+    fn chan_elem_extraction() {
+        let t = Type::Chan(Box::new(Type::Int));
+        assert_eq!(t.chan_elem(), Some(&Type::Int));
+        assert_eq!(Type::Int.chan_elem(), None);
+    }
+
+    #[test]
+    fn modeled_primitives_are_channels_and_mutexes() {
+        assert!(Type::Chan(Box::new(Type::Unit)).is_modeled_primitive());
+        assert!(Type::Mutex.is_modeled_primitive());
+        assert!(Type::Ptr(Box::new(Type::Mutex)).is_modeled_primitive());
+        assert!(!Type::WaitGroup.is_modeled_primitive());
+        assert!(!Type::Int.is_modeled_primitive());
+    }
+
+    #[test]
+    fn unparen_and_as_ident() {
+        let id = NodeId(0);
+        let inner = Expr {
+            kind: ExprKind::Ident("ch".into()),
+            span: Span::synthetic(),
+            id,
+        };
+        let wrapped = Expr {
+            kind: ExprKind::Paren(Box::new(inner)),
+            span: Span::synthetic(),
+            id: NodeId(1),
+        };
+        assert_eq!(wrapped.as_ident(), Some("ch"));
+    }
+}

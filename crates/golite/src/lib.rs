@@ -1,0 +1,144 @@
+//! # GoLite — the Go subset analyzed by the GCatch/GFix reproduction
+//!
+//! The GCatch/GFix paper (ASPLOS '21) analyzes real Go programs through the
+//! `go/ast` and `golang.org/x/tools/go/ssa` packages. This crate is the
+//! from-scratch replacement for that frontend: a lexer, parser, AST, and
+//! canonical printer for *GoLite*, the subset of Go sufficient to express
+//! every program pattern the paper reasons about:
+//!
+//! * goroutines (`go f()`, `go func(){...}()`), closures capturing variables;
+//! * buffered and unbuffered channels: `make(chan T, n)`, send, receive,
+//!   `close`, comma-ok receives;
+//! * `select` with send/receive cases and optional `default`;
+//! * `sync.Mutex` / `sync.RWMutex` / `sync.WaitGroup` / `sync.Cond`;
+//! * `defer`, `panic`, multi-value returns, `context.WithCancel` /
+//!   `ctx.Done()`, `testing.T` with `Fatal`/`Fatalf`;
+//! * structs, slices, the usual scalar types and control flow.
+//!
+//! # Examples
+//!
+//! Parse the Docker bug from Figure 1 of the paper and print it back:
+//!
+//! ```
+//! let src = r#"
+//! func Exec(ctx context.Context) error {
+//!     outDone := make(chan error)
+//!     go func() {
+//!         outDone <- StdCopy()
+//!     }()
+//!     select {
+//!     case err := <-outDone:
+//!         return err
+//!     case <-ctx.Done():
+//!         return ctx.Err()
+//!     }
+//! }
+//!
+//! func StdCopy() error {
+//!     return nil
+//! }
+//! "#;
+//! let program = golite::parse(src)?;
+//! let printed = golite::print_program(&program);
+//! assert!(printed.contains("outDone := make(chan error)"));
+//! # Ok::<(), golite::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::{
+    AssignOp, BinOp, Block, Decl, Expr, ExprKind, FuncDecl, NodeId, Param, Program, SelectCase,
+    SelectCaseKind, Stmt, StmtKind, StructDecl, Type, UnOp,
+};
+pub use lexer::{lex, LexError};
+pub use parser::{parse, ParseError};
+pub use printer::{print_expr, print_program, print_stmt, print_type};
+pub use token::{Span, Token, TokenKind};
+
+/// Computes a line-based diff size between two sources: the number of lines
+/// added plus lines removed (a replaced line counts as one removal plus one
+/// addition, matching how the paper counts "changed lines of code").
+///
+/// # Examples
+///
+/// ```
+/// // The Figure 1 patch changes one line.
+/// let before = "outDone := make(chan error)\nselect {\n}";
+/// let after = "outDone := make(chan error, 1)\nselect {\n}";
+/// assert_eq!(golite::diff_lines(before, after), 2); // 1 removed + 1 added
+/// ```
+pub fn diff_lines(before: &str, after: &str) -> usize {
+    let mut a: Vec<&str> = before.lines().collect();
+    let mut b: Vec<&str> = after.lines().collect();
+    // Trim the common prefix and suffix first: patches touch few lines, so
+    // this keeps the quadratic LCS core tiny even for large files.
+    let mut prefix = 0;
+    while prefix < a.len() && prefix < b.len() && a[prefix] == b[prefix] {
+        prefix += 1;
+    }
+    a.drain(..prefix);
+    b.drain(..prefix);
+    let mut suffix = 0;
+    while suffix < a.len() && suffix < b.len() && a[a.len() - 1 - suffix] == b[b.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+    a.truncate(a.len() - suffix);
+    b.truncate(b.len() - suffix);
+    let lcs = lcs_len(&a, &b);
+    (a.len() - lcs) + (b.len() - lcs)
+}
+
+fn lcs_len(a: &[&str], b: &[&str]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &la in a {
+        for (j, &lb) in b.iter().enumerate() {
+            cur[j + 1] = if la == lb { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_lines_identical_is_zero() {
+        let s = "a\nb\nc";
+        assert_eq!(diff_lines(s, s), 0);
+    }
+
+    #[test]
+    fn diff_lines_pure_insertion() {
+        assert_eq!(diff_lines("a\nc", "a\nb\nc"), 1);
+    }
+
+    #[test]
+    fn diff_lines_pure_removal() {
+        assert_eq!(diff_lines("a\nb\nc", "a\nc"), 1);
+    }
+
+    #[test]
+    fn diff_lines_replacement_counts_two() {
+        assert_eq!(diff_lines("a\nb\nc", "a\nx\nc"), 2);
+    }
+
+    #[test]
+    fn parse_and_print_are_exposed() {
+        let prog = parse("func main() {\n}").unwrap();
+        assert_eq!(prog.package, "main");
+        assert!(print_program(&prog).contains("func main()"));
+    }
+}

@@ -1,0 +1,579 @@
+//! Canonical source printer for GoLite ASTs.
+//!
+//! The printer emits `gofmt`-style output (tab indentation, one statement per
+//! line). GFix synthesizes patches by transforming the AST and reprinting, so
+//! the printer is the ground truth for the "changed lines of code" readability
+//! metric (§5.3 of the paper): printing is deterministic, and reprinting an
+//! unmodified AST reproduces the same lines, so diffs contain exactly the
+//! patched statements.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as canonical GoLite source.
+pub fn print_program(prog: &Program) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    p.program(prog);
+    p.out
+}
+
+/// Renders a single statement (at zero indentation). Useful in bug reports.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    p.stmt(stmt);
+    p.out.trim_end().to_string()
+}
+
+/// Renders a single expression. Useful in bug reports.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    p.expr(expr);
+    p.out
+}
+
+/// Renders a type.
+pub fn print_type(ty: &Type) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    p.ty(ty);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn nl(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push('\t');
+        }
+    }
+
+    fn program(&mut self, prog: &Program) {
+        let _ = write!(self.out, "package {}", prog.package);
+        self.nl();
+        if !prog.imports.is_empty() {
+            self.nl();
+            if prog.imports.len() == 1 {
+                let _ = write!(self.out, "import {:?}", prog.imports[0]);
+                self.nl();
+            } else {
+                self.out.push_str("import (");
+                self.indent += 1;
+                for imp in &prog.imports {
+                    self.nl();
+                    let _ = write!(self.out, "{imp:?}");
+                }
+                self.indent -= 1;
+                self.nl();
+                self.out.push(')');
+                self.nl();
+            }
+        }
+        for decl in &prog.decls {
+            self.nl();
+            match decl {
+                Decl::Func(f) => self.func_decl(f),
+                Decl::Struct(s) => self.struct_decl(s),
+                Decl::GlobalVar { name, ty, init, .. } => {
+                    let _ = write!(self.out, "var {name} ");
+                    self.ty(ty);
+                    if let Some(init) = init {
+                        self.out.push_str(" = ");
+                        self.expr(init);
+                    }
+                    self.nl();
+                }
+            }
+        }
+    }
+
+    fn struct_decl(&mut self, s: &StructDecl) {
+        let _ = write!(self.out, "type {} struct {{", s.name);
+        self.indent += 1;
+        for (name, ty) in &s.fields {
+            self.nl();
+            let _ = write!(self.out, "{name} ");
+            self.ty(ty);
+        }
+        self.indent -= 1;
+        self.nl();
+        self.out.push('}');
+        self.nl();
+    }
+
+    fn func_decl(&mut self, f: &FuncDecl) {
+        let _ = write!(self.out, "func {}", f.name);
+        self.signature(&f.params, &f.results);
+        self.out.push(' ');
+        self.block(&f.body);
+        self.nl();
+    }
+
+    fn signature(&mut self, params: &[Param], results: &[Type]) {
+        self.out.push('(');
+        for (i, p) in params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let _ = write!(self.out, "{} ", p.name);
+            self.ty(&p.ty);
+        }
+        self.out.push(')');
+        match results.len() {
+            0 => {}
+            1 => {
+                self.out.push(' ');
+                self.ty(&results[0]);
+            }
+            _ => {
+                self.out.push_str(" (");
+                for (i, t) in results.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.ty(t);
+                }
+                self.out.push(')');
+            }
+        }
+    }
+
+    fn ty(&mut self, ty: &Type) {
+        match ty {
+            Type::Int => self.out.push_str("int"),
+            Type::Bool => self.out.push_str("bool"),
+            Type::String => self.out.push_str("string"),
+            Type::Error => self.out.push_str("error"),
+            Type::Unit => self.out.push_str("struct{}"),
+            Type::Chan(t) => {
+                self.out.push_str("chan ");
+                self.ty(t);
+            }
+            Type::Ptr(t) => {
+                self.out.push('*');
+                self.ty(t);
+            }
+            Type::Slice(t) => {
+                self.out.push_str("[]");
+                self.ty(t);
+            }
+            Type::Mutex => self.out.push_str("sync.Mutex"),
+            Type::RwMutex => self.out.push_str("sync.RWMutex"),
+            Type::WaitGroup => self.out.push_str("sync.WaitGroup"),
+            Type::Cond => self.out.push_str("sync.Cond"),
+            Type::Context => self.out.push_str("context.Context"),
+            Type::TestingT => self.out.push_str("testing.T"),
+            Type::Func(params, results) => {
+                self.out.push_str("func(");
+                for (i, t) in params.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.ty(t);
+                }
+                self.out.push(')');
+                match results.len() {
+                    0 => {}
+                    1 => {
+                        self.out.push(' ');
+                        self.ty(&results[0]);
+                    }
+                    _ => {
+                        self.out.push_str(" (");
+                        for (i, t) in results.iter().enumerate() {
+                            if i > 0 {
+                                self.out.push_str(", ");
+                            }
+                            self.ty(t);
+                        }
+                        self.out.push(')');
+                    }
+                }
+            }
+            Type::Named(name) => self.out.push_str(name),
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.out.push('{');
+        self.indent += 1;
+        for stmt in &b.stmts {
+            self.nl();
+            self.stmt(stmt);
+        }
+        self.indent -= 1;
+        self.nl();
+        self.out.push('}');
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Define { names, rhs } => {
+                self.out.push_str(&names.join(", "));
+                self.out.push_str(" := ");
+                self.expr(rhs);
+            }
+            StmtKind::Assign { lhs, op, rhs } => {
+                for (i, e) in lhs.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(e);
+                }
+                self.out.push_str(match op {
+                    AssignOp::Assign => " = ",
+                    AssignOp::AddAssign => " += ",
+                    AssignOp::SubAssign => " -= ",
+                });
+                self.expr(rhs);
+            }
+            StmtKind::VarDecl { name, ty, init } => {
+                let _ = write!(self.out, "var {name} ");
+                self.ty(ty);
+                if let Some(init) = init {
+                    self.out.push_str(" = ");
+                    self.expr(init);
+                }
+            }
+            StmtKind::Send { chan, value } => {
+                self.expr(chan);
+                self.out.push_str(" <- ");
+                self.expr(value);
+            }
+            StmtKind::Expr(e) => self.expr(e),
+            StmtKind::Go(call) => {
+                self.out.push_str("go ");
+                self.expr(call);
+            }
+            StmtKind::Defer(call) => {
+                self.out.push_str("defer ");
+                self.expr(call);
+            }
+            StmtKind::Close(ch) => {
+                self.out.push_str("close(");
+                self.expr(ch);
+                self.out.push(')');
+            }
+            StmtKind::Panic(v) => {
+                self.out.push_str("panic(");
+                self.expr(v);
+                self.out.push(')');
+            }
+            StmtKind::Return(vals) => {
+                self.out.push_str("return");
+                for (i, v) in vals.iter().enumerate() {
+                    self.out.push_str(if i == 0 { " " } else { ", " });
+                    self.expr(v);
+                }
+            }
+            StmtKind::If { cond, then, els } => {
+                self.out.push_str("if ");
+                self.expr(cond);
+                self.out.push(' ');
+                self.block(then);
+                if let Some(els) = els {
+                    self.out.push_str(" else ");
+                    match &els.kind {
+                        StmtKind::Block(b) => self.block(b),
+                        _ => self.stmt(els),
+                    }
+                }
+            }
+            StmtKind::For { init, cond, post, body } => {
+                self.out.push_str("for ");
+                match (init, cond, post) {
+                    (None, None, None) => {}
+                    (None, Some(c), None) => {
+                        self.expr(c);
+                        self.out.push(' ');
+                    }
+                    _ => {
+                        if let Some(i) = init {
+                            self.stmt(i);
+                        }
+                        self.out.push_str("; ");
+                        if let Some(c) = cond {
+                            self.expr(c);
+                        }
+                        self.out.push_str("; ");
+                        if let Some(p) = post {
+                            self.stmt(p);
+                        }
+                        self.out.push(' ');
+                    }
+                }
+                self.block(body);
+            }
+            StmtKind::ForRange { var, over, body } => {
+                self.out.push_str("for ");
+                if let Some(v) = var {
+                    let _ = write!(self.out, "{v} := ");
+                }
+                self.out.push_str("range ");
+                self.expr(over);
+                self.out.push(' ');
+                self.block(body);
+            }
+            StmtKind::Select(cases) => {
+                self.out.push_str("select {");
+                for case in cases {
+                    self.nl();
+                    match &case.kind {
+                        SelectCaseKind::Recv { value, ok, chan } => {
+                            self.out.push_str("case ");
+                            match (value, ok) {
+                                (Some(v), Some(o)) => {
+                                    let _ = write!(self.out, "{v}, {o} := ");
+                                }
+                                (Some(v), None) => {
+                                    let _ = write!(self.out, "{v} := ");
+                                }
+                                _ => {}
+                            }
+                            self.out.push_str("<-");
+                            self.expr(chan);
+                            self.out.push(':');
+                        }
+                        SelectCaseKind::Send { chan, value } => {
+                            self.out.push_str("case ");
+                            self.expr(chan);
+                            self.out.push_str(" <- ");
+                            self.expr(value);
+                            self.out.push(':');
+                        }
+                        SelectCaseKind::Default => self.out.push_str("default:"),
+                    }
+                    self.indent += 1;
+                    for stmt in &case.body.stmts {
+                        self.nl();
+                        self.stmt(stmt);
+                    }
+                    self.indent -= 1;
+                }
+                self.nl();
+                self.out.push('}');
+            }
+            StmtKind::Break => self.out.push_str("break"),
+            StmtKind::Continue => self.out.push_str("continue"),
+            StmtKind::IncDec { target, inc } => {
+                self.expr(target);
+                self.out.push_str(if *inc { "++" } else { "--" });
+            }
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let _ = write!(self.out, "{v}");
+            }
+            ExprKind::Str(s) => {
+                let _ = write!(self.out, "{s:?}");
+            }
+            ExprKind::Bool(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            ExprKind::Nil => self.out.push_str("nil"),
+            ExprKind::UnitLit => self.out.push_str("struct{}{}"),
+            ExprKind::Ident(name) => self.out.push_str(name),
+            ExprKind::Unary(op, inner) => {
+                self.out.push_str(op.symbol());
+                self.expr(inner);
+            }
+            ExprKind::Binary(op, l, r) => {
+                self.child_expr(l, op.precedence(), false);
+                let _ = write!(self.out, " {} ", op.symbol());
+                self.child_expr(r, op.precedence(), true);
+            }
+            ExprKind::Recv(ch) => {
+                self.out.push_str("<-");
+                self.expr(ch);
+            }
+            ExprKind::Call { callee, args } => {
+                self.expr(callee);
+                self.call_args(args);
+            }
+            ExprKind::Method { recv, name, args } => {
+                self.expr(recv);
+                let _ = write!(self.out, ".{name}");
+                self.call_args(args);
+            }
+            ExprKind::Field { obj, name } => {
+                self.expr(obj);
+                let _ = write!(self.out, ".{name}");
+            }
+            ExprKind::Make { ty, cap } => {
+                self.out.push_str("make(");
+                self.ty(ty);
+                if let Some(cap) = cap {
+                    self.out.push_str(", ");
+                    self.expr(cap);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Closure { params, results, body } => {
+                self.out.push_str("func");
+                self.signature(params, results);
+                self.out.push(' ');
+                self.block(body);
+            }
+            ExprKind::Index { obj, index } => {
+                self.expr(obj);
+                self.out.push('[');
+                self.expr(index);
+                self.out.push(']');
+            }
+            ExprKind::Composite { ty, fields } => {
+                self.ty(ty);
+                self.out.push('{');
+                for (i, (name, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    if let Some(name) = name {
+                        let _ = write!(self.out, "{name}: ");
+                    }
+                    self.expr(value);
+                }
+                self.out.push('}');
+            }
+            ExprKind::Paren(inner) => {
+                self.out.push('(');
+                self.expr(inner);
+                self.out.push(')');
+            }
+        }
+    }
+
+    /// Prints a binary operand, inserting parentheses when the child binds
+    /// more loosely than the parent operator (so reparsing preserves shape).
+    fn child_expr(&mut self, e: &Expr, parent_prec: u8, is_rhs: bool) {
+        let needs_paren = match &e.kind {
+            ExprKind::Binary(op, _, _) => {
+                op.precedence() < parent_prec || (is_rhs && op.precedence() == parent_prec)
+            }
+            _ => false,
+        };
+        if needs_paren {
+            self.out.push('(');
+            self.expr(e);
+            self.out.push(')');
+        } else {
+            self.expr(e);
+        }
+    }
+
+    fn call_args(&mut self, args: &[Expr]) {
+        self.out.push('(');
+        for (i, a) in args.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.expr(a);
+        }
+        self.out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Parse, print, reparse, print again: the two prints must agree, and the
+    /// two ASTs must agree modulo spans/ids.
+    fn round_trip(src: &str) {
+        let p1 = parse(src).unwrap_or_else(|e| panic!("initial parse: {e}"));
+        let out1 = print_program(&p1);
+        let p2 = parse(&out1).unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{out1}"));
+        let out2 = print_program(&p2);
+        assert_eq!(out1, out2, "printer must be a fixed point");
+    }
+
+    #[test]
+    fn round_trips_figure1() {
+        round_trip(
+            r#"
+func Exec(ctx context.Context) (string, error) {
+    outDone := make(chan error)
+    go func() {
+        err := StdCopy()
+        outDone <- err
+    }()
+    select {
+    case err := <-outDone:
+        if err != nil {
+            return "", err
+        }
+    case <-ctx.Done():
+        return "", ctx.Err()
+    }
+    return "ok", nil
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_control_flow() {
+        round_trip(
+            "func f(n int) int {\n s := 0\n for i := 0; i < n; i++ {\n  if i%2 == 0 {\n   s += i\n  } else if i > 5 {\n   s -= i\n  } else {\n   continue\n  }\n }\n return s\n}",
+        );
+    }
+
+    #[test]
+    fn round_trips_select_and_defer() {
+        round_trip(
+            "func f(ch chan int, stop chan struct{}) {\n defer close(ch)\n for {\n  select {\n  case ch <- 1:\n  case <-stop:\n   return\n  default:\n   break\n  }\n }\n}",
+        );
+    }
+
+    #[test]
+    fn round_trips_structs_and_composites() {
+        round_trip(
+            "type Res struct {\n ok bool\n n int\n}\nfunc f() Res {\n return Res{ok: true, n: 3}\n}",
+        );
+    }
+
+    #[test]
+    fn parens_preserved_for_precedence() {
+        let src = "func f(a, b, c int) int {\n return (a + b) * c\n}";
+        let prog = parse(src).unwrap();
+        let out = print_program(&prog);
+        assert!(out.contains("(a + b) * c"), "printed:\n{out}");
+        round_trip(src);
+    }
+
+    #[test]
+    fn print_stmt_for_reports() {
+        let prog = parse("func f(ch chan int) {\n ch <- 42\n}").unwrap();
+        let stmt = &prog.func("f").unwrap().body.stmts[0];
+        assert_eq!(print_stmt(stmt), "ch <- 42");
+    }
+
+    #[test]
+    fn print_type_formats() {
+        assert_eq!(print_type(&Type::Chan(Box::new(Type::Unit))), "chan struct{}");
+        assert_eq!(print_type(&Type::Ptr(Box::new(Type::Mutex))), "*sync.Mutex");
+        assert_eq!(
+            print_type(&Type::Func(vec![Type::Int], vec![Type::Int, Type::Error])),
+            "func(int) (int, error)"
+        );
+    }
+
+    #[test]
+    fn unit_literal_round_trips() {
+        round_trip("func f(stop chan struct{}) {\n stop <- struct{}{}\n}");
+    }
+
+    #[test]
+    fn waitgroup_and_context_round_trip() {
+        round_trip(
+            "func f() {\n var wg sync.WaitGroup\n wg.Add(1)\n ctx, cancel := context.WithCancel(context.Background())\n defer cancel()\n go func() {\n  wg.Done()\n }()\n wg.Wait()\n <-ctx.Done()\n}",
+        );
+    }
+}

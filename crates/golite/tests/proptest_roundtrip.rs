@@ -1,0 +1,163 @@
+//! Property tests: printing a randomly generated AST yields source that
+//! reparses, and the printer is a fixed point (print ∘ parse ∘ print = print).
+
+use golite::ast::*;
+use golite::token::Span;
+use golite::{parse, print_program};
+use proptest::prelude::*;
+
+fn e(kind: ExprKind) -> Expr {
+    Expr { kind, span: Span::synthetic(), id: NodeId(0) }
+}
+
+fn s(kind: StmtKind) -> Stmt {
+    Stmt { kind, span: Span::synthetic(), id: NodeId(0) }
+}
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("ch".to_string()),
+        Just("done".to_string()),
+        Just("n".to_string()),
+        Just("ok2".to_string()),
+    ]
+}
+
+fn type_strategy() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::Int),
+        Just(Type::Bool),
+        Just(Type::String),
+        Just(Type::Error),
+        Just(Type::Unit),
+        Just(Type::Mutex),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| Type::Chan(Box::new(t))),
+            inner.clone().prop_map(|t| Type::Ptr(Box::new(t))),
+            inner.prop_map(|t| Type::Slice(Box::new(t))),
+        ]
+    })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|v| e(ExprKind::Int(v))),
+        any::<bool>().prop_map(|b| e(ExprKind::Bool(b))),
+        Just(e(ExprKind::Nil)),
+        Just(e(ExprKind::UnitLit)),
+        ident_strategy().prop_map(|n| e(ExprKind::Ident(n))),
+        Just(e(ExprKind::Str("msg".into()))),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), binop_strategy()).prop_map(|(l, r, op)| e(
+                ExprKind::Binary(op, Box::new(l), Box::new(r))
+            )),
+            inner.clone().prop_map(|x| e(ExprKind::Unary(UnOp::Not, Box::new(x)))),
+            inner.clone().prop_map(|x| e(ExprKind::Recv(Box::new(x)))),
+            (ident_strategy(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(name, args)| e(ExprKind::Call {
+                    callee: Box::new(e(ExprKind::Ident(name))),
+                    args
+                })
+            ),
+            inner.prop_map(|x| e(ExprKind::Paren(Box::new(x)))),
+        ]
+    })
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Eq),
+        Just(BinOp::Lt),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        (ident_strategy(), expr_strategy())
+            .prop_map(|(n, rhs)| s(StmtKind::Define { names: vec![n], rhs })),
+        (ident_strategy(), expr_strategy()).prop_map(|(n, rhs)| s(StmtKind::Assign {
+            lhs: vec![e(ExprKind::Ident(n))],
+            op: AssignOp::Assign,
+            rhs
+        })),
+        (ident_strategy(), expr_strategy())
+            .prop_map(|(n, v)| s(StmtKind::Send { chan: e(ExprKind::Ident(n)), value: v })),
+        ident_strategy().prop_map(|n| s(StmtKind::Close(e(ExprKind::Ident(n))))),
+        expr_strategy().prop_map(|x| s(StmtKind::Return(vec![x]))),
+        Just(s(StmtKind::Break)),
+        Just(s(StmtKind::Continue)),
+        (ident_strategy(), type_strategy())
+            .prop_map(|(n, ty)| s(StmtKind::VarDecl { name: n, ty, init: None })),
+    ];
+    simple.prop_recursive(3, 16, 4, |inner| {
+        let block = proptest::collection::vec(inner.clone(), 0..4)
+            .prop_map(|stmts| Block { stmts, span: Span::synthetic() });
+        prop_oneof![
+            (expr_strategy(), block.clone()).prop_map(|(cond, then)| s(StmtKind::If {
+                cond,
+                then,
+                els: None
+            })),
+            block.clone().prop_map(|body| s(StmtKind::For {
+                init: None,
+                cond: None,
+                post: None,
+                body
+            })),
+            (expr_strategy(), block).prop_map(|(cond, body)| s(StmtKind::For {
+                init: None,
+                cond: Some(cond),
+                post: None,
+                body
+            })),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(stmt_strategy(), 0..8).prop_map(|stmts| Program {
+        package: "main".into(),
+        imports: vec![],
+        decls: vec![Decl::Func(FuncDecl {
+            name: "main".into(),
+            params: vec![],
+            results: vec![],
+            body: Block { stmts, span: Span::synthetic() },
+            span: Span::synthetic(),
+            id: NodeId(0),
+        })],
+        next_node_id: 1,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any printed program reparses successfully.
+    #[test]
+    fn printed_programs_reparse(prog in program_strategy()) {
+        let printed = print_program(&prog);
+        let reparsed = parse(&printed);
+        prop_assert!(reparsed.is_ok(), "printed program failed to reparse:\n{printed}\nerror: {:?}", reparsed.err());
+    }
+
+    /// print ∘ parse is a fixed point on printed output.
+    #[test]
+    fn printer_is_fixed_point(prog in program_strategy()) {
+        let once = print_program(&prog);
+        let reparsed = parse(&once).expect("must reparse");
+        let twice = print_program(&reparsed);
+        prop_assert_eq!(once, twice);
+    }
+}

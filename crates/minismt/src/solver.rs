@@ -1,0 +1,872 @@
+//! The DPLL(T) engine.
+//!
+//! The engine combines three propagation mechanisms over one assignment
+//! trail:
+//!
+//! 1. **Clauses** from the Tseitin encoding of asserted [`Term`]s;
+//! 2. **Pseudo-boolean constraints** (reified `Σ cᵢ·litᵢ <= k`), used for
+//!    GCatch's channel-buffer counters and exactly-one matching;
+//! 3. **Difference logic** for order atoms `x - y <= c`, checked eagerly by
+//!    the incremental [`DiffLogic`] theory whenever an order atom is
+//!    assigned.
+//!
+//! Search is DPLL with chronological backtracking plus conflict clauses
+//! harvested from theory cycles and violated PB constraints.
+
+use crate::dl::DiffLogic;
+use crate::term::{Atom, BoolVar, Cmp, IntVar, Term};
+use std::collections::HashMap;
+
+/// A satisfying assignment.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    bools: HashMap<BoolVar, bool>,
+    ints: HashMap<IntVar, i64>,
+}
+
+impl Model {
+    /// Value of a boolean variable, if it was mentioned in the problem.
+    pub fn bool_value(&self, v: BoolVar) -> Option<bool> {
+        self.bools.get(&v).copied()
+    }
+
+    /// Value of an integer variable, if it was mentioned in the problem.
+    /// Unconstrained variables default to 0.
+    pub fn int_value(&self, v: IntVar) -> Option<i64> {
+        self.ints.get(&v).copied()
+    }
+
+    /// Iterates over all integer variable values.
+    pub fn ints(&self) -> impl Iterator<Item = (IntVar, i64)> + '_ {
+        self.ints.iter().map(|(v, x)| (*v, *x))
+    }
+}
+
+/// The outcome of [`Solver::solve`].
+#[derive(Debug, Clone)]
+pub enum SolveResult {
+    /// A model satisfying all asserted terms.
+    Sat(Model),
+    /// No model exists.
+    Unsat,
+    /// The step limit was exhausted before a verdict.
+    Unknown,
+}
+
+impl SolveResult {
+    /// `true` if the result is [`SolveResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// `true` if the result is [`SolveResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+
+    /// Extracts the model, if satisfiable.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A constraint-solving context: create variables, assert terms, solve.
+///
+/// # Examples
+///
+/// ```
+/// use minismt::{Solver, Term};
+///
+/// let mut s = Solver::new();
+/// let a = s.fresh_int();
+/// let b = s.fresh_int();
+/// let c = s.fresh_int();
+/// s.assert(Term::lt(a, b));
+/// s.assert(Term::lt(b, c));
+/// let model = s.solve().model().expect("a < b < c is satisfiable");
+/// assert!(model.int_value(a) < model.int_value(b));
+///
+/// let mut s2 = Solver::new();
+/// let x = s2.fresh_int();
+/// let y = s2.fresh_int();
+/// s2.assert(Term::lt(x, y));
+/// s2.assert(Term::lt(y, x));
+/// assert!(s2.solve().is_unsat());
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    n_bool: u32,
+    n_int: u32,
+    asserted: Vec<Term>,
+    step_limit: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver with the default step limit.
+    pub fn new() -> Self {
+        Solver { n_bool: 0, n_int: 0, asserted: Vec::new(), step_limit: 5_000_000 }
+    }
+
+    /// Creates a fresh boolean variable.
+    pub fn fresh_bool(&mut self) -> BoolVar {
+        let v = BoolVar(self.n_bool);
+        self.n_bool += 1;
+        v
+    }
+
+    /// Creates a fresh integer variable.
+    pub fn fresh_int(&mut self) -> IntVar {
+        let v = IntVar(self.n_int);
+        self.n_int += 1;
+        v
+    }
+
+    /// Sets the search budget (number of propagation/decision steps).
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Asserts that `t` must hold in any model.
+    pub fn assert(&mut self, t: Term) {
+        self.asserted.push(t);
+    }
+
+    /// Number of asserted top-level terms.
+    pub fn num_assertions(&self) -> usize {
+        self.asserted.len()
+    }
+
+    /// Solves the conjunction of all asserted terms.
+    pub fn solve(&mut self) -> SolveResult {
+        let mut engine = Engine::new(self.step_limit);
+        for t in &self.asserted {
+            // Register any variable the formula mentions so the model covers it.
+            let mut atoms = Vec::new();
+            t.collect_atoms(&mut atoms);
+            for a in atoms {
+                engine.atom_var(&a);
+            }
+        }
+        for t in self.asserted.clone() {
+            let lit = engine.encode(&t);
+            engine.add_clause(vec![lit]);
+        }
+        engine.search()
+    }
+}
+
+// ---------------------------------------------------------------- internals
+
+/// A literal: variable index with polarity in the low bit (`v<<1 | neg`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Lit(u32);
+
+impl Lit {
+    fn pos(v: u32) -> Lit {
+        Lit(v << 1)
+    }
+
+    fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    fn neg(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// The value this literal requires its variable to take.
+    fn target(self) -> bool {
+        !self.is_neg()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum VarKind {
+    /// A free boolean (or Tseitin auxiliary) variable.
+    Free,
+    /// A difference-logic atom `x - y <= c`.
+    Diff { x: u32, y: u32, c: i64 },
+}
+
+#[derive(Debug)]
+struct PbConstraint {
+    /// Activation literal: `act` true ⇔ `Σ cᵢ·litᵢ <= k`.
+    act: Lit,
+    /// Positive-coefficient terms; a true literal contributes its coefficient.
+    terms: Vec<(i64, Lit)>,
+    k: i64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TrailEntry {
+    var: u32,
+    value: bool,
+    /// Whether this was a decision (searchable) or an implication.
+    decision: bool,
+    /// Whether the decision has already been flipped once.
+    flipped: bool,
+    /// Number of DL edges asserted before this entry.
+    dl_mark: usize,
+}
+
+struct Engine {
+    kinds: Vec<VarKind>,
+    values: Vec<Option<bool>>,
+    atom_ids: HashMap<Atom, u32>,
+    clauses: Vec<Vec<Lit>>,
+    /// var -> clause indices containing it.
+    occurs: Vec<Vec<u32>>,
+    pbs: Vec<PbConstraint>,
+    /// var -> PB indices containing it (as term or activation).
+    pb_occurs: Vec<Vec<u32>>,
+    trail: Vec<TrailEntry>,
+    queue: std::collections::VecDeque<Lit>,
+    dl: DiffLogic,
+    steps: u64,
+    limit: u64,
+    true_var: u32,
+}
+
+impl Engine {
+    fn new(limit: u64) -> Engine {
+        let mut e = Engine {
+            kinds: Vec::new(),
+            values: Vec::new(),
+            atom_ids: HashMap::new(),
+            clauses: Vec::new(),
+            occurs: Vec::new(),
+            pbs: Vec::new(),
+            pb_occurs: Vec::new(),
+            trail: Vec::new(),
+            queue: std::collections::VecDeque::new(),
+            dl: DiffLogic::new(),
+            steps: 0,
+            limit,
+            true_var: 0,
+        };
+        e.true_var = e.fresh_var(VarKind::Free);
+        e.add_clause(vec![Lit::pos(e.true_var)]);
+        e
+    }
+
+    fn fresh_var(&mut self, kind: VarKind) -> u32 {
+        let v = self.kinds.len() as u32;
+        self.kinds.push(kind);
+        self.values.push(None);
+        self.occurs.push(Vec::new());
+        self.pb_occurs.push(Vec::new());
+        v
+    }
+
+    fn atom_var(&mut self, atom: &Atom) -> u32 {
+        if let Some(&v) = self.atom_ids.get(atom) {
+            return v;
+        }
+        let kind = match atom {
+            Atom::Bool(_) => VarKind::Free,
+            Atom::DiffLe { x, y, c } => VarKind::Diff { x: x.0, y: y.0, c: *c },
+        };
+        let v = self.fresh_var(kind);
+        self.atom_ids.insert(*atom, v);
+        v
+    }
+
+    fn add_clause(&mut self, lits: Vec<Lit>) {
+        let idx = self.clauses.len() as u32;
+        for l in &lits {
+            self.occurs[l.var() as usize].push(idx);
+        }
+        self.clauses.push(lits);
+    }
+
+    // -------------------------------------------------------- CNF encoding
+
+    fn encode(&mut self, t: &Term) -> Lit {
+        match t {
+            Term::True => Lit::pos(self.true_var),
+            Term::False => Lit::pos(self.true_var).neg(),
+            Term::Atom(a) => Lit::pos(self.atom_var(a)),
+            Term::Not(inner) => self.encode(inner).neg(),
+            Term::And(ts) => {
+                let lits: Vec<Lit> = ts.iter().map(|t| self.encode(t)).collect();
+                let v = Lit::pos(self.fresh_var(VarKind::Free));
+                // v -> each lit
+                for &l in &lits {
+                    self.add_clause(vec![v.neg(), l]);
+                }
+                // all lits -> v
+                let mut clause: Vec<Lit> = lits.iter().map(|l| l.neg()).collect();
+                clause.push(v);
+                self.add_clause(clause);
+                v
+            }
+            Term::Or(ts) => {
+                let lits: Vec<Lit> = ts.iter().map(|t| self.encode(t)).collect();
+                let v = Lit::pos(self.fresh_var(VarKind::Free));
+                // v -> (l1 | ... | ln)
+                let mut clause = vec![v.neg()];
+                clause.extend(lits.iter().copied());
+                self.add_clause(clause);
+                // each lit -> v
+                for &l in &lits {
+                    self.add_clause(vec![l.neg(), v]);
+                }
+                v
+            }
+            Term::Linear { terms, cmp, k } => self.encode_linear(terms, *cmp, *k),
+        }
+    }
+
+    /// Reifies `Σ cᵢ·aᵢ cmp k` into an activation literal.
+    fn encode_linear(&mut self, terms: &[(i64, Atom)], cmp: Cmp, k: i64) -> Lit {
+        match cmp {
+            Cmp::Le => self.encode_le(terms, k),
+            Cmp::Lt => self.encode_le(terms, k - 1),
+            Cmp::Ge => {
+                let negated: Vec<(i64, Atom)> = terms.iter().map(|&(c, a)| (-c, a)).collect();
+                self.encode_le(&negated, -k)
+            }
+            Cmp::Gt => {
+                let negated: Vec<(i64, Atom)> = terms.iter().map(|&(c, a)| (-c, a)).collect();
+                self.encode_le(&negated, -k - 1)
+            }
+            Cmp::Eq => {
+                let le = self.encode_le(terms, k);
+                let negated: Vec<(i64, Atom)> = terms.iter().map(|&(c, a)| (-c, a)).collect();
+                let ge = self.encode_le(&negated, -k);
+                // v <-> le & ge
+                let v = Lit::pos(self.fresh_var(VarKind::Free));
+                self.add_clause(vec![v.neg(), le]);
+                self.add_clause(vec![v.neg(), ge]);
+                self.add_clause(vec![le.neg(), ge.neg(), v]);
+                v
+            }
+        }
+    }
+
+    /// Core reified `Σ cᵢ·aᵢ <= k` with arbitrary-sign coefficients.
+    /// Normalized to positive coefficients over possibly negated literals:
+    /// `-c·a == c·(¬a) - c`.
+    fn encode_le(&mut self, terms: &[(i64, Atom)], k: i64) -> Lit {
+        let mut norm: Vec<(i64, Lit)> = Vec::with_capacity(terms.len());
+        for &(c, ref a) in terms {
+            let v = self.atom_var(a);
+            if c > 0 {
+                norm.push((c, Lit::pos(v)));
+            } else if c < 0 {
+                // -|c|·a = |c|·(¬a) - |c|, so the bound k gains +|c|.
+                norm.push((-c, Lit::pos(v).neg()));
+            }
+        }
+        let shift: i64 = terms.iter().filter(|(c, _)| *c < 0).map(|(c, _)| c.abs()).sum();
+        let k = k + shift;
+
+        let act = Lit::pos(self.fresh_var(VarKind::Free));
+        let idx = self.pbs.len() as u32;
+        for (_, l) in &norm {
+            self.pb_occurs[l.var() as usize].push(idx);
+        }
+        self.pb_occurs[act.var() as usize].push(idx);
+        self.pbs.push(PbConstraint { act, terms: norm, k });
+        act
+    }
+
+    // ------------------------------------------------------------- search
+
+    fn value_of(&self, l: Lit) -> Option<bool> {
+        self.values[l.var() as usize].map(|v| v != l.is_neg())
+    }
+
+    fn enqueue(&mut self, l: Lit) {
+        self.queue.push_back(l);
+    }
+
+    /// Assigns `l`; returns false on an immediate theory conflict.
+    fn assign(&mut self, l: Lit, decision: bool) -> bool {
+        let var = l.var();
+        let value = l.target();
+        debug_assert!(self.values[var as usize].is_none());
+        let dl_mark = self.dl.active_len();
+        self.values[var as usize] = Some(value);
+        self.trail.push(TrailEntry { var, value, decision, flipped: false, dl_mark });
+
+        if let VarKind::Diff { x, y, c } = self.kinds[var as usize] {
+            let result = if value {
+                self.dl.assert(x as usize, y as usize, c, var)
+            } else {
+                // ¬(x - y <= c)  ⇔  y - x <= -c - 1
+                self.dl.assert(y as usize, x as usize, -c - 1, var)
+            };
+            if let Err(cycle) = result {
+                // Learn the cycle clause: at least one involved atom must flip.
+                let clause: Vec<Lit> = cycle
+                    .iter()
+                    .map(|&tag| {
+                        let val = self.values[tag as usize].expect("cycle atoms are assigned");
+                        if val {
+                            Lit::pos(tag).neg()
+                        } else {
+                            Lit::pos(tag)
+                        }
+                    })
+                    .collect();
+                self.add_clause(clause);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Undoes trail entries above `len`.
+    fn pop_to(&mut self, len: usize) {
+        while self.trail.len() > len {
+            let e = self.trail.pop().expect("len checked");
+            self.values[e.var as usize] = None;
+            self.dl.retract_to(e.dl_mark);
+        }
+        self.queue.clear();
+    }
+
+    /// Propagates until fixpoint. Returns false on conflict.
+    fn propagate(&mut self) -> bool {
+        loop {
+            let Some(l) = self.queue.pop_front() else { return true };
+            self.steps += 1;
+            match self.value_of(l) {
+                Some(true) => continue,
+                Some(false) => return false,
+                None => {
+                    if !self.assign(l, false) {
+                        return false;
+                    }
+                }
+            }
+            if !self.process_var(l.var()) {
+                return false;
+            }
+        }
+    }
+
+    /// Re-evaluates every clause and PB constraint mentioning `var` after it
+    /// was assigned. Returns false on conflict.
+    fn process_var(&mut self, var: u32) -> bool {
+        for ci in self.occurs[var as usize].clone() {
+            if !self.check_clause(ci as usize) {
+                return false;
+            }
+        }
+        for pi in self.pb_occurs[var as usize].clone() {
+            if !self.check_pb(pi as usize) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluates clause `ci`: detects conflict or unit-propagates.
+    fn check_clause(&mut self, ci: usize) -> bool {
+        let mut unassigned: Option<Lit> = None;
+        let mut n_unassigned = 0;
+        for &l in &self.clauses[ci] {
+            match self.value_of(l) {
+                Some(true) => return true,
+                Some(false) => {}
+                None => {
+                    n_unassigned += 1;
+                    unassigned = Some(l);
+                }
+            }
+        }
+        match n_unassigned {
+            0 => false,
+            1 => {
+                self.enqueue(unassigned.expect("counted one"));
+                true
+            }
+            _ => true,
+        }
+    }
+
+    /// Evaluates PB constraint `pi`: bounds checking plus propagation.
+    fn check_pb(&mut self, pi: usize) -> bool {
+        let (act, k) = (self.pbs[pi].act, self.pbs[pi].k);
+        let mut min = 0i64;
+        let mut max = 0i64;
+        for &(c, l) in &self.pbs[pi].terms {
+            match self.value_of(l) {
+                Some(true) => {
+                    min += c;
+                    max += c;
+                }
+                Some(false) => {}
+                None => max += c,
+            }
+        }
+        match self.value_of(act) {
+            Some(true) => {
+                // Σ <= k must hold.
+                if min > k {
+                    return self.pb_conflict(pi, true);
+                }
+                if max > k {
+                    // Force false any literal whose coefficient would overflow.
+                    let pending: Vec<Lit> = self.pbs[pi]
+                        .terms
+                        .iter()
+                        .filter(|&&(c, l)| self.value_of(l).is_none() && min + c > k)
+                        .map(|&(_, l)| l.neg())
+                        .collect();
+                    for l in pending {
+                        self.enqueue(l);
+                    }
+                }
+                true
+            }
+            Some(false) => {
+                // Σ >= k + 1 must hold.
+                if max < k + 1 {
+                    return self.pb_conflict(pi, false);
+                }
+                if min < k + 1 {
+                    let pending: Vec<Lit> = self.pbs[pi]
+                        .terms
+                        .iter()
+                        .filter(|&&(c, l)| self.value_of(l).is_none() && max - c < k + 1)
+                        .map(|&(_, l)| l)
+                        .collect();
+                    for l in pending {
+                        self.enqueue(l);
+                    }
+                }
+                true
+            }
+            None => {
+                if max <= k {
+                    self.enqueue(act);
+                } else if min > k {
+                    self.enqueue(act.neg());
+                }
+                true
+            }
+        }
+    }
+
+    /// Records a learned clause for a violated PB constraint and reports
+    /// conflict. `act_true` says which side of the reification was violated.
+    fn pb_conflict(&mut self, pi: usize, act_true: bool) -> bool {
+        let mut clause: Vec<Lit> = Vec::new();
+        let act = self.pbs[pi].act;
+        clause.push(if act_true { act.neg() } else { act });
+        let lits: Vec<(i64, Lit)> = self.pbs[pi].terms.clone();
+        for (_, l) in lits {
+            match self.value_of(l) {
+                // For the <= side, true literals push the sum up; for the >=
+                // side, false literals pull the max down.
+                Some(true) if act_true => clause.push(l.neg()),
+                Some(false) if !act_true => clause.push(l),
+                _ => {}
+            }
+        }
+        self.add_clause(clause);
+        false
+    }
+
+    fn search(&mut self) -> SolveResult {
+        // Initial pass over all constraints (handles empty/unit clauses and
+        // ground PB facts).
+        for ci in 0..self.clauses.len() {
+            if !self.check_clause(ci) {
+                return SolveResult::Unsat;
+            }
+        }
+        for pi in 0..self.pbs.len() {
+            if !self.check_pb(pi) {
+                return SolveResult::Unsat;
+            }
+        }
+        loop {
+            if self.steps > self.limit {
+                return SolveResult::Unknown;
+            }
+            if self.propagate() {
+                // Pick the next unassigned variable.
+                match self.values.iter().position(|v| v.is_none()) {
+                    None => return SolveResult::Sat(self.extract_model()),
+                    Some(var) => {
+                        let l = Lit::pos(var as u32).neg(); // try false first
+                        if (!self.assign(l, true) || !self.process_var(var as u32))
+                            && !self.backtrack() {
+                                return SolveResult::Unsat;
+                            }
+                    }
+                }
+            } else if !self.backtrack() {
+                return SolveResult::Unsat;
+            }
+        }
+    }
+
+    /// Flips the most recent unflipped decision; false if none remains.
+    fn backtrack(&mut self) -> bool {
+        loop {
+            let Some(pos) = self
+                .trail
+                .iter()
+                .rposition(|e| e.decision && !e.flipped)
+            else {
+                return false;
+            };
+            let entry = self.trail[pos];
+            self.pop_to(pos);
+            let flipped_lit = if entry.value {
+                Lit::pos(entry.var).neg()
+            } else {
+                Lit::pos(entry.var)
+            };
+            if self.assign(flipped_lit, true) {
+                // Mark as flipped so we never flip it back.
+                let last = self.trail.len() - 1;
+                self.trail[last].flipped = true;
+                if self.process_var(entry.var) {
+                    return true;
+                }
+            }
+            // Flipping caused an immediate conflict; undo and search for an
+            // earlier decision.
+            self.pop_to(pos);
+            self.steps += 1;
+            if self.steps > self.limit {
+                return false;
+            }
+        }
+    }
+
+    fn extract_model(&self) -> Model {
+        let mut model = Model::default();
+        for (atom, &var) in &self.atom_ids {
+            if let Atom::Bool(b) = atom {
+                model.bools.insert(*b, self.values[var as usize].unwrap_or(false));
+            }
+        }
+        // Integer values come from the difference-logic potential.
+        let mut int_vars: Vec<u32> = Vec::new();
+        for atom in self.atom_ids.keys() {
+            if let Atom::DiffLe { x, y, .. } = atom {
+                int_vars.push(x.0);
+                int_vars.push(y.0);
+            }
+        }
+        int_vars.sort_unstable();
+        int_vars.dedup();
+        for v in int_vars {
+            model.ints.insert(IntVar(v), self.dl.value(v as usize));
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Atom, Term};
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        s.assert(Term::True);
+        assert!(s.solve().is_sat());
+
+        let mut s = Solver::new();
+        s.assert(Term::False);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn boolean_contradiction() {
+        let mut s = Solver::new();
+        let a = s.fresh_bool();
+        s.assert(Term::var(a));
+        s.assert(Term::not(Term::var(a)));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn disjunction_finds_witness() {
+        let mut s = Solver::new();
+        let a = s.fresh_bool();
+        let b = s.fresh_bool();
+        s.assert(Term::or([Term::var(a), Term::var(b)]));
+        s.assert(Term::not(Term::var(a)));
+        let m = s.solve().model().unwrap();
+        assert_eq!(m.bool_value(a), Some(false));
+        assert_eq!(m.bool_value(b), Some(true));
+    }
+
+    #[test]
+    fn order_cycle_is_unsat() {
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..4).map(|_| s.fresh_int()).collect();
+        for w in vars.windows(2) {
+            s.assert(Term::lt(w[0], w[1]));
+        }
+        s.assert(Term::lt(vars[3], vars[0]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn order_chain_model_is_ordered() {
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..6).map(|_| s.fresh_int()).collect();
+        for w in vars.windows(2) {
+            s.assert(Term::lt(w[0], w[1]));
+        }
+        let m = s.solve().model().unwrap();
+        for w in vars.windows(2) {
+            assert!(m.int_value(w[0]).unwrap() < m.int_value(w[1]).unwrap());
+        }
+    }
+
+    #[test]
+    fn conditional_order_via_bool() {
+        // p -> (a < b), ¬p -> (b < a), and a < b forced: p must be true.
+        let mut s = Solver::new();
+        let p = s.fresh_bool();
+        let a = s.fresh_int();
+        let b = s.fresh_int();
+        s.assert(Term::implies(Term::var(p), Term::lt(a, b)));
+        s.assert(Term::implies(Term::not(Term::var(p)), Term::lt(b, a)));
+        s.assert(Term::lt(a, b));
+        let m = s.solve().model().unwrap();
+        assert_eq!(m.bool_value(p), Some(true));
+    }
+
+    #[test]
+    fn exactly_one_picks_one() {
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..5).map(|_| s.fresh_bool()).collect();
+        s.assert(Term::exactly_one(vars.iter().map(|&v| Atom::Bool(v))));
+        let m = s.solve().model().unwrap();
+        let count = vars.iter().filter(|&&v| m.bool_value(v) == Some(true)).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn exactly_one_conflicts_with_two_forced() {
+        let mut s = Solver::new();
+        let a = s.fresh_bool();
+        let b = s.fresh_bool();
+        s.assert(Term::exactly_one([Atom::Bool(a), Atom::Bool(b)]));
+        s.assert(Term::var(a));
+        s.assert(Term::var(b));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn linear_ge_counts() {
+        // At least 2 of 3 must hold, and one is forced false.
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..3).map(|_| s.fresh_bool()).collect();
+        s.assert(Term::Linear {
+            terms: vars.iter().map(|&v| (1, Atom::Bool(v))).collect(),
+            cmp: Cmp::Ge,
+            k: 2,
+        });
+        s.assert(Term::not(Term::var(vars[0])));
+        let m = s.solve().model().unwrap();
+        assert_eq!(m.bool_value(vars[1]), Some(true));
+        assert_eq!(m.bool_value(vars[2]), Some(true));
+    }
+
+    #[test]
+    fn negative_coefficients_subtract() {
+        // a - b <= 0 with a forced true requires b true.
+        let mut s = Solver::new();
+        let a = s.fresh_bool();
+        let b = s.fresh_bool();
+        s.assert(Term::Linear {
+            terms: vec![(1, Atom::Bool(a)), (-1, Atom::Bool(b))],
+            cmp: Cmp::Le,
+            k: 0,
+        });
+        s.assert(Term::var(a));
+        let m = s.solve().model().unwrap();
+        assert_eq!(m.bool_value(b), Some(true));
+    }
+
+    #[test]
+    fn channel_buffer_style_encoding() {
+        // Mimics GCatch's unbuffered-send blocking constraint: a send with
+        // BS = 0 cannot proceed via the buffer, so the matching disjunct
+        // must hold, forcing P and the order equality.
+        let mut s = Solver::new();
+        let p = s.fresh_bool(); // P(send, recv)
+        let o_send = s.fresh_int();
+        let o_recv = s.fresh_int();
+        let o_before = s.fresh_int();
+        // "buffer has room" is CB < 0 which is false for an empty sum:
+        let buffer_ok = Term::Linear { terms: vec![], cmp: Cmp::Lt, k: 0 };
+        let matched = Term::and([
+            Term::var(p),
+            Term::eq_int(o_send, o_recv),
+        ]);
+        s.assert(Term::or([buffer_ok, matched]));
+        s.assert(Term::lt(o_before, o_send));
+        let m = s.solve().model().unwrap();
+        assert_eq!(m.bool_value(p), Some(true));
+        assert_eq!(m.int_value(o_send), m.int_value(o_recv));
+        assert!(m.int_value(o_before).unwrap() < m.int_value(o_send).unwrap());
+    }
+
+    #[test]
+    fn eq_linear_reification() {
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..4).map(|_| s.fresh_bool()).collect();
+        // Exactly 2 of 4.
+        s.assert(Term::Linear {
+            terms: vars.iter().map(|&v| (1, Atom::Bool(v))).collect(),
+            cmp: Cmp::Eq,
+            k: 2,
+        });
+        let m = s.solve().model().unwrap();
+        let count = vars.iter().filter(|&&v| m.bool_value(v) == Some(true)).count();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn unknown_on_tiny_budget() {
+        let mut s = Solver::new();
+        s.set_step_limit(1);
+        let vars: Vec<_> = (0..30).map(|_| s.fresh_bool()).collect();
+        // A moderately hard pigeonhole-ish instance.
+        for chunk in vars.chunks(3) {
+            s.assert(Term::exactly_one(chunk.iter().map(|&v| Atom::Bool(v))));
+        }
+        assert!(matches!(s.solve(), SolveResult::Unknown | SolveResult::Sat(_)));
+    }
+
+    #[test]
+    fn mixed_theory_and_boolean_backtracking() {
+        // Force the solver to backtrack across theory assignments:
+        // (a<b ∨ b<a) ∧ (b<c) ∧ (c<a ∨ q) — the only consistent choice in the
+        // first disjunct with c<a is b<a...a<b... exercise search.
+        let mut s = Solver::new();
+        let a = s.fresh_int();
+        let b = s.fresh_int();
+        let c = s.fresh_int();
+        let q = s.fresh_bool();
+        s.assert(Term::or([Term::lt(a, b), Term::lt(b, a)]));
+        s.assert(Term::lt(b, c));
+        s.assert(Term::or([Term::lt(c, a), Term::var(q)]));
+        s.assert(Term::not(Term::var(q)));
+        // c < a forces b < c < a, so first disjunct must pick b < a.
+        let m = s.solve().model().unwrap();
+        assert!(m.int_value(b).unwrap() < m.int_value(a).unwrap());
+    }
+}

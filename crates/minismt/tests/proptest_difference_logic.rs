@@ -1,0 +1,102 @@
+//! Property tests for the incremental difference-logic theory against a
+//! Floyd–Warshall reference, including backtracking behavior.
+
+use minismt::DiffLogic;
+use proptest::prelude::*;
+
+const N: usize = 5;
+
+#[derive(Debug, Clone)]
+struct EdgeSpec {
+    x: usize,
+    y: usize,
+    c: i64,
+}
+
+fn edges_strategy() -> impl Strategy<Value = Vec<EdgeSpec>> {
+    proptest::collection::vec(
+        (0..N, 0..N, -2i64..=2).prop_map(|(x, y, c)| EdgeSpec { x, y, c }),
+        1..12,
+    )
+}
+
+/// Floyd–Warshall feasibility of `x - y <= c` constraints.
+fn reference_feasible(edges: &[EdgeSpec]) -> bool {
+    let inf = i64::MAX / 4;
+    let mut d = vec![vec![inf; N]; N];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for e in edges {
+        // Constraint x - y <= c: edge y -> x with weight c.
+        if d[e.y][e.x] > e.c {
+            d[e.y][e.x] = e.c;
+        }
+    }
+    for k in 0..N {
+        for i in 0..N {
+            for j in 0..N {
+                if d[i][k] + d[k][j] < d[i][j] {
+                    d[i][j] = d[i][k] + d[k][j];
+                }
+            }
+        }
+    }
+    (0..N).all(|i| d[i][i] >= 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Incremental assertion agrees with the batch reference: the theory
+    /// accepts exactly the feasible prefixes.
+    #[test]
+    fn incremental_matches_floyd_warshall(edges in edges_strategy()) {
+        let mut dl = DiffLogic::new();
+        let mut accepted: Vec<EdgeSpec> = Vec::new();
+        for (tag, e) in edges.iter().enumerate() {
+            let verdict = dl.assert(e.x, e.y, e.c, tag as u32);
+            let mut candidate = accepted.clone();
+            candidate.push(e.clone());
+            let feasible = reference_feasible(&candidate);
+            prop_assert_eq!(
+                verdict.is_ok(),
+                feasible,
+                "edge {:?} against accepted {:?}",
+                e,
+                accepted
+            );
+            if verdict.is_ok() {
+                accepted.push(e.clone());
+                prop_assert!(dl.check_invariant());
+                // The maintained potential is a real model.
+                for a in &accepted {
+                    prop_assert!(dl.value(a.x) - dl.value(a.y) <= a.c);
+                }
+            }
+        }
+    }
+
+    /// Retracting restores acceptance of previously conflicting edges.
+    #[test]
+    fn retract_reopens_the_state(edges in edges_strategy()) {
+        let mut dl = DiffLogic::new();
+        let mut n_active = 0usize;
+        for (tag, e) in edges.iter().enumerate() {
+            if dl.assert(e.x, e.y, e.c, tag as u32).is_ok() {
+                n_active += 1;
+            }
+        }
+        prop_assert_eq!(dl.active_len(), n_active);
+        // Retract everything; any single edge must now be accepted.
+        dl.retract_to(0);
+        for e in &edges {
+            if e.x != e.y || e.c >= 0 {
+                let mut fresh = DiffLogic::new();
+                prop_assert!(fresh.assert(e.x, e.y, e.c, 0).is_ok() == reference_feasible(std::slice::from_ref(e)));
+                prop_assert!(dl.assert(e.x, e.y, e.c, 99).is_ok() == reference_feasible(std::slice::from_ref(e)));
+                dl.retract_to(0);
+            }
+        }
+    }
+}

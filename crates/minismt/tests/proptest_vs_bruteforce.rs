@@ -1,0 +1,211 @@
+//! Differential testing: the DPLL(T) solver must agree with a brute-force
+//! reference on small random instances.
+//!
+//! The reference enumerates every truth assignment of the atoms appearing in
+//! the formula, evaluates the boolean structure (with linear constraints
+//! evaluated arithmetically), and checks difference-logic consistency of the
+//! implied edge set with Floyd–Warshall.
+
+use minismt::{Atom, BoolVar, Cmp, IntVar, SolveResult, Solver, Term};
+use proptest::prelude::*;
+
+const N_INT: u32 = 4;
+const N_BOOL: u32 = 3;
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        (0..N_BOOL).prop_map(|v| Atom::Bool(BoolVar(v))),
+        (0..N_INT, 0..N_INT, -1i64..=1).prop_map(|(x, y, c)| Atom::DiffLe {
+            x: IntVar(x),
+            y: IntVar(y),
+            c
+        }),
+    ]
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        4 => atom_strategy().prop_map(Term::Atom),
+        1 => Just(Term::True),
+        1 => Just(Term::False),
+        2 => (proptest::collection::vec((-1i64..=1, atom_strategy()), 1..4), -2i64..=3)
+            .prop_map(|(terms, k)| {
+                let terms: Vec<(i64, Atom)> =
+                    terms.into_iter().filter(|(c, _)| *c != 0).collect();
+                if terms.is_empty() {
+                    Term::True
+                } else {
+                    Term::Linear { terms, cmp: Cmp::Le, k }
+                }
+            }),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Term::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Term::Or),
+            inner.prop_map(|t| Term::Not(Box::new(t))),
+        ]
+    })
+}
+
+/// Collect distinct atoms of a term.
+fn atoms_of(t: &Term) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    t.collect_atoms(&mut atoms);
+    let mut seen = Vec::new();
+    for a in atoms {
+        if !seen.contains(&a) {
+            seen.push(a);
+        }
+    }
+    seen
+}
+
+fn eval(t: &Term, atoms: &[Atom], assignment: u32) -> bool {
+    let truth = |a: &Atom| -> bool {
+        let idx = atoms.iter().position(|x| x == a).expect("atom registered");
+        assignment >> idx & 1 == 1
+    };
+    fn go(t: &Term, truth: &dyn Fn(&Atom) -> bool) -> bool {
+        match t {
+            Term::True => true,
+            Term::False => false,
+            Term::Atom(a) => truth(a),
+            Term::Not(inner) => !go(inner, truth),
+            Term::And(ts) => ts.iter().all(|t| go(t, truth)),
+            Term::Or(ts) => ts.iter().any(|t| go(t, truth)),
+            Term::Linear { terms, cmp, k } => {
+                let sum: i64 =
+                    terms.iter().map(|(c, a)| if truth(a) { *c } else { 0 }).sum();
+                match cmp {
+                    Cmp::Lt => sum < *k,
+                    Cmp::Le => sum <= *k,
+                    Cmp::Gt => sum > *k,
+                    Cmp::Ge => sum >= *k,
+                    Cmp::Eq => sum == *k,
+                }
+            }
+        }
+    }
+    go(t, &truth)
+}
+
+/// Floyd–Warshall feasibility of the difference constraints implied by an
+/// atom assignment (true: `x - y <= c`; false: `y - x <= -c-1`).
+fn diff_consistent(atoms: &[Atom], assignment: u32) -> bool {
+    let n = N_INT as usize;
+    let inf = i64::MAX / 4;
+    let mut d = vec![vec![inf; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for (idx, atom) in atoms.iter().enumerate() {
+        if let Atom::DiffLe { x, y, c } = atom {
+            let (x, y) = (x.0 as usize, y.0 as usize);
+            let (fx, fy, fc) = if assignment >> idx & 1 == 1 {
+                (x, y, *c)
+            } else {
+                (y, x, -c - 1)
+            };
+            // Constraint fx - fy <= fc: edge fy -> fx of weight fc.
+            if d[fy][fx] > fc {
+                d[fy][fx] = fc;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if d[i][k] + d[k][j] < d[i][j] {
+                    d[i][j] = d[i][k] + d[k][j];
+                }
+            }
+        }
+    }
+    (0..n).all(|i| d[i][i] >= 0)
+}
+
+fn brute_force_sat(t: &Term) -> bool {
+    let atoms = atoms_of(t);
+    assert!(atoms.len() <= 20, "instance too large for brute force");
+    (0u32..1 << atoms.len())
+        .any(|assignment| eval(t, &atoms, assignment) && diff_consistent(&atoms, assignment))
+}
+
+/// Validates a SAT model against the original term.
+fn model_satisfies(t: &Term, model: &minismt::Model) -> bool {
+    fn truth(a: &Atom, model: &minismt::Model) -> bool {
+        match a {
+            Atom::Bool(v) => model.bool_value(*v).unwrap_or(false),
+            Atom::DiffLe { x, y, c } => {
+                let vx = model.int_value(*x).unwrap_or(0);
+                let vy = model.int_value(*y).unwrap_or(0);
+                vx - vy <= *c
+            }
+        }
+    }
+    fn go(t: &Term, model: &minismt::Model) -> bool {
+        match t {
+            Term::True => true,
+            Term::False => false,
+            Term::Atom(a) => truth(a, model),
+            Term::Not(inner) => !go(inner, model),
+            Term::And(ts) => ts.iter().all(|t| go(t, model)),
+            Term::Or(ts) => ts.iter().any(|t| go(t, model)),
+            Term::Linear { terms, cmp, k } => {
+                let sum: i64 = terms
+                    .iter()
+                    .map(|(c, a)| if truth(a, model) { *c } else { 0 })
+                    .sum();
+                match cmp {
+                    Cmp::Lt => sum < *k,
+                    Cmp::Le => sum <= *k,
+                    Cmp::Gt => sum > *k,
+                    Cmp::Ge => sum >= *k,
+                    Cmp::Eq => sum == *k,
+                }
+            }
+        }
+    }
+    go(t, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Solver verdicts agree with brute force, and SAT models actually
+    /// satisfy the formula.
+    #[test]
+    fn solver_agrees_with_bruteforce(t in term_strategy()) {
+        let expected = brute_force_sat(&t);
+        let mut s = Solver::new();
+        s.assert(t.clone());
+        match s.solve() {
+            SolveResult::Sat(model) => {
+                prop_assert!(expected, "solver said SAT, brute force says UNSAT: {t}");
+                prop_assert!(model_satisfies(&t, &model),
+                    "model does not satisfy the formula: {t}");
+            }
+            SolveResult::Unsat => {
+                prop_assert!(!expected, "solver said UNSAT, brute force says SAT: {t}");
+            }
+            SolveResult::Unknown => prop_assert!(false, "budget exhausted on a tiny instance"),
+        }
+    }
+
+    /// Conjunction of two terms is SAT only if each conjunct is SAT.
+    #[test]
+    fn conjunction_soundness(a in term_strategy(), b in term_strategy()) {
+        let mut s = Solver::new();
+        s.assert(a.clone());
+        s.assert(b.clone());
+        if s.solve().is_sat() {
+            let mut sa = Solver::new();
+            sa.assert(a);
+            prop_assert!(sa.solve().is_sat());
+            let mut sb = Solver::new();
+            sb.assert(b);
+            prop_assert!(sb.solve().is_sat());
+        }
+    }
+}

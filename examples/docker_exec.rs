@@ -1,0 +1,86 @@
+//! Figure 1 of the paper: the previously unknown Docker bug in `Exec()` —
+//! the child goroutine's send on `outDone` leaks when the context is
+//! cancelled first — and GFix's one-line Strategy-I patch.
+//!
+//! Run with: `cargo run --example docker_exec`
+
+use gcatch_suite::{gcatch, gfix, ir, sim};
+
+const DOCKER_EXEC: &str = r#"
+package docker
+
+func StdCopy() error {
+    return nil
+}
+
+func Exec(ctx context.Context) error {
+    outDone := make(chan error)
+    go func() {
+        err := StdCopy()
+        outDone <- err
+    }()
+    select {
+    case err := <-outDone:
+        if err != nil {
+            return err
+        }
+    case <-ctx.Done():
+        return ctx.Err()
+    }
+    return nil
+}
+
+func main() {
+    ctx, cancel := context.WithCancel(context.Background())
+    cancel()
+    Exec(ctx)
+}
+"#;
+
+fn main() {
+    let pipeline = gfix::Pipeline::from_source(DOCKER_EXEC).expect("Figure 1 parses");
+
+    // Static detection: GCatch reports the child's send as the root cause,
+    // with the solver's witness interleaving (the paper's "3 → ... → 14 →
+    // 6 → 7" order).
+    let results = pipeline.run(&gcatch::DetectorConfig::default());
+    let bug = results
+        .bugs
+        .iter()
+        .find(|b| b.primitive_name == "outDone")
+        .expect("the Figure 1 bug is detected");
+    println!("=== GCatch report ===\n{bug}");
+
+    // Dynamic confirmation: explore schedules until the leak shows up.
+    let module = ir::lower_source(DOCKER_EXEC).unwrap();
+    let simulator = sim::Simulator::new(&module);
+    let leaky = simulator
+        .explore(&sim::Config::default(), 0..60)
+        .into_iter()
+        .find(|r| r.is_blocking());
+    match leaky {
+        Some(run) => {
+            println!("=== leak witnessed (seed search) ===");
+            for b in &run.blocked {
+                println!("goroutine {} blocked in {} at {} ({:?})", b.id, b.func, b.span, b.reason);
+            }
+        }
+        None => println!("(no leak within 60 seeds — rerun with more)"),
+    }
+
+    // The fix: exactly the paper's patch — buffer size 0 → 1.
+    let patch = results.patches.first().expect("Strategy I applies");
+    assert_eq!(patch.strategy, gfix::Strategy::IncreaseBuffer);
+    println!("\n=== GFix patch ({}) ===", patch.strategy);
+    println!("{}", patch.description);
+    assert!(patch.after.contains("make(chan error, 1)"));
+
+    let v = gfix::validate(&patch.before, &patch.after, "main", 60);
+    println!("\n=== validation ===");
+    println!(
+        "bug realized: {} | patch never blocks: {} | semantics preserved: {}",
+        v.bug_realized, v.patch_blocks_never, v.semantics_preserved
+    );
+    assert!(v.is_correct());
+    println!("\nDocker applied this exact patch upstream (paper, §1).");
+}

@@ -1,0 +1,93 @@
+//! A tour of the runtime simulator: outcomes, blocked-goroutine reports,
+//! schedule exploration, and sleep injection — the substrate behind the
+//! paper's §5.3 patch validation.
+//!
+//! Run with: `cargo run --example simulator_playground`
+
+use gcatch_suite::ir;
+use gcatch_suite::sim::{Config, Outcome, Simulator};
+
+fn show(title: &str, src: &str, seeds: u64) {
+    println!("== {title} ==");
+    let module = ir::lower_source(src).expect("program lowers");
+    let sim = Simulator::new(&module);
+    let mut counts = std::collections::BTreeMap::new();
+    for report in sim.explore(&Config::default(), 0..seeds) {
+        let key = match &report.outcome {
+            Outcome::Clean => "clean",
+            Outcome::Leak => "goroutine leak",
+            Outcome::GlobalDeadlock => "global deadlock",
+            Outcome::Panic(_) => "panic",
+            Outcome::StepLimit => "step limit",
+        };
+        *counts.entry(key).or_insert(0usize) += 1;
+    }
+    for (outcome, n) in &counts {
+        println!("  {outcome}: {n}/{seeds} schedules");
+    }
+    // Show one blocked-goroutine report if any schedule blocked.
+    if let Some(blocked_run) = sim.explore(&Config::default(), 0..seeds).iter().find(|r| r.is_blocking())
+    {
+        for b in &blocked_run.blocked {
+            println!("  e.g. goroutine {} blocked in `{}` at {} ({:?})", b.id, b.func, b.span, b.reason);
+        }
+    }
+    println!();
+}
+
+fn main() {
+    show(
+        "rendezvous (always clean)",
+        "func main() {\n ch := make(chan int)\n go func() {\n  ch <- 1\n }()\n fmt.Println(<-ch)\n}",
+        20,
+    );
+
+    show(
+        "racy select (sometimes leaks — Figure 1's shape)",
+        r#"
+func main() {
+    done := make(chan int)
+    quit := make(chan int, 1)
+    quit <- 1
+    go func() {
+        done <- 1
+    }()
+    select {
+    case <-done:
+    case <-quit:
+    }
+}
+"#,
+        40,
+    );
+
+    show(
+        "self deadlock (always global deadlock)",
+        "func main() {\n ch := make(chan int)\n ch <- 1\n}",
+        5,
+    );
+
+    show(
+        "send on closed channel (always panic)",
+        "func main() {\n ch := make(chan int, 1)\n close(ch)\n ch <- 1\n}",
+        5,
+    );
+
+    // Deterministic replay: the same seed reproduces the same run exactly.
+    let module = ir::lower_source(
+        "func main() {\n ch := make(chan int, 2)\n go func() {\n  ch <- 1\n  ch <- 2\n }()\n fmt.Println(<-ch + <-ch)\n}",
+    )
+    .unwrap();
+    let sim = Simulator::new(&module);
+    let a = sim.run(&Config { seed: 9, ..Config::default() });
+    let b = sim.run(&Config { seed: 9, ..Config::default() });
+    assert_eq!(a.steps, b.steps);
+    println!("deterministic replay: seed 9 → {} steps, output {:?} (twice)", a.steps, a.output);
+
+    // Sleep injection perturbs interleavings without changing semantics.
+    let slept = sim.run(&Config { seed: 9, sleep_injection: true, ..Config::default() });
+    println!(
+        "sleep injection: {} steps (schedule changed), output {:?} (semantics kept)",
+        slept.steps, slept.output
+    );
+}

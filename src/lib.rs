@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the full GCatch/GFix reproduction API.
+pub use gcatch;
+pub use gfix;
+pub use go_corpus as corpus;
+pub use golite;
+pub use golite_ir as ir;
+pub use golite_sim as sim;
+pub use minismt;

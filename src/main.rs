@@ -1,0 +1,199 @@
+//! `gcatch` — command-line front end for the GCatch/GFix reproduction.
+//!
+//! ```console
+//! $ gcatch check file.go              # detect bugs (BMOC + traditional)
+//! $ gcatch fix file.go                # detect, patch, print the diffs
+//! $ gcatch fix --write file.go        # apply the patched source in place
+//! $ gcatch simulate file.go --seeds 50 --entry main
+//! $ gcatch extended file.go           # §6 send-on-closed panic detector
+//! ```
+
+use gcatch_suite::gcatch::{Detector, DetectorConfig, GCatch};
+use gcatch_suite::{gfix, sim};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "check" => cmd_check(rest),
+        "fix" => cmd_fix(rest),
+        "simulate" => cmd_simulate(rest),
+        "extended" => cmd_extended(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("gcatch: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: gcatch <command> [options] <file.go>
+
+commands:
+  check                 detect BMOC and traditional concurrency bugs
+  fix [--write]         detect and patch; --write applies the result in place
+  simulate [--seeds N] [--entry F]
+                        explore schedules and report outcomes
+  extended              run the send-on-closed (panic) detector (paper §6)
+
+exit status: 0 = clean, 1 = bugs found, 2 = usage or input error";
+
+/// A parsed `--flag [value]` pair.
+type Flag = (String, Option<String>);
+
+/// Splits flags from the single positional file argument.
+fn parse_common(rest: &[String]) -> Result<(String, Vec<Flag>), String> {
+    let mut file = None;
+    let mut flags = Vec::new();
+    let mut it = rest.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let takes_value = matches!(name, "seeds" | "entry");
+            let value = if takes_value {
+                Some(it.next().ok_or_else(|| format!("--{name} needs a value"))?.clone())
+            } else {
+                None
+            };
+            flags.push((name.to_string(), value));
+        } else if file.is_none() {
+            file = Some(arg.clone());
+        } else {
+            return Err(format!("unexpected argument `{arg}`"));
+        }
+    }
+    let file = file.ok_or("missing input file")?;
+    Ok((file, flags))
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
+    let (path, _) = parse_common(rest)?;
+    let src = read_source(&path)?;
+    let module = gcatch_suite::ir::lower_source(&src)?;
+    let gcatch = GCatch::new(&module);
+    let bugs = gcatch.detect_all(&DetectorConfig::default());
+    if bugs.is_empty() {
+        println!("{path}: no concurrency bugs detected");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("{path}: {} bug(s) detected\n", bugs.len());
+    for bug in &bugs {
+        println!("{bug}");
+    }
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_fix(rest: &[String]) -> Result<ExitCode, String> {
+    let (path, flags) = parse_common(rest)?;
+    let write = flags.iter().any(|(n, _)| n == "write");
+    let src = read_source(&path)?;
+    let pipeline = gfix::Pipeline::from_source(&src)?;
+    let results = pipeline.run(&DetectorConfig::default());
+    if results.bugs.is_empty() {
+        println!("{path}: no concurrency bugs detected");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("{path}: {} bug(s), {} patched\n", results.bugs.len(), results.patches.len());
+    let mut final_source: Option<String> = None;
+    for patch in &results.patches {
+        println!("[{}] {} ({} changed lines)", patch.strategy, patch.description, patch.changed_lines);
+        for (before, after) in patch.before.lines().zip(patch.after.lines()) {
+            if before != after {
+                println!("  - {before}");
+                println!("  + {after}");
+            }
+        }
+        println!();
+        // Sequential application: re-run later patches on the updated source
+        // would be the full story; applying the first is the common case.
+        if final_source.is_none() {
+            final_source = Some(patch.after.clone());
+        }
+    }
+    for (bug, why) in &results.rejections {
+        println!("not fixed: {} — {why}", bug.primitive_name);
+    }
+    if write {
+        if let Some(out) = final_source {
+            std::fs::write(&path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote patched source to {path} (first patch applied)");
+        }
+    }
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_simulate(rest: &[String]) -> Result<ExitCode, String> {
+    let (path, flags) = parse_common(rest)?;
+    let seeds: u64 = flags
+        .iter()
+        .find(|(n, _)| n == "seeds")
+        .and_then(|(_, v)| v.as_deref())
+        .map_or(Ok(30), str::parse)
+        .map_err(|e| format!("bad --seeds: {e}"))?;
+    let entry = flags
+        .iter()
+        .find(|(n, _)| n == "entry")
+        .and_then(|(_, v)| v.clone())
+        .unwrap_or_else(|| "main".to_string());
+    let src = read_source(&path)?;
+    let module = gcatch_suite::ir::lower_source(&src)?;
+    let simulator = sim::Simulator::new(&module);
+    let config = sim::Config { entry, ..sim::Config::default() };
+    let mut blocked = 0usize;
+    let mut panicked = 0usize;
+    let mut clean = 0usize;
+    let mut sample: Option<sim::RunReport> = None;
+    for report in simulator.explore(&config, 0..seeds) {
+        match report.outcome {
+            sim::Outcome::Clean => clean += 1,
+            sim::Outcome::Panic(_) => panicked += 1,
+            sim::Outcome::Leak | sim::Outcome::GlobalDeadlock => {
+                blocked += 1;
+                if sample.is_none() {
+                    sample = Some(report);
+                }
+            }
+            sim::Outcome::StepLimit => {}
+        }
+    }
+    println!("{path}: {seeds} schedules — {clean} clean, {blocked} blocked, {panicked} panicked");
+    if let Some(report) = sample {
+        println!("example blocked schedule:");
+        for b in &report.blocked {
+            println!("  goroutine {} blocked in `{}` at {} ({:?})", b.id, b.func, b.span, b.reason);
+        }
+    }
+    Ok(if blocked + panicked > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn cmd_extended(rest: &[String]) -> Result<ExitCode, String> {
+    let (path, _) = parse_common(rest)?;
+    let src = read_source(&path)?;
+    let module = gcatch_suite::ir::lower_source(&src)?;
+    let detector = Detector::new(&module);
+    let bugs = detector.detect_send_on_closed(&DetectorConfig::default());
+    if bugs.is_empty() {
+        println!("{path}: no send-on-closed panics detected");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("{path}: {} potential panic(s)\n", bugs.len());
+    for bug in &bugs {
+        println!("{bug}");
+    }
+    Ok(ExitCode::FAILURE)
+}

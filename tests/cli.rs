@@ -1,0 +1,130 @@
+//! Integration tests for the `gcatch` CLI binary.
+
+use std::process::Command;
+
+fn gcatch() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gcatch-suite"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("gcatch-cli-{name}-{}.go", std::process::id()));
+    std::fs::write(&path, contents).expect("temp file written");
+    path
+}
+
+const BUGGY: &str = r#"
+package main
+
+func main() {
+    done := make(chan int)
+    quit := make(chan int, 1)
+    quit <- 1
+    go func() {
+        done <- 1
+    }()
+    select {
+    case <-done:
+    case <-quit:
+    }
+}
+"#;
+
+const CLEAN: &str = r#"
+package main
+
+func main() {
+    ch := make(chan int)
+    go func() {
+        ch <- 1
+    }()
+    <-ch
+}
+"#;
+
+#[test]
+fn check_reports_bugs_with_exit_1() {
+    let path = write_temp("check-buggy", BUGGY);
+    let out = gcatch().args(["check", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("BMOC-C"), "stdout: {stdout}");
+    assert!(stdout.contains("done"), "stdout: {stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_clean_program_exits_0() {
+    let path = write_temp("check-clean", CLEAN);
+    let out = gcatch().args(["check", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn fix_prints_a_strategy1_diff() {
+    let path = write_temp("fix-buggy", BUGGY);
+    let out = gcatch().args(["fix", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[S-I]"), "stdout: {stdout}");
+    assert!(stdout.contains("make(chan int, 1)"), "stdout: {stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn fix_write_applies_the_patch() {
+    let path = write_temp("fix-write", BUGGY);
+    let out = gcatch().args(["fix", "--write", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let patched = std::fs::read_to_string(&path).unwrap();
+    assert!(patched.contains("done := make(chan int, 1)"), "patched:\n{patched}");
+    // The patched file must now be clean.
+    let out = gcatch().args(["check", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn simulate_counts_blocked_schedules() {
+    let path = write_temp("simulate", BUGGY);
+    let out = gcatch()
+        .args(["simulate", path.to_str().unwrap(), "--seeds", "40"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("blocked"), "stdout: {stdout}");
+    assert!(stdout.contains("example blocked schedule"), "stdout: {stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn extended_detects_send_on_closed() {
+    let src = r#"
+package main
+
+func main() {
+    ch := make(chan int, 1)
+    go func() {
+        ch <- 1
+    }()
+    close(ch)
+}
+"#;
+    let path = write_temp("extended", src);
+    let out = gcatch().args(["extended", path.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SendOnClosed"), "stdout: {stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = gcatch().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = gcatch().args(["bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = gcatch().args(["check", "/nonexistent/x.go"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

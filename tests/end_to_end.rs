@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: frontend → IR → detector → fixer →
+//! simulator, exercised together on corpus replicas and differential
+//! checks between the static and dynamic views.
+
+use gcatch_suite::corpus::apps::{generate_all, GenConfig};
+use gcatch_suite::corpus::census::run_app;
+use gcatch_suite::corpus::patterns::{emit, fp_patterns, real_patterns};
+use gcatch_suite::corpus::study::{is_detected, study_set};
+use gcatch_suite::gcatch::{BugKind, DetectorConfig, GCatch};
+use gcatch_suite::gfix::{Pipeline, Strategy};
+use gcatch_suite::sim::{Config, Simulator};
+
+fn small_corpus() -> Vec<gcatch_suite::corpus::apps::GeneratedApp> {
+    generate_all(&GenConfig { seed: 11, filler_per_kloc: 0.01 })
+}
+
+/// Every replica reproduces its exact Table 1 row (counts per category,
+/// FP classification, and GFix strategy split).
+#[test]
+fn all_21_replicas_reproduce_table1() {
+    let apps = small_corpus();
+    let profiles = gcatch_suite::corpus::apps::table1_profiles();
+    let config = DetectorConfig::default();
+    for (app, profile) in apps.iter().zip(&profiles) {
+        let result = run_app(app, &config);
+        assert!(
+            result.missed.is_empty(),
+            "{}: planted bugs were missed: {:?}",
+            app.name,
+            result.missed
+        );
+        let cell = |kind: BugKind| result.cells.get(&kind).copied().unwrap_or_default();
+        assert_eq!(
+            (cell(BugKind::BmocChannel).real, cell(BugKind::BmocChannel).fp),
+            profile.bmoc_c,
+            "{}: BMOC-C",
+            app.name
+        );
+        assert_eq!(
+            (cell(BugKind::BmocChannelMutex).real, cell(BugKind::BmocChannelMutex).fp),
+            profile.bmoc_m,
+            "{}: BMOC-M",
+            app.name
+        );
+        assert_eq!(
+            (cell(BugKind::MissingUnlock).real, cell(BugKind::MissingUnlock).fp),
+            profile.unlock,
+            "{}: unlock",
+            app.name
+        );
+        assert_eq!(
+            (cell(BugKind::DoubleLock).real, cell(BugKind::DoubleLock).fp),
+            profile.double_lock,
+            "{}: double lock",
+            app.name
+        );
+        assert_eq!(
+            (cell(BugKind::ConflictingLockOrder).real, cell(BugKind::ConflictingLockOrder).fp),
+            profile.conflict,
+            "{}: conflict",
+            app.name
+        );
+        assert_eq!(
+            (cell(BugKind::StructFieldRace).real, cell(BugKind::StructFieldRace).fp),
+            profile.struct_field,
+            "{}: struct field",
+            app.name
+        );
+        assert_eq!(
+            (cell(BugKind::FatalInChildGoroutine).real, cell(BugKind::FatalInChildGoroutine).fp),
+            profile.fatal,
+            "{}: fatal",
+            app.name
+        );
+        let s = |st: Strategy| result.gfix.get(&st).copied().unwrap_or(0);
+        assert_eq!(
+            (s(Strategy::IncreaseBuffer), s(Strategy::DeferOperation), s(Strategy::AddStopChannel)),
+            profile.gfix,
+            "{}: GFix strategies",
+            app.name
+        );
+    }
+}
+
+/// Differential soundness: every *real* self-driving BMOC pattern blocks
+/// under some simulated schedule, and every FP pattern never does — so the
+/// static FP labels in Table 1 are dynamically justified.
+#[test]
+fn static_fp_labels_are_dynamically_justified() {
+    for kind in real_patterns().into_iter().chain(fp_patterns()) {
+        let plant = emit(kind, 4242);
+        let Some(entry) = plant.entry.clone() else { continue };
+        let source = format!("package main\n{}\nfunc main() {{\n}}\n", plant.source);
+        let module = gcatch_suite::ir::lower_source(&source).expect("pattern lowers");
+        let sim = Simulator::new(&module);
+        let mut blocked = false;
+        for sleep in [false, true] {
+            let cfg = Config { entry: entry.clone(), sleep_injection: sleep, ..Config::default() };
+            blocked |= sim.explore(&cfg, 0..30).iter().any(|r| r.is_blocking());
+        }
+        if plant.fp {
+            assert!(!blocked, "{kind:?} labeled FP but blocks dynamically");
+        } else if plant.kind.is_bmoc() {
+            assert!(blocked, "{kind:?} labeled real but never blocks");
+        }
+    }
+}
+
+/// Every patch generated on a small multi-bug program validates end to end.
+#[test]
+fn patches_on_multi_bug_program_validate() {
+    let a = emit(gcatch_suite::corpus::patterns::PatternKind::SingleSend, 801);
+    let b = emit(gcatch_suite::corpus::patterns::PatternKind::MultipleOps, 802);
+    let source = format!("package main\n{}\n{}\nfunc main() {{\n}}\n", a.source, b.source);
+    let pipeline = Pipeline::from_source(&source).unwrap();
+    let results = pipeline.run(&DetectorConfig::default());
+    assert_eq!(results.patches.len(), 2, "both bugs fixed: {:?}", results.rejections);
+    for (patch, plant) in [(&results.patches[0], &a), (&results.patches[1], &b)] {
+        let plant_for_patch = if patch.primitive_name.contains(&a.marker) { &a } else { &b };
+        let _ = plant;
+        let entry = plant_for_patch.entry.clone().unwrap();
+        let v = gcatch_suite::gfix::validate(&patch.before, &patch.after, &entry, 30);
+        assert!(v.patch_blocks_never, "{} patch still blocks", patch.primitive_name);
+        assert!(v.semantics_preserved);
+    }
+}
+
+/// The coverage study's aggregate: 33 of 49 detected.
+#[test]
+fn coverage_study_detects_33_of_49() {
+    let config = DetectorConfig::default();
+    let detected = study_set().iter().filter(|b| is_detected(b, &config)).count();
+    assert_eq!(detected, 33);
+}
+
+/// Disentangling is a performance device, not a precision trade-off on
+/// simple programs: whole-program mode finds the same bug.
+#[test]
+fn whole_program_mode_agrees_on_simple_bug() {
+    let plant = emit(gcatch_suite::corpus::patterns::PatternKind::SingleSend, 900);
+    let source = format!("package main\n{}\nfunc main() {{\n Run900()\n}}\n", plant.source);
+    let module = gcatch_suite::ir::lower_source(&source).unwrap();
+    let gcatch = GCatch::new(&module);
+    let with = gcatch.detect_bmoc(&DetectorConfig { disentangle: true, ..Default::default() });
+    let without = gcatch.detect_bmoc(&DetectorConfig { disentangle: false, ..Default::default() });
+    let hit = |bugs: &[gcatch_suite::gcatch::BugReport]| {
+        bugs.iter().any(|b| b.primitive_name.contains(&plant.marker))
+    };
+    assert!(hit(&with));
+    assert!(hit(&without));
+}
+
+/// The umbrella crate exposes a coherent end-to-end surface: parse with
+/// golite, lower with ir, detect with gcatch, fix with gfix, run with sim.
+#[test]
+fn umbrella_crate_round_trip() {
+    let src = "package main\nfunc main() {\n ch := make(chan int, 1)\n ch <- 1\n fmt.Println(<-ch)\n}";
+    let program = gcatch_suite::golite::parse(src).unwrap();
+    let printed = gcatch_suite::golite::print_program(&program);
+    assert!(printed.contains("make(chan int, 1)"));
+    let module = gcatch_suite::ir::lower(&program).unwrap();
+    let bugs = GCatch::new(&module).detect_all(&DetectorConfig::default());
+    assert!(bugs.is_empty());
+    let report = Simulator::new(&module).run(&Config::default());
+    assert_eq!(report.output, vec!["1"]);
+}

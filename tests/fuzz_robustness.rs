@@ -1,0 +1,87 @@
+//! Robustness fuzzing: the whole pipeline (parse → lower → detect → fix →
+//! simulate) must never panic on arbitrary well-formed GoLite programs, and
+//! any patch it produces must itself re-parse and re-lower.
+
+use gcatch_suite::gcatch::{DetectorConfig, GCatch};
+use gcatch_suite::sim::{Config, Simulator};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// Generates a random small concurrent program from composable snippets.
+fn random_program(seed: u64) -> String {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    use rand::SeedableRng;
+    let n_funcs = rng.gen_range(1..4usize);
+    let mut src = String::from("package main\n");
+    for f in 0..n_funcs {
+        let cap = rng.gen_range(0..3);
+        let spawn = rng.gen_bool(0.7);
+        let select = rng.gen_bool(0.5);
+        let deferred = rng.gen_bool(0.4);
+        let recv_count = rng.gen_range(0..3);
+        let mut body = format!("    ch{f} := make(chan int, {cap})\n");
+        if deferred {
+            body.push_str(&format!("    defer close(ch{f})\n"));
+        }
+        if spawn {
+            let sends = rng.gen_range(0..3);
+            body.push_str("    go func() {\n");
+            for s in 0..sends {
+                body.push_str(&format!("        ch{f} <- {s}\n"));
+            }
+            body.push_str("    }()\n");
+        }
+        if select {
+            body.push_str(&format!(
+                "    select {{\n    case v := <-ch{f}:\n        _ = v\n    default:\n    }}\n"
+            ));
+        }
+        for _ in 0..recv_count {
+            body.push_str(&format!(
+                "    select {{\n    case <-ch{f}:\n    default:\n    }}\n"
+            ));
+        }
+        src.push_str(&format!("func scenario{f}() {{\n{body}}}\n"));
+    }
+    src.push_str("func main() {\n");
+    for f in 0..n_funcs {
+        src.push_str(&format!("    scenario{f}()\n"));
+    }
+    src.push_str("}\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// End-to-end pipeline robustness on random programs.
+    #[test]
+    fn pipeline_never_panics(seed in 0u64..10_000) {
+        let src = random_program(seed);
+        let pipeline = gcatch_suite::gfix::Pipeline::from_source(&src)
+            .unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"));
+        let results = pipeline.run(&DetectorConfig::default());
+        // Any produced patch must round-trip through the toolchain.
+        for patch in &results.patches {
+            let reparsed = gcatch_suite::golite::parse(&patch.after);
+            prop_assert!(reparsed.is_ok(), "patch does not reparse:\n{}", patch.after);
+            prop_assert!(gcatch_suite::ir::lower(&reparsed.unwrap()).is_ok());
+        }
+        // The simulator must terminate with a verdict on the original.
+        // (Program-level panics are legitimate outcomes — e.g. a generated
+        // `defer close` racing a send is a real Go panic — the requirement
+        // is only that the *toolchain* never crashes.)
+        let sim = Simulator::new(pipeline.module());
+        let report = sim.run(&Config { max_steps: 20_000, ..Config::default() });
+        let _ = report.outcome;
+    }
+
+    /// The extended (§6) detector is panic-free too.
+    #[test]
+    fn send_on_closed_detector_never_panics(seed in 0u64..2_000) {
+        let src = random_program(seed);
+        let module = gcatch_suite::ir::lower_source(&src).expect("generated program lowers");
+        let gcatch = GCatch::new(&module);
+        let _ = gcatch.detector().detect_send_on_closed(&DetectorConfig::default());
+    }
+}
