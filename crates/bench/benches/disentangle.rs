@@ -1,4 +1,4 @@
-//! E6 — Criterion bench: the §5.2 disentangling ablation.
+//! E6 — bench: the §5.2 disentangling ablation.
 //!
 //! Paper shape: disabling disentangling (analyzing every channel from
 //! `main` with *all* primitives in its Pset) slows detection by over 115×
@@ -6,7 +6,7 @@
 //! channels from one `main` so whole-program mode pays the full
 //! path-combination and constraint-size cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::bench;
 use gcatch::{Detector, DetectorConfig};
 use golite_ir::Module;
 
@@ -43,27 +43,23 @@ func stage{i}() {{
     golite_ir::lower_source(&src).expect("ablation program lowers")
 }
 
-fn bench_disentangle(c: &mut Criterion) {
+fn main() {
     let module = interconnected(6);
-    let mut group = c.benchmark_group("disentangling_ablation");
-    group.sample_size(10);
 
-    group.bench_function("disentangled", |b| {
-        b.iter(|| {
-            let detector = Detector::new(&module);
-            let config = DetectorConfig { disentangle: true, ..DetectorConfig::default() };
-            detector.detect_bmoc(&config).len()
-        })
+    bench("disentangling_ablation/disentangled", 10, || {
+        let detector = Detector::new(&module);
+        let config = DetectorConfig {
+            disentangle: true,
+            ..DetectorConfig::default()
+        };
+        detector.detect_bmoc(&config).len()
     });
-    group.bench_function("whole_program", |b| {
-        b.iter(|| {
-            let detector = Detector::new(&module);
-            let config = DetectorConfig { disentangle: false, ..DetectorConfig::default() };
-            detector.detect_bmoc(&config).len()
-        })
+    bench("disentangling_ablation/whole_program", 10, || {
+        let detector = Detector::new(&module);
+        let config = DetectorConfig {
+            disentangle: false,
+            ..DetectorConfig::default()
+        };
+        detector.detect_bmoc(&config).len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_disentangle);
-criterion_main!(benches);

@@ -1,27 +1,26 @@
-//! E12 — Criterion bench: GFix phase split — preprocessing (IR, call graph,
+//! E12 — bench: GFix phase split — preprocessing (IR, call graph,
 //! alias analysis, detection) versus patch synthesis.
 //!
 //! Paper shape (§5.3): ~98% of GFix's time is preprocessing; the actual
 //! transformation averages 1.9 s versus 90 s end-to-end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::bench;
 use gcatch::GCatch;
 use gfix::Pipeline;
 use go_corpus::apps::{generate_all, GenConfig};
 
-fn bench_gfix_phases(c: &mut Criterion) {
-    let apps = generate_all(&GenConfig { seed: 7, filler_per_kloc: 0.02 });
+fn main() {
+    let apps = generate_all(&GenConfig {
+        seed: 7,
+        filler_per_kloc: 0.02,
+    });
     let app = apps.iter().find(|a| a.name == "gRPC").expect("app exists");
     let pipeline = Pipeline::from_source(&app.source).expect("replica lowers");
     let config = gcatch::DetectorConfig::default();
 
-    let mut group = c.benchmark_group("gfix_phases");
-    group.sample_size(10);
-    group.bench_function("preprocess_and_detect", |b| {
-        b.iter(|| {
-            let gcatch = GCatch::new(pipeline.module());
-            gcatch.detect_bmoc(&config).len()
-        })
+    bench("gfix_phases/preprocess_and_detect", 10, || {
+        let gcatch = GCatch::new(pipeline.module());
+        gcatch.detect_bmoc(&config).len()
     });
 
     // Pre-built analyses: measure the pure transformation step.
@@ -34,11 +33,7 @@ fn bench_gfix_phases(c: &mut Criterion) {
         &detector.analysis,
         &detector.prims,
     );
-    group.bench_function("transform_only", |b| {
-        b.iter(|| bugs.iter().filter(|bug| gfix_sys.fix(bug).is_ok()).count())
+    bench("gfix_phases/transform_only", 10, || {
+        bugs.iter().filter(|bug| gfix_sys.fix(bug).is_ok()).count()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_gfix_phases);
-criterion_main!(benches);

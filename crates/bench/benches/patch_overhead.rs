@@ -1,43 +1,50 @@
-//! E10 — Criterion bench: simulated runtime of original versus patched
+//! E10 — bench: simulated runtime of original versus patched
 //! programs (the §5.3 overhead measurement).
 //!
 //! Paper shape: patches are nearly free (average 0.26% overhead) — the two
 //! curves must be indistinguishable.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::bench;
 use gfix::Pipeline;
 use go_corpus::patterns::{emit, PatternKind};
 use golite_sim::{Config, Simulator};
 
-fn bench_patch_overhead(c: &mut Criterion) {
+fn main() {
     let plant = emit(PatternKind::SingleSend, 777);
     let source = format!("package main\n{}\nfunc main() {{\n}}\n", plant.source);
     let pipeline = Pipeline::from_source(&source).expect("pattern parses");
     let results = pipeline.run(&gcatch::DetectorConfig::default());
-    let patch = results.patches.first().expect("single-send is fixable").clone();
+    let patch = results
+        .patches
+        .first()
+        .expect("single-send is fixable")
+        .clone();
     let entry = plant.entry.expect("single-send is drivable");
 
     let original = golite_ir::lower_source(&patch.before).expect("original lowers");
     let patched = golite_ir::lower_source(&patch.after).expect("patched lowers");
 
-    let mut group = c.benchmark_group("patch_overhead");
-    group.sample_size(20);
-    group.bench_function("original", |b| {
+    {
         let sim = Simulator::new(&original);
-        b.iter(|| {
-            sim.run(&Config { entry: entry.clone(), seed: 3, ..Config::default() })
-                .instrs_executed
-        })
-    });
-    group.bench_function("patched", |b| {
+        let entry = entry.clone();
+        bench("patch_overhead/original", 20, move || {
+            sim.run(&Config {
+                entry: entry.clone(),
+                seed: 3,
+                ..Config::default()
+            })
+            .instrs_executed
+        });
+    }
+    {
         let sim = Simulator::new(&patched);
-        b.iter(|| {
-            sim.run(&Config { entry: entry.clone(), seed: 3, ..Config::default() })
-                .instrs_executed
-        })
-    });
-    group.finish();
+        bench("patch_overhead/patched", 20, move || {
+            sim.run(&Config {
+                entry: entry.clone(),
+                seed: 3,
+                ..Config::default()
+            })
+            .instrs_executed
+        });
+    }
 }
-
-criterion_group!(benches, bench_patch_overhead);
-criterion_main!(benches);

@@ -1,33 +1,28 @@
-//! E5 — Criterion bench: BMOC detection time versus application size.
+//! E5 — bench: BMOC detection time versus application size.
 //!
 //! Paper shape (§5.2): analysis time grows with application size — the
 //! largest application dominates, small applications are near-instant.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::bench;
 use gcatch::{Detector, DetectorConfig};
 use go_corpus::apps::{generate_all, GenConfig};
 
-fn bench_scaling(c: &mut Criterion) {
-    let apps = generate_all(&GenConfig { seed: 7, filler_per_kloc: 0.02 });
-    let mut group = c.benchmark_group("detect_by_app_size");
-    group.sample_size(10);
+fn main() {
+    let apps = generate_all(&GenConfig {
+        seed: 7,
+        filler_per_kloc: 0.02,
+    });
     for name in ["mkcert", "bbolt", "gRPC", "etcd", "Docker", "Kubernetes"] {
         let app = apps.iter().find(|a| a.name == name).expect("app exists");
         let module = golite_ir::lower_source(&app.source).expect("replica lowers");
         let size = module.instr_count();
-        group.bench_with_input(
-            BenchmarkId::new("gcatch", format!("{name}-{size}instrs")),
-            &module,
-            |b, module| {
-                b.iter(|| {
-                    let detector = Detector::new(module);
-                    detector.detect_bmoc(&DetectorConfig::default()).len()
-                })
+        bench(
+            &format!("detect_by_app_size/gcatch/{name}-{size}instrs"),
+            10,
+            || {
+                let detector = Detector::new(&module);
+                detector.detect_bmoc(&DetectorConfig::default()).len()
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! This is the component the paper offloads to Z3; its cost dominates the
 //! per-group query time of the BMOC detector.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::bench;
 use minismt::{Atom, Cmp, Solver, Term};
 
 /// Builds a GCatch-like instance: two goroutines with `n` ops each on one
@@ -27,9 +27,14 @@ fn build_instance(n: usize) -> Solver {
         }
     }
     for (i, p_row) in p.iter().enumerate() {
-        let row: Vec<Atom> = p_row.iter().map(|v| Atom::Bool(v.expect("built"))).collect();
+        let row: Vec<Atom> = p_row
+            .iter()
+            .map(|v| Atom::Bool(v.expect("built")))
+            .collect();
         s.assert(Term::exactly_one(row));
-        let col: Vec<Atom> = (0..n).map(|j| Atom::Bool(p[j][i].expect("built"))).collect();
+        let col: Vec<Atom> = (0..n)
+            .map(|j| Atom::Bool(p[j][i].expect("built")))
+            .collect();
         s.assert(Term::Linear {
             terms: col.into_iter().map(|a| (1, a)).collect(),
             cmp: Cmp::Le,
@@ -39,19 +44,15 @@ fn build_instance(n: usize) -> Solver {
     s
 }
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver_gcatch_instances");
-    group.sample_size(20);
+fn main() {
     for n in [2usize, 4, 6] {
-        group.bench_with_input(BenchmarkId::new("match_matrix", n), &n, |b, &n| {
-            b.iter(|| {
+        bench(
+            &format!("solver_gcatch_instances/match_matrix-{n}"),
+            20,
+            move || {
                 let mut s = build_instance(n);
                 s.solve().is_sat()
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_solver);
-criterion_main!(benches);

@@ -25,7 +25,10 @@ fn main() {
         }
     }
     println!("Coverage study over the 49-bug set (§5.2)\n");
-    println!("detected: {detected}/49 ({:.0}%)  [paper: 33/49 = 67%]\n", 100.0 * detected as f64 / 49.0);
+    println!(
+        "detected: {detected}/49 ({:.0}%)  [paper: 33/49 = 67%]\n",
+        100.0 * detected as f64 / 49.0
+    );
     let rows: Vec<Vec<String>> = misses
         .iter()
         .map(|(cause, n)| {

@@ -1,40 +1,32 @@
 //! E12 — §5.3 GFix execution time, split into preprocessing (SSA
 //! construction, call graph, alias analysis — the paper's 98%) and the
 //! actual patch synthesis (1.9 s average in the paper).
+//!
+//! Timings come from the shared session telemetry: the `analysis`,
+//! `disentangle`, `paths`, and `constraints` stages are the preprocessing
+//! GFix consumes, and the `fix` stage is the transformation itself.
 
 use bench::{corpus, render_table};
-use gcatch::GCatch;
+use gcatch::{Selection, Stage};
 use gfix::Pipeline;
-use std::time::Instant;
 
 fn main() {
     let apps = corpus();
     let config = bench::detector_config();
+    let bmoc_only = Selection {
+        only: vec!["bmoc".to_string()],
+        skip: Vec::new(),
+    };
     let mut rows = Vec::new();
     let mut total_pre = 0.0f64;
     let mut total_fix = 0.0f64;
     let mut total_patches = 0usize;
     for app in &apps {
         let pipeline = Pipeline::from_source(&app.source).expect("replica lowers");
-
-        // Preprocessing phase: IR → call graph → alias analysis (+ the
-        // detection GFix consumes).
-        let t0 = Instant::now();
-        let gcatch = GCatch::new(pipeline.module());
-        let bugs = gcatch.detect_bmoc(&config);
-        let pre = t0.elapsed().as_secs_f64() * 1e3;
-
-        // Transformation phase: dispatcher + code transformation only.
-        let detector = gcatch.detector();
-        let gfix_sys = gfix::GFix::new(
-            pipeline.program(),
-            pipeline.module(),
-            &detector.analysis,
-            &detector.prims,
-        );
-        let t1 = Instant::now();
-        let patches = bugs.iter().filter(|b| gfix_sys.fix(b).is_ok()).count();
-        let fix = t1.elapsed().as_secs_f64() * 1e3;
+        let (results, stats) = pipeline.run_with_stats(&config, &bmoc_only);
+        let pre = stats.detect_time().as_secs_f64() * 1e3;
+        let fix = stats.stage(Stage::Fix).as_secs_f64() * 1e3;
+        let patches = results.patches.len();
 
         if patches > 0 {
             let per_patch = (pre + fix) / patches as f64;
@@ -55,7 +47,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["App", "patches", "preprocess (ms)", "transform (ms)", "preprocess %", "ms/patch"],
+            &[
+                "App",
+                "patches",
+                "preprocess (ms)",
+                "transform (ms)",
+                "preprocess %",
+                "ms/patch"
+            ],
             &rows
         )
     );

@@ -27,7 +27,10 @@ fn main() {
         let source = format!("package main\n{}\nfunc main() {{\n}}\n", plant.source);
         let pipeline = Pipeline::from_source(&source).expect("pattern parses");
         let results = pipeline.run(&config);
-        let Some(patch) = results.patches.iter().find(|p| p.primitive_name.contains(&plant.marker))
+        let Some(patch) = results
+            .patches
+            .iter()
+            .find(|p| p.primitive_name.contains(&plant.marker))
         else {
             continue;
         };
@@ -41,7 +44,11 @@ fn main() {
             format!("{:.0}", v.baseline_instrs),
             format!("{:.0}", v.patched_instrs),
             format!("{overhead:+.2}%"),
-            if v.is_correct() { "ok".into() } else { "FAIL".into() },
+            if v.is_correct() {
+                "ok".into()
+            } else {
+                "FAIL".into()
+            },
         ]);
         let _ = Strategy::IncreaseBuffer;
     }
@@ -49,7 +56,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["bug", "strategy", "instrs before", "instrs after", "overhead", "valid"],
+            &[
+                "bug",
+                "strategy",
+                "instrs before",
+                "instrs after",
+                "overhead",
+                "valid"
+            ],
             &rows
         )
     );

@@ -30,7 +30,13 @@ fn main() {
         // Paper-style counting: a replacement counts once.
         let paper_avg: f64 = lines
             .iter()
-            .map(|&l| if *strategy == Strategy::IncreaseBuffer { (l / 2) as f64 } else { l as f64 })
+            .map(|&l| {
+                if *strategy == Strategy::IncreaseBuffer {
+                    (l / 2) as f64
+                } else {
+                    l as f64
+                }
+            })
             .sum::<f64>()
             / lines.len() as f64;
         rows.push(vec![
@@ -44,7 +50,16 @@ fn main() {
     println!("Patch readability (§5.3)\n");
     println!(
         "{}",
-        render_table(&["strategy", "patches", "avg diff lines", "avg paper-style", "max"], &rows)
+        render_table(
+            &[
+                "strategy",
+                "patches",
+                "avg diff lines",
+                "avg paper-style",
+                "max"
+            ],
+            &rows
+        )
     );
     let grand = all.iter().sum::<usize>() as f64 / all.len().max(1) as f64;
     println!(

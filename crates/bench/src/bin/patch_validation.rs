@@ -28,7 +28,9 @@ fn main() {
             if plant.fp {
                 continue;
             }
-            let Some(entry) = plant.entry.clone() else { continue };
+            let Some(entry) = plant.entry.clone() else {
+                continue;
+            };
             total += 1;
             let v = gfix::validate(&patch.before, &patch.after, &entry, 25);
             if v.bug_realized {

@@ -25,13 +25,21 @@ fn main() {
     let rows: Vec<Vec<String>> = rows_data
         .iter()
         .map(|(name, instrs, ms, bugs)| {
-            vec![name.clone(), instrs.to_string(), format!("{ms:.1}"), bugs.to_string()]
+            vec![
+                name.clone(),
+                instrs.to_string(),
+                format!("{ms:.1}"),
+                bugs.to_string(),
+            ]
         })
         .collect();
     println!("Analysis scaling (§5.2) — sorted by program size\n");
     println!(
         "{}",
-        render_table(&["App", "IR instructions", "detect (ms)", "real bugs"], &rows)
+        render_table(
+            &["App", "IR instructions", "detect (ms)", "real bugs"],
+            &rows
+        )
     );
     let largest = &rows_data[0];
     println!(

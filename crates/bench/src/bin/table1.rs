@@ -6,7 +6,7 @@
 //! patches split 99 / 4 / 21 across the strategies.
 
 use bench::{cell, corpus, detector_config, render_table};
-use gcatch::BugKind;
+use gcatch::{BugKind, Counter};
 use gfix::Strategy;
 use go_corpus::census::run_app;
 
@@ -16,6 +16,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut totals = [(0usize, 0usize); 7];
     let mut gfix_totals = [0usize; 3];
+    let mut pipeline_totals = [0u64; 4];
     let kinds = [
         BugKind::BmocChannel,
         BugKind::BmocChannelMutex,
@@ -31,6 +32,17 @@ fn main() {
         if !result.missed.is_empty() {
             eprintln!("warning: {} missed plants: {:?}", app.name, result.missed);
         }
+        for (i, c) in [
+            Counter::ChannelsAnalyzed,
+            Counter::PathsEnumerated,
+            Counter::GroupsChecked,
+            Counter::SolverQueries,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            pipeline_totals[i] += result.stats.counter(c);
+        }
         let mut row = vec![result.name.to_string()];
         for (i, kind) in kinds.iter().enumerate() {
             let c = result.cells.get(kind).copied().unwrap_or_default();
@@ -39,9 +51,21 @@ fn main() {
             row.push(cell(c.real, c.fp));
         }
         row.push(cell(result.total_real(), result.total_fp()));
-        let s1 = result.gfix.get(&Strategy::IncreaseBuffer).copied().unwrap_or(0);
-        let s2 = result.gfix.get(&Strategy::DeferOperation).copied().unwrap_or(0);
-        let s3 = result.gfix.get(&Strategy::AddStopChannel).copied().unwrap_or(0);
+        let s1 = result
+            .gfix
+            .get(&Strategy::IncreaseBuffer)
+            .copied()
+            .unwrap_or(0);
+        let s2 = result
+            .gfix
+            .get(&Strategy::DeferOperation)
+            .copied()
+            .unwrap_or(0);
+        let s3 = result
+            .gfix
+            .get(&Strategy::AddStopChannel)
+            .copied()
+            .unwrap_or(0);
         gfix_totals[0] += s1;
         gfix_totals[1] += s2;
         gfix_totals[2] += s3;
@@ -78,4 +102,8 @@ fn main() {
         )
     );
     println!("paper: BMOC 149 real + 51 FP; traditional 119 real + 67 FP; GFix 99/4/21 = 124");
+    println!(
+        "pipeline: {} channels analyzed, {} paths enumerated, {} groups checked, {} solver queries",
+        pipeline_totals[0], pipeline_totals[1], pipeline_totals[2], pipeline_totals[3]
+    );
 }

@@ -37,7 +37,10 @@ fn main() {
             let module = golite_ir::lower_source(src).expect("program lowers");
             let detector = Detector::new(&module);
             let config = DetectorConfig {
-                limits: Limits { max_block_visits: bound, ..Limits::default() },
+                limits: Limits {
+                    max_block_visits: bound,
+                    ..Limits::default()
+                },
                 ..DetectorConfig::default()
             };
             let t0 = Instant::now();
@@ -47,13 +50,20 @@ fn main() {
             rows.push(vec![
                 bound.to_string(),
                 name.to_string(),
-                if hit { "reported".into() } else { "silent".into() },
+                if hit {
+                    "reported".into()
+                } else {
+                    "silent".into()
+                },
                 format!("{ms:.1}"),
             ]);
         }
     }
     println!("Loop-unrolling bound ablation (§3.3 fixes the bound at 2)\n");
-    println!("{}", render_table(&["bound", "program", "verdict", "ms"], &rows));
+    println!(
+        "{}",
+        render_table(&["bound", "program", "verdict", "ms"], &rows)
+    );
     println!(
         "paper behavior at bound 2: real bugs reported, the loop-unroll FP reported\n\
          (that FP is the price of bounding; see the §5.2 census)"

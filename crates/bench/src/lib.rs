@@ -4,6 +4,8 @@
 use gcatch::DetectorConfig;
 use go_corpus::apps::{generate_all, GenConfig, GeneratedApp};
 
+pub mod timing;
+
 /// Reads the filler scale from `GCATCH_FILLER` (filler functions per kLoC of
 /// the original application). The default keeps full-corpus runs under a
 /// minute while preserving Table 1's size ordering.
@@ -16,7 +18,10 @@ pub fn filler_per_kloc() -> f64 {
 
 /// Generates all 21 replicas at the configured scale.
 pub fn corpus() -> Vec<GeneratedApp> {
-    generate_all(&GenConfig { seed: 2026, filler_per_kloc: filler_per_kloc() })
+    generate_all(&GenConfig {
+        seed: 2026,
+        filler_per_kloc: filler_per_kloc(),
+    })
 }
 
 /// The detector configuration used by every harness.
@@ -72,7 +77,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["App", "Bugs"],
-            &[vec!["Docker".into(), "56".into()], vec!["bbolt".into(), "6".into()]],
+            &[
+                vec!["Docker".into(), "56".into()],
+                vec!["bbolt".into(), "6".into()],
+            ],
         );
         assert!(t.contains("Docker"));
         assert!(t.lines().count() >= 4);

@@ -1,0 +1,82 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace carries no external benchmarking dependency, so the bench
+//! binaries (declared with `harness = false`) time their workloads directly:
+//! a short warm-up, then `samples` timed runs, reported as min/median/mean.
+//! A `black_box` sink keeps the optimizer from deleting the measured work.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement: per-sample durations plus summary statistics.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label (group/function form, e.g. `solver/match_matrix-4`).
+    pub name: String,
+    /// Individual sample durations, sorted ascending.
+    pub samples: Vec<Duration>,
+}
+
+impl Measurement {
+    pub fn min(&self) -> Duration {
+        self.samples.first().copied().unwrap_or_default()
+    }
+
+    pub fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::default();
+        }
+        self.samples[self.samples.len() / 2]
+    }
+
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::default();
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+/// Times `f` for `samples` iterations (plus one untimed warm-up), prints a
+/// one-line summary, and returns the measurement.
+pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Measurement {
+    black_box(f());
+    let mut durations = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        durations.push(start.elapsed());
+    }
+    durations.sort();
+    let m = Measurement {
+        name: name.to_string(),
+        samples: durations,
+    };
+    println!(
+        "{:<44} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        m.name,
+        m.min(),
+        m.median(),
+        m.mean(),
+        m.samples.len()
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_all_samples() {
+        let mut n = 0u64;
+        let m = bench("test/noop", 5, || {
+            n += 1;
+            n
+        });
+        assert_eq!(m.samples.len(), 5);
+        // warm-up + 5 timed runs
+        assert_eq!(n, 6);
+        assert!(m.min() <= m.median() && m.median() <= *m.samples.last().unwrap());
+    }
+}

@@ -23,6 +23,7 @@
 use crate::detector::{Combo, GroupMember};
 use crate::paths::{Event, PathOp};
 use crate::primitives::{OpKind, PrimId, Primitives};
+use crate::telemetry::Telemetry;
 use minismt::{Atom, IntVar, SolveResult, Solver, Term};
 use std::collections::HashMap;
 
@@ -54,6 +55,17 @@ pub fn check_group(
     combo: &Combo,
     group: &[GroupMember],
     step_limit: u64,
+) -> Verdict {
+    check_group_recorded(prims, combo, group, step_limit, None)
+}
+
+/// [`check_group`], additionally recording solver effort into `telemetry`.
+pub fn check_group_recorded(
+    prims: &Primitives,
+    combo: &Combo,
+    group: &[GroupMember],
+    step_limit: u64,
+    telemetry: Option<&Telemetry>,
 ) -> Verdict {
     let mut solver = Solver::new();
     solver.set_step_limit(step_limit);
@@ -198,26 +210,37 @@ pub fn check_group(
     }
 
     // Channel-state helpers.
-    let cb_terms = |occs: &[Occurrence], at: IntVar, prim: PrimId, skip: usize| -> Vec<(i64, Atom)> {
-        let mut terms = Vec::new();
-        for (k, o) in occs.iter().enumerate() {
-            if k == skip || o.prim != prim || o.in_group {
-                continue;
+    let cb_terms =
+        |occs: &[Occurrence], at: IntVar, prim: PrimId, skip: usize| -> Vec<(i64, Atom)> {
+            let mut terms = Vec::new();
+            for (k, o) in occs.iter().enumerate() {
+                if k == skip || o.prim != prim || o.in_group {
+                    continue;
+                }
+                let atom = Atom::DiffLe {
+                    x: o.order,
+                    y: at,
+                    c: -1,
+                }; // O_o < at
+                match o.kind {
+                    OpKind::Send => terms.push((1, atom)),
+                    OpKind::Recv => terms.push((-1, atom)),
+                    OpKind::Close => {}
+                }
             }
-            let atom = Atom::DiffLe { x: o.order, y: at, c: -1 }; // O_o < at
-            match o.kind {
-                OpKind::Send => terms.push((1, atom)),
-                OpKind::Recv => terms.push((-1, atom)),
-                OpKind::Close => {}
-            }
-        }
-        terms
-    };
+            terms
+        };
     let closed_term = |occs: &[Occurrence], at: IntVar, prim: PrimId| -> Term {
         let closes: Vec<Term> = occs
             .iter()
             .filter(|o| o.prim == prim && o.kind == OpKind::Close && !o.in_group)
-            .map(|o| Term::Atom(Atom::DiffLe { x: o.order, y: at, c: -1 }))
+            .map(|o| {
+                Term::Atom(Atom::DiffLe {
+                    x: o.order,
+                    y: at,
+                    c: -1,
+                })
+            })
             .collect();
         Term::or(closes)
     };
@@ -233,7 +256,11 @@ pub fn check_group(
             OpKind::Send => {
                 // CB < BS ∨ exactly-one match.
                 let cb = cb_terms(&occs, occ.order, occ.prim, i);
-                let room = Term::Linear { terms: cb, cmp: minismt::Cmp::Lt, k: bs };
+                let room = Term::Linear {
+                    terms: cb,
+                    cmp: minismt::Cmp::Lt,
+                    k: bs,
+                };
                 let match_atoms: Vec<Atom> = p_vars
                     .iter()
                     .filter(|((si, _), _)| *si == i)
@@ -245,7 +272,11 @@ pub fn check_group(
             OpKind::Recv => {
                 // CB > 0 ∨ CLOSED ∨ exactly-one match.
                 let cb = cb_terms(&occs, occ.order, occ.prim, i);
-                let has_elem = Term::Linear { terms: cb, cmp: minismt::Cmp::Gt, k: 0 };
+                let has_elem = Term::Linear {
+                    terms: cb,
+                    cmp: minismt::Cmp::Gt,
+                    k: 0,
+                };
                 let closed = closed_term(&occs, occ.order, occ.prim);
                 let match_atoms: Vec<Atom> = p_vars
                     .iter()
@@ -266,10 +297,22 @@ pub fn check_group(
             continue;
         }
         for ei in 0..cutoff[gi] {
-            if let Event::Select { cases, chosen: None, .. } = &g.path.events[ei] {
+            if let Event::Select {
+                cases,
+                chosen: None,
+                ..
+            } = &g.path.events[ei]
+            {
                 let at = order[&(gi, ei)];
                 for (_, op) in cases {
-                    solver.assert(blocked_case(&occs, op, at, buffer_size(op.prim), &closed_term, &cb_terms));
+                    solver.assert(blocked_case(
+                        &occs,
+                        op,
+                        at,
+                        buffer_size(op.prim),
+                        &closed_term,
+                        &cb_terms,
+                    ));
                 }
             }
         }
@@ -316,7 +359,11 @@ pub fn check_group(
         }
     }
 
-    match solver.solve() {
+    let result = solver.solve();
+    if let Some(t) = telemetry {
+        t.add_solver_stats(solver.stats());
+    }
+    match result {
         SolveResult::Sat(model) => {
             // Produce the witness order: kept events sorted by O value.
             let mut timeline: Vec<(i64, String)> = Vec::new();
@@ -348,11 +395,19 @@ fn blocked_case(
     match op.kind {
         OpKind::Send => {
             // Buffer full: CB >= BS.
-            Term::Linear { terms: cb, cmp: minismt::Cmp::Ge, k: bs }
+            Term::Linear {
+                terms: cb,
+                cmp: minismt::Cmp::Ge,
+                k: bs,
+            }
         }
         OpKind::Recv => {
             // Empty and not closed: CB <= 0 ∧ ¬CLOSED.
-            let empty = Term::Linear { terms: cb, cmp: minismt::Cmp::Le, k: 0 };
+            let empty = Term::Linear {
+                terms: cb,
+                cmp: minismt::Cmp::Le,
+                k: 0,
+            };
             let not_closed = Term::not(closed_term(occs, at, op.prim));
             Term::and([empty, not_closed])
         }
@@ -395,6 +450,18 @@ pub fn check_send_after_close(
     close: GroupMember,
     step_limit: u64,
 ) -> Verdict {
+    check_send_after_close_recorded(prims, combo, send, close, step_limit, None)
+}
+
+/// [`check_send_after_close`], additionally recording solver effort.
+pub fn check_send_after_close_recorded(
+    prims: &Primitives,
+    combo: &Combo,
+    send: GroupMember,
+    close: GroupMember,
+    step_limit: u64,
+    telemetry: Option<&Telemetry>,
+) -> Verdict {
     // No suspicious group: everything must be reachable.
     let mut solver = Solver::new();
     solver.set_step_limit(step_limit);
@@ -429,7 +496,11 @@ pub fn check_send_after_close(
                     order: o,
                     in_group: false,
                 }),
-                Event::Select { cases, chosen: Some(ci), .. } => {
+                Event::Select {
+                    cases,
+                    chosen: Some(ci),
+                    ..
+                } => {
                     for (case_idx, op) in cases {
                         if case_idx == ci {
                             occs.push(Occurrence {
@@ -486,7 +557,11 @@ pub fn check_send_after_close(
             if k == skip || o.prim != prim {
                 continue;
             }
-            let atom = Atom::DiffLe { x: o.order, y: at, c: -1 };
+            let atom = Atom::DiffLe {
+                x: o.order,
+                y: at,
+                c: -1,
+            };
             match o.kind {
                 OpKind::Send => terms.push((1, atom)),
                 OpKind::Recv => terms.push((-1, atom)),
@@ -499,8 +574,11 @@ pub fn check_send_after_close(
         let bs = prims.all[occ.prim.0].buffer_size().unwrap_or(0);
         match occ.kind {
             OpKind::Send => {
-                let room =
-                    Term::Linear { terms: cb_terms(occ.order, occ.prim, i), cmp: minismt::Cmp::Lt, k: bs };
+                let room = Term::Linear {
+                    terms: cb_terms(occ.order, occ.prim, i),
+                    cmp: minismt::Cmp::Lt,
+                    k: bs,
+                };
                 let matched = Term::exactly_one(
                     p_vars
                         .iter()
@@ -510,12 +588,21 @@ pub fn check_send_after_close(
                 solver.assert(Term::or([room, matched]));
             }
             OpKind::Recv => {
-                let has_elem =
-                    Term::Linear { terms: cb_terms(occ.order, occ.prim, i), cmp: minismt::Cmp::Gt, k: 0 };
+                let has_elem = Term::Linear {
+                    terms: cb_terms(occ.order, occ.prim, i),
+                    cmp: minismt::Cmp::Gt,
+                    k: 0,
+                };
                 let closed = Term::or(
                     occs.iter()
                         .filter(|o| o.prim == occ.prim && o.kind == OpKind::Close)
-                        .map(|o| Term::Atom(Atom::DiffLe { x: o.order, y: occ.order, c: -1 })),
+                        .map(|o| {
+                            Term::Atom(Atom::DiffLe {
+                                x: o.order,
+                                y: occ.order,
+                                c: -1,
+                            })
+                        }),
                 );
                 let matched = Term::exactly_one(
                     p_vars
@@ -534,12 +621,19 @@ pub fn check_send_after_close(
     let o_close = order[&(close.goroutine, close.event)];
     solver.assert(Term::lt(o_close, o_send));
 
-    match solver.solve() {
+    let result = solver.solve();
+    if let Some(t) = telemetry {
+        t.add_solver_stats(solver.stats());
+    }
+    match result {
         SolveResult::Sat(model) => {
             let mut timeline: Vec<(i64, String)> = order
                 .iter()
                 .map(|(&(gi, ei), &o)| {
-                    (model.int_value(o).unwrap_or(0), describe_event(prims, combo, gi, ei))
+                    (
+                        model.int_value(o).unwrap_or(0),
+                        describe_event(prims, combo, gi, ei),
+                    )
                 })
                 .collect();
             timeline.sort();
@@ -578,13 +672,21 @@ mod tests {
         let analysis = golite_ir::analyze(&module);
         let prims = collect(&module, &analysis);
         let mut parent = vec![Event::Spawn {
-            site: Loc { func: FuncId(0), block: BlockId(0), idx: 0 },
+            site: Loc {
+                func: FuncId(0),
+                block: BlockId(0),
+                idx: 0,
+            },
             target: FuncId(0),
         }];
         parent.extend(parent_ops);
         let combo = Combo {
             gos: vec![
-                GoroutinePath { path: Path { events: parent }, spawned_at: None, root_func: FuncId(0) },
+                GoroutinePath {
+                    path: Path { events: parent },
+                    spawned_at: None,
+                    root_func: FuncId(0),
+                },
                 GoroutinePath {
                     path: Path { events: child_ops },
                     spawned_at: Some((0, 0)),
@@ -599,7 +701,11 @@ mod tests {
         Event::Op(PathOp {
             prim,
             kind,
-            loc: Loc { func: FuncId(0), block: BlockId(0), idx },
+            loc: Loc {
+                func: FuncId(0),
+                block: BlockId(0),
+                idx,
+            },
             span: Span::synthetic(),
             from_mutex: false,
         })
@@ -608,7 +714,10 @@ mod tests {
     #[test]
     fn orphan_send_blocks() {
         let (combo, prims) = combo_with(vec![], vec![op(PrimId(0), OpKind::Send, 9)]);
-        let group = [GroupMember { goroutine: 1, event: 0 }];
+        let group = [GroupMember {
+            goroutine: 1,
+            event: 0,
+        }];
         assert!(matches!(
             check_group(&prims, &combo, &group, 100_000),
             Verdict::Blocking(_)
@@ -619,19 +728,35 @@ mod tests {
     fn matched_send_cannot_block() {
         // Parent receives: the child's send must match it, so claiming the
         // send blocks forever is UNSAT (the recv could not proceed).
-        let (combo, prims) =
-            combo_with(vec![op(PrimId(0), OpKind::Recv, 5)], vec![op(PrimId(0), OpKind::Send, 9)]);
-        let group = [GroupMember { goroutine: 1, event: 0 }];
-        assert!(matches!(check_group(&prims, &combo, &group, 100_000), Verdict::Safe));
+        let (combo, prims) = combo_with(
+            vec![op(PrimId(0), OpKind::Recv, 5)],
+            vec![op(PrimId(0), OpKind::Send, 9)],
+        );
+        let group = [GroupMember {
+            goroutine: 1,
+            event: 0,
+        }];
+        assert!(matches!(
+            check_group(&prims, &combo, &group, 100_000),
+            Verdict::Safe
+        ));
     }
 
     #[test]
     fn close_unblocks_receiver() {
         // Parent closes: the child's recv can always proceed via CLOSED.
-        let (combo, prims) =
-            combo_with(vec![op(PrimId(0), OpKind::Close, 5)], vec![op(PrimId(0), OpKind::Recv, 9)]);
-        let group = [GroupMember { goroutine: 1, event: 0 }];
-        assert!(matches!(check_group(&prims, &combo, &group, 100_000), Verdict::Safe));
+        let (combo, prims) = combo_with(
+            vec![op(PrimId(0), OpKind::Close, 5)],
+            vec![op(PrimId(0), OpKind::Recv, 9)],
+        );
+        let group = [GroupMember {
+            goroutine: 1,
+            event: 0,
+        }];
+        assert!(matches!(
+            check_group(&prims, &combo, &group, 100_000),
+            Verdict::Safe
+        ));
     }
 
     #[test]
@@ -641,10 +766,16 @@ mod tests {
         // leaving the parent recv unmatched — so the scenario is UNSAT.
         let (combo, prims) = combo_with(
             vec![op(PrimId(0), OpKind::Recv, 5)],
-            vec![op(PrimId(0), OpKind::Send, 9), op(PrimId(0), OpKind::Send, 10)],
+            vec![
+                op(PrimId(0), OpKind::Send, 9),
+                op(PrimId(0), OpKind::Send, 10),
+            ],
         );
         // Group = second send: first send matches the recv, second blocks.
-        let group = [GroupMember { goroutine: 1, event: 1 }];
+        let group = [GroupMember {
+            goroutine: 1,
+            event: 1,
+        }];
         assert!(matches!(
             check_group(&prims, &combo, &group, 100_000),
             Verdict::Blocking(_)
@@ -664,8 +795,14 @@ mod tests {
         let verdict = check_send_after_close(
             &prims,
             &combo,
-            GroupMember { goroutine: 1, event: 0 },
-            GroupMember { goroutine: 0, event: 1 },
+            GroupMember {
+                goroutine: 1,
+                event: 0,
+            },
+            GroupMember {
+                goroutine: 0,
+                event: 1,
+            },
             100_000,
         );
         assert!(matches!(verdict, Verdict::Blocking(_)));

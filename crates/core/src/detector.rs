@@ -7,15 +7,27 @@
 //! paper's ablation (§5.2, ">115× slowdown without disentangling"): when
 //! off, every channel is analyzed from `main` with *all* primitives in its
 //! Pset.
+//!
+//! Channels are independent once the shared analyses are built, so the
+//! per-channel work is sharded across `config.jobs` worker threads
+//! ([`std::thread::scope`]); each worker returns its findings keyed by the
+//! suspicious group, and a deterministic merge in channel order applies the
+//! cross-channel deduplication. One channel's detection is fully
+//! sequential, so `jobs = 1` and `jobs = N` produce identical reports.
 
-use crate::constraints::{check_group, Verdict};
-use crate::disentangle::{build_dependency_graph, compute_scope, pset, Scope};
+use crate::constraints::{check_group_recorded, check_send_after_close_recorded, Verdict};
+use crate::disentangle::pset;
 use crate::paths::{Enumerator, Event, Limits, Path};
-use crate::primitives::{collect, OpKind, PrimId, Primitives};
+use crate::primitives::{OpKind, PrimId};
 use crate::report::{BugKind, BugReport, OpRef};
-use golite_ir::alias::Analysis;
+use crate::session::AnalysisSession;
+use crate::telemetry::{Counter, Stage};
 use golite_ir::ir::*;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub use crate::session::Detector;
 
 /// One goroutine of a path combination.
 #[derive(Debug, Clone)]
@@ -61,6 +73,10 @@ pub struct DetectorConfig {
     pub max_group_size: usize,
     /// Solver step budget per query.
     pub solver_steps: u64,
+    /// Worker threads sharding the per-channel detection; `0` (the
+    /// default) uses all available cores. Reports are identical for every
+    /// value.
+    pub jobs: usize,
 }
 
 impl Default for DetectorConfig {
@@ -72,76 +88,156 @@ impl Default for DetectorConfig {
             max_goroutines: 5,
             max_group_size: 2,
             solver_steps: 400_000,
+            jobs: 0,
         }
     }
 }
 
-/// The GCatch BMOC detector bound to one module.
-pub struct Detector<'m> {
-    module: &'m Module,
-    /// Shared points-to / call-graph results.
-    pub analysis: Analysis,
-    /// Discovered primitives and operations.
-    pub prims: Primitives,
+/// Cross-channel deduplication key of one suspicious group.
+type GroupKey = (BugKind, Option<Loc>, Vec<Loc>);
+
+/// Resolves the worker count: `0` means every available core, and there is
+/// never a reason to spawn more workers than work items.
+fn effective_jobs(requested: usize, work_items: usize) -> usize {
+    let jobs = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    jobs.min(work_items.max(1))
 }
 
-impl<'m> Detector<'m> {
-    /// Runs the preparatory whole-module analyses (Algorithm 1, lines 2–7).
-    pub fn new(module: &'m Module) -> Detector<'m> {
-        let analysis = golite_ir::analyze(module);
-        let prims = collect(module, &analysis);
-        Detector { module, analysis, prims }
-    }
-
+impl<'m> AnalysisSession<'m> {
     /// Runs the BMOC detector over every channel (Algorithm 1, lines 8–25).
+    ///
+    /// Channels are processed by `config.jobs` workers; the merge is
+    /// deterministic, so the result is independent of the worker count.
     pub fn detect_bmoc(&self, config: &DetectorConfig) -> Vec<BugReport> {
-        let dg = build_dependency_graph(self.module, &self.analysis, &self.prims);
-        let scopes: Vec<Scope> = self
+        // Force the shared disentangling artifacts once, outside the
+        // workers, so their cost is attributed (and paid) exactly once.
+        if config.disentangle {
+            self.dependency_graph();
+            self.scopes();
+        }
+        let channels: Vec<PrimId> = self
             .prims
-            .all
-            .iter()
-            .map(|p| compute_scope(self.module, &self.analysis, &self.prims, p.id))
+            .channels()
+            .filter(|c| c.buffer_size().is_some()) // dynamic capacity: not modeled
+            .map(|c| c.id)
             .collect();
+        self.telemetry
+            .add(Counter::ChannelsAnalyzed, channels.len() as u64);
 
-        let mut reports: Vec<BugReport> = Vec::new();
-        let mut seen: HashSet<(BugKind, Option<Loc>, Vec<Loc>)> = HashSet::new();
-
-        for chan in self.prims.channels() {
-            if chan.buffer_size().is_none() {
-                continue; // dynamic capacity: not modeled
-            }
-            let (root, prim_set): (FuncId, Vec<PrimId>) = if config.disentangle {
-                (scopes[chan.id.0].root, pset(chan.id, &dg, &scopes, &self.prims))
-            } else {
-                // Ablation: whole program from main, all primitives.
-                let Some(main) = self.module.func_by_name("main") else { continue };
-                (main.id, self.prims.all.iter().map(|p| p.id).collect())
-            };
-            let mut enumerator = Enumerator::new(
-                self.module,
-                &self.analysis,
-                &self.prims,
-                &prim_set,
-                config.limits.clone(),
-            );
-            let combos = self.build_combos(&mut enumerator, root, config);
-            for combo in &combos {
-                for group in self.suspicious_groups(combo, chan.id, config.max_group_size) {
-                    let key = self.group_key(combo, &group);
-                    if seen.contains(&key) {
-                        continue;
-                    }
-                    match check_group(&self.prims, combo, &group, config.solver_steps) {
-                        Verdict::Blocking(witness) => {
-                            seen.insert(key);
-                            reports.push(self.make_report(chan.id, combo, &group, witness, root));
+        let jobs = effective_jobs(config.jobs, channels.len());
+        let per_channel: Vec<Vec<(GroupKey, BugReport)>> = if jobs <= 1 {
+            channels
+                .iter()
+                .map(|&c| self.detect_channel(c, config))
+                .collect()
+        } else {
+            let slots: Vec<Mutex<Vec<(GroupKey, BugReport)>>> =
+                channels.iter().map(|_| Mutex::new(Vec::new())).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= channels.len() {
+                            break;
                         }
-                        Verdict::Safe | Verdict::Unknown => {}
-                    }
+                        let found = self.detect_channel(channels[i], config);
+                        *slots[i].lock().expect("worker slot") = found;
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("worker slot"))
+                .collect()
+        };
+
+        // Deterministic merge in channel order with cross-channel dedup.
+        let mut seen: HashSet<GroupKey> = HashSet::new();
+        let mut reports: Vec<BugReport> = Vec::new();
+        for found in per_channel {
+            for (key, report) in found {
+                if seen.insert(key) {
+                    reports.push(report);
+                } else {
+                    self.telemetry.add(Counter::DuplicatesDropped, 1);
                 }
             }
         }
         reports
+    }
+
+    /// The full detection pipeline for one channel: disentangle, enumerate,
+    /// group, solve. Pure with respect to the session (telemetry aside), so
+    /// workers can run it concurrently; findings carry their group key for
+    /// the cross-channel merge.
+    fn detect_channel(&self, chan: PrimId, config: &DetectorConfig) -> Vec<(GroupKey, BugReport)> {
+        let (root, prim_set): (FuncId, Vec<PrimId>) = if config.disentangle {
+            let scopes = self.scopes();
+            let set = pset(chan, self.dependency_graph(), scopes, &self.prims);
+            self.telemetry.add(Counter::PsetsComputed, 1);
+            self.telemetry
+                .add(Counter::PsetPrimsTotal, set.len() as u64);
+            (scopes[chan.0].root, set)
+        } else {
+            // Ablation: whole program from main, all primitives.
+            let Some(main) = self.module.func_by_name("main") else {
+                return Vec::new();
+            };
+            (main.id, self.prims.all.iter().map(|p| p.id).collect())
+        };
+        let mut enumerator = Enumerator::new(
+            self.module,
+            &self.analysis,
+            &self.prims,
+            &prim_set,
+            config.limits.clone(),
+        );
+        let combos = self.telemetry.time(Stage::Paths, || {
+            self.build_combos(&mut enumerator, root, config)
+        });
+        self.telemetry
+            .add(Counter::PathsEnumerated, enumerator.paths_enumerated());
+        self.telemetry
+            .add(Counter::BranchesPruned, enumerator.branches_pruned());
+        self.telemetry
+            .add(Counter::CombosBuilt, combos.len() as u64);
+
+        let mut local_seen: HashSet<GroupKey> = HashSet::new();
+        let mut found: Vec<(GroupKey, BugReport)> = Vec::new();
+        for combo in &combos {
+            for group in self.suspicious_groups(combo, chan, config.max_group_size) {
+                let key = self.group_key(combo, &group);
+                if local_seen.contains(&key) {
+                    continue;
+                }
+                self.telemetry.add(Counter::GroupsChecked, 1);
+                let verdict = self.telemetry.time(Stage::Constraints, || {
+                    check_group_recorded(
+                        &self.prims,
+                        combo,
+                        &group,
+                        config.solver_steps,
+                        Some(&self.telemetry),
+                    )
+                });
+                match verdict {
+                    Verdict::Blocking(witness) => {
+                        local_seen.insert(key.clone());
+                        self.telemetry.add(Counter::ReportsEmitted, 1);
+                        found.push((key, self.make_report(chan, combo, &group, witness, root)));
+                    }
+                    Verdict::Safe | Verdict::Unknown => {}
+                }
+            }
+        }
+        found
     }
 
     // ------------------------------------------------------- combinations
@@ -155,7 +251,11 @@ impl<'m> Detector<'m> {
         let mut out: Vec<Combo> = Vec::new();
         let root_paths = enumerator.paths_of(root);
         for rp in root_paths {
-            let partial = vec![GoroutinePath { path: rp, spawned_at: None, root_func: root }];
+            let partial = vec![GoroutinePath {
+                path: rp,
+                spawned_at: None,
+                root_func: root,
+            }];
             self.expand_goroutine(enumerator, partial, 0, config, &mut out);
             if out.len() >= config.max_combos {
                 break;
@@ -250,13 +350,15 @@ impl<'m> Detector<'m> {
                 .path
                 .blocking_candidates()
                 .into_iter()
-                .map(|event| GroupMember { goroutine: gi, event })
+                .map(|event| GroupMember {
+                    goroutine: gi,
+                    event,
+                })
                 .collect();
             per_go.push(cands);
         }
-        let on_channel = |m: &GroupMember| -> bool {
-            self.member_ops(combo, m).iter().any(|(p, _)| *p == c)
-        };
+        let on_channel =
+            |m: &GroupMember| -> bool { self.member_ops(combo, m).iter().any(|(p, _)| *p == c) };
 
         let mut out: Vec<Vec<GroupMember>> = Vec::new();
         // Size 1.
@@ -292,9 +394,7 @@ impl<'m> Detector<'m> {
     fn member_ops(&self, combo: &Combo, m: &GroupMember) -> Vec<(PrimId, OpKind)> {
         match &combo.gos[m.goroutine].path.events[m.event] {
             Event::Op(op) => vec![(op.prim, op.kind)],
-            Event::Select { cases, .. } => {
-                cases.iter().map(|(_, op)| (op.prim, op.kind)).collect()
-            }
+            Event::Select { cases, .. } => cases.iter().map(|(_, op)| (op.prim, op.kind)).collect(),
             _ => vec![],
         }
     }
@@ -314,11 +414,7 @@ impl<'m> Detector<'m> {
         false
     }
 
-    fn group_key(
-        &self,
-        combo: &Combo,
-        group: &[GroupMember],
-    ) -> (BugKind, Option<Loc>, Vec<Loc>) {
+    fn group_key(&self, combo: &Combo, group: &[GroupMember]) -> GroupKey {
         let mut locs: Vec<Loc> = group
             .iter()
             .filter_map(|m| match &combo.gos[m.goroutine].path.events[m.event] {
@@ -341,12 +437,20 @@ impl<'m> Detector<'m> {
     ) -> BugReport {
         let prim = &self.prims.all[chan.0];
         // BMOC-M when any kept event in the combination touches a mutex.
-        let involves_mutex = combo.gos.iter().flat_map(|g| &g.path.events).any(|e| match e {
-            Event::Op(op) => op.from_mutex,
-            Event::Select { cases, .. } => cases.iter().any(|(_, op)| op.from_mutex),
-            _ => false,
-        });
-        let kind = if involves_mutex { BugKind::BmocChannelMutex } else { BugKind::BmocChannel };
+        let involves_mutex = combo
+            .gos
+            .iter()
+            .flat_map(|g| &g.path.events)
+            .any(|e| match e {
+                Event::Op(op) => op.from_mutex,
+                Event::Select { cases, .. } => cases.iter().any(|(_, op)| op.from_mutex),
+                _ => false,
+            });
+        let kind = if involves_mutex {
+            BugKind::BmocChannelMutex
+        } else {
+            BugKind::BmocChannel
+        };
         let ops: Vec<OpRef> = group
             .iter()
             .filter_map(|m| {
@@ -391,19 +495,14 @@ impl<'m> Detector<'m> {
     }
 }
 
-impl<'m> Detector<'m> {
+impl<'m> AnalysisSession<'m> {
     /// §6 extension: detects *non-blocking* misuse of channels — a send
     /// that some interleaving can execute after a close of the same channel
     /// (a guaranteed runtime panic). The paper describes this as a new bug
     /// constraint `O_close < O_send` over the same ΦR machinery.
     pub fn detect_send_on_closed(&self, config: &DetectorConfig) -> Vec<BugReport> {
-        let dg = build_dependency_graph(self.module, &self.analysis, &self.prims);
-        let scopes: Vec<Scope> = self
-            .prims
-            .all
-            .iter()
-            .map(|p| compute_scope(self.module, &self.analysis, &self.prims, p.id))
-            .collect();
+        let dg = self.dependency_graph();
+        let scopes = self.scopes();
         let mut reports = Vec::new();
         let mut seen: HashSet<(Loc, Loc)> = HashSet::new();
 
@@ -412,13 +511,19 @@ impl<'m> Detector<'m> {
                 continue;
             }
             // Fast filter: the channel must have both a send and a close.
-            let has_send = self.prims.ops_of(chan.id).any(|o| o.kind == crate::primitives::OpKind::Send);
-            let has_close = self.prims.ops_of(chan.id).any(|o| o.kind == crate::primitives::OpKind::Close);
+            let has_send = self
+                .prims
+                .ops_of(chan.id)
+                .any(|o| o.kind == crate::primitives::OpKind::Send);
+            let has_close = self
+                .prims
+                .ops_of(chan.id)
+                .any(|o| o.kind == crate::primitives::OpKind::Close);
             if !has_send || !has_close {
                 continue;
             }
             let root = scopes[chan.id.0].root;
-            let prim_set = pset(chan.id, &dg, &scopes, &self.prims);
+            let prim_set = pset(chan.id, dg, scopes, &self.prims);
             let mut enumerator = Enumerator::new(
                 self.module,
                 &self.analysis,
@@ -426,7 +531,15 @@ impl<'m> Detector<'m> {
                 &prim_set,
                 config.limits.clone(),
             );
-            let combos = self.build_combos(&mut enumerator, root, config);
+            let combos = self.telemetry.time(Stage::Paths, || {
+                self.build_combos(&mut enumerator, root, config)
+            });
+            self.telemetry
+                .add(Counter::PathsEnumerated, enumerator.paths_enumerated());
+            self.telemetry
+                .add(Counter::BranchesPruned, enumerator.branches_pruned());
+            self.telemetry
+                .add(Counter::CombosBuilt, combos.len() as u64);
             for combo in &combos {
                 // Collect sends and closes on this channel.
                 let mut sends = Vec::new();
@@ -436,12 +549,20 @@ impl<'m> Detector<'m> {
                         if let Event::Op(op) = event {
                             if op.prim == chan.id {
                                 match op.kind {
-                                    crate::primitives::OpKind::Send => {
-                                        sends.push((GroupMember { goroutine: gi, event: ei }, op.clone()))
-                                    }
-                                    crate::primitives::OpKind::Close => {
-                                        closes.push((GroupMember { goroutine: gi, event: ei }, op.clone()))
-                                    }
+                                    crate::primitives::OpKind::Send => sends.push((
+                                        GroupMember {
+                                            goroutine: gi,
+                                            event: ei,
+                                        },
+                                        op.clone(),
+                                    )),
+                                    crate::primitives::OpKind::Close => closes.push((
+                                        GroupMember {
+                                            goroutine: gi,
+                                            event: ei,
+                                        },
+                                        op.clone(),
+                                    )),
                                     _ => {}
                                 }
                             }
@@ -453,14 +574,20 @@ impl<'m> Detector<'m> {
                         if !seen.insert((send_op.loc, close_op.loc)) {
                             continue;
                         }
-                        match crate::constraints::check_send_after_close(
-                            &self.prims,
-                            combo,
-                            *send_m,
-                            *close_m,
-                            config.solver_steps,
-                        ) {
-                            crate::constraints::Verdict::Blocking(witness) => {
+                        self.telemetry.add(Counter::GroupsChecked, 1);
+                        let verdict = self.telemetry.time(Stage::Constraints, || {
+                            check_send_after_close_recorded(
+                                &self.prims,
+                                combo,
+                                *send_m,
+                                *close_m,
+                                config.solver_steps,
+                                Some(&self.telemetry),
+                            )
+                        });
+                        match verdict {
+                            Verdict::Blocking(witness) => {
+                                self.telemetry.add(Counter::ReportsEmitted, 1);
                                 reports.push(BugReport {
                                     kind: BugKind::SendOnClosedChannel,
                                     primitive: Some(chan.site),

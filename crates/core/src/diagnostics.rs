@@ -1,0 +1,330 @@
+//! Structured diagnostics.
+//!
+//! A [`Diagnostic`] wraps a [`BugReport`] with the presentation-layer
+//! fields tools consume: a stable ID (`GC-` + 8 hex digits of an FNV-1a
+//! hash over the bug kind, the involved operation locations, and the
+//! primitive site — invariant under checker ordering and parallelism), a
+//! [`Severity`], and the owning checker's name. [`render_json`] serializes
+//! a whole run — diagnostics plus optional [`Stats`] — as JSON without any
+//! external dependency (`gcatch check --json`).
+
+use crate::checkers::RunOutput;
+use crate::report::{BugKind, BugReport};
+use crate::telemetry::Stats;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Guaranteed misbehavior when the witness schedule runs: a goroutine
+    /// blocks forever or the program panics.
+    Error,
+    /// A latent hazard: racy access, leaked lock, inconsistent order.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name (JSON, CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+
+    /// The severity of a bug kind.
+    pub fn of(kind: BugKind) -> Severity {
+        match kind {
+            BugKind::BmocChannel
+            | BugKind::BmocChannelMutex
+            | BugKind::DoubleLock
+            | BugKind::SendOnClosedChannel => Severity::Error,
+            BugKind::MissingUnlock
+            | BugKind::ConflictingLockOrder
+            | BugKind::StructFieldRace
+            | BugKind::FatalInChildGoroutine => Severity::Warning,
+        }
+    }
+}
+
+/// A bug report with stable identity and presentation metadata.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable ID, `GC-` plus eight hex digits; identical across runs,
+    /// checker selections, and `--jobs` values.
+    pub id: String,
+    /// Name of the checker that produced the report.
+    pub checker: &'static str,
+    /// Severity derived from the bug kind.
+    pub severity: Severity,
+    /// The underlying report.
+    pub report: BugReport,
+}
+
+impl Diagnostic {
+    /// Wraps a report produced by `checker`.
+    pub fn new(checker: &'static str, report: BugReport) -> Diagnostic {
+        let id = stable_id(&report);
+        let severity = Severity::of(report.kind);
+        Diagnostic {
+            id,
+            checker,
+            severity,
+            report,
+        }
+    }
+
+    /// Wraps every report of a registry run, preserving order.
+    pub fn from_run(outputs: Vec<RunOutput>) -> Vec<Diagnostic> {
+        outputs
+            .into_iter()
+            .flat_map(|o| {
+                o.reports
+                    .into_iter()
+                    .map(move |r| Diagnostic::new(o.checker, r))
+            })
+            .collect()
+    }
+}
+
+/// `GC-xxxxxxxx` from an FNV-1a hash over the report's stable identity:
+/// the kind label, the sorted op locations, and the primitive site. Spans,
+/// notes, and witness text are deliberately excluded so cosmetic wording
+/// changes do not move IDs.
+fn stable_id(report: &BugReport) -> String {
+    let (kind, primitive, locs) = report.dedup_key();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(kind.label().as_bytes());
+    if let Some(p) = primitive {
+        eat(format!("@f{}b{}i{}", p.func.0, p.block.0, p.idx).as_bytes());
+    }
+    for loc in locs {
+        eat(format!("|f{}b{}i{}", loc.func.0, loc.block.0, loc.idx).as_bytes());
+    }
+    // Fold to 32 bits for a compact, still collision-resistant-enough ID.
+    let folded = (h >> 32) as u32 ^ (h as u32);
+    format!("GC-{folded:08x}")
+}
+
+// ------------------------------------------------------------------- JSON
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_json(value, out);
+    out.push('"');
+}
+
+/// Renders a run as a stable JSON document:
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "diagnostics": [
+///     {"id": "GC-…", "checker": "bmoc", "kind": "BMOC-C",
+///      "severity": "error", "primitive": {…}, "ops": […],
+///      "witness": […], "notes": "…"},
+///     …
+///   ],
+///   "stats": {"counters": {…}, "stage_ms": {…}}
+/// }
+/// ```
+///
+/// `stats` is present only when requested (`--stats`).
+pub fn render_json(diagnostics: &[Diagnostic], stats: Option<&Stats>) -> String {
+    let mut out = String::new();
+    out.push_str("{\"version\":1,\"diagnostics\":[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        push_str_field(&mut out, "id", &d.id);
+        out.push(',');
+        push_str_field(&mut out, "checker", d.checker);
+        out.push(',');
+        push_str_field(&mut out, "kind", d.report.kind.label());
+        out.push(',');
+        push_str_field(&mut out, "severity", d.severity.name());
+        out.push(',');
+        out.push_str("\"primitive\":");
+        if d.report.primitive.is_some() {
+            out.push('{');
+            push_str_field(&mut out, "name", &d.report.primitive_name);
+            out.push(',');
+            push_str_field(&mut out, "span", &d.report.primitive_span.to_string());
+            out.push('}');
+        } else {
+            out.push_str("null");
+        }
+        out.push_str(",\"ops\":[");
+        for (j, op) in d.report.ops.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_str_field(&mut out, "what", &op.what);
+            out.push(',');
+            push_str_field(&mut out, "func", &op.func_name);
+            out.push(',');
+            push_str_field(&mut out, "span", &op.span.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"witness\":[");
+        for (j, w) in d.report.witness_order.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(w, &mut out);
+            out.push('"');
+        }
+        out.push_str("],");
+        push_str_field(&mut out, "notes", &d.report.notes);
+        out.push('}');
+    }
+    out.push(']');
+    if let Some(stats) = stats {
+        out.push_str(",\"stats\":{\"counters\":{");
+        for (i, (c, v)) in stats.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(c.name());
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"stage_ms\":{");
+        for (i, (s, d)) in stats.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(s.name());
+            out.push_str("\":");
+            out.push_str(&format!("{:.3}", d.as_secs_f64() * 1000.0));
+        }
+        out.push_str("}}");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::OpRef;
+    use golite::Span;
+    use golite_ir::{BlockId, FuncId, Loc};
+
+    fn mk_report() -> BugReport {
+        BugReport {
+            kind: BugKind::BmocChannel,
+            primitive: Some(Loc {
+                func: FuncId(0),
+                block: BlockId(0),
+                idx: 0,
+            }),
+            primitive_span: Span::new(0, 5, 3, 5),
+            primitive_name: "outDone".into(),
+            ops: vec![OpRef {
+                loc: Loc {
+                    func: FuncId(1),
+                    block: BlockId(0),
+                    idx: 2,
+                },
+                span: Span::new(10, 12, 7, 5),
+                what: "send on outDone".into(),
+                func_name: "Exec$closure0".into(),
+            }],
+            witness_order: vec!["make".into(), "send".into()],
+            notes: "scope root: Exec".into(),
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_and_wording_insensitive() {
+        let a = Diagnostic::new("bmoc", mk_report());
+        let mut reworded = mk_report();
+        reworded.notes = "completely different".into();
+        reworded.witness_order.clear();
+        let b = Diagnostic::new("bmoc", reworded);
+        assert_eq!(a.id, b.id, "notes/witness must not move the ID");
+        assert!(
+            a.id.starts_with("GC-") && a.id.len() == 3 + 8,
+            "got {}",
+            a.id
+        );
+    }
+
+    #[test]
+    fn ids_distinguish_kinds_and_locations() {
+        let a = Diagnostic::new("bmoc", mk_report());
+        let mut other_kind = mk_report();
+        other_kind.kind = BugKind::DoubleLock;
+        let mut other_loc = mk_report();
+        other_loc.ops[0].loc = Loc {
+            func: FuncId(2),
+            block: BlockId(0),
+            idx: 0,
+        };
+        assert_ne!(a.id, Diagnostic::new("double-lock", other_kind).id);
+        assert_ne!(a.id, Diagnostic::new("bmoc", other_loc).id);
+    }
+
+    #[test]
+    fn severity_mapping() {
+        assert_eq!(Severity::of(BugKind::BmocChannel), Severity::Error);
+        assert_eq!(Severity::of(BugKind::SendOnClosedChannel), Severity::Error);
+        assert_eq!(Severity::of(BugKind::StructFieldRace), Severity::Warning);
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let mut r = mk_report();
+        r.notes = "quote \" backslash \\ newline \n".into();
+        let d = Diagnostic::new("bmoc", r);
+        let json = render_json(&[d], None);
+        assert!(json.starts_with("{\"version\":1,\"diagnostics\":["));
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"checker\":\"bmoc\""));
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(!json.contains("\"stats\""));
+    }
+
+    #[test]
+    fn json_includes_stats_when_asked() {
+        let t = crate::telemetry::Telemetry::new();
+        t.add(crate::telemetry::Counter::SolverQueries, 3);
+        let json = render_json(&[], Some(&t.snapshot()));
+        assert!(json.contains("\"stats\""));
+        assert!(json.contains("\"solver_queries\":3"));
+        assert!(json.contains("\"stage_ms\""));
+    }
+}

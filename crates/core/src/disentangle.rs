@@ -37,12 +37,7 @@ impl Scope {
 /// single function covers all operations (the paper falls back to per-
 /// function scopes for libraries; we fall back to the creation function,
 /// which reproduces the paper's LCA-related misses).
-pub fn compute_scope(
-    module: &Module,
-    analysis: &Analysis,
-    prims: &Primitives,
-    p: PrimId,
-) -> Scope {
+pub fn compute_scope(module: &Module, analysis: &Analysis, prims: &Primitives, p: PrimId) -> Scope {
     let prim = &prims.all[p.0];
     let mut must_cover: HashSet<FuncId> = prims.funcs_with_ops_of(p).clone();
     must_cover.insert(prim.site.func);
@@ -125,8 +120,7 @@ pub fn build_dependency_graph(
     }
 
     // Rule 1: unblocking op of `a` reachable from blocking op of `b`.
-    let blocking: Vec<&SyncOp> =
-        prims.ops.iter().filter(|o| o.kind.can_block()).collect();
+    let blocking: Vec<&SyncOp> = prims.ops.iter().filter(|o| o.kind.can_block()).collect();
     let unblocking: Vec<&SyncOp> = prims
         .ops
         .iter()
@@ -166,16 +160,10 @@ pub fn build_dependency_graph(
 /// Whether operation `to` can execute after operation `from` on some
 /// continuation: same-function CFG reachability, or `to`'s function is
 /// callable (transitively) from `from`'s function.
-fn op_reachable_from(
-    module: &Module,
-    analysis: &Analysis,
-    from: &SyncOp,
-    to: &SyncOp,
-) -> bool {
-    if from.func == to.func
-        && intra_reachable(module.func(from.func), from.loc, to.loc) {
-            return true;
-        }
+fn op_reachable_from(module: &Module, analysis: &Analysis, from: &SyncOp, to: &SyncOp) -> bool {
+    if from.func == to.func && intra_reachable(module.func(from.func), from.loc, to.loc) {
+        return true;
+    }
     if to.func != from.func {
         // Through calls made after `from` (approximated by any call from
         // `from`'s function), or through goroutines spawned there.
@@ -209,12 +197,7 @@ fn intra_reachable(f: &Function, from: Loc, to: Loc) -> bool {
 
 /// Computes the Pset of channel `c` (§3.2): `c` plus every primitive that
 /// circularly depends on `c` and whose scope is not larger.
-pub fn pset(
-    c: PrimId,
-    dg: &DependencyGraph,
-    scopes: &[Scope],
-    prims: &Primitives,
-) -> Vec<PrimId> {
+pub fn pset(c: PrimId, dg: &DependencyGraph, scopes: &[Scope], prims: &Primitives) -> Vec<PrimId> {
     let mut out = vec![c];
     for p in &prims.all {
         if p.id != c && dg.circular(c, p.id) && scopes[p.id.0].size() <= scopes[c.0].size() {
@@ -240,7 +223,11 @@ mod tests {
         let module = lower_source(src).expect("lowering");
         let analysis = analyze(&module);
         let prims = collect(&module, &analysis);
-        Setup { module, analysis, prims }
+        Setup {
+            module,
+            analysis,
+            prims,
+        }
     }
 
     fn prim_named(s: &Setup, name: &str) -> PrimId {
@@ -290,7 +277,10 @@ mod tests {
         let a = prim_named(&s, "a");
         let b = prim_named(&s, "b");
         let pset_a = pset(a, &dg, &scopes, &s.prims);
-        assert!(pset_a.contains(&b), "same-scope select peer belongs to Pset");
+        assert!(
+            pset_a.contains(&b),
+            "same-scope select peer belongs to Pset"
+        );
     }
 
     #[test]
@@ -327,7 +317,10 @@ func main() {
             .collect();
         let out_done = prim_named(&s, "outDone");
         let ctx = prim_named(&s, "ctx");
-        assert!(dg.circular(out_done, ctx), "same select makes them circular");
+        assert!(
+            dg.circular(out_done, ctx),
+            "same select makes them circular"
+        );
         assert!(
             scopes[ctx.0].size() > scopes[out_done.0].size(),
             "ctx channel has the larger scope"

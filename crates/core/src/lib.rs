@@ -14,11 +14,20 @@
 //! * [`constraints`] — encodes `ΦR ∧ ΦB` over order variables, `P(s,r)`
 //!   match booleans, and channel-buffer counters, discharging them with the
 //!   [`minismt`] DPLL(T) solver (§3.4, Z3 in the original);
-//! * [`detector`] — the per-channel driver with suspicious-group
-//!   enumeration, plus the whole-program ablation mode (§5.2);
+//! * [`session`] — the [`AnalysisSession`]: every whole-module analysis
+//!   built once and shared immutably by all checkers;
+//! * [`detector`] — the per-channel BMOC driver with suspicious-group
+//!   enumeration, sharded across worker threads, plus the whole-program
+//!   ablation mode (§5.2);
 //! * [`traditional`] — the five classic checkers: double lock, missing
 //!   unlock, conflicting lock order, struct-field lockset races, and
-//!   `testing.Fatal` on child goroutines (§3.5).
+//!   `testing.Fatal` on child goroutines (§3.5);
+//! * [`checkers`] — the [`Checker`] trait and [`Registry`] unifying every
+//!   detector behind stable names with `--only`/`--skip` selection;
+//! * [`diagnostics`] — structured [`Diagnostic`]s with stable IDs,
+//!   severities, and dependency-free JSON rendering;
+//! * [`telemetry`] — counters and per-stage timings recorded throughout
+//!   the pipeline.
 //!
 //! # Examples
 //!
@@ -53,49 +62,93 @@
 #![warn(missing_docs)]
 
 pub mod alias_ext;
+pub mod checkers;
 pub mod constraints;
 pub mod detector;
+pub mod diagnostics;
 pub mod disentangle;
 pub mod paths;
 pub mod primitives;
 pub mod report;
+pub mod session;
+pub mod telemetry;
 pub mod traditional;
 
+pub use checkers::{Checker, Registry, RunOutput, Selection};
 pub use detector::{Detector, DetectorConfig};
+pub use diagnostics::{render_json, Diagnostic, Severity};
 pub use report::{BugKind, BugReport, OpRef};
+pub use session::AnalysisSession;
+pub use telemetry::{Counter, Stage, Stats, Telemetry};
 
-/// The complete GCatch system: BMOC detector plus the five traditional
-/// checkers behind one entry point.
+/// The complete GCatch system: one [`AnalysisSession`] plus the checker
+/// [`Registry`] behind one entry point.
 pub struct GCatch<'m> {
-    module: &'m golite_ir::Module,
-    detector: Detector<'m>,
+    session: AnalysisSession<'m>,
+    registry: Registry,
 }
 
 impl<'m> GCatch<'m> {
     /// Builds the whole-module analyses once.
     pub fn new(module: &'m golite_ir::Module) -> GCatch<'m> {
-        GCatch { module, detector: Detector::new(module) }
+        GCatch {
+            session: AnalysisSession::new(module),
+            registry: Registry::standard(),
+        }
     }
 
     /// Runs the BMOC detector only.
     pub fn detect_bmoc(&self, config: &DetectorConfig) -> Vec<BugReport> {
-        self.detector.detect_bmoc(config)
+        self.session.detect_bmoc(config)
     }
 
     /// Runs the five traditional checkers only.
     pub fn detect_traditional(&self) -> Vec<BugReport> {
-        traditional::detect_traditional(self.module, &self.detector.analysis, &self.detector.prims)
+        self.session
+            .telemetry()
+            .time(telemetry::Stage::Traditional, || {
+                traditional::detect_traditional(
+                    self.session.module(),
+                    &self.session.analysis,
+                    &self.session.prims,
+                )
+            })
     }
 
-    /// Runs every detector (Figure 2's full GCatch box).
+    /// Runs every default-enabled checker (Figure 2's full GCatch box).
     pub fn detect_all(&self, config: &DetectorConfig) -> Vec<BugReport> {
-        let mut out = self.detect_bmoc(config);
-        out.extend(self.detect_traditional());
-        out
+        checkers::flatten(self.run(config, &Selection::default()))
     }
 
-    /// The underlying per-module detector (exposes analyses for GFix).
-    pub fn detector(&self) -> &Detector<'m> {
-        &self.detector
+    /// Runs the registered checkers under a selection, keeping the reports
+    /// grouped by checker.
+    pub fn run(&self, config: &DetectorConfig, selection: &Selection) -> Vec<RunOutput> {
+        self.registry.run(&self.session, config, selection)
+    }
+
+    /// Runs the selected checkers and wraps every report as a
+    /// [`Diagnostic`] with a stable ID and severity.
+    pub fn diagnostics(&self, config: &DetectorConfig, selection: &Selection) -> Vec<Diagnostic> {
+        Diagnostic::from_run(self.run(config, selection))
+    }
+
+    /// The underlying analysis session (exposes analyses for GFix).
+    pub fn detector(&self) -> &AnalysisSession<'m> {
+        &self.session
+    }
+
+    /// The analysis session by its proper name.
+    pub fn session(&self) -> &AnalysisSession<'m> {
+        &self.session
+    }
+
+    /// The checker registry backing [`GCatch::run`].
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshot of every counter and stage timing recorded so far.
+    pub fn stats(&self) -> Stats {
+        self.session.stats()
     }
 }

@@ -93,12 +93,16 @@ impl Path {
             .enumerate()
             .filter(|(_, e)| match e {
                 Event::Op(op) => op.kind.can_block(),
-                Event::Select { has_default, cases, n_cases, .. } => {
+                Event::Select {
+                    has_default,
+                    cases,
+                    n_cases,
+                    ..
+                } => {
                     // A select is only a credible blocking candidate when
                     // every one of its cases is modeled; a case on a
                     // primitive outside the Pset could fire and unblock it.
-                    let distinct: HashSet<usize> =
-                        cases.iter().map(|(ci, _)| *ci).collect();
+                    let distinct: HashSet<usize> = cases.iter().map(|(ci, _)| *ci).collect();
                     !has_default && !cases.is_empty() && distinct.len() == *n_cases
                 }
                 _ => false,
@@ -123,7 +127,12 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_block_visits: 2, max_paths_per_func: 96, max_events: 160, max_depth: 6 }
+        Limits {
+            max_block_visits: 2,
+            max_paths_per_func: 96,
+            max_events: 160,
+            max_depth: 6,
+        }
     }
 }
 
@@ -140,6 +149,10 @@ pub struct Enumerator<'a> {
     cache: HashMap<FuncId, Vec<Path>>,
     /// Read-only boolean vars per function.
     read_only: HashMap<FuncId, HashSet<Var>>,
+    /// Paths enumerated (unique per function; cache hits don't recount).
+    paths_enumerated: u64,
+    /// Branches discarded by the infeasible-path filter.
+    branches_pruned: u64,
 }
 
 impl<'a> Enumerator<'a> {
@@ -162,7 +175,11 @@ impl<'a> Enumerator<'a> {
         }
         let mut touchers = HashSet::new();
         for f in &module.funcs {
-            if analysis.reachable_from(f.id).iter().any(|g| direct.contains(g)) {
+            if analysis
+                .reachable_from(f.id)
+                .iter()
+                .any(|g| direct.contains(g))
+            {
                 touchers.insert(f.id);
             }
         }
@@ -175,7 +192,19 @@ impl<'a> Enumerator<'a> {
             limits,
             cache: HashMap::new(),
             read_only: HashMap::new(),
+            paths_enumerated: 0,
+            branches_pruned: 0,
         }
+    }
+
+    /// Total paths enumerated so far (fresh enumerations only).
+    pub fn paths_enumerated(&self) -> u64 {
+        self.paths_enumerated
+    }
+
+    /// Total branch directions discarded as infeasible so far.
+    pub fn branches_pruned(&self) -> u64 {
+        self.branches_pruned
     }
 
     /// Enumerates the paths of `func` (goroutine root or inlined callee).
@@ -203,6 +232,7 @@ impl<'a> Enumerator<'a> {
             out.push(Path::default());
         }
         out.truncate(self.limits.max_paths_per_func);
+        self.paths_enumerated += out.len() as u64;
         self.cache.insert(func, out.clone());
         out
     }
@@ -265,7 +295,11 @@ impl<'a> Enumerator<'a> {
         }
         let blk = f.block(block);
         for idx in start_idx..blk.instrs.len() {
-            let loc = Loc { func: f.id, block, idx: idx as u32 };
+            let loc = Loc {
+                func: f.id,
+                block,
+                idx: idx as u32,
+            };
             let span = blk.spans[idx];
             let instr = &blk.instrs[idx];
             match instr {
@@ -341,7 +375,11 @@ impl<'a> Enumerator<'a> {
         // its unroll budget) are emitted truncated: the operations observed
         // so far still participate in combinations, mirroring the paper's
         // bounded unrolling of non-terminating loops.
-        let term_loc = Loc { func: f.id, block, idx: blk.instrs.len() as u32 };
+        let term_loc = Loc {
+            func: f.id,
+            block,
+            idx: blk.instrs.len() as u32,
+        };
         match &blk.term {
             Terminator::Jump(b) => {
                 if self.enter(f, *b, visits) {
@@ -362,6 +400,7 @@ impl<'a> Enumerator<'a> {
                         if let Some(&prev) = facts.get(&(f.id, v)) {
                             if prev != value {
                                 advanced = true; // infeasible, not truncated
+                                self.branches_pruned += 1;
                                 continue;
                             }
                         }
@@ -370,14 +409,28 @@ impl<'a> Enumerator<'a> {
                         advanced = true;
                         let mut p2 = path.clone();
                         if let Some(v) = fact_var {
-                            p2.events.push(Event::Fact { func: f.id, var: v, value });
+                            p2.events.push(Event::Fact {
+                                func: f.id,
+                                var: v,
+                                value,
+                            });
                         }
                         let mut facts2 = facts.clone();
                         if let Some(v) = fact_var {
                             facts2.insert((f.id, v), value);
                         }
                         let mut defers2 = defers.clone();
-                        self.walk(f, target, 0, visits, p2, &mut defers2, &mut facts2, out, depth);
+                        self.walk(
+                            f,
+                            target,
+                            0,
+                            visits,
+                            p2,
+                            &mut defers2,
+                            &mut facts2,
+                            out,
+                            depth,
+                        );
                         self.leave(target, visits);
                     }
                 }
@@ -480,9 +533,7 @@ impl<'a> Enumerator<'a> {
     fn resolve(&self, func: FuncId, op: &Operand) -> Vec<(PrimId, bool)> {
         crate::alias_ext::chan_sites_of(self.analysis, func, op)
             .into_iter()
-            .filter_map(|(site, is_mutex)| {
-                self.prims.by_site(site).map(|p| (p.id, is_mutex))
-            })
+            .filter_map(|(site, is_mutex)| self.prims.by_site(site).map(|p| (p.id, is_mutex)))
             .filter(|(id, _)| self.pset.contains(id))
             .collect()
     }
@@ -497,16 +548,19 @@ impl<'a> Enumerator<'a> {
         operand: &Operand,
     ) {
         for (prim, from_mutex) in self.resolve(func, operand) {
-            path.events.push(Event::Op(PathOp { prim, kind, loc, span, from_mutex }));
+            path.events.push(Event::Op(PathOp {
+                prim,
+                kind,
+                loc,
+                span,
+                from_mutex,
+            }));
         }
     }
 
     /// The unique unambiguous target of the call at `loc`, if any.
     fn single_target(&self, loc: Loc) -> Option<FuncId> {
-        let cs = self
-            .analysis
-            .calls_in(loc.func)
-            .find(|cs| cs.loc == loc)?;
+        let cs = self.analysis.calls_in(loc.func).find(|cs| cs.loc == loc)?;
         if cs.ambiguous || cs.targets.len() != 1 {
             return None;
         }
@@ -531,12 +585,22 @@ impl<'a> Enumerator<'a> {
                     // Helper defers: resolve the primitive from the argument
                     // *at the defer site* (context-sensitive).
                     "__close" | "__unlock" | "__runlock" => {
-                        let kind = if name == "__close" { OpKind::Close } else { OpKind::Recv };
+                        let kind = if name == "__close" {
+                            OpKind::Close
+                        } else {
+                            OpKind::Recv
+                        };
                         let ops: Vec<Event> = self
                             .resolve(func, &args[0])
                             .into_iter()
                             .map(|(prim, from_mutex)| {
-                                Event::Op(PathOp { prim, kind, loc, span, from_mutex })
+                                Event::Op(PathOp {
+                                    prim,
+                                    kind,
+                                    loc,
+                                    span,
+                                    from_mutex,
+                                })
                             })
                             .collect();
                         if ops.is_empty() {
@@ -576,7 +640,11 @@ impl<'a> Enumerator<'a> {
             return None;
         }
         let paths = self.paths_of(fid);
-        paths.into_iter().next().filter(|p| !p.events.is_empty()).map(|p| p.events)
+        paths
+            .into_iter()
+            .next()
+            .filter(|p| !p.events.is_empty())
+            .map(|p| p.events)
     }
 
     /// Appends deferred event groups in LIFO order.
@@ -636,7 +704,11 @@ mod tests {
         let module = lower_source(src).expect("lowering");
         let analysis = analyze(&module);
         let prims = collect(&module, &analysis);
-        Setup { module, analysis, prims }
+        Setup {
+            module,
+            analysis,
+            prims,
+        }
     }
 
     fn all_prims(s: &Setup) -> Vec<PrimId> {
@@ -732,14 +804,16 @@ func StdCopy() error {
                 _ => None,
             })
             .collect();
-        assert_eq!(ops, vec![OpKind::Send, OpKind::Recv], "helper's send spliced in");
+        assert_eq!(
+            ops,
+            vec![OpKind::Send, OpKind::Recv],
+            "helper's send spliced in"
+        );
     }
 
     #[test]
     fn loops_unrolled_at_most_twice() {
-        let s = setup(
-            "func main() {\n ch := make(chan int, 8)\n for {\n  ch <- 1\n }\n}",
-        );
+        let s = setup("func main() {\n ch := make(chan int, 8)\n for {\n  ch <- 1\n }\n}");
         let pset = all_prims(&s);
         let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let main = s.module.func_by_name("main").unwrap().id;
@@ -754,14 +828,15 @@ func StdCopy() error {
             })
             .max()
             .unwrap_or(0);
-        assert!(max_sends <= 2, "at most two unrolled sends, got {max_sends}");
+        assert!(
+            max_sends <= 2,
+            "at most two unrolled sends, got {max_sends}"
+        );
     }
 
     #[test]
     fn defer_close_appends_at_return() {
-        let s = setup(
-            "func main() {\n ch := make(chan int)\n defer close(ch)\n x := 1\n _ = x\n}",
-        );
+        let s = setup("func main() {\n ch := make(chan int)\n defer close(ch)\n x := 1\n _ = x\n}");
         let pset = all_prims(&s);
         let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let main = s.module.func_by_name("main").unwrap().id;

@@ -163,12 +163,7 @@ impl Primitives {
     }
 
     /// Resolves the primitive ids an operand may denote.
-    pub fn prims_of_operand(
-        &self,
-        analysis: &Analysis,
-        func: FuncId,
-        op: &Operand,
-    ) -> Vec<PrimId> {
+    pub fn prims_of_operand(&self, analysis: &Analysis, func: FuncId, op: &Operand) -> Vec<PrimId> {
         let mut out = Vec::new();
         for obj in analysis.operand_points_to(func, op) {
             let site = match obj {
@@ -194,11 +189,17 @@ pub fn collect(module: &Module, analysis: &Analysis) -> Primitives {
     for f in &module.funcs {
         for (bid, block) in f.iter_blocks() {
             for (idx, instr) in block.instrs.iter().enumerate() {
-                let loc = Loc { func: f.id, block: bid, idx: idx as u32 };
+                let loc = Loc {
+                    func: f.id,
+                    block: bid,
+                    idx: idx as u32,
+                };
                 let span = block.spans[idx];
                 let (kind, name) = match instr {
                     Instr::MakeChan { dst, cap, .. } => (
-                        PrimKind::Chan { buffer: cap.as_int() },
+                        PrimKind::Chan {
+                            buffer: cap.as_int(),
+                        },
                         f.var_name(*dst).to_string(),
                     ),
                     Instr::MakeMutex { dst, rw } => {
@@ -207,7 +208,13 @@ pub fn collect(module: &Module, analysis: &Analysis) -> Primitives {
                     _ => continue,
                 };
                 let id = PrimId(all.len());
-                all.push(Primitive { id, kind, site: loc, span, name });
+                all.push(Primitive {
+                    id,
+                    kind,
+                    site: loc,
+                    span,
+                    name,
+                });
                 site_to_prim.insert(loc, id);
             }
         }
@@ -218,15 +225,17 @@ pub fn collect(module: &Module, analysis: &Analysis) -> Primitives {
     let resolve = |func: FuncId, op: &Operand| -> Vec<(PrimId, bool)> {
         chan_sites_of(analysis, func, op)
             .into_iter()
-            .filter_map(|(site, is_mutex)| {
-                site_to_prim.get(&site).map(|&id| (id, is_mutex))
-            })
+            .filter_map(|(site, is_mutex)| site_to_prim.get(&site).map(|&id| (id, is_mutex)))
             .collect()
     };
     for f in &module.funcs {
         for (bid, block) in f.iter_blocks() {
             for (idx, instr) in block.instrs.iter().enumerate() {
-                let loc = Loc { func: f.id, block: bid, idx: idx as u32 };
+                let loc = Loc {
+                    func: f.id,
+                    block: bid,
+                    idx: idx as u32,
+                };
                 let span = block.spans[idx];
                 let mut push = |kind: OpKind, operand: &Operand| {
                     for (prim, from_mutex) in resolve(f.id, operand) {
@@ -285,7 +294,13 @@ pub fn collect(module: &Module, analysis: &Analysis) -> Primitives {
         funcs_with_ops[op.prim.0].insert(op.func);
     }
 
-    Primitives { all, site_to_prim, ops, ops_by_prim, funcs_with_ops }
+    Primitives {
+        all,
+        site_to_prim,
+        ops,
+        ops_by_prim,
+        funcs_with_ops,
+    }
 }
 
 #[cfg(test)]
@@ -333,8 +348,7 @@ mod tests {
             "func main() {\n a := make(chan int)\n b := make(chan int)\n select {\n case <-a:\n case b <- 1:\n }\n}",
         );
         assert_eq!(p.all.len(), 2);
-        let select_ops: Vec<&SyncOp> =
-            p.ops.iter().filter(|o| o.select_case.is_some()).collect();
+        let select_ops: Vec<&SyncOp> = p.ops.iter().filter(|o| o.select_case.is_some()).collect();
         assert_eq!(select_ops.len(), 2);
         assert_eq!(select_ops[0].select_case, Some(0));
         assert_eq!(select_ops[1].select_case, Some(1));

@@ -99,9 +99,17 @@ impl BugReport {
 
 impl fmt::Display for BugReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "[{}] {} ({})", self.kind, self.primitive_name, self.primitive_span)?;
+        writeln!(
+            f,
+            "[{}] {} ({})",
+            self.kind, self.primitive_name, self.primitive_span
+        )?;
         for op in &self.ops {
-            writeln!(f, "  blocked: {} at {} in {}", op.what, op.span, op.func_name)?;
+            writeln!(
+                f,
+                "  blocked: {} at {} in {}",
+                op.what, op.span, op.func_name
+            )?;
         }
         if !self.witness_order.is_empty() {
             writeln!(f, "  witness: {}", self.witness_order.join(" -> "))?;
@@ -121,11 +129,19 @@ mod tests {
     fn mk_report() -> BugReport {
         BugReport {
             kind: BugKind::BmocChannel,
-            primitive: Some(Loc { func: FuncId(0), block: BlockId(0), idx: 0 }),
+            primitive: Some(Loc {
+                func: FuncId(0),
+                block: BlockId(0),
+                idx: 0,
+            }),
             primitive_span: Span::new(0, 5, 3, 5),
             primitive_name: "outDone".into(),
             ops: vec![OpRef {
-                loc: Loc { func: FuncId(1), block: BlockId(0), idx: 2 },
+                loc: Loc {
+                    func: FuncId(1),
+                    block: BlockId(0),
+                    idx: 2,
+                },
                 span: Span::new(10, 12, 7, 5),
                 what: "send on outDone".into(),
                 func_name: "Exec$closure0".into(),
@@ -148,7 +164,11 @@ mod tests {
     fn dedup_key_ignores_op_order() {
         let mut a = mk_report();
         let extra = OpRef {
-            loc: Loc { func: FuncId(0), block: BlockId(1), idx: 0 },
+            loc: Loc {
+                func: FuncId(0),
+                block: BlockId(1),
+                idx: 0,
+            },
             span: Span::synthetic(),
             what: "recv".into(),
             func_name: "main".into(),

@@ -1,0 +1,146 @@
+//! The per-module analysis session.
+//!
+//! An [`AnalysisSession`] owns every whole-module analysis the checkers
+//! consume — the points-to / call-graph [`Analysis`], the discovered
+//! [`Primitives`], and the lazily built disentangling artifacts (the
+//! channel [`DependencyGraph`] and per-primitive [`Scope`]s). Each is
+//! computed **once** and then shared immutably: the session is `Sync`, so
+//! the parallel per-channel BMOC workers, the traditional checkers, and
+//! GFix all borrow the same analyses instead of re-deriving them.
+//!
+//! The session also carries the [`Telemetry`] sink; every stage and every
+//! solver query records into it, and [`AnalysisSession::stats`] snapshots
+//! the totals for `--stats` output.
+//!
+//! The old entry point survives as an alias — `Detector` *is* an
+//! `AnalysisSession` — so pre-registry callers (`Detector::new(&module)`,
+//! `detector.analysis`, `detector.detect_bmoc(&config)`) compile
+//! unchanged.
+
+use crate::disentangle::{build_dependency_graph, compute_scope, DependencyGraph, Scope};
+use crate::primitives::{collect, Primitives};
+use crate::telemetry::{Stage, Stats, Telemetry};
+use crate::traditional::LockSummary;
+use golite_ir::alias::Analysis;
+use golite_ir::ir::Module;
+use std::sync::OnceLock;
+
+/// Shared per-module analyses plus telemetry, built once per checked module.
+pub struct AnalysisSession<'m> {
+    pub(crate) module: &'m Module,
+    /// Shared points-to / call-graph results.
+    pub analysis: Analysis,
+    /// Discovered primitives and operations.
+    pub prims: Primitives,
+    /// Channel dependency graph (disentangling §3.2), built on first use.
+    dg: OnceLock<DependencyGraph>,
+    /// Per-primitive scopes, built on first use.
+    scopes: OnceLock<Vec<Scope>>,
+    /// Shared lock-exploration results for the three lock checkers.
+    lock_summary: OnceLock<LockSummary>,
+    pub(crate) telemetry: Telemetry,
+}
+
+/// Compatibility alias: the BMOC detector is the session itself.
+pub type Detector<'m> = AnalysisSession<'m>;
+
+impl<'m> AnalysisSession<'m> {
+    /// Runs the preparatory whole-module analyses (Algorithm 1, lines 2–7).
+    pub fn new(module: &'m Module) -> AnalysisSession<'m> {
+        let telemetry = Telemetry::new();
+        let (analysis, prims) = telemetry.time(Stage::Analysis, || {
+            let analysis = golite_ir::analyze(module);
+            let prims = collect(module, &analysis);
+            (analysis, prims)
+        });
+        AnalysisSession {
+            module,
+            analysis,
+            prims,
+            dg: OnceLock::new(),
+            scopes: OnceLock::new(),
+            lock_summary: OnceLock::new(),
+            telemetry,
+        }
+    }
+
+    /// The module under analysis.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// The channel dependency graph, built on first call and cached.
+    pub fn dependency_graph(&self) -> &DependencyGraph {
+        self.dg.get_or_init(|| {
+            self.telemetry.time(Stage::Disentangle, || {
+                build_dependency_graph(self.module, &self.analysis, &self.prims)
+            })
+        })
+    }
+
+    /// Per-primitive scopes (indexed by `PrimId.0`), built once and cached.
+    pub fn scopes(&self) -> &[Scope] {
+        self.scopes.get_or_init(|| {
+            self.telemetry.time(Stage::Disentangle, || {
+                self.prims
+                    .all
+                    .iter()
+                    .map(|p| compute_scope(self.module, &self.analysis, &self.prims, p.id))
+                    .collect()
+            })
+        })
+    }
+
+    /// Lock-exploration results shared by the double-lock, missing-unlock,
+    /// and lock-order checkers; computed once and cached.
+    pub(crate) fn lock_summary(&self) -> &LockSummary {
+        self.lock_summary.get_or_init(|| {
+            self.telemetry.time(Stage::Traditional, || {
+                crate::traditional::lock_summary(self.module, &self.analysis, &self.prims)
+            })
+        })
+    }
+
+    /// The telemetry sink shared by every checker run on this session.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Snapshot of all counters and stage timings recorded so far.
+    pub fn stats(&self) -> Stats {
+        self.telemetry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session_for(src: &str) -> (Module, ()) {
+        (golite_ir::lower_source(src).expect("lowering"), ())
+    }
+
+    #[test]
+    fn session_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<AnalysisSession<'_>>();
+    }
+
+    #[test]
+    fn disentangling_artifacts_are_cached() {
+        let (module, ()) =
+            session_for("func main() {\n ch := make(chan int)\n go func() { ch <- 1 }()\n <-ch\n}");
+        let s = AnalysisSession::new(&module);
+        let dg1 = s.dependency_graph() as *const _;
+        let dg2 = s.dependency_graph() as *const _;
+        assert_eq!(dg1, dg2, "dependency graph built once");
+        assert_eq!(s.scopes().len(), s.prims.all.len());
+    }
+
+    #[test]
+    fn analysis_stage_time_is_recorded() {
+        let (module, ()) = session_for("func main() {\n ch := make(chan int, 1)\n ch <- 1\n}");
+        let s = AnalysisSession::new(&module);
+        assert!(s.stats().stage(Stage::Analysis) > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,327 @@
+//! Counters and stage timers threaded through the detection pipeline.
+//!
+//! A [`Telemetry`] lives on the
+//! [`AnalysisSession`](crate::session::AnalysisSession) and is written with
+//! relaxed atomics so the per-channel BMOC workers can share it across
+//! [`std::thread::scope`] threads without locks. [`Telemetry::snapshot`]
+//! freezes the counters into a plain [`Stats`] value for reporting
+//! (`gcatch check --stats`, the census harness, the bench binaries).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Pipeline stages with an attributed wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Whole-module points-to / call-graph analysis + primitive discovery.
+    Analysis,
+    /// Scope computation and Pset construction (§3.2).
+    Disentangle,
+    /// Path enumeration and combination building (§3.3).
+    Paths,
+    /// Constraint encoding and solving (§3.4).
+    Constraints,
+    /// The five traditional checkers (§3.5).
+    Traditional,
+    /// GFix patch synthesis (§4); recorded by the fixing pipeline, not by
+    /// detection itself.
+    Fix,
+}
+
+impl Stage {
+    const COUNT: usize = 6;
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Analysis => 0,
+            Stage::Disentangle => 1,
+            Stage::Paths => 2,
+            Stage::Constraints => 3,
+            Stage::Traditional => 4,
+            Stage::Fix => 5,
+        }
+    }
+
+    /// Stable lowercase stage name (JSON keys, `--stats` output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Analysis => "analysis",
+            Stage::Disentangle => "disentangle",
+            Stage::Paths => "paths",
+            Stage::Constraints => "constraints",
+            Stage::Traditional => "traditional",
+            Stage::Fix => "fix",
+        }
+    }
+
+    /// All stages in reporting order.
+    pub fn all() -> [Stage; Stage::COUNT] {
+        [
+            Stage::Analysis,
+            Stage::Disentangle,
+            Stage::Paths,
+            Stage::Constraints,
+            Stage::Traditional,
+            Stage::Fix,
+        ]
+    }
+}
+
+/// Monotonic event counters recorded during detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Channels examined by the BMOC driver.
+    ChannelsAnalyzed,
+    /// Psets computed (one per disentangled channel).
+    PsetsComputed,
+    /// Total primitives across all computed Psets.
+    PsetPrimsTotal,
+    /// Execution paths enumerated.
+    PathsEnumerated,
+    /// Branches pruned as infeasible during path enumeration.
+    BranchesPruned,
+    /// Path combinations built.
+    CombosBuilt,
+    /// Suspicious groups submitted to the solver.
+    GroupsChecked,
+    /// Solver queries issued.
+    SolverQueries,
+    /// Total solver propagation/decision steps.
+    SolverSteps,
+    /// Total solver decisions.
+    SolverDecisions,
+    /// Total solver conflicts.
+    SolverConflicts,
+    /// Bug reports emitted (before cross-checker dedup).
+    ReportsEmitted,
+    /// Reports dropped by cross-checker deduplication.
+    DuplicatesDropped,
+}
+
+impl Counter {
+    const COUNT: usize = 13;
+
+    fn index(self) -> usize {
+        match self {
+            Counter::ChannelsAnalyzed => 0,
+            Counter::PsetsComputed => 1,
+            Counter::PsetPrimsTotal => 2,
+            Counter::PathsEnumerated => 3,
+            Counter::BranchesPruned => 4,
+            Counter::CombosBuilt => 5,
+            Counter::GroupsChecked => 6,
+            Counter::SolverQueries => 7,
+            Counter::SolverSteps => 8,
+            Counter::SolverDecisions => 9,
+            Counter::SolverConflicts => 10,
+            Counter::ReportsEmitted => 11,
+            Counter::DuplicatesDropped => 12,
+        }
+    }
+
+    /// Stable snake_case counter name (JSON keys, `--stats` output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::ChannelsAnalyzed => "channels_analyzed",
+            Counter::PsetsComputed => "psets_computed",
+            Counter::PsetPrimsTotal => "pset_prims_total",
+            Counter::PathsEnumerated => "paths_enumerated",
+            Counter::BranchesPruned => "branches_pruned",
+            Counter::CombosBuilt => "combos_built",
+            Counter::GroupsChecked => "groups_checked",
+            Counter::SolverQueries => "solver_queries",
+            Counter::SolverSteps => "solver_steps",
+            Counter::SolverDecisions => "solver_decisions",
+            Counter::SolverConflicts => "solver_conflicts",
+            Counter::ReportsEmitted => "reports_emitted",
+            Counter::DuplicatesDropped => "duplicates_dropped",
+        }
+    }
+
+    /// All counters in reporting order.
+    pub fn all() -> [Counter; Counter::COUNT] {
+        [
+            Counter::ChannelsAnalyzed,
+            Counter::PsetsComputed,
+            Counter::PsetPrimsTotal,
+            Counter::PathsEnumerated,
+            Counter::BranchesPruned,
+            Counter::CombosBuilt,
+            Counter::GroupsChecked,
+            Counter::SolverQueries,
+            Counter::SolverSteps,
+            Counter::SolverDecisions,
+            Counter::SolverConflicts,
+            Counter::ReportsEmitted,
+            Counter::DuplicatesDropped,
+        ]
+    }
+}
+
+/// Shared, thread-safe telemetry sink.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    counters: [AtomicU64; Counter::COUNT],
+    stage_ns: [AtomicU64; Stage::COUNT],
+}
+
+impl Telemetry {
+    /// A zeroed telemetry sink.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of one counter.
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Attributes `d` of wall-clock time to a stage.
+    pub fn record(&self, stage: Stage, d: Duration) {
+        self.stage_ns[stage.index()].fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Runs `f`, attributing its wall-clock time to `stage`.
+    ///
+    /// Stage times are additive: concurrent workers timing the same stage
+    /// sum their individual durations (CPU-time-like, not elapsed).
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(stage, start.elapsed());
+        out
+    }
+
+    /// Accumulated time of one stage.
+    pub fn stage_time(&self, stage: Stage) -> Duration {
+        Duration::from_nanos(self.stage_ns[stage.index()].load(Ordering::Relaxed))
+    }
+
+    /// Folds another solver run's effort counters in.
+    pub fn add_solver_stats(&self, stats: minismt::SolverStats) {
+        self.add(Counter::SolverQueries, 1);
+        self.add(Counter::SolverSteps, stats.steps);
+        self.add(Counter::SolverDecisions, stats.decisions);
+        self.add(Counter::SolverConflicts, stats.conflicts);
+    }
+
+    /// Freezes all counters and timers into a plain snapshot.
+    pub fn snapshot(&self) -> Stats {
+        Stats {
+            counters: Counter::all().map(|c| (c, self.get(c))),
+            stages: Stage::all().map(|s| (s, self.stage_time(s))),
+        }
+    }
+}
+
+/// An immutable snapshot of a [`Telemetry`] sink.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Every counter with its value, in reporting order.
+    pub counters: [(Counter, u64); Counter::COUNT],
+    /// Every stage with its accumulated time, in reporting order.
+    pub stages: [(Stage, Duration); Stage::COUNT],
+}
+
+impl Stats {
+    /// Value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == c)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Accumulated time of one stage.
+    pub fn stage(&self, s: Stage) -> Duration {
+        self.stages
+            .iter()
+            .find(|(k, _)| *k == s)
+            .map(|(_, v)| *v)
+            .unwrap_or_default()
+    }
+
+    /// Total attributed time across all stages (detection and fixing).
+    pub fn total_time(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Attributed detection time: every stage except [`Stage::Fix`].
+    pub fn detect_time(&self) -> Duration {
+        self.stages
+            .iter()
+            .filter(|(s, _)| *s != Stage::Fix)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// Renders the snapshot as aligned `name  value` text lines.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("stage timings:\n");
+        for (s, d) in &self.stages {
+            out.push_str(&format!("  {:<22} {:>12.3?}\n", s.name(), d));
+        }
+        out.push_str("counters:\n");
+        for (c, v) in &self.counters {
+            out.push_str(&format!("  {:<22} {v:>12}\n", c.name()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Telemetry::new();
+        t.add(Counter::SolverQueries, 2);
+        t.add(Counter::SolverQueries, 3);
+        assert_eq!(t.get(Counter::SolverQueries), 5);
+        assert_eq!(t.get(Counter::PathsEnumerated), 0);
+    }
+
+    #[test]
+    fn stage_times_accumulate() {
+        let t = Telemetry::new();
+        t.record(Stage::Paths, Duration::from_millis(2));
+        t.record(Stage::Paths, Duration::from_millis(3));
+        assert_eq!(t.stage_time(Stage::Paths), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn snapshot_is_stable_and_renders() {
+        let t = Telemetry::new();
+        t.add(Counter::CombosBuilt, 7);
+        t.record(Stage::Constraints, Duration::from_micros(10));
+        let s = t.snapshot();
+        assert_eq!(s.counter(Counter::CombosBuilt), 7);
+        assert_eq!(s.stage(Stage::Constraints), Duration::from_micros(10));
+        let text = s.render_text();
+        assert!(text.contains("combos_built"));
+        assert!(text.contains("constraints"));
+    }
+
+    #[test]
+    fn telemetry_is_shareable_across_threads() {
+        let t = Telemetry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        t.add(Counter::GroupsChecked, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.get(Counter::GroupsChecked), 400);
+    }
+}

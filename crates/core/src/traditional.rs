@@ -19,18 +19,59 @@ use golite_ir::alias::{AbstractObject, Analysis, CallKind};
 use golite_ir::ir::*;
 use std::collections::{HashMap, HashSet};
 
+/// The shared product of the path-sensitive lock exploration, consumed by
+/// three checkers (double lock, missing unlock, conflicting lock order).
+/// Computing it once and letting each checker pick its slice keeps the
+/// checkers independently selectable without tripling the exploration cost;
+/// the session caches one instance per module.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LockSummary {
+    pub(crate) double_locks: Vec<BugReport>,
+    pub(crate) missing_unlocks: Vec<BugReport>,
+    pub(crate) order_conflicts: Vec<BugReport>,
+}
+
+/// Runs the lock exploration over every function and formats its findings.
+pub(crate) fn lock_summary(
+    module: &Module,
+    analysis: &Analysis,
+    prims: &Primitives,
+) -> LockSummary {
+    let mut explorer = LockExplorer::new(module, analysis, prims);
+    for f in &module.funcs {
+        explorer.explore_function(f);
+    }
+    explorer.summary()
+}
+
+/// Checker 4 entry point: struct-field lockset races, deduplicated.
+pub(crate) fn lockset_race_reports(
+    module: &Module,
+    analysis: &Analysis,
+    prims: &Primitives,
+) -> Vec<BugReport> {
+    dedup(lockset_race(module, analysis, prims))
+}
+
+/// Checker 5 entry point: `t.Fatal` in a child goroutine, deduplicated.
+pub(crate) fn fatal_in_child_reports(module: &Module, analysis: &Analysis) -> Vec<BugReport> {
+    dedup(fatal_in_child(module, analysis))
+}
+
 /// Runs all five traditional checkers.
+///
+/// Equivalent to concatenating the individual checkers in their registry
+/// order; kept as a single entry point for pre-registry callers.
 pub fn detect_traditional(
     module: &Module,
     analysis: &Analysis,
     prims: &Primitives,
 ) -> Vec<BugReport> {
+    let summary = lock_summary(module, analysis, prims);
     let mut out = Vec::new();
-    let mut lock_explorer = LockExplorer::new(module, analysis, prims);
-    for f in &module.funcs {
-        lock_explorer.explore_function(f);
-    }
-    out.extend(lock_explorer.reports());
+    out.extend(summary.double_locks);
+    out.extend(summary.missing_unlocks);
+    out.extend(summary.order_conflicts);
     out.extend(lockset_race(module, analysis, prims));
     out.extend(fatal_in_child(module, analysis));
     dedup(out)
@@ -45,7 +86,12 @@ fn dedup(reports: Vec<BugReport>) -> Vec<BugReport> {
 }
 
 fn op_ref(module: &Module, loc: Loc, span: golite::Span, what: impl Into<String>) -> OpRef {
-    OpRef { loc, span, what: what.into(), func_name: module.func(loc.func).name.clone() }
+    OpRef {
+        loc,
+        span,
+        what: what.into(),
+        func_name: module.func(loc.func).name.clone(),
+    }
 }
 
 // ----------------------------------------------------------- lock explorer
@@ -94,7 +140,11 @@ impl<'a> LockExplorer<'a> {
         }
         let mut touchers = HashSet::new();
         for f in &module.funcs {
-            if analysis.reachable_from(f.id).iter().any(|g| direct.contains(g)) {
+            if analysis
+                .reachable_from(f.id)
+                .iter()
+                .any(|g| direct.contains(g))
+            {
                 touchers.insert(f.id);
             }
         }
@@ -140,7 +190,11 @@ impl<'a> LockExplorer<'a> {
         }
         let blk = f.block(block);
         for idx in start..blk.instrs.len() {
-            let loc = Loc { func: f.id, block, idx: idx as u32 };
+            let loc = Loc {
+                func: f.id,
+                block,
+                idx: idx as u32,
+            };
             let span = blk.spans[idx];
             match &blk.instrs[idx] {
                 Instr::Lock { mutex, .. } => {
@@ -213,23 +267,29 @@ impl<'a> LockExplorer<'a> {
         }
     }
 
-    fn reports(self) -> Vec<BugReport> {
-        let mut out = Vec::new();
+    fn summary(self) -> LockSummary {
+        let mut double = Vec::new();
         for (p, loc, span) in &self.double_locks {
             let prim = &self.prims.all[p.0];
-            out.push(BugReport {
+            double.push(BugReport {
                 kind: BugKind::DoubleLock,
                 primitive: Some(prim.site),
                 primitive_span: prim.span,
                 primitive_name: prim.name.clone(),
-                ops: vec![op_ref(self.module, *loc, *span, format!("second lock of {}", prim.name))],
+                ops: vec![op_ref(
+                    self.module,
+                    *loc,
+                    *span,
+                    format!("second lock of {}", prim.name),
+                )],
                 witness_order: vec![],
                 notes: "mutex already held on this path".into(),
             });
         }
+        let mut missing = Vec::new();
         for (p, loc, span) in &self.missing_unlocks {
             let prim = &self.prims.all[p.0];
-            out.push(BugReport {
+            missing.push(BugReport {
                 kind: BugKind::MissingUnlock,
                 primitive: Some(prim.site),
                 primitive_span: prim.span,
@@ -245,8 +305,13 @@ impl<'a> LockExplorer<'a> {
             });
         }
         // Conflicting order: cycle (a held before b) and (b held before a).
+        // Walk edges sorted by primitive pair so report order never depends
+        // on HashMap iteration.
+        let mut conflicts = Vec::new();
         let mut reported = HashSet::new();
-        for (&(a, b), &(loc_ab, span_ab)) in &self.order_edges {
+        let mut edges: Vec<_> = self.order_edges.iter().collect();
+        edges.sort_by_key(|((a, b), _)| (a.0, b.0));
+        for (&(a, b), &(loc_ab, span_ab)) in edges {
             if a < b {
                 if let Some(&(loc_ba, span_ba)) = self.order_edges.get(&(b, a)) {
                     if !reported.insert((a, b)) {
@@ -254,7 +319,7 @@ impl<'a> LockExplorer<'a> {
                     }
                     let pa = &self.prims.all[a.0];
                     let pb = &self.prims.all[b.0];
-                    out.push(BugReport {
+                    conflicts.push(BugReport {
                         kind: BugKind::ConflictingLockOrder,
                         primitive: Some(pa.site),
                         primitive_span: pa.span,
@@ -279,7 +344,11 @@ impl<'a> LockExplorer<'a> {
                 }
             }
         }
-        out
+        LockSummary {
+            double_locks: dedup(double),
+            missing_unlocks: dedup(missing),
+            order_conflicts: dedup(conflicts),
+        }
     }
 }
 
@@ -307,7 +376,9 @@ fn lockset_race(module: &Module, analysis: &Analysis, prims: &Primitives) -> Vec
         // Iterate to fixpoint.
         for _ in 0..n + 2 {
             for b in 0..n {
-                let Some(start) = entry_sets[b].clone() else { continue };
+                let Some(start) = entry_sets[b].clone() else {
+                    continue;
+                };
                 let exit = apply_block_locks(module, analysis, prims, f, BlockId(b as u32), &start);
                 for succ in f.blocks[b].term.successors() {
                     let s = succ.0 as usize;
@@ -323,9 +394,15 @@ fn lockset_race(module: &Module, analysis: &Analysis, prims: &Primitives) -> Vec
 
         // Record accesses with the lockset at their program point.
         for (bid, block) in f.iter_blocks() {
-            let Some(mut held) = entry_sets[bid.0 as usize].clone() else { continue };
+            let Some(mut held) = entry_sets[bid.0 as usize].clone() else {
+                continue;
+            };
             for (idx, instr) in block.instrs.iter().enumerate() {
-                let loc = Loc { func: f.id, block: bid, idx: idx as u32 };
+                let loc = Loc {
+                    func: f.id,
+                    block: bid,
+                    idx: idx as u32,
+                };
                 let span = block.spans[idx];
                 match instr {
                     Instr::Lock { mutex, .. } => {
@@ -346,10 +423,12 @@ fn lockset_race(module: &Module, analysis: &Analysis, prims: &Primitives) -> Vec
                         let is_write = matches!(instr, Instr::FieldStore { .. });
                         for o in analysis.operand_points_to(f.id, obj) {
                             if let AbstractObject::Struct(site) = o {
-                                accesses
-                                    .entry((site, field.clone()))
-                                    .or_default()
-                                    .push((loc, span, held.clone(), is_write));
+                                accesses.entry((site, field.clone())).or_default().push((
+                                    loc,
+                                    span,
+                                    held.clone(),
+                                    is_write,
+                                ));
                             }
                         }
                     }
@@ -359,23 +438,34 @@ fn lockset_race(module: &Module, analysis: &Analysis, prims: &Primitives) -> Vec
         }
     }
 
+    // Deterministic report order: walk fields by (site, name), not in
+    // HashMap order.
+    let mut keyed: Vec<(Key, Vec<Access>)> = accesses.into_iter().collect();
+    keyed.sort_by_key(|((site, field), _)| (site.func.0, site.block.0, site.idx, field.clone()));
+
     let mut out = Vec::new();
-    for ((_site, field), accs) in accesses {
+    for ((_site, field), accs) in keyed {
         if accs.len() < 3 {
             continue; // too few accesses to infer a protection discipline
         }
-        // Find a mutex protecting the majority of accesses.
+        // Find a mutex protecting the majority of accesses; ties go to the
+        // lowest PrimId so the chosen guard never depends on map order.
         let mut counts: HashMap<PrimId, usize> = HashMap::new();
         for (_, _, held, _) in &accs {
             for &p in held {
                 *counts.entry(p).or_insert(0) += 1;
             }
         }
-        let Some((&guard, &protected)) = counts.iter().max_by_key(|(_, &c)| c) else {
+        let Some((&guard, &protected)) = counts
+            .iter()
+            .max_by_key(|(&p, &c)| (c, std::cmp::Reverse(p.0)))
+        else {
             continue;
         };
-        let unprotected: Vec<&Access> =
-            accs.iter().filter(|(_, _, held, _)| !held.contains(&guard)).collect();
+        let unprotected: Vec<&Access> = accs
+            .iter()
+            .filter(|(_, _, held, _)| !held.contains(&guard))
+            .collect();
         // "Protected for most accesses": strictly more protected than not,
         // and at least one unprotected write-or-read to report.
         if protected > unprotected.len() && !unprotected.is_empty() {
@@ -398,10 +488,7 @@ fn lockset_race(module: &Module, analysis: &Analysis, prims: &Primitives) -> Vec
                         ),
                     )],
                     witness_order: vec![],
-                    notes: format!(
-                        "{protected} of {} accesses hold the lock",
-                        accs.len()
-                    ),
+                    notes: format!("{protected} of {} accesses hold the lock", accs.len()),
                 });
             }
         }
@@ -462,7 +549,11 @@ fn fatal_in_child(module: &Module, analysis: &Analysis) -> Vec<BugReport> {
         for (bid, block) in f.iter_blocks() {
             for (idx, instr) in block.instrs.iter().enumerate() {
                 if matches!(instr, Instr::Fatal) {
-                    let loc = Loc { func: f.id, block: bid, idx: idx as u32 };
+                    let loc = Loc {
+                        func: f.id,
+                        block: bid,
+                        idx: idx as u32,
+                    };
                     out.push(BugReport {
                         kind: BugKind::FatalInChildGoroutine,
                         primitive: None,
@@ -505,9 +596,8 @@ mod tests {
 
     #[test]
     fn detects_double_lock() {
-        let bugs = detect(
-            "func main() {\n var mu sync.Mutex\n mu.Lock()\n mu.Lock()\n mu.Unlock()\n}",
-        );
+        let bugs =
+            detect("func main() {\n var mu sync.Mutex\n mu.Lock()\n mu.Lock()\n mu.Unlock()\n}");
         assert!(kinds(&bugs).contains(&BugKind::DoubleLock), "got {bugs:?}");
     }
 
@@ -554,7 +644,10 @@ func get(fail bool) int {
 }
 "#,
         );
-        assert!(kinds(&bugs).contains(&BugKind::MissingUnlock), "got {bugs:?}");
+        assert!(
+            kinds(&bugs).contains(&BugKind::MissingUnlock),
+            "got {bugs:?}"
+        );
     }
 
     #[test]
@@ -604,7 +697,10 @@ func main() {
 }
 "#,
         );
-        assert!(kinds(&bugs).contains(&BugKind::ConflictingLockOrder), "got {bugs:?}");
+        assert!(
+            kinds(&bugs).contains(&BugKind::ConflictingLockOrder),
+            "got {bugs:?}"
+        );
     }
 
     #[test]
@@ -626,7 +722,10 @@ func main() {
 }
 "#,
         );
-        assert!(!kinds(&bugs).contains(&BugKind::ConflictingLockOrder), "got {bugs:?}");
+        assert!(
+            !kinds(&bugs).contains(&BugKind::ConflictingLockOrder),
+            "got {bugs:?}"
+        );
     }
 
     #[test]
@@ -656,7 +755,10 @@ func main() {
 }
 "#,
         );
-        assert!(kinds(&bugs).contains(&BugKind::StructFieldRace), "got {bugs:?}");
+        assert!(
+            kinds(&bugs).contains(&BugKind::StructFieldRace),
+            "got {bugs:?}"
+        );
     }
 
     #[test]
@@ -682,7 +784,10 @@ func main() {
 }
 "#,
         );
-        assert!(!kinds(&bugs).contains(&BugKind::StructFieldRace), "got {bugs:?}");
+        assert!(
+            !kinds(&bugs).contains(&BugKind::StructFieldRace),
+            "got {bugs:?}"
+        );
     }
 
     #[test]
@@ -696,14 +801,18 @@ func TestX(t *testing.T) {
 }
 "#,
         );
-        assert!(kinds(&bugs).contains(&BugKind::FatalInChildGoroutine), "got {bugs:?}");
+        assert!(
+            kinds(&bugs).contains(&BugKind::FatalInChildGoroutine),
+            "got {bugs:?}"
+        );
     }
 
     #[test]
     fn fatal_on_main_test_goroutine_is_clean() {
-        let bugs = detect(
-            "func TestX(t *testing.T) {\n t.Fatalf(\"fine here\")\n}",
+        let bugs = detect("func TestX(t *testing.T) {\n t.Fatalf(\"fine here\")\n}");
+        assert!(
+            !kinds(&bugs).contains(&BugKind::FatalInChildGoroutine),
+            "got {bugs:?}"
         );
-        assert!(!kinds(&bugs).contains(&BugKind::FatalInChildGoroutine), "got {bugs:?}");
     }
 }

@@ -41,7 +41,10 @@ func main() {
 #[test]
 fn detects_figure1_docker_bug() {
     let bugs = detect(FIGURE1);
-    let bmoc: Vec<_> = bugs.iter().filter(|b| b.kind == BugKind::BmocChannel).collect();
+    let bmoc: Vec<_> = bugs
+        .iter()
+        .filter(|b| b.kind == BugKind::BmocChannel)
+        .collect();
     assert!(
         bmoc.iter().any(|b| b.primitive_name == "outDone"
             && b.ops.iter().any(|o| o.what.contains("send on outDone"))),
@@ -179,10 +182,12 @@ func main() {
 
 #[test]
 fn correct_rendezvous_is_clean() {
-    let bugs = detect(
-        "func main() {\n ch := make(chan int)\n go func() {\n  ch <- 1\n }()\n <-ch\n}",
+    let bugs =
+        detect("func main() {\n ch := make(chan int)\n go func() {\n  ch <- 1\n }()\n <-ch\n}");
+    assert!(
+        bugs.is_empty(),
+        "rendezvous always completes; got: {bugs:?}"
     );
-    assert!(bugs.is_empty(), "rendezvous always completes; got: {bugs:?}");
 }
 
 #[test]
@@ -190,7 +195,10 @@ fn correct_buffered_producer_consumer_is_clean() {
     let bugs = detect(
         "func main() {\n ch := make(chan int, 2)\n go func() {\n  ch <- 1\n  ch <- 2\n }()\n <-ch\n <-ch\n}",
     );
-    assert!(bugs.is_empty(), "buffered pipeline completes; got: {bugs:?}");
+    assert!(
+        bugs.is_empty(),
+        "buffered pipeline completes; got: {bugs:?}"
+    );
 }
 
 #[test]
@@ -248,8 +256,8 @@ func main() {
 "#;
     let bugs = detect(src);
     assert!(
-        bugs.iter().any(|b| b.primitive_name == "ch"
-            && b.ops.iter().any(|o| o.what.contains("recv"))),
+        bugs.iter()
+            .any(|b| b.primitive_name == "ch" && b.ops.iter().any(|o| o.what.contains("recv"))),
         "second receive blocks forever; got: {bugs:?}"
     );
 }
@@ -281,10 +289,12 @@ func main() {
 
 #[test]
 fn select_with_default_is_clean() {
-    let bugs = detect(
-        "func main() {\n ch := make(chan int)\n select {\n case <-ch:\n default:\n }\n}",
+    let bugs =
+        detect("func main() {\n ch := make(chan int)\n select {\n case <-ch:\n default:\n }\n}");
+    assert!(
+        bugs.is_empty(),
+        "default makes the select non-blocking; got: {bugs:?}"
     );
-    assert!(bugs.is_empty(), "default makes the select non-blocking; got: {bugs:?}");
 }
 
 #[test]
@@ -302,7 +312,10 @@ func main() {
 }
 "#;
     let bugs = detect(src);
-    assert!(bugs.is_empty(), "WaitGroup bugs are out of model; got: {bugs:?}");
+    assert!(
+        bugs.is_empty(),
+        "WaitGroup bugs are out of model; got: {bugs:?}"
+    );
 }
 
 #[test]
@@ -311,7 +324,10 @@ fn nil_channel_bug_is_missed_by_design() {
     // because a nil channel has no creation site.
     let src = "func main() {\n var ch chan int\n ch <- 1\n}";
     let bugs = detect(src);
-    assert!(bugs.is_empty(), "nil-channel bugs are out of model; got: {bugs:?}");
+    assert!(
+        bugs.is_empty(),
+        "nil-channel bugs are out of model; got: {bugs:?}"
+    );
 }
 
 #[test]
@@ -351,7 +367,10 @@ func main() {
     let module = golite_ir::lower_source(src).unwrap();
     let detector = Detector::new(&module);
     let bugs = detector.detect_send_on_closed(&DetectorConfig::default());
-    assert!(bugs.is_empty(), "sends strictly precede the close; got {bugs:?}");
+    assert!(
+        bugs.is_empty(),
+        "sends strictly precede the close; got {bugs:?}"
+    );
 }
 
 #[test]
@@ -372,5 +391,8 @@ func main() {
     let module = golite_ir::lower_source(src).unwrap();
     let detector = Detector::new(&module);
     let bugs = detector.detect_send_on_closed(&DetectorConfig::default());
-    assert!(bugs.is_empty(), "producer-side close cannot precede its own send; got {bugs:?}");
+    assert!(
+        bugs.is_empty(),
+        "producer-side close cannot precede its own send; got {bugs:?}"
+    );
 }

@@ -8,9 +8,8 @@
 //! ordering the paper reports (Kubernetes largest, bbolt smallest, ten
 //! small apps analyzed in under a minute).
 
-use crate::patterns::{emit, Plant, PatternKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::patterns::{emit, PatternKind, Plant};
+use prng::Prng;
 
 /// (real bugs, false positives) for one Table 1 column.
 pub type Cell = (usize, usize);
@@ -71,49 +70,274 @@ impl AppProfile {
 
 /// The 21 applications of Table 1, in the paper's (GitHub-stars) order.
 pub fn table1_profiles() -> Vec<AppProfile> {
-    let p = |name,
-             kloc,
-             bmoc_c,
-             bmoc_m,
-             unlock,
-             double_lock,
-             conflict,
-             struct_field,
-             fatal,
-             gfix| AppProfile {
-        name,
-        kloc,
-        bmoc_c,
-        bmoc_m,
-        unlock,
-        double_lock,
-        conflict,
-        struct_field,
-        fatal,
-        gfix,
-    };
+    let p =
+        |name, kloc, bmoc_c, bmoc_m, unlock, double_lock, conflict, struct_field, fatal, gfix| {
+            AppProfile {
+                name,
+                kloc,
+                bmoc_c,
+                bmoc_m,
+                unlock,
+                double_lock,
+                conflict,
+                struct_field,
+                fatal,
+                gfix,
+            }
+        };
     vec![
-        p("Go", 1600, (21, 2), (1, 1), (8, 3), (0, 2), (1, 0), (2, 5), (3, 0), (12, 0, 2)),
-        p("Kubernetes", 3100, (14, 5), (1, 0), (1, 0), (1, 0), (0, 0), (5, 6), (10, 0), (8, 0, 0)),
-        p("Docker", 1100, (49, 8), (0, 0), (1, 1), (2, 3), (1, 0), (3, 1), (0, 0), (40, 1, 6)),
-        p("HUGO", 80, (0, 0), (0, 0), (2, 0), (0, 1), (0, 0), (2, 1), (0, 0), (0, 0, 0)),
-        p("Gin", 25, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
-        p("frp", 30, (0, 0), (0, 0), (1, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
-        p("Gogs", 100, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
-        p("Syncthing", 140, (0, 1), (0, 0), (3, 1), (0, 0), (0, 0), (1, 2), (0, 0), (0, 0, 0)),
-        p("etcd", 440, (39, 8), (0, 0), (6, 1), (1, 2), (0, 1), (7, 2), (4, 0), (24, 1, 9)),
-        p("v2ray-core", 120, (0, 0), (0, 1), (0, 0), (2, 1), (2, 1), (3, 0), (0, 0), (0, 0, 0)),
-        p("Prometheus", 300, (2, 1), (0, 0), (1, 1), (1, 1), (0, 2), (0, 2), (0, 0), (2, 0, 0)),
-        p("fzf", 15, (0, 0), (0, 0), (0, 1), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
-        p("traefik", 150, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
-        p("Caddy", 50, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
-        p("Go-Ethereum", 640, (9, 19), (0, 3), (4, 1), (9, 1), (0, 0), (6, 7), (3, 0), (6, 0, 2)),
-        p("Beego", 90, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (3, 0), (0, 0), (0, 0, 0)),
-        p("mkcert", 2, (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0, 0)),
-        p("TiDB", 850, (1, 0), (0, 0), (0, 6), (3, 0), (2, 0), (0, 2), (0, 0), (1, 0, 0)),
-        p("CockroachDB", 1500, (4, 2), (0, 0), (5, 0), (0, 4), (2, 1), (0, 3), (0, 0), (1, 2, 0)),
-        p("gRPC", 160, (6, 0), (0, 0), (0, 0), (0, 1), (1, 0), (1, 0), (2, 0), (4, 0, 1)),
-        p("bbolt", 10, (2, 0), (0, 0), (0, 0), (0, 0), (0, 0), (0, 0), (4, 0), (1, 0, 1)),
+        p(
+            "Go",
+            1600,
+            (21, 2),
+            (1, 1),
+            (8, 3),
+            (0, 2),
+            (1, 0),
+            (2, 5),
+            (3, 0),
+            (12, 0, 2),
+        ),
+        p(
+            "Kubernetes",
+            3100,
+            (14, 5),
+            (1, 0),
+            (1, 0),
+            (1, 0),
+            (0, 0),
+            (5, 6),
+            (10, 0),
+            (8, 0, 0),
+        ),
+        p(
+            "Docker",
+            1100,
+            (49, 8),
+            (0, 0),
+            (1, 1),
+            (2, 3),
+            (1, 0),
+            (3, 1),
+            (0, 0),
+            (40, 1, 6),
+        ),
+        p(
+            "HUGO",
+            80,
+            (0, 0),
+            (0, 0),
+            (2, 0),
+            (0, 1),
+            (0, 0),
+            (2, 1),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "Gin",
+            25,
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "frp",
+            30,
+            (0, 0),
+            (0, 0),
+            (1, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "Gogs",
+            100,
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "Syncthing",
+            140,
+            (0, 1),
+            (0, 0),
+            (3, 1),
+            (0, 0),
+            (0, 0),
+            (1, 2),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "etcd",
+            440,
+            (39, 8),
+            (0, 0),
+            (6, 1),
+            (1, 2),
+            (0, 1),
+            (7, 2),
+            (4, 0),
+            (24, 1, 9),
+        ),
+        p(
+            "v2ray-core",
+            120,
+            (0, 0),
+            (0, 1),
+            (0, 0),
+            (2, 1),
+            (2, 1),
+            (3, 0),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "Prometheus",
+            300,
+            (2, 1),
+            (0, 0),
+            (1, 1),
+            (1, 1),
+            (0, 2),
+            (0, 2),
+            (0, 0),
+            (2, 0, 0),
+        ),
+        p(
+            "fzf",
+            15,
+            (0, 0),
+            (0, 0),
+            (0, 1),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "traefik",
+            150,
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "Caddy",
+            50,
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "Go-Ethereum",
+            640,
+            (9, 19),
+            (0, 3),
+            (4, 1),
+            (9, 1),
+            (0, 0),
+            (6, 7),
+            (3, 0),
+            (6, 0, 2),
+        ),
+        p(
+            "Beego",
+            90,
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (3, 0),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "mkcert",
+            2,
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0, 0),
+        ),
+        p(
+            "TiDB",
+            850,
+            (1, 0),
+            (0, 0),
+            (0, 6),
+            (3, 0),
+            (2, 0),
+            (0, 2),
+            (0, 0),
+            (1, 0, 0),
+        ),
+        p(
+            "CockroachDB",
+            1500,
+            (4, 2),
+            (0, 0),
+            (5, 0),
+            (0, 4),
+            (2, 1),
+            (0, 3),
+            (0, 0),
+            (1, 2, 0),
+        ),
+        p(
+            "gRPC",
+            160,
+            (6, 0),
+            (0, 0),
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 0),
+            (2, 0),
+            (4, 0, 1),
+        ),
+        p(
+            "bbolt",
+            10,
+            (2, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (0, 0),
+            (4, 0),
+            (1, 0, 1),
+        ),
     ]
 }
 
@@ -140,7 +364,10 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { seed: 1, filler_per_kloc: 0.25 }
+        GenConfig {
+            seed: 1,
+            filler_per_kloc: 0.25,
+        }
     }
 }
 
@@ -178,7 +405,7 @@ pub fn generate_app(
     bmoc_fp_quota: &mut Vec<PatternKind>,
     next_id: &mut u32,
 ) -> GeneratedApp {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ profile.kloc as u64);
+    let mut rng = Prng::seed_from_u64(config.seed ^ profile.kloc as u64);
     let mut plants: Vec<Plant> = Vec::new();
     let mut source = String::from("package main\n\n");
     let fresh = |n: &mut u32| {
@@ -210,14 +437,24 @@ pub fn generate_app(
     }
     let unfixable = profile.bmoc_c.0.saturating_sub(profile.total_fixed());
     for _ in 0..unfixable {
-        plant(PatternKind::BlockedParent, &mut plants, &mut source, next_id);
+        plant(
+            PatternKind::BlockedParent,
+            &mut plants,
+            &mut source,
+            next_id,
+        );
     }
     // Other real categories.
     for _ in 0..profile.bmoc_m.0 {
         plant(PatternKind::BmocMutex, &mut plants, &mut source, next_id);
     }
     for _ in 0..profile.unlock.0 {
-        plant(PatternKind::MissingUnlock, &mut plants, &mut source, next_id);
+        plant(
+            PatternKind::MissingUnlock,
+            &mut plants,
+            &mut source,
+            next_id,
+        );
     }
     for _ in 0..profile.double_lock.0 {
         plant(PatternKind::DoubleLock, &mut plants, &mut source, next_id);
@@ -237,19 +474,44 @@ pub fn generate_app(
         plant(kind, &mut plants, &mut source, next_id);
     }
     for _ in 0..profile.bmoc_m.1 {
-        plant(PatternKind::FpMutexInfeasible, &mut plants, &mut source, next_id);
+        plant(
+            PatternKind::FpMutexInfeasible,
+            &mut plants,
+            &mut source,
+            next_id,
+        );
     }
     for _ in 0..profile.unlock.1 {
-        plant(PatternKind::FpUnlockWrapper, &mut plants, &mut source, next_id);
+        plant(
+            PatternKind::FpUnlockWrapper,
+            &mut plants,
+            &mut source,
+            next_id,
+        );
     }
     for _ in 0..profile.double_lock.1 {
-        plant(PatternKind::FpDoubleLockHidden, &mut plants, &mut source, next_id);
+        plant(
+            PatternKind::FpDoubleLockHidden,
+            &mut plants,
+            &mut source,
+            next_id,
+        );
     }
     for _ in 0..profile.conflict.1 {
-        plant(PatternKind::FpLockOrderDead, &mut plants, &mut source, next_id);
+        plant(
+            PatternKind::FpLockOrderDead,
+            &mut plants,
+            &mut source,
+            next_id,
+        );
     }
     for _ in 0..profile.struct_field.1 {
-        plant(PatternKind::FpFieldContext, &mut plants, &mut source, next_id);
+        plant(
+            PatternKind::FpFieldContext,
+            &mut plants,
+            &mut source,
+            next_id,
+        );
     }
     // (fatal FP count is zero for every app in Table 1.)
 
@@ -257,8 +519,8 @@ pub fn generate_app(
     let n_filler = (profile.kloc as f64 * config.filler_per_kloc).ceil() as usize;
     for _ in 0..n_filler {
         let id = fresh(next_id);
-        let a: i64 = rng.gen_range(1..100);
-        let b: i64 = rng.gen_range(1..100);
+        let a: i64 = rng.gen_range(1i64..100);
+        let b: i64 = rng.gen_range(1i64..100);
         source.push_str(&format!(
             r#"
 func filler{id}(n int) int {{
@@ -276,7 +538,11 @@ func filler{id}(n int) int {{
         ));
     }
     source.push_str("\nfunc main() {\n}\n");
-    GeneratedApp { name: profile.name, source, plants }
+    GeneratedApp {
+        name: profile.name,
+        source,
+        plants,
+    }
 }
 
 #[cfg(test)]
@@ -321,7 +587,10 @@ mod tests {
 
     #[test]
     fn generated_apps_parse_and_lower() {
-        let config = GenConfig { seed: 3, filler_per_kloc: 0.01 };
+        let config = GenConfig {
+            seed: 3,
+            filler_per_kloc: 0.01,
+        };
         for app in generate_all(&config) {
             let module = golite_ir::lower_source(&app.source)
                 .unwrap_or_else(|e| panic!("{} fails to lower: {e}", app.name));
@@ -331,7 +600,10 @@ mod tests {
 
     #[test]
     fn plant_counts_match_profile() {
-        let config = GenConfig { seed: 3, filler_per_kloc: 0.0 };
+        let config = GenConfig {
+            seed: 3,
+            filler_per_kloc: 0.0,
+        };
         let mut quota = bmoc_c_fp_quota();
         quota.reverse();
         let mut next_id = 1;
@@ -346,7 +618,10 @@ mod tests {
 
     #[test]
     fn app_sizes_follow_kloc_ordering() {
-        let config = GenConfig { seed: 3, filler_per_kloc: 0.05 };
+        let config = GenConfig {
+            seed: 3,
+            filler_per_kloc: 0.05,
+        };
         let apps = generate_all(&config);
         let k8s = apps.iter().find(|a| a.name == "Kubernetes").unwrap();
         let bbolt = apps.iter().find(|a| a.name == "bbolt").unwrap();
@@ -355,7 +630,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let config = GenConfig { seed: 42, filler_per_kloc: 0.02 };
+        let config = GenConfig {
+            seed: 42,
+            filler_per_kloc: 0.02,
+        };
         let a = generate_all(&config);
         let b = generate_all(&config);
         for (x, y) in a.iter().zip(&b) {

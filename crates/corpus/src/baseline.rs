@@ -44,7 +44,9 @@ pub fn run_baseline(prog: &Program) -> Vec<BaselineFinding> {
 fn testinggoroutine(f: &FuncDecl, out: &mut Vec<BaselineFinding>) {
     // Only applies to test functions (by Go convention).
     let is_test = f.name.starts_with("Test")
-        || f.params.iter().any(|p| matches!(p.ty, Type::Ptr(ref t) if **t == Type::TestingT));
+        || f.params
+            .iter()
+            .any(|p| matches!(p.ty, Type::Ptr(ref t) if **t == Type::TestingT));
     if !is_test {
         return;
     }
@@ -203,10 +205,8 @@ mod tests {
 
     #[test]
     fn testinggoroutine_catches_fatal_in_go_closure() {
-        let prog = parse(
-            "func TestX(t *testing.T) {\n go func() {\n  t.Fatalf(\"nope\")\n }()\n}",
-        )
-        .unwrap();
+        let prog = parse("func TestX(t *testing.T) {\n go func() {\n  t.Fatalf(\"nope\")\n }()\n}")
+            .unwrap();
         let findings = run_baseline(&prog);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "testinggoroutine");
@@ -249,7 +249,10 @@ func Exec(ctx context.Context) error {
         )
         .unwrap();
         let findings = run_baseline(&prog);
-        assert!(findings.iter().any(|f| f.rule == "lostcancel"), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| f.rule == "lostcancel"),
+            "{findings:?}"
+        );
         let _ = &prog;
     }
 
@@ -264,10 +267,7 @@ func Exec(ctx context.Context) error {
 
     #[test]
     fn empty_critical_section_detected() {
-        let prog = parse(
-            "func f() {\n var mu sync.Mutex\n mu.Lock()\n mu.Unlock()\n}",
-        )
-        .unwrap();
+        let prog = parse("func f() {\n var mu sync.Mutex\n mu.Lock()\n mu.Unlock()\n}").unwrap();
         assert!(run_baseline(&prog).iter().any(|f| f.rule == "SA2001"));
     }
 }

@@ -5,10 +5,10 @@
 use crate::apps::GeneratedApp;
 use crate::patterns::{FpCause, Plant};
 use gcatch::report::{BugKind, BugReport};
-use gcatch::{DetectorConfig, GCatch};
+use gcatch::{DetectorConfig, GCatch, Stage, Stats};
 use gfix::{Pipeline, Strategy};
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One Table 1 cell: detected real bugs and reported false positives.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,10 +30,13 @@ pub struct AppResult {
     pub gfix: HashMap<Strategy, usize>,
     /// Per-strategy changed-lines samples.
     pub patch_lines: Vec<(Strategy, usize)>,
-    /// Wall-clock time of the detection phase.
+    /// Attributed time of the detection stages (from session telemetry).
     pub detect_time: Duration,
-    /// Wall-clock time of the fixing phase.
+    /// Attributed time of the fixing stage (from session telemetry).
     pub fix_time: Duration,
+    /// Full telemetry snapshot: stage timings plus pipeline counters
+    /// (paths enumerated, solver queries, ...).
+    pub stats: Stats,
     /// Planted real bugs that were *not* detected (should be zero).
     pub missed: Vec<String>,
     /// Reports matching no plant (should be zero).
@@ -72,19 +75,20 @@ pub fn run_app(app: &GeneratedApp, config: &DetectorConfig) -> AppResult {
         .unwrap_or_else(|e| panic!("{} does not lower: {e}", app.name));
     let instr_count = pipeline.module().instr_count();
 
-    let t0 = Instant::now();
+    // The session telemetry attributes every analysis/enumeration/solving
+    // duration to its stage; classification below happens under the `fix`
+    // stage since patch synthesis dominates it.
     let gcatch = GCatch::new(pipeline.module());
     let bugs = gcatch.detect_all(config);
-    let detect_time = t0.elapsed();
 
-    let t1 = Instant::now();
-    let detector = gcatch.detector();
+    let session = gcatch.session();
     let gfix_sys = gfix::GFix::new(
         pipeline.program(),
         pipeline.module(),
-        &detector.analysis,
-        &detector.prims,
+        &session.analysis,
+        &session.prims,
     );
+    let fix_timer = std::time::Instant::now();
     let mut cells: HashMap<BugKind, CellResult> = HashMap::new();
     let mut gfix_counts: HashMap<Strategy, usize> = HashMap::new();
     let mut patch_lines = Vec::new();
@@ -127,7 +131,8 @@ pub fn run_app(app: &GeneratedApp, config: &DetectorConfig) -> AppResult {
             }
         }
     }
-    let fix_time = t1.elapsed();
+    session.telemetry().record(Stage::Fix, fix_timer.elapsed());
+    let stats = gcatch.stats();
 
     let unexpected = bugs
         .iter()
@@ -141,12 +146,13 @@ pub fn run_app(app: &GeneratedApp, config: &DetectorConfig) -> AppResult {
         cells,
         gfix: gfix_counts,
         patch_lines,
-        detect_time,
-        fix_time,
+        detect_time: stats.detect_time(),
+        fix_time: stats.stage(Stage::Fix),
         missed,
         unexpected,
         fp_causes,
         instr_count,
+        stats,
     }
 }
 
@@ -159,7 +165,10 @@ mod tests {
     /// reproduce its Table 1 row exactly.
     #[test]
     fn bbolt_reproduces_its_table1_row() {
-        let config = GenConfig { seed: 5, filler_per_kloc: 0.05 };
+        let config = GenConfig {
+            seed: 5,
+            filler_per_kloc: 0.05,
+        };
         let apps = generate_all(&config);
         let bbolt = apps.iter().find(|a| a.name == "bbolt").unwrap();
         let result = run_app(bbolt, &DetectorConfig::default());
@@ -171,10 +180,37 @@ mod tests {
         assert_eq!(result.gfix.get(&Strategy::AddStopChannel), Some(&1));
     }
 
+    /// Sharded BMOC detection must be bit-identical to sequential on every
+    /// corpus replica: same reports, same order, same rendered diagnostics.
+    #[test]
+    fn parallel_detection_matches_sequential_on_corpus_apps() {
+        let config = GenConfig {
+            seed: 5,
+            filler_per_kloc: 0.02,
+        };
+        for app in generate_all(&config) {
+            let pipeline = Pipeline::from_source(&app.source)
+                .unwrap_or_else(|e| panic!("{} does not lower: {e}", app.name));
+            let render = |jobs: usize| {
+                let gcatch = GCatch::new(pipeline.module());
+                let cfg = DetectorConfig {
+                    jobs,
+                    ..DetectorConfig::default()
+                };
+                let diagnostics = gcatch.diagnostics(&cfg, &gcatch::Selection::default());
+                gcatch::render_json(&diagnostics, None)
+            };
+            assert_eq!(render(1), render(8), "{}: --jobs 8 diverged", app.name);
+        }
+    }
+
     /// gRPC exercises five categories including a conflict and a fatal.
     #[test]
     fn grpc_reproduces_its_table1_row() {
-        let config = GenConfig { seed: 5, filler_per_kloc: 0.02 };
+        let config = GenConfig {
+            seed: 5,
+            filler_per_kloc: 0.02,
+        };
         let apps = generate_all(&config);
         let grpc = apps.iter().find(|a| a.name == "gRPC").unwrap();
         let result = run_app(grpc, &DetectorConfig::default());

@@ -699,7 +699,10 @@ pub fn marker_hit(text: &str, marker: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = text[start..].find(marker) {
         let end = start + pos + marker.len();
-        let next_is_digit = text[end..].chars().next().is_some_and(|c| c.is_ascii_digit());
+        let next_is_digit = text[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit());
         if !next_is_digit {
             return true;
         }
@@ -783,12 +786,12 @@ mod tests {
         for kind in real_patterns().into_iter().chain(fp_patterns()) {
             let (plant, source) = program_for(kind, 7);
             let reports = reports_for(&source);
-            let hits =
-                reports.iter().filter(|r| matches(r, &plant)).count();
+            let hits = reports.iter().filter(|r| matches(r, &plant)).count();
             assert!(
                 hits >= 1,
                 "{kind:?} must yield a {:?} report on marker {}; got {reports:#?}",
-                plant.kind, plant.marker
+                plant.kind,
+                plant.marker
             );
         }
     }
@@ -814,13 +817,18 @@ mod tests {
     fn dynamic_ground_truth_matches_fp_flags() {
         for kind in real_patterns().into_iter().chain(fp_patterns()) {
             let (plant, source) = program_for(kind, 11);
-            let Some(entry) = plant.entry.clone() else { continue };
+            let Some(entry) = plant.entry.clone() else {
+                continue;
+            };
             let module = golite_ir::lower_source(&source).expect("pattern lowers");
             let sim = Simulator::new(&module);
             let mut blocked = false;
             for sleep in [false, true] {
-                let config =
-                    Config { entry: entry.clone(), sleep_injection: sleep, ..Config::default() };
+                let config = Config {
+                    entry: entry.clone(),
+                    sleep_injection: sleep,
+                    ..Config::default()
+                };
                 for r in sim.explore(&config, 0..30) {
                     assert!(
                         !matches!(r.outcome, golite_sim::Outcome::Panic(_)),
@@ -831,7 +839,10 @@ mod tests {
                 }
             }
             if plant.fp {
-                assert!(!blocked, "{kind:?} is an FP pattern but blocked dynamically");
+                assert!(
+                    !blocked,
+                    "{kind:?} is an FP pattern but blocked dynamically"
+                );
             } else if plant.kind.is_bmoc() {
                 assert!(blocked, "{kind:?} is a real blocking bug but never blocked");
             }
@@ -871,7 +882,10 @@ mod tests {
     fn instances_are_independent() {
         let a = emit(PatternKind::SingleSend, 100);
         let b = emit(PatternKind::SingleSend, 200);
-        let source = format!("package main\n{}\n{}\nfunc main() {{\n}}\n", a.source, b.source);
+        let source = format!(
+            "package main\n{}\n{}\nfunc main() {{\n}}\n",
+            a.source, b.source
+        );
         let reports = reports_for(&source);
         assert_eq!(reports.iter().filter(|r| matches(r, &a)).count(), 1);
         assert_eq!(reports.iter().filter(|r| matches(r, &b)).count(), 1);

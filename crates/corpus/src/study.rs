@@ -46,7 +46,12 @@ fn wrap(body: String) -> String {
 
 fn from_pattern(id: usize, kind: PatternKind) -> StudyBug {
     let plant = emit(kind, 9000 + id as u32);
-    StudyBug { id, source: wrap(plant.source), detectable: true, miss_cause: None }
+    StudyBug {
+        id,
+        source: wrap(plant.source),
+        detectable: true,
+        miss_cause: None,
+    }
 }
 
 /// Builds the 49-bug set: 33 detectable, 16 missed across the four causes.
@@ -229,9 +234,7 @@ mod tests {
     #[test]
     fn miss_causes_match_paper_counts() {
         let set = study_set();
-        let count = |cause: MissCause| {
-            set.iter().filter(|b| b.miss_cause == Some(cause)).count()
-        };
+        let count = |cause: MissCause| set.iter().filter(|b| b.miss_cause == Some(cause)).count();
         assert_eq!(count(MissCause::LcaCriticalSection), 2);
         assert_eq!(count(MissCause::DynamicValue), 3);
         assert_eq!(count(MissCause::UnmodeledPrimitive), 9);

@@ -18,7 +18,9 @@ pub struct IdGen {
 impl IdGen {
     /// Continues after the program's parser-assigned ids.
     pub fn new(prog: &Program) -> IdGen {
-        IdGen { next: prog.next_node_id }
+        IdGen {
+            next: prog.next_node_id,
+        }
     }
 
     /// A fresh id.
@@ -30,12 +32,20 @@ impl IdGen {
 
     /// Builds an expression node.
     pub fn expr(&mut self, kind: ExprKind) -> Expr {
-        Expr { kind, span: Span::synthetic(), id: self.id() }
+        Expr {
+            kind,
+            span: Span::synthetic(),
+            id: self.id(),
+        }
     }
 
     /// Builds a statement node.
     pub fn stmt(&mut self, kind: StmtKind) -> Stmt {
-        Stmt { kind, span: Span::synthetic(), id: self.id() }
+        Stmt {
+            kind,
+            span: Span::synthetic(),
+            id: self.id(),
+        }
     }
 }
 
@@ -89,9 +99,9 @@ fn edit_stmt(prog: &mut Program, target: Span, action: Action) -> bool {
             StmtKind::For { body, .. } | StmtKind::ForRange { body, .. } => {
                 walk_block(body, target, action)
             }
-            StmtKind::Select(cases) => {
-                cases.iter_mut().any(|c| walk_block(&mut c.body, target, action))
-            }
+            StmtKind::Select(cases) => cases
+                .iter_mut()
+                .any(|c| walk_block(&mut c.body, target, action)),
             StmtKind::Block(b) => walk_block(b, target, action),
             // Statements carrying closures (go / defer / expression).
             StmtKind::Go(e) | StmtKind::Defer(e) | StmtKind::Expr(e) => {
@@ -155,7 +165,10 @@ pub fn insert_after(prog: &mut Program, target: Span, with: Vec<Stmt>) -> bool {
 pub fn set_make_cap(prog: &mut Program, target: Span, cap: i64, ids: &mut IdGen) -> bool {
     fn fix_expr(e: &mut Expr, ids: &mut IdGen) -> bool {
         match &mut e.kind {
-            ExprKind::Make { ty: Type::Chan(_), cap: c } => {
+            ExprKind::Make {
+                ty: Type::Chan(_),
+                cap: c,
+            } => {
                 *c = Some(Box::new(ids.expr(ExprKind::Int(1))));
                 true
             }
@@ -169,7 +182,9 @@ pub fn set_make_cap(prog: &mut Program, target: Span, cap: i64, ids: &mut IdGen)
             if stmt.span == target {
                 match &mut stmt.kind {
                     StmtKind::Define { rhs, .. } => return fix_expr(rhs, ids),
-                    StmtKind::VarDecl { init: Some(rhs), .. } => return fix_expr(rhs, ids),
+                    StmtKind::VarDecl {
+                        init: Some(rhs), ..
+                    } => return fix_expr(rhs, ids),
                     StmtKind::Assign { rhs, .. } => return fix_expr(rhs, ids),
                     _ => return false,
                 }
@@ -186,9 +201,7 @@ pub fn set_make_cap(prog: &mut Program, target: Span, cap: i64, ids: &mut IdGen)
                 StmtKind::For { body, .. } | StmtKind::ForRange { body, .. } => {
                     walk(body, target, ids)
                 }
-                StmtKind::Select(cases) => {
-                    cases.iter_mut().any(|c| walk(&mut c.body, target, ids))
-                }
+                StmtKind::Select(cases) => cases.iter_mut().any(|c| walk(&mut c.body, target, ids)),
                 StmtKind::Block(b) => walk(b, target, ids),
                 _ => false,
             };
@@ -210,7 +223,8 @@ pub fn set_make_cap(prog: &mut Program, target: Span, cap: i64, ids: &mut IdGen)
 
 /// The function declaration (by name) containing the statement at `span`.
 pub fn enclosing_func(prog: &Program, span: Span) -> Option<&FuncDecl> {
-    prog.funcs().find(|f| f.span.start <= span.start && span.end <= f.span.end)
+    prog.funcs()
+        .find(|f| f.span.start <= span.start && span.end <= f.span.end)
 }
 
 #[cfg(test)]

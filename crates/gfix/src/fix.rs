@@ -174,7 +174,10 @@ impl<'a> GFix<'a> {
             return Err(Rejection::UnsupportedShape);
         }
         let site = bug.primitive.ok_or(Rejection::UnsupportedShape)?;
-        let chan = self.prims.by_site(site).ok_or(Rejection::UnsupportedShape)?;
+        let chan = self
+            .prims
+            .by_site(site)
+            .ok_or(Rejection::UnsupportedShape)?;
         let parent_func = site.func;
         if self.module.func(parent_func).is_closure {
             return Err(Rejection::UnsupportedShape);
@@ -274,9 +277,7 @@ impl<'a> GFix<'a> {
                         Instr::FieldStore { value, .. } => escapes(f.id, value),
                         Instr::IndexStore { value, .. } => escapes(f.id, value),
                         Instr::Send { value, .. } => escapes(f.id, value),
-                        Instr::MakeSlice { elems, .. } => {
-                            elems.iter().any(|e| escapes(f.id, e))
-                        }
+                        Instr::MakeSlice { elems, .. } => elems.iter().any(|e| escapes(f.id, e)),
                         _ => false,
                     };
                     if escaped {
@@ -364,7 +365,10 @@ impl<'a> GFix<'a> {
             OpKind::Close => {
                 let ch = chan_ident(&mut ids);
                 let callee = ids.expr(ExprKind::Ident("close".into()));
-                let call = ids.expr(ExprKind::Call { callee: Box::new(callee), args: vec![ch] });
+                let call = ids.expr(ExprKind::Call {
+                    callee: Box::new(callee),
+                    args: vec![ch],
+                });
                 ids.stmt(StmtKind::Defer(call))
             }
             OpKind::Send => {
@@ -377,20 +381,26 @@ impl<'a> GFix<'a> {
                     values.push(v);
                 }
                 let first = values[0];
-                if !is_constant_expr(first)
-                    || values.iter().any(|v| v.kind != first.kind)
-                {
+                if !is_constant_expr(first) || values.iter().any(|v| v.kind != first.kind) {
                     return Err(Rejection::UnsupportedShape);
                 }
                 let mut value = first.clone();
                 value.id = ids.id();
                 let ch = chan_ident(&mut ids);
                 let send = ids.stmt(StmtKind::Send { chan: ch, value });
-                let body = Block { stmts: vec![send], span: Span::synthetic() };
-                let closure =
-                    ids.expr(ExprKind::Closure { params: vec![], results: vec![], body });
-                let call =
-                    ids.expr(ExprKind::Call { callee: Box::new(closure), args: vec![] });
+                let body = Block {
+                    stmts: vec![send],
+                    span: Span::synthetic(),
+                };
+                let closure = ids.expr(ExprKind::Closure {
+                    params: vec![],
+                    results: vec![],
+                    body,
+                });
+                let call = ids.expr(ExprKind::Call {
+                    callee: Box::new(closure),
+                    args: vec![],
+                });
                 ids.stmt(StmtKind::Defer(call))
             }
             OpKind::Recv => {
@@ -401,11 +411,19 @@ impl<'a> GFix<'a> {
                 let ch = chan_ident(&mut ids);
                 let recv = ids.expr(ExprKind::Recv(Box::new(ch)));
                 let stmt = ids.stmt(StmtKind::Expr(recv));
-                let body = Block { stmts: vec![stmt], span: Span::synthetic() };
-                let closure =
-                    ids.expr(ExprKind::Closure { params: vec![], results: vec![], body });
-                let call =
-                    ids.expr(ExprKind::Call { callee: Box::new(closure), args: vec![] });
+                let body = Block {
+                    stmts: vec![stmt],
+                    span: Span::synthetic(),
+                };
+                let closure = ids.expr(ExprKind::Closure {
+                    params: vec![],
+                    results: vec![],
+                    body,
+                });
+                let call = ids.expr(ExprKind::Call {
+                    callee: Box::new(closure),
+                    args: vec![],
+                });
                 ids.stmt(StmtKind::Defer(call))
             }
         };
@@ -460,7 +478,10 @@ impl<'a> GFix<'a> {
             ty: Type::Chan(Box::new(Type::Unit)),
             cap: None,
         });
-        let decl = ids.stmt(StmtKind::Define { names: vec![stop.clone()], rhs: make });
+        let decl = ids.stmt(StmtKind::Define {
+            names: vec![stop.clone()],
+            rhs: make,
+        });
         let stop_ident = ids.expr(ExprKind::Ident(stop.clone()));
         let close_callee = ids.expr(ExprKind::Ident("close".into()));
         let close_call = ids.expr(ExprKind::Call {
@@ -484,13 +505,26 @@ impl<'a> GFix<'a> {
         let ret = ids.stmt(StmtKind::Return(vec![]));
         let select = ids.stmt(StmtKind::Select(vec![
             SelectCase {
-                kind: SelectCaseKind::Send { chan: chan2, value: value2 },
-                body: Block { stmts: vec![], span: Span::synthetic() },
+                kind: SelectCaseKind::Send {
+                    chan: chan2,
+                    value: value2,
+                },
+                body: Block {
+                    stmts: vec![],
+                    span: Span::synthetic(),
+                },
                 span: Span::synthetic(),
             },
             SelectCase {
-                kind: SelectCaseKind::Recv { value: None, ok: None, chan: stop_ident2 },
-                body: Block { stmts: vec![ret], span: Span::synthetic() },
+                kind: SelectCaseKind::Recv {
+                    value: None,
+                    ok: None,
+                    chan: stop_ident2,
+                },
+                body: Block {
+                    stmts: vec![ret],
+                    span: Span::synthetic(),
+                },
                 span: Span::synthetic(),
             },
         ]));
@@ -501,9 +535,7 @@ impl<'a> GFix<'a> {
             Strategy::AddStopChannel,
             prog,
             ctx,
-            format!(
-                "add channel {stop}, defer closing it, and select on it at the child's send"
-            ),
+            format!("add channel {stop}, defer closing it, and select on it at the child's send"),
         ))
     }
 
@@ -556,9 +588,10 @@ impl<'a> GFix<'a> {
             };
             match instr {
                 Instr::Send { chan, .. } | Instr::Recv { chan, .. } | Instr::Close { chan }
-                    if !on_c(chan) => {
-                        effect = true;
-                    }
+                    if !on_c(chan) =>
+                {
+                    effect = true;
+                }
                 Instr::Lock { .. }
                 | Instr::Unlock { .. }
                 | Instr::WgAdd { .. }
@@ -637,13 +670,9 @@ impl<'a> GFix<'a> {
                     StmtKind::For { body, .. } | StmtKind::ForRange { body, .. } => {
                         walk(body, span)
                     }
-                    StmtKind::Select(cases) => {
-                        cases.iter().find_map(|c| walk(&c.body, span))
-                    }
+                    StmtKind::Select(cases) => cases.iter().find_map(|c| walk(&c.body, span)),
                     StmtKind::Block(b) => walk(b, span),
-                    StmtKind::Go(e) | StmtKind::Defer(e) | StmtKind::Expr(e) => {
-                        walk_expr(e, span)
-                    }
+                    StmtKind::Go(e) | StmtKind::Defer(e) | StmtKind::Expr(e) => walk_expr(e, span),
                     StmtKind::Define { rhs, .. } | StmtKind::Assign { rhs, .. } => {
                         walk_expr(rhs, span)
                     }
@@ -669,10 +698,12 @@ impl<'a> GFix<'a> {
         fn walk_expr(e: &Expr, span: Span) -> Option<&Stmt> {
             match &e.kind {
                 ExprKind::Closure { body, .. } => walk(body, span),
-                ExprKind::Call { callee, args } => walk_expr(callee, span)
-                    .or_else(|| args.iter().find_map(|a| walk_expr(a, span))),
-                ExprKind::Method { recv, args, .. } => walk_expr(recv, span)
-                    .or_else(|| args.iter().find_map(|a| walk_expr(a, span))),
+                ExprKind::Call { callee, args } => {
+                    walk_expr(callee, span).or_else(|| args.iter().find_map(|a| walk_expr(a, span)))
+                }
+                ExprKind::Method { recv, args, .. } => {
+                    walk_expr(recv, span).or_else(|| args.iter().find_map(|a| walk_expr(a, span)))
+                }
                 ExprKind::Paren(inner) => walk_expr(inner, span),
                 _ => None,
             }

@@ -54,7 +54,7 @@ pub mod validate;
 pub use fix::{GFix, Patch, Rejection, Strategy};
 pub use validate::{validate, Validation};
 
-use gcatch::{DetectorConfig, GCatch};
+use gcatch::{DetectorConfig, GCatch, Selection, Stage, Stats};
 use golite::Program;
 use golite_ir::Module;
 
@@ -99,21 +99,48 @@ impl Pipeline {
 
     /// Detects all bugs and patches every fixable BMOC bug.
     pub fn run(&self, config: &DetectorConfig) -> PipelineResults {
+        self.run_with_stats(config, &Selection::default()).0
+    }
+
+    /// Runs the selected checkers through one shared [`AnalysisSession`]
+    /// (`gcatch::AnalysisSession`), patches every fixable BMOC bug under the
+    /// `fix` telemetry stage, and returns the results together with the
+    /// session's [`Stats`] snapshot (stage timings and pipeline counters).
+    pub fn run_with_stats(
+        &self,
+        config: &DetectorConfig,
+        selection: &Selection,
+    ) -> (PipelineResults, Stats) {
         let gcatch = GCatch::new(&self.module);
-        let bugs = gcatch.detect_all(config);
-        let detector = gcatch.detector();
-        let gfix = GFix::new(&self.program, &self.module, &detector.analysis, &detector.prims);
-        let mut patches = Vec::new();
-        let mut rejections = Vec::new();
-        for bug in &bugs {
-            if !bug.kind.is_bmoc() {
-                continue;
+        let bugs = gcatch::checkers::flatten(gcatch.run(config, selection));
+        let session = gcatch.session();
+        let gfix = GFix::new(
+            &self.program,
+            &self.module,
+            &session.analysis,
+            &session.prims,
+        );
+        let (patches, rejections) = session.telemetry().time(Stage::Fix, || {
+            let mut patches = Vec::new();
+            let mut rejections = Vec::new();
+            for bug in &bugs {
+                if !bug.kind.is_bmoc() {
+                    continue;
+                }
+                match gfix.fix(bug) {
+                    Ok(patch) => patches.push(patch),
+                    Err(r) => rejections.push((bug.clone(), r)),
+                }
             }
-            match gfix.fix(bug) {
-                Ok(patch) => patches.push(patch),
-                Err(r) => rejections.push((bug.clone(), r)),
-            }
-        }
-        PipelineResults { bugs, patches, rejections }
+            (patches, rejections)
+        });
+        (
+            PipelineResults {
+                bugs,
+                patches,
+                rejections,
+            },
+            gcatch.stats(),
+        )
     }
 }

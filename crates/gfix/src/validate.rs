@@ -92,8 +92,10 @@ pub fn validate(original_src: &str, patched_src: &str, entry: &str, seeds: u64) 
         outs_before.is_empty() || outs_after.iter().all(|o| outs_before.contains(o));
 
     let mean_instrs = |reports: &[RunReport]| -> f64 {
-        let clean: Vec<&RunReport> =
-            reports.iter().filter(|r| r.outcome == Outcome::Clean).collect();
+        let clean: Vec<&RunReport> = reports
+            .iter()
+            .filter(|r| r.outcome == Outcome::Clean)
+            .collect();
         if clean.is_empty() {
             return 0.0;
         }

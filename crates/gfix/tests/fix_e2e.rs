@@ -43,7 +43,11 @@ fn figure1_gets_strategy1_buffer_patch() {
         .find(|p| p.primitive_name == "outDone")
         .unwrap_or_else(|| panic!("no patch for outDone: {:?}", results.rejections));
     assert_eq!(patch.strategy, Strategy::IncreaseBuffer);
-    assert!(patch.after.contains("make(chan error, 1)"), "patched:\n{}", patch.after);
+    assert!(
+        patch.after.contains("make(chan error, 1)"),
+        "patched:\n{}",
+        patch.after
+    );
     // §5.3: Strategy-I patches change exactly one line (= 2 diff lines:
     // one removed + one added).
     assert_eq!(patch.changed_lines, 2);
@@ -53,9 +57,16 @@ fn figure1_gets_strategy1_buffer_patch() {
 fn figure1_patch_validates_dynamically() {
     let pipeline = Pipeline::from_source(FIGURE1).unwrap();
     let results = pipeline.run(&DetectorConfig::default());
-    let patch = results.patches.iter().find(|p| p.primitive_name == "outDone").unwrap();
+    let patch = results
+        .patches
+        .iter()
+        .find(|p| p.primitive_name == "outDone")
+        .unwrap();
     let v = validate(&patch.before, &patch.after, "main", 40);
-    assert!(v.bug_realized, "the original program must leak under some schedule");
+    assert!(
+        v.bug_realized,
+        "the original program must leak under some schedule"
+    );
     assert!(v.patch_blocks_never, "the patched program must never block");
     assert!(v.semantics_preserved, "clean outputs must agree");
     assert!(v.is_correct());
@@ -108,7 +119,11 @@ fn figure3_gets_strategy2_defer_patch() {
 fn figure3_patch_validates_dynamically() {
     let pipeline = Pipeline::from_source(FIGURE3).unwrap();
     let results = pipeline.run(&DetectorConfig::default());
-    let patch = results.patches.iter().find(|p| p.primitive_name == "stop").unwrap();
+    let patch = results
+        .patches
+        .iter()
+        .find(|p| p.primitive_name == "stop")
+        .unwrap();
     let v = validate(&patch.before, &patch.after, "TestRWDialer", 40);
     assert!(v.bug_realized, "Fatal skips the send, leaking Start");
     assert!(v.patch_blocks_never);
@@ -161,7 +176,11 @@ fn figure4_gets_strategy3_stop_channel_patch() {
         .find(|p| p.primitive_name == "scheduler")
         .unwrap_or_else(|| panic!("no patch for scheduler: {:?}", results.rejections));
     assert_eq!(patch.strategy, Strategy::AddStopChannel);
-    assert!(patch.after.contains("stop := make(chan struct{})"), "patched:\n{}", patch.after);
+    assert!(
+        patch.after.contains("stop := make(chan struct{})"),
+        "patched:\n{}",
+        patch.after
+    );
     assert!(patch.after.contains("defer close(stop)"));
     assert!(patch.after.contains("case scheduler <- line:"));
     assert!(patch.after.contains("case <-stop:"));
@@ -178,8 +197,11 @@ fn figure4_gets_strategy3_stop_channel_patch() {
 fn figure4_patch_validates_dynamically() {
     let pipeline = Pipeline::from_source(FIGURE4).unwrap();
     let results = pipeline.run(&DetectorConfig::default());
-    let patch =
-        results.patches.iter().find(|p| p.primitive_name == "scheduler").unwrap();
+    let patch = results
+        .patches
+        .iter()
+        .find(|p| p.primitive_name == "scheduler")
+        .unwrap();
     let v = validate(&patch.before, &patch.after, "main", 40);
     assert!(v.bug_realized, "abort-first schedules leak the producer");
     assert!(v.patch_blocks_never, "closing stop releases the producer");
@@ -274,7 +296,11 @@ func produce(t *testing.T, fail bool) {
     let results = pipeline.run(&DetectorConfig::default());
     if let Some(patch) = results.patches.iter().find(|p| p.primitive_name == "ch") {
         assert_eq!(patch.strategy, Strategy::DeferOperation);
-        assert!(patch.after.contains("defer close(ch)"), "patched:\n{}", patch.after);
+        assert!(
+            patch.after.contains("defer close(ch)"),
+            "patched:\n{}",
+            patch.after
+        );
     } else {
         // The range receive is two static ops after lowering; rejection is
         // acceptable, but the bug must at least be reported.

@@ -115,8 +115,9 @@ pub struct Analysis {
     /// caller → call-site indices.
     calls_in: HashMap<FuncId, Vec<usize>>,
     /// Memoized transitive-reachability sets (queried heavily by the
-    /// detectors and GFix's dispatcher).
-    reach_cache: std::cell::RefCell<HashMap<FuncId, std::rc::Rc<HashSet<FuncId>>>>,
+    /// detectors and GFix's dispatcher). Lock-guarded so a shared `Analysis`
+    /// can serve the parallel per-channel detector workers.
+    reach_cache: std::sync::RwLock<HashMap<FuncId, std::sync::Arc<HashSet<FuncId>>>>,
 }
 
 impl Analysis {
@@ -130,8 +131,7 @@ impl Analysis {
     pub fn operand_points_to(&self, func: FuncId, op: &Operand) -> Vec<AbstractObject> {
         match op {
             Operand::Var(v) => {
-                let mut objs: Vec<AbstractObject> =
-                    self.points_to(func, *v).copied().collect();
+                let mut objs: Vec<AbstractObject> = self.points_to(func, *v).copied().collect();
                 objs.sort_unstable();
                 objs
             }
@@ -152,18 +152,26 @@ impl Analysis {
 
     /// Call sites inside `func`.
     pub fn calls_in(&self, func: FuncId) -> impl Iterator<Item = &CallSite> {
-        self.calls_in.get(&func).into_iter().flatten().map(move |&i| &self.call_sites[i])
+        self.calls_in
+            .get(&func)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.call_sites[i])
     }
 
     /// Call sites that may target `func`.
     pub fn callers_of(&self, func: FuncId) -> impl Iterator<Item = &CallSite> {
-        self.callers_of.get(&func).into_iter().flatten().map(move |&i| &self.call_sites[i])
+        self.callers_of
+            .get(&func)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.call_sites[i])
     }
 
     /// Functions transitively reachable from `root` through unambiguous
     /// call/go/defer edges (including `root`). Memoized.
-    pub fn reachable_from(&self, root: FuncId) -> std::rc::Rc<HashSet<FuncId>> {
-        if let Some(cached) = self.reach_cache.borrow().get(&root) {
+    pub fn reachable_from(&self, root: FuncId) -> std::sync::Arc<HashSet<FuncId>> {
+        if let Some(cached) = self.reach_cache.read().expect("reach cache").get(&root) {
             return cached.clone();
         }
         let mut seen = HashSet::new();
@@ -182,8 +190,11 @@ impl Analysis {
                 }
             }
         }
-        let rc = std::rc::Rc::new(seen);
-        self.reach_cache.borrow_mut().insert(root, rc.clone());
+        let rc = std::sync::Arc::new(seen);
+        self.reach_cache
+            .write()
+            .expect("reach cache")
+            .insert(root, rc.clone());
         rc
     }
 }
@@ -286,7 +297,11 @@ impl<'m> Solver<'m> {
             let fid = function.id;
             for (bid, block) in function.iter_blocks() {
                 for (idx, instr) in block.instrs.iter().enumerate() {
-                    let loc = Loc { func: fid, block: bid, idx: idx as u32 };
+                    let loc = Loc {
+                        func: fid,
+                        block: bid,
+                        idx: idx as u32,
+                    };
                     self.seed_instr(fid, loc, instr);
                 }
                 // Select terminators bind received values — which we do not
@@ -434,7 +449,7 @@ impl<'m> Solver<'m> {
             call_sites: self.call_sites,
             callers_of,
             calls_in,
-            reach_cache: std::cell::RefCell::new(HashMap::new()),
+            reach_cache: std::sync::RwLock::new(HashMap::new()),
         }
     }
 
@@ -466,7 +481,10 @@ impl<'m> Solver<'m> {
             Instr::MakeClosure { dst, func, bound } => {
                 self.add_obj(
                     Node::Var(fid, *dst),
-                    AbstractObject::Closure { func: *func, site: loc },
+                    AbstractObject::Closure {
+                        func: *func,
+                        site: loc,
+                    },
                 );
                 // Bind captures directly to the closure's leading params.
                 let callee = self.module.func(*func);
@@ -485,13 +503,15 @@ impl<'m> Solver<'m> {
                 // Re-evaluated every fixpoint round (idempotent).
                 let f = self.field_id(field);
                 if let Some(base) = self.operand_node(fid, obj) {
-                    self.deferred_field_loads.push((base, f, Node::Var(fid, *dst)));
+                    self.deferred_field_loads
+                        .push((base, f, Node::Var(fid, *dst)));
                 }
             }
             Instr::FieldStore { obj, field, value } => {
                 let f = self.field_id(field);
                 if let Some(base) = self.operand_node(fid, obj) {
-                    self.deferred_field_stores.push((base, f, value.clone(), fid));
+                    self.deferred_field_stores
+                        .push((base, f, value.clone(), fid));
                 }
             }
             Instr::LoadGlobal { dst, global } => {
@@ -589,7 +609,11 @@ impl<'m> Solver<'m> {
     fn install_binding(&mut self, dyn_idx: usize, callee: FuncId, via_closure: bool) {
         let dc = &self.dyn_calls[dyn_idx];
         let (caller, args, dsts) = (dc.caller, dc.args.clone(), dc.dsts.clone());
-        let skip = if via_closure { self.module.func(callee).n_captures } else { 0 };
+        let skip = if via_closure {
+            self.module.func(callee).n_captures
+        } else {
+            0
+        };
         self.install_static(caller, callee, &args, &dsts, skip);
     }
 }
@@ -615,7 +639,14 @@ mod tests {
         for (bid, block) in f.iter_blocks() {
             for (idx, instr) in block.instrs.iter().enumerate() {
                 if pred(instr) {
-                    return (Loc { func: f.id, block: bid, idx: idx as u32 }, instr);
+                    return (
+                        Loc {
+                            func: f.id,
+                            block: bid,
+                            idx: idx as u32,
+                        },
+                        instr,
+                    );
                 }
             }
         }
@@ -629,8 +660,7 @@ mod tests {
         );
         let (make_loc, _) = find_instr(&m, "main", |i| matches!(i, Instr::MakeChan { .. }));
         let worker = m.func_by_name("worker").unwrap();
-        let pts: Vec<AbstractObject> =
-            a.points_to(worker.id, worker.params[0]).copied().collect();
+        let pts: Vec<AbstractObject> = a.points_to(worker.id, worker.params[0]).copied().collect();
         assert_eq!(pts, vec![AbstractObject::Chan(make_loc)]);
     }
 
@@ -647,10 +677,14 @@ mod tests {
             .flat_map(|b| &b.instrs)
             .find(|i| matches!(i, Instr::Send { .. }))
             .unwrap();
-        let Instr::Send { chan, .. } = send else { unreachable!() };
+        let Instr::Send { chan, .. } = send else {
+            unreachable!()
+        };
         let (recv_loc, recv) = find_instr(&m, "main", |i| matches!(i, Instr::Recv { .. }));
         let _ = recv_loc;
-        let Instr::Recv { chan: rchan, .. } = recv else { unreachable!() };
+        let Instr::Recv { chan: rchan, .. } = recv else {
+            unreachable!()
+        };
         assert!(a.may_alias(closure.id, chan, main.id, rchan));
     }
 
@@ -663,19 +697,24 @@ mod tests {
         );
         let main = m.func_by_name("main").unwrap();
         // `got` is the Recv destination; its points-to set must be empty.
-        let (_, recv) = find_instr(&m, "main", |i| matches!(i, Instr::Recv { dst: Some(_), .. }));
-        let Instr::Recv { dst: Some(got), .. } = recv else { unreachable!() };
+        let (_, recv) = find_instr(&m, "main", |i| {
+            matches!(i, Instr::Recv { dst: Some(_), .. })
+        });
+        let Instr::Recv { dst: Some(got), .. } = recv else {
+            unreachable!()
+        };
         assert_eq!(a.points_to(main.id, *got).count(), 0);
     }
 
     #[test]
     fn slice_element_is_untracked() {
-        let (m, a) = analyze_src(
-            "func main() {\n chans := []chan int{}\n ch := chans[0]\n <-ch\n}",
-        );
+        let (m, a) =
+            analyze_src("func main() {\n chans := []chan int{}\n ch := chans[0]\n <-ch\n}");
         let main = m.func_by_name("main").unwrap();
         let (_, load) = find_instr(&m, "main", |i| matches!(i, Instr::IndexLoad { .. }));
-        let Instr::IndexLoad { dst, .. } = load else { unreachable!() };
+        let Instr::IndexLoad { dst, .. } = load else {
+            unreachable!()
+        };
         assert_eq!(a.points_to(main.id, *dst).count(), 0);
     }
 
@@ -731,7 +770,9 @@ mod tests {
         );
         let use_fn = m.func_by_name("use").unwrap();
         let (_, recv) = find_instr(&m, "use", |i| matches!(i, Instr::Recv { .. }));
-        let Instr::Recv { chan, .. } = recv else { unreachable!() };
+        let Instr::Recv { chan, .. } = recv else {
+            unreachable!()
+        };
         let pts = a.operand_points_to(use_fn.id, chan);
         assert_eq!(pts.len(), 1, "global channel must be tracked");
         assert!(matches!(pts[0], AbstractObject::Chan(_)));
@@ -755,8 +796,11 @@ mod tests {
     #[test]
     fn external_calls_are_recorded() {
         let (_, a) = analyze_src("func main() {\n Mystery()\n}");
-        let ext: Vec<&CallSite> =
-            a.call_sites.iter().filter(|cs| cs.external.is_some()).collect();
+        let ext: Vec<&CallSite> = a
+            .call_sites
+            .iter()
+            .filter(|cs| cs.external.is_some())
+            .collect();
         assert_eq!(ext.len(), 1);
         assert_eq!(ext[0].external.as_deref(), Some("Mystery"));
     }

@@ -68,9 +68,7 @@ impl PostDominators {
         let n = f.blocks.len();
         let exits: Vec<u32> = f
             .iter_blocks()
-            .filter(|(_, b)| {
-                matches!(b.term, Terminator::Return(_) | Terminator::Unreachable)
-            })
+            .filter(|(_, b)| matches!(b.term, Terminator::Return(_) | Terminator::Unreachable))
             .map(|(id, _)| id.0)
             .collect();
         let all: HashSet<u32> = (0..n as u32).collect();
@@ -91,9 +89,7 @@ impl PostDominators {
                 for s in &succs {
                     new = Some(match new {
                         None => pdoms[s.0 as usize].clone(),
-                        Some(acc) => {
-                            acc.intersection(&pdoms[s.0 as usize]).copied().collect()
-                        }
+                        Some(acc) => acc.intersection(&pdoms[s.0 as usize]).copied().collect(),
                     });
                 }
                 let mut new = new.unwrap_or_default();
@@ -189,10 +185,7 @@ mod tests {
 
     #[test]
     fn early_return_breaks_postdominance() {
-        let f = func(
-            "func f(c bool) {\n if c {\n  return\n }\n done()\n}",
-            "f",
-        );
+        let f = func("func f(c bool) {\n if c {\n  return\n }\n done()\n}", "f");
         let pdom = PostDominators::compute(&f);
         // The join (done()) does not post-dominate the entry because the
         // then-arm returns.
@@ -203,7 +196,10 @@ mod tests {
 
     #[test]
     fn loop_head_dominates_body() {
-        let f = func("func f(n int) {\n for i := 0; i < n; i++ {\n  w(i)\n }\n}", "f");
+        let f = func(
+            "func f(n int) {\n for i := 0; i < n; i++ {\n  w(i)\n }\n}",
+            "f",
+        );
         let dom = Dominators::compute(&f);
         // Block 1 is the loop head (condition); block 2 the body.
         assert!(dom.dominates(BlockId(1), BlockId(2)));

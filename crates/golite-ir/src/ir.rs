@@ -546,7 +546,10 @@ impl Function {
 
     /// Iterate over `(BlockId, &Block)` pairs.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// The instruction at `loc`, if `loc` addresses an instruction (not a
@@ -555,7 +558,10 @@ impl Function {
         if loc.func != self.id {
             return None;
         }
-        self.blocks.get(loc.block.0 as usize)?.instrs.get(loc.idx as usize)
+        self.blocks
+            .get(loc.block.0 as usize)?
+            .instrs
+            .get(loc.idx as usize)
     }
 
     /// The declared type of a register.
@@ -617,7 +623,9 @@ impl Module {
 
     /// Looks up a declared (non-closure) function by name.
     pub fn func_by_name(&self, name: &str) -> Option<&Function> {
-        self.name_to_func.get(name).map(|id| &self.funcs[id.0 as usize])
+        self.name_to_func
+            .get(name)
+            .map(|id| &self.funcs[id.0 as usize])
     }
 
     /// The function with the given id.
@@ -638,7 +646,10 @@ impl Module {
     /// Total number of IR instructions (a coarse size metric used by the
     /// scaling experiments).
     pub fn instr_count(&self) -> usize {
-        self.funcs.iter().map(|f| f.blocks.iter().map(|b| b.instrs.len() + 1).sum::<usize>()).sum()
+        self.funcs
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| b.instrs.len() + 1).sum::<usize>())
+            .sum()
     }
 }
 
@@ -678,7 +689,11 @@ mod tests {
         assert!(Terminator::Return(vec![]).successors().is_empty());
         let s = Terminator::Select {
             cases: vec![SelectCase {
-                op: SelectOp::Recv { dst: None, ok: None, chan: Operand::Var(Var(0)) },
+                op: SelectOp::Recv {
+                    dst: None,
+                    ok: None,
+                    chan: Operand::Var(Var(0)),
+                },
                 target: BlockId(3),
             }],
             default: Some(BlockId(4)),
@@ -694,12 +709,19 @@ mod tests {
         };
         assert!(send.can_block());
         assert!(send.is_modeled_sync_op());
-        let close = Instr::Close { chan: Operand::Var(Var(0)) };
+        let close = Instr::Close {
+            chan: Operand::Var(Var(0)),
+        };
         assert!(!close.can_block());
         assert!(close.is_modeled_sync_op());
-        let wait = Instr::WgWait { wg: Operand::Var(Var(0)) };
+        let wait = Instr::WgWait {
+            wg: Operand::Var(Var(0)),
+        };
         assert!(wait.can_block());
-        assert!(!wait.is_modeled_sync_op(), "WaitGroup is deliberately unmodeled (§5.2)");
+        assert!(
+            !wait.is_modeled_sync_op(),
+            "WaitGroup is deliberately unmodeled (§5.2)"
+        );
     }
 
     #[test]

@@ -125,7 +125,10 @@ impl FuncCtx {
     fn declare(&mut self, name: &str, ty: Type) -> Var {
         let v = self.fresh_var(name, ty);
         if name != "_" {
-            self.scopes.last_mut().expect("scope stack never empty").insert(name.to_string(), v);
+            self.scopes
+                .last_mut()
+                .expect("scope stack never empty")
+                .insert(name.to_string(), v);
         }
         v
     }
@@ -222,7 +225,10 @@ impl<'a> Lowerer<'a> {
     }
 
     fn err(&self, message: impl Into<String>, span: Span) -> LowerError {
-        LowerError { message: message.into(), span }
+        LowerError {
+            message: message.into(),
+            span,
+        }
     }
 
     fn ctx(&mut self) -> &mut FuncCtx {
@@ -250,7 +256,11 @@ impl<'a> Lowerer<'a> {
                 ast::Decl::Struct(s) => self.structs.push(s.clone()),
                 ast::Decl::GlobalVar { name, ty, .. } => {
                     let id = GlobalId(self.globals.len() as u32);
-                    self.globals.push(Global { name: name.clone(), ty: ty.clone(), id });
+                    self.globals.push(Global {
+                        name: name.clone(),
+                        ty: ty.clone(),
+                        id,
+                    });
                     self.global_ids.insert(name.clone(), id);
                 }
             }
@@ -277,24 +287,39 @@ impl<'a> Lowerer<'a> {
             .decls
             .iter()
             .filter_map(|d| match d {
-                ast::Decl::GlobalVar { name, init: Some(init), .. } => {
-                    Some((self.global_ids[name], init))
-                }
+                ast::Decl::GlobalVar {
+                    name,
+                    init: Some(init),
+                    ..
+                } => Some((self.global_ids[name], init)),
                 _ => None,
             })
             .collect();
         if !inits.is_empty() {
             let id = FuncId(self.funcs.len() as u32);
             self.funcs.push(None);
-            self.sigs
-                .insert("__init".into(), FuncSig { id, params: vec![], results: vec![] });
+            self.sigs.insert(
+                "__init".into(),
+                FuncSig {
+                    id,
+                    params: vec![],
+                    results: vec![],
+                },
+            );
             let ctx = FuncCtx::new("__init".into(), id, false, Span::synthetic());
             self.ctxs.push(ctx);
             for (gid, init) in inits {
                 let (op, _) = self.lower_expr(init)?;
-                self.ctx().emit(Instr::StoreGlobal { global: gid, src: op }, init.span);
+                self.ctx().emit(
+                    Instr::StoreGlobal {
+                        global: gid,
+                        src: op,
+                    },
+                    init.span,
+                );
             }
-            self.ctx().terminate(Terminator::Return(vec![]), Span::synthetic());
+            self.ctx()
+                .terminate(Terminator::Return(vec![]), Span::synthetic());
             let ctx = self.ctxs.pop().expect("pushed above");
             self.funcs[id.0 as usize] = Some(ctx.into_function());
         }
@@ -323,22 +348,44 @@ impl<'a> Lowerer<'a> {
             "close" => {
                 let ch = ctx.declare("ch", Type::Chan(Box::new(Type::Unit)));
                 ctx.params.push(ch);
-                ctx.emit(Instr::Close { chan: Operand::Var(ch) }, Span::synthetic());
+                ctx.emit(
+                    Instr::Close {
+                        chan: Operand::Var(ch),
+                    },
+                    Span::synthetic(),
+                );
             }
             "unlock" => {
                 let m = ctx.declare("mu", Type::Mutex);
                 ctx.params.push(m);
-                ctx.emit(Instr::Unlock { mutex: Operand::Var(m), read: false }, Span::synthetic());
+                ctx.emit(
+                    Instr::Unlock {
+                        mutex: Operand::Var(m),
+                        read: false,
+                    },
+                    Span::synthetic(),
+                );
             }
             "runlock" => {
                 let m = ctx.declare("mu", Type::RwMutex);
                 ctx.params.push(m);
-                ctx.emit(Instr::Unlock { mutex: Operand::Var(m), read: true }, Span::synthetic());
+                ctx.emit(
+                    Instr::Unlock {
+                        mutex: Operand::Var(m),
+                        read: true,
+                    },
+                    Span::synthetic(),
+                );
             }
             "wgdone" => {
                 let wg = ctx.declare("wg", Type::WaitGroup);
                 ctx.params.push(wg);
-                ctx.emit(Instr::WgDone { wg: Operand::Var(wg) }, Span::synthetic());
+                ctx.emit(
+                    Instr::WgDone {
+                        wg: Operand::Var(wg),
+                    },
+                    Span::synthetic(),
+                );
             }
             "timer" => {
                 let ch = ctx.declare("ch", Type::Chan(Box::new(Type::Unit)));
@@ -347,7 +394,10 @@ impl<'a> Lowerer<'a> {
                 ctx.params.push(n);
                 ctx.emit(Instr::Sleep { n: Operand::Var(n) }, Span::synthetic());
                 ctx.emit(
-                    Instr::Send { chan: Operand::Var(ch), value: Operand::Const(ConstVal::Unit) },
+                    Instr::Send {
+                        chan: Operand::Var(ch),
+                        value: Operand::Const(ConstVal::Unit),
+                    },
                     Span::synthetic(),
                 );
             }
@@ -371,8 +421,7 @@ impl<'a> Lowerer<'a> {
         for level in (0..depth.saturating_sub(1)).rev() {
             if self.ctxs[level].lookup(name).is_some() {
                 // Found: thread the capture down through each closure level.
-                let mut outer_var =
-                    self.ctxs[level].lookup(name).expect("checked above");
+                let mut outer_var = self.ctxs[level].lookup(name).expect("checked above");
                 for inner in level + 1..depth {
                     let ty = {
                         let outer_ctx = &self.ctxs[inner - 1];
@@ -383,7 +432,9 @@ impl<'a> Lowerer<'a> {
                     // Captures are leading params: record and insert.
                     inner_ctx.params.insert(inner_ctx.n_captures, param);
                     inner_ctx.n_captures += 1;
-                    inner_ctx.captures.push((name.to_string(), param, outer_var));
+                    inner_ctx
+                        .captures
+                        .push((name.to_string(), param, outer_var));
                     inner_ctx
                         .scopes
                         .first_mut()
@@ -404,11 +455,27 @@ impl<'a> Lowerer<'a> {
     /// Default value initialization for a declared variable.
     fn default_init(&mut self, dst: Var, ty: &Type, span: Span) {
         match ty {
-            Type::Int => self.ctx().emit(Instr::Const { dst, value: ConstVal::Int(0) }, span),
-            Type::Bool => self.ctx().emit(Instr::Const { dst, value: ConstVal::Bool(false) }, span),
-            Type::String => {
-                self.ctx().emit(Instr::Const { dst, value: ConstVal::Str(String::new()) }, span)
-            }
+            Type::Int => self.ctx().emit(
+                Instr::Const {
+                    dst,
+                    value: ConstVal::Int(0),
+                },
+                span,
+            ),
+            Type::Bool => self.ctx().emit(
+                Instr::Const {
+                    dst,
+                    value: ConstVal::Bool(false),
+                },
+                span,
+            ),
+            Type::String => self.ctx().emit(
+                Instr::Const {
+                    dst,
+                    value: ConstVal::Str(String::new()),
+                },
+                span,
+            ),
             Type::Mutex => self.ctx().emit(Instr::MakeMutex { dst, rw: false }, span),
             Type::RwMutex => self.ctx().emit(Instr::MakeMutex { dst, rw: true }, span),
             Type::WaitGroup => self.ctx().emit(Instr::MakeWaitGroup { dst }, span),
@@ -416,11 +483,30 @@ impl<'a> Lowerer<'a> {
             Type::Named(name) if name != UNKNOWN_TYPE => {
                 let name = name.clone();
                 let inits = self.primitive_field_inits(&name, &[], span);
-                self.ctx().emit(Instr::MakeStruct { dst, name, fields: inits }, span);
+                self.ctx().emit(
+                    Instr::MakeStruct {
+                        dst,
+                        name,
+                        fields: inits,
+                    },
+                    span,
+                );
             }
-            Type::Unit => self.ctx().emit(Instr::Const { dst, value: ConstVal::Unit }, span),
+            Type::Unit => self.ctx().emit(
+                Instr::Const {
+                    dst,
+                    value: ConstVal::Unit,
+                },
+                span,
+            ),
             // Channels, slices, pointers, funcs, contexts default to nil.
-            _ => self.ctx().emit(Instr::Const { dst, value: ConstVal::Nil }, span),
+            _ => self.ctx().emit(
+                Instr::Const {
+                    dst,
+                    value: ConstVal::Nil,
+                },
+                span,
+            ),
         }
     }
 
@@ -441,8 +527,14 @@ impl<'a> Lowerer<'a> {
                 continue;
             }
             let make = match fty {
-                Type::Mutex => Some(Instr::MakeMutex { dst: Var(0), rw: false }),
-                Type::RwMutex => Some(Instr::MakeMutex { dst: Var(0), rw: true }),
+                Type::Mutex => Some(Instr::MakeMutex {
+                    dst: Var(0),
+                    rw: false,
+                }),
+                Type::RwMutex => Some(Instr::MakeMutex {
+                    dst: Var(0),
+                    rw: true,
+                }),
                 Type::WaitGroup => Some(Instr::MakeWaitGroup { dst: Var(0) }),
                 Type::Cond => Some(Instr::MakeCond { dst: Var(0) }),
                 _ => None,
@@ -481,7 +573,10 @@ impl<'a> Lowerer<'a> {
             StmtKind::VarDecl { name, ty, init } => {
                 match init {
                     Some(e) => {
-                        if let ExprKind::Make { ty: mty @ Type::Chan(_), cap } = &e.unparen().kind
+                        if let ExprKind::Make {
+                            ty: mty @ Type::Chan(_),
+                            cap,
+                        } = &e.unparen().kind
                         {
                             let cap_op = match cap {
                                 Some(c) => self.lower_expr(c)?.0,
@@ -489,7 +584,14 @@ impl<'a> Lowerer<'a> {
                             };
                             let elem = mty.chan_elem().cloned().expect("channel type");
                             let dst = self.ctx().declare(name, ty.clone());
-                            self.ctx().emit(Instr::MakeChan { dst, elem, cap: cap_op }, span);
+                            self.ctx().emit(
+                                Instr::MakeChan {
+                                    dst,
+                                    elem,
+                                    cap: cap_op,
+                                },
+                                span,
+                            );
                         } else {
                             let (op, _) = self.lower_expr(e)?;
                             let dst = self.ctx().declare(name, ty.clone());
@@ -513,7 +615,14 @@ impl<'a> Lowerer<'a> {
                 match &e.unparen().kind {
                     ExprKind::Recv(ch) => {
                         let (c, _) = self.lower_expr(ch)?;
-                        self.ctx().emit(Instr::Recv { dst: None, ok: None, chan: c }, span);
+                        self.ctx().emit(
+                            Instr::Recv {
+                                dst: None,
+                                ok: None,
+                                chan: c,
+                            },
+                            span,
+                        );
                     }
                     ExprKind::Call { .. } | ExprKind::Method { .. } => {
                         self.lower_call_stmt(e, vec![])?;
@@ -547,9 +656,12 @@ impl<'a> Lowerer<'a> {
                 Ok(())
             }
             StmtKind::If { cond, then, els } => self.lower_if(cond, then, els.as_deref(), span),
-            StmtKind::For { init, cond, post, body } => {
-                self.lower_for(init.as_deref(), cond.as_ref(), post.as_deref(), body, span)
-            }
+            StmtKind::For {
+                init,
+                cond,
+                post,
+                body,
+            } => self.lower_for(init.as_deref(), cond.as_ref(), post.as_deref(), body, span),
             StmtKind::ForRange { var, over, body } => self.lower_for_range(var, over, body, span),
             StmtKind::Select(cases) => self.lower_select(cases, span),
             StmtKind::Break => {
@@ -574,7 +686,11 @@ impl<'a> Lowerer<'a> {
                 let v = self
                     .resolve_var(&name)
                     .ok_or_else(|| self.err_plain(format!("unknown variable `{name}`"), span))?;
-                let op = if *inc { golite::BinOp::Add } else { golite::BinOp::Sub };
+                let op = if *inc {
+                    golite::BinOp::Add
+                } else {
+                    golite::BinOp::Sub
+                };
                 self.ctx().emit(
                     Instr::BinOp {
                         dst: v,
@@ -591,7 +707,10 @@ impl<'a> Lowerer<'a> {
     }
 
     fn err_plain(&self, message: impl Into<String>, span: Span) -> LowerError {
-        LowerError { message: message.into(), span }
+        LowerError {
+            message: message.into(),
+            span,
+        }
     }
 
     fn lower_define(&mut self, names: &[String], rhs: &Expr, span: Span) -> Result<(), LowerError> {
@@ -604,7 +723,11 @@ impl<'a> Lowerer<'a> {
                     let dst = self.ctx().declare(&names[0], elem);
                     let ok = self.ctx().declare(&names[1], Type::Bool);
                     self.ctx().emit(
-                        Instr::Recv { dst: Some(dst), ok: Some(ok), chan: c },
+                        Instr::Recv {
+                            dst: Some(dst),
+                            ok: Some(ok),
+                            chan: c,
+                        },
                         span,
                     );
                     return Ok(());
@@ -624,8 +747,7 @@ impl<'a> Lowerer<'a> {
                         span,
                     );
                     let close_fn = self.helper("close");
-                    let cancel_var =
-                        self.ctx().declare(&names[1], Type::Func(vec![], vec![]));
+                    let cancel_var = self.ctx().declare(&names[1], Type::Func(vec![], vec![]));
                     self.ctx().emit(
                         Instr::MakeClosure {
                             dst: cancel_var,
@@ -642,8 +764,7 @@ impl<'a> Lowerer<'a> {
                         .iter()
                         .enumerate()
                         .map(|(i, n)| {
-                            let ty =
-                                result_tys.get(i).cloned().unwrap_or_else(unknown_ty);
+                            let ty = result_tys.get(i).cloned().unwrap_or_else(unknown_ty);
                             self.ctx().declare(n, ty)
                         })
                         .collect();
@@ -651,24 +772,34 @@ impl<'a> Lowerer<'a> {
                     return Ok(());
                 }
                 _ => {
-                    return Err(self.err(
-                        "multi-value `:=` requires a call or channel receive",
-                        span,
-                    ))
+                    return Err(
+                        self.err("multi-value `:=` requires a call or channel receive", span)
+                    )
                 }
             }
         }
 
         // Single name. `make(chan ..)` lowers directly into the declared
         // variable so the creation site carries the source-level name.
-        if let ExprKind::Make { ty: ty @ Type::Chan(_), cap } = &rhs.unparen().kind {
+        if let ExprKind::Make {
+            ty: ty @ Type::Chan(_),
+            cap,
+        } = &rhs.unparen().kind
+        {
             let cap_op = match cap {
                 Some(c) => self.lower_expr(c)?.0,
                 None => Operand::Const(ConstVal::Int(0)),
             };
             let elem = ty.chan_elem().cloned().expect("channel type");
             let dst = self.ctx().declare(&names[0], ty.clone());
-            self.ctx().emit(Instr::MakeChan { dst, elem, cap: cap_op }, span);
+            self.ctx().emit(
+                Instr::MakeChan {
+                    dst,
+                    elem,
+                    cap: cap_op,
+                },
+                span,
+            );
             return Ok(());
         }
         let (op, ty) = self.lower_expr(rhs)?;
@@ -691,8 +822,7 @@ impl<'a> Lowerer<'a> {
                     let result_tys = self.call_result_types(rhs);
                     let tmps: Vec<Var> = (0..lhs.len())
                         .map(|i| {
-                            let ty =
-                                result_tys.get(i).cloned().unwrap_or_else(unknown_ty);
+                            let ty = result_tys.get(i).cloned().unwrap_or_else(unknown_ty);
                             self.ctx().fresh_var(format!("tmp{i}"), ty)
                         })
                         .collect();
@@ -708,7 +838,11 @@ impl<'a> Lowerer<'a> {
                     let dst = self.ctx().fresh_var("recv", elem);
                     let ok = self.ctx().fresh_var("ok", Type::Bool);
                     self.ctx().emit(
-                        Instr::Recv { dst: Some(dst), ok: Some(ok), chan: c },
+                        Instr::Recv {
+                            dst: Some(dst),
+                            ok: Some(ok),
+                            chan: c,
+                        },
                         span,
                     );
                     self.store_into(&lhs[0], Operand::Var(dst), span)?;
@@ -734,7 +868,15 @@ impl<'a> Lowerer<'a> {
                 let (cur, ty) = self.lower_expr(target)?;
                 let (value, _) = self.lower_expr(rhs)?;
                 let tmp = self.ctx().fresh_var("tmp", ty);
-                self.ctx().emit(Instr::BinOp { dst: tmp, op: bin, l: cur, r: value }, span);
+                self.ctx().emit(
+                    Instr::BinOp {
+                        dst: tmp,
+                        op: bin,
+                        l: cur,
+                        r: value,
+                    },
+                    span,
+                );
                 self.store_into(target, Operand::Var(tmp), span)
             }
         }
@@ -749,7 +891,13 @@ impl<'a> Lowerer<'a> {
                     self.ctx().emit(Instr::Copy { dst: v, src: value }, span);
                     Ok(())
                 } else if let Some(&gid) = self.global_ids.get(name) {
-                    self.ctx().emit(Instr::StoreGlobal { global: gid, src: value }, span);
+                    self.ctx().emit(
+                        Instr::StoreGlobal {
+                            global: gid,
+                            src: value,
+                        },
+                        span,
+                    );
                     Ok(())
                 } else {
                     Err(self.err(format!("assignment to undeclared variable `{name}`"), span))
@@ -758,7 +906,11 @@ impl<'a> Lowerer<'a> {
             ExprKind::Field { obj, name } => {
                 let (o, _) = self.lower_expr(obj)?;
                 self.ctx().emit(
-                    Instr::FieldStore { obj: o, field: name.clone(), value },
+                    Instr::FieldStore {
+                        obj: o,
+                        field: name.clone(),
+                        value,
+                    },
                     span,
                 );
                 Ok(())
@@ -766,7 +918,14 @@ impl<'a> Lowerer<'a> {
             ExprKind::Index { obj, index } => {
                 let (o, _) = self.lower_expr(obj)?;
                 let (i, _) = self.lower_expr(index)?;
-                self.ctx().emit(Instr::IndexStore { obj: o, index: i, value }, span);
+                self.ctx().emit(
+                    Instr::IndexStore {
+                        obj: o,
+                        index: i,
+                        value,
+                    },
+                    span,
+                );
                 Ok(())
             }
             ExprKind::Unary(golite::UnOp::Deref, inner) => {
@@ -788,7 +947,14 @@ impl<'a> Lowerer<'a> {
         let then_b = self.ctx().new_block();
         let else_b = self.ctx().new_block();
         let join = self.ctx().new_block();
-        self.ctx().terminate(Terminator::Branch { cond: c, then: then_b, els: else_b }, span);
+        self.ctx().terminate(
+            Terminator::Branch {
+                cond: c,
+                then: then_b,
+                els: else_b,
+            },
+            span,
+        );
 
         self.ctx().switch_to(then_b);
         self.lower_block(then)?;
@@ -827,7 +993,11 @@ impl<'a> Lowerer<'a> {
             Some(cond) => {
                 let (c, _) = self.lower_expr(cond)?;
                 self.ctx().terminate(
-                    Terminator::Branch { cond: c, then: body_b, els: exit },
+                    Terminator::Branch {
+                        cond: c,
+                        then: body_b,
+                        els: exit,
+                    },
                     span,
                 );
             }
@@ -873,11 +1043,19 @@ impl<'a> Lowerer<'a> {
                 let dst = var.as_ref().map(|v| self.ctx().declare(v, (*elem).clone()));
                 let ok = self.ctx().fresh_var("ok", Type::Bool);
                 self.ctx().emit(
-                    Instr::Recv { dst, ok: Some(ok), chan: over_op },
+                    Instr::Recv {
+                        dst,
+                        ok: Some(ok),
+                        chan: over_op,
+                    },
                     span,
                 );
                 self.ctx().terminate(
-                    Terminator::Branch { cond: Operand::Var(ok), then: body_b, els: exit },
+                    Terminator::Branch {
+                        cond: Operand::Var(ok),
+                        then: body_b,
+                        els: exit,
+                    },
                     span,
                 );
                 self.ctx().switch_to(body_b);
@@ -892,9 +1070,21 @@ impl<'a> Lowerer<'a> {
             Type::Slice(elem) => {
                 // for i := range s — iterate indices; bind element if named.
                 let idx = self.ctx().fresh_var("i", Type::Int);
-                self.ctx().emit(Instr::Const { dst: idx, value: ConstVal::Int(0) }, span);
+                self.ctx().emit(
+                    Instr::Const {
+                        dst: idx,
+                        value: ConstVal::Int(0),
+                    },
+                    span,
+                );
                 let len = self.ctx().fresh_var("len", Type::Int);
-                self.ctx().emit(Instr::Len { dst: len, obj: over_op.clone() }, span);
+                self.ctx().emit(
+                    Instr::Len {
+                        dst: len,
+                        obj: over_op.clone(),
+                    },
+                    span,
+                );
                 if let Some(v) = var {
                     // In GoLite `for v := range s` binds the *index* like Go.
                     let user = self.ctx().declare(v, Type::Int);
@@ -907,7 +1097,13 @@ impl<'a> Lowerer<'a> {
             _ => {
                 // for i := range n — integer range (Go 1.22).
                 let idx = self.ctx().fresh_var("i", Type::Int);
-                self.ctx().emit(Instr::Const { dst: idx, value: ConstVal::Int(0) }, span);
+                self.ctx().emit(
+                    Instr::Const {
+                        dst: idx,
+                        value: ConstVal::Int(0),
+                    },
+                    span,
+                );
                 let user = var.as_ref().map(|v| self.ctx().declare(v, Type::Int));
                 self.range_int_loop(idx, over_op, user, body, span)?;
             }
@@ -933,16 +1129,31 @@ impl<'a> Lowerer<'a> {
         self.ctx().switch_to(head);
         let c = self.ctx().fresh_var("cond", Type::Bool);
         self.ctx().emit(
-            Instr::BinOp { dst: c, op: golite::BinOp::Lt, l: Operand::Var(idx), r: bound },
+            Instr::BinOp {
+                dst: c,
+                op: golite::BinOp::Lt,
+                l: Operand::Var(idx),
+                r: bound,
+            },
             span,
         );
         self.ctx().terminate(
-            Terminator::Branch { cond: Operand::Var(c), then: body_b, els: exit },
+            Terminator::Branch {
+                cond: Operand::Var(c),
+                then: body_b,
+                els: exit,
+            },
             span,
         );
         self.ctx().switch_to(body_b);
         if let Some(user) = user {
-            self.ctx().emit(Instr::Copy { dst: user, src: Operand::Var(idx) }, span);
+            self.ctx().emit(
+                Instr::Copy {
+                    dst: user,
+                    src: Operand::Var(idx),
+                },
+                span,
+            );
         }
         self.ctx().break_targets.push(exit);
         self.ctx().continue_targets.push(post);
@@ -965,11 +1176,7 @@ impl<'a> Lowerer<'a> {
         Ok(())
     }
 
-    fn lower_select(
-        &mut self,
-        cases: &[golite::SelectCase],
-        span: Span,
-    ) -> Result<(), LowerError> {
+    fn lower_select(&mut self, cases: &[golite::SelectCase], span: Span) -> Result<(), LowerError> {
         let join = self.ctx().new_block();
         let mut ir_cases = Vec::new();
         let mut default_block = None;
@@ -992,7 +1199,11 @@ impl<'a> Lowerer<'a> {
                         .filter(|v| v.as_str() != "_")
                         .map(|v| self.ctx().declare(v, Type::Bool));
                     ir_cases.push(SelectCase {
-                        op: SelectOp::Recv { dst, ok: okv, chan: c },
+                        op: SelectOp::Recv {
+                            dst,
+                            ok: okv,
+                            chan: c,
+                        },
                         target,
                     });
                 }
@@ -1010,7 +1221,10 @@ impl<'a> Lowerer<'a> {
             }
         }
         self.ctx().terminate(
-            Terminator::Select { cases: ir_cases, default: default_block },
+            Terminator::Select {
+                cases: ir_cases,
+                default: default_block,
+            },
             span,
         );
         // Lower case bodies.
@@ -1048,7 +1262,10 @@ impl<'a> Lowerer<'a> {
                     let (r, _) = self.lower_expr(recv)?;
                     let fid = self.helper(h);
                     self.ctx().emit(
-                        Instr::DeferCall { func: FuncRef::Static(fid), args: vec![r] },
+                        Instr::DeferCall {
+                            func: FuncRef::Static(fid),
+                            args: vec![r],
+                        },
                         span,
                     );
                     return Ok(());
@@ -1060,7 +1277,10 @@ impl<'a> Lowerer<'a> {
                 let (c, _) = self.lower_expr(&args[0])?;
                 let fid = self.helper("close");
                 self.ctx().emit(
-                    Instr::DeferCall { func: FuncRef::Static(fid), args: vec![c] },
+                    Instr::DeferCall {
+                        func: FuncRef::Static(fid),
+                        args: vec![c],
+                    },
                     span,
                 );
                 return Ok(());
@@ -1151,7 +1371,8 @@ impl<'a> Lowerer<'a> {
                     ("time", "After") => {
                         let (n, _) = self.lower_expr(&args[0])?;
                         let dst = dsts.first().copied().unwrap_or_else(|| {
-                            self.ctx().fresh_var("timer", Type::Chan(Box::new(Type::Unit)))
+                            self.ctx()
+                                .fresh_var("timer", Type::Chan(Box::new(Type::Unit)))
                         });
                         self.ctx().emit(
                             Instr::MakeChan {
@@ -1201,7 +1422,9 @@ impl<'a> Lowerer<'a> {
                     }
                     ("runtime", "Gosched") => {
                         self.ctx().emit(
-                            Instr::Sleep { n: Operand::Const(ConstVal::Int(0)) },
+                            Instr::Sleep {
+                                n: Operand::Const(ConstVal::Int(0)),
+                            },
                             span,
                         );
                         return Ok(true);
@@ -1212,26 +1435,52 @@ impl<'a> Lowerer<'a> {
         }
 
         // Value-receiver methods.
-        let Some(recv_ty) = self.expr_type(recv) else { return Ok(false) };
+        let Some(recv_ty) = self.expr_type(recv) else {
+            return Ok(false);
+        };
         match (&recv_ty, name.as_str()) {
             (Type::Mutex, "Lock") | (Type::RwMutex, "Lock") => {
                 let (m, _) = self.lower_expr(recv)?;
-                self.ctx().emit(Instr::Lock { mutex: m, read: false }, span);
+                self.ctx().emit(
+                    Instr::Lock {
+                        mutex: m,
+                        read: false,
+                    },
+                    span,
+                );
                 Ok(true)
             }
             (Type::Mutex, "Unlock") | (Type::RwMutex, "Unlock") => {
                 let (m, _) = self.lower_expr(recv)?;
-                self.ctx().emit(Instr::Unlock { mutex: m, read: false }, span);
+                self.ctx().emit(
+                    Instr::Unlock {
+                        mutex: m,
+                        read: false,
+                    },
+                    span,
+                );
                 Ok(true)
             }
             (Type::RwMutex, "RLock") => {
                 let (m, _) = self.lower_expr(recv)?;
-                self.ctx().emit(Instr::Lock { mutex: m, read: true }, span);
+                self.ctx().emit(
+                    Instr::Lock {
+                        mutex: m,
+                        read: true,
+                    },
+                    span,
+                );
                 Ok(true)
             }
             (Type::RwMutex, "RUnlock") => {
                 let (m, _) = self.lower_expr(recv)?;
-                self.ctx().emit(Instr::Unlock { mutex: m, read: true }, span);
+                self.ctx().emit(
+                    Instr::Unlock {
+                        mutex: m,
+                        read: true,
+                    },
+                    span,
+                );
                 Ok(true)
             }
             (Type::WaitGroup, "Add") => {
@@ -1275,29 +1524,30 @@ impl<'a> Lowerer<'a> {
             (Type::Context, "Err") => {
                 if let Some(&dst) = dsts.first() {
                     self.ctx().emit(
-                        Instr::Const { dst, value: ConstVal::Str("context canceled".into()) },
+                        Instr::Const {
+                            dst,
+                            value: ConstVal::Str("context canceled".into()),
+                        },
                         span,
                     );
                 }
                 Ok(true)
             }
-            (Type::Ptr(inner), _) if matches!(**inner, Type::TestingT) => {
-                match name.as_str() {
-                    "Fatal" | "Fatalf" | "FailNow" => {
-                        self.ctx().emit(Instr::Fatal, span);
-                        Ok(true)
-                    }
-                    "Error" | "Errorf" | "Log" | "Logf" | "Helper" | "Fail" => {
-                        let mut ops = Vec::new();
-                        for a in args {
-                            ops.push(self.lower_expr(a)?.0);
-                        }
-                        self.ctx().emit(Instr::Print { args: ops }, span);
-                        Ok(true)
-                    }
-                    _ => Ok(false),
+            (Type::Ptr(inner), _) if matches!(**inner, Type::TestingT) => match name.as_str() {
+                "Fatal" | "Fatalf" | "FailNow" => {
+                    self.ctx().emit(Instr::Fatal, span);
+                    Ok(true)
                 }
-            }
+                "Error" | "Errorf" | "Log" | "Logf" | "Helper" | "Fail" => {
+                    let mut ops = Vec::new();
+                    for a in args {
+                        ops.push(self.lower_expr(a)?.0);
+                    }
+                    self.ctx().emit(Instr::Print { args: ops }, span);
+                    Ok(true)
+                }
+                _ => Ok(false),
+            },
             (Type::Ptr(inner), _) => {
                 // Methods through pointers to primitives.
                 let inner = (**inner).clone();
@@ -1326,19 +1576,43 @@ impl<'a> Lowerer<'a> {
         let (m, _) = self.lower_expr(recv)?;
         match (inner, name) {
             (Type::Mutex | Type::RwMutex, "Lock") => {
-                self.ctx().emit(Instr::Lock { mutex: m, read: false }, span);
+                self.ctx().emit(
+                    Instr::Lock {
+                        mutex: m,
+                        read: false,
+                    },
+                    span,
+                );
                 Ok(true)
             }
             (Type::Mutex | Type::RwMutex, "Unlock") => {
-                self.ctx().emit(Instr::Unlock { mutex: m, read: false }, span);
+                self.ctx().emit(
+                    Instr::Unlock {
+                        mutex: m,
+                        read: false,
+                    },
+                    span,
+                );
                 Ok(true)
             }
             (Type::RwMutex, "RLock") => {
-                self.ctx().emit(Instr::Lock { mutex: m, read: true }, span);
+                self.ctx().emit(
+                    Instr::Lock {
+                        mutex: m,
+                        read: true,
+                    },
+                    span,
+                );
                 Ok(true)
             }
             (Type::RwMutex, "RUnlock") => {
-                self.ctx().emit(Instr::Unlock { mutex: m, read: true }, span);
+                self.ctx().emit(
+                    Instr::Unlock {
+                        mutex: m,
+                        read: true,
+                    },
+                    span,
+                );
                 Ok(true)
             }
             (Type::WaitGroup, "Add") => {
@@ -1456,7 +1730,8 @@ impl<'a> Lowerer<'a> {
                 if let Some(&gid) = self.global_ids.get(name.as_str()) {
                     let ty = self.globals[gid.0 as usize].ty.clone();
                     let dst = self.ctx().fresh_var(name, ty.clone());
-                    self.ctx().emit(Instr::LoadGlobal { dst, global: gid }, span);
+                    self.ctx()
+                        .emit(Instr::LoadGlobal { dst, global: gid }, span);
                     return Ok((Operand::Var(dst), ty));
                 }
                 if let Some(sig) = self.sigs.get(name.as_str()) {
@@ -1483,7 +1758,14 @@ impl<'a> Lowerer<'a> {
                 golite::UnOp::Neg | golite::UnOp::Not => {
                     let (o, t) = self.lower_expr(inner)?;
                     let dst = self.ctx().fresh_var("tmp", t.clone());
-                    self.ctx().emit(Instr::UnOp { dst, op: *op, src: o }, span);
+                    self.ctx().emit(
+                        Instr::UnOp {
+                            dst,
+                            op: *op,
+                            src: o,
+                        },
+                        span,
+                    );
                     Ok((Operand::Var(dst), t))
                 }
             },
@@ -1499,14 +1781,29 @@ impl<'a> Lowerer<'a> {
                     _ => Type::Bool,
                 };
                 let dst = self.ctx().fresh_var("tmp", out_ty.clone());
-                self.ctx().emit(Instr::BinOp { dst, op: *op, l: lo, r: ro }, span);
+                self.ctx().emit(
+                    Instr::BinOp {
+                        dst,
+                        op: *op,
+                        l: lo,
+                        r: ro,
+                    },
+                    span,
+                );
                 Ok((Operand::Var(dst), out_ty))
             }
             ExprKind::Recv(ch) => {
                 let (c, cty) = self.lower_expr(ch)?;
                 let elem = cty.chan_elem().cloned().unwrap_or_else(unknown_ty);
                 let dst = self.ctx().fresh_var("recv", elem.clone());
-                self.ctx().emit(Instr::Recv { dst: Some(dst), ok: None, chan: c }, span);
+                self.ctx().emit(
+                    Instr::Recv {
+                        dst: Some(dst),
+                        ok: None,
+                        chan: c,
+                    },
+                    span,
+                );
                 Ok((Operand::Var(dst), elem))
             }
             ExprKind::Make { ty, cap } => match ty {
@@ -1517,19 +1814,28 @@ impl<'a> Lowerer<'a> {
                     };
                     let dst = self.ctx().fresh_var("ch", ty.clone());
                     self.ctx().emit(
-                        Instr::MakeChan { dst, elem: (**elem).clone(), cap: cap_op },
+                        Instr::MakeChan {
+                            dst,
+                            elem: (**elem).clone(),
+                            cap: cap_op,
+                        },
                         span,
                     );
                     Ok((Operand::Var(dst), ty.clone()))
                 }
                 Type::Slice(_) => {
                     let dst = self.ctx().fresh_var("slice", ty.clone());
-                    self.ctx().emit(Instr::MakeSlice { dst, elems: vec![] }, span);
+                    self.ctx()
+                        .emit(Instr::MakeSlice { dst, elems: vec![] }, span);
                     Ok((Operand::Var(dst), ty.clone()))
                 }
                 other => Err(self.err(format!("cannot make({other:?})"), span)),
             },
-            ExprKind::Closure { params, results, body } => {
+            ExprKind::Closure {
+                params,
+                results,
+                body,
+            } => {
                 let fid = self.lower_closure(params, results, body, span)?;
                 // Collect the bound operands recorded during closure lowering.
                 let captures = self.funcs[fid.0 as usize]
@@ -1543,7 +1849,14 @@ impl<'a> Lowerer<'a> {
                     results.clone(),
                 );
                 let dst = self.ctx().fresh_var("closure", ty.clone());
-                self.ctx().emit(Instr::MakeClosure { dst, func: fid, bound }, span);
+                self.ctx().emit(
+                    Instr::MakeClosure {
+                        dst,
+                        func: fid,
+                        bound,
+                    },
+                    span,
+                );
                 Ok((Operand::Var(dst), ty))
             }
             ExprKind::Index { obj, index } => {
@@ -1554,7 +1867,14 @@ impl<'a> Lowerer<'a> {
                     _ => unknown_ty(),
                 };
                 let dst = self.ctx().fresh_var("elem", elem.clone());
-                self.ctx().emit(Instr::IndexLoad { dst, obj: o, index: i }, span);
+                self.ctx().emit(
+                    Instr::IndexLoad {
+                        dst,
+                        obj: o,
+                        index: i,
+                    },
+                    span,
+                );
                 Ok((Operand::Var(dst), elem))
             }
             ExprKind::Field { obj, name } => {
@@ -1562,7 +1882,11 @@ impl<'a> Lowerer<'a> {
                 let (o, _) = self.lower_expr(obj)?;
                 let dst = self.ctx().fresh_var(name, field_ty.clone());
                 self.ctx().emit(
-                    Instr::FieldLoad { dst, obj: o, field: name.clone() },
+                    Instr::FieldLoad {
+                        dst,
+                        obj: o,
+                        field: name.clone(),
+                    },
                     span,
                 );
                 Ok((Operand::Var(dst), field_ty))
@@ -1599,7 +1923,11 @@ impl<'a> Lowerer<'a> {
                     inits.extend(prim_inits);
                     let dst = self.ctx().fresh_var("obj", ty.clone());
                     self.ctx().emit(
-                        Instr::MakeStruct { dst, name: name.clone(), fields: inits },
+                        Instr::MakeStruct {
+                            dst,
+                            name: name.clone(),
+                            fields: inits,
+                        },
                         span,
                     );
                     Ok((Operand::Var(dst), ty.clone()))
@@ -1627,7 +1955,14 @@ impl<'a> Lowerer<'a> {
                 let dst = self.ctx().fresh_var("ret", ty.clone());
                 if !self.try_lower_primitive_method(e, &[dst], span)? {
                     let (func, args) = self.lower_callee(e)?;
-                    self.ctx().emit(Instr::Call { dsts: vec![dst], func, args }, span);
+                    self.ctx().emit(
+                        Instr::Call {
+                            dsts: vec![dst],
+                            func,
+                            args,
+                        },
+                        span,
+                    );
                 }
                 Ok((Operand::Var(dst), ty))
             }
@@ -1681,8 +2016,11 @@ impl<'a> Lowerer<'a> {
         let ctx = self.ctxs.pop().expect("pushed above");
         // Record bound operands (parent vars of the captures) for the
         // MakeClosure in the enclosing function.
-        let bound: Vec<Operand> =
-            ctx.captures.iter().map(|(_, _, parent_var)| Operand::Var(*parent_var)).collect();
+        let bound: Vec<Operand> = ctx
+            .captures
+            .iter()
+            .map(|(_, _, parent_var)| Operand::Var(*parent_var))
+            .collect();
         self.closure_bounds.insert(id, bound);
         self.funcs[id.0 as usize] = Some(ctx.into_function());
         Ok(id)
@@ -1724,7 +2062,10 @@ func StdCopy() error {
         assert!(m.funcs.iter().any(|f| f.is_closure));
         // Entry block has MakeChan, MakeClosure, Go.
         let entry = exec.block(BlockId(0));
-        assert!(entry.instrs.iter().any(|i| matches!(i, Instr::MakeChan { .. })));
+        assert!(entry
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::MakeChan { .. })));
         assert!(entry.instrs.iter().any(|i| matches!(i, Instr::Go { .. })));
         assert!(matches!(entry.term, Terminator::Select { .. }));
         // The closure captured outDone and sends on it.
@@ -1743,19 +2084,27 @@ func StdCopy() error {
         let f = m.func_by_name("f").unwrap();
         let instrs: Vec<&Instr> = f.blocks.iter().flat_map(|b| &b.instrs).collect();
         assert!(instrs.iter().any(|i| matches!(i, Instr::MakeMutex { .. })));
-        assert!(instrs.iter().any(|i| matches!(i, Instr::Lock { read: false, .. })));
-        assert!(instrs.iter().any(|i| matches!(i, Instr::Unlock { read: false, .. })));
+        assert!(instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Lock { read: false, .. })));
+        assert!(instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Unlock { read: false, .. })));
     }
 
     #[test]
     fn defer_unlock_uses_helper() {
         let m = lower_ok("func f() {\n var mu sync.Mutex\n mu.Lock()\n defer mu.Unlock()\n}");
         let f = m.func_by_name("f").unwrap();
-        let has_defer = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.instrs)
-            .any(|i| matches!(i, Instr::DeferCall { func: FuncRef::Static(_), .. }));
+        let has_defer = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(
+                i,
+                Instr::DeferCall {
+                    func: FuncRef::Static(_),
+                    ..
+                }
+            )
+        });
         assert!(has_defer);
         assert!(m.funcs.iter().any(|f| f.name == "__unlock"));
     }
@@ -1821,7 +2170,9 @@ func StdCopy() error {
         let f = m.func_by_name("f").unwrap();
         let instrs: Vec<&Instr> = f.blocks.iter().flat_map(|b| &b.instrs).collect();
         assert!(instrs.iter().any(|i| matches!(i, Instr::MakeChan { .. })));
-        assert!(instrs.iter().any(|i| matches!(i, Instr::MakeClosure { .. })));
+        assert!(instrs
+            .iter()
+            .any(|i| matches!(i, Instr::MakeClosure { .. })));
         assert!(instrs.iter().any(|i| matches!(i, Instr::Recv { .. })));
     }
 
@@ -1829,7 +2180,11 @@ func StdCopy() error {
     fn fatal_lowering() {
         let m = lower_ok("func TestX(t *testing.T) {\n t.Fatalf(\"boom\")\n}");
         let f = m.func_by_name("TestX").unwrap();
-        assert!(f.blocks.iter().flat_map(|b| &b.instrs).any(|i| matches!(i, Instr::Fatal)));
+        assert!(f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::Fatal)));
     }
 
     #[test]
@@ -1881,7 +2236,11 @@ func StdCopy() error {
         );
         assert!(m.funcs.iter().any(|f| f.name == "__timer"));
         let f = m.func_by_name("f").unwrap();
-        assert!(f.blocks.iter().flat_map(|b| &b.instrs).any(|i| matches!(i, Instr::Go { .. })));
+        assert!(f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::Go { .. })));
     }
 
     #[test]

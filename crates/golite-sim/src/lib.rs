@@ -43,9 +43,7 @@
 
 mod machine;
 
-pub use machine::{
-    BlockReason, BlockedGoroutine, Config, Outcome, RunReport, Simulator, Value,
-};
+pub use machine::{BlockReason, BlockedGoroutine, Config, Outcome, RunReport, Simulator, Value};
 
 #[cfg(test)]
 mod tests {
@@ -54,7 +52,10 @@ mod tests {
     fn run_src(src: &str, seed: u64) -> RunReport {
         let module = golite_ir::lower_source(src).expect("lowering");
         let sim = Simulator::new(&module);
-        sim.run(&Config { seed, ..Config::default() })
+        sim.run(&Config {
+            seed,
+            ..Config::default()
+        })
     }
 
     fn explore_src(src: &str, n: u64) -> Vec<RunReport> {
@@ -65,7 +66,10 @@ mod tests {
 
     #[test]
     fn buffered_send_recv_completes() {
-        let r = run_src("func main() {\n ch := make(chan int, 1)\n ch <- 42\n x := <-ch\n _ = x\n}", 0);
+        let r = run_src(
+            "func main() {\n ch := make(chan int, 1)\n ch <- 42\n x := <-ch\n _ = x\n}",
+            0,
+        );
         assert_eq!(r.outcome, Outcome::Clean);
     }
 
@@ -112,13 +116,19 @@ mod tests {
 
     #[test]
     fn send_on_closed_channel_panics() {
-        let r = run_src("func main() {\n ch := make(chan int, 1)\n close(ch)\n ch <- 1\n}", 0);
+        let r = run_src(
+            "func main() {\n ch := make(chan int, 1)\n close(ch)\n ch <- 1\n}",
+            0,
+        );
         assert!(matches!(r.outcome, Outcome::Panic(_)));
     }
 
     #[test]
     fn close_of_closed_channel_panics() {
-        let r = run_src("func main() {\n ch := make(chan int)\n close(ch)\n close(ch)\n}", 0);
+        let r = run_src(
+            "func main() {\n ch := make(chan int)\n close(ch)\n close(ch)\n}",
+            0,
+        );
         assert!(matches!(r.outcome, Outcome::Panic(_)));
     }
 
@@ -198,7 +208,10 @@ func main() {
 
     #[test]
     fn double_lock_self_deadlocks() {
-        let r = run_src("func main() {\n var mu sync.Mutex\n mu.Lock()\n mu.Lock()\n}", 0);
+        let r = run_src(
+            "func main() {\n var mu sync.Mutex\n mu.Lock()\n mu.Lock()\n}",
+            0,
+        );
         assert_eq!(r.outcome, Outcome::GlobalDeadlock);
         assert!(matches!(r.blocked[0].reason, BlockReason::Lock(_)));
     }
@@ -285,7 +298,10 @@ func TestX(t *testing.T) {
 "#;
         let module = golite_ir::lower_source(src_buggy).unwrap();
         let sim = Simulator::new(&module);
-        let r = sim.run(&Config { entry: "TestX".into(), ..Config::default() });
+        let r = sim.run(&Config {
+            entry: "TestX".into(),
+            ..Config::default()
+        });
         assert_eq!(r.outcome, Outcome::Leak, "child leaks when Fatal fires");
 
         let src_fixed = r#"
@@ -305,7 +321,11 @@ func TestX(t *testing.T) {
         let module = golite_ir::lower_source(src_fixed).unwrap();
         let sim = Simulator::new(&module);
         for seed in 0..10 {
-            let r = sim.run(&Config { entry: "TestX".into(), seed, ..Config::default() });
+            let r = sim.run(&Config {
+                entry: "TestX".into(),
+                seed,
+                ..Config::default()
+            });
             assert_eq!(r.outcome, Outcome::Clean, "seed {seed}");
         }
     }
@@ -340,7 +360,10 @@ func main() {
         // And the Figure 1 patch (buffer size 1) never blocks.
         let fixed = src.replace("make(chan error)", "make(chan error, 1)");
         let reports = explore_src(&fixed, 60);
-        assert!(reports.iter().all(|r| !r.is_blocking()), "patched program never blocks");
+        assert!(
+            reports.iter().all(|r| !r.is_blocking()),
+            "patched program never blocks"
+        );
     }
 
     #[test]
@@ -361,7 +384,11 @@ func main() {
         .unwrap();
         let sim = Simulator::new(&module);
         for seed in 0..10 {
-            let r = sim.run(&Config { seed, sleep_injection: true, ..Config::default() });
+            let r = sim.run(&Config {
+                seed,
+                sleep_injection: true,
+                ..Config::default()
+            });
             assert_eq!(r.outcome, Outcome::Clean, "seed {seed}");
         }
     }
@@ -378,9 +405,13 @@ func main() {
 
     #[test]
     fn step_limit_reports_cleanly() {
-        let module = golite_ir::lower_source("func main() {\n for {\n  x := 1\n  _ = x\n }\n}").unwrap();
+        let module =
+            golite_ir::lower_source("func main() {\n for {\n  x := 1\n  _ = x\n }\n}").unwrap();
         let sim = Simulator::new(&module);
-        let r = sim.run(&Config { max_steps: 100, ..Config::default() });
+        let r = sim.run(&Config {
+            max_steps: 100,
+            ..Config::default()
+        });
         assert_eq!(r.outcome, Outcome::StepLimit);
     }
 

@@ -14,8 +14,7 @@
 //! channel operations" the authors use to validate patches (§5.3).
 
 use golite_ir::ir::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::Prng;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -203,7 +202,12 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { seed: 0, max_steps: 200_000, entry: "main".into(), sleep_injection: false }
+        Config {
+            seed: 0,
+            max_steps: 200_000,
+            entry: "main".into(),
+            sleep_injection: false,
+        }
     }
 }
 
@@ -289,7 +293,7 @@ struct Machine<'m> {
     slices: Vec<Vec<Value>>,
     globals: Vec<Value>,
     goroutines: Vec<Goroutine>,
-    rng: StdRng,
+    rng: Prng,
     tick: u64,
     steps: u64,
     instrs: u64,
@@ -325,7 +329,7 @@ impl<'m> Simulator<'m> {
             slices: Vec::new(),
             globals: vec![Value::Nil; self.module.globals.len()],
             goroutines: Vec::new(),
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Prng::seed_from_u64(config.seed),
             tick: 0,
             steps: 0,
             instrs: 0,
@@ -340,8 +344,7 @@ impl<'m> Simulator<'m> {
             m.goroutines.clear();
         }
         // Entry goroutine; a *testing.T parameter receives a dummy value.
-        let args: Vec<Value> =
-            entry.params.iter().map(|_| Value::Nil).collect();
+        let args: Vec<Value> = entry.params.iter().map(|_| Value::Nil).collect();
         m.spawn_frame(entry.id, args, None);
         m.run_scheduler(config.max_steps, false);
         m.report()
@@ -397,7 +400,11 @@ impl<'m> Machine<'m> {
             Outcome::StepLimit
         } else if blocked.is_empty() {
             Outcome::Clean
-        } else if self.goroutines.first().is_some_and(|g| g.state == GoState::Done) {
+        } else if self
+            .goroutines
+            .first()
+            .is_some_and(|g| g.state == GoState::Done)
+        {
             Outcome::Leak
         } else {
             Outcome::GlobalDeadlock
@@ -546,9 +553,7 @@ impl<'m> Machine<'m> {
                 }
             }
             BlockReason::CondWait(c) => {
-                if let Some(pos) =
-                    self.conds[c].wakes.iter().position(|&w| w == gid)
-                {
+                if let Some(pos) = self.conds[c].wakes.iter().position(|&w| w == gid) {
                     self.conds[c].wakes.remove(pos);
                     self.conds[c].waiters.retain(|&w| w != gid);
                     self.advance(gid);
@@ -587,7 +592,10 @@ impl<'m> Machine<'m> {
                 ConstVal::Str(s) => Value::Str(Rc::from(s.as_str())),
                 ConstVal::Unit => Value::Unit,
                 ConstVal::Nil => Value::Nil,
-                ConstVal::Func(f) => Value::Closure { func: *f, bound: Rc::new(vec![]) },
+                ConstVal::Func(f) => Value::Closure {
+                    func: *f,
+                    bound: Rc::new(vec![]),
+                },
             },
         }
     }
@@ -614,7 +622,13 @@ impl<'m> Machine<'m> {
             return;
         };
         // A frame in return-unwinding mode drains defers first.
-        if self.goroutines[gid].frames.last().expect("checked").ret_vals.is_some() {
+        if self.goroutines[gid]
+            .frames
+            .last()
+            .expect("checked")
+            .ret_vals
+            .is_some()
+        {
             self.continue_unwind(gid);
             return;
         }
@@ -626,11 +640,8 @@ impl<'m> Machine<'m> {
 
         if idx < blk.instrs.len() {
             // Sleep-injection: randomly delay goroutines at channel ops.
-            if self.sleep_injection
-                && blk.instrs[idx].can_block()
-                && self.rng.gen_bool(0.3)
-            {
-                let delay = self.rng.gen_range(1..5);
+            if self.sleep_injection && blk.instrs[idx].can_block() && self.rng.gen_bool(0.3) {
+                let delay = self.rng.gen_range(1..5u64);
                 self.goroutines[gid].state = GoState::Sleeping(self.tick + delay);
                 return;
             }
@@ -679,7 +690,11 @@ impl<'m> Machine<'m> {
                     _ => 0,
                 };
                 let id = self.chans.len();
-                self.chans.push(ChanState { cap, buf: VecDeque::new(), closed: false });
+                self.chans.push(ChanState {
+                    cap,
+                    buf: VecDeque::new(),
+                    closed: false,
+                });
                 self.set_reg(gid, *dst, Value::Chan(id));
                 self.advance(gid);
             }
@@ -743,7 +758,14 @@ impl<'m> Machine<'m> {
             }
             Instr::MakeClosure { dst, func, bound } => {
                 let vals: Vec<Value> = bound.iter().map(|b| self.eval(gid, b)).collect();
-                self.set_reg(gid, *dst, Value::Closure { func: *func, bound: Rc::new(vals) });
+                self.set_reg(
+                    gid,
+                    *dst,
+                    Value::Closure {
+                        func: *func,
+                        bound: Rc::new(vals),
+                    },
+                );
                 self.advance(gid);
             }
             Instr::Len { dst, obj } => {
@@ -1033,8 +1055,7 @@ impl<'m> Machine<'m> {
                 self.panic_program(format!("panic: {}", v.render()));
             }
             Instr::Print { args } => {
-                let line: Vec<String> =
-                    args.iter().map(|a| self.eval(gid, a).render()).collect();
+                let line: Vec<String> = args.iter().map(|a| self.eval(gid, a).render()).collect();
                 self.output.push(line.join(" "));
                 self.advance(gid);
             }
@@ -1044,7 +1065,11 @@ impl<'m> Machine<'m> {
 
     fn loc_of(&self, gid: usize) -> Option<Loc> {
         let frame = self.goroutines[gid].frames.last()?;
-        Some(Loc { func: frame.func, block: frame.block, idx: frame.idx as u32 })
+        Some(Loc {
+            func: frame.func,
+            block: frame.block,
+            idx: frame.idx as u32,
+        })
     }
 
     fn eval_binop(&mut self, op: golite::BinOp, l: Value, r: Value) -> Value {
@@ -1056,12 +1081,8 @@ impl<'m> Machine<'m> {
             }
             (B::Sub, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(*b)),
             (B::Mul, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(*b)),
-            (B::Div, Value::Int(a), Value::Int(b)) => {
-                Value::Int(if *b == 0 { 0 } else { a / b })
-            }
-            (B::Rem, Value::Int(a), Value::Int(b)) => {
-                Value::Int(if *b == 0 { 0 } else { a % b })
-            }
+            (B::Div, Value::Int(a), Value::Int(b)) => Value::Int(if *b == 0 { 0 } else { a / b }),
+            (B::Rem, Value::Int(a), Value::Int(b)) => Value::Int(if *b == 0 { 0 } else { a % b }),
             (B::Eq, _, _) => Value::Bool(l.eq_value(&r)),
             (B::Ne, _, _) => Value::Bool(!l.eq_value(&r)),
             (B::Lt, Value::Int(a), Value::Int(b)) => Value::Bool(a < b),
@@ -1318,7 +1339,9 @@ impl<'m> Machine<'m> {
     /// Re-attempts a blocked `select` by re-executing its terminator. The
     /// goroutine is temporarily marked runnable so it cannot match itself.
     fn try_select_blocked(&mut self, gid: usize) -> bool {
-        let Some(frame) = self.goroutines[gid].frames.last() else { return false };
+        let Some(frame) = self.goroutines[gid].frames.last() else {
+            return false;
+        };
         let f = self.module.func(frame.func);
         let term = f.blocks[frame.block.0 as usize].term.clone();
         if !matches!(term, Terminator::Select { .. }) {
@@ -1399,10 +1422,9 @@ impl<'m> Machine<'m> {
                                 .filter_map(|c| {
                                     let v = self.eval(gid, c.op.chan());
                                     match v {
-                                        Value::Chan(ch) => Some((
-                                            matches!(c.op, SelectOp::Send { .. }),
-                                            ch,
-                                        )),
+                                        Value::Chan(ch) => {
+                                            Some((matches!(c.op, SelectOp::Send { .. }), ch))
+                                        }
                                         _ => None,
                                     }
                                 })

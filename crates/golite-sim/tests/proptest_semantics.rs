@@ -1,9 +1,12 @@
 //! Property tests for the simulator's channel semantics: FIFO delivery,
 //! conservation (everything sent is received exactly once), and
-//! schedule-independence of deterministic results.
+//! schedule-independence of deterministic results. Parameters are drawn from
+//! a seeded generator (no external property-testing crate).
 
 use golite_sim::{Config, Outcome, Simulator};
-use proptest::prelude::*;
+use prng::Prng;
+
+const CASES: u64 = 48;
 
 /// A producer/consumer program parameterized by buffer size and counts.
 fn pipeline_program(cap: usize, n: usize) -> String {
@@ -59,55 +62,105 @@ func main() {{
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The sum of everything sent always arrives, for any buffer size,
-    /// element count, and schedule.
-    #[test]
-    fn conservation_of_messages(cap in 0usize..4, n in 1usize..8, seed in 0u64..64) {
+/// The sum of everything sent always arrives, for any buffer size,
+/// element count, and schedule.
+#[test]
+fn conservation_of_messages() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(case);
+        let cap = rng.gen_range(0usize..4);
+        let n = rng.gen_range(1usize..8);
+        let seed = rng.gen_range(0u64..64);
         let src = pipeline_program(cap, n);
         let module = golite_ir::lower_source(&src).expect("program lowers");
         let sim = Simulator::new(&module);
-        let report = sim.run(&Config { seed, ..Config::default() });
-        prop_assert_eq!(report.outcome.clone(), Outcome::Clean, "outcome {:?}", report.outcome);
+        let report = sim.run(&Config {
+            seed,
+            ..Config::default()
+        });
+        assert_eq!(
+            report.outcome,
+            Outcome::Clean,
+            "case {case} (cap={cap}, n={n}, seed={seed}): outcome {:?}",
+            report.outcome
+        );
         let expected: i64 = (0..n as i64).sum();
-        prop_assert_eq!(&report.output, &vec![expected.to_string()]);
+        assert_eq!(&report.output, &vec![expected.to_string()], "case {case}");
     }
+}
 
-    /// Single-sender FIFO order holds under every schedule and buffering.
-    #[test]
-    fn fifo_order_is_preserved(n in 1usize..8, seed in 0u64..64) {
+/// Single-sender FIFO order holds under every schedule and buffering.
+#[test]
+fn fifo_order_is_preserved() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(case ^ 0x1F1F0);
+        let n = rng.gen_range(1usize..8);
+        let seed = rng.gen_range(0u64..64);
         let src = fifo_program(n);
         let module = golite_ir::lower_source(&src).expect("program lowers");
         let sim = Simulator::new(&module);
-        let report = sim.run(&Config { seed, ..Config::default() });
-        prop_assert_eq!(report.outcome.clone(), Outcome::Clean, "outcome {:?}", report.outcome);
+        let report = sim.run(&Config {
+            seed,
+            ..Config::default()
+        });
+        assert_eq!(
+            report.outcome,
+            Outcome::Clean,
+            "case {case} (n={n}, seed={seed}): outcome {:?}",
+            report.outcome
+        );
     }
+}
 
-    /// Runs are reproducible: identical seeds give identical step counts,
-    /// instruction counts, and outputs.
-    #[test]
-    fn seeded_runs_are_deterministic(cap in 0usize..3, n in 1usize..6, seed in 0u64..32) {
+/// Runs are reproducible: identical seeds give identical step counts,
+/// instruction counts, and outputs.
+#[test]
+fn seeded_runs_are_deterministic() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(case ^ 0x00DE_7E21);
+        let cap = rng.gen_range(0usize..3);
+        let n = rng.gen_range(1usize..6);
+        let seed = rng.gen_range(0u64..32);
         let src = pipeline_program(cap, n);
         let module = golite_ir::lower_source(&src).expect("program lowers");
         let sim = Simulator::new(&module);
-        let a = sim.run(&Config { seed, ..Config::default() });
-        let b = sim.run(&Config { seed, ..Config::default() });
-        prop_assert_eq!(a.steps, b.steps);
-        prop_assert_eq!(a.instrs_executed, b.instrs_executed);
-        prop_assert_eq!(a.output, b.output);
+        let a = sim.run(&Config {
+            seed,
+            ..Config::default()
+        });
+        let b = sim.run(&Config {
+            seed,
+            ..Config::default()
+        });
+        assert_eq!(a.steps, b.steps, "case {case}");
+        assert_eq!(a.instrs_executed, b.instrs_executed, "case {case}");
+        assert_eq!(a.output, b.output, "case {case}");
     }
+}
 
-    /// Sleep injection perturbs schedules but never semantics.
-    #[test]
-    fn sleep_injection_preserves_results(n in 1usize..6, seed in 0u64..32) {
+/// Sleep injection perturbs schedules but never semantics.
+#[test]
+fn sleep_injection_preserves_results() {
+    for case in 0..CASES {
+        let mut rng = Prng::seed_from_u64(case ^ 0x0005_1EE9);
+        let n = rng.gen_range(1usize..6);
+        let seed = rng.gen_range(0u64..32);
         let src = pipeline_program(1, n);
         let module = golite_ir::lower_source(&src).expect("program lowers");
         let sim = Simulator::new(&module);
-        let plain = sim.run(&Config { seed, ..Config::default() });
-        let slept = sim.run(&Config { seed, sleep_injection: true, ..Config::default() });
-        prop_assert_eq!(plain.output, slept.output);
-        prop_assert_eq!(slept.outcome, Outcome::Clean);
+        let plain = sim.run(&Config {
+            seed,
+            ..Config::default()
+        });
+        let slept = sim.run(&Config {
+            seed,
+            sleep_injection: true,
+            ..Config::default()
+        });
+        assert_eq!(
+            plain.output, slept.output,
+            "case {case} (n={n}, seed={seed})"
+        );
+        assert_eq!(slept.outcome, Outcome::Clean, "case {case}");
     }
 }

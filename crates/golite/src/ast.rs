@@ -202,17 +202,28 @@ pub enum ExprKind {
     ///
     /// Whether `recv` denotes a package (`context.WithCancel`) or a value
     /// (`mu.Lock`) is resolved during IR lowering.
-    Method { recv: Box<Expr>, name: String, args: Vec<Expr> },
+    Method {
+        recv: Box<Expr>,
+        name: String,
+        args: Vec<Expr>,
+    },
     /// Struct field access `x.f` (not a call).
     Field { obj: Box<Expr>, name: String },
     /// `make(chan T)` / `make(chan T, n)` / `make([]T, n)`.
     Make { ty: Type, cap: Option<Box<Expr>> },
     /// A function literal.
-    Closure { params: Vec<Param>, results: Vec<Type>, body: Block },
+    Closure {
+        params: Vec<Param>,
+        results: Vec<Type>,
+        body: Block,
+    },
     /// `arr[i]`
     Index { obj: Box<Expr>, index: Box<Expr> },
     /// `T{f: v, ...}` struct literal (also `[]T{...}` slice literal via `Slice` type).
-    Composite { ty: Type, fields: Vec<(Option<String>, Expr)> },
+    Composite {
+        ty: Type,
+        fields: Vec<(Option<String>, Expr)>,
+    },
     /// Parenthesized expression, kept for faithful reprinting.
     Paren(Box<Expr>),
 }
@@ -270,7 +281,11 @@ pub struct SelectCase {
 #[allow(missing_docs)] // variant fields are named self-descriptively
 pub enum SelectCaseKind {
     /// `case v, ok := <-ch:` — either binding may be absent (`case <-ch:`).
-    Recv { value: Option<String>, ok: Option<String>, chan: Expr },
+    Recv {
+        value: Option<String>,
+        ok: Option<String>,
+        chan: Expr,
+    },
     /// `case ch <- v:`
     Send { chan: Expr, value: Expr },
     /// `default:`
@@ -306,9 +321,17 @@ pub enum StmtKind {
     /// `a, b := rhs` — short variable declaration. Names may be `_`.
     Define { names: Vec<String>, rhs: Expr },
     /// `lhs, ... = rhs` (or `+=`/`-=` with a single target).
-    Assign { lhs: Vec<Expr>, op: AssignOp, rhs: Expr },
+    Assign {
+        lhs: Vec<Expr>,
+        op: AssignOp,
+        rhs: Expr,
+    },
     /// `var name T [= init]`
-    VarDecl { name: String, ty: Type, init: Option<Expr> },
+    VarDecl {
+        name: String,
+        ty: Type,
+        init: Option<Expr>,
+    },
     /// `ch <- v`
     Send { chan: Expr, value: Expr },
     /// An expression evaluated for effect (calls, `<-ch`).
@@ -324,11 +347,24 @@ pub enum StmtKind {
     /// `return exprs`
     Return(Vec<Expr>),
     /// `if cond { .. } [else ..]`
-    If { cond: Expr, then: Block, els: Option<Box<Stmt>> },
+    If {
+        cond: Expr,
+        then: Block,
+        els: Option<Box<Stmt>>,
+    },
     /// Three-clause / condition-only / infinite `for`.
-    For { init: Option<Box<Stmt>>, cond: Option<Expr>, post: Option<Box<Stmt>>, body: Block },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        post: Option<Box<Stmt>>,
+        body: Block,
+    },
     /// `for v := range over { .. }` — `over` may be an int bound or a channel.
-    ForRange { var: Option<String>, over: Expr, body: Block },
+    ForRange {
+        var: Option<String>,
+        over: Expr,
+        body: Block,
+    },
     /// `select { cases }`
     Select(Vec<SelectCase>),
     /// `break`
@@ -380,7 +416,13 @@ pub enum Decl {
     Struct(StructDecl),
     /// A package-level `var`.
     #[allow(missing_docs)] // fields are named self-descriptively
-    GlobalVar { name: String, ty: Type, init: Option<Expr>, span: Span, id: NodeId },
+    GlobalVar {
+        name: String,
+        ty: Type,
+        init: Option<Expr>,
+        span: Span,
+        id: NodeId,
+    },
 }
 
 /// A parsed GoLite source file.

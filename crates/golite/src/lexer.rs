@@ -39,7 +39,13 @@ struct Lexer<'a> {
 /// Returns a [`LexError`] on unterminated strings or comments and on
 /// characters outside the GoLite alphabet.
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
-    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() };
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        tokens: Vec::new(),
+    };
     lx.run()?;
     Ok(lx.tokens)
 }
@@ -78,7 +84,10 @@ impl<'a> Lexer<'a> {
         if let Some(last) = self.tokens.last() {
             if last.kind.ends_statement() {
                 let span = Span::new(self.pos as u32, self.pos as u32, self.line, self.col);
-                self.tokens.push(Token { kind: TokenKind::Semicolon, span });
+                self.tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    span,
+                });
             }
         }
     }
@@ -164,8 +173,9 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[s0..self.pos]).expect("ascii digits");
-        let value: i64 =
-            text.parse().map_err(|_| self.error(format!("integer literal `{text}` overflows"), start))?;
+        let value: i64 = text
+            .parse()
+            .map_err(|_| self.error(format!("integer literal `{text}` overflows"), start))?;
         self.push(TokenKind::Int(value), start);
         Ok(())
     }

@@ -103,7 +103,11 @@ fn lcs_len(a: &[&str], b: &[&str]) -> usize {
     let mut cur = vec![0usize; b.len() + 1];
     for &la in a {
         for (j, &lb) in b.iter().enumerate() {
-            cur[j + 1] = if la == lb { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+            cur[j + 1] = if la == lb {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
         }
         std::mem::swap(&mut prev, &mut cur);
     }

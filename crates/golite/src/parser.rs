@@ -33,7 +33,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, span: e.span }
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
     }
 }
 
@@ -63,7 +66,12 @@ impl From<LexError> for ParseError {
 /// ```
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, next_id: 0, no_composite: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_id: 0,
+        no_composite: 0,
+    };
     p.program()
 }
 
@@ -125,7 +133,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), span: self.span() }
+        ParseError {
+            message: message.into(),
+            span: self.span(),
+        }
     }
 
     fn skip_semis(&mut self) {
@@ -177,7 +188,9 @@ impl Parser {
                 while !self.eat(&TokenKind::RParen) {
                     match self.bump().kind {
                         TokenKind::Str(path) => imports.push(path),
-                        other => return Err(self.err(format!("expected import path, found `{other}`"))),
+                        other => {
+                            return Err(self.err(format!("expected import path, found `{other}`")))
+                        }
                     }
                     self.skip_semis();
                 }
@@ -211,12 +224,23 @@ impl Parser {
                     let id = self.id();
                     let span = start.to(self.prev_span());
                     self.end_of_stmt()?;
-                    decls.push(Decl::GlobalVar { name, ty, init, span, id });
+                    decls.push(Decl::GlobalVar {
+                        name,
+                        ty,
+                        init,
+                        span,
+                        id,
+                    });
                 }
                 other => return Err(self.err(format!("expected declaration, found `{other}`"))),
             }
         }
-        Ok(Program { package, imports, decls, next_node_id: self.next_id })
+        Ok(Program {
+            package,
+            imports,
+            decls,
+            next_node_id: self.next_id,
+        })
     }
 
     fn struct_decl(&mut self) -> Result<StructDecl, ParseError> {
@@ -242,7 +266,12 @@ impl Parser {
         let id = self.id();
         let span = start.to(self.prev_span());
         self.end_of_stmt()?;
-        Ok(StructDecl { name, fields, span, id })
+        Ok(StructDecl {
+            name,
+            fields,
+            span,
+            id,
+        })
     }
 
     fn func_decl(&mut self) -> Result<FuncDecl, ParseError> {
@@ -254,7 +283,14 @@ impl Parser {
         let body = self.block()?;
         let id = self.id();
         let span = start.to(body.span);
-        Ok(FuncDecl { name, params, results, body, span, id })
+        Ok(FuncDecl {
+            name,
+            params,
+            results,
+            body,
+            span,
+            id,
+        })
     }
 
     fn param_list(&mut self) -> Result<Vec<Param>, ParseError> {
@@ -271,7 +307,10 @@ impl Parser {
             }
             let ty = self.parse_type()?;
             for n in names {
-                params.push(Param { name: n, ty: ty.clone() });
+                params.push(Param {
+                    name: n,
+                    ty: ty.clone(),
+                });
             }
             if self.eat(&TokenKind::Comma) {
                 continue;
@@ -427,7 +466,10 @@ impl Parser {
         }
         self.expect(&TokenKind::RBrace)?;
         self.no_composite = saved;
-        Ok(Block { stmts, span: start.to(self.prev_span()) })
+        Ok(Block {
+            stmts,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -437,13 +479,20 @@ impl Parser {
                 self.bump();
                 let name = self.ident()?;
                 let ty = self.parse_type()?;
-                let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+                let init = if self.eat(&TokenKind::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.finish_stmt(StmtKind::VarDecl { name, ty, init }, start, true)
             }
             TokenKind::Go => {
                 self.bump();
                 let call = self.expr()?;
-                if !matches!(call.unparen().kind, ExprKind::Call { .. } | ExprKind::Method { .. }) {
+                if !matches!(
+                    call.unparen().kind,
+                    ExprKind::Call { .. } | ExprKind::Method { .. }
+                ) {
                     return Err(ParseError {
                         message: "`go` must be followed by a function call".into(),
                         span: call.span,
@@ -466,14 +515,20 @@ impl Parser {
                         id: self.id(),
                     };
                     Expr {
-                        kind: ExprKind::Call { callee: Box::new(callee), args: vec![arg] },
+                        kind: ExprKind::Call {
+                            callee: Box::new(callee),
+                            args: vec![arg],
+                        },
                         span: cspan.to(self.prev_span()),
                         id: self.id(),
                     }
                 } else {
                     self.expr()?
                 };
-                if !matches!(call.unparen().kind, ExprKind::Call { .. } | ExprKind::Method { .. }) {
+                if !matches!(
+                    call.unparen().kind,
+                    ExprKind::Call { .. } | ExprKind::Method { .. }
+                ) {
                     return Err(ParseError {
                         message: "`defer` must be followed by a function call".into(),
                         span: call.span,
@@ -555,17 +610,28 @@ impl Parser {
                 let value = self.expr()?;
                 let span = start.to(self.prev_span());
                 let id = self.id();
-                Ok(Stmt { kind: StmtKind::Send { chan: first, value }, span, id })
+                Ok(Stmt {
+                    kind: StmtKind::Send { chan: first, value },
+                    span,
+                    id,
+                })
             }
             TokenKind::PlusPlus | TokenKind::MinusMinus => {
                 let inc = matches!(self.peek(), TokenKind::PlusPlus);
                 self.bump();
                 let span = start.to(self.prev_span());
                 let id = self.id();
-                Ok(Stmt { kind: StmtKind::IncDec { target: first, inc }, span, id })
+                Ok(Stmt {
+                    kind: StmtKind::IncDec { target: first, inc },
+                    span,
+                    id,
+                })
             }
-            TokenKind::Comma | TokenKind::Define | TokenKind::Assign
-            | TokenKind::PlusAssign | TokenKind::MinusAssign => {
+            TokenKind::Comma
+            | TokenKind::Define
+            | TokenKind::Assign
+            | TokenKind::PlusAssign
+            | TokenKind::MinusAssign => {
                 let mut lhs = vec![first];
                 while self.eat(&TokenKind::Comma) {
                     lhs.push(self.expr()?);
@@ -588,14 +654,26 @@ impl Parser {
                         let rhs = self.expr()?;
                         let span = start.to(self.prev_span());
                         let id = self.id();
-                        Ok(Stmt { kind: StmtKind::Define { names, rhs }, span, id })
+                        Ok(Stmt {
+                            kind: StmtKind::Define { names, rhs },
+                            span,
+                            id,
+                        })
                     }
                     TokenKind::Assign => {
                         self.bump();
                         let rhs = self.expr()?;
                         let span = start.to(self.prev_span());
                         let id = self.id();
-                        Ok(Stmt { kind: StmtKind::Assign { lhs, op: AssignOp::Assign, rhs }, span, id })
+                        Ok(Stmt {
+                            kind: StmtKind::Assign {
+                                lhs,
+                                op: AssignOp::Assign,
+                                rhs,
+                            },
+                            span,
+                            id,
+                        })
                     }
                     TokenKind::PlusAssign | TokenKind::MinusAssign => {
                         let op = if matches!(self.peek(), TokenKind::PlusAssign) {
@@ -610,7 +688,11 @@ impl Parser {
                         let rhs = self.expr()?;
                         let span = start.to(self.prev_span());
                         let id = self.id();
-                        Ok(Stmt { kind: StmtKind::Assign { lhs, op, rhs }, span, id })
+                        Ok(Stmt {
+                            kind: StmtKind::Assign { lhs, op, rhs },
+                            span,
+                            id,
+                        })
                     }
                     other => Err(self.err(format!("expected `:=` or `=`, found `{other}`"))),
                 }
@@ -618,7 +700,11 @@ impl Parser {
             _ => {
                 let span = first.span;
                 let id = self.id();
-                Ok(Stmt { kind: StmtKind::Expr(first), span, id })
+                Ok(Stmt {
+                    kind: StmtKind::Expr(first),
+                    span,
+                    id,
+                })
             }
         }
     }
@@ -637,7 +723,11 @@ impl Parser {
                 let b = self.block()?;
                 let span = b.span;
                 let id = self.id();
-                Some(Box::new(Stmt { kind: StmtKind::Block(b), span, id }))
+                Some(Box::new(Stmt {
+                    kind: StmtKind::Block(b),
+                    span,
+                    id,
+                }))
             }
         } else {
             None
@@ -645,7 +735,11 @@ impl Parser {
         let span = start.to(self.prev_span());
         let id = self.id();
         self.skip_semis();
-        Ok(Stmt { kind: StmtKind::If { cond, then, els }, span, id })
+        Ok(Stmt {
+            kind: StmtKind::If { cond, then, els },
+            span,
+            id,
+        })
     }
 
     fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -659,7 +753,12 @@ impl Parser {
             let id = self.id();
             self.skip_semis();
             return Ok(Stmt {
-                kind: StmtKind::For { init: None, cond: None, post: None, body },
+                kind: StmtKind::For {
+                    init: None,
+                    cond: None,
+                    post: None,
+                    body,
+                },
                 span,
                 id,
             });
@@ -675,9 +774,11 @@ impl Parser {
                 let _ = body_start;
                 return Ok(Some((None, over)));
             }
-            if let (TokenKind::Ident(v), TokenKind::Define, TokenKind::Range) =
-                (self.peek().clone(), self.peek_at(1).clone(), self.peek_at(2).clone())
-            {
+            if let (TokenKind::Ident(v), TokenKind::Define, TokenKind::Range) = (
+                self.peek().clone(),
+                self.peek_at(1).clone(),
+                self.peek_at(2).clone(),
+            ) {
                 self.bump();
                 self.bump();
                 self.bump();
@@ -699,7 +800,11 @@ impl Parser {
             let span = start.to(self.prev_span());
             let id = self.id();
             self.skip_semis();
-            return Ok(Stmt { kind: StmtKind::ForRange { var, over, body }, span, id });
+            return Ok(Stmt {
+                kind: StmtKind::ForRange { var, over, body },
+                span,
+                id,
+            });
         }
 
         // Three-clause or condition-only loop. Parse the first clause, then
@@ -726,7 +831,10 @@ impl Parser {
         } else {
             // Condition-only: `for cond { ... }`.
             match first {
-                Some(Stmt { kind: StmtKind::Expr(e), .. }) => (None, Some(e), None),
+                Some(Stmt {
+                    kind: StmtKind::Expr(e),
+                    ..
+                }) => (None, Some(e), None),
                 _ => return Err(self.err("expected loop condition")),
             }
         };
@@ -736,7 +844,16 @@ impl Parser {
         let span = start.to(self.prev_span());
         let id = self.id();
         self.skip_semis();
-        Ok(Stmt { kind: StmtKind::For { init, cond, post, body }, span, id })
+        Ok(Stmt {
+            kind: StmtKind::For {
+                init,
+                cond,
+                post,
+                body,
+            },
+            span,
+            id,
+        })
     }
 
     fn select_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -761,7 +878,10 @@ impl Parser {
             let mut stmts = Vec::new();
             loop {
                 self.skip_semis();
-                if matches!(self.peek(), TokenKind::Case | TokenKind::Default | TokenKind::RBrace) {
+                if matches!(
+                    self.peek(),
+                    TokenKind::Case | TokenKind::Default | TokenKind::RBrace
+                ) {
                     break;
                 }
                 stmts.push(self.stmt()?);
@@ -772,14 +892,21 @@ impl Parser {
                 .unwrap_or(case_start);
             cases.push(SelectCase {
                 kind,
-                body: Block { stmts, span: body_span },
+                body: Block {
+                    stmts,
+                    span: body_span,
+                },
                 span: case_start,
             });
         }
         let span = start.to(self.prev_span());
         let id = self.id();
         self.skip_semis();
-        Ok(Stmt { kind: StmtKind::Select(cases), span, id })
+        Ok(Stmt {
+            kind: StmtKind::Select(cases),
+            span,
+            id,
+        })
     }
 
     fn select_comm(&mut self) -> Result<SelectCaseKind, ParseError> {
@@ -788,7 +915,11 @@ impl Parser {
             self.bump();
             let chan = self.expr()?;
             self.expect(&TokenKind::Colon)?;
-            return Ok(SelectCaseKind::Recv { value: None, ok: None, chan });
+            return Ok(SelectCaseKind::Recv {
+                value: None,
+                ok: None,
+                chan,
+            });
         }
         // `case v := <-ch:` / `case v, ok := <-ch:`
         let is_recv_bind = matches!(self.peek(), TokenKind::Ident(_) | TokenKind::Underscore)
@@ -798,12 +929,20 @@ impl Parser {
                     && matches!(self.peek_at(3), TokenKind::Define)));
         if is_recv_bind {
             let value = self.ident()?;
-            let ok = if self.eat(&TokenKind::Comma) { Some(self.ident()?) } else { None };
+            let ok = if self.eat(&TokenKind::Comma) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
             self.expect(&TokenKind::Define)?;
             self.expect(&TokenKind::Arrow)?;
             let chan = self.expr()?;
             self.expect(&TokenKind::Colon)?;
-            return Ok(SelectCaseKind::Recv { value: Some(value), ok, chan });
+            return Ok(SelectCaseKind::Recv {
+                value: Some(value),
+                ok,
+                chan,
+            });
         }
         // `case ch <- v:`
         let chan = self.expr()?;
@@ -846,7 +985,11 @@ impl Parser {
             let rhs = self.binary_expr(prec + 1)?;
             let span = lhs.span.to(rhs.span);
             let id = self.id();
-            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span, id };
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+                id,
+            };
         }
         Ok(lhs)
     }
@@ -863,7 +1006,11 @@ impl Parser {
                 let inner = self.unary_expr()?;
                 let span = start.to(inner.span);
                 let id = self.id();
-                return Ok(Expr { kind: ExprKind::Recv(Box::new(inner)), span, id });
+                return Ok(Expr {
+                    kind: ExprKind::Recv(Box::new(inner)),
+                    span,
+                    id,
+                });
             }
             _ => None,
         };
@@ -872,7 +1019,11 @@ impl Parser {
             let inner = self.unary_expr()?;
             let span = start.to(inner.span);
             let id = self.id();
-            return Ok(Expr { kind: ExprKind::Unary(op, Box::new(inner)), span, id });
+            return Ok(Expr {
+                kind: ExprKind::Unary(op, Box::new(inner)),
+                span,
+                id,
+            });
         }
         self.postfix_expr()
     }
@@ -888,10 +1039,23 @@ impl Parser {
                     let id = self.id();
                     // A call on a field access is a method call.
                     e = match e.kind {
-                        ExprKind::Field { obj, name } => {
-                            Expr { kind: ExprKind::Method { recv: obj, name, args }, span, id }
-                        }
-                        _ => Expr { kind: ExprKind::Call { callee: Box::new(e), args }, span, id },
+                        ExprKind::Field { obj, name } => Expr {
+                            kind: ExprKind::Method {
+                                recv: obj,
+                                name,
+                                args,
+                            },
+                            span,
+                            id,
+                        },
+                        _ => Expr {
+                            kind: ExprKind::Call {
+                                callee: Box::new(e),
+                                args,
+                            },
+                            span,
+                            id,
+                        },
                     };
                 }
                 TokenKind::Dot => {
@@ -899,7 +1063,14 @@ impl Parser {
                     let name = self.ident()?;
                     let span = e.span.to(self.prev_span());
                     let id = self.id();
-                    e = Expr { kind: ExprKind::Field { obj: Box::new(e), name }, span, id };
+                    e = Expr {
+                        kind: ExprKind::Field {
+                            obj: Box::new(e),
+                            name,
+                        },
+                        span,
+                        id,
+                    };
                 }
                 TokenKind::LBracket => {
                     self.bump();
@@ -908,18 +1079,27 @@ impl Parser {
                     let span = e.span.to(self.prev_span());
                     let id = self.id();
                     e = Expr {
-                        kind: ExprKind::Index { obj: Box::new(e), index: Box::new(index) },
+                        kind: ExprKind::Index {
+                            obj: Box::new(e),
+                            index: Box::new(index),
+                        },
                         span,
                         id,
                     };
                 }
                 TokenKind::LBrace if self.composite_allowed(&e) => {
-                    let name = e.as_ident().expect("checked by composite_allowed").to_string();
+                    let name = e
+                        .as_ident()
+                        .expect("checked by composite_allowed")
+                        .to_string();
                     let fields = self.composite_body()?;
                     let span = e.span.to(self.prev_span());
                     let id = self.id();
                     e = Expr {
-                        kind: ExprKind::Composite { ty: Type::Named(name), fields },
+                        kind: ExprKind::Composite {
+                            ty: Type::Named(name),
+                            fields,
+                        },
                         span,
                         id,
                     };
@@ -996,37 +1176,65 @@ impl Parser {
             TokenKind::Int(v) => {
                 self.bump();
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Int(v), span: start, id })
+                Ok(Expr {
+                    kind: ExprKind::Int(v),
+                    span: start,
+                    id,
+                })
             }
             TokenKind::Str(s) => {
                 self.bump();
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Str(s), span: start, id })
+                Ok(Expr {
+                    kind: ExprKind::Str(s),
+                    span: start,
+                    id,
+                })
             }
             TokenKind::True => {
                 self.bump();
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Bool(true), span: start, id })
+                Ok(Expr {
+                    kind: ExprKind::Bool(true),
+                    span: start,
+                    id,
+                })
             }
             TokenKind::False => {
                 self.bump();
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Bool(false), span: start, id })
+                Ok(Expr {
+                    kind: ExprKind::Bool(false),
+                    span: start,
+                    id,
+                })
             }
             TokenKind::Nil => {
                 self.bump();
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Nil, span: start, id })
+                Ok(Expr {
+                    kind: ExprKind::Nil,
+                    span: start,
+                    id,
+                })
             }
             TokenKind::Underscore => {
                 self.bump();
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Ident("_".into()), span: start, id })
+                Ok(Expr {
+                    kind: ExprKind::Ident("_".into()),
+                    span: start,
+                    id,
+                })
             }
             TokenKind::Ident(name) => {
                 self.bump();
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Ident(name), span: start, id })
+                Ok(Expr {
+                    kind: ExprKind::Ident(name),
+                    span: start,
+                    id,
+                })
             }
             TokenKind::Struct => {
                 // `struct{}{}` — unit literal.
@@ -1037,7 +1245,11 @@ impl Parser {
                 self.expect(&TokenKind::RBrace)?;
                 let span = start.to(self.prev_span());
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::UnitLit, span, id })
+                Ok(Expr {
+                    kind: ExprKind::UnitLit,
+                    span,
+                    id,
+                })
             }
             TokenKind::Make => {
                 self.bump();
@@ -1051,7 +1263,11 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 let span = start.to(self.prev_span());
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Make { ty, cap }, span, id })
+                Ok(Expr {
+                    kind: ExprKind::Make { ty, cap },
+                    span,
+                    id,
+                })
             }
             TokenKind::Func => {
                 self.bump();
@@ -1063,7 +1279,15 @@ impl Parser {
                 self.no_composite = saved;
                 let span = start.to(self.prev_span());
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Closure { params, results, body }, span, id })
+                Ok(Expr {
+                    kind: ExprKind::Closure {
+                        params,
+                        results,
+                        body,
+                    },
+                    span,
+                    id,
+                })
             }
             TokenKind::LParen => {
                 self.bump();
@@ -1074,7 +1298,11 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 let span = start.to(self.prev_span());
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Paren(Box::new(inner)), span, id })
+                Ok(Expr {
+                    kind: ExprKind::Paren(Box::new(inner)),
+                    span,
+                    id,
+                })
             }
             TokenKind::LBracket => {
                 // `[]T{...}` slice literal.
@@ -1082,7 +1310,11 @@ impl Parser {
                 let fields = self.composite_body()?;
                 let span = start.to(self.prev_span());
                 let id = self.id();
-                Ok(Expr { kind: ExprKind::Composite { ty, fields }, span, id })
+                Ok(Expr {
+                    kind: ExprKind::Composite { ty, fields },
+                    span,
+                    id,
+                })
             }
             other => Err(self.err(format!("expected expression, found `{other}`"))),
         }
@@ -1198,7 +1430,9 @@ func Interactive() {
         let f = prog.func("Interactive").unwrap();
         assert_eq!(f.body.stmts.len(), 3);
         match &f.body.stmts[2].kind {
-            StmtKind::For { body, cond: None, .. } => match &body.stmts[0].kind {
+            StmtKind::For {
+                body, cond: None, ..
+            } => match &body.stmts[0].kind {
                 StmtKind::Select(cases) => {
                     assert!(matches!(
                         &cases[1].kind,
@@ -1227,7 +1461,12 @@ func Interactive() {
         let prog = must("func f() {\n for i := 0; i < 10; i++ {\n  work(i)\n }\n}");
         let f = prog.func("f").unwrap();
         match &f.body.stmts[0].kind {
-            StmtKind::For { init: Some(_), cond: Some(_), post: Some(_), .. } => {}
+            StmtKind::For {
+                init: Some(_),
+                cond: Some(_),
+                post: Some(_),
+                ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -1256,9 +1495,8 @@ func Interactive() {
 
     #[test]
     fn defer_close_and_defer_closure() {
-        let prog = must(
-            "func f(ch chan int) {\n defer close(ch)\n defer func() {\n  ch <- 1\n }()\n}",
-        );
+        let prog =
+            must("func f(ch chan int) {\n defer close(ch)\n defer func() {\n  ch <- 1\n }()\n}");
         let f = prog.func("f").unwrap();
         assert!(matches!(f.body.stmts[0].kind, StmtKind::Defer(_)));
         assert!(matches!(f.body.stmts[1].kind, StmtKind::Defer(_)));
@@ -1272,7 +1510,8 @@ func Interactive() {
 
     #[test]
     fn struct_decl_and_composite_literal() {
-        let src = "type Pair struct {\n a int\n b int\n}\nfunc f() Pair {\n return Pair{a: 1, b: 2}\n}";
+        let src =
+            "type Pair struct {\n a int\n b int\n}\nfunc f() Pair {\n return Pair{a: 1, b: 2}\n}";
         let prog = must(src);
         let s = prog.struct_decl("Pair").unwrap();
         assert_eq!(s.fields.len(), 2);
@@ -1289,7 +1528,10 @@ func Interactive() {
         // `if x {` must parse the block, not a composite literal, even when
         // a struct named `x`... (uppercase convention: use lowercase here).
         let prog = must("func f(x bool) {\n if x {\n  work()\n }\n}");
-        assert!(matches!(prog.func("f").unwrap().body.stmts[0].kind, StmtKind::If { .. }));
+        assert!(matches!(
+            prog.func("f").unwrap().body.stmts[0].kind,
+            StmtKind::If { .. }
+        ));
     }
 
     #[test]

@@ -12,28 +12,40 @@ use std::fmt::Write as _;
 
 /// Renders a whole program as canonical GoLite source.
 pub fn print_program(prog: &Program) -> String {
-    let mut p = Printer { out: String::new(), indent: 0 };
+    let mut p = Printer {
+        out: String::new(),
+        indent: 0,
+    };
     p.program(prog);
     p.out
 }
 
 /// Renders a single statement (at zero indentation). Useful in bug reports.
 pub fn print_stmt(stmt: &Stmt) -> String {
-    let mut p = Printer { out: String::new(), indent: 0 };
+    let mut p = Printer {
+        out: String::new(),
+        indent: 0,
+    };
     p.stmt(stmt);
     p.out.trim_end().to_string()
 }
 
 /// Renders a single expression. Useful in bug reports.
 pub fn print_expr(expr: &Expr) -> String {
-    let mut p = Printer { out: String::new(), indent: 0 };
+    let mut p = Printer {
+        out: String::new(),
+        indent: 0,
+    };
     p.expr(expr);
     p.out
 }
 
 /// Renders a type.
 pub fn print_type(ty: &Type) -> String {
-    let mut p = Printer { out: String::new(), indent: 0 };
+    let mut p = Printer {
+        out: String::new(),
+        indent: 0,
+    };
     p.ty(ty);
     p.out
 }
@@ -282,7 +294,12 @@ impl Printer {
                     }
                 }
             }
-            StmtKind::For { init, cond, post, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                post,
+                body,
+            } => {
                 self.out.push_str("for ");
                 match (init, cond, post) {
                     (None, None, None) => {}
@@ -415,7 +432,11 @@ impl Printer {
                 }
                 self.out.push(')');
             }
-            ExprKind::Closure { params, results, body } => {
+            ExprKind::Closure {
+                params,
+                results,
+                body,
+            } => {
                 self.out.push_str("func");
                 self.signature(params, results);
                 self.out.push(' ');
@@ -557,7 +578,10 @@ func Exec(ctx context.Context) (string, error) {
 
     #[test]
     fn print_type_formats() {
-        assert_eq!(print_type(&Type::Chan(Box::new(Type::Unit))), "chan struct{}");
+        assert_eq!(
+            print_type(&Type::Chan(Box::new(Type::Unit))),
+            "chan struct{}"
+        );
         assert_eq!(print_type(&Type::Ptr(Box::new(Type::Mutex))), "*sync.Mutex");
         assert_eq!(
             print_type(&Type::Func(vec![Type::Int], vec![Type::Int, Type::Error])),

@@ -26,7 +26,12 @@ pub struct Span {
 impl Span {
     /// Creates a span covering `start..end` at the given line/column.
     pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// A span that covers both `self` and `other`.
@@ -35,7 +40,11 @@ impl Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
             line: self.line.min(other.line),
-            col: if other.line < self.line { other.col } else { self.col },
+            col: if other.line < self.line {
+                other.col
+            } else {
+                self.col
+            },
         }
     }
 
@@ -350,7 +359,10 @@ mod tests {
     #[test]
     fn keyword_lookup_covers_channel_vocabulary() {
         for word in ["chan", "go", "select", "defer", "close", "make"] {
-            assert!(TokenKind::keyword(word).is_some(), "{word} must be a keyword");
+            assert!(
+                TokenKind::keyword(word).is_some(),
+                "{word} must be a keyword"
+            );
         }
         assert_eq!(TokenKind::keyword("mutex"), None);
     }

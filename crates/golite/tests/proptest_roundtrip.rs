@@ -1,163 +1,201 @@
 //! Property tests: printing a randomly generated AST yields source that
-//! reparses, and the printer is a fixed point (print ∘ parse ∘ print = print).
+//! reparses, and the printer is a fixed point (print ∘ parse ∘ print =
+//! print). Random ASTs come from a hand-rolled seeded generator (the
+//! workspace carries no external property-testing dependency).
 
 use golite::ast::*;
 use golite::token::Span;
 use golite::{parse, print_program};
-use proptest::prelude::*;
+use prng::Prng;
+
+const CASES: u64 = 256;
 
 fn e(kind: ExprKind) -> Expr {
-    Expr { kind, span: Span::synthetic(), id: NodeId(0) }
+    Expr {
+        kind,
+        span: Span::synthetic(),
+        id: NodeId(0),
+    }
 }
 
 fn s(kind: StmtKind) -> Stmt {
-    Stmt { kind, span: Span::synthetic(), id: NodeId(0) }
+    Stmt {
+        kind,
+        span: Span::synthetic(),
+        id: NodeId(0),
+    }
 }
 
-fn ident_strategy() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("x".to_string()),
-        Just("y".to_string()),
-        Just("ch".to_string()),
-        Just("done".to_string()),
-        Just("n".to_string()),
-        Just("ok2".to_string()),
-    ]
+fn gen_ident(rng: &mut Prng) -> String {
+    rng.pick(&["x", "y", "ch", "done", "n", "ok2"]).to_string()
 }
 
-fn type_strategy() -> impl Strategy<Value = Type> {
-    let leaf = prop_oneof![
-        Just(Type::Int),
-        Just(Type::Bool),
-        Just(Type::String),
-        Just(Type::Error),
-        Just(Type::Unit),
-        Just(Type::Mutex),
-    ];
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|t| Type::Chan(Box::new(t))),
-            inner.clone().prop_map(|t| Type::Ptr(Box::new(t))),
-            inner.prop_map(|t| Type::Slice(Box::new(t))),
-        ]
-    })
+fn gen_type(rng: &mut Prng, depth: usize) -> Type {
+    let leaf = |rng: &mut Prng| match rng.gen_range(0..6usize) {
+        0 => Type::Int,
+        1 => Type::Bool,
+        2 => Type::String,
+        3 => Type::Error,
+        4 => Type::Unit,
+        _ => Type::Mutex,
+    };
+    if depth == 0 || rng.gen_bool(0.5) {
+        return leaf(rng);
+    }
+    let inner = gen_type(rng, depth - 1);
+    match rng.gen_range(0..3usize) {
+        0 => Type::Chan(Box::new(inner)),
+        1 => Type::Ptr(Box::new(inner)),
+        _ => Type::Slice(Box::new(inner)),
+    }
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..1000).prop_map(|v| e(ExprKind::Int(v))),
-        any::<bool>().prop_map(|b| e(ExprKind::Bool(b))),
-        Just(e(ExprKind::Nil)),
-        Just(e(ExprKind::UnitLit)),
-        ident_strategy().prop_map(|n| e(ExprKind::Ident(n))),
-        Just(e(ExprKind::Str("msg".into()))),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), binop_strategy()).prop_map(|(l, r, op)| e(
-                ExprKind::Binary(op, Box::new(l), Box::new(r))
-            )),
-            inner.clone().prop_map(|x| e(ExprKind::Unary(UnOp::Not, Box::new(x)))),
-            inner.clone().prop_map(|x| e(ExprKind::Recv(Box::new(x)))),
-            (ident_strategy(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(name, args)| e(ExprKind::Call {
-                    callee: Box::new(e(ExprKind::Ident(name))),
-                    args
-                })
-            ),
-            inner.prop_map(|x| e(ExprKind::Paren(Box::new(x)))),
-        ]
-    })
+fn gen_binop(rng: &mut Prng) -> BinOp {
+    *rng.pick(&[
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Eq,
+        BinOp::Lt,
+        BinOp::And,
+        BinOp::Or,
+    ])
 }
 
-fn binop_strategy() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Eq),
-        Just(BinOp::Lt),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-    ]
+fn gen_expr(rng: &mut Prng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return match rng.gen_range(0..6usize) {
+            0 => e(ExprKind::Int(rng.gen_range(0i64..1000))),
+            1 => e(ExprKind::Bool(rng.gen_bool(0.5))),
+            2 => e(ExprKind::Nil),
+            3 => e(ExprKind::UnitLit),
+            4 => e(ExprKind::Ident(gen_ident(rng))),
+            _ => e(ExprKind::Str("msg".into())),
+        };
+    }
+    match rng.gen_range(0..5usize) {
+        0 => {
+            let l = gen_expr(rng, depth - 1);
+            let r = gen_expr(rng, depth - 1);
+            e(ExprKind::Binary(gen_binop(rng), Box::new(l), Box::new(r)))
+        }
+        1 => e(ExprKind::Unary(
+            UnOp::Not,
+            Box::new(gen_expr(rng, depth - 1)),
+        )),
+        2 => e(ExprKind::Recv(Box::new(gen_expr(rng, depth - 1)))),
+        3 => {
+            let n_args = rng.gen_range(0..3usize);
+            let args = (0..n_args).map(|_| gen_expr(rng, depth - 1)).collect();
+            e(ExprKind::Call {
+                callee: Box::new(e(ExprKind::Ident(gen_ident(rng)))),
+                args,
+            })
+        }
+        _ => e(ExprKind::Paren(Box::new(gen_expr(rng, depth - 1)))),
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let simple = prop_oneof![
-        (ident_strategy(), expr_strategy())
-            .prop_map(|(n, rhs)| s(StmtKind::Define { names: vec![n], rhs })),
-        (ident_strategy(), expr_strategy()).prop_map(|(n, rhs)| s(StmtKind::Assign {
-            lhs: vec![e(ExprKind::Ident(n))],
-            op: AssignOp::Assign,
-            rhs
-        })),
-        (ident_strategy(), expr_strategy())
-            .prop_map(|(n, v)| s(StmtKind::Send { chan: e(ExprKind::Ident(n)), value: v })),
-        ident_strategy().prop_map(|n| s(StmtKind::Close(e(ExprKind::Ident(n))))),
-        expr_strategy().prop_map(|x| s(StmtKind::Return(vec![x]))),
-        Just(s(StmtKind::Break)),
-        Just(s(StmtKind::Continue)),
-        (ident_strategy(), type_strategy())
-            .prop_map(|(n, ty)| s(StmtKind::VarDecl { name: n, ty, init: None })),
-    ];
-    simple.prop_recursive(3, 16, 4, |inner| {
-        let block = proptest::collection::vec(inner.clone(), 0..4)
-            .prop_map(|stmts| Block { stmts, span: Span::synthetic() });
-        prop_oneof![
-            (expr_strategy(), block.clone()).prop_map(|(cond, then)| s(StmtKind::If {
-                cond,
-                then,
-                els: None
-            })),
-            block.clone().prop_map(|body| s(StmtKind::For {
+fn gen_block(rng: &mut Prng, depth: usize, max_stmts: usize) -> Block {
+    let n = rng.gen_range(0..=max_stmts);
+    Block {
+        stmts: (0..n).map(|_| gen_stmt(rng, depth)).collect(),
+        span: Span::synthetic(),
+    }
+}
+
+fn gen_stmt(rng: &mut Prng, depth: usize) -> Stmt {
+    if depth == 0 || rng.gen_bool(0.6) {
+        return match rng.gen_range(0..8usize) {
+            0 => s(StmtKind::Define {
+                names: vec![gen_ident(rng)],
+                rhs: gen_expr(rng, 3),
+            }),
+            1 => s(StmtKind::Assign {
+                lhs: vec![e(ExprKind::Ident(gen_ident(rng)))],
+                op: AssignOp::Assign,
+                rhs: gen_expr(rng, 3),
+            }),
+            2 => s(StmtKind::Send {
+                chan: e(ExprKind::Ident(gen_ident(rng))),
+                value: gen_expr(rng, 3),
+            }),
+            3 => s(StmtKind::Close(e(ExprKind::Ident(gen_ident(rng))))),
+            4 => s(StmtKind::Return(vec![gen_expr(rng, 3)])),
+            5 => s(StmtKind::Break),
+            6 => s(StmtKind::Continue),
+            _ => s(StmtKind::VarDecl {
+                name: gen_ident(rng),
+                ty: gen_type(rng, 3),
                 init: None,
-                cond: None,
-                post: None,
-                body
-            })),
-            (expr_strategy(), block).prop_map(|(cond, body)| s(StmtKind::For {
-                init: None,
-                cond: Some(cond),
-                post: None,
-                body
-            })),
-        ]
-    })
+            }),
+        };
+    }
+    match rng.gen_range(0..3usize) {
+        0 => s(StmtKind::If {
+            cond: gen_expr(rng, 3),
+            then: gen_block(rng, depth - 1, 3),
+            els: None,
+        }),
+        1 => s(StmtKind::For {
+            init: None,
+            cond: None,
+            post: None,
+            body: gen_block(rng, depth - 1, 3),
+        }),
+        _ => s(StmtKind::For {
+            init: None,
+            cond: Some(gen_expr(rng, 3)),
+            post: None,
+            body: gen_block(rng, depth - 1, 3),
+        }),
+    }
 }
 
-fn program_strategy() -> impl Strategy<Value = Program> {
-    proptest::collection::vec(stmt_strategy(), 0..8).prop_map(|stmts| Program {
+fn gen_program(rng: &mut Prng) -> Program {
+    let n = rng.gen_range(0..8usize);
+    let stmts = (0..n).map(|_| gen_stmt(rng, 3)).collect();
+    Program {
         package: "main".into(),
         imports: vec![],
         decls: vec![Decl::Func(FuncDecl {
             name: "main".into(),
             params: vec![],
             results: vec![],
-            body: Block { stmts, span: Span::synthetic() },
+            body: Block {
+                stmts,
+                span: Span::synthetic(),
+            },
             span: Span::synthetic(),
             id: NodeId(0),
         })],
         next_node_id: 1,
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Any printed program reparses successfully.
-    #[test]
-    fn printed_programs_reparse(prog in program_strategy()) {
+/// Any printed program reparses successfully.
+#[test]
+fn printed_programs_reparse() {
+    for seed in 0..CASES {
+        let prog = gen_program(&mut Prng::seed_from_u64(seed));
         let printed = print_program(&prog);
         let reparsed = parse(&printed);
-        prop_assert!(reparsed.is_ok(), "printed program failed to reparse:\n{printed}\nerror: {:?}", reparsed.err());
+        assert!(
+            reparsed.is_ok(),
+            "seed {seed}: printed program failed to reparse:\n{printed}\nerror: {:?}",
+            reparsed.err()
+        );
     }
+}
 
-    /// print ∘ parse is a fixed point on printed output.
-    #[test]
-    fn printer_is_fixed_point(prog in program_strategy()) {
+/// print ∘ parse is a fixed point on printed output.
+#[test]
+fn printer_is_fixed_point() {
+    for seed in 0..CASES {
+        let prog = gen_program(&mut Prng::seed_from_u64(seed));
         let once = print_program(&prog);
         let reparsed = parse(&once).expect("must reparse");
         let twice = print_program(&reparsed);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "seed {seed}: printer not a fixed point");
     }
 }

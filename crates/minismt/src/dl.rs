@@ -78,13 +78,25 @@ impl DiffLogic {
             }
             // Trivially true; record an inert edge so backtracking stays aligned.
             let idx = self.edges.len();
-            self.edges.push(Edge { x, y, c, tag, active: true });
+            self.edges.push(Edge {
+                x,
+                y,
+                c,
+                tag,
+                active: true,
+            });
             self.trail.push(idx);
             return Ok(());
         }
 
         let idx = self.edges.len();
-        self.edges.push(Edge { x, y, c, tag, active: true });
+        self.edges.push(Edge {
+            x,
+            y,
+            c,
+            tag,
+            active: true,
+        });
         self.out[y].push(idx);
         self.trail.push(idx);
 

@@ -42,6 +42,17 @@ impl Model {
     }
 }
 
+/// Search-effort counters for one [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Propagation/decision steps consumed (the budgeted quantity).
+    pub steps: u64,
+    /// Decision points: unassigned variables picked during search.
+    pub decisions: u64,
+    /// Conflicts: clause/PB violations and theory cycles hit.
+    pub conflicts: u64,
+}
+
 /// The outcome of [`Solver::solve`].
 #[derive(Debug, Clone)]
 pub enum SolveResult {
@@ -102,12 +113,19 @@ pub struct Solver {
     n_int: u32,
     asserted: Vec<Term>,
     step_limit: u64,
+    stats: SolverStats,
 }
 
 impl Solver {
     /// Creates an empty solver with the default step limit.
     pub fn new() -> Self {
-        Solver { n_bool: 0, n_int: 0, asserted: Vec::new(), step_limit: 5_000_000 }
+        Solver {
+            n_bool: 0,
+            n_int: 0,
+            asserted: Vec::new(),
+            step_limit: 5_000_000,
+            stats: SolverStats::default(),
+        }
     }
 
     /// Creates a fresh boolean variable.
@@ -154,7 +172,18 @@ impl Solver {
             let lit = engine.encode(&t);
             engine.add_clause(vec![lit]);
         }
-        engine.search()
+        let result = engine.search();
+        self.stats = SolverStats {
+            steps: engine.steps,
+            decisions: engine.decisions,
+            conflicts: engine.conflicts,
+        };
+        result
+    }
+
+    /// Effort counters of the most recent [`Solver::solve`] call.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 }
 
@@ -230,6 +259,8 @@ struct Engine {
     queue: std::collections::VecDeque<Lit>,
     dl: DiffLogic,
     steps: u64,
+    decisions: u64,
+    conflicts: u64,
     limit: u64,
     true_var: u32,
 }
@@ -248,6 +279,8 @@ impl Engine {
             queue: std::collections::VecDeque::new(),
             dl: DiffLogic::new(),
             steps: 0,
+            decisions: 0,
+            conflicts: 0,
             limit,
             true_var: 0,
         };
@@ -271,7 +304,11 @@ impl Engine {
         }
         let kind = match atom {
             Atom::Bool(_) => VarKind::Free,
-            Atom::DiffLe { x, y, c } => VarKind::Diff { x: x.0, y: y.0, c: *c },
+            Atom::DiffLe { x, y, c } => VarKind::Diff {
+                x: x.0,
+                y: y.0,
+                c: *c,
+            },
         };
         let v = self.fresh_var(kind);
         self.atom_ids.insert(*atom, v);
@@ -365,7 +402,11 @@ impl Engine {
                 norm.push((-c, Lit::pos(v).neg()));
             }
         }
-        let shift: i64 = terms.iter().filter(|(c, _)| *c < 0).map(|(c, _)| c.abs()).sum();
+        let shift: i64 = terms
+            .iter()
+            .filter(|(c, _)| *c < 0)
+            .map(|(c, _)| c.abs())
+            .sum();
         let k = k + shift;
 
         let act = Lit::pos(self.fresh_var(VarKind::Free));
@@ -374,7 +415,11 @@ impl Engine {
             self.pb_occurs[l.var() as usize].push(idx);
         }
         self.pb_occurs[act.var() as usize].push(idx);
-        self.pbs.push(PbConstraint { act, terms: norm, k });
+        self.pbs.push(PbConstraint {
+            act,
+            terms: norm,
+            k,
+        });
         act
     }
 
@@ -395,7 +440,13 @@ impl Engine {
         debug_assert!(self.values[var as usize].is_none());
         let dl_mark = self.dl.active_len();
         self.values[var as usize] = Some(value);
-        self.trail.push(TrailEntry { var, value, decision, flipped: false, dl_mark });
+        self.trail.push(TrailEntry {
+            var,
+            value,
+            decision,
+            flipped: false,
+            dl_mark,
+        });
 
         if let VarKind::Diff { x, y, c } = self.kinds[var as usize] {
             let result = if value {
@@ -437,7 +488,9 @@ impl Engine {
     /// Propagates until fixpoint. Returns false on conflict.
     fn propagate(&mut self) -> bool {
         loop {
-            let Some(l) = self.queue.pop_front() else { return true };
+            let Some(l) = self.queue.pop_front() else {
+                return true;
+            };
             self.steps += 1;
             match self.value_of(l) {
                 Some(true) => continue,
@@ -600,15 +653,21 @@ impl Engine {
                 match self.values.iter().position(|v| v.is_none()) {
                     None => return SolveResult::Sat(self.extract_model()),
                     Some(var) => {
+                        self.decisions += 1;
                         let l = Lit::pos(var as u32).neg(); // try false first
-                        if (!self.assign(l, true) || !self.process_var(var as u32))
-                            && !self.backtrack() {
+                        if !self.assign(l, true) || !self.process_var(var as u32) {
+                            self.conflicts += 1;
+                            if !self.backtrack() {
                                 return SolveResult::Unsat;
                             }
+                        }
                     }
                 }
-            } else if !self.backtrack() {
-                return SolveResult::Unsat;
+            } else {
+                self.conflicts += 1;
+                if !self.backtrack() {
+                    return SolveResult::Unsat;
+                }
             }
         }
     }
@@ -616,11 +675,7 @@ impl Engine {
     /// Flips the most recent unflipped decision; false if none remains.
     fn backtrack(&mut self) -> bool {
         loop {
-            let Some(pos) = self
-                .trail
-                .iter()
-                .rposition(|e| e.decision && !e.flipped)
-            else {
+            let Some(pos) = self.trail.iter().rposition(|e| e.decision && !e.flipped) else {
                 return false;
             };
             let entry = self.trail[pos];
@@ -640,6 +695,7 @@ impl Engine {
             }
             // Flipping caused an immediate conflict; undo and search for an
             // earlier decision.
+            self.conflicts += 1;
             self.pop_to(pos);
             self.steps += 1;
             if self.steps > self.limit {
@@ -652,7 +708,9 @@ impl Engine {
         let mut model = Model::default();
         for (atom, &var) in &self.atom_ids {
             if let Atom::Bool(b) = atom {
-                model.bools.insert(*b, self.values[var as usize].unwrap_or(false));
+                model
+                    .bools
+                    .insert(*b, self.values[var as usize].unwrap_or(false));
             }
         }
         // Integer values come from the difference-logic potential.
@@ -753,7 +811,10 @@ mod tests {
         let vars: Vec<_> = (0..5).map(|_| s.fresh_bool()).collect();
         s.assert(Term::exactly_one(vars.iter().map(|&v| Atom::Bool(v))));
         let m = s.solve().model().unwrap();
-        let count = vars.iter().filter(|&&v| m.bool_value(v) == Some(true)).count();
+        let count = vars
+            .iter()
+            .filter(|&&v| m.bool_value(v) == Some(true))
+            .count();
         assert_eq!(count, 1);
     }
 
@@ -811,11 +872,12 @@ mod tests {
         let o_recv = s.fresh_int();
         let o_before = s.fresh_int();
         // "buffer has room" is CB < 0 which is false for an empty sum:
-        let buffer_ok = Term::Linear { terms: vec![], cmp: Cmp::Lt, k: 0 };
-        let matched = Term::and([
-            Term::var(p),
-            Term::eq_int(o_send, o_recv),
-        ]);
+        let buffer_ok = Term::Linear {
+            terms: vec![],
+            cmp: Cmp::Lt,
+            k: 0,
+        };
+        let matched = Term::and([Term::var(p), Term::eq_int(o_send, o_recv)]);
         s.assert(Term::or([buffer_ok, matched]));
         s.assert(Term::lt(o_before, o_send));
         let m = s.solve().model().unwrap();
@@ -835,7 +897,10 @@ mod tests {
             k: 2,
         });
         let m = s.solve().model().unwrap();
-        let count = vars.iter().filter(|&&v| m.bool_value(v) == Some(true)).count();
+        let count = vars
+            .iter()
+            .filter(|&&v| m.bool_value(v) == Some(true))
+            .count();
         assert_eq!(count, 2);
     }
 
@@ -848,7 +913,10 @@ mod tests {
         for chunk in vars.chunks(3) {
             s.assert(Term::exactly_one(chunk.iter().map(|&v| Atom::Bool(v))));
         }
-        assert!(matches!(s.solve(), SolveResult::Unknown | SolveResult::Sat(_)));
+        assert!(matches!(
+            s.solve(),
+            SolveResult::Unknown | SolveResult::Sat(_)
+        ));
     }
 
     #[test]

@@ -169,10 +169,7 @@ impl Term {
 
     /// `a ↔ b`.
     pub fn iff(a: Term, b: Term) -> Term {
-        Term::and([
-            Term::implies(a.clone(), b.clone()),
-            Term::implies(b, a),
-        ])
+        Term::and([Term::implies(a.clone(), b.clone()), Term::implies(b, a)])
     }
 
     /// Exactly one of `atoms` is true — GCatch's "one and only one receive
@@ -182,7 +179,11 @@ impl Term {
         if atoms.is_empty() {
             return Term::False;
         }
-        Term::Linear { terms: atoms.into_iter().map(|a| (1, a)).collect(), cmp: Cmp::Eq, k: 1 }
+        Term::Linear {
+            terms: atoms.into_iter().map(|a| (1, a)).collect(),
+            cmp: Cmp::Eq,
+            k: 1,
+        }
     }
 
     /// At most one of `atoms` is true.
@@ -191,7 +192,11 @@ impl Term {
         if terms.is_empty() {
             return Term::True;
         }
-        Term::Linear { terms, cmp: Cmp::Le, k: 1 }
+        Term::Linear {
+            terms,
+            cmp: Cmp::Le,
+            k: 1,
+        }
     }
 
     /// Collects every atom mentioned in the term into `out`.
@@ -313,7 +318,10 @@ mod tests {
     fn collect_atoms_walks_everything() {
         let t = Term::and([
             Term::var(BoolVar(0)),
-            Term::or([Term::lt(IntVar(0), IntVar(1)), Term::not(Term::var(BoolVar(1)))]),
+            Term::or([
+                Term::lt(IntVar(0), IntVar(1)),
+                Term::not(Term::var(BoolVar(1))),
+            ]),
             Term::exactly_one([Atom::Bool(BoolVar(2))]),
         ]);
         let mut atoms = Vec::new();

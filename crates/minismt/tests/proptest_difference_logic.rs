@@ -1,10 +1,12 @@
 //! Property tests for the incremental difference-logic theory against a
-//! Floyd–Warshall reference, including backtracking behavior.
+//! Floyd–Warshall reference, including backtracking behavior. Random edge
+//! sets come from a seeded generator (no external property-testing crate).
 
 use minismt::DiffLogic;
-use proptest::prelude::*;
+use prng::Prng;
 
 const N: usize = 5;
+const CASES: u64 = 256;
 
 #[derive(Debug, Clone)]
 struct EdgeSpec {
@@ -13,11 +15,15 @@ struct EdgeSpec {
     c: i64,
 }
 
-fn edges_strategy() -> impl Strategy<Value = Vec<EdgeSpec>> {
-    proptest::collection::vec(
-        (0..N, 0..N, -2i64..=2).prop_map(|(x, y, c)| EdgeSpec { x, y, c }),
-        1..12,
-    )
+fn gen_edges(rng: &mut Prng) -> Vec<EdgeSpec> {
+    let n = rng.gen_range(1..12usize);
+    (0..n)
+        .map(|_| EdgeSpec {
+            x: rng.gen_range(0..N),
+            y: rng.gen_range(0..N),
+            c: rng.gen_range(-2i64..=2),
+        })
+        .collect()
 }
 
 /// Floyd–Warshall feasibility of `x - y <= c` constraints.
@@ -45,13 +51,12 @@ fn reference_feasible(edges: &[EdgeSpec]) -> bool {
     (0..N).all(|i| d[i][i] >= 0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Incremental assertion agrees with the batch reference: the theory
-    /// accepts exactly the feasible prefixes.
-    #[test]
-    fn incremental_matches_floyd_warshall(edges in edges_strategy()) {
+/// Incremental assertion agrees with the batch reference: the theory
+/// accepts exactly the feasible prefixes.
+#[test]
+fn incremental_matches_floyd_warshall() {
+    for seed in 0..CASES {
+        let edges = gen_edges(&mut Prng::seed_from_u64(seed));
         let mut dl = DiffLogic::new();
         let mut accepted: Vec<EdgeSpec> = Vec::new();
         for (tag, e) in edges.iter().enumerate() {
@@ -59,27 +64,28 @@ proptest! {
             let mut candidate = accepted.clone();
             candidate.push(e.clone());
             let feasible = reference_feasible(&candidate);
-            prop_assert_eq!(
+            assert_eq!(
                 verdict.is_ok(),
                 feasible,
-                "edge {:?} against accepted {:?}",
-                e,
-                accepted
+                "seed {seed}: edge {e:?} against accepted {accepted:?}"
             );
             if verdict.is_ok() {
                 accepted.push(e.clone());
-                prop_assert!(dl.check_invariant());
+                assert!(dl.check_invariant());
                 // The maintained potential is a real model.
                 for a in &accepted {
-                    prop_assert!(dl.value(a.x) - dl.value(a.y) <= a.c);
+                    assert!(dl.value(a.x) - dl.value(a.y) <= a.c);
                 }
             }
         }
     }
+}
 
-    /// Retracting restores acceptance of previously conflicting edges.
-    #[test]
-    fn retract_reopens_the_state(edges in edges_strategy()) {
+/// Retracting restores acceptance of previously conflicting edges.
+#[test]
+fn retract_reopens_the_state() {
+    for seed in 0..CASES {
+        let edges = gen_edges(&mut Prng::seed_from_u64(seed));
         let mut dl = DiffLogic::new();
         let mut n_active = 0usize;
         for (tag, e) in edges.iter().enumerate() {
@@ -87,14 +93,22 @@ proptest! {
                 n_active += 1;
             }
         }
-        prop_assert_eq!(dl.active_len(), n_active);
+        assert_eq!(dl.active_len(), n_active, "seed {seed}");
         // Retract everything; any single edge must now be accepted.
         dl.retract_to(0);
         for e in &edges {
             if e.x != e.y || e.c >= 0 {
                 let mut fresh = DiffLogic::new();
-                prop_assert!(fresh.assert(e.x, e.y, e.c, 0).is_ok() == reference_feasible(std::slice::from_ref(e)));
-                prop_assert!(dl.assert(e.x, e.y, e.c, 99).is_ok() == reference_feasible(std::slice::from_ref(e)));
+                assert!(
+                    fresh.assert(e.x, e.y, e.c, 0).is_ok()
+                        == reference_feasible(std::slice::from_ref(e)),
+                    "seed {seed}"
+                );
+                assert!(
+                    dl.assert(e.x, e.y, e.c, 99).is_ok()
+                        == reference_feasible(std::slice::from_ref(e)),
+                    "seed {seed}"
+                );
                 dl.retract_to(0);
             }
         }

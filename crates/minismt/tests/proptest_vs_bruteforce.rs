@@ -4,48 +4,64 @@
 //! The reference enumerates every truth assignment of the atoms appearing in
 //! the formula, evaluates the boolean structure (with linear constraints
 //! evaluated arithmetically), and checks difference-logic consistency of the
-//! implied edge set with Floyd–Warshall.
+//! implied edge set with Floyd–Warshall. Random terms come from a seeded
+//! generator (no external property-testing crate).
 
 use minismt::{Atom, BoolVar, Cmp, IntVar, SolveResult, Solver, Term};
-use proptest::prelude::*;
+use prng::Prng;
 
 const N_INT: u32 = 4;
 const N_BOOL: u32 = 3;
+const CASES: u64 = 512;
 
-fn atom_strategy() -> impl Strategy<Value = Atom> {
-    prop_oneof![
-        (0..N_BOOL).prop_map(|v| Atom::Bool(BoolVar(v))),
-        (0..N_INT, 0..N_INT, -1i64..=1).prop_map(|(x, y, c)| Atom::DiffLe {
-            x: IntVar(x),
-            y: IntVar(y),
-            c
-        }),
-    ]
+fn gen_atom(rng: &mut Prng) -> Atom {
+    if rng.gen_bool(0.5) {
+        Atom::Bool(BoolVar(rng.gen_range(0..N_BOOL)))
+    } else {
+        Atom::DiffLe {
+            x: IntVar(rng.gen_range(0..N_INT)),
+            y: IntVar(rng.gen_range(0..N_INT)),
+            c: rng.gen_range(-1i64..=1),
+        }
+    }
 }
 
-fn term_strategy() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        4 => atom_strategy().prop_map(Term::Atom),
-        1 => Just(Term::True),
-        1 => Just(Term::False),
-        2 => (proptest::collection::vec((-1i64..=1, atom_strategy()), 1..4), -2i64..=3)
-            .prop_map(|(terms, k)| {
-                let terms: Vec<(i64, Atom)> =
-                    terms.into_iter().filter(|(c, _)| *c != 0).collect();
-                if terms.is_empty() {
-                    Term::True
-                } else {
-                    Term::Linear { terms, cmp: Cmp::Le, k }
+fn gen_leaf(rng: &mut Prng) -> Term {
+    // Weighted like the original strategy: atom 4, True 1, False 1, linear 2.
+    match rng.gen_range(0..8usize) {
+        0..=3 => Term::Atom(gen_atom(rng)),
+        4 => Term::True,
+        5 => Term::False,
+        _ => {
+            let n = rng.gen_range(1..4usize);
+            let terms: Vec<(i64, Atom)> = (0..n)
+                .map(|_| (rng.gen_range(-1i64..=1), gen_atom(rng)))
+                .filter(|(c, _)| *c != 0)
+                .collect();
+            let k = rng.gen_range(-2i64..=3);
+            if terms.is_empty() {
+                Term::True
+            } else {
+                Term::Linear {
+                    terms,
+                    cmp: Cmp::Le,
+                    k,
                 }
-            }),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Term::And),
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Term::Or),
-            inner.prop_map(|t| Term::Not(Box::new(t))),
-        ]
-    })
+            }
+        }
+    }
+}
+
+fn gen_term(rng: &mut Prng, depth: usize) -> Term {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return gen_leaf(rng);
+    }
+    let n = rng.gen_range(1..4usize);
+    match rng.gen_range(0..3usize) {
+        0 => Term::And((0..n).map(|_| gen_term(rng, depth - 1)).collect()),
+        1 => Term::Or((0..n).map(|_| gen_term(rng, depth - 1)).collect()),
+        _ => Term::Not(Box::new(gen_term(rng, depth - 1))),
+    }
 }
 
 /// Collect distinct atoms of a term.
@@ -75,8 +91,10 @@ fn eval(t: &Term, atoms: &[Atom], assignment: u32) -> bool {
             Term::And(ts) => ts.iter().all(|t| go(t, truth)),
             Term::Or(ts) => ts.iter().any(|t| go(t, truth)),
             Term::Linear { terms, cmp, k } => {
-                let sum: i64 =
-                    terms.iter().map(|(c, a)| if truth(a) { *c } else { 0 }).sum();
+                let sum: i64 = terms
+                    .iter()
+                    .map(|(c, a)| if truth(a) { *c } else { 0 })
+                    .sum();
                 match cmp {
                     Cmp::Lt => sum < *k,
                     Cmp::Le => sum <= *k,
@@ -170,42 +188,54 @@ fn model_satisfies(t: &Term, model: &minismt::Model) -> bool {
     go(t, model)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Solver verdicts agree with brute force, and SAT models actually
-    /// satisfy the formula.
-    #[test]
-    fn solver_agrees_with_bruteforce(t in term_strategy()) {
+/// Solver verdicts agree with brute force, and SAT models actually
+/// satisfy the formula.
+#[test]
+fn solver_agrees_with_bruteforce() {
+    for seed in 0..CASES {
+        let t = gen_term(&mut Prng::seed_from_u64(seed), 3);
         let expected = brute_force_sat(&t);
         let mut s = Solver::new();
         s.assert(t.clone());
         match s.solve() {
             SolveResult::Sat(model) => {
-                prop_assert!(expected, "solver said SAT, brute force says UNSAT: {t}");
-                prop_assert!(model_satisfies(&t, &model),
-                    "model does not satisfy the formula: {t}");
+                assert!(
+                    expected,
+                    "seed {seed}: solver said SAT, brute force says UNSAT: {t}"
+                );
+                assert!(
+                    model_satisfies(&t, &model),
+                    "seed {seed}: model does not satisfy the formula: {t}"
+                );
             }
             SolveResult::Unsat => {
-                prop_assert!(!expected, "solver said UNSAT, brute force says SAT: {t}");
+                assert!(
+                    !expected,
+                    "seed {seed}: solver said UNSAT, brute force says SAT: {t}"
+                );
             }
-            SolveResult::Unknown => prop_assert!(false, "budget exhausted on a tiny instance"),
+            SolveResult::Unknown => panic!("seed {seed}: budget exhausted on a tiny instance"),
         }
     }
+}
 
-    /// Conjunction of two terms is SAT only if each conjunct is SAT.
-    #[test]
-    fn conjunction_soundness(a in term_strategy(), b in term_strategy()) {
+/// Conjunction of two terms is SAT only if each conjunct is SAT.
+#[test]
+fn conjunction_soundness() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed ^ 0xC0_FFEE);
+        let a = gen_term(&mut rng, 3);
+        let b = gen_term(&mut rng, 3);
         let mut s = Solver::new();
         s.assert(a.clone());
         s.assert(b.clone());
         if s.solve().is_sat() {
             let mut sa = Solver::new();
             sa.assert(a);
-            prop_assert!(sa.solve().is_sat());
+            assert!(sa.solve().is_sat(), "seed {seed}");
             let mut sb = Solver::new();
             sb.assert(b);
-            prop_assert!(sb.solve().is_sat());
+            assert!(sb.solve().is_sat(), "seed {seed}");
         }
     }
 }

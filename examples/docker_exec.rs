@@ -62,7 +62,10 @@ fn main() {
         Some(run) => {
             println!("=== leak witnessed (seed search) ===");
             for b in &run.blocked {
-                println!("goroutine {} blocked in {} at {} ({:?})", b.id, b.func, b.span, b.reason);
+                println!(
+                    "goroutine {} blocked in {} at {} ({:?})",
+                    b.id, b.func, b.span, b.reason
+                );
             }
         }
         None => println!("(no leak within 60 seeds — rerun with more)"),

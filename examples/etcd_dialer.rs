@@ -45,7 +45,10 @@ fn main() {
     println!("=== GFix patch ({}) ===", patch.strategy);
     println!("{}\n", patch.description);
     println!("--- patched test ---\n{}", patch.after);
-    println!("changed lines: {} (paper: Strategy-II patches change 4 lines)", patch.changed_lines);
+    println!(
+        "changed lines: {} (paper: Strategy-II patches change 4 lines)",
+        patch.changed_lines
+    );
 
     // The paper's patch defers the send so every exit path (including the
     // Fatal) performs it.

@@ -26,10 +26,16 @@ fn show(title: &str, src: &str, seeds: u64) {
         println!("  {outcome}: {n}/{seeds} schedules");
     }
     // Show one blocked-goroutine report if any schedule blocked.
-    if let Some(blocked_run) = sim.explore(&Config::default(), 0..seeds).iter().find(|r| r.is_blocking())
+    if let Some(blocked_run) = sim
+        .explore(&Config::default(), 0..seeds)
+        .iter()
+        .find(|r| r.is_blocking())
     {
         for b in &blocked_run.blocked {
-            println!("  e.g. goroutine {} blocked in `{}` at {} ({:?})", b.id, b.func, b.span, b.reason);
+            println!(
+                "  e.g. goroutine {} blocked in `{}` at {} ({:?})",
+                b.id, b.func, b.span, b.reason
+            );
         }
     }
     println!();
@@ -79,13 +85,26 @@ func main() {
     )
     .unwrap();
     let sim = Simulator::new(&module);
-    let a = sim.run(&Config { seed: 9, ..Config::default() });
-    let b = sim.run(&Config { seed: 9, ..Config::default() });
+    let a = sim.run(&Config {
+        seed: 9,
+        ..Config::default()
+    });
+    let b = sim.run(&Config {
+        seed: 9,
+        ..Config::default()
+    });
     assert_eq!(a.steps, b.steps);
-    println!("deterministic replay: seed 9 → {} steps, output {:?} (twice)", a.steps, a.output);
+    println!(
+        "deterministic replay: seed 9 → {} steps, output {:?} (twice)",
+        a.steps, a.output
+    );
 
     // Sleep injection perturbs interleavings without changing semantics.
-    let slept = sim.run(&Config { seed: 9, sleep_injection: true, ..Config::default() });
+    let slept = sim.run(&Config {
+        seed: 9,
+        sleep_injection: true,
+        ..Config::default()
+    });
     println!(
         "sleep injection: {} steps (schedule changed), output {:?} (semantics kept)",
         slept.steps, slept.output

@@ -2,13 +2,15 @@
 //!
 //! ```console
 //! $ gcatch check file.go              # detect bugs (BMOC + traditional)
+//! $ gcatch check --json --stats file.go
+//! $ gcatch check --only bmoc --jobs 4 file.go
 //! $ gcatch fix file.go                # detect, patch, print the diffs
-//! $ gcatch fix --write file.go        # apply the patched source in place
+//! $ gcatch fix --write file.go        # apply patches in place, to fixpoint
 //! $ gcatch simulate file.go --seeds 50 --entry main
 //! $ gcatch extended file.go           # §6 send-on-closed panic detector
 //! ```
 
-use gcatch_suite::gcatch::{Detector, DetectorConfig, GCatch};
+use gcatch_suite::gcatch::{render_json, DetectorConfig, GCatch, Selection};
 use gcatch_suite::{gfix, sim};
 use std::process::ExitCode;
 
@@ -42,27 +44,51 @@ const USAGE: &str = "\
 usage: gcatch <command> [options] <file.go>
 
 commands:
-  check                 detect BMOC and traditional concurrency bugs
-  fix [--write]         detect and patch; --write applies the result in place
+  check [--json] [--stats] [--only C] [--skip C] [--jobs N]
+                        detect concurrency bugs via the checker registry;
+                        --only/--skip select checkers by name (repeatable,
+                        comma-separated lists accepted), --jobs shards the
+                        BMOC detector over N worker threads (0 = all cores),
+                        --json emits structured diagnostics, --stats adds
+                        pipeline counters and stage timings
+  fix [--write]         detect and patch, re-running detection on each
+                        patched source until a fixpoint; --write applies
+                        the final result in place
   simulate [--seeds N] [--entry F]
                         explore schedules and report outcomes
-  extended              run the send-on-closed (panic) detector (paper §6)
+  extended [--json] [--stats] [--jobs N]
+                        run the send-on-closed (panic) detector (paper §6)
 
 exit status: 0 = clean, 1 = bugs found, 2 = usage or input error";
 
 /// A parsed `--flag [value]` pair.
 type Flag = (String, Option<String>);
 
-/// Splits flags from the single positional file argument.
-fn parse_common(rest: &[String]) -> Result<(String, Vec<Flag>), String> {
+/// `(name, takes_value)` — the flags a command accepts.
+type FlagSpec = (&'static str, bool);
+
+/// Splits flags from the single positional file argument, rejecting any
+/// flag not in `spec` (exit code 2 at the caller).
+fn parse_common(rest: &[String], spec: &[FlagSpec]) -> Result<(String, Vec<Flag>), String> {
     let mut file = None;
     let mut flags = Vec::new();
-    let mut it = rest.iter().peekable();
+    let mut it = rest.iter();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
-            let takes_value = matches!(name, "seeds" | "entry");
+            let Some(&(_, takes_value)) = spec.iter().find(|(n, _)| *n == name) else {
+                let known: Vec<String> = spec.iter().map(|(n, _)| format!("--{n}")).collect();
+                return Err(if known.is_empty() {
+                    format!("unknown flag `--{name}` (this command takes no flags)")
+                } else {
+                    format!("unknown flag `--{name}` (known: {})", known.join(", "))
+                });
+            };
             let value = if takes_value {
-                Some(it.next().ok_or_else(|| format!("--{name} needs a value"))?.clone())
+                Some(
+                    it.next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?
+                        .clone(),
+                )
             } else {
                 None
             };
@@ -77,41 +103,162 @@ fn parse_common(rest: &[String]) -> Result<(String, Vec<Flag>), String> {
     Ok((file, flags))
 }
 
+fn has_flag(flags: &[Flag], name: &str) -> bool {
+    flags.iter().any(|(n, _)| n == name)
+}
+
+/// All values of a repeatable flag, with comma-separated lists split up.
+fn flag_values(flags: &[Flag], name: &str) -> Vec<String> {
+    flags
+        .iter()
+        .filter(|(n, _)| n == name)
+        .filter_map(|(_, v)| v.as_deref())
+        .flat_map(|v| v.split(','))
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .collect()
+}
+
+fn parse_jobs(flags: &[Flag]) -> Result<usize, String> {
+    flags
+        .iter()
+        .find(|(n, _)| n == "jobs")
+        .and_then(|(_, v)| v.as_deref())
+        .map_or(Ok(0), str::parse)
+        .map_err(|e| format!("bad --jobs: {e}"))
+}
+
 fn read_source(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
-    let (path, _) = parse_common(rest)?;
-    let src = read_source(&path)?;
+/// Shared body of `check` and `extended`: run the selected checkers and
+/// print diagnostics as text or JSON.
+fn run_diagnostics(
+    path: &str,
+    flags: &[Flag],
+    selection: Selection,
+    empty_message: &str,
+) -> Result<ExitCode, String> {
+    let json = has_flag(flags, "json");
+    let want_stats = has_flag(flags, "stats");
+    let config = DetectorConfig {
+        jobs: parse_jobs(flags)?,
+        ..DetectorConfig::default()
+    };
+    let src = read_source(path)?;
     let module = gcatch_suite::ir::lower_source(&src)?;
     let gcatch = GCatch::new(&module);
-    let bugs = gcatch.detect_all(&DetectorConfig::default());
-    if bugs.is_empty() {
-        println!("{path}: no concurrency bugs detected");
+    selection.validate(gcatch.registry())?;
+    let diagnostics = gcatch.diagnostics(&config, &selection);
+    let stats = gcatch.stats();
+    if json {
+        println!(
+            "{}",
+            render_json(&diagnostics, want_stats.then_some(&stats))
+        );
+        return Ok(if diagnostics.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+    if diagnostics.is_empty() {
+        println!("{path}: {empty_message}");
+        if want_stats {
+            print!("{}", stats.render_text());
+        }
         return Ok(ExitCode::SUCCESS);
     }
-    println!("{path}: {} bug(s) detected\n", bugs.len());
-    for bug in &bugs {
-        println!("{bug}");
+    println!("{path}: {} diagnostic(s)\n", diagnostics.len());
+    for d in &diagnostics {
+        println!(
+            "{} [{}] ({}) {}",
+            d.id,
+            d.severity.name(),
+            d.checker,
+            d.report
+        );
+    }
+    if want_stats {
+        print!("{}", stats.render_text());
     }
     Ok(ExitCode::FAILURE)
 }
 
+fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
+    let spec: &[FlagSpec] = &[
+        ("json", false),
+        ("stats", false),
+        ("only", true),
+        ("skip", true),
+        ("jobs", true),
+    ];
+    let (path, flags) = parse_common(rest, spec)?;
+    let selection = Selection {
+        only: flag_values(&flags, "only"),
+        skip: flag_values(&flags, "skip"),
+    };
+    run_diagnostics(&path, &flags, selection, "no concurrency bugs detected")
+}
+
+fn cmd_extended(rest: &[String]) -> Result<ExitCode, String> {
+    let spec: &[FlagSpec] = &[("json", false), ("stats", false), ("jobs", true)];
+    let (path, flags) = parse_common(rest, spec)?;
+    let selection = Selection {
+        only: vec!["send-on-closed".to_string()],
+        skip: Vec::new(),
+    };
+    run_diagnostics(
+        &path,
+        &flags,
+        selection,
+        "no send-on-closed panics detected",
+    )
+}
+
+/// How many detect→patch rounds `fix` will attempt before declaring the
+/// source non-converging (each round applies one patch, so this also caps
+/// the number of patches).
+const MAX_FIX_ROUNDS: usize = 32;
+
 fn cmd_fix(rest: &[String]) -> Result<ExitCode, String> {
-    let (path, flags) = parse_common(rest)?;
-    let write = flags.iter().any(|(n, _)| n == "write");
-    let src = read_source(&path)?;
-    let pipeline = gfix::Pipeline::from_source(&src)?;
-    let results = pipeline.run(&DetectorConfig::default());
-    if results.bugs.is_empty() {
-        println!("{path}: no concurrency bugs detected");
-        return Ok(ExitCode::SUCCESS);
-    }
-    println!("{path}: {} bug(s), {} patched\n", results.bugs.len(), results.patches.len());
-    let mut final_source: Option<String> = None;
-    for patch in &results.patches {
-        println!("[{}] {} ({} changed lines)", patch.strategy, patch.description, patch.changed_lines);
+    let (path, flags) = parse_common(rest, &[("write", false)])?;
+    let write = has_flag(&flags, "write");
+    let config = DetectorConfig::default();
+    let original = read_source(&path)?;
+
+    // Detect → apply the first patch → re-detect on the patched source,
+    // until no patch applies. Re-detection is required for soundness: a
+    // patch can shift line numbers and even unblock previously-masked
+    // schedules, so later patches from the *first* run may no longer apply.
+    let mut source = original.clone();
+    let mut applied = 0usize;
+    let mut initial_bugs = 0usize;
+    let mut last_rejections = Vec::new();
+    for round in 0..MAX_FIX_ROUNDS {
+        let pipeline = gfix::Pipeline::from_source(&source)?;
+        let results = pipeline.run(&config);
+        if round == 0 {
+            initial_bugs = results.bugs.len();
+            if results.bugs.is_empty() {
+                println!("{path}: no concurrency bugs detected");
+                return Ok(ExitCode::SUCCESS);
+            }
+            println!("{path}: {} bug(s) detected\n", results.bugs.len());
+        }
+        last_rejections = results
+            .rejections
+            .iter()
+            .map(|(b, w)| (b.primitive_name.clone(), w.clone()))
+            .collect();
+        let Some(patch) = results.patches.first() else {
+            break;
+        };
+        println!(
+            "[{}] {} ({} changed lines)",
+            patch.strategy, patch.description, patch.changed_lines
+        );
         for (before, after) in patch.before.lines().zip(patch.after.lines()) {
             if before != after {
                 println!("  - {before}");
@@ -119,26 +266,26 @@ fn cmd_fix(rest: &[String]) -> Result<ExitCode, String> {
             }
         }
         println!();
-        // Sequential application: re-run later patches on the updated source
-        // would be the full story; applying the first is the common case.
-        if final_source.is_none() {
-            final_source = Some(patch.after.clone());
-        }
+        source = patch.after.clone();
+        applied += 1;
     }
-    for (bug, why) in &results.rejections {
-        println!("not fixed: {} — {why}", bug.primitive_name);
+    for (name, why) in &last_rejections {
+        println!("not fixed: {name} — {why}");
     }
-    if write {
-        if let Some(out) = final_source {
-            std::fs::write(&path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
-            println!("wrote patched source to {path} (first patch applied)");
-        }
+    println!("{applied} patch(es) applied (fixpoint after {applied} round(s))");
+    if write && applied > 0 {
+        std::fs::write(&path, &source).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote patched source to {path} ({applied} patch(es) applied)");
     }
-    Ok(ExitCode::FAILURE)
+    Ok(if initial_bugs > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_simulate(rest: &[String]) -> Result<ExitCode, String> {
-    let (path, flags) = parse_common(rest)?;
+    let (path, flags) = parse_common(rest, &[("seeds", true), ("entry", true)])?;
     let seeds: u64 = flags
         .iter()
         .find(|(n, _)| n == "seeds")
@@ -153,7 +300,10 @@ fn cmd_simulate(rest: &[String]) -> Result<ExitCode, String> {
     let src = read_source(&path)?;
     let module = gcatch_suite::ir::lower_source(&src)?;
     let simulator = sim::Simulator::new(&module);
-    let config = sim::Config { entry, ..sim::Config::default() };
+    let config = sim::Config {
+        entry,
+        ..sim::Config::default()
+    };
     let mut blocked = 0usize;
     let mut panicked = 0usize;
     let mut clean = 0usize;
@@ -175,25 +325,15 @@ fn cmd_simulate(rest: &[String]) -> Result<ExitCode, String> {
     if let Some(report) = sample {
         println!("example blocked schedule:");
         for b in &report.blocked {
-            println!("  goroutine {} blocked in `{}` at {} ({:?})", b.id, b.func, b.span, b.reason);
+            println!(
+                "  goroutine {} blocked in `{}` at {} ({:?})",
+                b.id, b.func, b.span, b.reason
+            );
         }
     }
-    Ok(if blocked + panicked > 0 { ExitCode::FAILURE } else { ExitCode::SUCCESS })
-}
-
-fn cmd_extended(rest: &[String]) -> Result<ExitCode, String> {
-    let (path, _) = parse_common(rest)?;
-    let src = read_source(&path)?;
-    let module = gcatch_suite::ir::lower_source(&src)?;
-    let detector = Detector::new(&module);
-    let bugs = detector.detect_send_on_closed(&DetectorConfig::default());
-    if bugs.is_empty() {
-        println!("{path}: no send-on-closed panics detected");
-        return Ok(ExitCode::SUCCESS);
-    }
-    println!("{path}: {} potential panic(s)\n", bugs.len());
-    for bug in &bugs {
-        println!("{bug}");
-    }
-    Ok(ExitCode::FAILURE)
+    Ok(if blocked + panicked > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }

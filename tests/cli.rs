@@ -44,7 +44,10 @@ func main() {
 #[test]
 fn check_reports_bugs_with_exit_1() {
     let path = write_temp("check-buggy", BUGGY);
-    let out = gcatch().args(["check", path.to_str().unwrap()]).output().unwrap();
+    let out = gcatch()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("BMOC-C"), "stdout: {stdout}");
@@ -55,15 +58,26 @@ fn check_reports_bugs_with_exit_1() {
 #[test]
 fn check_clean_program_exits_0() {
     let path = write_temp("check-clean", CLEAN);
-    let out = gcatch().args(["check", path.to_str().unwrap()]).output().unwrap();
-    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = gcatch()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::remove_file(path).ok();
 }
 
 #[test]
 fn fix_prints_a_strategy1_diff() {
     let path = write_temp("fix-buggy", BUGGY);
-    let out = gcatch().args(["fix", path.to_str().unwrap()]).output().unwrap();
+    let out = gcatch()
+        .args(["fix", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("[S-I]"), "stdout: {stdout}");
@@ -74,13 +88,27 @@ fn fix_prints_a_strategy1_diff() {
 #[test]
 fn fix_write_applies_the_patch() {
     let path = write_temp("fix-write", BUGGY);
-    let out = gcatch().args(["fix", "--write", path.to_str().unwrap()]).output().unwrap();
+    let out = gcatch()
+        .args(["fix", "--write", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let patched = std::fs::read_to_string(&path).unwrap();
-    assert!(patched.contains("done := make(chan int, 1)"), "patched:\n{patched}");
+    assert!(
+        patched.contains("done := make(chan int, 1)"),
+        "patched:\n{patched}"
+    );
     // The patched file must now be clean.
-    let out = gcatch().args(["check", path.to_str().unwrap()]).output().unwrap();
-    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let out = gcatch()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     std::fs::remove_file(path).ok();
 }
 
@@ -94,7 +122,10 @@ fn simulate_counts_blocked_schedules() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("blocked"), "stdout: {stdout}");
-    assert!(stdout.contains("example blocked schedule"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("example blocked schedule"),
+        "stdout: {stdout}"
+    );
     std::fs::remove_file(path).ok();
 }
 
@@ -112,7 +143,10 @@ func main() {
 }
 "#;
     let path = write_temp("extended", src);
-    let out = gcatch().args(["extended", path.to_str().unwrap()]).output().unwrap();
+    let out = gcatch()
+        .args(["extended", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("SendOnClosed"), "stdout: {stdout}");
@@ -125,6 +159,196 @@ fn usage_errors_exit_2() {
     assert_eq!(out.status.code(), Some(2));
     let out = gcatch().args(["bogus"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
-    let out = gcatch().args(["check", "/nonexistent/x.go"]).output().unwrap();
+    let out = gcatch()
+        .args(["check", "/nonexistent/x.go"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_flags_are_rejected_with_exit_2() {
+    let path = write_temp("unknown-flag", CLEAN);
+    for args in [
+        vec!["check", "--frobnicate"],
+        vec!["check", "--write"], // a fix flag, not a check flag
+        vec!["fix", "--json"],    // a check flag, not a fix flag
+        vec!["simulate", "--jobs", "2"],
+        vec!["extended", "--only", "bmoc"],
+    ] {
+        let mut full = args.clone();
+        let p = path.to_str().unwrap();
+        full.push(p);
+        let out = gcatch().args(&full).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} should be rejected"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown flag"),
+            "stderr for {args:?}: {stderr}"
+        );
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_json_emits_structured_diagnostics() {
+    let path = write_temp("check-json", BUGGY);
+    let out = gcatch()
+        .args(["check", "--json", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("{\"version\":1,\"diagnostics\":["),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("\"id\":\"GC-"), "stdout: {stdout}");
+    assert!(stdout.contains("\"checker\":\"bmoc\""), "stdout: {stdout}");
+    assert!(
+        stdout.contains("\"severity\":\"error\""),
+        "stdout: {stdout}"
+    );
+    assert!(
+        !stdout.contains("\"stats\""),
+        "no stats unless --stats: {stdout}"
+    );
+
+    let out = gcatch()
+        .args(["check", "--json", "--stats", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"stats\":{\"counters\":{"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("\"solver_queries\":"), "stdout: {stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_only_and_skip_select_checkers() {
+    let path = write_temp("check-only", BUGGY);
+    let p = path.to_str().unwrap();
+    // The bug is BMOC-only, so skipping bmoc makes the run clean...
+    let out = gcatch()
+        .args(["check", "--skip", "bmoc", p])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // ...and selecting only bmoc still reports it.
+    let out = gcatch()
+        .args(["check", "--only", "bmoc", p])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Unknown checker names are usage errors.
+    let out = gcatch()
+        .args(["check", "--only", "nope", p])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown checker"), "stderr: {stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_jobs_values_agree() {
+    let path = write_temp("check-jobs", BUGGY);
+    let p = path.to_str().unwrap();
+    let run = |jobs: &str| {
+        let out = gcatch()
+            .args(["check", "--json", "--jobs", jobs, p])
+            .output()
+            .unwrap();
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(run("1"), run("8"), "--jobs must not change the diagnostics");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_stats_prints_counters() {
+    let path = write_temp("check-stats", CLEAN);
+    let out = gcatch()
+        .args(["check", "--stats", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stage timings:"), "stdout: {stdout}");
+    assert!(stdout.contains("channels_analyzed"), "stdout: {stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+/// Two independent bugs: the old CLI applied only the first patch under
+/// `--write`; the fixpoint loop must apply both.
+const TWO_BUGS: &str = r#"
+package main
+
+func a() {
+    d1 := make(chan int)
+    go func() {
+        d1 <- 1
+    }()
+    select {
+    case <-d1:
+    default:
+    }
+}
+
+func b() {
+    d2 := make(chan int)
+    go func() {
+        d2 <- 2
+    }()
+    select {
+    case <-d2:
+    default:
+    }
+}
+
+func main() {
+    a()
+    b()
+}
+"#;
+
+#[test]
+fn fix_write_applies_all_patches_to_fixpoint() {
+    let path = write_temp("fix-fixpoint", TWO_BUGS);
+    let p = path.to_str().unwrap();
+    let out = gcatch().args(["fix", "--write", p]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 patch(es) applied"), "stdout: {stdout}");
+    let patched = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        patched.contains("d1 := make(chan int, 1)"),
+        "patched:\n{patched}"
+    );
+    assert!(
+        patched.contains("d2 := make(chan int, 1)"),
+        "patched:\n{patched}"
+    );
+    // The patched file must now be clean.
+    let out = gcatch().args(["check", p]).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_file(path).ok();
 }

@@ -11,7 +11,10 @@ use gcatch_suite::gfix::{Pipeline, Strategy};
 use gcatch_suite::sim::{Config, Simulator};
 
 fn small_corpus() -> Vec<gcatch_suite::corpus::apps::GeneratedApp> {
-    generate_all(&GenConfig { seed: 11, filler_per_kloc: 0.01 })
+    generate_all(&GenConfig {
+        seed: 11,
+        filler_per_kloc: 0.01,
+    })
 }
 
 /// Every replica reproduces its exact Table 1 row (counts per category,
@@ -31,19 +34,28 @@ fn all_21_replicas_reproduce_table1() {
         );
         let cell = |kind: BugKind| result.cells.get(&kind).copied().unwrap_or_default();
         assert_eq!(
-            (cell(BugKind::BmocChannel).real, cell(BugKind::BmocChannel).fp),
+            (
+                cell(BugKind::BmocChannel).real,
+                cell(BugKind::BmocChannel).fp
+            ),
             profile.bmoc_c,
             "{}: BMOC-C",
             app.name
         );
         assert_eq!(
-            (cell(BugKind::BmocChannelMutex).real, cell(BugKind::BmocChannelMutex).fp),
+            (
+                cell(BugKind::BmocChannelMutex).real,
+                cell(BugKind::BmocChannelMutex).fp
+            ),
             profile.bmoc_m,
             "{}: BMOC-M",
             app.name
         );
         assert_eq!(
-            (cell(BugKind::MissingUnlock).real, cell(BugKind::MissingUnlock).fp),
+            (
+                cell(BugKind::MissingUnlock).real,
+                cell(BugKind::MissingUnlock).fp
+            ),
             profile.unlock,
             "{}: unlock",
             app.name
@@ -55,26 +67,39 @@ fn all_21_replicas_reproduce_table1() {
             app.name
         );
         assert_eq!(
-            (cell(BugKind::ConflictingLockOrder).real, cell(BugKind::ConflictingLockOrder).fp),
+            (
+                cell(BugKind::ConflictingLockOrder).real,
+                cell(BugKind::ConflictingLockOrder).fp
+            ),
             profile.conflict,
             "{}: conflict",
             app.name
         );
         assert_eq!(
-            (cell(BugKind::StructFieldRace).real, cell(BugKind::StructFieldRace).fp),
+            (
+                cell(BugKind::StructFieldRace).real,
+                cell(BugKind::StructFieldRace).fp
+            ),
             profile.struct_field,
             "{}: struct field",
             app.name
         );
         assert_eq!(
-            (cell(BugKind::FatalInChildGoroutine).real, cell(BugKind::FatalInChildGoroutine).fp),
+            (
+                cell(BugKind::FatalInChildGoroutine).real,
+                cell(BugKind::FatalInChildGoroutine).fp
+            ),
             profile.fatal,
             "{}: fatal",
             app.name
         );
         let s = |st: Strategy| result.gfix.get(&st).copied().unwrap_or(0);
         assert_eq!(
-            (s(Strategy::IncreaseBuffer), s(Strategy::DeferOperation), s(Strategy::AddStopChannel)),
+            (
+                s(Strategy::IncreaseBuffer),
+                s(Strategy::DeferOperation),
+                s(Strategy::AddStopChannel)
+            ),
             profile.gfix,
             "{}: GFix strategies",
             app.name
@@ -89,13 +114,19 @@ fn all_21_replicas_reproduce_table1() {
 fn static_fp_labels_are_dynamically_justified() {
     for kind in real_patterns().into_iter().chain(fp_patterns()) {
         let plant = emit(kind, 4242);
-        let Some(entry) = plant.entry.clone() else { continue };
+        let Some(entry) = plant.entry.clone() else {
+            continue;
+        };
         let source = format!("package main\n{}\nfunc main() {{\n}}\n", plant.source);
         let module = gcatch_suite::ir::lower_source(&source).expect("pattern lowers");
         let sim = Simulator::new(&module);
         let mut blocked = false;
         for sleep in [false, true] {
-            let cfg = Config { entry: entry.clone(), sleep_injection: sleep, ..Config::default() };
+            let cfg = Config {
+                entry: entry.clone(),
+                sleep_injection: sleep,
+                ..Config::default()
+            };
             blocked |= sim.explore(&cfg, 0..30).iter().any(|r| r.is_blocking());
         }
         if plant.fp {
@@ -110,17 +141,36 @@ fn static_fp_labels_are_dynamically_justified() {
 #[test]
 fn patches_on_multi_bug_program_validate() {
     let a = emit(gcatch_suite::corpus::patterns::PatternKind::SingleSend, 801);
-    let b = emit(gcatch_suite::corpus::patterns::PatternKind::MultipleOps, 802);
-    let source = format!("package main\n{}\n{}\nfunc main() {{\n}}\n", a.source, b.source);
+    let b = emit(
+        gcatch_suite::corpus::patterns::PatternKind::MultipleOps,
+        802,
+    );
+    let source = format!(
+        "package main\n{}\n{}\nfunc main() {{\n}}\n",
+        a.source, b.source
+    );
     let pipeline = Pipeline::from_source(&source).unwrap();
     let results = pipeline.run(&DetectorConfig::default());
-    assert_eq!(results.patches.len(), 2, "both bugs fixed: {:?}", results.rejections);
+    assert_eq!(
+        results.patches.len(),
+        2,
+        "both bugs fixed: {:?}",
+        results.rejections
+    );
     for (patch, plant) in [(&results.patches[0], &a), (&results.patches[1], &b)] {
-        let plant_for_patch = if patch.primitive_name.contains(&a.marker) { &a } else { &b };
+        let plant_for_patch = if patch.primitive_name.contains(&a.marker) {
+            &a
+        } else {
+            &b
+        };
         let _ = plant;
         let entry = plant_for_patch.entry.clone().unwrap();
         let v = gcatch_suite::gfix::validate(&patch.before, &patch.after, &entry, 30);
-        assert!(v.patch_blocks_never, "{} patch still blocks", patch.primitive_name);
+        assert!(
+            v.patch_blocks_never,
+            "{} patch still blocks",
+            patch.primitive_name
+        );
         assert!(v.semantics_preserved);
     }
 }
@@ -129,7 +179,10 @@ fn patches_on_multi_bug_program_validate() {
 #[test]
 fn coverage_study_detects_33_of_49() {
     let config = DetectorConfig::default();
-    let detected = study_set().iter().filter(|b| is_detected(b, &config)).count();
+    let detected = study_set()
+        .iter()
+        .filter(|b| is_detected(b, &config))
+        .count();
     assert_eq!(detected, 33);
 }
 
@@ -138,13 +191,23 @@ fn coverage_study_detects_33_of_49() {
 #[test]
 fn whole_program_mode_agrees_on_simple_bug() {
     let plant = emit(gcatch_suite::corpus::patterns::PatternKind::SingleSend, 900);
-    let source = format!("package main\n{}\nfunc main() {{\n Run900()\n}}\n", plant.source);
+    let source = format!(
+        "package main\n{}\nfunc main() {{\n Run900()\n}}\n",
+        plant.source
+    );
     let module = gcatch_suite::ir::lower_source(&source).unwrap();
     let gcatch = GCatch::new(&module);
-    let with = gcatch.detect_bmoc(&DetectorConfig { disentangle: true, ..Default::default() });
-    let without = gcatch.detect_bmoc(&DetectorConfig { disentangle: false, ..Default::default() });
+    let with = gcatch.detect_bmoc(&DetectorConfig {
+        disentangle: true,
+        ..Default::default()
+    });
+    let without = gcatch.detect_bmoc(&DetectorConfig {
+        disentangle: false,
+        ..Default::default()
+    });
     let hit = |bugs: &[gcatch_suite::gcatch::BugReport]| {
-        bugs.iter().any(|b| b.primitive_name.contains(&plant.marker))
+        bugs.iter()
+            .any(|b| b.primitive_name.contains(&plant.marker))
     };
     assert!(hit(&with));
     assert!(hit(&without));
@@ -154,7 +217,8 @@ fn whole_program_mode_agrees_on_simple_bug() {
 /// golite, lower with ir, detect with gcatch, fix with gfix, run with sim.
 #[test]
 fn umbrella_crate_round_trip() {
-    let src = "package main\nfunc main() {\n ch := make(chan int, 1)\n ch <- 1\n fmt.Println(<-ch)\n}";
+    let src =
+        "package main\nfunc main() {\n ch := make(chan int, 1)\n ch <- 1\n fmt.Println(<-ch)\n}";
     let program = gcatch_suite::golite::parse(src).unwrap();
     let printed = gcatch_suite::golite::print_program(&program);
     assert!(printed.contains("make(chan int, 1)"));

@@ -1,30 +1,29 @@
 //! Robustness fuzzing: the whole pipeline (parse → lower → detect → fix →
 //! simulate) must never panic on arbitrary well-formed GoLite programs, and
-//! any patch it produces must itself re-parse and re-lower.
+//! any patch it produces must itself re-parse and re-lower. Random programs
+//! come from a seeded generator (no external fuzzing crate).
 
 use gcatch_suite::gcatch::{DetectorConfig, GCatch};
 use gcatch_suite::sim::{Config, Simulator};
-use proptest::prelude::*;
-use rand::Rng;
+use prng::Prng;
 
 /// Generates a random small concurrent program from composable snippets.
 fn random_program(seed: u64) -> String {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    use rand::SeedableRng;
+    let mut rng = Prng::seed_from_u64(seed);
     let n_funcs = rng.gen_range(1..4usize);
     let mut src = String::from("package main\n");
     for f in 0..n_funcs {
-        let cap = rng.gen_range(0..3);
+        let cap = rng.gen_range(0..3u32);
         let spawn = rng.gen_bool(0.7);
         let select = rng.gen_bool(0.5);
         let deferred = rng.gen_bool(0.4);
-        let recv_count = rng.gen_range(0..3);
+        let recv_count = rng.gen_range(0..3u32);
         let mut body = format!("    ch{f} := make(chan int, {cap})\n");
         if deferred {
             body.push_str(&format!("    defer close(ch{f})\n"));
         }
         if spawn {
-            let sends = rng.gen_range(0..3);
+            let sends = rng.gen_range(0..3u32);
             body.push_str("    go func() {\n");
             for s in 0..sends {
                 body.push_str(&format!("        ch{f} <- {s}\n"));
@@ -51,12 +50,12 @@ fn random_program(seed: u64) -> String {
     src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// End-to-end pipeline robustness on random programs.
-    #[test]
-    fn pipeline_never_panics(seed in 0u64..10_000) {
+/// End-to-end pipeline robustness on random programs.
+#[test]
+fn pipeline_never_panics() {
+    let mut pick = Prng::seed_from_u64(0xF0712);
+    for case in 0..64u64 {
+        let seed = pick.gen_range(0u64..10_000);
         let src = random_program(seed);
         let pipeline = gcatch_suite::gfix::Pipeline::from_source(&src)
             .unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"));
@@ -64,24 +63,37 @@ proptest! {
         // Any produced patch must round-trip through the toolchain.
         for patch in &results.patches {
             let reparsed = gcatch_suite::golite::parse(&patch.after);
-            prop_assert!(reparsed.is_ok(), "patch does not reparse:\n{}", patch.after);
-            prop_assert!(gcatch_suite::ir::lower(&reparsed.unwrap()).is_ok());
+            assert!(
+                reparsed.is_ok(),
+                "case {case}: patch does not reparse:\n{}",
+                patch.after
+            );
+            assert!(gcatch_suite::ir::lower(&reparsed.unwrap()).is_ok());
         }
         // The simulator must terminate with a verdict on the original.
         // (Program-level panics are legitimate outcomes — e.g. a generated
         // `defer close` racing a send is a real Go panic — the requirement
         // is only that the *toolchain* never crashes.)
         let sim = Simulator::new(pipeline.module());
-        let report = sim.run(&Config { max_steps: 20_000, ..Config::default() });
+        let report = sim.run(&Config {
+            max_steps: 20_000,
+            ..Config::default()
+        });
         let _ = report.outcome;
     }
+}
 
-    /// The extended (§6) detector is panic-free too.
-    #[test]
-    fn send_on_closed_detector_never_panics(seed in 0u64..2_000) {
+/// The extended (§6) detector is panic-free too.
+#[test]
+fn send_on_closed_detector_never_panics() {
+    let mut pick = Prng::seed_from_u64(0x50C);
+    for _ in 0..64u64 {
+        let seed = pick.gen_range(0u64..2_000);
         let src = random_program(seed);
         let module = gcatch_suite::ir::lower_source(&src).expect("generated program lowers");
         let gcatch = GCatch::new(&module);
-        let _ = gcatch.detector().detect_send_on_closed(&DetectorConfig::default());
+        let _ = gcatch
+            .detector()
+            .detect_send_on_closed(&DetectorConfig::default());
     }
 }
