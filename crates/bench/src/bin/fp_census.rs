@@ -5,7 +5,7 @@
 //! channel + 2 slice/array), 14 call-graph.
 
 use bench::{corpus, detector_config, render_table};
-use gcatch::Counter;
+use gcatch::{Counter, HistSnapshot, Metric};
 use go_corpus::census::run_app;
 use go_corpus::patterns::FpCause;
 use std::collections::BTreeMap;
@@ -16,6 +16,7 @@ fn main() {
     let mut causes: BTreeMap<FpCause, usize> = BTreeMap::new();
     let mut pruned = 0u64;
     let mut enumerated = 0u64;
+    let mut paths_dist = HistSnapshot::default();
     for app in &apps {
         let result = run_app(app, &config);
         for (cause, n) in result.fp_causes {
@@ -23,6 +24,7 @@ fn main() {
         }
         pruned += result.stats.counter(Counter::BranchesPruned);
         enumerated += result.stats.counter(Counter::PathsEnumerated);
+        paths_dist.merge(result.stats.hist(Metric::PathsPerChannel));
     }
     let mut buckets: BTreeMap<&'static str, usize> = BTreeMap::new();
     let rows: Vec<Vec<String>> = causes
@@ -51,5 +53,13 @@ fn main() {
     println!(
         "path enumeration: {enumerated} paths kept, {pruned} infeasible branches pruned \
          (the pruning that keeps the infeasible-path FP bucket this small)"
+    );
+    println!(
+        "paths per channel: p50 {} / p90 {} / p99 {} / max {}  (n={} channels)",
+        paths_dist.percentile(50),
+        paths_dist.percentile(90),
+        paths_dist.percentile(99),
+        paths_dist.max,
+        paths_dist.count
     );
 }

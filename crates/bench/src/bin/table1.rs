@@ -6,7 +6,7 @@
 //! patches split 99 / 4 / 21 across the strategies.
 
 use bench::{cell, corpus, detector_config, render_table};
-use gcatch::{BugKind, Counter};
+use gcatch::{BugKind, Counter, HistSnapshot, Metric};
 use gfix::Strategy;
 use go_corpus::census::run_app;
 
@@ -17,6 +17,10 @@ fn main() {
     let mut totals = [(0usize, 0usize); 7];
     let mut gfix_totals = [0usize; 3];
     let mut pipeline_totals = [0u64; 4];
+    let mut hist_totals: Vec<(Metric, HistSnapshot)> = Metric::all()
+        .into_iter()
+        .map(|m| (m, HistSnapshot::default()))
+        .collect();
     let kinds = [
         BugKind::BmocChannel,
         BugKind::BmocChannelMutex,
@@ -42,6 +46,9 @@ fn main() {
         .enumerate()
         {
             pipeline_totals[i] += result.stats.counter(c);
+        }
+        for (m, total) in &mut hist_totals {
+            total.merge(result.stats.hist(*m));
         }
         let mut row = vec![result.name.to_string()];
         for (i, kind) in kinds.iter().enumerate() {
@@ -106,4 +113,29 @@ fn main() {
         "pipeline: {} channels analyzed, {} paths enumerated, {} groups checked, {} solver queries",
         pipeline_totals[0], pipeline_totals[1], pipeline_totals[2], pipeline_totals[3]
     );
+    println!("corpus-wide percentiles (p50/p90/p99/max):");
+    for (m, h) in &hist_totals {
+        if m.is_time() {
+            let ms = |ns: u64| format!("{}.{:03} ms", ns / 1_000_000, (ns / 1_000) % 1_000);
+            println!(
+                "  {:<20} {} / {} / {} / {}  (n={})",
+                m.name(),
+                ms(h.percentile(50)),
+                ms(h.percentile(90)),
+                ms(h.percentile(99)),
+                ms(h.max),
+                h.count
+            );
+        } else {
+            println!(
+                "  {:<20} {} / {} / {} / {}  (n={})",
+                m.name(),
+                h.percentile(50),
+                h.percentile(90),
+                h.percentile(99),
+                h.max,
+                h.count
+            );
+        }
+    }
 }

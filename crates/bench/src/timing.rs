@@ -5,6 +5,7 @@
 //! a short warm-up, then `samples` timed runs, reported as min/median/mean.
 //! A `black_box` sink keeps the optimizer from deleting the measured work.
 
+use gcatch::{HistSnapshot, Histogram};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -35,6 +36,27 @@ impl Measurement {
         }
         self.samples.iter().sum::<Duration>() / self.samples.len() as u32
     }
+
+    /// Folds the samples into a log-bucketed [`Histogram`] snapshot, the
+    /// same representation the detector's `--stats` percentiles use.
+    pub fn histogram(&self) -> HistSnapshot {
+        let hist = Histogram::default();
+        for d in &self.samples {
+            hist.record(d.as_nanos() as u64);
+        }
+        hist.snapshot()
+    }
+
+    /// `p50 / p90 / p99` summary line from the histogram snapshot.
+    pub fn percentile_summary(&self) -> String {
+        let h = self.histogram();
+        format!(
+            "p50 {:?}  p90 {:?}  p99 {:?}",
+            Duration::from_nanos(h.percentile(50)),
+            Duration::from_nanos(h.percentile(90)),
+            Duration::from_nanos(h.percentile(99)),
+        )
+    }
 }
 
 /// Times `f` for `samples` iterations (plus one untimed warm-up), prints a
@@ -53,11 +75,12 @@ pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Measure
         samples: durations,
     };
     println!(
-        "{:<44} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        "{:<44} min {:>12?}  median {:>12?}  mean {:>12?}  {}  ({} samples)",
         m.name,
         m.min(),
         m.median(),
         m.mean(),
+        m.percentile_summary(),
         m.samples.len()
     );
     m
@@ -78,5 +101,16 @@ mod tests {
         // warm-up + 5 timed runs
         assert_eq!(n, 6);
         assert!(m.min() <= m.median() && m.median() <= *m.samples.last().unwrap());
+    }
+
+    #[test]
+    fn histogram_summary_covers_all_samples() {
+        let m = bench("test/noop", 7, || 0u8);
+        let h = m.histogram();
+        assert_eq!(h.count, 7);
+        // Percentiles are bucket upper bounds clamped to the observed max.
+        assert!(h.percentile(99) <= h.max);
+        assert!(h.percentile(50) <= h.percentile(99));
+        assert!(m.percentile_summary().contains("p50"));
     }
 }

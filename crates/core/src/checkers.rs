@@ -273,14 +273,23 @@ impl Registry {
             if !selection.enables(checker) {
                 continue;
             }
+            // The per-checker span lives on the main lane; detectors that
+            // shard work (BMOC) open their own per-worker lanes inside it.
+            let mut lane = session.tracer().lane(0, "main");
+            lane.begin(format!("checker:{}", checker.name()), Vec::new());
             let mut reports = checker.run(session, config);
             reports.retain(|r| {
                 let fresh = seen.insert(r.dedup_key());
                 if !fresh {
                     session.telemetry().add(Counter::DuplicatesDropped, 1);
+                    lane.instant(
+                        "dedup_dropped",
+                        vec![("kind", crate::trace::ArgValue::from(r.kind.label()))],
+                    );
                 }
                 fresh
             });
+            lane.end();
             out.push(RunOutput {
                 checker: checker.name(),
                 reports,

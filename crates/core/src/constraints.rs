@@ -25,7 +25,7 @@ use crate::paths::{Event, PathOp};
 use crate::primitives::{OpKind, PrimId, Primitives};
 use crate::telemetry::Telemetry;
 use minismt::{Atom, IntVar, SolveResult, Solver, Term};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A communication occurrence inside a combination.
 #[derive(Debug, Clone)]
@@ -67,6 +67,22 @@ pub fn check_group_recorded(
     step_limit: u64,
     telemetry: Option<&Telemetry>,
 ) -> Verdict {
+    let (verdict, stats) = check_group_traced(prims, combo, group, step_limit);
+    if let (Some(t), Some(s)) = (telemetry, stats) {
+        t.add_solver_stats(s);
+    }
+    verdict
+}
+
+/// [`check_group`], additionally returning the query's [`minismt`] effort
+/// and timing stats (for tracing, histograms, and report provenance).
+/// `None` when the query was short-circuited before reaching the solver.
+pub fn check_group_traced(
+    prims: &Primitives,
+    combo: &Combo,
+    group: &[GroupMember],
+    step_limit: u64,
+) -> (Verdict, Option<minismt::SolverStats>) {
     let mut solver = Solver::new();
     solver.set_step_limit(step_limit);
 
@@ -87,11 +103,16 @@ pub fn check_group_recorded(
         }
     }
     if group.iter().any(|m| !alive[m.goroutine]) {
-        return Verdict::Safe; // a group member's goroutine never starts
+        // A group member's goroutine never starts; the solver is not run.
+        return (Verdict::Safe, None);
     }
 
-    // Order variables for kept events.
-    let mut order: HashMap<(usize, usize), IntVar> = HashMap::new();
+    // Order variables for kept events. A BTreeMap, not a HashMap: ΦB below
+    // iterates this map while asserting terms, and assertion order decides
+    // atom numbering — and with it the DPLL search path and step counts,
+    // which provenance exposes and the `--jobs` contract requires to be
+    // bit-identical across runs.
+    let mut order: BTreeMap<(usize, usize), IntVar> = BTreeMap::new();
     for (gi, _g) in combo.gos.iter().enumerate() {
         if !alive[gi] {
             continue;
@@ -360,10 +381,8 @@ pub fn check_group_recorded(
     }
 
     let result = solver.solve();
-    if let Some(t) = telemetry {
-        t.add_solver_stats(solver.stats());
-    }
-    match result {
+    let stats = solver.stats();
+    let verdict = match result {
         SolveResult::Sat(model) => {
             // Produce the witness order: kept events sorted by O value.
             let mut timeline: Vec<(i64, String)> = Vec::new();
@@ -377,7 +396,8 @@ pub fn check_group_recorded(
         }
         SolveResult::Unsat => Verdict::Safe,
         SolveResult::Unknown => Verdict::Unknown,
-    }
+    };
+    (verdict, Some(stats))
 }
 
 /// "Operation `op` cannot proceed at time `at`": a send finds the buffer
@@ -462,11 +482,29 @@ pub fn check_send_after_close_recorded(
     step_limit: u64,
     telemetry: Option<&Telemetry>,
 ) -> Verdict {
+    let (verdict, stats) = check_send_after_close_traced(prims, combo, send, close, step_limit);
+    if let Some(t) = telemetry {
+        t.add_solver_stats(stats);
+    }
+    verdict
+}
+
+/// [`check_send_after_close`], additionally returning the query's solver
+/// stats (for tracing and provenance).
+pub fn check_send_after_close_traced(
+    prims: &Primitives,
+    combo: &Combo,
+    send: GroupMember,
+    close: GroupMember,
+    step_limit: u64,
+) -> (Verdict, minismt::SolverStats) {
     // No suspicious group: everything must be reachable.
     let mut solver = Solver::new();
     solver.set_step_limit(step_limit);
 
-    let mut order: HashMap<(usize, usize), IntVar> = HashMap::new();
+    // BTreeMap for the same reason as the BMOC encoder: iteration order
+    // feeds term assertion order, which must be run-to-run deterministic.
+    let mut order: BTreeMap<(usize, usize), IntVar> = BTreeMap::new();
     for (gi, g) in combo.gos.iter().enumerate() {
         for ei in 0..g.path.events.len() {
             order.insert((gi, ei), solver.fresh_int());
@@ -622,10 +660,8 @@ pub fn check_send_after_close_recorded(
     solver.assert(Term::lt(o_close, o_send));
 
     let result = solver.solve();
-    if let Some(t) = telemetry {
-        t.add_solver_stats(solver.stats());
-    }
-    match result {
+    let stats = solver.stats();
+    let verdict = match result {
         SolveResult::Sat(model) => {
             let mut timeline: Vec<(i64, String)> = order
                 .iter()
@@ -641,7 +677,8 @@ pub fn check_send_after_close_recorded(
         }
         SolveResult::Unsat => Verdict::Safe,
         SolveResult::Unknown => Verdict::Unknown,
-    }
+    };
+    (verdict, stats)
 }
 
 #[cfg(test)]

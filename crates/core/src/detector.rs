@@ -15,17 +15,19 @@
 //! cross-channel deduplication. One channel's detection is fully
 //! sequential, so `jobs = 1` and `jobs = N` produce identical reports.
 
-use crate::constraints::{check_group_recorded, check_send_after_close_recorded, Verdict};
+use crate::constraints::{check_group_traced, check_send_after_close_traced, Verdict};
 use crate::disentangle::pset;
 use crate::paths::{Enumerator, Event, Limits, Path};
 use crate::primitives::{OpKind, PrimId};
-use crate::report::{BugKind, BugReport, OpRef};
+use crate::report::{BugKind, BugReport, OpRef, Provenance};
 use crate::session::AnalysisSession;
-use crate::telemetry::{Counter, Stage};
+use crate::telemetry::{Counter, Metric, Stage};
+use crate::trace::{ArgValue, Lane};
 use golite_ir::ir::*;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 pub use crate::session::Detector;
 
@@ -132,23 +134,30 @@ impl<'m> AnalysisSession<'m> {
 
         let jobs = effective_jobs(config.jobs, channels.len());
         let per_channel: Vec<Vec<(GroupKey, BugReport)>> = if jobs <= 1 {
+            let mut lane = self.tracer().lane(1, "bmoc-worker-0");
             channels
                 .iter()
-                .map(|&c| self.detect_channel(c, config))
+                .map(|&c| self.detect_channel(c, config, &mut lane))
                 .collect()
         } else {
             let slots: Vec<Mutex<Vec<(GroupKey, BugReport)>>> =
                 channels.iter().map(|_| Mutex::new(Vec::new())).collect();
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
-                for _ in 0..jobs {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= channels.len() {
-                            break;
+                let (channels, slots, next) = (&channels, &slots, &next);
+                for w in 0..jobs {
+                    scope.spawn(move || {
+                        // One trace lane per worker: events land on their
+                        // own Chrome thread row, buffered without locks.
+                        let mut lane = self.tracer().lane(1 + w as u32, format!("bmoc-worker-{w}"));
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= channels.len() {
+                                break;
+                            }
+                            let found = self.detect_channel(channels[i], config, &mut lane);
+                            *slots[i].lock().expect("worker slot") = found;
                         }
-                        let found = self.detect_channel(channels[i], config);
-                        *slots[i].lock().expect("worker slot") = found;
                     });
                 }
             });
@@ -159,6 +168,7 @@ impl<'m> AnalysisSession<'m> {
         };
 
         // Deterministic merge in channel order with cross-channel dedup.
+        let mut merge_lane = self.tracer().lane(0, "main");
         let mut seen: HashSet<GroupKey> = HashSet::new();
         let mut reports: Vec<BugReport> = Vec::new();
         for found in per_channel {
@@ -167,6 +177,10 @@ impl<'m> AnalysisSession<'m> {
                     reports.push(report);
                 } else {
                     self.telemetry.add(Counter::DuplicatesDropped, 1);
+                    merge_lane.instant(
+                        "dedup_dropped",
+                        vec![("kind", ArgValue::from(report.kind.label()))],
+                    );
                 }
             }
         }
@@ -174,10 +188,35 @@ impl<'m> AnalysisSession<'m> {
     }
 
     /// The full detection pipeline for one channel: disentangle, enumerate,
-    /// group, solve. Pure with respect to the session (telemetry aside), so
-    /// workers can run it concurrently; findings carry their group key for
-    /// the cross-channel merge.
-    fn detect_channel(&self, chan: PrimId, config: &DetectorConfig) -> Vec<(GroupKey, BugReport)> {
+    /// group, solve. Pure with respect to the session (telemetry and the
+    /// caller's trace lane aside), so workers can run it concurrently;
+    /// findings carry their group key for the cross-channel merge.
+    fn detect_channel(
+        &self,
+        chan: PrimId,
+        config: &DetectorConfig,
+        lane: &mut Lane<'_>,
+    ) -> Vec<(GroupKey, BugReport)> {
+        let started = Instant::now();
+        let chan_name = self.prims.all[chan.0].name.clone();
+        lane.begin(
+            "bmoc_channel",
+            vec![("chan", ArgValue::from(chan_name.as_str()))],
+        );
+        let found = self.detect_channel_pipeline(chan, &chan_name, config, lane);
+        lane.end();
+        self.telemetry
+            .observe(Metric::ChannelDetectNs, started.elapsed().as_nanos() as u64);
+        found
+    }
+
+    fn detect_channel_pipeline(
+        &self,
+        chan: PrimId,
+        chan_name: &str,
+        config: &DetectorConfig,
+        lane: &mut Lane<'_>,
+    ) -> Vec<(GroupKey, BugReport)> {
         let (root, prim_set): (FuncId, Vec<PrimId>) = if config.disentangle {
             let scopes = self.scopes();
             let set = pset(chan, self.dependency_graph(), scopes, &self.prims);
@@ -192,6 +231,7 @@ impl<'m> AnalysisSession<'m> {
             };
             (main.id, self.prims.all.iter().map(|p| p.id).collect())
         };
+        let pset_size = prim_set.len();
         let mut enumerator = Enumerator::new(
             self.module,
             &self.analysis,
@@ -199,16 +239,30 @@ impl<'m> AnalysisSession<'m> {
             &prim_set,
             config.limits.clone(),
         );
+        lane.begin("build_combos", vec![]);
         let combos = self.telemetry.time(Stage::Paths, || {
-            self.build_combos(&mut enumerator, root, config)
+            self.build_combos(&mut enumerator, root, config, lane)
         });
+        lane.end();
+        let paths_enumerated = enumerator.paths_enumerated();
+        let branches_pruned = enumerator.branches_pruned();
         self.telemetry
-            .add(Counter::PathsEnumerated, enumerator.paths_enumerated());
-        self.telemetry
-            .add(Counter::BranchesPruned, enumerator.branches_pruned());
+            .add(Counter::PathsEnumerated, paths_enumerated);
+        self.telemetry.add(Counter::BranchesPruned, branches_pruned);
         self.telemetry
             .add(Counter::CombosBuilt, combos.len() as u64);
+        self.telemetry
+            .observe(Metric::PathsPerChannel, paths_enumerated);
+        self.telemetry
+            .observe(Metric::CombosPerChannel, combos.len() as u64);
+        if branches_pruned > 0 {
+            lane.instant(
+                "branch_pruned",
+                vec![("count", ArgValue::U64(branches_pruned))],
+            );
+        }
 
+        let mut groups_checked = 0u64;
         let mut local_seen: HashSet<GroupKey> = HashSet::new();
         let mut found: Vec<(GroupKey, BugReport)> = Vec::new();
         for combo in &combos {
@@ -218,20 +272,44 @@ impl<'m> AnalysisSession<'m> {
                     continue;
                 }
                 self.telemetry.add(Counter::GroupsChecked, 1);
-                let verdict = self.telemetry.time(Stage::Constraints, || {
-                    check_group_recorded(
-                        &self.prims,
-                        combo,
-                        &group,
-                        config.solver_steps,
-                        Some(&self.telemetry),
-                    )
+                groups_checked += 1;
+                lane.begin("solve", vec![("group", ArgValue::U64(groups_checked))]);
+                let (verdict, solver_stats) = self.telemetry.time(Stage::Constraints, || {
+                    check_group_traced(&self.prims, combo, &group, config.solver_steps)
                 });
+                if let Some(s) = solver_stats {
+                    self.telemetry.add_solver_stats(s);
+                    lane.complete(
+                        "dpll",
+                        s.elapsed,
+                        vec![
+                            ("steps", ArgValue::U64(s.steps)),
+                            ("decisions", ArgValue::U64(s.decisions)),
+                            ("conflicts", ArgValue::U64(s.conflicts)),
+                        ],
+                    );
+                }
+                lane.end();
                 match verdict {
                     Verdict::Blocking(witness) => {
                         local_seen.insert(key.clone());
                         self.telemetry.add(Counter::ReportsEmitted, 1);
-                        found.push((key, self.make_report(chan, combo, &group, witness, root)));
+                        lane.instant("report_emitted", vec![("chan", ArgValue::from(chan_name))]);
+                        let mut report = self.make_report(chan, combo, &group, witness, root);
+                        let s = solver_stats.unwrap_or_default();
+                        report.provenance = Some(Provenance {
+                            channel: chan_name.to_string(),
+                            pset_size,
+                            paths_enumerated,
+                            branches_pruned,
+                            combos_tried: combos.len(),
+                            groups_checked,
+                            solver_verdict: "blocking",
+                            solver_steps: s.steps,
+                            solver_decisions: s.decisions,
+                            solver_conflicts: s.conflicts,
+                        });
+                        found.push((key, report));
                     }
                     Verdict::Safe | Verdict::Unknown => {}
                 }
@@ -247,9 +325,14 @@ impl<'m> AnalysisSession<'m> {
         enumerator: &mut Enumerator<'_>,
         root: FuncId,
         config: &DetectorConfig,
+        lane: &mut Lane<'_>,
     ) -> Vec<Combo> {
         let mut out: Vec<Combo> = Vec::new();
-        let root_paths = enumerator.paths_of(root);
+        let root_paths = lane.span(
+            "enumerate_paths",
+            vec![("root", ArgValue::from(self.module.func(root).name.as_str()))],
+            |_| enumerator.paths_of(root),
+        );
         for rp in root_paths {
             let partial = vec![GoroutinePath {
                 path: rp,
@@ -491,6 +574,7 @@ impl<'m> AnalysisSession<'m> {
             ops,
             witness_order: witness,
             notes: format!("scope root: {}", self.module.func(root).name),
+            provenance: None,
         }
     }
 }
@@ -503,6 +587,7 @@ impl<'m> AnalysisSession<'m> {
     pub fn detect_send_on_closed(&self, config: &DetectorConfig) -> Vec<BugReport> {
         let dg = self.dependency_graph();
         let scopes = self.scopes();
+        let mut lane = self.tracer().lane(0, "main");
         let mut reports = Vec::new();
         let mut seen: HashSet<(Loc, Loc)> = HashSet::new();
 
@@ -522,8 +607,14 @@ impl<'m> AnalysisSession<'m> {
             if !has_send || !has_close {
                 continue;
             }
+            let started = Instant::now();
+            lane.begin(
+                "bmoc_channel",
+                vec![("chan", ArgValue::from(chan.name.as_str()))],
+            );
             let root = scopes[chan.id.0].root;
             let prim_set = pset(chan.id, dg, scopes, &self.prims);
+            let pset_size = prim_set.len();
             let mut enumerator = Enumerator::new(
                 self.module,
                 &self.analysis,
@@ -531,15 +622,23 @@ impl<'m> AnalysisSession<'m> {
                 &prim_set,
                 config.limits.clone(),
             );
+            lane.begin("build_combos", vec![]);
             let combos = self.telemetry.time(Stage::Paths, || {
-                self.build_combos(&mut enumerator, root, config)
+                self.build_combos(&mut enumerator, root, config, &mut lane)
             });
+            lane.end();
+            let paths_enumerated = enumerator.paths_enumerated();
+            let branches_pruned = enumerator.branches_pruned();
             self.telemetry
-                .add(Counter::PathsEnumerated, enumerator.paths_enumerated());
-            self.telemetry
-                .add(Counter::BranchesPruned, enumerator.branches_pruned());
+                .add(Counter::PathsEnumerated, paths_enumerated);
+            self.telemetry.add(Counter::BranchesPruned, branches_pruned);
             self.telemetry
                 .add(Counter::CombosBuilt, combos.len() as u64);
+            self.telemetry
+                .observe(Metric::PathsPerChannel, paths_enumerated);
+            self.telemetry
+                .observe(Metric::CombosPerChannel, combos.len() as u64);
+            let mut groups_checked = 0u64;
             for combo in &combos {
                 // Collect sends and closes on this channel.
                 let mut sends = Vec::new();
@@ -575,19 +674,36 @@ impl<'m> AnalysisSession<'m> {
                             continue;
                         }
                         self.telemetry.add(Counter::GroupsChecked, 1);
-                        let verdict = self.telemetry.time(Stage::Constraints, || {
-                            check_send_after_close_recorded(
-                                &self.prims,
-                                combo,
-                                *send_m,
-                                *close_m,
-                                config.solver_steps,
-                                Some(&self.telemetry),
-                            )
-                        });
+                        groups_checked += 1;
+                        lane.begin("solve", vec![("group", ArgValue::U64(groups_checked))]);
+                        let (verdict, solver_stats) =
+                            self.telemetry.time(Stage::Constraints, || {
+                                check_send_after_close_traced(
+                                    &self.prims,
+                                    combo,
+                                    *send_m,
+                                    *close_m,
+                                    config.solver_steps,
+                                )
+                            });
+                        self.telemetry.add_solver_stats(solver_stats);
+                        lane.complete(
+                            "dpll",
+                            solver_stats.elapsed,
+                            vec![
+                                ("steps", ArgValue::U64(solver_stats.steps)),
+                                ("decisions", ArgValue::U64(solver_stats.decisions)),
+                                ("conflicts", ArgValue::U64(solver_stats.conflicts)),
+                            ],
+                        );
+                        lane.end();
                         match verdict {
                             Verdict::Blocking(witness) => {
                                 self.telemetry.add(Counter::ReportsEmitted, 1);
+                                lane.instant(
+                                    "report_emitted",
+                                    vec![("chan", ArgValue::from(chan.name.as_str()))],
+                                );
                                 reports.push(BugReport {
                                     kind: BugKind::SendOnClosedChannel,
                                     primitive: Some(chan.site),
@@ -619,6 +735,18 @@ impl<'m> AnalysisSession<'m> {
                                     notes: "a schedule orders the close before the send \
                                             (runtime panic)"
                                         .into(),
+                                    provenance: Some(Provenance {
+                                        channel: chan.name.clone(),
+                                        pset_size,
+                                        paths_enumerated,
+                                        branches_pruned,
+                                        combos_tried: combos.len(),
+                                        groups_checked,
+                                        solver_verdict: "panic-schedule",
+                                        solver_steps: solver_stats.steps,
+                                        solver_decisions: solver_stats.decisions,
+                                        solver_conflicts: solver_stats.conflicts,
+                                    }),
                                 });
                             }
                             _ => {
@@ -628,6 +756,9 @@ impl<'m> AnalysisSession<'m> {
                     }
                 }
             }
+            lane.end();
+            self.telemetry
+                .observe(Metric::ChannelDetectNs, started.elapsed().as_nanos() as u64);
         }
         reports
     }

@@ -146,14 +146,34 @@ fn push_str_field(out: &mut String, key: &str, value: &str) {
 ///   "diagnostics": [
 ///     {"id": "GC-…", "checker": "bmoc", "kind": "BMOC-C",
 ///      "severity": "error", "primitive": {…}, "ops": […],
-///      "witness": […], "notes": "…"},
+///      "witness": […], "notes": "…",
+///      "provenance": {"channel": "…", "pset_size": N,
+///                     "paths_enumerated": N, "branches_pruned": N,
+///                     "combos_tried": N, "groups_checked": N,
+///                     "solver_verdict": "blocking",
+///                     "solver_steps": N, "solver_decisions": N,
+///                     "solver_conflicts": N}},
 ///     …
 ///   ],
-///   "stats": {"counters": {…}, "stage_ms": {…}}
+///   "stats": {"counters": {…}, "stage_ms": {…},
+///             "hist": {"<metric>": {"count": N, "max": N,
+///                      "p50": N, "p90": N, "p99": N}, …}}
 /// }
 /// ```
 ///
 /// `stats` is present only when requested (`--stats`).
+///
+/// Schema evolution notes (for downstream consumers):
+/// * `version` stays 1 — every addition below is optional/additive, and
+///   pre-existing fields keep their exact shape, so old consumers that
+///   ignore unknown keys must not break.
+/// * `provenance` (added with the observability layer) appears only on
+///   diagnostics from the BMOC-family detectors; traditional-checker
+///   diagnostics omit the key entirely (it is never `null`). Its counts
+///   are deterministic and identical across `--jobs` values.
+/// * `stats.hist` (same addition) maps metric names to percentile
+///   summaries of log-bucketed histograms; time-valued metrics
+///   (`*_ns` suffix) are integer nanoseconds.
 pub fn render_json(diagnostics: &[Diagnostic], stats: Option<&Stats>) -> String {
     let mut out = String::new();
     out.push_str("{\"version\":1,\"diagnostics\":[");
@@ -204,6 +224,27 @@ pub fn render_json(diagnostics: &[Diagnostic], stats: Option<&Stats>) -> String 
         }
         out.push_str("],");
         push_str_field(&mut out, "notes", &d.report.notes);
+        if let Some(p) = &d.report.provenance {
+            out.push_str(",\"provenance\":{");
+            push_str_field(&mut out, "channel", &p.channel);
+            let num = |key: &str, v: u64, out: &mut String| {
+                out.push_str(",\"");
+                out.push_str(key);
+                out.push_str("\":");
+                out.push_str(&v.to_string());
+            };
+            num("pset_size", p.pset_size as u64, &mut out);
+            num("paths_enumerated", p.paths_enumerated, &mut out);
+            num("branches_pruned", p.branches_pruned, &mut out);
+            num("combos_tried", p.combos_tried as u64, &mut out);
+            num("groups_checked", p.groups_checked, &mut out);
+            out.push(',');
+            push_str_field(&mut out, "solver_verdict", p.solver_verdict);
+            num("solver_steps", p.solver_steps, &mut out);
+            num("solver_decisions", p.solver_decisions, &mut out);
+            num("solver_conflicts", p.solver_conflicts, &mut out);
+            out.push('}');
+        }
         out.push('}');
     }
     out.push(']');
@@ -228,9 +269,45 @@ pub fn render_json(diagnostics: &[Diagnostic], stats: Option<&Stats>) -> String 
             out.push_str("\":");
             out.push_str(&format!("{:.3}", d.as_secs_f64() * 1000.0));
         }
+        out.push_str("},\"hist\":{");
+        for (i, (m, h)) in stats.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(m.name());
+            out.push_str("\":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"max\":");
+            out.push_str(&h.max.to_string());
+            for p in [50u32, 90, 99] {
+                out.push_str(&format!(",\"p{p}\":{}", h.percentile(p)));
+            }
+            out.push('}');
+        }
         out.push_str("}}");
     }
     out.push('}');
+    out
+}
+
+/// Renders diagnostics as the human-readable `--explain` text: each
+/// finding's normal display followed by its provenance (how the detector
+/// arrived at it), when available.
+pub fn render_explain(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&format!("{} ", d.id));
+        out.push_str(&d.report.to_string());
+        match &d.report.provenance {
+            Some(p) => out.push_str(&p.render()),
+            None => out.push_str(&format!(
+                "  why: reported by the `{}` checker (flow analysis; no solver query)\n",
+                d.checker
+            )),
+        }
+        out.push('\n');
+    }
     out
 }
 
@@ -263,6 +340,7 @@ mod tests {
             }],
             witness_order: vec!["make".into(), "send".into()],
             notes: "scope root: Exec".into(),
+            provenance: None,
         }
     }
 
@@ -319,6 +397,53 @@ mod tests {
     }
 
     #[test]
+    fn json_carries_provenance_only_when_present() {
+        let plain = render_json(&[Diagnostic::new("bmoc", mk_report())], None);
+        assert!(!plain.contains("provenance"));
+
+        let mut r = mk_report();
+        r.provenance = Some(crate::report::Provenance {
+            channel: "outDone".into(),
+            pset_size: 1,
+            paths_enumerated: 4,
+            branches_pruned: 0,
+            combos_tried: 2,
+            groups_checked: 3,
+            solver_verdict: "blocking",
+            solver_steps: 55,
+            solver_decisions: 6,
+            solver_conflicts: 1,
+        });
+        let with = render_json(&[Diagnostic::new("bmoc", r)], None);
+        assert!(with.contains("\"provenance\":{\"channel\":\"outDone\""));
+        assert!(with.contains("\"pset_size\":1"));
+        assert!(with.contains("\"solver_verdict\":\"blocking\""));
+        assert!(with.contains("\"solver_steps\":55"));
+        crate::trace::validate_json(&with).expect("well-formed");
+    }
+
+    #[test]
+    fn explain_renders_provenance_or_fallback() {
+        let mut r = mk_report();
+        r.provenance = Some(crate::report::Provenance {
+            channel: "outDone".into(),
+            pset_size: 1,
+            solver_verdict: "blocking",
+            ..Default::default()
+        });
+        let text = render_explain(&[
+            Diagnostic::new("bmoc", r),
+            Diagnostic::new("double-lock", {
+                let mut d = mk_report();
+                d.kind = BugKind::DoubleLock;
+                d
+            }),
+        ]);
+        assert!(text.contains("why: channel `outDone`"));
+        assert!(text.contains("why: reported by the `double-lock` checker"));
+    }
+
+    #[test]
     fn json_includes_stats_when_asked() {
         let t = crate::telemetry::Telemetry::new();
         t.add(crate::telemetry::Counter::SolverQueries, 3);
@@ -326,5 +451,8 @@ mod tests {
         assert!(json.contains("\"stats\""));
         assert!(json.contains("\"solver_queries\":3"));
         assert!(json.contains("\"stage_ms\""));
+        assert!(json.contains("\"hist\""));
+        assert!(json.contains("\"solver_query_ns\":{\"count\":0"));
+        crate::trace::validate_json(&json).expect("well-formed");
     }
 }

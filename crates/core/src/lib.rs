@@ -26,8 +26,10 @@
 //!   detector behind stable names with `--only`/`--skip` selection;
 //! * [`diagnostics`] — structured [`Diagnostic`]s with stable IDs,
 //!   severities, and dependency-free JSON rendering;
-//! * [`telemetry`] — counters and per-stage timings recorded throughout
-//!   the pipeline.
+//! * [`telemetry`] — counters, per-stage timings, and percentile
+//!   histograms recorded throughout the pipeline;
+//! * [`trace`] — hierarchical span tracing (Chrome trace-event export,
+//!   per-worker lanes) and bug provenance plumbing.
 //!
 //! # Examples
 //!
@@ -72,14 +74,16 @@ pub mod primitives;
 pub mod report;
 pub mod session;
 pub mod telemetry;
+pub mod trace;
 pub mod traditional;
 
 pub use checkers::{Checker, Registry, RunOutput, Selection};
 pub use detector::{Detector, DetectorConfig};
-pub use diagnostics::{render_json, Diagnostic, Severity};
-pub use report::{BugKind, BugReport, OpRef};
+pub use diagnostics::{render_explain, render_json, Diagnostic, Severity};
+pub use report::{BugKind, BugReport, OpRef, Provenance};
 pub use session::AnalysisSession;
-pub use telemetry::{Counter, Stage, Stats, Telemetry};
+pub use telemetry::{Counter, Metric, Stage, Stats, Telemetry};
+pub use trace::{HistSnapshot, Histogram, TraceLevel, TraceSnapshot, Tracer};
 
 /// The complete GCatch system: one [`AnalysisSession`] plus the checker
 /// [`Registry`] behind one entry point.
@@ -91,8 +95,14 @@ pub struct GCatch<'m> {
 impl<'m> GCatch<'m> {
     /// Builds the whole-module analyses once.
     pub fn new(module: &'m golite_ir::Module) -> GCatch<'m> {
+        Self::with_trace(module, TraceLevel::Off)
+    }
+
+    /// [`GCatch::new`] with span tracing at `level`; retrieve the
+    /// recording with [`GCatch::trace_snapshot`] after running checkers.
+    pub fn with_trace(module: &'m golite_ir::Module, level: TraceLevel) -> GCatch<'m> {
         GCatch {
-            session: AnalysisSession::new(module),
+            session: AnalysisSession::with_trace(module, level),
             registry: Registry::standard(),
         }
     }
@@ -150,5 +160,11 @@ impl<'m> GCatch<'m> {
     /// Snapshot of every counter and stage timing recorded so far.
     pub fn stats(&self) -> Stats {
         self.session.stats()
+    }
+
+    /// Snapshot of every span and point event traced so far (empty unless
+    /// built with [`GCatch::with_trace`]).
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.session.trace_snapshot()
     }
 }

@@ -67,6 +67,59 @@ pub struct OpRef {
     pub func_name: String,
 }
 
+/// How a BMOC report came to be: the detection work behind one finding.
+///
+/// Built from per-channel analysis state at the moment the solver returns a
+/// satisfying model, so it is deterministic (no wall-clock values) and
+/// bit-identical across `--jobs` settings. Surfaced in `--json` as the
+/// optional `provenance` object and rendered by `--explain`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Provenance {
+    /// Name of the channel the detector was examining.
+    pub channel: String,
+    /// Size of the disentangled Pset (§3.2) for that channel.
+    pub pset_size: usize,
+    /// Execution paths enumerated within the channel's scope (§3.3).
+    pub paths_enumerated: u64,
+    /// Branches pruned as infeasible during that enumeration.
+    pub branches_pruned: u64,
+    /// Path combinations built for the channel.
+    pub combos_tried: usize,
+    /// Suspicious groups submitted to the solver for the channel.
+    pub groups_checked: u64,
+    /// Verdict of the satisfying query (`blocking` for BMOC,
+    /// `panic-schedule` for send-on-closed).
+    pub solver_verdict: &'static str,
+    /// Propagation/decision steps of the satisfying solver query.
+    pub solver_steps: u64,
+    /// Decisions of the satisfying solver query.
+    pub solver_decisions: u64,
+    /// Conflicts of the satisfying solver query.
+    pub solver_conflicts: u64,
+}
+
+impl Provenance {
+    /// Renders the record as indented human-readable lines (the body of
+    /// the `--explain` output).
+    pub fn render(&self) -> String {
+        format!(
+            "  why: channel `{}` — Pset of {} primitive(s); {} path(s) enumerated \
+             ({} branch(es) pruned), {} combo(s) built, {} group(s) checked;\n  \
+             solver verdict `{}` after {} step(s), {} decision(s), {} conflict(s)\n",
+            self.channel,
+            self.pset_size,
+            self.paths_enumerated,
+            self.branches_pruned,
+            self.combos_tried,
+            self.groups_checked,
+            self.solver_verdict,
+            self.solver_steps,
+            self.solver_decisions,
+            self.solver_conflicts,
+        )
+    }
+}
+
 /// A detected bug.
 #[derive(Debug, Clone)]
 pub struct BugReport {
@@ -86,6 +139,9 @@ pub struct BugReport {
     pub witness_order: Vec<String>,
     /// Free-form notes: analysis scope, path combination, etc.
     pub notes: String,
+    /// Detection provenance (BMOC-family detectors only). Excluded from
+    /// [`BugReport::dedup_key`] and from stable diagnostic IDs.
+    pub provenance: Option<Provenance>,
 }
 
 impl BugReport {
@@ -148,6 +204,7 @@ mod tests {
             }],
             witness_order: vec!["make".into(), "send".into()],
             notes: "scope: Exec".into(),
+            provenance: None,
         }
     }
 
@@ -177,6 +234,41 @@ mod tests {
         let mut b = a.clone();
         b.ops.reverse();
         assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn dedup_key_ignores_provenance() {
+        let a = mk_report();
+        let mut b = a.clone();
+        b.provenance = Some(Provenance {
+            channel: "outDone".into(),
+            pset_size: 1,
+            solver_verdict: "blocking",
+            ..Provenance::default()
+        });
+        assert_eq!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn provenance_renders_every_field() {
+        let p = Provenance {
+            channel: "outDone".into(),
+            pset_size: 2,
+            paths_enumerated: 7,
+            branches_pruned: 1,
+            combos_tried: 3,
+            groups_checked: 4,
+            solver_verdict: "blocking",
+            solver_steps: 120,
+            solver_decisions: 11,
+            solver_conflicts: 2,
+        };
+        let text = p.render();
+        assert!(text.contains("outDone"));
+        assert!(text.contains("2 primitive(s)"));
+        assert!(text.contains("7 path(s)"));
+        assert!(text.contains("blocking"));
+        assert!(text.contains("120 step(s)"));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::disentangle::{build_dependency_graph, compute_scope, DependencyGraph, Scope};
 use crate::primitives::{collect, Primitives};
 use crate::telemetry::{Stage, Stats, Telemetry};
+use crate::trace::{TraceLevel, TraceSnapshot, Tracer};
 use crate::traditional::LockSummary;
 use golite_ir::alias::Analysis;
 use golite_ir::ir::Module;
@@ -39,6 +40,9 @@ pub struct AnalysisSession<'m> {
     /// Shared lock-exploration results for the three lock checkers.
     lock_summary: OnceLock<LockSummary>,
     pub(crate) telemetry: Telemetry,
+    /// Span/event sink; a no-op unless built with
+    /// [`AnalysisSession::with_trace`].
+    tracer: Tracer,
 }
 
 /// Compatibility alias: the BMOC detector is the session itself.
@@ -47,12 +51,26 @@ pub type Detector<'m> = AnalysisSession<'m>;
 impl<'m> AnalysisSession<'m> {
     /// Runs the preparatory whole-module analyses (Algorithm 1, lines 2–7).
     pub fn new(module: &'m Module) -> AnalysisSession<'m> {
+        Self::with_trace(module, TraceLevel::Off)
+    }
+
+    /// [`AnalysisSession::new`] with span tracing at `level`; retrieve the
+    /// recording with [`AnalysisSession::trace_snapshot`].
+    pub fn with_trace(module: &'m Module, level: TraceLevel) -> AnalysisSession<'m> {
         let telemetry = Telemetry::new();
-        let (analysis, prims) = telemetry.time(Stage::Analysis, || {
-            let analysis = golite_ir::analyze(module);
-            let prims = collect(module, &analysis);
-            (analysis, prims)
-        });
+        let tracer = Tracer::new(level);
+        let (analysis, prims) = {
+            // The lane borrows the tracer, so it must drop before the
+            // tracer moves into the session.
+            let mut lane = tracer.lane(0, "main");
+            lane.span("analysis", Vec::new(), |_| {
+                telemetry.time(Stage::Analysis, || {
+                    let analysis = golite_ir::analyze(module);
+                    let prims = collect(module, &analysis);
+                    (analysis, prims)
+                })
+            })
+        };
         AnalysisSession {
             module,
             analysis,
@@ -61,6 +79,7 @@ impl<'m> AnalysisSession<'m> {
             scopes: OnceLock::new(),
             lock_summary: OnceLock::new(),
             telemetry,
+            tracer,
         }
     }
 
@@ -72,21 +91,31 @@ impl<'m> AnalysisSession<'m> {
     /// The channel dependency graph, built on first call and cached.
     pub fn dependency_graph(&self) -> &DependencyGraph {
         self.dg.get_or_init(|| {
-            self.telemetry.time(Stage::Disentangle, || {
-                build_dependency_graph(self.module, &self.analysis, &self.prims)
-            })
+            let mut lane = self.tracer.lane(0, "main");
+            lane.span(
+                "disentangle",
+                vec![("what", "dependency_graph".into())],
+                |_| {
+                    self.telemetry.time(Stage::Disentangle, || {
+                        build_dependency_graph(self.module, &self.analysis, &self.prims)
+                    })
+                },
+            )
         })
     }
 
     /// Per-primitive scopes (indexed by `PrimId.0`), built once and cached.
     pub fn scopes(&self) -> &[Scope] {
         self.scopes.get_or_init(|| {
-            self.telemetry.time(Stage::Disentangle, || {
-                self.prims
-                    .all
-                    .iter()
-                    .map(|p| compute_scope(self.module, &self.analysis, &self.prims, p.id))
-                    .collect()
+            let mut lane = self.tracer.lane(0, "main");
+            lane.span("disentangle", vec![("what", "scopes".into())], |_| {
+                self.telemetry.time(Stage::Disentangle, || {
+                    self.prims
+                        .all
+                        .iter()
+                        .map(|p| compute_scope(self.module, &self.analysis, &self.prims, p.id))
+                        .collect()
+                })
             })
         })
     }
@@ -104,6 +133,16 @@ impl<'m> AnalysisSession<'m> {
     /// The telemetry sink shared by every checker run on this session.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The trace sink shared by every checker run on this session.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Freezes everything traced so far (all lanes must be dropped).
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.tracer.snapshot()
     }
 
     /// Snapshot of all counters and stage timings recorded so far.

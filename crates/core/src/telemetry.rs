@@ -7,6 +7,7 @@
 //! freezes the counters into a plain [`Stats`] value for reporting
 //! (`gcatch check --stats`, the census harness, the bench binaries).
 
+use crate::trace::{HistSnapshot, Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -158,11 +159,68 @@ impl Counter {
     }
 }
 
+/// Distributions recorded as log-bucketed [`Histogram`]s.
+///
+/// The two `*Ns` metrics are wall-clock samples in nanoseconds; the
+/// remaining metrics are plain counts whose distributions are deterministic
+/// (independent of `--jobs` and machine speed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Per-channel BMOC detection latency (ns; one sample per channel).
+    ChannelDetectNs,
+    /// Per-query solver time (ns; one sample per `minismt` query).
+    SolverQueryNs,
+    /// Paths enumerated per channel.
+    PathsPerChannel,
+    /// Path combinations built per channel.
+    CombosPerChannel,
+}
+
+impl Metric {
+    const COUNT: usize = 4;
+
+    fn index(self) -> usize {
+        match self {
+            Metric::ChannelDetectNs => 0,
+            Metric::SolverQueryNs => 1,
+            Metric::PathsPerChannel => 2,
+            Metric::CombosPerChannel => 3,
+        }
+    }
+
+    /// Stable snake_case metric name (JSON keys, `--stats` output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::ChannelDetectNs => "channel_detect_ns",
+            Metric::SolverQueryNs => "solver_query_ns",
+            Metric::PathsPerChannel => "paths_per_channel",
+            Metric::CombosPerChannel => "combos_per_channel",
+        }
+    }
+
+    /// Whether samples are nanosecond durations (rendered as ms) rather
+    /// than plain counts.
+    pub fn is_time(self) -> bool {
+        matches!(self, Metric::ChannelDetectNs | Metric::SolverQueryNs)
+    }
+
+    /// All metrics in reporting order.
+    pub fn all() -> [Metric; Metric::COUNT] {
+        [
+            Metric::ChannelDetectNs,
+            Metric::SolverQueryNs,
+            Metric::PathsPerChannel,
+            Metric::CombosPerChannel,
+        ]
+    }
+}
+
 /// Shared, thread-safe telemetry sink.
 #[derive(Debug, Default)]
 pub struct Telemetry {
     counters: [AtomicU64; Counter::COUNT],
     stage_ns: [AtomicU64; Stage::COUNT],
+    hists: [Histogram; Metric::COUNT],
 }
 
 impl Telemetry {
@@ -202,19 +260,32 @@ impl Telemetry {
         Duration::from_nanos(self.stage_ns[stage.index()].load(Ordering::Relaxed))
     }
 
-    /// Folds another solver run's effort counters in.
+    /// Records one sample into a metric's histogram.
+    pub fn observe(&self, metric: Metric, v: u64) {
+        self.hists[metric.index()].record(v);
+    }
+
+    /// The live histogram behind one metric.
+    pub fn hist(&self, metric: Metric) -> &Histogram {
+        &self.hists[metric.index()]
+    }
+
+    /// Folds another solver run's effort counters in, and samples its
+    /// elapsed time into [`Metric::SolverQueryNs`].
     pub fn add_solver_stats(&self, stats: minismt::SolverStats) {
         self.add(Counter::SolverQueries, 1);
         self.add(Counter::SolverSteps, stats.steps);
         self.add(Counter::SolverDecisions, stats.decisions);
         self.add(Counter::SolverConflicts, stats.conflicts);
+        self.observe(Metric::SolverQueryNs, stats.elapsed.as_nanos() as u64);
     }
 
-    /// Freezes all counters and timers into a plain snapshot.
+    /// Freezes all counters, timers, and histograms into a plain snapshot.
     pub fn snapshot(&self) -> Stats {
         Stats {
             counters: Counter::all().map(|c| (c, self.get(c))),
             stages: Stage::all().map(|s| (s, self.stage_time(s))),
+            hists: Metric::all().map(|m| (m, self.hists[m.index()].snapshot())),
         }
     }
 }
@@ -226,6 +297,8 @@ pub struct Stats {
     pub counters: [(Counter, u64); Counter::COUNT],
     /// Every stage with its accumulated time, in reporting order.
     pub stages: [(Stage, Duration); Stage::COUNT],
+    /// Every metric with its histogram snapshot, in reporting order.
+    pub hists: [(Metric, HistSnapshot); Metric::COUNT],
 }
 
 impl Stats {
@@ -261,19 +334,57 @@ impl Stats {
             .sum()
     }
 
+    /// Histogram snapshot of one metric.
+    pub fn hist(&self, m: Metric) -> &HistSnapshot {
+        self.hists
+            .iter()
+            .find(|(k, _)| *k == m)
+            .map(|(_, v)| v)
+            .expect("every metric is present in a snapshot")
+    }
+
     /// Renders the snapshot as aligned `name  value` text lines.
+    ///
+    /// Durations are always milliseconds with three decimals (a fixed unit,
+    /// so output stays diffable across magnitudes); histogram metrics are
+    /// rendered as p50/p90/p99/max percentiles.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str("stage timings:\n");
         for (s, d) in &self.stages {
-            out.push_str(&format!("  {:<22} {:>12.3?}\n", s.name(), d));
+            out.push_str(&format!("  {:<22} {:>12} ms\n", s.name(), fmt_ms(*d)));
         }
         out.push_str("counters:\n");
         for (c, v) in &self.counters {
             out.push_str(&format!("  {:<22} {v:>12}\n", c.name()));
         }
+        out.push_str("percentiles (p50/p90/p99/max):\n");
+        for (m, h) in &self.hists {
+            let cell = |v: u64| {
+                if m.is_time() {
+                    format!("{} ms", fmt_ms(Duration::from_nanos(v)))
+                } else {
+                    v.to_string()
+                }
+            };
+            out.push_str(&format!(
+                "  {:<22} {} / {} / {} / {}  (n={})\n",
+                m.name(),
+                cell(h.percentile(50)),
+                cell(h.percentile(90)),
+                cell(h.percentile(99)),
+                cell(h.max),
+                h.count,
+            ));
+        }
         out
     }
+}
+
+/// A duration as fixed-point milliseconds with three decimals (`1.234`).
+fn fmt_ms(d: Duration) -> String {
+    let us = d.as_micros();
+    format!("{}.{:03}", us / 1_000, us % 1_000)
 }
 
 #[cfg(test)]
@@ -308,6 +419,29 @@ mod tests {
         let text = s.render_text();
         assert!(text.contains("combos_built"));
         assert!(text.contains("constraints"));
+    }
+
+    #[test]
+    fn durations_render_as_fixed_ms() {
+        assert_eq!(fmt_ms(Duration::from_micros(1_234_567)), "1234.567");
+        assert_eq!(fmt_ms(Duration::from_nanos(999)), "0.000");
+        assert_eq!(fmt_ms(Duration::ZERO), "0.000");
+        assert_eq!(fmt_ms(Duration::from_millis(2)), "2.000");
+    }
+
+    #[test]
+    fn histograms_surface_in_snapshot_and_text() {
+        let t = Telemetry::new();
+        t.observe(Metric::ChannelDetectNs, 1_000_000);
+        t.observe(Metric::PathsPerChannel, 12);
+        let s = t.snapshot();
+        assert_eq!(s.hist(Metric::ChannelDetectNs).count, 1);
+        assert_eq!(s.hist(Metric::PathsPerChannel).max, 12);
+        assert_eq!(s.hist(Metric::SolverQueryNs).count, 0);
+        let text = s.render_text();
+        assert!(text.contains("percentiles (p50/p90/p99/max):"));
+        assert!(text.contains("channel_detect_ns"));
+        assert!(text.contains("solver_query_ns"));
     }
 
     #[test]

@@ -284,6 +284,7 @@ impl<'a> LockExplorer<'a> {
                 )],
                 witness_order: vec![],
                 notes: "mutex already held on this path".into(),
+                provenance: None,
             });
         }
         let mut missing = Vec::new();
@@ -302,6 +303,7 @@ impl<'a> LockExplorer<'a> {
                 )],
                 witness_order: vec![],
                 notes: "a return is reachable with the mutex held".into(),
+                provenance: None,
             });
         }
         // Conflicting order: cycle (a held before b) and (b held before a).
@@ -340,6 +342,7 @@ impl<'a> LockExplorer<'a> {
                         ],
                         witness_order: vec![],
                         notes: "lock acquisition order differs between paths".into(),
+                        provenance: None,
                     });
                 }
             }
@@ -489,6 +492,7 @@ fn lockset_race(module: &Module, analysis: &Analysis, prims: &Primitives) -> Vec
                     )],
                     witness_order: vec![],
                     notes: format!("{protected} of {} accesses hold the lock", accs.len()),
+                    provenance: None,
                 });
             }
         }
@@ -569,6 +573,7 @@ fn fatal_in_child(module: &Module, analysis: &Analysis) -> Vec<BugReport> {
                         notes: "Fatal/FailNow only stop the goroutine that calls them; \
                                 the test keeps running"
                             .into(),
+                        provenance: None,
                     });
                 }
             }

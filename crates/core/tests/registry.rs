@@ -174,7 +174,11 @@ fn figure1_golden_json() {
         r#""primitive":{"name":"outDone","span":"3:5"},"#,
         r#""ops":[{"what":"send on outDone","func":"Exec$closure0","span":"5:9"}],"#,
         r#""witness":["g0:go(f2)","g0:select.case1@7:5","g1:send(outDone)@5:9"],"#,
-        r#""notes":"scope root: Exec"}]}"#,
+        r#""notes":"scope root: Exec","#,
+        r#""provenance":{"channel":"outDone","pset_size":1,"paths_enumerated":3,"#,
+        r#""branches_pruned":0,"combos_tried":2,"groups_checked":2,"#,
+        r#""solver_verdict":"blocking","solver_steps":7,"solver_decisions":0,"#,
+        r#""solver_conflicts":0}}]}"#,
     );
     assert_eq!(json, golden);
 }

@@ -146,22 +146,34 @@ impl<'a> GFix<'a> {
     /// Returns the [`Rejection`] of the *last* applicable strategy when none
     /// succeeds.
     pub fn fix(&self, bug: &BugReport) -> Result<Patch, Rejection> {
-        let ctx = self.classify(bug)?;
+        self.fix_annotated(bug).0
+    }
+
+    /// [`GFix::fix`], additionally returning the labels of every strategy
+    /// attempted, in dispatch order (for fix-iteration trace spans). A bug
+    /// rejected by classification attempts no strategy.
+    pub fn fix_annotated(&self, bug: &BugReport) -> (Result<Patch, Rejection>, Vec<&'static str>) {
+        let mut attempted = Vec::new();
+        let ctx = match self.classify(bug) {
+            Ok(ctx) => ctx,
+            Err(r) => return (Err(r), attempted),
+        };
         let mut most_specific = Rejection::UnsupportedShape;
         for strategy in [
             Strategy::IncreaseBuffer,
             Strategy::DeferOperation,
             Strategy::AddStopChannel,
         ] {
+            attempted.push(strategy.label());
             match self.try_strategy(strategy, &ctx) {
-                Ok(patch) => return Ok(patch),
+                Ok(patch) => return (Ok(patch), attempted),
                 // Keep the most informative decline reason across strategies
                 // (the generic shape mismatch is the least informative).
                 Err(r) if r != Rejection::UnsupportedShape => most_specific = r,
                 Err(_) => {}
             }
         }
-        Err(most_specific)
+        (Err(most_specific), attempted)
     }
 
     // ---------------------------------------------------------- dispatcher

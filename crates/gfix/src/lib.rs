@@ -54,7 +54,8 @@ pub mod validate;
 pub use fix::{GFix, Patch, Rejection, Strategy};
 pub use validate::{validate, Validation};
 
-use gcatch::{DetectorConfig, GCatch, Selection, Stage, Stats};
+use gcatch::trace::ArgValue;
+use gcatch::{DetectorConfig, GCatch, Selection, Stage, Stats, TraceLevel, TraceSnapshot};
 use golite::Program;
 use golite_ir::Module;
 
@@ -111,7 +112,22 @@ impl Pipeline {
         config: &DetectorConfig,
         selection: &Selection,
     ) -> (PipelineResults, Stats) {
-        let gcatch = GCatch::new(&self.module);
+        let (results, stats, _) = self.run_traced(config, selection, TraceLevel::Off);
+        (results, stats)
+    }
+
+    /// [`Pipeline::run_with_stats`] with span tracing at `level`: detection
+    /// spans come from the shared session's tracer, and the per-bug fix loop
+    /// is wrapped in a `fix` span with one `fix_bug` child per BMOC bug
+    /// whose `outcome` argument records the winning strategy label
+    /// (`S-I`/`S-II`/`S-III`) or the rejection reason.
+    pub fn run_traced(
+        &self,
+        config: &DetectorConfig,
+        selection: &Selection,
+        level: TraceLevel,
+    ) -> (PipelineResults, Stats, TraceSnapshot) {
+        let gcatch = GCatch::with_trace(&self.module, level);
         let bugs = gcatch::checkers::flatten(gcatch.run(config, selection));
         let session = gcatch.session();
         let gfix = GFix::new(
@@ -121,17 +137,38 @@ impl Pipeline {
             &session.prims,
         );
         let (patches, rejections) = session.telemetry().time(Stage::Fix, || {
+            let mut lane = session.tracer().lane(0, "main");
+            lane.begin("fix", Vec::new());
             let mut patches = Vec::new();
             let mut rejections = Vec::new();
             for bug in &bugs {
                 if !bug.kind.is_bmoc() {
                     continue;
                 }
-                match gfix.fix(bug) {
-                    Ok(patch) => patches.push(patch),
-                    Err(r) => rejections.push((bug.clone(), r)),
+                lane.begin(
+                    "fix_bug",
+                    vec![("primitive", ArgValue::from(bug.primitive_name.as_str()))],
+                );
+                let (result, attempted) = gfix.fix_annotated(bug);
+                for label in &attempted {
+                    lane.instant("strategy_tried", vec![("strategy", ArgValue::from(*label))]);
                 }
+                match result {
+                    Ok(patch) => {
+                        lane.instant(
+                            "fix_applied",
+                            vec![("outcome", patch.strategy.label().into())],
+                        );
+                        patches.push(patch);
+                    }
+                    Err(r) => {
+                        lane.instant("fix_rejected", vec![("outcome", r.to_string().into())]);
+                        rejections.push((bug.clone(), r));
+                    }
+                }
+                lane.end();
             }
+            lane.end();
             (patches, rejections)
         });
         (
@@ -141,6 +178,7 @@ impl Pipeline {
                 rejections,
             },
             gcatch.stats(),
+            gcatch.trace_snapshot(),
         )
     }
 }

@@ -441,3 +441,46 @@ func Feed() {
         );
     }
 }
+
+/// `run_traced` must wrap the patch loop in a `fix` span with one
+/// `fix_bug` child per BMOC bug, recording the winning strategy.
+#[test]
+fn run_traced_records_fix_spans() {
+    let pipeline = Pipeline::from_source(FIGURE1).unwrap();
+    let (results, stats, snapshot) = pipeline.run_traced(
+        &DetectorConfig::default(),
+        &gcatch::Selection::default(),
+        gcatch::TraceLevel::Full,
+    );
+    assert!(!results.patches.is_empty(), "figure 1 is fixable");
+    let names = snapshot.span_names();
+    for required in ["session", "fix", "fix_bug", "bmoc_channel"] {
+        assert!(names.contains(&required), "missing span `{required}`");
+    }
+    let fix_outcomes: Vec<&str> = snapshot
+        .events
+        .iter()
+        .filter(|(_, e)| e.name == "fix_applied" || e.name == "fix_rejected")
+        .map(|(_, e)| e.name.as_ref())
+        .collect();
+    assert!(
+        fix_outcomes.contains(&"fix_applied"),
+        "expected a fix_applied instant, got {fix_outcomes:?}"
+    );
+    // The stats snapshot rides along and still carries the fix stage.
+    assert!(stats.counter(gcatch::Counter::ReportsEmitted) >= 1);
+}
+
+/// The default `run_with_stats` path records nothing: tracing stays
+/// strictly opt-in.
+#[test]
+fn run_with_stats_traces_nothing() {
+    let pipeline = Pipeline::from_source(FIGURE1).unwrap();
+    let (_, _, snapshot) = pipeline.run_traced(
+        &DetectorConfig::default(),
+        &gcatch::Selection::default(),
+        gcatch::TraceLevel::Off,
+    );
+    assert!(snapshot.events.is_empty());
+    assert_eq!(snapshot.threads, vec![(0, "main".to_string())]);
+}

@@ -51,6 +51,10 @@ pub struct SolverStats {
     pub decisions: u64,
     /// Conflicts: clause/PB violations and theory cycles hit.
     pub conflicts: u64,
+    /// Wall-clock time of the call (encode + search). Unlike the effort
+    /// counters this is *not* deterministic; consumers exporting
+    /// reproducible output must use `steps`/`decisions`/`conflicts`.
+    pub elapsed: std::time::Duration,
 }
 
 /// The outcome of [`Solver::solve`].
@@ -159,6 +163,7 @@ impl Solver {
 
     /// Solves the conjunction of all asserted terms.
     pub fn solve(&mut self) -> SolveResult {
+        let start = std::time::Instant::now();
         let mut engine = Engine::new(self.step_limit);
         for t in &self.asserted {
             // Register any variable the formula mentions so the model covers it.
@@ -177,6 +182,7 @@ impl Solver {
             steps: engine.steps,
             decisions: engine.decisions,
             conflicts: engine.conflicts,
+            elapsed: start.elapsed(),
         };
         result
     }

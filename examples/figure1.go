@@ -1,0 +1,22 @@
+// Figure 1 of the GCatch/GFix paper (ASPLOS '21): the Docker#24991
+// blocking bug. The child goroutine sends on the unbuffered channel
+// `outDone`; if the parent takes the ctx.Done() select arm first, the
+// child blocks forever and leaks.
+func Exec(ctx context.Context) error {
+	outDone := make(chan error)
+	go func() {
+		outDone <- nil
+	}()
+	select {
+	case err := <-outDone:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	Exec(ctx)
+}

@@ -10,7 +10,9 @@
 //! $ gcatch extended file.go           # §6 send-on-closed panic detector
 //! ```
 
-use gcatch_suite::gcatch::{render_json, DetectorConfig, GCatch, Selection};
+use gcatch_suite::gcatch::{
+    render_explain, render_json, DetectorConfig, GCatch, Selection, TraceLevel,
+};
 use gcatch_suite::{gfix, sim};
 use std::process::ExitCode;
 
@@ -44,20 +46,28 @@ const USAGE: &str = "\
 usage: gcatch <command> [options] <file.go>
 
 commands:
-  check [--json] [--stats] [--only C] [--skip C] [--jobs N]
+  check [--json] [--stats] [--explain] [--trace FILE] [--only C] [--skip C] [--jobs N]
                         detect concurrency bugs via the checker registry;
                         --only/--skip select checkers by name (repeatable,
                         comma-separated lists accepted), --jobs shards the
                         BMOC detector over N worker threads (0 = all cores),
                         --json emits structured diagnostics, --stats adds
-                        pipeline counters and stage timings
-  fix [--write]         detect and patch, re-running detection on each
+                        pipeline counters, stage timings, and percentiles,
+                        --explain adds per-bug provenance (channel, paths,
+                        solver verdict), --trace writes a Chrome trace-event
+                        JSON of the analysis spans to FILE
+  fix [--write] [--explain] [--trace FILE]
+                        detect and patch, re-running detection on each
                         patched source until a fixpoint; --write applies
                         the final result in place
   simulate [--seeds N] [--entry F]
                         explore schedules and report outcomes
-  extended [--json] [--stats] [--jobs N]
+  extended [--json] [--stats] [--explain] [--trace FILE] [--jobs N]
                         run the send-on-closed (panic) detector (paper §6)
+
+environment:
+  GCATCH_TRACE_LEVEL    overrides the tracing level (off, spans, full);
+                        without it, --trace records at full detail
 
 exit status: 0 = clean, 1 = bugs found, 2 = usage or input error";
 
@@ -107,6 +117,34 @@ fn has_flag(flags: &[Flag], name: &str) -> bool {
     flags.iter().any(|(n, _)| n == name)
 }
 
+/// The value of a single-occurrence flag, if present.
+fn flag_value<'a>(flags: &'a [Flag], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .and_then(|(_, v)| v.as_deref())
+}
+
+/// Resolves the tracing level: `GCATCH_TRACE_LEVEL` overrides everything;
+/// otherwise `--trace FILE` implies full detail and its absence disables
+/// tracing entirely (zero overhead on the hot path).
+fn trace_level(trace_path: Option<&str>) -> Result<TraceLevel, String> {
+    match std::env::var("GCATCH_TRACE_LEVEL") {
+        Ok(v) => TraceLevel::parse(&v).map_err(|e| format!("bad GCATCH_TRACE_LEVEL: {e}")),
+        Err(_) => Ok(if trace_path.is_some() {
+            TraceLevel::Full
+        } else {
+            TraceLevel::Off
+        }),
+    }
+}
+
+/// Writes a trace snapshot as Chrome trace-event JSON.
+fn write_trace(path: &str, snapshot: &gcatch_suite::gcatch::TraceSnapshot) -> Result<(), String> {
+    std::fs::write(path, snapshot.render_chrome())
+        .map_err(|e| format!("cannot write trace file {path}: {e}"))
+}
+
 /// All values of a repeatable flag, with comma-separated lists split up.
 fn flag_values(flags: &[Flag], name: &str) -> Vec<String> {
     flags
@@ -142,16 +180,22 @@ fn run_diagnostics(
 ) -> Result<ExitCode, String> {
     let json = has_flag(flags, "json");
     let want_stats = has_flag(flags, "stats");
+    let explain = has_flag(flags, "explain");
+    let trace_path = flag_value(flags, "trace");
+    let level = trace_level(trace_path)?;
     let config = DetectorConfig {
         jobs: parse_jobs(flags)?,
         ..DetectorConfig::default()
     };
     let src = read_source(path)?;
     let module = gcatch_suite::ir::lower_source(&src)?;
-    let gcatch = GCatch::new(&module);
+    let gcatch = GCatch::with_trace(&module, level);
     selection.validate(gcatch.registry())?;
     let diagnostics = gcatch.diagnostics(&config, &selection);
     let stats = gcatch.stats();
+    if let Some(tp) = trace_path {
+        write_trace(tp, &gcatch.trace_snapshot())?;
+    }
     if json {
         println!(
             "{}",
@@ -171,14 +215,18 @@ fn run_diagnostics(
         return Ok(ExitCode::SUCCESS);
     }
     println!("{path}: {} diagnostic(s)\n", diagnostics.len());
-    for d in &diagnostics {
-        println!(
-            "{} [{}] ({}) {}",
-            d.id,
-            d.severity.name(),
-            d.checker,
-            d.report
-        );
+    if explain {
+        print!("{}", render_explain(&diagnostics));
+    } else {
+        for d in &diagnostics {
+            println!(
+                "{} [{}] ({}) {}",
+                d.id,
+                d.severity.name(),
+                d.checker,
+                d.report
+            );
+        }
     }
     if want_stats {
         print!("{}", stats.render_text());
@@ -190,6 +238,8 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
     let spec: &[FlagSpec] = &[
         ("json", false),
         ("stats", false),
+        ("explain", false),
+        ("trace", true),
         ("only", true),
         ("skip", true),
         ("jobs", true),
@@ -203,7 +253,13 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_extended(rest: &[String]) -> Result<ExitCode, String> {
-    let spec: &[FlagSpec] = &[("json", false), ("stats", false), ("jobs", true)];
+    let spec: &[FlagSpec] = &[
+        ("json", false),
+        ("stats", false),
+        ("explain", false),
+        ("trace", true),
+        ("jobs", true),
+    ];
     let (path, flags) = parse_common(rest, spec)?;
     let selection = Selection {
         only: vec!["send-on-closed".to_string()],
@@ -223,8 +279,12 @@ fn cmd_extended(rest: &[String]) -> Result<ExitCode, String> {
 const MAX_FIX_ROUNDS: usize = 32;
 
 fn cmd_fix(rest: &[String]) -> Result<ExitCode, String> {
-    let (path, flags) = parse_common(rest, &[("write", false)])?;
+    let spec: &[FlagSpec] = &[("write", false), ("explain", false), ("trace", true)];
+    let (path, flags) = parse_common(rest, spec)?;
     let write = has_flag(&flags, "write");
+    let explain = has_flag(&flags, "explain");
+    let trace_path = flag_value(&flags, "trace");
+    let level = trace_level(trace_path)?;
     let config = DetectorConfig::default();
     let original = read_source(&path)?;
 
@@ -238,7 +298,17 @@ fn cmd_fix(rest: &[String]) -> Result<ExitCode, String> {
     let mut last_rejections = Vec::new();
     for round in 0..MAX_FIX_ROUNDS {
         let pipeline = gfix::Pipeline::from_source(&source)?;
-        let results = pipeline.run(&config);
+        // Trace only the first round: it sees the original source, and a
+        // per-round trace file would overwrite itself anyway.
+        let results = if round == 0 {
+            let (results, _, snapshot) = pipeline.run_traced(&config, &Selection::default(), level);
+            if let Some(tp) = trace_path {
+                write_trace(tp, &snapshot)?;
+            }
+            results
+        } else {
+            pipeline.run(&config)
+        };
         if round == 0 {
             initial_bugs = results.bugs.len();
             if results.bugs.is_empty() {
@@ -246,6 +316,18 @@ fn cmd_fix(rest: &[String]) -> Result<ExitCode, String> {
                 return Ok(ExitCode::SUCCESS);
             }
             println!("{path}: {} bug(s) detected\n", results.bugs.len());
+            if explain {
+                for bug in &results.bugs {
+                    print!("{bug}");
+                    match &bug.provenance {
+                        Some(p) => print!("{}", p.render()),
+                        None => {
+                            println!("  why: reported by a flow-analysis checker (no solver query)")
+                        }
+                    }
+                    println!();
+                }
+            }
         }
         last_rejections = results
             .rejections

@@ -174,6 +174,8 @@ fn unknown_flags_are_rejected_with_exit_2() {
         vec!["check", "--write"], // a fix flag, not a check flag
         vec!["fix", "--json"],    // a check flag, not a fix flag
         vec!["simulate", "--jobs", "2"],
+        vec!["simulate", "--trace", "/tmp/t.json"], // tracing is check/fix/extended only
+        vec!["simulate", "--explain"],
         vec!["extended", "--only", "bmoc"],
     ] {
         let mut full = args.clone();
@@ -289,7 +291,130 @@ fn check_stats_prints_counters() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("stage timings:"), "stdout: {stdout}");
     assert!(stdout.contains("channels_analyzed"), "stdout: {stdout}");
+    // Durations render as fixed-point milliseconds, and the percentile
+    // section reports every histogram metric.
+    assert!(stdout.contains(" ms\n"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("percentiles (p50/p90/p99/max):"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("channel_detect_ns"), "stdout: {stdout}");
+    assert!(stdout.contains("solver_query_ns"), "stdout: {stdout}");
     std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_trace_writes_chrome_trace_events() {
+    let path = write_temp("check-trace", BUGGY);
+    let trace = std::env::temp_dir().join(format!("gcatch-cli-trace-{}.json", std::process::id()));
+    let out = gcatch()
+        .args([
+            "check",
+            "--trace",
+            trace.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(text.starts_with("{\"traceEvents\":["), "trace: {text}");
+    for needle in [
+        "\"name\":\"session\"",
+        "\"name\":\"bmoc_channel\"",
+        "\"name\":\"dpll\"",
+        "\"bmoc-worker-0\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in trace: {text}");
+    }
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(trace).ok();
+}
+
+#[test]
+fn trace_level_env_override_is_validated() {
+    let path = write_temp("check-trace-env", CLEAN);
+    let trace = std::env::temp_dir().join(format!("gcatch-cli-lvl-{}.json", std::process::id()));
+    // A bad level is a usage error...
+    let out = gcatch()
+        .args(["check", "--trace", trace.to_str().unwrap()])
+        .arg(path.to_str().unwrap())
+        .env("GCATCH_TRACE_LEVEL", "verbose")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("GCATCH_TRACE_LEVEL"), "stderr: {stderr}");
+    // ...and `off` suppresses recording even with --trace present.
+    let out = gcatch()
+        .args(["check", "--trace", trace.to_str().unwrap()])
+        .arg(path.to_str().unwrap())
+        .env("GCATCH_TRACE_LEVEL", "off")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(
+        !text.contains("\"name\":\"session\""),
+        "off level must record nothing: {text}"
+    );
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(trace).ok();
+}
+
+#[test]
+fn check_explain_prints_provenance() {
+    let path = write_temp("check-explain", BUGGY);
+    let out = gcatch()
+        .args(["check", "--explain", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("why: channel `done`"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("solver verdict `blocking`"),
+        "stdout: {stdout}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_json_carries_provenance() {
+    let path = write_temp("check-json-prov", BUGGY);
+    let out = gcatch()
+        .args(["check", "--json", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"provenance\":{\"channel\":\"done\""),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"solver_verdict\":\"blocking\""),
+        "stdout: {stdout}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn fix_explain_and_trace_cover_the_first_round() {
+    let path = write_temp("fix-explain", BUGGY);
+    let trace = std::env::temp_dir().join(format!("gcatch-cli-fixtr-{}.json", std::process::id()));
+    let out = gcatch()
+        .args(["fix", "--explain", "--trace", trace.to_str().unwrap()])
+        .arg(path.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("why: channel `done`"), "stdout: {stdout}");
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(text.contains("\"name\":\"fix_bug\""), "trace: {text}");
+    assert!(text.contains("\"name\":\"fix_applied\""), "trace: {text}");
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(trace).ok();
 }
 
 /// Two independent bugs: the old CLI applied only the first patch under
