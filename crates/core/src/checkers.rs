@@ -13,6 +13,7 @@
 
 use crate::detector::DetectorConfig;
 use crate::report::{BugKind, BugReport};
+use crate::resilience::{catch_isolated, Incident, IncidentKind};
 use crate::session::AnalysisSession;
 use crate::telemetry::{Counter, Stage};
 use std::collections::HashSet;
@@ -172,6 +173,28 @@ impl Checker for SendOnClosed {
     }
 }
 
+/// Test hook: a checker that always panics, registered only when the
+/// `GCATCH_DEBUG_PANIC_CHECKER` environment variable is set. It owns no
+/// bug kinds, so the registry invariant is untouched; it exists to
+/// exercise checker-level fault isolation end to end (one deterministic
+/// incident, exit code unchanged unless `--strict`).
+struct PanicTest;
+
+impl Checker for PanicTest {
+    fn name(&self) -> &'static str {
+        "panic-test"
+    }
+    fn description(&self) -> &'static str {
+        "deliberately panics to exercise fault isolation (debug hook)"
+    }
+    fn kinds(&self) -> &'static [BugKind] {
+        &[]
+    }
+    fn run(&self, _session: &AnalysisSession<'_>, _config: &DetectorConfig) -> Vec<BugReport> {
+        panic!("deliberate panic from the panic-test checker");
+    }
+}
+
 static BMOC: Bmoc = Bmoc;
 static DOUBLE_LOCK: DoubleLock = DoubleLock;
 static MISSING_UNLOCK: MissingUnlock = MissingUnlock;
@@ -179,6 +202,7 @@ static LOCK_ORDER: LockOrder = LockOrder;
 static STRUCT_FIELD_RACE: StructFieldRace = StructFieldRace;
 static FATAL_IN_CHILD: FatalInChild = FatalInChild;
 static SEND_ON_CLOSED: SendOnClosed = SendOnClosed;
+static PANIC_TEST: PanicTest = PanicTest;
 
 // ---------------------------------------------------------------- registry
 
@@ -229,17 +253,19 @@ impl Registry {
     /// (BMOC first, then the traditional checkers, then the opt-in
     /// send-on-closed extension).
     pub fn standard() -> Registry {
-        Registry {
-            checkers: vec![
-                &BMOC,
-                &DOUBLE_LOCK,
-                &MISSING_UNLOCK,
-                &LOCK_ORDER,
-                &STRUCT_FIELD_RACE,
-                &FATAL_IN_CHILD,
-                &SEND_ON_CLOSED,
-            ],
+        let mut checkers: Vec<&'static dyn Checker> = vec![
+            &BMOC,
+            &DOUBLE_LOCK,
+            &MISSING_UNLOCK,
+            &LOCK_ORDER,
+            &STRUCT_FIELD_RACE,
+            &FATAL_IN_CHILD,
+            &SEND_ON_CLOSED,
+        ];
+        if std::env::var_os("GCATCH_DEBUG_PANIC_CHECKER").is_some() {
+            checkers.push(&PANIC_TEST);
         }
+        Registry { checkers }
     }
 
     /// All registered checkers, in order.
@@ -277,7 +303,33 @@ impl Registry {
             // shard work (BMOC) open their own per-worker lanes inside it.
             let mut lane = session.tracer().lane(0, "main");
             lane.begin(format!("checker:{}", checker.name()), Vec::new());
-            let mut reports = checker.run(session, config);
+            // Fault isolation: one panicking checker becomes an incident
+            // (in registry order, so output is deterministic) and the
+            // remaining checkers still run.
+            let mut reports = match catch_isolated(|| checker.run(session, config)) {
+                Ok(reports) => reports,
+                Err(message) => {
+                    lane.rewind();
+                    lane.instant(
+                        "incident",
+                        vec![
+                            ("kind", crate::trace::ArgValue::from("checker")),
+                            ("name", crate::trace::ArgValue::from(checker.name())),
+                        ],
+                    );
+                    session.record_incident(Incident {
+                        kind: IncidentKind::Checker,
+                        name: checker.name().to_string(),
+                        message,
+                        rung: 0,
+                    });
+                    out.push(RunOutput {
+                        checker: checker.name(),
+                        reports: Vec::new(),
+                    });
+                    continue;
+                }
+            };
             reports.retain(|r| {
                 let fresh = seen.insert(r.dedup_key());
                 if !fresh {

@@ -23,6 +23,7 @@
 use crate::detector::{Combo, GroupMember};
 use crate::paths::{Event, PathOp};
 use crate::primitives::{OpKind, PrimId, Primitives};
+use crate::resilience::Budget;
 use crate::telemetry::Telemetry;
 use minismt::{Atom, IntVar, SolveResult, Solver, Term};
 use std::collections::{BTreeMap, HashMap};
@@ -83,8 +84,32 @@ pub fn check_group_traced(
     group: &[GroupMember],
     step_limit: u64,
 ) -> (Verdict, Option<minismt::SolverStats>) {
+    check_group_budgeted(prims, combo, group, step_limit, &Budget::default())
+}
+
+/// [`check_group_traced`] under a cooperative [`Budget`]: the query's
+/// step limit is rationed from the budget's global step pool and its
+/// deadline is handed to the DPLL engine. An already-expired budget
+/// short-circuits to [`Verdict::Unknown`] without running the solver.
+/// With an inactive (default) budget this is exactly
+/// [`check_group_traced`].
+pub fn check_group_budgeted(
+    prims: &Primitives,
+    combo: &Combo,
+    group: &[GroupMember],
+    step_limit: u64,
+    budget: &Budget,
+) -> (Verdict, Option<minismt::SolverStats>) {
+    if budget.is_active() && budget.expired() {
+        return (Verdict::Unknown, None);
+    }
+    let granted = budget.draw(step_limit);
+    if granted == 0 {
+        return (Verdict::Unknown, None);
+    }
     let mut solver = Solver::new();
-    solver.set_step_limit(step_limit);
+    solver.set_step_limit(granted);
+    solver.set_deadline(budget.deadline());
 
     // Truncation point per goroutine: events after a group member's event
     // never execute.
@@ -104,6 +129,7 @@ pub fn check_group_traced(
     }
     if group.iter().any(|m| !alive[m.goroutine]) {
         // A group member's goroutine never starts; the solver is not run.
+        budget.refund(granted);
         return (Verdict::Safe, None);
     }
 
@@ -382,6 +408,7 @@ pub fn check_group_traced(
 
     let result = solver.solve();
     let stats = solver.stats();
+    budget.refund(granted.saturating_sub(stats.steps));
     let verdict = match result {
         SolveResult::Sat(model) => {
             // Produce the witness order: kept events sorted by O value.
@@ -498,9 +525,30 @@ pub fn check_send_after_close_traced(
     close: GroupMember,
     step_limit: u64,
 ) -> (Verdict, minismt::SolverStats) {
+    check_send_after_close_budgeted(prims, combo, send, close, step_limit, &Budget::default())
+}
+
+/// [`check_send_after_close_traced`] under a cooperative [`Budget`]
+/// (see [`check_group_budgeted`] for the rationing rules).
+pub fn check_send_after_close_budgeted(
+    prims: &Primitives,
+    combo: &Combo,
+    send: GroupMember,
+    close: GroupMember,
+    step_limit: u64,
+    budget: &Budget,
+) -> (Verdict, minismt::SolverStats) {
+    if budget.is_active() && budget.expired() {
+        return (Verdict::Unknown, minismt::SolverStats::default());
+    }
+    let granted = budget.draw(step_limit);
+    if granted == 0 {
+        return (Verdict::Unknown, minismt::SolverStats::default());
+    }
     // No suspicious group: everything must be reachable.
     let mut solver = Solver::new();
-    solver.set_step_limit(step_limit);
+    solver.set_step_limit(granted);
+    solver.set_deadline(budget.deadline());
 
     // BTreeMap for the same reason as the BMOC encoder: iteration order
     // feeds term assertion order, which must be run-to-run deterministic.
@@ -661,6 +709,7 @@ pub fn check_send_after_close_traced(
 
     let result = solver.solve();
     let stats = solver.stats();
+    budget.refund(granted.saturating_sub(stats.steps));
     let verdict = match result {
         SolveResult::Sat(model) => {
             let mut timeline: Vec<(i64, String)> = order

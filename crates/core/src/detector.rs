@@ -15,11 +15,14 @@
 //! cross-channel deduplication. One channel's detection is fully
 //! sequential, so `jobs = 1` and `jobs = N` produce identical reports.
 
-use crate::constraints::{check_group_traced, check_send_after_close_traced, Verdict};
+use crate::constraints::{check_group_budgeted, check_send_after_close_budgeted, Verdict};
 use crate::disentangle::pset;
 use crate::paths::{Enumerator, Event, Limits, Path};
 use crate::primitives::{OpKind, PrimId};
 use crate::report::{BugKind, BugReport, OpRef, Provenance};
+use crate::resilience::{
+    catch_isolated, ladder_limits, Budget, Incident, IncidentKind, LADDER_RUNGS,
+};
 use crate::session::AnalysisSession;
 use crate::telemetry::{Counter, Metric, Stage};
 use crate::trace::{ArgValue, Lane};
@@ -27,7 +30,7 @@ use golite_ir::ir::*;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 pub use crate::session::Detector;
 
@@ -79,6 +82,18 @@ pub struct DetectorConfig {
     /// default) uses all available cores. Reports are identical for every
     /// value.
     pub jobs: usize,
+    /// Wall-clock deadline for the whole run (`--timeout`); anchored at
+    /// the first detector call so it covers every checker. `None` (the
+    /// default) leaves the run unbounded.
+    pub timeout: Option<Duration>,
+    /// Per-channel wall-clock deadline (`--channel-timeout`); each
+    /// channel's budget is the tighter of this and the run deadline.
+    pub channel_timeout: Option<Duration>,
+    /// Global solver-step pool shared by every query of the run; each
+    /// query draws up to `solver_steps` from it and refunds what it does
+    /// not use. `None` (the default) leaves queries bounded only by
+    /// `solver_steps`.
+    pub solver_step_pool: Option<u64>,
 }
 
 impl Default for DetectorConfig {
@@ -91,12 +106,19 @@ impl Default for DetectorConfig {
             max_group_size: 2,
             solver_steps: 400_000,
             jobs: 0,
+            timeout: None,
+            channel_timeout: None,
+            solver_step_pool: None,
         }
     }
 }
 
 /// Cross-channel deduplication key of one suspicious group.
 type GroupKey = (BugKind, Option<Loc>, Vec<Loc>);
+
+/// One channel's detection result: findings keyed for the cross-channel
+/// merge, plus the incident (panic or exhausted budget), if any.
+type ChannelOutcome = (Vec<(GroupKey, BugReport)>, Option<Incident>);
 
 /// Resolves the worker count: `0` means every available core, and there is
 /// never a reason to spawn more workers than work items.
@@ -132,19 +154,22 @@ impl<'m> AnalysisSession<'m> {
         self.telemetry
             .add(Counter::ChannelsAnalyzed, channels.len() as u64);
 
+        let budget = self.run_budget(config).clone();
         let jobs = effective_jobs(config.jobs, channels.len());
-        let per_channel: Vec<Vec<(GroupKey, BugReport)>> = if jobs <= 1 {
+        let per_channel: Vec<ChannelOutcome> = if jobs <= 1 {
             let mut lane = self.tracer().lane(1, "bmoc-worker-0");
             channels
                 .iter()
-                .map(|&c| self.detect_channel(c, config, &mut lane))
+                .map(|&c| self.detect_channel(c, config, &budget, &mut lane))
                 .collect()
         } else {
-            let slots: Vec<Mutex<Vec<(GroupKey, BugReport)>>> =
-                channels.iter().map(|_| Mutex::new(Vec::new())).collect();
+            let slots: Vec<Mutex<ChannelOutcome>> = channels
+                .iter()
+                .map(|_| Mutex::new((Vec::new(), None)))
+                .collect();
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
-                let (channels, slots, next) = (&channels, &slots, &next);
+                let (channels, slots, next, budget) = (&channels, &slots, &next, &budget);
                 for w in 0..jobs {
                     scope.spawn(move || {
                         // One trace lane per worker: events land on their
@@ -155,23 +180,31 @@ impl<'m> AnalysisSession<'m> {
                             if i >= channels.len() {
                                 break;
                             }
-                            let found = self.detect_channel(channels[i], config, &mut lane);
-                            *slots[i].lock().expect("worker slot") = found;
+                            let found = self.detect_channel(channels[i], config, budget, &mut lane);
+                            // Panics are contained inside `detect_channel`,
+                            // so a poisoned slot can only hold the default
+                            // value; recover it rather than cascading.
+                            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = found;
                         }
                     });
                 }
             });
             slots
                 .into_iter()
-                .map(|m| m.into_inner().expect("worker slot"))
+                .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
                 .collect()
         };
 
         // Deterministic merge in channel order with cross-channel dedup.
+        // Incidents are recorded here, not in the workers, so their order
+        // (channel order) is independent of `jobs`.
         let mut merge_lane = self.tracer().lane(0, "main");
         let mut seen: HashSet<GroupKey> = HashSet::new();
         let mut reports: Vec<BugReport> = Vec::new();
-        for found in per_channel {
+        for (found, incident) in per_channel {
+            if let Some(incident) = incident {
+                self.record_incident(incident);
+            }
             for (key, report) in found {
                 if seen.insert(key) {
                     reports.push(report);
@@ -187,58 +220,172 @@ impl<'m> AnalysisSession<'m> {
         reports
     }
 
-    /// The full detection pipeline for one channel: disentangle, enumerate,
-    /// group, solve. Pure with respect to the session (telemetry and the
-    /// caller's trace lane aside), so workers can run it concurrently;
-    /// findings carry their group key for the cross-channel merge.
+    /// One channel's detection task, fault-isolated: a panic anywhere in
+    /// the pipeline is contained here and converted into an [`Incident`]
+    /// (with the worker's trace lane rebalanced), so one bad channel
+    /// cannot take down the run or the other workers.
     fn detect_channel(
         &self,
         chan: PrimId,
         config: &DetectorConfig,
+        budget: &Budget,
         lane: &mut Lane<'_>,
-    ) -> Vec<(GroupKey, BugReport)> {
+    ) -> ChannelOutcome {
         let started = Instant::now();
         let chan_name = self.prims.all[chan.0].name.clone();
         lane.begin(
             "bmoc_channel",
             vec![("chan", ArgValue::from(chan_name.as_str()))],
         );
-        let found = self.detect_channel_pipeline(chan, &chan_name, config, lane);
-        lane.end();
+        let attempt =
+            catch_isolated(|| self.detect_channel_laddered(chan, &chan_name, config, budget, lane));
+        let (found, incident) = match attempt {
+            Ok(outcome) => {
+                lane.end();
+                outcome
+            }
+            Err(message) => {
+                // The panic left the lane mid-span; close every open span
+                // so the trace stays well-formed.
+                lane.rewind();
+                self.telemetry.add(Counter::IncompleteChannels, 1);
+                let incident = Incident {
+                    kind: IncidentKind::Channel,
+                    name: chan_name.clone(),
+                    message,
+                    rung: 0,
+                };
+                (Vec::new(), Some(incident))
+            }
+        };
+        if let Some(incident) = &incident {
+            lane.instant(
+                "incident",
+                vec![
+                    ("kind", ArgValue::from(incident.kind.label())),
+                    ("name", ArgValue::from(incident.name.as_str())),
+                ],
+            );
+        }
         self.telemetry
             .observe(Metric::ChannelDetectNs, started.elapsed().as_nanos() as u64);
-        found
+        (found, incident)
     }
 
+    /// Runs the channel pipeline under its budget, descending the
+    /// degradation ladder (§3.3) on exhaustion: the configured limits
+    /// first, then reduced unroll, then a minimal unroll with the Pset
+    /// shrunk to the channel itself. Findings from every rung are kept
+    /// (deduplicated by group key, fullest-limits rung first); only if
+    /// the last rung still exhausts the budget does the channel give up,
+    /// with an [`Incident`] recording the rung reached. With no budget in
+    /// force this is a single rung-0 run — the legacy behavior.
+    fn detect_channel_laddered(
+        &self,
+        chan: PrimId,
+        chan_name: &str,
+        config: &DetectorConfig,
+        budget: &Budget,
+        lane: &mut Lane<'_>,
+    ) -> ChannelOutcome {
+        let chan_budget = budget.tightened(config.channel_timeout);
+        if !chan_budget.is_active() {
+            let (found, _) = self.detect_channel_pipeline(
+                chan,
+                chan_name,
+                config,
+                &config.limits,
+                0,
+                &chan_budget,
+                lane,
+            );
+            return (found, None);
+        }
+        let mut acc: Vec<(GroupKey, BugReport)> = Vec::new();
+        let mut seen: HashSet<GroupKey> = HashSet::new();
+        for rung in 0..LADDER_RUNGS {
+            let limits = ladder_limits(&config.limits, rung);
+            let (found, exhausted) = self.detect_channel_pipeline(
+                chan,
+                chan_name,
+                config,
+                &limits,
+                rung,
+                &chan_budget,
+                lane,
+            );
+            for (key, report) in found {
+                if seen.insert(key.clone()) {
+                    acc.push((key, report));
+                }
+            }
+            if !exhausted {
+                return (acc, None);
+            }
+            if rung + 1 < LADDER_RUNGS {
+                lane.instant(
+                    "ladder_retry",
+                    vec![("rung", ArgValue::U64(u64::from(rung + 1)))],
+                );
+            }
+        }
+        self.telemetry.add(Counter::IncompleteChannels, 1);
+        let incident = Incident {
+            kind: IncidentKind::Channel,
+            name: chan_name.to_string(),
+            message: "analysis budget exhausted; results for this channel are partial".into(),
+            rung: LADDER_RUNGS - 1,
+        };
+        (acc, Some(incident))
+    }
+
+    /// The full detection pipeline for one channel at one ladder rung:
+    /// disentangle, enumerate, group, solve. Pure with respect to the
+    /// session (telemetry and the caller's trace lane aside), so workers
+    /// can run it concurrently; findings carry their group key for the
+    /// cross-channel merge. The second return value reports whether the
+    /// budget cut the work short (always `false` with an inactive budget).
+    #[allow(clippy::too_many_arguments)]
     fn detect_channel_pipeline(
         &self,
         chan: PrimId,
         chan_name: &str,
         config: &DetectorConfig,
+        limits: &Limits,
+        rung: u32,
+        budget: &Budget,
         lane: &mut Lane<'_>,
-    ) -> Vec<(GroupKey, BugReport)> {
-        let (root, prim_set): (FuncId, Vec<PrimId>) = if config.disentangle {
+    ) -> (Vec<(GroupKey, BugReport)>, bool) {
+        let (root, mut prim_set): (FuncId, Vec<PrimId>) = if config.disentangle {
             let scopes = self.scopes();
             let set = pset(chan, self.dependency_graph(), scopes, &self.prims);
-            self.telemetry.add(Counter::PsetsComputed, 1);
-            self.telemetry
-                .add(Counter::PsetPrimsTotal, set.len() as u64);
+            if rung == 0 {
+                self.telemetry.add(Counter::PsetsComputed, 1);
+                self.telemetry
+                    .add(Counter::PsetPrimsTotal, set.len() as u64);
+            }
             (scopes[chan.0].root, set)
         } else {
             // Ablation: whole program from main, all primitives.
             let Some(main) = self.module.func_by_name("main") else {
-                return Vec::new();
+                return (Vec::new(), false);
             };
             (main.id, self.prims.all.iter().map(|p| p.id).collect())
         };
+        if rung >= 2 {
+            // Last rung of the ladder: shrink the Pset to the channel
+            // itself, the cheapest analysis that can still find a bug.
+            prim_set.retain(|&p| p == chan);
+        }
         let pset_size = prim_set.len();
         let mut enumerator = Enumerator::new(
             self.module,
             &self.analysis,
             &self.prims,
             &prim_set,
-            config.limits.clone(),
-        );
+            limits.clone(),
+        )
+        .with_budget(budget.clone());
         lane.begin("build_combos", vec![]);
         let combos = self.telemetry.time(Stage::Paths, || {
             self.build_combos(&mut enumerator, root, config, lane)
@@ -261,11 +408,21 @@ impl<'m> AnalysisSession<'m> {
                 vec![("count", ArgValue::U64(branches_pruned))],
             );
         }
+        let mut exhausted = enumerator.exhausted();
+        if budget.is_active() && combos.len() >= config.max_combos {
+            // Combination blowup under a budget counts as incomplete: the
+            // ladder's tighter limits produce fewer, shorter paths.
+            exhausted = true;
+        }
 
         let mut groups_checked = 0u64;
         let mut local_seen: HashSet<GroupKey> = HashSet::new();
         let mut found: Vec<(GroupKey, BugReport)> = Vec::new();
         for combo in &combos {
+            if budget.is_active() && budget.expired() {
+                exhausted = true;
+                break;
+            }
             for group in self.suspicious_groups(combo, chan, config.max_group_size) {
                 let key = self.group_key(combo, &group);
                 if local_seen.contains(&key) {
@@ -275,7 +432,7 @@ impl<'m> AnalysisSession<'m> {
                 groups_checked += 1;
                 lane.begin("solve", vec![("group", ArgValue::U64(groups_checked))]);
                 let (verdict, solver_stats) = self.telemetry.time(Stage::Constraints, || {
-                    check_group_traced(&self.prims, combo, &group, config.solver_steps)
+                    check_group_budgeted(&self.prims, combo, &group, config.solver_steps, budget)
                 });
                 if let Some(s) = solver_stats {
                     self.telemetry.add_solver_stats(s);
@@ -308,14 +465,23 @@ impl<'m> AnalysisSession<'m> {
                             solver_steps: s.steps,
                             solver_decisions: s.decisions,
                             solver_conflicts: s.conflicts,
+                            degradation_rung: rung,
                         });
                         found.push((key, report));
                     }
-                    Verdict::Safe | Verdict::Unknown => {}
+                    Verdict::Safe => {}
+                    Verdict::Unknown => {
+                        // Under a budget, an unknown verdict means the
+                        // query ran out of steps or time — the channel's
+                        // answer is incomplete at these limits.
+                        if budget.is_active() {
+                            exhausted = true;
+                        }
+                    }
                 }
             }
         }
-        found
+        (found, exhausted)
     }
 
     // ------------------------------------------------------- combinations
@@ -587,6 +753,7 @@ impl<'m> AnalysisSession<'m> {
     pub fn detect_send_on_closed(&self, config: &DetectorConfig) -> Vec<BugReport> {
         let dg = self.dependency_graph();
         let scopes = self.scopes();
+        let budget = self.run_budget(config).clone();
         let mut lane = self.tracer().lane(0, "main");
         let mut reports = Vec::new();
         let mut seen: HashSet<(Loc, Loc)> = HashSet::new();
@@ -608,155 +775,208 @@ impl<'m> AnalysisSession<'m> {
                 continue;
             }
             let started = Instant::now();
+            let chan_budget = budget.tightened(config.channel_timeout);
             lane.begin(
                 "bmoc_channel",
                 vec![("chan", ArgValue::from(chan.name.as_str()))],
             );
-            let root = scopes[chan.id.0].root;
-            let prim_set = pset(chan.id, dg, scopes, &self.prims);
-            let pset_size = prim_set.len();
-            let mut enumerator = Enumerator::new(
-                self.module,
-                &self.analysis,
-                &self.prims,
-                &prim_set,
-                config.limits.clone(),
-            );
-            lane.begin("build_combos", vec![]);
-            let combos = self.telemetry.time(Stage::Paths, || {
-                self.build_combos(&mut enumerator, root, config, &mut lane)
-            });
-            lane.end();
-            let paths_enumerated = enumerator.paths_enumerated();
-            let branches_pruned = enumerator.branches_pruned();
-            self.telemetry
-                .add(Counter::PathsEnumerated, paths_enumerated);
-            self.telemetry.add(Counter::BranchesPruned, branches_pruned);
-            self.telemetry
-                .add(Counter::CombosBuilt, combos.len() as u64);
-            self.telemetry
-                .observe(Metric::PathsPerChannel, paths_enumerated);
-            self.telemetry
-                .observe(Metric::CombosPerChannel, combos.len() as u64);
-            let mut groups_checked = 0u64;
-            for combo in &combos {
-                // Collect sends and closes on this channel.
-                let mut sends = Vec::new();
-                let mut closes = Vec::new();
-                for (gi, g) in combo.gos.iter().enumerate() {
-                    for (ei, event) in g.path.events.iter().enumerate() {
-                        if let Event::Op(op) = event {
-                            if op.prim == chan.id {
-                                match op.kind {
-                                    crate::primitives::OpKind::Send => sends.push((
-                                        GroupMember {
-                                            goroutine: gi,
-                                            event: ei,
-                                        },
-                                        op.clone(),
-                                    )),
-                                    crate::primitives::OpKind::Close => closes.push((
-                                        GroupMember {
-                                            goroutine: gi,
-                                            event: ei,
-                                        },
-                                        op.clone(),
-                                    )),
-                                    _ => {}
+            // Same fault isolation as the BMOC workers: a panic while
+            // analyzing one channel becomes an incident, not an abort.
+            let attempt = catch_isolated(|| {
+                let mut found: Vec<BugReport> = Vec::new();
+                let root = scopes[chan.id.0].root;
+                let prim_set = pset(chan.id, dg, scopes, &self.prims);
+                let pset_size = prim_set.len();
+                let mut enumerator = Enumerator::new(
+                    self.module,
+                    &self.analysis,
+                    &self.prims,
+                    &prim_set,
+                    config.limits.clone(),
+                )
+                .with_budget(chan_budget.clone());
+                lane.begin("build_combos", vec![]);
+                let combos = self.telemetry.time(Stage::Paths, || {
+                    self.build_combos(&mut enumerator, root, config, &mut lane)
+                });
+                lane.end();
+                let paths_enumerated = enumerator.paths_enumerated();
+                let branches_pruned = enumerator.branches_pruned();
+                let mut exhausted = enumerator.exhausted();
+                self.telemetry
+                    .add(Counter::PathsEnumerated, paths_enumerated);
+                self.telemetry.add(Counter::BranchesPruned, branches_pruned);
+                self.telemetry
+                    .add(Counter::CombosBuilt, combos.len() as u64);
+                self.telemetry
+                    .observe(Metric::PathsPerChannel, paths_enumerated);
+                self.telemetry
+                    .observe(Metric::CombosPerChannel, combos.len() as u64);
+                let mut groups_checked = 0u64;
+                for combo in &combos {
+                    if chan_budget.is_active() && chan_budget.expired() {
+                        exhausted = true;
+                        break;
+                    }
+                    // Collect sends and closes on this channel.
+                    let mut sends = Vec::new();
+                    let mut closes = Vec::new();
+                    for (gi, g) in combo.gos.iter().enumerate() {
+                        for (ei, event) in g.path.events.iter().enumerate() {
+                            if let Event::Op(op) = event {
+                                if op.prim == chan.id {
+                                    match op.kind {
+                                        crate::primitives::OpKind::Send => sends.push((
+                                            GroupMember {
+                                                goroutine: gi,
+                                                event: ei,
+                                            },
+                                            op.clone(),
+                                        )),
+                                        crate::primitives::OpKind::Close => closes.push((
+                                            GroupMember {
+                                                goroutine: gi,
+                                                event: ei,
+                                            },
+                                            op.clone(),
+                                        )),
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for (send_m, send_op) in &sends {
+                        for (close_m, close_op) in &closes {
+                            if !seen.insert((send_op.loc, close_op.loc)) {
+                                continue;
+                            }
+                            self.telemetry.add(Counter::GroupsChecked, 1);
+                            groups_checked += 1;
+                            lane.begin("solve", vec![("group", ArgValue::U64(groups_checked))]);
+                            let (verdict, solver_stats) =
+                                self.telemetry.time(Stage::Constraints, || {
+                                    check_send_after_close_budgeted(
+                                        &self.prims,
+                                        combo,
+                                        *send_m,
+                                        *close_m,
+                                        config.solver_steps,
+                                        &chan_budget,
+                                    )
+                                });
+                            self.telemetry.add_solver_stats(solver_stats);
+                            lane.complete(
+                                "dpll",
+                                solver_stats.elapsed,
+                                vec![
+                                    ("steps", ArgValue::U64(solver_stats.steps)),
+                                    ("decisions", ArgValue::U64(solver_stats.decisions)),
+                                    ("conflicts", ArgValue::U64(solver_stats.conflicts)),
+                                ],
+                            );
+                            lane.end();
+                            match verdict {
+                                Verdict::Blocking(witness) => {
+                                    self.telemetry.add(Counter::ReportsEmitted, 1);
+                                    lane.instant(
+                                        "report_emitted",
+                                        vec![("chan", ArgValue::from(chan.name.as_str()))],
+                                    );
+                                    found.push(BugReport {
+                                        kind: BugKind::SendOnClosedChannel,
+                                        primitive: Some(chan.site),
+                                        primitive_span: chan.span,
+                                        primitive_name: chan.name.clone(),
+                                        ops: vec![
+                                            OpRef {
+                                                loc: send_op.loc,
+                                                span: send_op.span,
+                                                what: format!("send on {} after close", chan.name),
+                                                func_name: self
+                                                    .module
+                                                    .func(send_op.loc.func)
+                                                    .name
+                                                    .clone(),
+                                            },
+                                            OpRef {
+                                                loc: close_op.loc,
+                                                span: close_op.span,
+                                                what: format!("close of {}", chan.name),
+                                                func_name: self
+                                                    .module
+                                                    .func(close_op.loc.func)
+                                                    .name
+                                                    .clone(),
+                                            },
+                                        ],
+                                        witness_order: witness,
+                                        notes: "a schedule orders the close before the send \
+                                            (runtime panic)"
+                                            .into(),
+                                        provenance: Some(Provenance {
+                                            channel: chan.name.clone(),
+                                            pset_size,
+                                            paths_enumerated,
+                                            branches_pruned,
+                                            combos_tried: combos.len(),
+                                            groups_checked,
+                                            solver_verdict: "panic-schedule",
+                                            solver_steps: solver_stats.steps,
+                                            solver_decisions: solver_stats.decisions,
+                                            solver_conflicts: solver_stats.conflicts,
+                                            degradation_rung: 0,
+                                        }),
+                                    });
+                                }
+                                Verdict::Safe => {
+                                    seen.remove(&(send_op.loc, close_op.loc));
+                                }
+                                Verdict::Unknown => {
+                                    seen.remove(&(send_op.loc, close_op.loc));
+                                    if chan_budget.is_active() {
+                                        exhausted = true;
+                                    }
                                 }
                             }
                         }
                     }
                 }
-                for (send_m, send_op) in &sends {
-                    for (close_m, close_op) in &closes {
-                        if !seen.insert((send_op.loc, close_op.loc)) {
-                            continue;
-                        }
-                        self.telemetry.add(Counter::GroupsChecked, 1);
-                        groups_checked += 1;
-                        lane.begin("solve", vec![("group", ArgValue::U64(groups_checked))]);
-                        let (verdict, solver_stats) =
-                            self.telemetry.time(Stage::Constraints, || {
-                                check_send_after_close_traced(
-                                    &self.prims,
-                                    combo,
-                                    *send_m,
-                                    *close_m,
-                                    config.solver_steps,
-                                )
-                            });
-                        self.telemetry.add_solver_stats(solver_stats);
-                        lane.complete(
-                            "dpll",
-                            solver_stats.elapsed,
-                            vec![
-                                ("steps", ArgValue::U64(solver_stats.steps)),
-                                ("decisions", ArgValue::U64(solver_stats.decisions)),
-                                ("conflicts", ArgValue::U64(solver_stats.conflicts)),
-                            ],
-                        );
-                        lane.end();
-                        match verdict {
-                            Verdict::Blocking(witness) => {
-                                self.telemetry.add(Counter::ReportsEmitted, 1);
-                                lane.instant(
-                                    "report_emitted",
-                                    vec![("chan", ArgValue::from(chan.name.as_str()))],
-                                );
-                                reports.push(BugReport {
-                                    kind: BugKind::SendOnClosedChannel,
-                                    primitive: Some(chan.site),
-                                    primitive_span: chan.span,
-                                    primitive_name: chan.name.clone(),
-                                    ops: vec![
-                                        OpRef {
-                                            loc: send_op.loc,
-                                            span: send_op.span,
-                                            what: format!("send on {} after close", chan.name),
-                                            func_name: self
-                                                .module
-                                                .func(send_op.loc.func)
-                                                .name
-                                                .clone(),
-                                        },
-                                        OpRef {
-                                            loc: close_op.loc,
-                                            span: close_op.span,
-                                            what: format!("close of {}", chan.name),
-                                            func_name: self
-                                                .module
-                                                .func(close_op.loc.func)
-                                                .name
-                                                .clone(),
-                                        },
-                                    ],
-                                    witness_order: witness,
-                                    notes: "a schedule orders the close before the send \
-                                            (runtime panic)"
-                                        .into(),
-                                    provenance: Some(Provenance {
-                                        channel: chan.name.clone(),
-                                        pset_size,
-                                        paths_enumerated,
-                                        branches_pruned,
-                                        combos_tried: combos.len(),
-                                        groups_checked,
-                                        solver_verdict: "panic-schedule",
-                                        solver_steps: solver_stats.steps,
-                                        solver_decisions: solver_stats.decisions,
-                                        solver_conflicts: solver_stats.conflicts,
-                                    }),
-                                });
-                            }
-                            _ => {
-                                seen.remove(&(send_op.loc, close_op.loc));
-                            }
-                        }
-                    }
+                (found, exhausted)
+            });
+            let incident = match attempt {
+                Ok((found, exhausted)) => {
+                    lane.end();
+                    reports.extend(found);
+                    exhausted.then(|| Incident {
+                        kind: IncidentKind::Channel,
+                        name: chan.name.clone(),
+                        message: "analysis budget exhausted; results for this channel are partial"
+                            .into(),
+                        rung: 0,
+                    })
                 }
+                Err(message) => {
+                    lane.rewind();
+                    Some(Incident {
+                        kind: IncidentKind::Channel,
+                        name: chan.name.clone(),
+                        message,
+                        rung: 0,
+                    })
+                }
+            };
+            if let Some(incident) = incident {
+                self.telemetry.add(Counter::IncompleteChannels, 1);
+                lane.instant(
+                    "incident",
+                    vec![
+                        ("kind", ArgValue::from(incident.kind.label())),
+                        ("name", ArgValue::from(incident.name.as_str())),
+                    ],
+                );
+                self.record_incident(incident);
             }
-            lane.end();
             self.telemetry
                 .observe(Metric::ChannelDetectNs, started.elapsed().as_nanos() as u64);
         }

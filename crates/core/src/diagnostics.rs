@@ -10,6 +10,7 @@
 
 use crate::checkers::RunOutput;
 use crate::report::{BugKind, BugReport};
+use crate::resilience::Incident;
 use crate::telemetry::Stats;
 
 /// How bad a finding is.
@@ -174,7 +175,23 @@ fn push_str_field(out: &mut String, key: &str, value: &str) {
 /// * `stats.hist` (same addition) maps metric names to percentile
 ///   summaries of log-bucketed histograms; time-valued metrics
 ///   (`*_ns` suffix) are integer nanoseconds.
+/// * `incidents` (added with the resilience layer, via
+///   [`render_json_with`]) appears only when the run recorded contained
+///   failures; each entry is `{"kind", "name", "message", "rung"}`.
+///   Likewise `provenance.degradation_rung` appears only on findings
+///   produced below full limits, so budget-free runs are byte-identical
+///   to earlier versions.
 pub fn render_json(diagnostics: &[Diagnostic], stats: Option<&Stats>) -> String {
+    render_json_with(diagnostics, stats, &[])
+}
+
+/// [`render_json`] plus the run's [`Incident`]s: when `incidents` is
+/// non-empty, an `"incidents"` array is emitted after `"diagnostics"`.
+pub fn render_json_with(
+    diagnostics: &[Diagnostic],
+    stats: Option<&Stats>,
+    incidents: &[Incident],
+) -> String {
     let mut out = String::new();
     out.push_str("{\"version\":1,\"diagnostics\":[");
     for (i, d) in diagnostics.iter().enumerate() {
@@ -243,11 +260,32 @@ pub fn render_json(diagnostics: &[Diagnostic], stats: Option<&Stats>) -> String 
             num("solver_steps", p.solver_steps, &mut out);
             num("solver_decisions", p.solver_decisions, &mut out);
             num("solver_conflicts", p.solver_conflicts, &mut out);
+            if p.degradation_rung > 0 {
+                num("degradation_rung", u64::from(p.degradation_rung), &mut out);
+            }
             out.push('}');
         }
         out.push('}');
     }
     out.push(']');
+    if !incidents.is_empty() {
+        out.push_str(",\"incidents\":[");
+        for (i, inc) in incidents.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_str_field(&mut out, "kind", inc.kind.label());
+            out.push(',');
+            push_str_field(&mut out, "name", &inc.name);
+            out.push(',');
+            push_str_field(&mut out, "message", &inc.message);
+            out.push_str(",\"rung\":");
+            out.push_str(&inc.rung.to_string());
+            out.push('}');
+        }
+        out.push(']');
+    }
     if let Some(stats) = stats {
         out.push_str(",\"stats\":{\"counters\":{");
         for (i, (c, v)) in stats.counters.iter().enumerate() {
@@ -413,13 +451,49 @@ mod tests {
             solver_steps: 55,
             solver_decisions: 6,
             solver_conflicts: 1,
+            degradation_rung: 0,
         });
         let with = render_json(&[Diagnostic::new("bmoc", r)], None);
         assert!(with.contains("\"provenance\":{\"channel\":\"outDone\""));
         assert!(with.contains("\"pset_size\":1"));
         assert!(with.contains("\"solver_verdict\":\"blocking\""));
         assert!(with.contains("\"solver_steps\":55"));
+        assert!(
+            !with.contains("degradation_rung"),
+            "rung 0 must not change the schema"
+        );
         crate::trace::validate_json(&with).expect("well-formed");
+    }
+
+    #[test]
+    fn json_carries_incidents_and_rung_only_when_present() {
+        let clean = render_json_with(&[], None, &[]);
+        assert!(!clean.contains("incidents"));
+
+        let mut r = mk_report();
+        r.provenance = Some(crate::report::Provenance {
+            channel: "outDone".into(),
+            solver_verdict: "blocking",
+            degradation_rung: 2,
+            ..Default::default()
+        });
+        let incident = crate::resilience::Incident {
+            kind: crate::resilience::IncidentKind::Checker,
+            name: "panic-test".into(),
+            message: "boom \"quoted\"".into(),
+            rung: 0,
+        };
+        let json = render_json_with(
+            &[Diagnostic::new("bmoc", r)],
+            None,
+            std::slice::from_ref(&incident),
+        );
+        assert!(json.contains("\"degradation_rung\":2"));
+        assert!(json.contains(
+            "\"incidents\":[{\"kind\":\"checker\",\"name\":\"panic-test\",\
+             \"message\":\"boom \\\"quoted\\\"\",\"rung\":0}]"
+        ));
+        crate::trace::validate_json(&json).expect("well-formed");
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //!   detector behind stable names with `--only`/`--skip` selection;
 //! * [`diagnostics`] — structured [`Diagnostic`]s with stable IDs,
 //!   severities, and dependency-free JSON rendering;
+//! * [`resilience`] — cooperative [`Budget`]s (wall-clock deadline +
+//!   solver-step pool), panic containment, the degradation ladder, and
+//!   structured [`Incident`] reporting for contained failures;
 //! * [`telemetry`] — counters, per-stage timings, and percentile
 //!   histograms recorded throughout the pipeline;
 //! * [`trace`] — hierarchical span tracing (Chrome trace-event export,
@@ -72,6 +75,7 @@ pub mod disentangle;
 pub mod paths;
 pub mod primitives;
 pub mod report;
+pub mod resilience;
 pub mod session;
 pub mod telemetry;
 pub mod trace;
@@ -79,8 +83,9 @@ pub mod traditional;
 
 pub use checkers::{Checker, Registry, RunOutput, Selection};
 pub use detector::{Detector, DetectorConfig};
-pub use diagnostics::{render_explain, render_json, Diagnostic, Severity};
+pub use diagnostics::{render_explain, render_json, render_json_with, Diagnostic, Severity};
 pub use report::{BugKind, BugReport, OpRef, Provenance};
+pub use resilience::{Budget, Incident, IncidentKind};
 pub use session::AnalysisSession;
 pub use telemetry::{Counter, Metric, Stage, Stats, Telemetry};
 pub use trace::{HistSnapshot, Histogram, TraceLevel, TraceSnapshot, Tracer};
@@ -160,6 +165,12 @@ impl<'m> GCatch<'m> {
     /// Snapshot of every counter and stage timing recorded so far.
     pub fn stats(&self) -> Stats {
         self.session.stats()
+    }
+
+    /// Incidents (contained panics, exhausted budgets) recorded so far,
+    /// in deterministic order. Empty on a fully clean run.
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.session.incidents()
     }
 
     /// Snapshot of every span and point event traced so far (empty unless

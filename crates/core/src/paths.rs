@@ -15,6 +15,7 @@
 //!   contradictory paths are pruned — the paper's infeasible-path filter.
 
 use crate::primitives::{OpKind, PrimId, Primitives};
+use crate::resilience::Budget;
 use golite::Span;
 use golite_ir::alias::Analysis;
 use golite_ir::ir::*;
@@ -113,7 +114,7 @@ impl Path {
 }
 
 /// Enumeration limits (paper defaults: unroll 2; ours add explicit caps).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Limits {
     /// Maximum visits of one block within one frame (loop unrolling).
     pub max_block_visits: u32,
@@ -153,6 +154,11 @@ pub struct Enumerator<'a> {
     paths_enumerated: u64,
     /// Branches discarded by the infeasible-path filter.
     branches_pruned: u64,
+    /// Cooperative wall-clock/step budget (inactive by default).
+    budget: Budget,
+    /// Set once the budget expires mid-enumeration; remaining walks are
+    /// abandoned and the paths collected so far are returned truncated.
+    exhausted: bool,
 }
 
 impl<'a> Enumerator<'a> {
@@ -194,7 +200,23 @@ impl<'a> Enumerator<'a> {
             read_only: HashMap::new(),
             paths_enumerated: 0,
             branches_pruned: 0,
+            budget: Budget::default(),
+            exhausted: false,
         }
+    }
+
+    /// Attach a cooperative [`Budget`]: enumeration checks it between
+    /// blocks and stops early (marking the enumerator
+    /// [`exhausted`](Enumerator::exhausted)) once it expires.
+    pub fn with_budget(mut self, budget: Budget) -> Enumerator<'a> {
+        self.budget = budget;
+        self
+    }
+
+    /// Whether the budget expired during enumeration (results are
+    /// truncated and the caller should degrade or report an incident).
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
     }
 
     /// Total paths enumerated so far (fresh enumerations only).
@@ -287,6 +309,16 @@ impl<'a> Enumerator<'a> {
         depth: usize,
     ) {
         if out.len() >= self.limits.max_paths_per_func {
+            return;
+        }
+        if self.exhausted {
+            return;
+        }
+        if self.budget.is_active() && self.budget.expired() {
+            // Emit the partial path so the ops observed so far still
+            // participate in combinations, then abandon the walk.
+            self.exhausted = true;
+            out.push(path);
             return;
         }
         if path.events.len() > self.limits.max_events {

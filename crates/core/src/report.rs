@@ -96,13 +96,17 @@ pub struct Provenance {
     pub solver_decisions: u64,
     /// Conflicts of the satisfying solver query.
     pub solver_conflicts: u64,
+    /// Degradation-ladder rung (§3.3 limit tightening) the finding was
+    /// produced at: 0 means full limits, higher rungs mean the channel's
+    /// budget forced reduced unrolling / a shrunken Pset first.
+    pub degradation_rung: u32,
 }
 
 impl Provenance {
     /// Renders the record as indented human-readable lines (the body of
     /// the `--explain` output).
     pub fn render(&self) -> String {
-        format!(
+        let mut text = format!(
             "  why: channel `{}` — Pset of {} primitive(s); {} path(s) enumerated \
              ({} branch(es) pruned), {} combo(s) built, {} group(s) checked;\n  \
              solver verdict `{}` after {} step(s), {} decision(s), {} conflict(s)\n",
@@ -116,7 +120,14 @@ impl Provenance {
             self.solver_steps,
             self.solver_decisions,
             self.solver_conflicts,
-        )
+        );
+        if self.degradation_rung > 0 {
+            text.push_str(&format!(
+                "  degraded: found at ladder rung {} (limits tightened under budget pressure)\n",
+                self.degradation_rung
+            ));
+        }
+        text
     }
 }
 
@@ -262,6 +273,7 @@ mod tests {
             solver_steps: 120,
             solver_decisions: 11,
             solver_conflicts: 2,
+            degradation_rung: 1,
         };
         let text = p.render();
         assert!(text.contains("outDone"));
@@ -269,6 +281,17 @@ mod tests {
         assert!(text.contains("7 path(s)"));
         assert!(text.contains("blocking"));
         assert!(text.contains("120 step(s)"));
+        assert!(text.contains("ladder rung 1"));
+    }
+
+    #[test]
+    fn provenance_omits_rung_line_at_full_limits() {
+        let p = Provenance {
+            channel: "outDone".into(),
+            solver_verdict: "blocking",
+            ..Provenance::default()
+        };
+        assert!(!p.render().contains("ladder rung"));
     }
 
     #[test]

@@ -19,12 +19,13 @@
 
 use crate::disentangle::{build_dependency_graph, compute_scope, DependencyGraph, Scope};
 use crate::primitives::{collect, Primitives};
+use crate::resilience::{Budget, Incident};
 use crate::telemetry::{Stage, Stats, Telemetry};
 use crate::trace::{TraceLevel, TraceSnapshot, Tracer};
 use crate::traditional::LockSummary;
 use golite_ir::alias::Analysis;
 use golite_ir::ir::Module;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Shared per-module analyses plus telemetry, built once per checked module.
 pub struct AnalysisSession<'m> {
@@ -43,6 +44,12 @@ pub struct AnalysisSession<'m> {
     /// Span/event sink; a no-op unless built with
     /// [`AnalysisSession::with_trace`].
     tracer: Tracer,
+    /// Contained failures (panics, exhausted budgets) recorded by the
+    /// detector and the registry, in deterministic order.
+    incidents: Mutex<Vec<Incident>>,
+    /// Run-wide analysis budget, anchored at the first detector call so
+    /// `--timeout` bounds the whole run rather than each checker.
+    budget: OnceLock<Budget>,
 }
 
 /// Compatibility alias: the BMOC detector is the session itself.
@@ -80,6 +87,8 @@ impl<'m> AnalysisSession<'m> {
             lock_summary: OnceLock::new(),
             telemetry,
             tracer,
+            incidents: Mutex::new(Vec::new()),
+            budget: OnceLock::new(),
         }
     }
 
@@ -148,6 +157,32 @@ impl<'m> AnalysisSession<'m> {
     /// Snapshot of all counters and stage timings recorded so far.
     pub fn stats(&self) -> Stats {
         self.telemetry.snapshot()
+    }
+
+    /// Records a contained failure. Callers are responsible for calling
+    /// this in deterministic order (channels in module order, checkers
+    /// in registry order) so incident output is jobs-independent.
+    pub fn record_incident(&self, incident: Incident) {
+        self.incidents
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(incident);
+    }
+
+    /// The run-wide [`Budget`] derived from `config`, created on first
+    /// use so its wall-clock deadline spans every subsequent checker
+    /// instead of restarting per call.
+    pub(crate) fn run_budget(&self, config: &crate::detector::DetectorConfig) -> &Budget {
+        self.budget
+            .get_or_init(|| Budget::new(config.timeout, config.solver_step_pool))
+    }
+
+    /// All incidents recorded so far, in recording order.
+    pub fn incidents(&self) -> Vec<Incident> {
+        self.incidents
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 }
 

@@ -97,10 +97,13 @@ pub enum Counter {
     ReportsEmitted,
     /// Reports dropped by cross-checker deduplication.
     DuplicatesDropped,
+    /// Channels whose analysis gave up after exhausting every rung of
+    /// the degradation ladder (results for them are partial).
+    IncompleteChannels,
 }
 
 impl Counter {
-    const COUNT: usize = 13;
+    const COUNT: usize = 14;
 
     fn index(self) -> usize {
         match self {
@@ -117,6 +120,7 @@ impl Counter {
             Counter::SolverConflicts => 10,
             Counter::ReportsEmitted => 11,
             Counter::DuplicatesDropped => 12,
+            Counter::IncompleteChannels => 13,
         }
     }
 
@@ -136,6 +140,7 @@ impl Counter {
             Counter::SolverConflicts => "solver_conflicts",
             Counter::ReportsEmitted => "reports_emitted",
             Counter::DuplicatesDropped => "duplicates_dropped",
+            Counter::IncompleteChannels => "incomplete_channels",
         }
     }
 
@@ -155,6 +160,7 @@ impl Counter {
             Counter::SolverConflicts,
             Counter::ReportsEmitted,
             Counter::DuplicatesDropped,
+            Counter::IncompleteChannels,
         ]
     }
 }

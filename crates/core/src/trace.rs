@@ -225,6 +225,7 @@ impl Tracer {
             tid,
             thread_name: thread_name.into(),
             events: Vec::new(),
+            open_spans: 0,
         }
     }
 
@@ -283,6 +284,9 @@ pub struct Lane<'t> {
     tid: u32,
     thread_name: Cow<'static, str>,
     events: Vec<TraceEvent>,
+    /// Depth of currently open Begin spans; lets [`Lane::rewind`] emit
+    /// the matching End events after a contained panic.
+    open_spans: u32,
 }
 
 impl Lane<'_> {
@@ -314,6 +318,7 @@ impl Lane<'_> {
         args: Vec<(&'static str, ArgValue)>,
     ) {
         if self.enabled() {
+            self.open_spans += 1;
             self.push(Phase::Begin, name.into(), args);
         }
     }
@@ -321,7 +326,19 @@ impl Lane<'_> {
     /// Closes the innermost open span.
     pub fn end(&mut self) {
         if self.enabled() {
+            self.open_spans = self.open_spans.saturating_sub(1);
             self.push(Phase::End, Cow::Borrowed(""), Vec::new());
+        }
+    }
+
+    /// Closes every span still open on this lane.
+    ///
+    /// Used after a contained panic: the panicking unit never reached
+    /// its [`Lane::end`] calls, and the Begin/End balance every lane
+    /// guarantees must be restored before the buffer merges.
+    pub fn rewind(&mut self) {
+        while self.open_spans > 0 {
+            self.end();
         }
     }
 
@@ -871,6 +888,33 @@ mod tests {
             }
             assert_eq!(depth, 0, "unbalanced spans on tid {tid}");
         }
+    }
+
+    #[test]
+    fn rewind_rebalances_open_spans() {
+        let t = Tracer::new(TraceLevel::Spans);
+        {
+            let mut lane = t.lane(0, "main");
+            lane.begin("a", vec![]);
+            lane.begin("b", vec![]);
+            // A panic would skip the matching end() calls; rewind restores
+            // the balance.
+            lane.rewind();
+            lane.rewind(); // idempotent
+        }
+        let snap = t.snapshot();
+        let begins = snap
+            .events
+            .iter()
+            .filter(|(_, e)| e.phase == Phase::Begin)
+            .count();
+        let ends = snap
+            .events
+            .iter()
+            .filter(|(_, e)| e.phase == Phase::End)
+            .count();
+        assert_eq!(begins, 2);
+        assert_eq!(ends, 2);
     }
 
     #[test]

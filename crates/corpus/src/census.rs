@@ -5,7 +5,8 @@
 use crate::apps::GeneratedApp;
 use crate::patterns::{FpCause, Plant};
 use gcatch::report::{BugKind, BugReport};
-use gcatch::{DetectorConfig, GCatch, Stage, Stats};
+use gcatch::resilience::catch_isolated;
+use gcatch::{DetectorConfig, GCatch, Incident, IncidentKind, Stage, Stats};
 use gfix::{Pipeline, Strategy};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -66,6 +67,19 @@ impl AppResult {
 
 fn report_matches(report: &BugReport, plant: &Plant) -> bool {
     crate::patterns::report_hits_plant(report, plant)
+}
+
+/// Fault-isolated [`run_app`]: one replica whose lowering or analysis
+/// panics becomes an `Err` carrying an app [`Incident`] instead of
+/// aborting the whole sweep — the same containment the per-channel BMOC
+/// workers and the checker registry use.
+pub fn try_run_app(app: &GeneratedApp, config: &DetectorConfig) -> Result<AppResult, Incident> {
+    catch_isolated(|| run_app(app, config)).map_err(|message| Incident {
+        kind: IncidentKind::App,
+        name: app.name.to_string(),
+        message,
+        rung: 0,
+    })
 }
 
 /// Runs GCatch and GFix over one replica, classifying every report against
@@ -202,6 +216,22 @@ mod tests {
             };
             assert_eq!(render(1), render(8), "{}: --jobs 8 diverged", app.name);
         }
+    }
+
+    /// A replica that does not even lower must surface as an app incident
+    /// from `try_run_app`, not abort the sweep.
+    #[test]
+    fn broken_replica_yields_an_incident_not_a_panic() {
+        let bad = GeneratedApp {
+            name: "broken",
+            source: "func main( {".to_string(),
+            plants: Vec::new(),
+        };
+        let err = try_run_app(&bad, &DetectorConfig::default())
+            .expect_err("a non-lowering replica must fail");
+        assert_eq!(err.kind, gcatch::IncidentKind::App);
+        assert_eq!(err.name, "broken");
+        assert!(err.message.contains("does not lower"), "{}", err.message);
     }
 
     /// gRPC exercises five categories including a conflict and a fatal.

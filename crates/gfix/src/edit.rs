@@ -63,7 +63,13 @@ fn edit_stmt(prog: &mut Program, target: Span, action: Action) -> bool {
         let mut i = 0;
         while i < block.stmts.len() {
             if block.stmts[i].span == target {
-                match action.take().expect("action consumed once") {
+                // The walk stops at the first match, so the action is still
+                // present here; a duplicate span (malformed input) simply
+                // leaves later matches untouched.
+                let Some(action) = action.take() else {
+                    return false;
+                };
+                match action {
                     Action::Remove => {
                         block.stmts.remove(i);
                     }

@@ -367,7 +367,9 @@ impl<'a> GFix<'a> {
         if kinds.len() != 1 {
             return Err(Rejection::UnsupportedShape);
         }
-        let o1_kind = *kinds.iter().next().expect("one kind");
+        let Some(&o1_kind) = kinds.iter().next() else {
+            return Err(Rejection::UnsupportedShape);
+        };
 
         // Build the deferred replacement and check per-kind conditions.
         let mut prog = self.prog.clone();
@@ -729,13 +731,15 @@ impl<'a> GFix<'a> {
         if !printed.contains(base) {
             return base.to_string();
         }
-        for i in 2.. {
+        for i in 2..=printed.len() as u64 + 2 {
             let cand = format!("{base}{i}");
             if !printed.contains(&cand) {
                 return cand;
             }
         }
-        unreachable!("some suffix is fresh")
+        // A suffix longer than the whole program cannot be a substring of
+        // it, so this is fresh by construction.
+        format!("{base}{}", "9".repeat(printed.len() + 1))
     }
 }
 

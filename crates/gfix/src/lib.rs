@@ -52,7 +52,7 @@ pub mod fix;
 pub mod validate;
 
 pub use fix::{GFix, Patch, Rejection, Strategy};
-pub use validate::{validate, Validation};
+pub use validate::{try_validate, validate, Validation};
 
 use gcatch::trace::ArgValue;
 use gcatch::{DetectorConfig, GCatch, Selection, Stage, Stats, TraceLevel, TraceSnapshot};

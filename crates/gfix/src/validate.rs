@@ -52,10 +52,24 @@ impl Validation {
 /// # Panics
 ///
 /// Panics when either source fails to parse or lower — patch synthesis
-/// guarantees well-formed output, so this indicates a GFix bug.
+/// guarantees well-formed output, so this indicates a GFix bug. Use
+/// [`try_validate`] when the sources are not under GFix's control.
 pub fn validate(original_src: &str, patched_src: &str, entry: &str, seeds: u64) -> Validation {
-    let original = golite_ir::lower_source(original_src).expect("original program lowers");
-    let patched = golite_ir::lower_source(patched_src).expect("patched program lowers");
+    try_validate(original_src, patched_src, entry, seeds).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`validate`]: a source that fails to parse or lower becomes an
+/// `Err` carrying the lowering message instead of a panic.
+pub fn try_validate(
+    original_src: &str,
+    patched_src: &str,
+    entry: &str,
+    seeds: u64,
+) -> Result<Validation, String> {
+    let original = golite_ir::lower_source(original_src)
+        .map_err(|e| format!("original program does not lower: {e}"))?;
+    let patched = golite_ir::lower_source(patched_src)
+        .map_err(|e| format!("patched program does not lower: {e}"))?;
 
     let run_all = |module: &golite_ir::Module| -> Vec<RunReport> {
         let sim = Simulator::new(module);
@@ -102,11 +116,11 @@ pub fn validate(original_src: &str, patched_src: &str, entry: &str, seeds: u64) 
         clean.iter().map(|r| r.instrs_executed as f64).sum::<f64>() / clean.len() as f64
     };
 
-    Validation {
+    Ok(Validation {
         bug_realized,
         patch_blocks_never,
         semantics_preserved,
         baseline_instrs: mean_instrs(&before),
         patched_instrs: mean_instrs(&after),
-    }
+    })
 }

@@ -71,6 +71,7 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
         pos: 0,
         next_id: 0,
         no_composite: 0,
+        depth: 0,
     };
     p.program()
 }
@@ -81,6 +82,9 @@ struct Parser {
     next_id: u32,
     /// Depth of contexts (if/for headers) where composite literals are banned.
     no_composite: u32,
+    /// Current recursion depth of the nesting productions (expressions,
+    /// blocks, types); capped at [`Parser::MAX_DEPTH`].
+    depth: u32,
 }
 
 impl Parser {
@@ -137,6 +141,29 @@ impl Parser {
             message: message.into(),
             span: self.span(),
         }
+    }
+
+    /// Hard cap on recursive-descent depth. Pathological nesting
+    /// (`((((…))))`, `chan chan chan …`, thousand-deep blocks) gets a
+    /// normal parse error at this depth instead of overflowing the stack,
+    /// which no caller could contain. One nesting level costs the whole
+    /// expression-precedence chain in stack frames, so the cap is sized
+    /// for unoptimized builds on a 2 MiB thread stack (Rust's test-thread
+    /// default) with room to spare.
+    const MAX_DEPTH: u32 = 80;
+
+    /// Enters one level of a nesting production, failing cleanly past
+    /// [`Parser::MAX_DEPTH`]. Every `descend` is paired with a depth
+    /// decrement in the guarded wrapper that called it.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        if self.depth >= Self::MAX_DEPTH {
+            return Err(self.err(format!(
+                "nesting too deep (more than {} levels)",
+                Self::MAX_DEPTH
+            )));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn skip_semis(&mut self) {
@@ -372,6 +399,13 @@ impl Parser {
     }
 
     fn parse_type(&mut self) -> Result<Type, ParseError> {
+        self.descend()?;
+        let result = self.parse_type_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_type_inner(&mut self) -> Result<Type, ParseError> {
         match self.peek().clone() {
             TokenKind::Chan => {
                 self.bump();
@@ -449,6 +483,13 @@ impl Parser {
     // ------------------------------------------------------------- statements
 
     fn block(&mut self) -> Result<Block, ParseError> {
+        self.descend()?;
+        let result = self.block_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn block_inner(&mut self) -> Result<Block, ParseError> {
         let start = self.span();
         self.expect(&TokenKind::LBrace)?;
         let saved = self.no_composite;
@@ -995,6 +1036,13 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        self.descend()?;
+        let result = self.unary_expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn unary_expr_inner(&mut self) -> Result<Expr, ParseError> {
         let start = self.span();
         let op = match self.peek() {
             TokenKind::Minus => Some(UnOp::Neg),
@@ -1603,6 +1651,41 @@ func Interactive() {
         assert!(parse("func f() { ch <- }").is_err());
         assert!(parse("func f() { select { case } }").is_err());
         assert!(parse("func { }").is_err());
+    }
+
+    /// Pathological nesting must yield a normal parse error — never a
+    /// stack overflow, which would abort the process uncatchably.
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        let depth = 5000;
+        let parens = format!(
+            "func f(a int) int {{ return {}a{} }}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let err = parse(&parens).expect_err("deep parens must fail");
+        assert!(err.message.contains("nesting too deep"), "{}", err.message);
+
+        let negs = format!("func f(a int) int {{ return {}a }}", "-".repeat(depth));
+        assert!(parse(&negs).is_err(), "deep unary chain must fail");
+
+        let chans = format!("func f(c {} int) {{}}", "chan ".repeat(depth));
+        assert!(parse(&chans).is_err(), "deep chan type must fail");
+
+        let blocks = format!(
+            "func f() {{ {}{} }}",
+            "{ ".repeat(depth),
+            "} ".repeat(depth)
+        );
+        assert!(parse(&blocks).is_err(), "deep blocks must fail");
+
+        // Reasonable nesting (well under the cap) still parses.
+        let ok = format!(
+            "func f(a int) int {{ return {}a{} }}",
+            "(".repeat(50),
+            ")".repeat(50)
+        );
+        assert!(parse(&ok).is_ok(), "shallow nesting must still parse");
     }
 
     #[test]

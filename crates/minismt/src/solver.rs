@@ -64,7 +64,8 @@ pub enum SolveResult {
     Sat(Model),
     /// No model exists.
     Unsat,
-    /// The step limit was exhausted before a verdict.
+    /// The step limit or wall-clock deadline was exhausted before a
+    /// verdict.
     Unknown,
 }
 
@@ -117,17 +118,20 @@ pub struct Solver {
     n_int: u32,
     asserted: Vec<Term>,
     step_limit: u64,
+    deadline: Option<std::time::Instant>,
     stats: SolverStats,
 }
 
 impl Solver {
-    /// Creates an empty solver with the default step limit.
+    /// Creates an empty solver with the default step limit and no
+    /// deadline.
     pub fn new() -> Self {
         Solver {
             n_bool: 0,
             n_int: 0,
             asserted: Vec::new(),
             step_limit: 5_000_000,
+            deadline: None,
             stats: SolverStats::default(),
         }
     }
@@ -151,6 +155,18 @@ impl Solver {
         self.step_limit = limit;
     }
 
+    /// Sets (or clears) a wall-clock deadline for [`Solver::solve`].
+    ///
+    /// The search checks the clock cooperatively every few hundred
+    /// steps and returns [`SolveResult::Unknown`] once the deadline
+    /// passes. Unlike the step limit this makes the *verdict*
+    /// timing-dependent, so callers needing reproducible output should
+    /// prefer the step limit and treat the deadline as a last-resort
+    /// bound.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
     /// Asserts that `t` must hold in any model.
     pub fn assert(&mut self, t: Term) {
         self.asserted.push(t);
@@ -165,6 +181,7 @@ impl Solver {
     pub fn solve(&mut self) -> SolveResult {
         let start = std::time::Instant::now();
         let mut engine = Engine::new(self.step_limit);
+        engine.deadline = self.deadline;
         for t in &self.asserted {
             // Register any variable the formula mentions so the model covers it.
             let mut atoms = Vec::new();
@@ -268,8 +285,16 @@ struct Engine {
     decisions: u64,
     conflicts: u64,
     limit: u64,
+    /// Optional wall-clock bound, checked every `DEADLINE_STRIDE` steps.
+    deadline: Option<std::time::Instant>,
+    /// Step count at which the deadline is next consulted.
+    next_deadline_check: u64,
     true_var: u32,
 }
+
+/// How many search steps pass between wall-clock deadline checks; keeps
+/// `Instant::now()` off the hot path.
+const DEADLINE_STRIDE: u64 = 256;
 
 impl Engine {
     fn new(limit: u64) -> Engine {
@@ -288,6 +313,8 @@ impl Engine {
             decisions: 0,
             conflicts: 0,
             limit,
+            deadline: None,
+            next_deadline_check: 0,
             true_var: 0,
         };
         e.true_var = e.fresh_var(VarKind::Free);
@@ -654,6 +681,9 @@ impl Engine {
             if self.steps > self.limit {
                 return SolveResult::Unknown;
             }
+            if self.deadline_hit() {
+                return SolveResult::Unknown;
+            }
             if self.propagate() {
                 // Pick the next unassigned variable.
                 match self.values.iter().position(|v| v.is_none()) {
@@ -676,6 +706,16 @@ impl Engine {
                 }
             }
         }
+    }
+
+    /// Whether the wall-clock deadline has passed (amortized check).
+    fn deadline_hit(&mut self) -> bool {
+        let Some(d) = self.deadline else { return false };
+        if self.steps < self.next_deadline_check {
+            return false;
+        }
+        self.next_deadline_check = self.steps + DEADLINE_STRIDE;
+        std::time::Instant::now() >= d
     }
 
     /// Flips the most recent unflipped decision; false if none remains.
@@ -923,6 +963,20 @@ mod tests {
             s.solve(),
             SolveResult::Unknown | SolveResult::Sat(_)
         ));
+    }
+
+    #[test]
+    fn unknown_on_expired_deadline() {
+        let mut s = Solver::new();
+        s.set_deadline(Some(std::time::Instant::now()));
+        let vars: Vec<_> = (0..30).map(|_| s.fresh_bool()).collect();
+        for chunk in vars.chunks(3) {
+            s.assert(Term::exactly_one(chunk.iter().map(|&v| Atom::Bool(v))));
+        }
+        assert!(matches!(s.solve(), SolveResult::Unknown));
+        // Clearing the deadline restores a verdict.
+        s.set_deadline(None);
+        assert!(s.solve().is_sat());
     }
 
     #[test]

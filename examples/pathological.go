@@ -1,0 +1,28 @@
+// A deliberately pathological input for the robustness machinery: three
+// goroutines in a circular wait (each sends on its own channel, then
+// receives from the next). The interlocking order constraints force the
+// blocking queries into real DPLL search, so tight step budgets
+// (`--solver-steps`) exhaust the degradation ladder and wall-clock bounds
+// (`--timeout`, `--channel-timeout`) are actually exercised. CI runs
+// `gcatch check` over this file under `--timeout 1` to prove a bounded
+// run always terminates with honest output.
+package main
+
+func main() {
+	ch0 := make(chan int)
+	ch1 := make(chan int)
+	ch2 := make(chan int)
+	go func() {
+		ch0 <- 1
+		<-ch1
+	}()
+	go func() {
+		ch1 <- 1
+		<-ch2
+	}()
+	go func() {
+		ch2 <- 1
+		<-ch0
+	}()
+	<-ch0
+}

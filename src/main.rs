@@ -11,10 +11,11 @@
 //! ```
 
 use gcatch_suite::gcatch::{
-    render_explain, render_json, DetectorConfig, GCatch, Selection, TraceLevel,
+    render_explain, render_json_with, DetectorConfig, GCatch, Incident, Selection, TraceLevel,
 };
 use gcatch_suite::{gfix, sim};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +48,8 @@ usage: gcatch <command> [options] <file.go>
 
 commands:
   check [--json] [--stats] [--explain] [--trace FILE] [--only C] [--skip C] [--jobs N]
+        [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--step-pool N]
+        [--strict]
                         detect concurrency bugs via the checker registry;
                         --only/--skip select checkers by name (repeatable,
                         comma-separated lists accepted), --jobs shards the
@@ -59,17 +62,33 @@ commands:
   fix [--write] [--explain] [--trace FILE]
                         detect and patch, re-running detection on each
                         patched source until a fixpoint; --write applies
-                        the final result in place
+                        the final result in place (atomically, via a
+                        temp file + rename)
   simulate [--seeds N] [--entry F]
                         explore schedules and report outcomes
   extended [--json] [--stats] [--explain] [--trace FILE] [--jobs N]
+        [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--step-pool N]
+        [--strict]
                         run the send-on-closed (panic) detector (paper §6)
+
+budgets (check / extended):
+  --timeout SECS        wall-clock deadline for the whole run
+  --channel-timeout MS  wall-clock deadline per analyzed channel
+  --solver-steps N      solver step limit per query (default 400000)
+  --step-pool N         global solver-step pool shared by all queries
+                        a channel that exhausts its budget is retried at
+                        degraded limits (reduced unroll, then a reduced
+                        Pset); if the last rung still exhausts it, the run
+                        keeps going and reports an incident for the channel
+  --strict              treat any incident (panic or exhausted budget) as
+                        fatal: exit 2 instead of 0/1
 
 environment:
   GCATCH_TRACE_LEVEL    overrides the tracing level (off, spans, full);
                         without it, --trace records at full detail
 
-exit status: 0 = clean, 1 = bugs found, 2 = usage or input error";
+exit status: 0 = clean, 1 = bugs found, 2 = usage or input error;
+with --strict, a run that recorded incidents also exits 2";
 
 /// A parsed `--flag [value]` pair.
 type Flag = (String, Option<String>);
@@ -166,6 +185,42 @@ fn parse_jobs(flags: &[Flag]) -> Result<usize, String> {
         .map_err(|e| format!("bad --jobs: {e}"))
 }
 
+/// The value of an integer flag, if present; a malformed value is a usage
+/// error (exit code 2 at the caller).
+fn parse_u64_flag(flags: &[Flag], name: &str) -> Result<Option<u64>, String> {
+    flag_value(flags, name)
+        .map(|v| v.parse::<u64>().map_err(|e| format!("bad --{name}: {e}")))
+        .transpose()
+}
+
+/// The budget-related detector configuration shared by `check` and
+/// `extended`.
+fn budget_config(flags: &[Flag]) -> Result<DetectorConfig, String> {
+    let mut config = DetectorConfig {
+        jobs: parse_jobs(flags)?,
+        timeout: parse_u64_flag(flags, "timeout")?.map(Duration::from_secs),
+        channel_timeout: parse_u64_flag(flags, "channel-timeout")?.map(Duration::from_millis),
+        solver_step_pool: parse_u64_flag(flags, "step-pool")?,
+        ..DetectorConfig::default()
+    };
+    if let Some(steps) = parse_u64_flag(flags, "solver-steps")? {
+        config.solver_steps = steps;
+    }
+    Ok(config)
+}
+
+/// Exit code for a diagnostics run: bugs mean 1, incidents under
+/// `--strict` mean 2 (honest-failure semantics), otherwise 0.
+fn diagnostics_exit(found_bugs: bool, incidents: &[Incident], strict: bool) -> ExitCode {
+    if strict && !incidents.is_empty() {
+        ExitCode::from(2)
+    } else if found_bugs {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn read_source(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
@@ -181,17 +236,16 @@ fn run_diagnostics(
     let json = has_flag(flags, "json");
     let want_stats = has_flag(flags, "stats");
     let explain = has_flag(flags, "explain");
+    let strict = has_flag(flags, "strict");
     let trace_path = flag_value(flags, "trace");
     let level = trace_level(trace_path)?;
-    let config = DetectorConfig {
-        jobs: parse_jobs(flags)?,
-        ..DetectorConfig::default()
-    };
+    let config = budget_config(flags)?;
     let src = read_source(path)?;
     let module = gcatch_suite::ir::lower_source(&src)?;
     let gcatch = GCatch::with_trace(&module, level);
     selection.validate(gcatch.registry())?;
     let diagnostics = gcatch.diagnostics(&config, &selection);
+    let incidents = gcatch.incidents();
     let stats = gcatch.stats();
     if let Some(tp) = trace_path {
         write_trace(tp, &gcatch.trace_snapshot())?;
@@ -199,20 +253,23 @@ fn run_diagnostics(
     if json {
         println!(
             "{}",
-            render_json(&diagnostics, want_stats.then_some(&stats))
+            render_json_with(&diagnostics, want_stats.then_some(&stats), &incidents)
         );
-        return Ok(if diagnostics.is_empty() {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        });
+        return Ok(diagnostics_exit(
+            !diagnostics.is_empty(),
+            &incidents,
+            strict,
+        ));
     }
     if diagnostics.is_empty() {
         println!("{path}: {empty_message}");
+        for incident in &incidents {
+            print!("{}", incident.render());
+        }
         if want_stats {
             print!("{}", stats.render_text());
         }
-        return Ok(ExitCode::SUCCESS);
+        return Ok(diagnostics_exit(false, &incidents, strict));
     }
     println!("{path}: {} diagnostic(s)\n", diagnostics.len());
     if explain {
@@ -228,10 +285,13 @@ fn run_diagnostics(
             );
         }
     }
+    for incident in &incidents {
+        print!("{}", incident.render());
+    }
     if want_stats {
         print!("{}", stats.render_text());
     }
-    Ok(ExitCode::FAILURE)
+    Ok(diagnostics_exit(true, &incidents, strict))
 }
 
 fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
@@ -243,6 +303,11 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
         ("only", true),
         ("skip", true),
         ("jobs", true),
+        ("timeout", true),
+        ("channel-timeout", true),
+        ("solver-steps", true),
+        ("step-pool", true),
+        ("strict", false),
     ];
     let (path, flags) = parse_common(rest, spec)?;
     let selection = Selection {
@@ -259,6 +324,11 @@ fn cmd_extended(rest: &[String]) -> Result<ExitCode, String> {
         ("explain", false),
         ("trace", true),
         ("jobs", true),
+        ("timeout", true),
+        ("channel-timeout", true),
+        ("solver-steps", true),
+        ("step-pool", true),
+        ("strict", false),
     ];
     let (path, flags) = parse_common(rest, spec)?;
     let selection = Selection {
@@ -356,7 +426,7 @@ fn cmd_fix(rest: &[String]) -> Result<ExitCode, String> {
     }
     println!("{applied} patch(es) applied (fixpoint after {applied} round(s))");
     if write && applied > 0 {
-        std::fs::write(&path, &source).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_atomic(&path, &source)?;
         println!("wrote patched source to {path} ({applied} patch(es) applied)");
     }
     Ok(if initial_bugs > 0 {
@@ -364,6 +434,33 @@ fn cmd_fix(rest: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// Replaces `path` atomically: the new contents go to a temp file in the
+/// same directory, which is then renamed over the original, so an
+/// interrupted `fix --write` can never leave a truncated source file.
+fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
+    use std::io::Write;
+    let target = std::path::Path::new(path);
+    let dir = match target.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => std::path::Path::new("."),
+    };
+    let file_name = target
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("out.go");
+    let tmp = dir.join(format!(".{}.gcatch-tmp-{}", file_name, std::process::id()));
+    let result = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, target)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn cmd_simulate(rest: &[String]) -> Result<ExitCode, String> {

@@ -177,6 +177,14 @@ fn unknown_flags_are_rejected_with_exit_2() {
         vec!["simulate", "--trace", "/tmp/t.json"], // tracing is check/fix/extended only
         vec!["simulate", "--explain"],
         vec!["extended", "--only", "bmoc"],
+        // The budget flags belong to check/extended only.
+        vec!["fix", "--strict"],
+        vec!["fix", "--timeout", "1"],
+        vec!["simulate", "--timeout", "1"],
+        vec!["simulate", "--channel-timeout", "5"],
+        vec!["simulate", "--strict"],
+        vec!["fix", "--solver-steps", "10"],
+        vec!["simulate", "--step-pool", "100"],
     ] {
         let mut full = args.clone();
         let p = path.to_str().unwrap();
@@ -415,6 +423,218 @@ fn fix_explain_and_trace_cover_the_first_round() {
     assert!(text.contains("\"name\":\"fix_applied\""), "trace: {text}");
     std::fs::remove_file(path).ok();
     std::fs::remove_file(trace).ok();
+}
+
+#[test]
+fn bad_budget_flag_values_exit_2() {
+    let path = write_temp("bad-budget", CLEAN);
+    let p = path.to_str().unwrap();
+    for args in [
+        vec!["check", "--timeout", "abc"],
+        vec!["check", "--channel-timeout", "-5"],
+        vec!["check", "--solver-steps", "many"],
+        vec!["extended", "--step-pool", "1.5"],
+    ] {
+        let mut full = args.clone();
+        full.push(p);
+        let out = gcatch().args(&full).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} should be rejected"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("bad --"), "stderr for {args:?}: {stderr}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
+/// A checker that panics (the env-gated `panic-test` debug hook) must not
+/// abort the run: the other checkers still report, exactly one incident is
+/// printed, output is bit-identical across `--jobs`, and only `--strict`
+/// turns the incident into exit code 2.
+#[test]
+fn panicking_checker_becomes_one_deterministic_incident() {
+    let path = write_temp("panic-checker", CLEAN);
+    let p = path.to_str().unwrap();
+    let run = |extra: &[&str]| {
+        let mut args = vec!["check"];
+        args.extend_from_slice(extra);
+        args.push(p);
+        gcatch()
+            .args(&args)
+            .env("GCATCH_DEBUG_PANIC_CHECKER", "1")
+            .output()
+            .unwrap()
+    };
+
+    let out = run(&[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "incidents alone must not fail the run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(
+        stdout.matches("incident:").count(),
+        1,
+        "exactly one incident: {stdout}"
+    );
+    assert!(
+        stdout.contains("incident: checker `panic-test`: deliberate panic"),
+        "stdout: {stdout}"
+    );
+
+    let jobs1 = run(&["--jobs", "1"]);
+    let jobs4 = run(&["--jobs", "4"]);
+    assert_eq!(
+        jobs1.stdout, jobs4.stdout,
+        "incident output must be bit-identical across --jobs"
+    );
+
+    let strict = run(&["--strict"]);
+    assert_eq!(
+        strict.status.code(),
+        Some(2),
+        "--strict turns incidents into exit 2"
+    );
+
+    let json = run(&["--json"]);
+    let jtext = String::from_utf8_lossy(&json.stdout);
+    assert!(
+        jtext.contains("\"incidents\":[{\"kind\":\"checker\",\"name\":\"panic-test\""),
+        "json: {jtext}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+/// A ring of circularly-waiting goroutines whose blocking queries need
+/// real DPLL search — the CLI-level pathological input for the budget and
+/// degradation-ladder flags (same shape as `examples/pathological.go`).
+const RING: &str = r#"
+package main
+
+func main() {
+    ch0 := make(chan int)
+    ch1 := make(chan int)
+    ch2 := make(chan int)
+    go func() {
+        ch0 <- 1
+        <-ch1
+    }()
+    go func() {
+        ch1 <- 1
+        <-ch2
+    }()
+    go func() {
+        ch2 <- 1
+        <-ch0
+    }()
+    <-ch0
+}
+"#;
+
+#[test]
+fn exhausted_budget_reports_incidents_and_strict_exit() {
+    let path = write_temp("budget-ring", RING);
+    let p = path.to_str().unwrap();
+    // 10 solver steps per query: every query gives up deterministically,
+    // the ladder runs dry, and the run says so instead of reporting bugs.
+    let out = gcatch()
+        .args([
+            "check",
+            "--solver-steps",
+            "10",
+            "--channel-timeout",
+            "60000",
+            p,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("incident: channel"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("gave up at ladder rung"),
+        "stdout: {stdout}"
+    );
+
+    let strict = gcatch()
+        .args([
+            "check",
+            "--solver-steps",
+            "10",
+            "--channel-timeout",
+            "60000",
+            "--strict",
+            p,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        strict.status.code(),
+        Some(2),
+        "--strict escalates incidents"
+    );
+
+    // The incomplete-channel count surfaces in --stats.
+    let stats = gcatch()
+        .args([
+            "check",
+            "--solver-steps",
+            "10",
+            "--channel-timeout",
+            "60000",
+            "--stats",
+            p,
+        ])
+        .output()
+        .unwrap();
+    let stext = String::from_utf8_lossy(&stats.stdout);
+    assert!(stext.contains("incomplete_channels"), "stats: {stext}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn ladder_recovers_findings_and_explains_the_rung() {
+    let path = write_temp("ladder-ring", RING);
+    let p = path.to_str().unwrap();
+    // 40 steps per query: rung 0/1 formulas go Unknown, rung 2's
+    // channel-only Pset shrinks them enough to solve.
+    let out = gcatch()
+        .args([
+            "check",
+            "--solver-steps",
+            "40",
+            "--channel-timeout",
+            "60000",
+            "--explain",
+            p,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "the ring deadlock must still be found: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("found at ladder rung"), "stdout: {stdout}");
+
+    // And a whole-run --timeout is accepted and finishes promptly.
+    let out = gcatch()
+        .args(["check", "--timeout", "10", p])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(path).ok();
 }
 
 /// Two independent bugs: the old CLI applied only the first patch under
