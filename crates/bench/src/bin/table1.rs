@@ -6,9 +6,9 @@
 //! patches split 99 / 4 / 21 across the strategies.
 
 use bench::{cell, corpus, detector_config, render_table};
-use gcatch::{BugKind, Counter, HistSnapshot, Metric};
+use gcatch::{BatchConfig, BugKind, Counter, HistSnapshot, Metric};
 use gfix::Strategy;
-use go_corpus::census::run_app;
+use go_corpus::census::run_apps_supervised;
 
 fn main() {
     let apps = corpus();
@@ -31,10 +31,26 @@ fn main() {
         BugKind::FatalInChildGoroutine,
     ];
 
-    for app in &apps {
-        let result = run_app(app, &config);
+    // Replica scheduling goes through the supervised batch engine: a
+    // replica that panics is retried and, if hopeless, quarantined as an
+    // incident below instead of killing the whole table.
+    let (results, incidents) = run_apps_supervised(
+        &apps,
+        &config,
+        BatchConfig {
+            workers: 2,
+            ..BatchConfig::default()
+        },
+    );
+    for incident in &incidents {
+        eprint!("warning: {}", incident.render());
+    }
+    for result in &results {
         if !result.missed.is_empty() {
-            eprintln!("warning: {} missed plants: {:?}", app.name, result.missed);
+            eprintln!(
+                "warning: {} missed plants: {:?}",
+                result.name, result.missed
+            );
         }
         for (i, c) in [
             Counter::ChannelsAnalyzed,

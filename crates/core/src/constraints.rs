@@ -21,6 +21,7 @@
 //! buffer-1 channel, `Unlock` = receive), so a single encoding covers both.
 
 use crate::detector::{Combo, GroupMember};
+use crate::faults;
 use crate::paths::{Event, PathOp};
 use crate::primitives::{OpKind, PrimId, Primitives};
 use crate::resilience::Budget;
@@ -110,6 +111,9 @@ pub fn check_group_budgeted(
     let mut solver = Solver::new();
     solver.set_step_limit(granted);
     solver.set_deadline(budget.deadline());
+    if let Some(after) = faults::solver_fault_threshold() {
+        solver.inject_step_fault(after);
+    }
 
     // Truncation point per goroutine: events after a group member's event
     // never execute.
@@ -549,6 +553,9 @@ pub fn check_send_after_close_budgeted(
     let mut solver = Solver::new();
     solver.set_step_limit(granted);
     solver.set_deadline(budget.deadline());
+    if let Some(after) = faults::solver_fault_threshold() {
+        solver.inject_step_fault(after);
+    }
 
     // BTreeMap for the same reason as the BMOC encoder: iteration order
     // feeds term assertion order, which must be run-to-run deterministic.

@@ -17,6 +17,7 @@
 
 use crate::constraints::{check_group_budgeted, check_send_after_close_budgeted, Verdict};
 use crate::disentangle::pset;
+use crate::faults;
 use crate::paths::{Enumerator, Event, Limits, Path};
 use crate::primitives::{OpKind, PrimId};
 use crate::report::{BugKind, BugReport, OpRef, Provenance};
@@ -94,6 +95,11 @@ pub struct DetectorConfig {
     /// not use. `None` (the default) leaves queries bounded only by
     /// `solver_steps`.
     pub solver_step_pool: Option<u64>,
+    /// External cancellation attached to the run [`Budget`]: when the
+    /// token fires, every cooperative budget check reports expiry and the
+    /// run winds down with partial results. The batch engine uses this to
+    /// stop the losing twin of a hedged job.
+    pub cancel: Option<crate::resilience::CancelToken>,
 }
 
 impl Default for DetectorConfig {
@@ -109,6 +115,7 @@ impl Default for DetectorConfig {
             timeout: None,
             channel_timeout: None,
             solver_step_pool: None,
+            cancel: None,
         }
     }
 }
@@ -288,6 +295,7 @@ impl<'m> AnalysisSession<'m> {
         budget: &Budget,
         lane: &mut Lane<'_>,
     ) -> ChannelOutcome {
+        faults::maybe_panic(faults::SITE_DETECT_CHANNEL, chan_name);
         let chan_budget = budget.tightened(config.channel_timeout);
         if !chan_budget.is_active() {
             let (found, _) = self.detect_channel_pipeline(

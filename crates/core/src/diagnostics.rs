@@ -115,7 +115,7 @@ fn stable_id(report: &BugReport) -> String {
 // ------------------------------------------------------------------- JSON
 
 /// Escapes a string for a JSON string literal (quotes not included).
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -287,45 +287,56 @@ pub fn render_json_with(
         out.push(']');
     }
     if let Some(stats) = stats {
-        out.push_str(",\"stats\":{\"counters\":{");
-        for (i, (c, v)) in stats.counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push('"');
-            out.push_str(c.name());
-            out.push_str("\":");
-            out.push_str(&v.to_string());
-        }
-        out.push_str("},\"stage_ms\":{");
-        for (i, (s, d)) in stats.stages.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push('"');
-            out.push_str(s.name());
-            out.push_str("\":");
-            out.push_str(&format!("{:.3}", d.as_secs_f64() * 1000.0));
-        }
-        out.push_str("},\"hist\":{");
-        for (i, (m, h)) in stats.hists.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push('"');
-            out.push_str(m.name());
-            out.push_str("\":{\"count\":");
-            out.push_str(&h.count.to_string());
-            out.push_str(",\"max\":");
-            out.push_str(&h.max.to_string());
-            for p in [50u32, 90, 99] {
-                out.push_str(&format!(",\"p{p}\":{}", h.percentile(p)));
-            }
-            out.push('}');
-        }
-        out.push_str("}}");
+        out.push_str(",\"stats\":");
+        out.push_str(&render_stats_json(stats));
     }
     out.push('}');
+    out
+}
+
+/// Renders a [`Stats`] snapshot as one JSON object
+/// (`{"counters":{…},"stage_ms":{…},"hist":{…}}`) — the same shape the
+/// `"stats"` key of [`render_json`] carries; the `batch` subcommand embeds
+/// it in its merged report.
+pub fn render_stats_json(stats: &Stats) -> String {
+    let mut out = String::new();
+    out.push_str("{\"counters\":{");
+    for (i, (c, v)) in stats.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(c.name());
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},\"stage_ms\":{");
+    for (i, (s, d)) in stats.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(s.name());
+        out.push_str("\":");
+        out.push_str(&format!("{:.3}", d.as_secs_f64() * 1000.0));
+    }
+    out.push_str("},\"hist\":{");
+    for (i, (m, h)) in stats.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(m.name());
+        out.push_str("\":{\"count\":");
+        out.push_str(&h.count.to_string());
+        out.push_str(",\"max\":");
+        out.push_str(&h.max.to_string());
+        for p in [50u32, 90, 99] {
+            out.push_str(&format!(",\"p{p}\":{}", h.percentile(p)));
+        }
+        out.push('}');
+    }
+    out.push_str("}}");
     out
 }
 

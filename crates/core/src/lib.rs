@@ -67,11 +67,13 @@
 #![warn(missing_docs)]
 
 pub mod alias_ext;
+pub mod batch;
 pub mod checkers;
 pub mod constraints;
 pub mod detector;
 pub mod diagnostics;
 pub mod disentangle;
+pub mod faults;
 pub mod paths;
 pub mod primitives;
 pub mod report;
@@ -81,11 +83,18 @@ pub mod telemetry;
 pub mod trace;
 pub mod traditional;
 
+pub use batch::{
+    BackoffPolicy, BatchConfig, BatchEngine, BatchJob, BatchOutcome, HedgePolicy, JobCtx,
+    JobRecord, JobStatus, Journal, JournalCodec,
+};
 pub use checkers::{Checker, Registry, RunOutput, Selection};
 pub use detector::{Detector, DetectorConfig};
-pub use diagnostics::{render_explain, render_json, render_json_with, Diagnostic, Severity};
+pub use diagnostics::{
+    render_explain, render_json, render_json_with, render_stats_json, Diagnostic, Severity,
+};
+pub use faults::FaultPlan;
 pub use report::{BugKind, BugReport, OpRef, Provenance};
-pub use resilience::{Budget, Incident, IncidentKind};
+pub use resilience::{Budget, CancelToken, Incident, IncidentKind};
 pub use session::AnalysisSession;
 pub use telemetry::{Counter, Metric, Stage, Stats, Telemetry};
 pub use trace::{HistSnapshot, Histogram, TraceLevel, TraceSnapshot, Tracer};

@@ -23,11 +23,38 @@
 
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
 use crate::paths::Limits;
+
+/// A shared cooperative cancellation flag.
+///
+/// The batch engine hands one token to every dispatched attempt; when a
+/// hedged twin wins the race, the loser's token is cancelled and its
+/// [`Budget`] starts reporting [`expired`](Budget::expired), so the
+/// loser winds down at the next cooperative check instead of burning a
+/// worker to completion. Clones share the flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flips the token; every budget carrying it expires from now on.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// A cooperative analysis budget shared across workers.
 ///
@@ -46,6 +73,7 @@ use crate::paths::Limits;
 pub struct Budget {
     deadline: Option<Instant>,
     pool: Option<Arc<AtomicU64>>,
+    cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -57,16 +85,27 @@ impl Budget {
         Budget {
             deadline: timeout.map(|t| Instant::now() + t),
             pool: step_pool.map(|n| Arc::new(AtomicU64::new(n))),
+            cancel: None,
         }
     }
 
-    /// Whether any bound (deadline or step pool) is in force.
-    pub fn is_active(&self) -> bool {
-        self.deadline.is_some() || self.pool.is_some()
+    /// Attaches a [`CancelToken`]: once the token is cancelled this
+    /// budget (and every budget [`tightened`](Budget::tightened) from
+    /// it) reports [`expired`](Budget::expired).
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
     }
 
-    /// Whether the budget has been used up (deadline passed or step
-    /// pool drained). An inactive budget never expires.
+    /// Whether any bound (deadline, step pool, or cancel token) is in
+    /// force.
+    pub fn is_active(&self) -> bool {
+        self.deadline.is_some() || self.pool.is_some() || self.cancel.is_some()
+    }
+
+    /// Whether the budget has been used up (deadline passed, step pool
+    /// drained, or cancel token flipped). An inactive budget never
+    /// expires.
     pub fn expired(&self) -> bool {
         if let Some(d) = self.deadline {
             if Instant::now() >= d {
@@ -75,6 +114,11 @@ impl Budget {
         }
         if let Some(p) = &self.pool {
             if p.load(Ordering::Relaxed) == 0 {
+                return true;
+            }
+        }
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
                 return true;
             }
         }
@@ -122,6 +166,7 @@ impl Budget {
         Budget {
             deadline,
             pool: self.pool.clone(),
+            cancel: self.cancel.clone(),
         }
     }
 }
@@ -135,6 +180,10 @@ pub enum IncidentKind {
     Checker,
     /// A corpus application in a batch sweep.
     App,
+    /// A batch job that kept failing after its retry budget: it is set
+    /// aside (quarantined) so the rest of the batch can finish, never
+    /// silently dropped.
+    Quarantined,
 }
 
 impl IncidentKind {
@@ -144,6 +193,7 @@ impl IncidentKind {
             IncidentKind::Channel => "channel",
             IncidentKind::Checker => "checker",
             IncidentKind::App => "app",
+            IncidentKind::Quarantined => "quarantined",
         }
     }
 }
@@ -294,6 +344,22 @@ mod tests {
         assert!(!b.expired(), "parent deadline unaffected");
         assert_eq!(t.draw(4), 4);
         assert_eq!(b.draw(10), 6, "pool is shared with the parent");
+    }
+
+    #[test]
+    fn cancel_token_expires_the_budget_and_its_children() {
+        let token = CancelToken::new();
+        let b = Budget::default().with_cancel(token.clone());
+        assert!(b.is_active(), "a cancellable budget is active");
+        assert!(!b.expired());
+        let child = b.tightened(None);
+        token.cancel();
+        assert!(b.expired());
+        assert!(child.expired(), "children share the token");
+        assert!(
+            !Budget::default().expired(),
+            "a fresh budget without a token is unexpired"
+        );
     }
 
     #[test]

@@ -173,8 +173,13 @@ impl<'m> AnalysisSession<'m> {
     /// use so its wall-clock deadline spans every subsequent checker
     /// instead of restarting per call.
     pub(crate) fn run_budget(&self, config: &crate::detector::DetectorConfig) -> &Budget {
-        self.budget
-            .get_or_init(|| Budget::new(config.timeout, config.solver_step_pool))
+        self.budget.get_or_init(|| {
+            let budget = Budget::new(config.timeout, config.solver_step_pool);
+            match &config.cancel {
+                Some(token) => budget.with_cancel(token.clone()),
+                None => budget,
+            }
+        })
     }
 
     /// All incidents recorded so far, in recording order.

@@ -100,10 +100,21 @@ pub enum Counter {
     /// Channels whose analysis gave up after exhausting every rung of
     /// the degradation ladder (results for them are partial).
     IncompleteChannels,
+    /// Jobs submitted to the batch engine (restored + executed).
+    JobsTotal,
+    /// Batch job attempts re-dispatched after a contained failure.
+    JobsRetried,
+    /// Batch jobs that got a hedge twin after straggling past the
+    /// completed-job p99.
+    JobsHedged,
+    /// Batch jobs set aside after exhausting their retry budget.
+    JobsQuarantined,
+    /// Batch jobs restored from a checkpoint journal instead of re-run.
+    JobsResumed,
 }
 
 impl Counter {
-    const COUNT: usize = 14;
+    const COUNT: usize = 19;
 
     fn index(self) -> usize {
         match self {
@@ -121,6 +132,11 @@ impl Counter {
             Counter::ReportsEmitted => 11,
             Counter::DuplicatesDropped => 12,
             Counter::IncompleteChannels => 13,
+            Counter::JobsTotal => 14,
+            Counter::JobsRetried => 15,
+            Counter::JobsHedged => 16,
+            Counter::JobsQuarantined => 17,
+            Counter::JobsResumed => 18,
         }
     }
 
@@ -141,6 +157,11 @@ impl Counter {
             Counter::ReportsEmitted => "reports_emitted",
             Counter::DuplicatesDropped => "duplicates_dropped",
             Counter::IncompleteChannels => "incomplete_channels",
+            Counter::JobsTotal => "jobs_total",
+            Counter::JobsRetried => "jobs_retried",
+            Counter::JobsHedged => "jobs_hedged",
+            Counter::JobsQuarantined => "jobs_quarantined",
+            Counter::JobsResumed => "jobs_resumed",
         }
     }
 
@@ -161,6 +182,11 @@ impl Counter {
             Counter::ReportsEmitted,
             Counter::DuplicatesDropped,
             Counter::IncompleteChannels,
+            Counter::JobsTotal,
+            Counter::JobsRetried,
+            Counter::JobsHedged,
+            Counter::JobsQuarantined,
+            Counter::JobsResumed,
         ]
     }
 }
@@ -180,10 +206,13 @@ pub enum Metric {
     PathsPerChannel,
     /// Path combinations built per channel.
     CombosPerChannel,
+    /// Per-job wall-clock time in the batch engine (ns; one sample per
+    /// completed job, hedges and retries included in the winner's time).
+    JobWallNs,
 }
 
 impl Metric {
-    const COUNT: usize = 4;
+    const COUNT: usize = 5;
 
     fn index(self) -> usize {
         match self {
@@ -191,6 +220,7 @@ impl Metric {
             Metric::SolverQueryNs => 1,
             Metric::PathsPerChannel => 2,
             Metric::CombosPerChannel => 3,
+            Metric::JobWallNs => 4,
         }
     }
 
@@ -201,13 +231,17 @@ impl Metric {
             Metric::SolverQueryNs => "solver_query_ns",
             Metric::PathsPerChannel => "paths_per_channel",
             Metric::CombosPerChannel => "combos_per_channel",
+            Metric::JobWallNs => "job_wall_ns",
         }
     }
 
     /// Whether samples are nanosecond durations (rendered as ms) rather
     /// than plain counts.
     pub fn is_time(self) -> bool {
-        matches!(self, Metric::ChannelDetectNs | Metric::SolverQueryNs)
+        matches!(
+            self,
+            Metric::ChannelDetectNs | Metric::SolverQueryNs | Metric::JobWallNs
+        )
     }
 
     /// All metrics in reporting order.
@@ -217,6 +251,7 @@ impl Metric {
             Metric::SolverQueryNs,
             Metric::PathsPerChannel,
             Metric::CombosPerChannel,
+            Metric::JobWallNs,
         ]
     }
 }
@@ -284,6 +319,27 @@ impl Telemetry {
         self.add(Counter::SolverDecisions, stats.decisions);
         self.add(Counter::SolverConflicts, stats.conflicts);
         self.observe(Metric::SolverQueryNs, stats.elapsed.as_nanos() as u64);
+    }
+
+    /// Folds a frozen [`Stats`] snapshot from another session into this
+    /// sink: counters add, stage times add, histograms merge bin-wise.
+    /// The batch engine uses this to aggregate each job's session stats
+    /// into one run-wide view (the `--jobs` histogram-merge idea, one
+    /// level up).
+    pub fn absorb(&self, stats: &Stats) {
+        for (c, v) in &stats.counters {
+            if *v > 0 {
+                self.add(*c, *v);
+            }
+        }
+        for (s, d) in &stats.stages {
+            if !d.is_zero() {
+                self.record(*s, *d);
+            }
+        }
+        for (m, h) in &stats.hists {
+            self.hist(*m).absorb(h);
+        }
     }
 
     /// Freezes all counters, timers, and histograms into a plain snapshot.
@@ -412,6 +468,22 @@ mod tests {
         t.record(Stage::Paths, Duration::from_millis(2));
         t.record(Stage::Paths, Duration::from_millis(3));
         assert_eq!(t.stage_time(Stage::Paths), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn absorb_merges_counters_stages_and_histograms() {
+        let inner = Telemetry::new();
+        inner.add(Counter::SolverQueries, 4);
+        inner.record(Stage::Paths, Duration::from_millis(3));
+        inner.observe(Metric::PathsPerChannel, 17);
+        let outer = Telemetry::new();
+        outer.add(Counter::SolverQueries, 1);
+        outer.absorb(&inner.snapshot());
+        assert_eq!(outer.get(Counter::SolverQueries), 5);
+        assert_eq!(outer.stage_time(Stage::Paths), Duration::from_millis(3));
+        let snap = outer.snapshot();
+        assert_eq!(snap.hist(Metric::PathsPerChannel).count, 1);
+        assert_eq!(snap.hist(Metric::PathsPerChannel).max, 17);
     }
 
     #[test]

@@ -592,6 +592,21 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Folds a frozen snapshot into this live histogram (bin-wise
+    /// addition, like [`HistSnapshot::merge`] but onto the atomic side) —
+    /// how the batch engine merges per-job session histograms into the
+    /// run-wide telemetry.
+    pub fn absorb(&self, snap: &HistSnapshot) {
+        for (b, &n) in self.bins.iter().zip(snap.bins.iter()) {
+            if n > 0 {
+                b.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
     /// Freezes the bins into a plain snapshot.
     pub fn snapshot(&self) -> HistSnapshot {
         let mut bins = [0u64; HIST_BINS];

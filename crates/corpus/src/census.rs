@@ -6,7 +6,10 @@ use crate::apps::GeneratedApp;
 use crate::patterns::{FpCause, Plant};
 use gcatch::report::{BugKind, BugReport};
 use gcatch::resilience::catch_isolated;
-use gcatch::{DetectorConfig, GCatch, Incident, IncidentKind, Stage, Stats};
+use gcatch::{
+    faults, BatchConfig, BatchEngine, DetectorConfig, GCatch, Incident, IncidentKind, JobCtx,
+    Stage, Stats, Telemetry, Tracer,
+};
 use gfix::{Pipeline, Strategy};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -82,9 +85,54 @@ pub fn try_run_app(app: &GeneratedApp, config: &DetectorConfig) -> Result<AppRes
     })
 }
 
+/// Runs a whole replica sweep through the supervised batch engine: one
+/// job per application, each attempt isolated via [`try_run_app`], so a
+/// replica that panics or refuses to lower degrades to a quarantine
+/// [`Incident`] while every other replica still produces its
+/// [`AppResult`]. Results come back in `apps` order; incidents carry the
+/// replica name.
+pub fn run_apps_supervised(
+    apps: &[GeneratedApp],
+    config: &DetectorConfig,
+    batch: BatchConfig,
+) -> (Vec<AppResult>, Vec<Incident>) {
+    let telemetry = Telemetry::new();
+    let tracer = Tracer::disabled();
+    let engine = BatchEngine::new(batch, &telemetry, &tracer);
+    let jobs: Vec<gcatch::BatchJob<'_, AppResult>> = apps
+        .iter()
+        .map(|app| {
+            gcatch::BatchJob::new(app.name, move |_ctx: &JobCtx| {
+                try_run_app(app, config).map_err(|inc| inc.message)
+            })
+        })
+        .collect();
+    let outcome = engine.run(&jobs, None, std::collections::BTreeMap::new());
+    let mut results = Vec::new();
+    let mut incidents = Vec::new();
+    for rec in outcome.records {
+        match (rec.payload, rec.incident) {
+            (Some(result), _) => results.push(result),
+            (None, Some(incident)) => incidents.push(incident),
+            (None, None) => incidents.push(Incident {
+                kind: IncidentKind::Quarantined,
+                name: rec.id,
+                message: "quarantined without a recorded failure".to_string(),
+                rung: 0,
+            }),
+        }
+    }
+    (results, incidents)
+}
+
 /// Runs GCatch and GFix over one replica, classifying every report against
 /// the planted ground truth.
+///
+/// Panics if the replica does not lower; batch callers want
+/// [`try_run_app`] (or [`run_apps_supervised`]), which contain the panic
+/// as an [`Incident`].
 pub fn run_app(app: &GeneratedApp, config: &DetectorConfig) -> AppResult {
+    faults::maybe_panic(faults::SITE_CORPUS_APP, app.name);
     let pipeline = Pipeline::from_source(&app.source)
         .unwrap_or_else(|e| panic!("{} does not lower: {e}", app.name));
     let instr_count = pipeline.module().instr_count();
@@ -232,6 +280,42 @@ mod tests {
         assert_eq!(err.kind, gcatch::IncidentKind::App);
         assert_eq!(err.name, "broken");
         assert!(err.message.contains("does not lower"), "{}", err.message);
+    }
+
+    /// The supervised sweep must contain a broken replica as a quarantine
+    /// incident while every healthy replica still yields its result.
+    #[test]
+    fn supervised_sweep_quarantines_broken_replicas_and_finishes() {
+        let config = GenConfig {
+            seed: 5,
+            filler_per_kloc: 0.02,
+        };
+        let mut apps = generate_all(&config);
+        apps.truncate(3);
+        apps.push(GeneratedApp {
+            name: "broken",
+            source: "func main( {".to_string(),
+            plants: Vec::new(),
+        });
+        let batch = BatchConfig {
+            workers: 2,
+            max_attempts: 2,
+            hedge: None,
+            ..BatchConfig::default()
+        };
+        let (results, incidents) = run_apps_supervised(&apps, &DetectorConfig::default(), batch);
+        assert_eq!(results.len(), 3);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].kind, IncidentKind::Quarantined);
+        assert_eq!(incidents[0].name, "broken");
+        assert!(
+            incidents[0].message.contains("does not lower"),
+            "{}",
+            incidents[0].message
+        );
+        // Healthy results keep apps order.
+        let names: Vec<&str> = results.iter().map(|r| r.name).collect();
+        assert_eq!(names, apps[..3].iter().map(|a| a.name).collect::<Vec<_>>());
     }
 
     /// gRPC exercises five categories including a conflict and a fatal.

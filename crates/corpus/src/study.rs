@@ -12,7 +12,8 @@
 //! 4. `nil`-channel bugs, invisible without data-flow analysis (2 bugs).
 
 use crate::patterns::{emit, PatternKind};
-use gcatch::{DetectorConfig, GCatch};
+use gcatch::resilience::catch_isolated;
+use gcatch::{DetectorConfig, GCatch, Incident, IncidentKind};
 
 /// Why a study bug evades the detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -197,13 +198,30 @@ func Forgotten{n}() {{
     bugs
 }
 
+/// Fault-isolated [`is_detected`]: a study bug whose lowering or analysis
+/// fails becomes an app [`Incident`] instead of aborting the sweep, so a
+/// batch over the study set degrades per-bug like the census does.
+pub fn try_is_detected(bug: &StudyBug, config: &DetectorConfig) -> Result<bool, Incident> {
+    catch_isolated(|| {
+        let module = golite_ir::lower_source(&bug.source)
+            .map_err(|e| format!("study bug {} does not lower: {e}", bug.id))?;
+        let gcatch = GCatch::new(&module);
+        Ok(gcatch.detect_bmoc(config).iter().any(|r| r.kind.is_bmoc()))
+    })
+    .unwrap_or_else(Err)
+    .map_err(|message| Incident {
+        kind: IncidentKind::App,
+        name: format!("study-{}", bug.id),
+        message,
+        rung: 0,
+    })
+}
+
 /// Runs the detector over a study bug and reports whether any BMOC report
-/// fires.
+/// fires. Panics on a non-lowering bug; batch callers want
+/// [`try_is_detected`].
 pub fn is_detected(bug: &StudyBug, config: &DetectorConfig) -> bool {
-    let module = golite_ir::lower_source(&bug.source)
-        .unwrap_or_else(|e| panic!("study bug {} does not lower: {e}", bug.id));
-    let gcatch = GCatch::new(&module);
-    gcatch.detect_bmoc(config).iter().any(|r| r.kind.is_bmoc())
+    try_is_detected(bug, config).unwrap_or_else(|inc| panic!("{}", inc.message))
 }
 
 #[cfg(test)]
@@ -229,6 +247,21 @@ mod tests {
                 bug.id, bug.miss_cause, bug.detectable
             );
         }
+    }
+
+    #[test]
+    fn unlowerable_study_bug_degrades_to_an_incident() {
+        let bad = StudyBug {
+            id: 999,
+            source: "func main( {".to_string(),
+            detectable: false,
+            miss_cause: None,
+        };
+        let inc = try_is_detected(&bad, &DetectorConfig::default())
+            .expect_err("non-lowering bug must fail gracefully");
+        assert_eq!(inc.kind, IncidentKind::App);
+        assert_eq!(inc.name, "study-999");
+        assert!(inc.message.contains("does not lower"), "{}", inc.message);
     }
 
     #[test]

@@ -119,6 +119,7 @@ pub struct Solver {
     asserted: Vec<Term>,
     step_limit: u64,
     deadline: Option<std::time::Instant>,
+    fault_step: Option<u64>,
     stats: SolverStats,
 }
 
@@ -132,6 +133,7 @@ impl Solver {
             asserted: Vec::new(),
             step_limit: 5_000_000,
             deadline: None,
+            fault_step: None,
             stats: SolverStats::default(),
         }
     }
@@ -167,6 +169,16 @@ impl Solver {
         self.deadline = deadline;
     }
 
+    /// Arms a test-only fault: the search panics once it has consumed
+    /// `after` steps, simulating pathological step exhaustion at the same
+    /// site where the real step limit is enforced. The panic message
+    /// carries the `injected fault:` marker so supervisors can classify
+    /// it as transient. Never armed in production paths; callers opt in
+    /// explicitly (see the fault-injection layer in `gcatch`).
+    pub fn inject_step_fault(&mut self, after: u64) {
+        self.fault_step = Some(after);
+    }
+
     /// Asserts that `t` must hold in any model.
     pub fn assert(&mut self, t: Term) {
         self.asserted.push(t);
@@ -182,6 +194,7 @@ impl Solver {
         let start = std::time::Instant::now();
         let mut engine = Engine::new(self.step_limit);
         engine.deadline = self.deadline;
+        engine.fault_step = self.fault_step;
         for t in &self.asserted {
             // Register any variable the formula mentions so the model covers it.
             let mut atoms = Vec::new();
@@ -289,6 +302,8 @@ struct Engine {
     deadline: Option<std::time::Instant>,
     /// Step count at which the deadline is next consulted.
     next_deadline_check: u64,
+    /// Test-only armed fault: panic once `steps` reaches this value.
+    fault_step: Option<u64>,
     true_var: u32,
 }
 
@@ -315,6 +330,7 @@ impl Engine {
             limit,
             deadline: None,
             next_deadline_check: 0,
+            fault_step: None,
             true_var: 0,
         };
         e.true_var = e.fresh_var(VarKind::Free);
@@ -678,6 +694,14 @@ impl Engine {
             }
         }
         loop {
+            if let Some(after) = self.fault_step {
+                if self.steps >= after {
+                    panic!(
+                        "injected fault: solver-step exhaustion after {} steps",
+                        self.steps
+                    );
+                }
+            }
             if self.steps > self.limit {
                 return SolveResult::Unknown;
             }
@@ -977,6 +1001,27 @@ mod tests {
         // Clearing the deadline restores a verdict.
         s.set_deadline(None);
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn injected_step_fault_panics_with_marker() {
+        let mut s = Solver::new();
+        s.inject_step_fault(0);
+        let vars: Vec<_> = (0..6).map(|_| s.fresh_bool()).collect();
+        for chunk in vars.chunks(3) {
+            s.assert(Term::exactly_one(chunk.iter().map(|&v| Atom::Bool(v))));
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.solve()))
+            .expect_err("armed fault must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|m| m.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.starts_with("injected fault:"),
+            "unexpected panic: {msg}"
+        );
     }
 
     #[test]

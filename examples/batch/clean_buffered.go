@@ -1,0 +1,11 @@
+// Batch-corpus module: a clean producer/consumer over a buffered
+// channel — no bugs to report.
+package main
+
+func main() {
+	ch := make(chan int, 2)
+	ch <- 1
+	ch <- 2
+	<-ch
+	<-ch
+}

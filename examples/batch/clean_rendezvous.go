@@ -1,0 +1,11 @@
+// Batch-corpus module: a clean unbuffered rendezvous — the send always
+// pairs with the receive.
+package main
+
+func main() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	<-ch
+}

@@ -1,0 +1,15 @@
+// Batch-corpus module: two buffered hand-offs chained through a helper —
+// clean under every schedule.
+package main
+
+func relay(in chan int, out chan int) {
+	out <- <-in
+}
+
+func main() {
+	a := make(chan int, 1)
+	b := make(chan int, 1)
+	a <- 5
+	go relay(a, b)
+	<-b
+}

@@ -1,0 +1,14 @@
+// Batch-corpus module: two sends race for one receive on an unbuffered
+// channel; the loser blocks forever.
+package main
+
+func main() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	go func() {
+		ch <- 2
+	}()
+	<-ch
+}

@@ -1,0 +1,10 @@
+// Batch-corpus module: a goroutine sends on a channel nobody ever
+// receives from — it leaks unconditionally.
+package main
+
+func main() {
+	ch := make(chan int)
+	go func() {
+		ch <- 7
+	}()
+}

@@ -1,0 +1,23 @@
+// Batch-corpus module: the classic select-based leak (paper Figure 1
+// shape). The child sends on an unbuffered channel; if the parent takes
+// the done arm first, the child blocks forever.
+package main
+
+func work(done chan int) int {
+	out := make(chan int)
+	go func() {
+		out <- 42
+	}()
+	select {
+	case v := <-out:
+		return v
+	case <-done:
+		return 0
+	}
+}
+
+func main() {
+	done := make(chan int, 1)
+	done <- 1
+	work(done)
+}

@@ -11,10 +11,14 @@
 //! ```
 
 use gcatch_suite::gcatch::{
-    render_explain, render_json_with, DetectorConfig, GCatch, Incident, Selection, TraceLevel,
+    faults, render_explain, render_json_with, render_stats_json, BatchConfig, BatchEngine,
+    BatchJob, DetectorConfig, FaultPlan, GCatch, HedgePolicy, Incident, JobCtx, Journal,
+    JournalCodec, Selection, Telemetry, TraceLevel, Tracer,
 };
 use gcatch_suite::{gfix, sim};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -28,6 +32,7 @@ fn main() -> ExitCode {
         "fix" => cmd_fix(rest),
         "simulate" => cmd_simulate(rest),
         "extended" => cmd_extended(rest),
+        "batch" => cmd_batch(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -66,6 +71,22 @@ commands:
                         temp file + rename)
   simulate [--seeds N] [--entry F]
                         explore schedules and report outcomes
+  batch [--jobs N] [--max-attempts N] [--backoff-ms MS] [--hedge-ms MS] [--no-hedge]
+        [--inject-faults RATE] [--fault-seed N] [--journal FILE | --resume FILE]
+        [--report FILE] [--json] [--stats] [--strict] [--trace FILE]
+        [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--step-pool N]
+        <file.go|dir>...
+                        check many modules under a supervised worker pool:
+                        failed modules retry with exponential backoff,
+                        persistent failures are quarantined after
+                        --max-attempts, and stragglers past the p99 job
+                        time are hedged with a second dispatch (first
+                        result wins). --journal appends each decided job
+                        to a crash-safe JSONL checkpoint; --resume JOURNAL
+                        skips the jobs it already decided. --inject-faults
+                        arms the deterministic fault layer (see below).
+                        Directories expand to their *.go files
+                        (non-recursive, sorted)
   extended [--json] [--stats] [--explain] [--trace FILE] [--jobs N]
         [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--step-pool N]
         [--strict]
@@ -83,12 +104,24 @@ budgets (check / extended):
   --strict              treat any incident (panic or exhausted budget) as
                         fatal: exit 2 instead of 0/1
 
+fault injection (batch):
+  --inject-faults RATE  inject deterministic faults (panics, delays,
+                        solver-step exhaustion) at named sites with the
+                        given probability; decisions are a pure function
+                        of (--fault-seed, site, job, attempt), so a fixed
+                        seed reproduces the exact failure schedule
+  --fault-seed N        seed for the fault schedule (default 0)
+
 environment:
   GCATCH_TRACE_LEVEL    overrides the tracing level (off, spans, full);
                         without it, --trace records at full detail
+  GCATCH_FAULT_RATE     arm fault injection without CLI flags (batch);
+                        GCATCH_FAULT_SEED, GCATCH_FAULT_SITES, and
+                        GCATCH_FAULT_DELAY_MS refine the plan
 
 exit status: 0 = clean, 1 = bugs found, 2 = usage or input error;
-with --strict, a run that recorded incidents also exits 2";
+with --strict, a run that recorded incidents (or, for batch, quarantined
+any job) also exits 2";
 
 /// A parsed `--flag [value]` pair.
 type Flag = (String, Option<String>);
@@ -511,6 +544,359 @@ fn cmd_simulate(rest: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(if blocked + panicked > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Like [`parse_common`], but collects *all* positional arguments (the
+/// batch command takes many files/directories).
+fn parse_multi(rest: &[String], spec: &[FlagSpec]) -> Result<(Vec<String>, Vec<Flag>), String> {
+    let mut inputs = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let Some(&(_, takes_value)) = spec.iter().find(|(n, _)| *n == name) else {
+                let known: Vec<String> = spec.iter().map(|(n, _)| format!("--{n}")).collect();
+                return Err(format!(
+                    "unknown flag `--{name}` (known: {})",
+                    known.join(", ")
+                ));
+            };
+            let value = if takes_value {
+                Some(
+                    it.next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?
+                        .clone(),
+                )
+            } else {
+                None
+            };
+            flags.push((name.to_string(), value));
+        } else {
+            inputs.push(arg.clone());
+        }
+    }
+    if inputs.is_empty() {
+        return Err("missing input files (batch takes one or more files or directories)".into());
+    }
+    Ok((inputs, flags))
+}
+
+/// Expands the batch inputs into a deduplicated module list: files pass
+/// through as-is; a directory contributes its `*.go` files
+/// (non-recursive), sorted by name so the job set — and therefore the
+/// journal fingerprint — is stable across runs.
+fn expand_modules(inputs: &[String]) -> Result<Vec<String>, String> {
+    let mut modules = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for input in inputs {
+        let path = std::path::Path::new(input);
+        let mut batch = Vec::new();
+        if path.is_dir() {
+            let entries =
+                std::fs::read_dir(path).map_err(|e| format!("cannot read {input}: {e}"))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("cannot read {input}: {e}"))?;
+                let p = entry.path();
+                if p.is_file() && p.extension().is_some_and(|e| e == "go") {
+                    batch.push(p.to_string_lossy().into_owned());
+                }
+            }
+            batch.sort();
+            if batch.is_empty() {
+                return Err(format!("{input} contains no .go files"));
+            }
+        } else if path.is_file() {
+            batch.push(input.clone());
+        } else {
+            return Err(format!("cannot read {input}: not a file or directory"));
+        }
+        for m in batch {
+            if seen.insert(m.clone()) {
+                modules.push(m);
+            }
+        }
+    }
+    Ok(modules)
+}
+
+/// JSON string escaping for the batch report (mirrors the diagnostics
+/// renderer so module names round-trip through the journal).
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extracts the `"bugs":N` count from a batch job payload. The payload is
+/// produced by [`run_batch_module`], whose escaped module name can never
+/// contain a raw `"`, so the first `","bugs":` is always the real field.
+fn payload_bugs(payload: &str) -> usize {
+    payload
+        .find("\",\"bugs\":")
+        .map(|i| {
+            payload[i + 9..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
+}
+
+/// One batch job: lower and check a single module, returning a
+/// self-contained JSON payload. Failures surface as `Err` so the engine
+/// retries (transient, e.g. injected faults) or quarantines
+/// (deterministic, e.g. a syntax error) the module instead of killing the
+/// sweep.
+fn run_batch_module(
+    path: &str,
+    base: &DetectorConfig,
+    telemetry: &Telemetry,
+    ctx: &JobCtx,
+) -> Result<String, String> {
+    let src = read_source(path)?;
+    let module = gcatch_suite::ir::lower_source(&src)?;
+    let gcatch = GCatch::new(&module);
+    let config = DetectorConfig {
+        cancel: Some(ctx.cancel.clone()),
+        ..base.clone()
+    };
+    let diagnostics = gcatch.diagnostics(&config, &Selection::default());
+    let incidents = gcatch.incidents();
+    // An injected fault contained by an inner degradation rung would leave
+    // a partial report behind; surface it as a failed attempt so the retry
+    // produces a clean, deterministic payload instead.
+    if let Some(inc) = incidents.iter().find(|i| faults::is_injected(&i.message)) {
+        return Err(inc.message.clone());
+    }
+    // A hedge twin that lost the race ran under a fired cancel token; its
+    // partial results must never win, so degrade them to a failed attempt.
+    if ctx.cancel.is_cancelled() {
+        return Err("cancelled mid-run".to_string());
+    }
+    telemetry.absorb(&gcatch.stats());
+    let mut payload = String::from("{\"module\":\"");
+    json_escape(path, &mut payload);
+    payload.push_str("\",\"bugs\":");
+    payload.push_str(&diagnostics.len().to_string());
+    payload.push_str(",\"report\":");
+    payload.push_str(&render_json_with(&diagnostics, None, &incidents));
+    payload.push('}');
+    Ok(payload)
+}
+
+fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
+    let spec: &[FlagSpec] = &[
+        ("jobs", true),
+        ("max-attempts", true),
+        ("backoff-ms", true),
+        ("hedge-ms", true),
+        ("no-hedge", false),
+        ("inject-faults", true),
+        ("fault-seed", true),
+        ("journal", true),
+        ("resume", true),
+        ("report", true),
+        ("json", false),
+        ("stats", false),
+        ("strict", false),
+        ("trace", true),
+        ("timeout", true),
+        ("channel-timeout", true),
+        ("solver-steps", true),
+        ("step-pool", true),
+    ];
+    let (inputs, flags) = parse_multi(rest, spec)?;
+    let modules = expand_modules(&inputs)?;
+    let json = has_flag(&flags, "json");
+    let want_stats = has_flag(&flags, "stats");
+    let strict = has_flag(&flags, "strict");
+    let trace_path = flag_value(&flags, "trace");
+    let level = trace_level(trace_path)?;
+
+    // Fault plan: CLI flags override the GCATCH_FAULT_* environment.
+    let fault_rate = flag_value(&flags, "inject-faults")
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|e| format!("bad --inject-faults: {e}"))
+        })
+        .transpose()?;
+    let fault_seed = parse_u64_flag(&flags, "fault-seed")?;
+    if fault_seed.is_some() && fault_rate.is_none() {
+        return Err("--fault-seed needs --inject-faults".into());
+    }
+    let plan = match fault_rate {
+        Some(rate) => {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("bad --inject-faults: {rate} is not in [0, 1]"));
+            }
+            Some(FaultPlan::new(rate, fault_seed.unwrap_or(0)))
+        }
+        None => FaultPlan::from_env()?,
+    };
+
+    let max_attempts = parse_u64_flag(&flags, "max-attempts")?.unwrap_or(3);
+    if max_attempts == 0 {
+        return Err("--max-attempts must be at least 1".into());
+    }
+    let workers = match parse_jobs(&flags)? {
+        0 => std::thread::available_parallelism().map_or(4, |n| n.get()),
+        n => n,
+    };
+    let mut batch = BatchConfig {
+        workers,
+        max_attempts: max_attempts as u32,
+        ..BatchConfig::default()
+    };
+    if let Some(ms) = parse_u64_flag(&flags, "backoff-ms")? {
+        batch.backoff.base = Duration::from_millis(ms);
+    }
+    batch.backoff.seed = fault_seed.unwrap_or(0);
+    batch.hedge = if has_flag(&flags, "no-hedge") {
+        None
+    } else {
+        let mut hedge = HedgePolicy::default();
+        if let Some(ms) = parse_u64_flag(&flags, "hedge-ms")? {
+            hedge.min_age = Duration::from_millis(ms);
+        }
+        Some(hedge)
+    };
+    batch.faults = plan.map(Arc::new);
+
+    // Each job runs its analysis single-threaded: the fault schedule keys
+    // on deterministic per-channel decisions, and parallelism comes from
+    // the worker pool above instead.
+    let mut base = budget_config(&flags)?;
+    base.jobs = 1;
+
+    let journal_flag = flag_value(&flags, "journal");
+    let resume_flag = flag_value(&flags, "resume");
+    if journal_flag.is_some() && resume_flag.is_some() {
+        return Err("--journal and --resume are mutually exclusive".into());
+    }
+    let codec = JournalCodec::raw_json();
+    let (journal, restored) = match (journal_flag, resume_flag) {
+        (Some(p), None) => {
+            let journal = Journal::create(std::path::Path::new(p), &modules)
+                .map_err(|e| format!("cannot create journal {p}: {e}"))?;
+            (Some(journal), BTreeMap::new())
+        }
+        (None, Some(p)) => {
+            let (journal, restored) =
+                Journal::open_resume(std::path::Path::new(p), &modules, &codec)?;
+            (Some(journal), restored)
+        }
+        _ => (None, BTreeMap::new()),
+    };
+
+    let telemetry = Telemetry::new();
+    let tracer = Tracer::new(level);
+    let jobs: Vec<BatchJob<String>> = modules
+        .iter()
+        .map(|path| {
+            let base = base.clone();
+            let telemetry = &telemetry;
+            let path = path.clone();
+            BatchJob::new(path.clone(), move |ctx| {
+                run_batch_module(&path, &base, telemetry, ctx)
+            })
+        })
+        .collect();
+    let engine = BatchEngine::new(batch, &telemetry, &tracer);
+    let outcome = engine.run(&jobs, journal.as_ref().map(|j| (j, &codec)), restored);
+    drop(jobs);
+    if let Some(tp) = trace_path {
+        write_trace(tp, &tracer.snapshot())?;
+    }
+    if let Some(err) = &outcome.journal_error {
+        eprintln!("gcatch: warning: journal write failed: {err}");
+    }
+
+    // The merged report is deterministic: submission order, no attempt
+    // counts or timings, payloads that are pure functions of the module —
+    // so a resumed run is byte-identical to an uninterrupted one.
+    let mut total_bugs = 0usize;
+    let mut report = String::from("{\"version\":1,\"command\":\"batch\",\"modules\":[");
+    for (i, rec) in outcome.records.iter().enumerate() {
+        if i > 0 {
+            report.push(',');
+        }
+        match &rec.payload {
+            Some(p) => {
+                total_bugs += payload_bugs(p);
+                report.push_str(p);
+            }
+            None => {
+                report.push_str("{\"module\":\"");
+                json_escape(&rec.id, &mut report);
+                report.push_str("\",\"quarantined\":true,\"message\":\"");
+                if let Some(inc) = &rec.incident {
+                    json_escape(&inc.message, &mut report);
+                }
+                report.push_str("\"}");
+            }
+        }
+    }
+    report.push_str("],\"total_bugs\":");
+    report.push_str(&total_bugs.to_string());
+    report.push_str(",\"quarantined\":");
+    report.push_str(&outcome.quarantined.to_string());
+    report.push('}');
+
+    if let Some(path) = flag_value(&flags, "report") {
+        write_atomic(path, &format!("{report}\n"))?;
+    }
+    let stats = telemetry.snapshot();
+    if json {
+        if want_stats {
+            let mut with_stats = report[..report.len() - 1].to_string();
+            with_stats.push_str(",\"stats\":");
+            with_stats.push_str(&render_stats_json(&stats));
+            with_stats.push('}');
+            println!("{with_stats}");
+        } else {
+            println!("{report}");
+        }
+    } else {
+        println!(
+            "batch: {} module(s) — {} executed, {} resumed, {} quarantined",
+            outcome.records.len(),
+            outcome.executed,
+            outcome.resumed,
+            outcome.quarantined
+        );
+        for rec in &outcome.records {
+            match &rec.payload {
+                Some(p) => println!("  {}: {} bug(s)", rec.id, payload_bugs(p)),
+                None => {
+                    let why = rec.incident.as_ref().map_or("", |inc| inc.message.as_str());
+                    println!("  {}: quarantined — {why}", rec.id);
+                }
+            }
+        }
+        println!("total: {total_bugs} bug(s)");
+        if want_stats {
+            print!("{}", stats.render_text());
+        }
+    }
+    Ok(if strict && outcome.quarantined > 0 {
+        ExitCode::from(2)
+    } else if total_bugs > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
