@@ -1,0 +1,148 @@
+//! Fresh-vs-incremental solver sweep over `examples/` + `examples/batch/`.
+//!
+//! Runs the full checker registry (BMOC defaults plus the §6 send-on-closed
+//! extension) over every example module twice — once with a fresh solver per
+//! query (`SolverStrategy::Fresh`) and once with the per-channel incremental
+//! solver (`SolverStrategy::Incremental`) — and writes `BENCH_solver.json`
+//! with the query counts, total `Stage::Constraints` time, p50/p99 per-query
+//! latency, and the fresh/incremental speedup ratio. The rendered diagnostics
+//! must be byte-identical between the two modes; a mismatch is a hard error
+//! (exit 1), which is what the CI `perf-smoke` step keys on.
+
+use gcatch::{
+    render_json, Counter, DetectorConfig, GCatch, Metric, Selection, SolverStrategy, Stage,
+    Telemetry,
+};
+use std::path::{Path, PathBuf};
+
+/// Per-mode aggregate over the whole sweep.
+struct ModeStats {
+    queries: u64,
+    total_solve_ns: u64,
+    p50_query_ns: u64,
+    p99_query_ns: u64,
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("bench crate lives at crates/bench inside the repo")
+}
+
+/// All `*.go` files directly inside `dir`, sorted by name.
+fn go_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "go"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Runs every example under `strategy`, returning the aggregate solver
+/// stats and the concatenated JSON reports (for byte-comparison).
+fn run_mode(strategy: SolverStrategy, sources: &[(String, String)]) -> (ModeStats, String) {
+    let config = DetectorConfig {
+        solver_strategy: strategy,
+        ..DetectorConfig::default()
+    };
+    let extended = Selection {
+        only: vec!["send-on-closed".to_string()],
+        skip: Vec::new(),
+    };
+    let total = Telemetry::new();
+    let mut reports = String::new();
+    for (name, source) in sources {
+        let module = golite_ir::lower_source(source)
+            .unwrap_or_else(|e| panic!("{name} does not lower: {e}"));
+        let gcatch = GCatch::new(&module);
+        for selection in [&Selection::default(), &extended] {
+            let diagnostics = gcatch.diagnostics(&config, selection);
+            reports.push_str(name);
+            reports.push('\n');
+            reports.push_str(&render_json(&diagnostics, None));
+            reports.push('\n');
+        }
+        total.absorb(&gcatch.stats());
+    }
+    let stats = total.snapshot();
+    let hist = stats.hist(Metric::SolverQueryNs);
+    let mode = ModeStats {
+        queries: stats.counter(Counter::SolverQueries),
+        total_solve_ns: stats.stage(Stage::Constraints).as_nanos() as u64,
+        p50_query_ns: hist.percentile(50),
+        p99_query_ns: hist.percentile(99),
+    };
+    (mode, reports)
+}
+
+fn mode_json(label: &str, m: &ModeStats) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\"queries\": {}, \"total_solve_ns\": {}, ",
+            "\"p50_query_ns\": {}, \"p99_query_ns\": {}}}"
+        ),
+        label, m.queries, m.total_solve_ns, m.p50_query_ns, m.p99_query_ns
+    )
+}
+
+fn main() {
+    let root = repo_root();
+    let mut files = go_files(&root.join("examples"));
+    files.extend(go_files(&root.join("examples/batch")));
+    assert!(!files.is_empty(), "no example programs found");
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|p| {
+            let name = p
+                .strip_prefix(&root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .into_owned();
+            let source = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()));
+            (name, source)
+        })
+        .collect();
+
+    // Warm-up pass so neither measured mode pays first-touch costs.
+    let _ = run_mode(SolverStrategy::Fresh, &sources);
+
+    let (fresh, fresh_reports) = run_mode(SolverStrategy::Fresh, &sources);
+    let (incremental, incremental_reports) = run_mode(SolverStrategy::Incremental, &sources);
+
+    if fresh_reports != incremental_reports {
+        eprintln!("solver_bench: FRESH and INCREMENTAL reports diverge");
+        std::process::exit(1);
+    }
+    if incremental.queries < fresh.queries {
+        eprintln!(
+            "solver_bench: incremental solved fewer queries than fresh ({} < {})",
+            incremental.queries, fresh.queries
+        );
+        std::process::exit(1);
+    }
+
+    let speedup = fresh.total_solve_ns as f64 / incremental.total_solve_ns.max(1) as f64;
+    let json = format!(
+        "{{\n  \"modules\": {},\n{},\n{},\n  \"speedup\": {:.3},\n  \"reports_identical\": true\n}}\n",
+        sources.len(),
+        mode_json("fresh", &fresh),
+        mode_json("incremental", &incremental),
+        speedup,
+    );
+    let out = root.join("BENCH_solver.json");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    print!("{json}");
+    println!(
+        "solver_bench: {} modules, {:.3}x speedup (fresh {} ns -> incremental {} ns), wrote {}",
+        sources.len(),
+        speedup,
+        fresh.total_solve_ns,
+        incremental.total_solve_ns,
+        out.display()
+    );
+}

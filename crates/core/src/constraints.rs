@@ -1,21 +1,36 @@
 //! The BMOC constraint system (§3.4 of the paper).
 //!
-//! Given one path combination and one suspicious group, this module builds
-//! `Φ = ΦR ∧ ΦB` over the [`minismt`] constraint language:
+//! Given one path combination, this module builds a **guarded** encoding of
+//! `Φ = ΦR ∧ ΦB` over the [`minismt`] constraint language, shared by every
+//! suspicious-group query on that combination:
 //!
-//! * every kept event gets an order variable `O`;
+//! * every event gets an order variable `O`, a guard `kept` (the event
+//!   executes in this scenario), and — for blockable events — a guard `blk`
+//!   (the event is a member of the blocking group). `part = kept ∧ ¬blk`
+//!   selects the events that participate in matching and channel-state
+//!   counters;
 //! * `Φorder` chains each goroutine's events; `Φspawn` orders `go`
-//!   statements before the child's first event;
+//!   statements before the child's first event (guarded by the child's
+//!   first event being kept);
 //! * each cross-goroutine (send, recv) occurrence pair on the same primitive
-//!   gets a match variable `P(s, r)` implying `O_s = O_r`;
-//! * the channel-state counters are pseudo-boolean sums: `CB_o` = number of
-//!   sends ordered before `o` minus receives ordered before `o`, and
-//!   `CLOSED_o` ⇔ some close is ordered before `o`;
-//! * `ΦR` (reachability) asserts every non-group operation proceeds: a send
-//!   needs buffer room or exactly one match, a receive needs a buffered
+//!   gets a match variable `P(s, r)` implying participation of both ends and
+//!   `O_s = O_r`;
+//! * the channel-state counters are pseudo-boolean sums over auxiliary
+//!   variables `q ⇔ part ∧ O_o < at`: `CB` = number of participating sends
+//!   ordered before `at` minus receives, and `CLOSED` ⇔ some participating
+//!   close is ordered before `at`;
+//! * `ΦR` (reachability) asserts every participating operation proceeds: a
+//!   send needs buffer room or exactly one match, a receive needs a buffered
 //!   element, a close, or exactly one match;
-//! * `ΦB` (blocking) asserts every group operation blocks and is ordered
-//!   after everything else.
+//! * `ΦB` (blocking) asserts every `blk` operation blocks and is ordered
+//!   after every participating event.
+//!
+//! Because all per-group variation lives in the `kept`/`blk` guards, one
+//! encoding serves every group of a combination: each query is a
+//! [`minismt::Solver::solve_under`] call whose assumptions fix the guards.
+//! [`ChannelSolver`] manages that reuse (one persistent solver per channel,
+//! one [`minismt::Solver::push`] scope per combination) and also implements
+//! the fresh-per-query strategies used for differential testing.
 //!
 //! Mutexes were already rewritten into the channel view (`Lock` = send on a
 //! buffer-1 channel, `Unlock` = receive), so a single encoding covers both.
@@ -26,7 +41,7 @@ use crate::paths::{Event, PathOp};
 use crate::primitives::{OpKind, PrimId, Primitives};
 use crate::resilience::Budget;
 use crate::telemetry::Telemetry;
-use minismt::{Atom, IntVar, SolveResult, Solver, Term};
+use minismt::{Atom, BoolVar, IntVar, SolveResult, Solver, SolverMode, Term};
 use std::collections::{BTreeMap, HashMap};
 
 /// A communication occurrence inside a combination.
@@ -36,7 +51,9 @@ struct Occurrence {
     prim: PrimId,
     kind: OpKind,
     order: IntVar,
-    in_group: bool,
+    /// The event this occurrence belongs to (selects contribute their
+    /// chosen case as an occurrence at the select's order point).
+    event: (usize, usize),
 }
 
 /// The verdict for one (combination, group) query.
@@ -49,6 +66,830 @@ pub enum Verdict {
     Safe,
     /// The solver gave up (budget).
     Unknown,
+}
+
+/// How the detector discharges its solver queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverStrategy {
+    /// One persistent watched-literal solver per channel; each combination
+    /// is a push/pop scope and each group query an assumption query that
+    /// reuses the combination's encoding and learned clauses. The default.
+    #[default]
+    Incremental,
+    /// A fresh watched-literal solver and encoding per query. The
+    /// differential baseline for the incremental strategy.
+    Fresh,
+    /// A fresh solver per query running the legacy rescan propagation
+    /// engine ([`minismt::SolverMode::Rescan`]).
+    Rescan,
+}
+
+impl SolverStrategy {
+    /// The [`minismt`] propagation engine this strategy runs.
+    pub fn engine_mode(self) -> SolverMode {
+        match self {
+            SolverStrategy::Incremental | SolverStrategy::Fresh => SolverMode::Watched,
+            SolverStrategy::Rescan => SolverMode::Rescan,
+        }
+    }
+
+    /// Parses a CLI-facing name.
+    pub fn parse(s: &str) -> Option<SolverStrategy> {
+        match s {
+            "incremental" => Some(SolverStrategy::Incremental),
+            "fresh" => Some(SolverStrategy::Fresh),
+            "rescan" => Some(SolverStrategy::Rescan),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SolverStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SolverStrategy::Incremental => "incremental",
+            SolverStrategy::Fresh => "fresh",
+            SolverStrategy::Rescan => "rescan",
+        })
+    }
+}
+
+/// What a combination's encoding is queried for; controls whether
+/// default-select blocked-case constraints are asserted (the blocking
+/// queries need them, the reachability-only send-after-close queries
+/// keep the historical encoding without them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodingKind {
+    /// Blocking-group queries (`ΦR ∧ ΦB`).
+    Group,
+    /// Reachability-only queries (§6 send-after-close).
+    Reach,
+}
+
+/// The result of one group query.
+#[derive(Debug)]
+pub struct GroupCheck {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Solver effort for provenance/telemetry; `None` when the query was
+    /// short-circuited before reaching the solver. For a `Blocking`
+    /// verdict under the incremental strategy these are the stats of the
+    /// canonical fresh re-solve, keeping provenance identical to the
+    /// fresh strategy.
+    pub stats: Option<minismt::SolverStats>,
+    /// Whether the query reused a previously built combination encoding.
+    pub reused: bool,
+}
+
+/// One query: either a blocking-group check or a send-after-close pair.
+#[derive(Debug, Clone)]
+enum Query<'q> {
+    Group(&'q [GroupMember]),
+    Pair {
+        send: GroupMember,
+        close: GroupMember,
+    },
+}
+
+/// The guarded encoding of one combination.
+#[derive(Debug)]
+struct Encoding {
+    kind: EncodingKind,
+    order: BTreeMap<(usize, usize), IntVar>,
+    kept: BTreeMap<(usize, usize), BoolVar>,
+    blk: BTreeMap<(usize, usize), BoolVar>,
+}
+
+/// The guard assignment of one query, plus the kept-event set for
+/// witness reconstruction.
+struct Assumptions {
+    terms: Vec<Term>,
+    kept_events: Vec<(usize, usize)>,
+}
+
+/// Per-channel solving context: owns the persistent incremental solver (if
+/// the strategy uses one) and the telemetry counters for encoding reuse.
+#[derive(Debug)]
+pub struct ChannelSolver<'p> {
+    prims: &'p Primitives,
+    strategy: SolverStrategy,
+    solver: Option<Solver>,
+    enc: Option<Encoding>,
+    base_clauses: usize,
+    combo_queries: u64,
+    /// Queries answered against an already-built combination encoding.
+    pub encodings_reused: u64,
+    /// Learned clauses retained from earlier queries at the moment a
+    /// reusing query starts.
+    pub learned_kept: u64,
+}
+
+impl<'p> ChannelSolver<'p> {
+    /// Creates a context for one channel's queries.
+    pub fn new(prims: &'p Primitives, strategy: SolverStrategy) -> ChannelSolver<'p> {
+        ChannelSolver {
+            prims,
+            strategy,
+            solver: None,
+            enc: None,
+            base_clauses: 0,
+            combo_queries: 0,
+            encodings_reused: 0,
+            learned_kept: 0,
+        }
+    }
+
+    /// Opens a combination: under the incremental strategy this pushes a
+    /// scope on the persistent solver and builds the shared guarded
+    /// encoding once; the fresh strategies defer everything to the query.
+    pub fn begin_combo(&mut self, combo: &Combo, kind: EncodingKind) {
+        if self.strategy != SolverStrategy::Incremental {
+            return;
+        }
+        let solver = self
+            .solver
+            .get_or_insert_with(|| Solver::with_mode(SolverMode::Watched));
+        solver.push();
+        let enc = build_encoding(solver, self.prims, combo, kind);
+        self.base_clauses = solver.num_clauses();
+        self.combo_queries = 0;
+        self.enc = Some(enc);
+    }
+
+    /// Closes the current combination, discarding its encoding scope (the
+    /// persistent solver survives for the next combination).
+    pub fn end_combo(&mut self) {
+        if self.enc.take().is_some() {
+            if let Some(s) = self.solver.as_mut() {
+                s.pop();
+            }
+        }
+    }
+
+    /// Checks one suspicious group of the current combination under a
+    /// cooperative [`Budget`] (see [`check_group_budgeted`] for the
+    /// rationing rules). Under the incremental strategy,
+    /// [`ChannelSolver::begin_combo`] must have been called for `combo`.
+    pub fn check_group(
+        &mut self,
+        combo: &Combo,
+        group: &[GroupMember],
+        step_limit: u64,
+        budget: &Budget,
+    ) -> GroupCheck {
+        self.run_query(
+            combo,
+            EncodingKind::Group,
+            Query::Group(group),
+            step_limit,
+            budget,
+        )
+    }
+
+    /// Checks one send-after-close pair of the current combination (§6):
+    /// can the send execute after the close (a runtime panic)?
+    pub fn check_send_after_close(
+        &mut self,
+        combo: &Combo,
+        send: GroupMember,
+        close: GroupMember,
+        step_limit: u64,
+        budget: &Budget,
+    ) -> GroupCheck {
+        self.run_query(
+            combo,
+            EncodingKind::Reach,
+            Query::Pair { send, close },
+            step_limit,
+            budget,
+        )
+    }
+
+    fn run_query(
+        &mut self,
+        combo: &Combo,
+        kind: EncodingKind,
+        query: Query<'_>,
+        step_limit: u64,
+        budget: &Budget,
+    ) -> GroupCheck {
+        if budget.is_active() && budget.expired() {
+            return GroupCheck {
+                verdict: Verdict::Unknown,
+                stats: None,
+                reused: false,
+            };
+        }
+        let granted = budget.draw(step_limit);
+        if granted == 0 {
+            return GroupCheck {
+                verdict: Verdict::Unknown,
+                stats: None,
+                reused: false,
+            };
+        }
+        // One fault-injection draw per logical query, before any
+        // short-circuit: the `solver.steps` site numbers queries per scope,
+        // and the historical engine drew at solver construction, so both
+        // the count and the order of draws are part of the reproducible
+        // fault schedule.
+        let fault = faults::solver_fault_threshold();
+
+        if self.strategy != SolverStrategy::Incremental {
+            let (verdict, stats) = solve_fresh(
+                self.prims,
+                self.strategy.engine_mode(),
+                combo,
+                kind,
+                &query,
+                granted,
+                budget,
+                fault,
+            );
+            let spent = stats.map(|s| s.steps).unwrap_or(0);
+            budget.refund(granted.saturating_sub(spent));
+            return GroupCheck {
+                verdict,
+                stats,
+                reused: false,
+            };
+        }
+
+        let assume = {
+            let enc = self
+                .enc
+                .as_ref()
+                .expect("begin_combo must be called before incremental queries");
+            debug_assert_eq!(
+                enc.kind, kind,
+                "combo was opened for a different query kind"
+            );
+            assumptions_for(enc, combo, &query)
+        };
+        let Some(assume) = assume else {
+            // A group member's goroutine never starts; the solver is not run.
+            budget.refund(granted);
+            return GroupCheck {
+                verdict: Verdict::Safe,
+                stats: None,
+                reused: false,
+            };
+        };
+        self.combo_queries += 1;
+        let reused = self.combo_queries > 1;
+        if reused {
+            self.encodings_reused += 1;
+            let solver = self.solver.as_ref().expect("solver exists with encoding");
+            self.learned_kept += (solver.num_clauses() - self.base_clauses) as u64;
+        }
+        let solver = self.solver.as_mut().expect("solver exists with encoding");
+        solver.set_step_limit(granted);
+        solver.set_deadline(budget.deadline());
+        solver.set_step_fault(fault);
+        let result = solver.solve_under(&assume.terms);
+        let inc_stats = solver.stats();
+        match result {
+            SolveResult::Unsat => {
+                budget.refund(granted.saturating_sub(inc_stats.steps));
+                GroupCheck {
+                    verdict: Verdict::Safe,
+                    stats: Some(inc_stats),
+                    reused,
+                }
+            }
+            SolveResult::Unknown => {
+                budget.refund(granted.saturating_sub(inc_stats.steps));
+                GroupCheck {
+                    verdict: Verdict::Unknown,
+                    stats: Some(inc_stats),
+                    reused,
+                }
+            }
+            SolveResult::Sat(inc_model) => {
+                // Canonical witness solve: learned-clause retention makes the
+                // incremental model and step counts depend on query history,
+                // so the witness and provenance of a Blocking verdict are
+                // re-derived from a fresh solver running the exact
+                // fresh-strategy code path. The verdict itself is
+                // history-independent (the search is complete), so Sat here
+                // is Sat there; only an exhausted re-solve budget can
+                // diverge, in which case the incremental model backs the
+                // witness.
+                let enc = self.enc.as_ref().expect("encoding checked above");
+                let (verdict, stats) = solve_fresh(
+                    self.prims,
+                    SolverMode::Watched,
+                    combo,
+                    kind,
+                    &query,
+                    granted,
+                    budget,
+                    fault,
+                );
+                let canon_steps = stats.map(|s| s.steps).unwrap_or(0);
+                budget.refund(granted.saturating_sub(inc_stats.steps + canon_steps));
+                match verdict {
+                    Verdict::Blocking(_) => GroupCheck {
+                        verdict,
+                        stats,
+                        reused,
+                    },
+                    _ => GroupCheck {
+                        verdict: Verdict::Blocking(witness_timeline(
+                            self.prims, combo, enc, &assume, &inc_model,
+                        )),
+                        stats: Some(inc_stats),
+                        reused,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// One fresh-solver query: builds the guarded encoding from scratch and
+/// solves under the query's guard assumptions. This is both the fresh
+/// strategy's query path and the incremental strategy's canonical witness
+/// path, which is what keeps the two strategies' reports byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn solve_fresh(
+    prims: &Primitives,
+    mode: SolverMode,
+    combo: &Combo,
+    kind: EncodingKind,
+    query: &Query<'_>,
+    granted: u64,
+    budget: &Budget,
+    fault: Option<u64>,
+) -> (Verdict, Option<minismt::SolverStats>) {
+    let mut solver = Solver::with_mode(mode);
+    solver.set_step_limit(granted);
+    solver.set_deadline(budget.deadline());
+    solver.set_step_fault(fault);
+    let enc = build_encoding(&mut solver, prims, combo, kind);
+    let Some(assume) = assumptions_for(&enc, combo, query) else {
+        return (Verdict::Safe, None);
+    };
+    let result = solver.solve_under(&assume.terms);
+    let stats = solver.stats();
+    let verdict = match result {
+        SolveResult::Sat(model) => {
+            Verdict::Blocking(witness_timeline(prims, combo, &enc, &assume, &model))
+        }
+        SolveResult::Unsat => Verdict::Safe,
+        SolveResult::Unknown => Verdict::Unknown,
+    };
+    (verdict, Some(stats))
+}
+
+/// Lazily reifies the channel-state auxiliary variables of one encoding:
+/// `q(o, at) ⇔ part_o ∧ O_o < at`, shared across every pseudo-boolean sum
+/// that references the same occurrence/time-point pair.
+struct StateVars<'a> {
+    occs: &'a [Occurrence],
+    part: &'a BTreeMap<(usize, usize), BoolVar>,
+    prims: &'a Primitives,
+    q_vars: HashMap<(usize, u32), BoolVar>,
+}
+
+impl StateVars<'_> {
+    fn q_var(&mut self, solver: &mut Solver, i: usize, at: IntVar) -> BoolVar {
+        if let Some(&v) = self.q_vars.get(&(i, at.0)) {
+            return v;
+        }
+        let v = solver.fresh_bool();
+        solver.assert(Term::iff(
+            Term::var(v),
+            Term::and([
+                Term::var(self.part[&self.occs[i].event]),
+                Term::Atom(Atom::DiffLe {
+                    x: self.occs[i].order,
+                    y: at,
+                    c: -1,
+                }),
+            ]),
+        ));
+        self.q_vars.insert((i, at.0), v);
+        v
+    }
+
+    /// The `CB` counter at `at`: participating sends before minus
+    /// participating receives before.
+    fn cb_terms(
+        &mut self,
+        solver: &mut Solver,
+        at: IntVar,
+        prim: PrimId,
+        skip: usize,
+    ) -> Vec<(i64, Atom)> {
+        let mut terms: Vec<(i64, Atom)> = Vec::new();
+        for k in 0..self.occs.len() {
+            if k == skip || self.occs[k].prim != prim {
+                continue;
+            }
+            match self.occs[k].kind {
+                OpKind::Send => terms.push((1, Atom::Bool(self.q_var(solver, k, at)))),
+                OpKind::Recv => terms.push((-1, Atom::Bool(self.q_var(solver, k, at)))),
+                OpKind::Close => {}
+            }
+        }
+        terms
+    }
+
+    /// `CLOSED` at `at`: some participating close is ordered before.
+    fn closed_term(&mut self, solver: &mut Solver, at: IntVar, prim: PrimId) -> Term {
+        let mut closes: Vec<Term> = Vec::new();
+        for k in 0..self.occs.len() {
+            if self.occs[k].prim == prim && self.occs[k].kind == OpKind::Close {
+                closes.push(Term::var(self.q_var(solver, k, at)));
+            }
+        }
+        Term::or(closes)
+    }
+
+    fn buffer_size(&self, prim: PrimId) -> i64 {
+        self.prims.all[prim.0].buffer_size().unwrap_or(0)
+    }
+
+    /// The condition under which `op` blocks at time point `at`.
+    fn blocked_case(&mut self, solver: &mut Solver, op: &PathOp, at: IntVar) -> Term {
+        let bs = self.buffer_size(op.prim);
+        match op.kind {
+            OpKind::Send => {
+                // Buffer full: CB >= BS.
+                let cb = self.cb_terms(solver, at, op.prim, usize::MAX);
+                Term::Linear {
+                    terms: cb,
+                    cmp: minismt::Cmp::Ge,
+                    k: bs,
+                }
+            }
+            OpKind::Recv => {
+                // Empty and not closed: CB <= 0 ∧ ¬CLOSED.
+                let cb = self.cb_terms(solver, at, op.prim, usize::MAX);
+                let empty = Term::Linear {
+                    terms: cb,
+                    cmp: minismt::Cmp::Le,
+                    k: 0,
+                };
+                let not_closed = Term::not(self.closed_term(solver, at, op.prim));
+                Term::and([empty, not_closed])
+            }
+            OpKind::Close => Term::False, // close never blocks
+        }
+    }
+}
+
+/// Builds the combination's guarded encoding into `solver`'s current scope.
+fn build_encoding(
+    solver: &mut Solver,
+    prims: &Primitives,
+    combo: &Combo,
+    kind: EncodingKind,
+) -> Encoding {
+    // All maps are BTreeMaps: iteration order feeds term assertion order,
+    // which decides atom numbering — and with it the DPLL search path and
+    // step counts, which provenance exposes and the `--jobs` contract
+    // requires to be bit-identical across runs.
+    let mut order: BTreeMap<(usize, usize), IntVar> = BTreeMap::new();
+    for (gi, g) in combo.gos.iter().enumerate() {
+        for ei in 0..g.path.events.len() {
+            order.insert((gi, ei), solver.fresh_int());
+        }
+    }
+    let mut kept: BTreeMap<(usize, usize), BoolVar> = BTreeMap::new();
+    let mut blk: BTreeMap<(usize, usize), BoolVar> = BTreeMap::new();
+    let mut part: BTreeMap<(usize, usize), BoolVar> = BTreeMap::new();
+    for (gi, g) in combo.gos.iter().enumerate() {
+        for (ei, event) in g.path.events.iter().enumerate() {
+            let k = solver.fresh_bool();
+            kept.insert((gi, ei), k);
+            if matches!(event, Event::Op(_) | Event::Select { .. }) {
+                let b = solver.fresh_bool();
+                let p = solver.fresh_bool();
+                solver.assert(Term::iff(
+                    Term::var(p),
+                    Term::and([Term::var(k), Term::not(Term::var(b))]),
+                ));
+                blk.insert((gi, ei), b);
+                part.insert((gi, ei), p);
+            } else {
+                // Spawns and facts are never group members: part ⇔ kept.
+                part.insert((gi, ei), k);
+            }
+        }
+    }
+
+    // Φorder: per-goroutine chains (unconditional — ordering events that a
+    // query truncates away is always satisfiable and keeps the skeleton
+    // shared across queries).
+    for (gi, g) in combo.gos.iter().enumerate() {
+        for ei in 1..g.path.events.len() {
+            solver.assert(Term::lt(order[&(gi, ei - 1)], order[&(gi, ei)]));
+        }
+    }
+
+    // Φspawn: guarded by the child's first event being kept (the guard
+    // assignments only keep it when the parent's spawn event is kept).
+    for (gi, g) in combo.gos.iter().enumerate() {
+        if g.path.events.is_empty() {
+            continue;
+        }
+        if let Some((parent, ev)) = g.spawned_at {
+            solver.assert(Term::implies(
+                Term::var(kept[&(gi, 0)]),
+                Term::lt(order[&(parent, ev)], order[&(gi, 0)]),
+            ));
+        }
+    }
+
+    // Collect communication occurrences: ops and chosen select cases.
+    // Participation is decided per query by the event's `part` guard.
+    let mut occs: Vec<Occurrence> = Vec::new();
+    for (gi, g) in combo.gos.iter().enumerate() {
+        for (ei, event) in g.path.events.iter().enumerate() {
+            let o = order[&(gi, ei)];
+            match event {
+                Event::Op(op) => occs.push(Occurrence {
+                    goroutine: gi,
+                    prim: op.prim,
+                    kind: op.kind,
+                    order: o,
+                    event: (gi, ei),
+                }),
+                Event::Select {
+                    cases,
+                    chosen: Some(ci),
+                    ..
+                } => {
+                    for (case_idx, op) in cases {
+                        if case_idx == ci {
+                            occs.push(Occurrence {
+                                goroutine: gi,
+                                prim: op.prim,
+                                kind: op.kind,
+                                order: o,
+                                event: (gi, ei),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Match variables P(s, r) between cross-goroutine pairs. A match
+    // implies both ends participate, so guards subsume the historical
+    // "non-group occurrences only" filter.
+    let mut p_vars: BTreeMap<(usize, usize), BoolVar> = BTreeMap::new();
+    for (i, s) in occs.iter().enumerate() {
+        if s.kind != OpKind::Send {
+            continue;
+        }
+        for (j, r) in occs.iter().enumerate() {
+            if r.kind != OpKind::Recv || s.prim != r.prim || s.goroutine == r.goroutine {
+                continue;
+            }
+            let p = solver.fresh_bool();
+            p_vars.insert((i, j), p);
+            solver.assert(Term::implies(
+                Term::var(p),
+                Term::and([
+                    Term::var(part[&s.event]),
+                    Term::var(part[&r.event]),
+                    Term::eq_int(s.order, r.order),
+                ]),
+            ));
+        }
+    }
+    // At most one match per occurrence.
+    for (i, o) in occs.iter().enumerate() {
+        let atoms: Vec<Atom> = match o.kind {
+            OpKind::Send => p_vars
+                .iter()
+                .filter(|((si, _), _)| *si == i)
+                .map(|(_, &p)| Atom::Bool(p))
+                .collect(),
+            OpKind::Recv => p_vars
+                .iter()
+                .filter(|((_, rj), _)| *rj == i)
+                .map(|(_, &p)| Atom::Bool(p))
+                .collect(),
+            OpKind::Close => Vec::new(),
+        };
+        if atoms.len() > 1 {
+            solver.assert(Term::at_most_one(atoms));
+        }
+    }
+
+    // Channel-state helper builder: q(o, at) ⇔ part_o ∧ O_o < at. The q
+    // variables are shared across every sum that references the same
+    // occurrence/time-point pair — the payoff of building one encoding
+    // per combination.
+    let mut state = StateVars {
+        occs: &occs,
+        part: &part,
+        prims,
+        q_vars: HashMap::new(),
+    };
+
+    // ΦR: every participating occurrence proceeds.
+    for (i, occ) in occs.iter().enumerate() {
+        let bs = state.buffer_size(occ.prim);
+        let proceed = match occ.kind {
+            OpKind::Send => {
+                // CB < BS ∨ exactly-one match.
+                let cb = state.cb_terms(solver, occ.order, occ.prim, i);
+                let room = Term::Linear {
+                    terms: cb,
+                    cmp: minismt::Cmp::Lt,
+                    k: bs,
+                };
+                let match_atoms: Vec<Atom> = p_vars
+                    .iter()
+                    .filter(|((si, _), _)| *si == i)
+                    .map(|(_, &p)| Atom::Bool(p))
+                    .collect();
+                Term::or([room, Term::exactly_one(match_atoms)])
+            }
+            OpKind::Recv => {
+                // CB > 0 ∨ CLOSED ∨ exactly-one match.
+                let cb = state.cb_terms(solver, occ.order, occ.prim, i);
+                let has_elem = Term::Linear {
+                    terms: cb,
+                    cmp: minismt::Cmp::Gt,
+                    k: 0,
+                };
+                let closed = state.closed_term(solver, occ.order, occ.prim);
+                let match_atoms: Vec<Atom> = p_vars
+                    .iter()
+                    .filter(|((_, rj), _)| *rj == i)
+                    .map(|(_, &p)| Atom::Bool(p))
+                    .collect();
+                Term::or([has_elem, closed, Term::exactly_one(match_atoms)])
+            }
+            OpKind::Close => continue,
+        };
+        solver.assert(Term::implies(Term::var(part[&occ.event]), proceed));
+    }
+
+    // ΦR for default-chosen selects (blocking queries only, matching the
+    // historical encodings): every Pset case is blocked at the moment the
+    // select executes.
+    if kind == EncodingKind::Group {
+        for (gi, g) in combo.gos.iter().enumerate() {
+            for (ei, event) in g.path.events.iter().enumerate() {
+                if let Event::Select {
+                    cases,
+                    chosen: None,
+                    ..
+                } = event
+                {
+                    let at = order[&(gi, ei)];
+                    for (_, op) in cases {
+                        let b = state.blocked_case(solver, op, at);
+                        solver.assert(Term::implies(Term::var(kept[&(gi, ei)]), b));
+                    }
+                }
+            }
+        }
+    }
+
+    // ΦB: a blk event blocks and is ordered after every participating
+    // event (fellow group members stay mutually unordered because their
+    // own `part` guard is false).
+    for (&(bgi, bei), &b) in &blk {
+        for (&(agi, aei), &o_a) in &order {
+            if (agi, aei) == (bgi, bei) {
+                continue;
+            }
+            solver.assert(Term::implies(
+                Term::and([Term::var(part[&(agi, aei)]), Term::var(b)]),
+                Term::lt(o_a, order[&(bgi, bei)]),
+            ));
+        }
+        let at = order[&(bgi, bei)];
+        let blocked = match &combo.gos[bgi].path.events[bei] {
+            Event::Op(op) => state.blocked_case(solver, op, at),
+            Event::Select { cases, .. } => {
+                let mut all: Vec<Term> = Vec::new();
+                for (_, op) in cases {
+                    all.push(state.blocked_case(solver, op, at));
+                }
+                Term::and(all)
+            }
+            other => unreachable!("blk guards cover ops and selects, got {other:?}"),
+        };
+        solver.assert(Term::implies(Term::var(b), blocked));
+    }
+
+    Encoding {
+        kind,
+        order,
+        kept,
+        blk,
+    }
+}
+
+/// Computes the guard assignment for one query: which events are kept
+/// (truncation + spawn reachability for group queries, everything for
+/// pair queries) and which are blocking-group members. Returns `None`
+/// when a group member's goroutine never starts (the query is trivially
+/// safe).
+fn assumptions_for(enc: &Encoding, combo: &Combo, query: &Query<'_>) -> Option<Assumptions> {
+    let kept_of: Vec<usize> = match query {
+        Query::Group(group) => {
+            // Truncation point per goroutine: events after a group member's
+            // event never execute.
+            let mut cutoff: Vec<usize> = combo.gos.iter().map(|g| g.path.events.len()).collect();
+            for m in *group {
+                cutoff[m.goroutine] = cutoff[m.goroutine].min(m.event + 1);
+            }
+            // A goroutine is alive if it is the root or its spawn event is
+            // kept.
+            let mut alive = vec![false; combo.gos.len()];
+            alive[0] = true;
+            for (gi, g) in combo.gos.iter().enumerate().skip(1) {
+                if let Some((parent, ev)) = g.spawned_at {
+                    if alive[parent] && ev < cutoff[parent] {
+                        alive[gi] = true;
+                    }
+                }
+            }
+            if group.iter().any(|m| !alive[m.goroutine]) {
+                return None;
+            }
+            combo
+                .gos
+                .iter()
+                .enumerate()
+                .map(|(gi, _)| if alive[gi] { cutoff[gi] } else { 0 })
+                .collect()
+        }
+        Query::Pair { .. } => combo.gos.iter().map(|g| g.path.events.len()).collect(),
+    };
+
+    let mut terms = Vec::with_capacity(enc.kept.len() + enc.blk.len() + 1);
+    let mut kept_events = Vec::new();
+    for (&(gi, ei), &k) in &enc.kept {
+        if ei < kept_of[gi] {
+            terms.push(Term::var(k));
+            kept_events.push((gi, ei));
+        } else {
+            terms.push(Term::not(Term::var(k)));
+        }
+    }
+    match query {
+        Query::Group(group) => {
+            let is_member =
+                |gi: usize, ei: usize| group.iter().any(|m| m.goroutine == gi && m.event == ei);
+            for m in group.iter() {
+                assert!(
+                    enc.blk.contains_key(&(m.goroutine, m.event)),
+                    "group member must be an op or select, got {:?}",
+                    combo.gos[m.goroutine].path.events[m.event]
+                );
+            }
+            for (&(gi, ei), &b) in &enc.blk {
+                if is_member(gi, ei) {
+                    terms.push(Term::var(b));
+                } else {
+                    terms.push(Term::not(Term::var(b)));
+                }
+            }
+        }
+        Query::Pair { send, close } => {
+            for &b in enc.blk.values() {
+                terms.push(Term::not(Term::var(b)));
+            }
+            // The panic constraint: close strictly before the send.
+            terms.push(Term::Atom(Atom::DiffLe {
+                x: enc.order[&(close.goroutine, close.event)],
+                y: enc.order[&(send.goroutine, send.event)],
+                c: -1,
+            }));
+        }
+    }
+    Some(Assumptions { terms, kept_events })
+}
+
+/// Produces the witness order for a satisfying model: kept events sorted
+/// by their order-variable values (ties by description).
+fn witness_timeline(
+    prims: &Primitives,
+    combo: &Combo,
+    enc: &Encoding,
+    assume: &Assumptions,
+    model: &minismt::Model,
+) -> Vec<String> {
+    let mut timeline: Vec<(i64, String)> = Vec::new();
+    for &(gi, ei) in &assume.kept_events {
+        let t = model.int_value(enc.order[&(gi, ei)]).unwrap_or(0);
+        timeline.push((t, describe_event(prims, combo, gi, ei)));
+    }
+    timeline.sort();
+    timeline.into_iter().map(|(_, d)| d).collect()
 }
 
 /// Builds and solves `ΦR ∧ ΦB` for `combo` with the given suspicious group.
@@ -101,369 +942,9 @@ pub fn check_group_budgeted(
     step_limit: u64,
     budget: &Budget,
 ) -> (Verdict, Option<minismt::SolverStats>) {
-    if budget.is_active() && budget.expired() {
-        return (Verdict::Unknown, None);
-    }
-    let granted = budget.draw(step_limit);
-    if granted == 0 {
-        return (Verdict::Unknown, None);
-    }
-    let mut solver = Solver::new();
-    solver.set_step_limit(granted);
-    solver.set_deadline(budget.deadline());
-    if let Some(after) = faults::solver_fault_threshold() {
-        solver.inject_step_fault(after);
-    }
-
-    // Truncation point per goroutine: events after a group member's event
-    // never execute.
-    let mut cutoff: Vec<usize> = combo.gos.iter().map(|g| g.path.events.len()).collect();
-    for m in group {
-        cutoff[m.goroutine] = cutoff[m.goroutine].min(m.event + 1);
-    }
-    // A goroutine is alive if it is the root or its spawn event is kept.
-    let mut alive = vec![false; combo.gos.len()];
-    alive[0] = true;
-    for (gi, g) in combo.gos.iter().enumerate().skip(1) {
-        if let Some((parent, ev)) = g.spawned_at {
-            if alive[parent] && ev < cutoff[parent] {
-                alive[gi] = true;
-            }
-        }
-    }
-    if group.iter().any(|m| !alive[m.goroutine]) {
-        // A group member's goroutine never starts; the solver is not run.
-        budget.refund(granted);
-        return (Verdict::Safe, None);
-    }
-
-    // Order variables for kept events. A BTreeMap, not a HashMap: ΦB below
-    // iterates this map while asserting terms, and assertion order decides
-    // atom numbering — and with it the DPLL search path and step counts,
-    // which provenance exposes and the `--jobs` contract requires to be
-    // bit-identical across runs.
-    let mut order: BTreeMap<(usize, usize), IntVar> = BTreeMap::new();
-    for (gi, _g) in combo.gos.iter().enumerate() {
-        if !alive[gi] {
-            continue;
-        }
-        for ei in 0..cutoff[gi] {
-            order.insert((gi, ei), solver.fresh_int());
-        }
-    }
-
-    // Φorder: per-goroutine chains.
-    for gi in 0..combo.gos.len() {
-        if !alive[gi] {
-            continue;
-        }
-        for ei in 1..cutoff[gi] {
-            let a = order[&(gi, ei - 1)];
-            let b = order[&(gi, ei)];
-            solver.assert(Term::lt(a, b));
-        }
-    }
-
-    // Φspawn.
-    for (gi, g) in combo.gos.iter().enumerate() {
-        if !alive[gi] || cutoff[gi] == 0 {
-            continue;
-        }
-        if let Some((parent, ev)) = g.spawned_at {
-            if alive[parent] && ev < cutoff[parent] {
-                let spawn_o = order[&(parent, ev)];
-                let first = order[&(gi, 0)];
-                solver.assert(Term::lt(spawn_o, first));
-            }
-        }
-    }
-
-    // Collect communication occurrences.
-    let is_group = |gi: usize, ei: usize| group.iter().any(|m| m.goroutine == gi && m.event == ei);
-    let mut occs: Vec<Occurrence> = Vec::new();
-    for (gi, g) in combo.gos.iter().enumerate() {
-        if !alive[gi] {
-            continue;
-        }
-        for ei in 0..cutoff[gi] {
-            let o = order[&(gi, ei)];
-            match &g.path.events[ei] {
-                Event::Op(op) => occs.push(Occurrence {
-                    goroutine: gi,
-                    prim: op.prim,
-                    kind: op.kind,
-                    order: o,
-                    in_group: is_group(gi, ei),
-                }),
-                Event::Select { cases, chosen: Some(ci), .. }
-                    // The chosen case's ops are real occurrences; a select
-                    // chosen as a *group member* contributes blocked cases
-                    // instead (handled below).
-                    if !is_group(gi, ei) => {
-                        for (case_idx, op) in cases {
-                            if case_idx == ci {
-                                occs.push(Occurrence {
-                                    goroutine: gi,
-                                    prim: op.prim,
-                                    kind: op.kind,
-                                    order: o,
-                                    in_group: false,
-                                });
-                            }
-                        }
-                    }
-                _ => {}
-            }
-        }
-    }
-
-    // Match variables P(s, r) between non-group cross-goroutine pairs.
-    let mut p_vars: HashMap<(usize, usize), minismt::BoolVar> = HashMap::new();
-    for (i, s) in occs.iter().enumerate() {
-        if s.kind != OpKind::Send || s.in_group {
-            continue;
-        }
-        for (j, r) in occs.iter().enumerate() {
-            if r.kind != OpKind::Recv || r.in_group {
-                continue;
-            }
-            if s.prim != r.prim || s.goroutine == r.goroutine {
-                continue;
-            }
-            let p = solver.fresh_bool();
-            p_vars.insert((i, j), p);
-            // P(s, r) → O_s = O_r.
-            solver.assert(Term::implies(Term::var(p), Term::eq_int(s.order, r.order)));
-        }
-    }
-    // At most one match per occurrence.
-    for (i, s) in occs.iter().enumerate() {
-        if s.kind == OpKind::Send && !s.in_group {
-            let atoms: Vec<Atom> = p_vars
-                .iter()
-                .filter(|((si, _), _)| *si == i)
-                .map(|(_, &p)| Atom::Bool(p))
-                .collect();
-            if atoms.len() > 1 {
-                solver.assert(Term::at_most_one(atoms));
-            }
-        }
-        if s.kind == OpKind::Recv && !s.in_group {
-            let atoms: Vec<Atom> = p_vars
-                .iter()
-                .filter(|((_, rj), _)| *rj == i)
-                .map(|(_, &p)| Atom::Bool(p))
-                .collect();
-            if atoms.len() > 1 {
-                solver.assert(Term::at_most_one(atoms));
-            }
-        }
-    }
-
-    // Channel-state helpers.
-    let cb_terms =
-        |occs: &[Occurrence], at: IntVar, prim: PrimId, skip: usize| -> Vec<(i64, Atom)> {
-            let mut terms = Vec::new();
-            for (k, o) in occs.iter().enumerate() {
-                if k == skip || o.prim != prim || o.in_group {
-                    continue;
-                }
-                let atom = Atom::DiffLe {
-                    x: o.order,
-                    y: at,
-                    c: -1,
-                }; // O_o < at
-                match o.kind {
-                    OpKind::Send => terms.push((1, atom)),
-                    OpKind::Recv => terms.push((-1, atom)),
-                    OpKind::Close => {}
-                }
-            }
-            terms
-        };
-    let closed_term = |occs: &[Occurrence], at: IntVar, prim: PrimId| -> Term {
-        let closes: Vec<Term> = occs
-            .iter()
-            .filter(|o| o.prim == prim && o.kind == OpKind::Close && !o.in_group)
-            .map(|o| {
-                Term::Atom(Atom::DiffLe {
-                    x: o.order,
-                    y: at,
-                    c: -1,
-                })
-            })
-            .collect();
-        Term::or(closes)
-    };
-    let buffer_size = |prim: PrimId| prims.all[prim.0].buffer_size().unwrap_or(0);
-
-    // ΦR: every non-group occurrence proceeds.
-    for (i, occ) in occs.iter().enumerate() {
-        if occ.in_group {
-            continue;
-        }
-        let bs = buffer_size(occ.prim);
-        match occ.kind {
-            OpKind::Send => {
-                // CB < BS ∨ exactly-one match.
-                let cb = cb_terms(&occs, occ.order, occ.prim, i);
-                let room = Term::Linear {
-                    terms: cb,
-                    cmp: minismt::Cmp::Lt,
-                    k: bs,
-                };
-                let match_atoms: Vec<Atom> = p_vars
-                    .iter()
-                    .filter(|((si, _), _)| *si == i)
-                    .map(|(_, &p)| Atom::Bool(p))
-                    .collect();
-                let matched = Term::exactly_one(match_atoms);
-                solver.assert(Term::or([room, matched]));
-            }
-            OpKind::Recv => {
-                // CB > 0 ∨ CLOSED ∨ exactly-one match.
-                let cb = cb_terms(&occs, occ.order, occ.prim, i);
-                let has_elem = Term::Linear {
-                    terms: cb,
-                    cmp: minismt::Cmp::Gt,
-                    k: 0,
-                };
-                let closed = closed_term(&occs, occ.order, occ.prim);
-                let match_atoms: Vec<Atom> = p_vars
-                    .iter()
-                    .filter(|((_, rj), _)| *rj == i)
-                    .map(|(_, &p)| Atom::Bool(p))
-                    .collect();
-                let matched = Term::exactly_one(match_atoms);
-                solver.assert(Term::or([has_elem, closed, matched]));
-            }
-            OpKind::Close => {}
-        }
-    }
-
-    // ΦR for default-chosen selects: every Pset case is blocked at the
-    // moment the select executes.
-    for (gi, g) in combo.gos.iter().enumerate() {
-        if !alive[gi] {
-            continue;
-        }
-        for ei in 0..cutoff[gi] {
-            if let Event::Select {
-                cases,
-                chosen: None,
-                ..
-            } = &g.path.events[ei]
-            {
-                let at = order[&(gi, ei)];
-                for (_, op) in cases {
-                    solver.assert(blocked_case(
-                        &occs,
-                        op,
-                        at,
-                        buffer_size(op.prim),
-                        &closed_term,
-                        &cb_terms,
-                    ));
-                }
-            }
-        }
-    }
-
-    // ΦB: group operations block, ordered after everything else.
-    for m in group {
-        let g_order = order[&(m.goroutine, m.event)];
-        // Every other kept event is earlier.
-        for (&(gi, ei), &o) in &order {
-            if gi == m.goroutine && ei == m.event {
-                continue;
-            }
-            if group.iter().any(|x| x.goroutine == gi && x.event == ei) {
-                continue; // fellow group members are unordered among themselves
-            }
-            solver.assert(Term::lt(o, g_order));
-        }
-        // The operation itself cannot proceed.
-        match &combo.gos[m.goroutine].path.events[m.event] {
-            Event::Op(op) => {
-                solver.assert(blocked_case(
-                    &occs,
-                    op,
-                    g_order,
-                    buffer_size(op.prim),
-                    &closed_term,
-                    &cb_terms,
-                ));
-            }
-            Event::Select { cases, .. } => {
-                for (_, op) in cases {
-                    solver.assert(blocked_case(
-                        &occs,
-                        op,
-                        g_order,
-                        buffer_size(op.prim),
-                        &closed_term,
-                        &cb_terms,
-                    ));
-                }
-            }
-            other => unreachable!("group member must be an op or select, got {other:?}"),
-        }
-    }
-
-    let result = solver.solve();
-    let stats = solver.stats();
-    budget.refund(granted.saturating_sub(stats.steps));
-    let verdict = match result {
-        SolveResult::Sat(model) => {
-            // Produce the witness order: kept events sorted by O value.
-            let mut timeline: Vec<(i64, String)> = Vec::new();
-            for (&(gi, ei), &o) in &order {
-                let t = model.int_value(o).unwrap_or(0);
-                let desc = describe_event(prims, combo, gi, ei);
-                timeline.push((t, desc));
-            }
-            timeline.sort();
-            Verdict::Blocking(timeline.into_iter().map(|(_, d)| d).collect())
-        }
-        SolveResult::Unsat => Verdict::Safe,
-        SolveResult::Unknown => Verdict::Unknown,
-    };
-    (verdict, Some(stats))
-}
-
-/// "Operation `op` cannot proceed at time `at`": a send finds the buffer
-/// full (and, being unmatched by construction, blocks); a receive finds the
-/// channel empty and not closed.
-fn blocked_case(
-    occs: &[Occurrence],
-    op: &PathOp,
-    at: IntVar,
-    bs: i64,
-    closed_term: &impl Fn(&[Occurrence], IntVar, PrimId) -> Term,
-    cb_terms: &impl Fn(&[Occurrence], IntVar, PrimId, usize) -> Vec<(i64, Atom)>,
-) -> Term {
-    let cb = cb_terms(occs, at, op.prim, usize::MAX);
-    match op.kind {
-        OpKind::Send => {
-            // Buffer full: CB >= BS.
-            Term::Linear {
-                terms: cb,
-                cmp: minismt::Cmp::Ge,
-                k: bs,
-            }
-        }
-        OpKind::Recv => {
-            // Empty and not closed: CB <= 0 ∧ ¬CLOSED.
-            let empty = Term::Linear {
-                terms: cb,
-                cmp: minismt::Cmp::Le,
-                k: 0,
-            };
-            let not_closed = Term::not(closed_term(occs, at, op.prim));
-            Term::and([empty, not_closed])
-        }
-        OpKind::Close => Term::False, // close never blocks
-    }
+    let mut cs = ChannelSolver::new(prims, SolverStrategy::Fresh);
+    let check = cs.check_group(combo, group, step_limit, budget);
+    (check.verdict, check.stats)
 }
 
 fn describe_event(prims: &Primitives, combo: &Combo, gi: usize, ei: usize) -> String {
@@ -493,7 +974,7 @@ fn describe_event(prims: &Primitives, combo: &Combo, gi: usize, ei: usize) -> St
 ///
 /// The encoding reuses ΦR (reachability: every communication in the
 /// combination proceeds) and adds the panic constraint `O_close < O_send`
-/// for the queried pair.
+/// as an assumption for the queried pair.
 pub fn check_send_after_close(
     prims: &Primitives,
     combo: &Combo,
@@ -542,199 +1023,9 @@ pub fn check_send_after_close_budgeted(
     step_limit: u64,
     budget: &Budget,
 ) -> (Verdict, minismt::SolverStats) {
-    if budget.is_active() && budget.expired() {
-        return (Verdict::Unknown, minismt::SolverStats::default());
-    }
-    let granted = budget.draw(step_limit);
-    if granted == 0 {
-        return (Verdict::Unknown, minismt::SolverStats::default());
-    }
-    // No suspicious group: everything must be reachable.
-    let mut solver = Solver::new();
-    solver.set_step_limit(granted);
-    solver.set_deadline(budget.deadline());
-    if let Some(after) = faults::solver_fault_threshold() {
-        solver.inject_step_fault(after);
-    }
-
-    // BTreeMap for the same reason as the BMOC encoder: iteration order
-    // feeds term assertion order, which must be run-to-run deterministic.
-    let mut order: BTreeMap<(usize, usize), IntVar> = BTreeMap::new();
-    for (gi, g) in combo.gos.iter().enumerate() {
-        for ei in 0..g.path.events.len() {
-            order.insert((gi, ei), solver.fresh_int());
-        }
-    }
-    for (gi, g) in combo.gos.iter().enumerate() {
-        for ei in 1..g.path.events.len() {
-            solver.assert(Term::lt(order[&(gi, ei - 1)], order[&(gi, ei)]));
-        }
-        if let Some((parent, ev)) = g.spawned_at {
-            if !g.path.events.is_empty() {
-                solver.assert(Term::lt(order[&(parent, ev)], order[&(gi, 0)]));
-            }
-        }
-    }
-
-    // Communication occurrences (chosen select cases included).
-    let mut occs: Vec<Occurrence> = Vec::new();
-    for (gi, g) in combo.gos.iter().enumerate() {
-        for (ei, event) in g.path.events.iter().enumerate() {
-            let o = order[&(gi, ei)];
-            match event {
-                Event::Op(op) => occs.push(Occurrence {
-                    goroutine: gi,
-                    prim: op.prim,
-                    kind: op.kind,
-                    order: o,
-                    in_group: false,
-                }),
-                Event::Select {
-                    cases,
-                    chosen: Some(ci),
-                    ..
-                } => {
-                    for (case_idx, op) in cases {
-                        if case_idx == ci {
-                            occs.push(Occurrence {
-                                goroutine: gi,
-                                prim: op.prim,
-                                kind: op.kind,
-                                order: o,
-                                in_group: false,
-                            });
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-
-    // Match variables and proceed constraints (ΦR), as in `check_group`.
-    let mut p_vars: HashMap<(usize, usize), minismt::BoolVar> = HashMap::new();
-    for (i, s) in occs.iter().enumerate() {
-        if s.kind != OpKind::Send {
-            continue;
-        }
-        for (j, r) in occs.iter().enumerate() {
-            if r.kind != OpKind::Recv || s.prim != r.prim || s.goroutine == r.goroutine {
-                continue;
-            }
-            let p = solver.fresh_bool();
-            p_vars.insert((i, j), p);
-            solver.assert(Term::implies(Term::var(p), Term::eq_int(s.order, r.order)));
-        }
-    }
-    for i in 0..occs.len() {
-        let send_atoms: Vec<Atom> = p_vars
-            .iter()
-            .filter(|((si, _), _)| *si == i)
-            .map(|(_, &p)| Atom::Bool(p))
-            .collect();
-        if send_atoms.len() > 1 {
-            solver.assert(Term::at_most_one(send_atoms));
-        }
-        let recv_atoms: Vec<Atom> = p_vars
-            .iter()
-            .filter(|((_, rj), _)| *rj == i)
-            .map(|(_, &p)| Atom::Bool(p))
-            .collect();
-        if recv_atoms.len() > 1 {
-            solver.assert(Term::at_most_one(recv_atoms));
-        }
-    }
-    let cb_terms = |at: IntVar, prim: PrimId, skip: usize| -> Vec<(i64, Atom)> {
-        let mut terms = Vec::new();
-        for (k, o) in occs.iter().enumerate() {
-            if k == skip || o.prim != prim {
-                continue;
-            }
-            let atom = Atom::DiffLe {
-                x: o.order,
-                y: at,
-                c: -1,
-            };
-            match o.kind {
-                OpKind::Send => terms.push((1, atom)),
-                OpKind::Recv => terms.push((-1, atom)),
-                OpKind::Close => {}
-            }
-        }
-        terms
-    };
-    for (i, occ) in occs.iter().enumerate() {
-        let bs = prims.all[occ.prim.0].buffer_size().unwrap_or(0);
-        match occ.kind {
-            OpKind::Send => {
-                let room = Term::Linear {
-                    terms: cb_terms(occ.order, occ.prim, i),
-                    cmp: minismt::Cmp::Lt,
-                    k: bs,
-                };
-                let matched = Term::exactly_one(
-                    p_vars
-                        .iter()
-                        .filter(|((si, _), _)| *si == i)
-                        .map(|(_, &p)| Atom::Bool(p)),
-                );
-                solver.assert(Term::or([room, matched]));
-            }
-            OpKind::Recv => {
-                let has_elem = Term::Linear {
-                    terms: cb_terms(occ.order, occ.prim, i),
-                    cmp: minismt::Cmp::Gt,
-                    k: 0,
-                };
-                let closed = Term::or(
-                    occs.iter()
-                        .filter(|o| o.prim == occ.prim && o.kind == OpKind::Close)
-                        .map(|o| {
-                            Term::Atom(Atom::DiffLe {
-                                x: o.order,
-                                y: occ.order,
-                                c: -1,
-                            })
-                        }),
-                );
-                let matched = Term::exactly_one(
-                    p_vars
-                        .iter()
-                        .filter(|((_, rj), _)| *rj == i)
-                        .map(|(_, &p)| Atom::Bool(p)),
-                );
-                solver.assert(Term::or([has_elem, closed, matched]));
-            }
-            OpKind::Close => {}
-        }
-    }
-
-    // The panic constraint: close strictly before the send.
-    let o_send = order[&(send.goroutine, send.event)];
-    let o_close = order[&(close.goroutine, close.event)];
-    solver.assert(Term::lt(o_close, o_send));
-
-    let result = solver.solve();
-    let stats = solver.stats();
-    budget.refund(granted.saturating_sub(stats.steps));
-    let verdict = match result {
-        SolveResult::Sat(model) => {
-            let mut timeline: Vec<(i64, String)> = order
-                .iter()
-                .map(|(&(gi, ei), &o)| {
-                    (
-                        model.int_value(o).unwrap_or(0),
-                        describe_event(prims, combo, gi, ei),
-                    )
-                })
-                .collect();
-            timeline.sort();
-            Verdict::Blocking(timeline.into_iter().map(|(_, d)| d).collect())
-        }
-        SolveResult::Unsat => Verdict::Safe,
-        SolveResult::Unknown => Verdict::Unknown,
-    };
-    (verdict, stats)
+    let mut cs = ChannelSolver::new(prims, SolverStrategy::Fresh);
+    let check = cs.check_send_after_close(combo, send, close, step_limit, budget);
+    (check.verdict, check.stats.unwrap_or_default())
 }
 
 #[cfg(test)]
@@ -899,5 +1190,121 @@ mod tests {
             100_000,
         );
         assert!(matches!(verdict, Verdict::Blocking(_)));
+    }
+
+    /// Every strategy must agree on verdicts, and the incremental strategy
+    /// must produce byte-identical witnesses to the fresh strategy.
+    #[test]
+    fn strategies_agree_on_hand_built_combos() {
+        let cases: Vec<(Combo, Primitives, Vec<GroupMember>)> = vec![
+            {
+                let (c, p) = combo_with(vec![], vec![op(PrimId(0), OpKind::Send, 9)]);
+                (
+                    c,
+                    p,
+                    vec![GroupMember {
+                        goroutine: 1,
+                        event: 0,
+                    }],
+                )
+            },
+            {
+                let (c, p) = combo_with(
+                    vec![op(PrimId(0), OpKind::Recv, 5)],
+                    vec![op(PrimId(0), OpKind::Send, 9)],
+                );
+                (
+                    c,
+                    p,
+                    vec![GroupMember {
+                        goroutine: 1,
+                        event: 0,
+                    }],
+                )
+            },
+            {
+                let (c, p) = combo_with(
+                    vec![op(PrimId(0), OpKind::Recv, 5)],
+                    vec![
+                        op(PrimId(0), OpKind::Send, 9),
+                        op(PrimId(0), OpKind::Send, 10),
+                    ],
+                );
+                (
+                    c,
+                    p,
+                    vec![GroupMember {
+                        goroutine: 1,
+                        event: 1,
+                    }],
+                )
+            },
+        ];
+        for (combo, prims, group) in &cases {
+            let run = |strategy: SolverStrategy| {
+                let mut cs = ChannelSolver::new(prims, strategy);
+                cs.begin_combo(combo, EncodingKind::Group);
+                let check = cs.check_group(combo, group, 100_000, &Budget::default());
+                cs.end_combo();
+                check
+            };
+            let inc = run(SolverStrategy::Incremental);
+            let fresh = run(SolverStrategy::Fresh);
+            let rescan = run(SolverStrategy::Rescan);
+            let label = |v: &Verdict| match v {
+                Verdict::Blocking(w) => format!("blocking:{w:?}"),
+                Verdict::Safe => "safe".into(),
+                Verdict::Unknown => "unknown".into(),
+            };
+            assert_eq!(
+                label(&inc.verdict),
+                label(&fresh.verdict),
+                "incremental vs fresh diverged"
+            );
+            assert_eq!(
+                matches!(rescan.verdict, Verdict::Safe),
+                matches!(fresh.verdict, Verdict::Safe),
+                "rescan verdict diverged"
+            );
+        }
+    }
+
+    /// Reusing a combination encoding across that combination's groups
+    /// must bump the reuse counters and keep verdicts stable.
+    #[test]
+    fn incremental_reuse_counts_queries() {
+        let (combo, prims) = combo_with(
+            vec![op(PrimId(0), OpKind::Recv, 5)],
+            vec![
+                op(PrimId(0), OpKind::Send, 9),
+                op(PrimId(0), OpKind::Send, 10),
+            ],
+        );
+        let mut cs = ChannelSolver::new(&prims, SolverStrategy::Incremental);
+        cs.begin_combo(&combo, EncodingKind::Group);
+        let g0 = cs.check_group(
+            &combo,
+            &[GroupMember {
+                goroutine: 1,
+                event: 0,
+            }],
+            100_000,
+            &Budget::default(),
+        );
+        let g1 = cs.check_group(
+            &combo,
+            &[GroupMember {
+                goroutine: 1,
+                event: 1,
+            }],
+            100_000,
+            &Budget::default(),
+        );
+        cs.end_combo();
+        assert!(!g0.reused);
+        assert!(g1.reused);
+        assert_eq!(cs.encodings_reused, 1);
+        assert!(matches!(g0.verdict, Verdict::Safe));
+        assert!(matches!(g1.verdict, Verdict::Blocking(_)));
     }
 }

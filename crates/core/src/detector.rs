@@ -15,7 +15,7 @@
 //! cross-channel deduplication. One channel's detection is fully
 //! sequential, so `jobs = 1` and `jobs = N` produce identical reports.
 
-use crate::constraints::{check_group_budgeted, check_send_after_close_budgeted, Verdict};
+use crate::constraints::{ChannelSolver, EncodingKind, SolverStrategy, Verdict};
 use crate::disentangle::pset;
 use crate::faults;
 use crate::paths::{Enumerator, Event, Limits, Path};
@@ -79,6 +79,11 @@ pub struct DetectorConfig {
     pub max_group_size: usize,
     /// Solver step budget per query.
     pub solver_steps: u64,
+    /// How solver queries are discharged: one incremental solver per
+    /// channel reusing each combination's encoding across its groups (the
+    /// default), or a fresh solver per query (`fresh`/`rescan`, the
+    /// differential baselines). All strategies produce identical reports.
+    pub solver_strategy: SolverStrategy,
     /// Worker threads sharding the per-channel detection; `0` (the
     /// default) uses all available cores. Reports are identical for every
     /// value.
@@ -111,6 +116,7 @@ impl Default for DetectorConfig {
             max_goroutines: 5,
             max_group_size: 2,
             solver_steps: 400_000,
+            solver_strategy: SolverStrategy::default(),
             jobs: 0,
             timeout: None,
             channel_timeout: None,
@@ -426,11 +432,17 @@ impl<'m> AnalysisSession<'m> {
         let mut groups_checked = 0u64;
         let mut local_seen: HashSet<GroupKey> = HashSet::new();
         let mut found: Vec<(GroupKey, BugReport)> = Vec::new();
+        // One solving context for the whole channel: under the incremental
+        // strategy the solver persists across combinations and each
+        // combination's encoding is built once, in a push/pop scope, then
+        // shared by every group query on it.
+        let mut solver = ChannelSolver::new(&self.prims, config.solver_strategy);
         for combo in &combos {
             if budget.is_active() && budget.expired() {
                 exhausted = true;
                 break;
             }
+            let mut combo_open = false;
             for group in self.suspicious_groups(combo, chan, config.max_group_size) {
                 let key = self.group_key(combo, &group);
                 if local_seen.contains(&key) {
@@ -439,9 +451,14 @@ impl<'m> AnalysisSession<'m> {
                 self.telemetry.add(Counter::GroupsChecked, 1);
                 groups_checked += 1;
                 lane.begin("solve", vec![("group", ArgValue::U64(groups_checked))]);
-                let (verdict, solver_stats) = self.telemetry.time(Stage::Constraints, || {
-                    check_group_budgeted(&self.prims, combo, &group, config.solver_steps, budget)
+                let check = self.telemetry.time(Stage::Constraints, || {
+                    if !combo_open {
+                        solver.begin_combo(combo, EncodingKind::Group);
+                        combo_open = true;
+                    }
+                    solver.check_group(combo, &group, config.solver_steps, budget)
                 });
+                let (verdict, solver_stats) = (check.verdict, check.stats);
                 if let Some(s) = solver_stats {
                     self.telemetry.add_solver_stats(s);
                     lane.complete(
@@ -451,6 +468,7 @@ impl<'m> AnalysisSession<'m> {
                             ("steps", ArgValue::U64(s.steps)),
                             ("decisions", ArgValue::U64(s.decisions)),
                             ("conflicts", ArgValue::U64(s.conflicts)),
+                            ("solver_reuse", ArgValue::U64(u64::from(check.reused))),
                         ],
                     );
                 }
@@ -488,7 +506,14 @@ impl<'m> AnalysisSession<'m> {
                     }
                 }
             }
+            if combo_open {
+                solver.end_combo();
+            }
         }
+        self.telemetry
+            .add(Counter::SolverEncodingsReused, solver.encodings_reused);
+        self.telemetry
+            .add(Counter::LearnedClausesKept, solver.learned_kept);
         (found, exhausted)
     }
 
@@ -821,11 +846,16 @@ impl<'m> AnalysisSession<'m> {
                 self.telemetry
                     .observe(Metric::CombosPerChannel, combos.len() as u64);
                 let mut groups_checked = 0u64;
+                // Same per-channel solving context as the BMOC pipeline:
+                // the incremental strategy shares each combination's ΦR
+                // encoding across every (send, close) pair queried on it.
+                let mut solver = ChannelSolver::new(&self.prims, config.solver_strategy);
                 for combo in &combos {
                     if chan_budget.is_active() && chan_budget.expired() {
                         exhausted = true;
                         break;
                     }
+                    let mut combo_open = false;
                     // Collect sends and closes on this channel.
                     let mut sends = Vec::new();
                     let mut closes = Vec::new();
@@ -862,17 +892,21 @@ impl<'m> AnalysisSession<'m> {
                             self.telemetry.add(Counter::GroupsChecked, 1);
                             groups_checked += 1;
                             lane.begin("solve", vec![("group", ArgValue::U64(groups_checked))]);
-                            let (verdict, solver_stats) =
-                                self.telemetry.time(Stage::Constraints, || {
-                                    check_send_after_close_budgeted(
-                                        &self.prims,
-                                        combo,
-                                        *send_m,
-                                        *close_m,
-                                        config.solver_steps,
-                                        &chan_budget,
-                                    )
-                                });
+                            let check = self.telemetry.time(Stage::Constraints, || {
+                                if !combo_open {
+                                    solver.begin_combo(combo, EncodingKind::Reach);
+                                    combo_open = true;
+                                }
+                                solver.check_send_after_close(
+                                    combo,
+                                    *send_m,
+                                    *close_m,
+                                    config.solver_steps,
+                                    &chan_budget,
+                                )
+                            });
+                            let verdict = check.verdict;
+                            let solver_stats = check.stats.unwrap_or_default();
                             self.telemetry.add_solver_stats(solver_stats);
                             lane.complete(
                                 "dpll",
@@ -881,6 +915,7 @@ impl<'m> AnalysisSession<'m> {
                                     ("steps", ArgValue::U64(solver_stats.steps)),
                                     ("decisions", ArgValue::U64(solver_stats.decisions)),
                                     ("conflicts", ArgValue::U64(solver_stats.conflicts)),
+                                    ("solver_reuse", ArgValue::U64(u64::from(check.reused))),
                                 ],
                             );
                             lane.end();
@@ -949,7 +984,14 @@ impl<'m> AnalysisSession<'m> {
                             }
                         }
                     }
+                    if combo_open {
+                        solver.end_combo();
+                    }
                 }
+                self.telemetry
+                    .add(Counter::SolverEncodingsReused, solver.encodings_reused);
+                self.telemetry
+                    .add(Counter::LearnedClausesKept, solver.learned_kept);
                 (found, exhausted)
             });
             let incident = match attempt {

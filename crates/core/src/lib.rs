@@ -88,6 +88,7 @@ pub use batch::{
     JobRecord, JobStatus, Journal, JournalCodec,
 };
 pub use checkers::{Checker, Registry, RunOutput, Selection};
+pub use constraints::SolverStrategy;
 pub use detector::{Detector, DetectorConfig};
 pub use diagnostics::{
     render_explain, render_json, render_json_with, render_stats_json, Diagnostic, Severity,

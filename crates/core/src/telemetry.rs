@@ -93,6 +93,13 @@ pub enum Counter {
     SolverDecisions,
     /// Total solver conflicts.
     SolverConflicts,
+    /// Queries answered by reusing an already-built combination encoding
+    /// (incremental strategy: one encoding per combination, one assumption
+    /// query per group).
+    SolverEncodingsReused,
+    /// Learned clauses retained from earlier queries of the same
+    /// combination at the moment a reusing query started.
+    LearnedClausesKept,
     /// Bug reports emitted (before cross-checker dedup).
     ReportsEmitted,
     /// Reports dropped by cross-checker deduplication.
@@ -114,7 +121,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    const COUNT: usize = 19;
+    const COUNT: usize = 21;
 
     fn index(self) -> usize {
         match self {
@@ -129,14 +136,16 @@ impl Counter {
             Counter::SolverSteps => 8,
             Counter::SolverDecisions => 9,
             Counter::SolverConflicts => 10,
-            Counter::ReportsEmitted => 11,
-            Counter::DuplicatesDropped => 12,
-            Counter::IncompleteChannels => 13,
-            Counter::JobsTotal => 14,
-            Counter::JobsRetried => 15,
-            Counter::JobsHedged => 16,
-            Counter::JobsQuarantined => 17,
-            Counter::JobsResumed => 18,
+            Counter::SolverEncodingsReused => 11,
+            Counter::LearnedClausesKept => 12,
+            Counter::ReportsEmitted => 13,
+            Counter::DuplicatesDropped => 14,
+            Counter::IncompleteChannels => 15,
+            Counter::JobsTotal => 16,
+            Counter::JobsRetried => 17,
+            Counter::JobsHedged => 18,
+            Counter::JobsQuarantined => 19,
+            Counter::JobsResumed => 20,
         }
     }
 
@@ -154,6 +163,8 @@ impl Counter {
             Counter::SolverSteps => "solver_steps",
             Counter::SolverDecisions => "solver_decisions",
             Counter::SolverConflicts => "solver_conflicts",
+            Counter::SolverEncodingsReused => "solver_encodings_reused",
+            Counter::LearnedClausesKept => "learned_clauses_kept",
             Counter::ReportsEmitted => "reports_emitted",
             Counter::DuplicatesDropped => "duplicates_dropped",
             Counter::IncompleteChannels => "incomplete_channels",
@@ -179,6 +190,8 @@ impl Counter {
             Counter::SolverSteps,
             Counter::SolverDecisions,
             Counter::SolverConflicts,
+            Counter::SolverEncodingsReused,
+            Counter::LearnedClausesKept,
             Counter::ReportsEmitted,
             Counter::DuplicatesDropped,
             Counter::IncompleteChannels,

@@ -177,7 +177,7 @@ fn figure1_golden_json() {
         r#""notes":"scope root: Exec","#,
         r#""provenance":{"channel":"outDone","pset_size":1,"paths_enumerated":3,"#,
         r#""branches_pruned":0,"combos_tried":2,"groups_checked":2,"#,
-        r#""solver_verdict":"blocking","solver_steps":7,"solver_decisions":0,"#,
+        r#""solver_verdict":"blocking","solver_steps":46,"solver_decisions":2,"#,
         r#""solver_conflicts":0}}]}"#,
     );
     assert_eq!(json, golden);

@@ -3,7 +3,11 @@
 //! The engine combines three propagation mechanisms over one assignment
 //! trail:
 //!
-//! 1. **Clauses** from the Tseitin encoding of asserted [`Term`]s;
+//! 1. **Clauses** from the Tseitin encoding of asserted [`Term`]s,
+//!    propagated either by two-watched-literal lists
+//!    ([`SolverMode::Watched`], the default) or by full occurrence-list
+//!    rescans ([`SolverMode::Rescan`], the legacy engine kept for
+//!    differential testing);
 //! 2. **Pseudo-boolean constraints** (reified `Σ cᵢ·litᵢ <= k`), used for
 //!    GCatch's channel-buffer counters and exactly-one matching;
 //! 3. **Difference logic** for order atoms `x - y <= c`, checked eagerly by
@@ -11,7 +15,17 @@
 //!    assigned.
 //!
 //! Search is DPLL with chronological backtracking plus conflict clauses
-//! harvested from theory cycles and violated PB constraints.
+//! harvested from theory cycles and violated PB constraints. The watched
+//! engine adds an activity-bumped (VSIDS-lite) decision heuristic that is
+//! fully deterministic: ties break toward the lowest variable index.
+//!
+//! The solver is **incremental**: assertions are encoded eagerly into a
+//! persistent engine, [`Solver::push`]/[`Solver::pop`] open and close
+//! assertion scopes, and [`Solver::solve_under`] answers queries under
+//! assumption literals without mutating the assertion stack. Conflict
+//! clauses learned by a query are retained for later queries in the same
+//! scope (they are consequences of the asserted formula and the theory,
+//! never of the assumptions, so retention is sound).
 
 use crate::dl::DiffLogic;
 use crate::term::{Atom, BoolVar, Cmp, IntVar, Term};
@@ -62,7 +76,7 @@ pub struct SolverStats {
 pub enum SolveResult {
     /// A model satisfying all asserted terms.
     Sat(Model),
-    /// No model exists.
+    /// No model exists (under the assumptions, if any were given).
     Unsat,
     /// The step limit or wall-clock deadline was exhausted before a
     /// verdict.
@@ -89,6 +103,36 @@ impl SolveResult {
     }
 }
 
+/// Which propagation engine the solver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// Two-watched-literal clause propagation with the VSIDS-lite decision
+    /// heuristic. The default.
+    #[default]
+    Watched,
+    /// The legacy clone-free occurrence-list rescan engine with the
+    /// first-unassigned-index heuristic. Kept as an escape hatch for
+    /// differential testing against the watched engine.
+    Rescan,
+}
+
+/// Saved sizes for one [`Solver::push`] scope; [`Solver::pop`] truncates
+/// every growable structure back to these marks.
+#[derive(Debug, Clone, Copy)]
+struct ScopeMark {
+    n_bool: u32,
+    n_int: u32,
+    n_assertions: usize,
+    n_vars: usize,
+    n_clauses: usize,
+    n_units: usize,
+    n_pbs: usize,
+    n_empty: u32,
+    n_atoms: usize,
+    n_intern: usize,
+    learned: u64,
+}
+
 /// A constraint-solving context: create variables, assert terms, solve.
 ///
 /// # Examples
@@ -112,30 +156,67 @@ impl SolveResult {
 /// s2.assert(Term::lt(y, x));
 /// assert!(s2.solve().is_unsat());
 /// ```
-#[derive(Debug, Default)]
+///
+/// Incremental use — scopes and assumptions:
+///
+/// ```
+/// use minismt::{Solver, Term};
+///
+/// let mut s = Solver::new();
+/// let p = s.fresh_bool();
+/// let q = s.fresh_bool();
+/// s.assert(Term::or([Term::var(p), Term::var(q)]));
+/// s.push();
+/// s.assert(Term::not(Term::var(p)));
+/// assert!(s.solve_under(&[Term::not(Term::var(q))]).is_unsat());
+/// assert!(s.solve().is_sat()); // assumptions do not persist
+/// s.pop();
+/// assert!(s.solve_under(&[Term::not(Term::var(q))]).is_sat());
+/// ```
+#[derive(Debug)]
 pub struct Solver {
     n_bool: u32,
     n_int: u32,
-    asserted: Vec<Term>,
+    n_assertions: usize,
+    engine: Engine,
+    scopes: Vec<ScopeMark>,
     step_limit: u64,
     deadline: Option<std::time::Instant>,
     fault_step: Option<u64>,
     stats: SolverStats,
 }
 
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
 impl Solver {
-    /// Creates an empty solver with the default step limit and no
-    /// deadline.
+    /// Creates an empty solver with the default engine
+    /// ([`SolverMode::Watched`]), the default step limit, and no deadline.
     pub fn new() -> Self {
+        Solver::with_mode(SolverMode::default())
+    }
+
+    /// Creates an empty solver running the given propagation engine.
+    pub fn with_mode(mode: SolverMode) -> Self {
         Solver {
             n_bool: 0,
             n_int: 0,
-            asserted: Vec::new(),
+            n_assertions: 0,
+            engine: Engine::new(mode),
+            scopes: Vec::new(),
             step_limit: 5_000_000,
             deadline: None,
             fault_step: None,
             stats: SolverStats::default(),
         }
+    }
+
+    /// The propagation engine this solver runs.
+    pub fn mode(&self) -> SolverMode {
+        self.engine.mode
     }
 
     /// Creates a fresh boolean variable.
@@ -152,7 +233,8 @@ impl Solver {
         v
     }
 
-    /// Sets the search budget (number of propagation/decision steps).
+    /// Sets the search budget (number of propagation/decision steps) for
+    /// subsequent solve calls.
     pub fn set_step_limit(&mut self, limit: u64) {
         self.step_limit = limit;
     }
@@ -179,41 +261,115 @@ impl Solver {
         self.fault_step = Some(after);
     }
 
-    /// Asserts that `t` must hold in any model.
-    pub fn assert(&mut self, t: Term) {
-        self.asserted.push(t);
+    /// Arms or clears the test-only step fault (see
+    /// [`Solver::inject_step_fault`]); incremental callers re-arm per
+    /// query.
+    pub fn set_step_fault(&mut self, after: Option<u64>) {
+        self.fault_step = after;
     }
 
-    /// Number of asserted top-level terms.
+    /// Asserts that `t` must hold in any model. The term is encoded into
+    /// the persistent engine immediately; assertions are permanent until
+    /// the enclosing [`Solver::push`] scope is popped.
+    pub fn assert(&mut self, t: Term) {
+        self.n_assertions += 1;
+        self.engine.assert_term(&t);
+    }
+
+    /// Number of asserted top-level terms in the current scope stack.
     pub fn num_assertions(&self) -> usize {
-        self.asserted.len()
+        self.n_assertions
+    }
+
+    /// Total clauses in the engine (base, Tseitin, and learned). The delta
+    /// across queries within a scope counts retained learned clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.engine.clauses.len()
+    }
+
+    /// Conflict clauses learned (theory cycles and PB violations) and still
+    /// retained in the current scope stack.
+    pub fn num_learned(&self) -> u64 {
+        self.engine.learned
+    }
+
+    /// Opens an assertion scope: variables, assertions, and learned
+    /// clauses added after this call are discarded by the matching
+    /// [`Solver::pop`].
+    pub fn push(&mut self) {
+        self.scopes.push(ScopeMark {
+            n_bool: self.n_bool,
+            n_int: self.n_int,
+            n_assertions: self.n_assertions,
+            n_vars: self.engine.kinds.len(),
+            n_clauses: self.engine.clauses.len(),
+            n_units: self.engine.units.len(),
+            n_pbs: self.engine.pbs.len(),
+            n_empty: self.engine.empty_clauses,
+            n_atoms: self.engine.atom_log.len(),
+            n_intern: self.engine.intern_log.len(),
+            learned: self.engine.learned,
+        });
+    }
+
+    /// Closes the innermost assertion scope, discarding everything added
+    /// since the matching [`Solver::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let m = self
+            .scopes
+            .pop()
+            .expect("Solver::pop without matching push");
+        self.n_bool = m.n_bool;
+        self.n_int = m.n_int;
+        self.n_assertions = m.n_assertions;
+        self.engine.pop_scope(&m);
+    }
+
+    /// Number of open assertion scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
     }
 
     /// Solves the conjunction of all asserted terms.
     pub fn solve(&mut self) -> SolveResult {
+        self.solve_under(&[])
+    }
+
+    /// Solves the asserted terms under additional assumption terms.
+    ///
+    /// Assumptions hold only for this query: they are assigned on the
+    /// trail below every decision (so backtracking can never flip them)
+    /// and are fully retracted afterwards. An [`SolveResult::Unsat`]
+    /// answer means "unsatisfiable under these assumptions". Conflict
+    /// clauses learned during the query are kept for later queries in the
+    /// same scope.
+    pub fn solve_under(&mut self, assumptions: &[Term]) -> SolveResult {
         let start = std::time::Instant::now();
-        let mut engine = Engine::new(self.step_limit);
-        engine.deadline = self.deadline;
-        engine.fault_step = self.fault_step;
-        for t in &self.asserted {
-            // Register any variable the formula mentions so the model covers it.
+        self.engine.limit = self.step_limit;
+        self.engine.deadline = self.deadline;
+        self.engine.fault_step = self.fault_step;
+        let mut lits = Vec::with_capacity(assumptions.len());
+        for t in assumptions {
+            // Register atoms first so the model covers every mentioned var.
             let mut atoms = Vec::new();
             t.collect_atoms(&mut atoms);
             for a in atoms {
-                engine.atom_var(&a);
+                self.engine.atom_var(&a);
             }
+            lits.push(self.engine.encode(t));
         }
-        for t in self.asserted.clone() {
-            let lit = engine.encode(&t);
-            engine.add_clause(vec![lit]);
-        }
-        let result = engine.search();
+        let result = self.engine.search(&lits);
         self.stats = SolverStats {
-            steps: engine.steps,
-            decisions: engine.decisions,
-            conflicts: engine.conflicts,
+            steps: self.engine.steps,
+            decisions: self.engine.decisions,
+            conflicts: self.engine.conflicts,
             elapsed: start.elapsed(),
         };
+        self.engine.reset_trail();
         result
     }
 
@@ -250,6 +406,11 @@ impl Lit {
     fn target(self) -> bool {
         !self.is_neg()
     }
+
+    /// Index into per-literal tables (two slots per variable).
+    fn code(self) -> usize {
+        self.0 as usize
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -281,18 +442,53 @@ struct TrailEntry {
     dl_mark: usize,
 }
 
+/// Activity decay factor: each conflict scales the bump increment by
+/// `1/ACTIVITY_DECAY`, geometrically favouring recent conflicts.
+const ACTIVITY_DECAY: f64 = 0.95;
+
+/// Rescale threshold keeping activities inside f64 range. Rescaling
+/// divides every activity by the same constant, so comparisons — and with
+/// them decisions and step counts — are unaffected.
+const ACTIVITY_RESCALE: f64 = 1e100;
+
+#[derive(Debug)]
 struct Engine {
+    mode: SolverMode,
     kinds: Vec<VarKind>,
     values: Vec<Option<bool>>,
     atom_ids: HashMap<Atom, u32>,
+    /// Insertion order of `atom_ids`, so `pop_scope` can evict exactly the
+    /// atoms a scope introduced.
+    atom_log: Vec<Atom>,
+    /// Structural-hash cons table: composite terms already Tseitin-encoded
+    /// map to their activation literal, so re-encoding an identical
+    /// subterm is a hash lookup instead of fresh clauses.
+    intern: HashMap<Term, Lit>,
+    intern_log: Vec<Term>,
     clauses: Vec<Vec<Lit>>,
-    /// var -> clause indices containing it.
+    /// var -> clause indices containing it (Rescan engine only).
     occurs: Vec<Vec<u32>>,
+    /// lit code -> clauses currently watching that literal (Watched engine
+    /// only). The watched literals of clause `ci` are `clauses[ci][0..2]`.
+    watches: Vec<Vec<u32>>,
+    /// Literals that must hold unconditionally: unit clauses plus ground
+    /// PB propagations. Replayed at the start of every watched search.
+    units: Vec<Lit>,
+    /// Unit conflict clauses learned during the current search; replayed
+    /// after every backtrack (the queue is cleared by trail pops).
+    fresh_units: Vec<Lit>,
+    empty_clauses: u32,
     pbs: Vec<PbConstraint>,
     /// var -> PB indices containing it (as term or activation).
     pb_occurs: Vec<Vec<u32>>,
     trail: Vec<TrailEntry>,
+    /// var -> trail index, `u32::MAX` when unassigned. Lets conflict
+    /// learning watch the deepest-assigned literals.
+    trail_pos: Vec<u32>,
     queue: std::collections::VecDeque<Lit>,
+    /// VSIDS-lite activity per variable (Watched engine only).
+    activity: Vec<f64>,
+    var_inc: f64,
     dl: DiffLogic,
     steps: u64,
     decisions: u64,
@@ -304,6 +500,8 @@ struct Engine {
     next_deadline_check: u64,
     /// Test-only armed fault: panic once `steps` reaches this value.
     fault_step: Option<u64>,
+    /// Conflict clauses learned and retained in the current scope stack.
+    learned: u64,
     true_var: u32,
 }
 
@@ -312,25 +510,37 @@ struct Engine {
 const DEADLINE_STRIDE: u64 = 256;
 
 impl Engine {
-    fn new(limit: u64) -> Engine {
+    fn new(mode: SolverMode) -> Engine {
         let mut e = Engine {
+            mode,
             kinds: Vec::new(),
             values: Vec::new(),
             atom_ids: HashMap::new(),
+            atom_log: Vec::new(),
+            intern: HashMap::new(),
+            intern_log: Vec::new(),
             clauses: Vec::new(),
             occurs: Vec::new(),
+            watches: Vec::new(),
+            units: Vec::new(),
+            fresh_units: Vec::new(),
+            empty_clauses: 0,
             pbs: Vec::new(),
             pb_occurs: Vec::new(),
             trail: Vec::new(),
+            trail_pos: Vec::new(),
             queue: std::collections::VecDeque::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
             dl: DiffLogic::new(),
             steps: 0,
             decisions: 0,
             conflicts: 0,
-            limit,
+            limit: 5_000_000,
             deadline: None,
             next_deadline_check: 0,
             fault_step: None,
+            learned: 0,
             true_var: 0,
         };
         e.true_var = e.fresh_var(VarKind::Free);
@@ -343,7 +553,11 @@ impl Engine {
         self.kinds.push(kind);
         self.values.push(None);
         self.occurs.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
         self.pb_occurs.push(Vec::new());
+        self.trail_pos.push(u32::MAX);
+        self.activity.push(0.0);
         v
     }
 
@@ -361,15 +575,99 @@ impl Engine {
         };
         let v = self.fresh_var(kind);
         self.atom_ids.insert(*atom, v);
+        self.atom_log.push(*atom);
         v
+    }
+
+    fn assert_term(&mut self, t: &Term) {
+        // Register any variable the formula mentions so the model covers it.
+        let mut atoms = Vec::new();
+        t.collect_atoms(&mut atoms);
+        for a in atoms {
+            self.atom_var(&a);
+        }
+        let lit = self.encode(t);
+        self.add_clause(vec![lit]);
     }
 
     fn add_clause(&mut self, lits: Vec<Lit>) {
         let idx = self.clauses.len() as u32;
-        for l in &lits {
-            self.occurs[l.var() as usize].push(idx);
+        match self.mode {
+            SolverMode::Rescan => {
+                for l in &lits {
+                    self.occurs[l.var() as usize].push(idx);
+                }
+            }
+            SolverMode::Watched => {
+                if lits.len() >= 2 {
+                    self.watches[lits[0].code()].push(idx);
+                    self.watches[lits[1].code()].push(idx);
+                }
+            }
+        }
+        match lits.len() {
+            0 => self.empty_clauses += 1,
+            1 => self.units.push(lits[0]),
+            _ => {}
         }
         self.clauses.push(lits);
+    }
+
+    /// Records a conflict clause: bumps the involved variables, orders the
+    /// two deepest-assigned literals into the watch slots (so the watched
+    /// invariant survives the chronological backtrack that follows), and
+    /// adds the clause permanently for the rest of the scope.
+    fn learn_clause(&mut self, mut lits: Vec<Lit>) {
+        self.learned += 1;
+        for &lit in &lits {
+            self.bump(lit.var());
+        }
+        if self.mode == SolverMode::Watched && lits.len() >= 2 {
+            for slot in 0..2 {
+                let mut best = slot;
+                for k in (slot + 1)..lits.len() {
+                    if self.watch_rank(lits[k]) > self.watch_rank(lits[best]) {
+                        best = k;
+                    }
+                }
+                lits.swap(slot, best);
+            }
+        }
+        if lits.len() == 1 {
+            self.fresh_units.push(lits[0]);
+        }
+        self.add_clause(lits);
+    }
+
+    /// Watch preference for a learned-clause literal: unassigned beats
+    /// assigned, deeper trail positions beat shallower ones. Backtracking
+    /// pops the trail from the top, so the two top-ranked literals are
+    /// the last to stay falsified — exactly the watched invariant.
+    fn watch_rank(&self, l: Lit) -> u64 {
+        match self.trail_pos[l.var() as usize] {
+            u32::MAX => u64::MAX,
+            p => p as u64,
+        }
+    }
+
+    fn bump(&mut self, var: u32) {
+        if self.mode != SolverMode::Watched {
+            return;
+        }
+        self.activity[var as usize] += self.var_inc;
+        if self.activity[var as usize] > ACTIVITY_RESCALE {
+            for a in &mut self.activity {
+                *a /= ACTIVITY_RESCALE;
+            }
+            self.var_inc /= ACTIVITY_RESCALE;
+        }
+    }
+
+    fn decay(&mut self) {
+        if self.mode != SolverMode::Watched {
+            return;
+        }
+        self.var_inc /= ACTIVITY_DECAY;
     }
 
     // -------------------------------------------------------- CNF encoding
@@ -380,33 +678,44 @@ impl Engine {
             Term::False => Lit::pos(self.true_var).neg(),
             Term::Atom(a) => Lit::pos(self.atom_var(a)),
             Term::Not(inner) => self.encode(inner).neg(),
-            Term::And(ts) => {
-                let lits: Vec<Lit> = ts.iter().map(|t| self.encode(t)).collect();
-                let v = Lit::pos(self.fresh_var(VarKind::Free));
-                // v -> each lit
-                for &l in &lits {
-                    self.add_clause(vec![v.neg(), l]);
+            Term::And(_) | Term::Or(_) | Term::Linear { .. } => {
+                if let Some(&l) = self.intern.get(t) {
+                    return l;
                 }
-                // all lits -> v
-                let mut clause: Vec<Lit> = lits.iter().map(|l| l.neg()).collect();
-                clause.push(v);
-                self.add_clause(clause);
-                v
+                let l = match t {
+                    Term::And(ts) => {
+                        let lits: Vec<Lit> = ts.iter().map(|t| self.encode(t)).collect();
+                        let v = Lit::pos(self.fresh_var(VarKind::Free));
+                        // v -> each lit
+                        for &l in &lits {
+                            self.add_clause(vec![v.neg(), l]);
+                        }
+                        // all lits -> v
+                        let mut clause: Vec<Lit> = lits.iter().map(|l| l.neg()).collect();
+                        clause.push(v);
+                        self.add_clause(clause);
+                        v
+                    }
+                    Term::Or(ts) => {
+                        let lits: Vec<Lit> = ts.iter().map(|t| self.encode(t)).collect();
+                        let v = Lit::pos(self.fresh_var(VarKind::Free));
+                        // v -> (l1 | ... | ln)
+                        let mut clause = vec![v.neg()];
+                        clause.extend(lits.iter().copied());
+                        self.add_clause(clause);
+                        // each lit -> v
+                        for &l in &lits {
+                            self.add_clause(vec![l.neg(), v]);
+                        }
+                        v
+                    }
+                    Term::Linear { terms, cmp, k } => self.encode_linear(terms, *cmp, *k),
+                    _ => unreachable!("only composite terms are interned"),
+                };
+                self.intern.insert(t.clone(), l);
+                self.intern_log.push(t.clone());
+                l
             }
-            Term::Or(ts) => {
-                let lits: Vec<Lit> = ts.iter().map(|t| self.encode(t)).collect();
-                let v = Lit::pos(self.fresh_var(VarKind::Free));
-                // v -> (l1 | ... | ln)
-                let mut clause = vec![v.neg()];
-                clause.extend(lits.iter().copied());
-                self.add_clause(clause);
-                // each lit -> v
-                for &l in &lits {
-                    self.add_clause(vec![l.neg(), v]);
-                }
-                v
-            }
-            Term::Linear { terms, cmp, k } => self.encode_linear(terms, *cmp, *k),
         }
     }
 
@@ -464,6 +773,15 @@ impl Engine {
             self.pb_occurs[l.var() as usize].push(idx);
         }
         self.pb_occurs[act.var() as usize].push(idx);
+        // Ground propagations (the only ones possible with nothing
+        // assigned): record them as units so the watched engine need not
+        // rescan every PB at each solve.
+        let total: i64 = norm.iter().map(|(c, _)| *c).sum();
+        if total <= k {
+            self.units.push(act);
+        } else if k < 0 {
+            self.units.push(act.neg());
+        }
         self.pbs.push(PbConstraint {
             act,
             terms: norm,
@@ -489,6 +807,7 @@ impl Engine {
         debug_assert!(self.values[var as usize].is_none());
         let dl_mark = self.dl.active_len();
         self.values[var as usize] = Some(value);
+        self.trail_pos[var as usize] = self.trail.len() as u32;
         self.trail.push(TrailEntry {
             var,
             value,
@@ -517,7 +836,7 @@ impl Engine {
                         }
                     })
                     .collect();
-                self.add_clause(clause);
+                self.learn_clause(clause);
                 return false;
             }
         }
@@ -529,9 +848,16 @@ impl Engine {
         while self.trail.len() > len {
             let e = self.trail.pop().expect("len checked");
             self.values[e.var as usize] = None;
+            self.trail_pos[e.var as usize] = u32::MAX;
             self.dl.retract_to(e.dl_mark);
         }
         self.queue.clear();
+    }
+
+    /// Fully retracts the trail after a solve, restoring the engine to
+    /// its quiescent between-queries state.
+    fn reset_trail(&mut self) {
+        self.pop_to(0);
     }
 
     /// Propagates until fixpoint. Returns false on conflict.
@@ -543,36 +869,106 @@ impl Engine {
             self.steps += 1;
             match self.value_of(l) {
                 Some(true) => continue,
-                Some(false) => return false,
+                Some(false) => {
+                    self.bump(l.var());
+                    return false;
+                }
                 None => {
                     if !self.assign(l, false) {
                         return false;
                     }
                 }
             }
-            if !self.process_var(l.var()) {
+            if !self.post_assign(l) {
                 return false;
             }
+        }
+    }
+
+    /// Mode dispatch for the work following an assignment of `l`.
+    fn post_assign(&mut self, l: Lit) -> bool {
+        match self.mode {
+            SolverMode::Rescan => self.process_var(l.var()),
+            SolverMode::Watched => self.on_assigned_watched(l) && self.process_pbs(l.var()),
         }
     }
 
     /// Re-evaluates every clause and PB constraint mentioning `var` after it
-    /// was assigned. Returns false on conflict.
+    /// was assigned (Rescan engine). Returns false on conflict.
+    ///
+    /// Iterates by index rather than cloning the occurrence lists: new
+    /// entries are appended only by conflict learning, which makes the
+    /// enclosing check return false before the next iteration, so the
+    /// iteration never observes a stale snapshot.
     fn process_var(&mut self, var: u32) -> bool {
-        for ci in self.occurs[var as usize].clone() {
-            if !self.check_clause(ci as usize) {
+        let mut i = 0;
+        while i < self.occurs[var as usize].len() {
+            let ci = self.occurs[var as usize][i] as usize;
+            if !self.check_clause(ci) {
                 return false;
             }
+            i += 1;
         }
-        for pi in self.pb_occurs[var as usize].clone() {
-            if !self.check_pb(pi as usize) {
+        self.process_pbs(var)
+    }
+
+    /// Re-evaluates every PB constraint mentioning `var` (both engines).
+    fn process_pbs(&mut self, var: u32) -> bool {
+        let mut i = 0;
+        while i < self.pb_occurs[var as usize].len() {
+            let pi = self.pb_occurs[var as usize][i] as usize;
+            if !self.check_pb(pi) {
                 return false;
             }
+            i += 1;
         }
         true
     }
 
-    /// Evaluates clause `ci`: detects conflict or unit-propagates.
+    /// Visits every clause watching the falsification of `p`'s complement
+    /// (Watched engine): moves watches to non-false literals, propagates
+    /// units, detects conflicts. Returns false on conflict.
+    fn on_assigned_watched(&mut self, p: Lit) -> bool {
+        let false_lit = p.neg();
+        let code = false_lit.code();
+        let mut i = 0;
+        'clauses: while i < self.watches[code].len() {
+            let ci = self.watches[code][i] as usize;
+            // Normalize: the falsified watched literal sits in slot 1.
+            if self.clauses[ci][0] == false_lit {
+                self.clauses[ci].swap(0, 1);
+            }
+            let first = self.clauses[ci][0];
+            if self.value_of(first) == Some(true) {
+                i += 1;
+                continue;
+            }
+            // Find a replacement watch among the tail literals.
+            for k in 2..self.clauses[ci].len() {
+                let cand = self.clauses[ci][k];
+                if self.value_of(cand) != Some(false) {
+                    self.clauses[ci].swap(1, k);
+                    self.watches[cand.code()].push(ci as u32);
+                    self.watches[code].swap_remove(i);
+                    continue 'clauses;
+                }
+            }
+            // No replacement: the clause is unit or conflicting.
+            if self.value_of(first) == Some(false) {
+                for k in 0..self.clauses[ci].len() {
+                    let v = self.clauses[ci][k].var();
+                    self.bump(v);
+                }
+                return false;
+            }
+            self.enqueue(first);
+            i += 1;
+        }
+        true
+    }
+
+    /// Evaluates clause `ci`: detects conflict or unit-propagates
+    /// (Rescan engine).
     fn check_clause(&mut self, ci: usize) -> bool {
         let mut unassigned: Option<Lit> = None;
         let mut n_unassigned = 0;
@@ -676,21 +1072,61 @@ impl Engine {
                 _ => {}
             }
         }
-        self.add_clause(clause);
+        self.learn_clause(clause);
         false
     }
 
-    fn search(&mut self) -> SolveResult {
-        // Initial pass over all constraints (handles empty/unit clauses and
-        // ground PB facts).
-        for ci in 0..self.clauses.len() {
-            if !self.check_clause(ci) {
-                return SolveResult::Unsat;
+    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.steps = 0;
+        self.decisions = 0;
+        self.conflicts = 0;
+        self.next_deadline_check = 0;
+        self.fresh_units.clear();
+        debug_assert!(self.trail.is_empty());
+        if self.empty_clauses > 0 {
+            return SolveResult::Unsat;
+        }
+        // Initial pass: the Rescan engine scans every constraint (handles
+        // unit clauses and ground PB facts); the Watched engine replays
+        // the precomputed unit list instead.
+        match self.mode {
+            SolverMode::Rescan => {
+                for ci in 0..self.clauses.len() {
+                    if !self.check_clause(ci) {
+                        return SolveResult::Unsat;
+                    }
+                }
+                for pi in 0..self.pbs.len() {
+                    if !self.check_pb(pi) {
+                        return SolveResult::Unsat;
+                    }
+                }
+            }
+            SolverMode::Watched => {
+                for i in 0..self.units.len() {
+                    let u = self.units[i];
+                    self.enqueue(u);
+                }
             }
         }
-        for pi in 0..self.pbs.len() {
-            if !self.check_pb(pi) {
-                return SolveResult::Unsat;
+        if !self.propagate() {
+            self.conflicts += 1;
+            return SolveResult::Unsat;
+        }
+        // Assumptions sit below every decision on the trail, so backtrack
+        // can never flip them: a conflict with no flippable decision left
+        // is Unsat-under-assumptions.
+        for &a in assumptions {
+            match self.value_of(a) {
+                Some(true) => {}
+                Some(false) => return SolveResult::Unsat,
+                None => {
+                    self.enqueue(a);
+                    if !self.propagate() {
+                        self.conflicts += 1;
+                        return SolveResult::Unsat;
+                    }
+                }
             }
         }
         loop {
@@ -710,24 +1146,63 @@ impl Engine {
             }
             if self.propagate() {
                 // Pick the next unassigned variable.
-                match self.values.iter().position(|v| v.is_none()) {
+                match self.pick_branch() {
                     None => return SolveResult::Sat(self.extract_model()),
                     Some(var) => {
                         self.decisions += 1;
-                        let l = Lit::pos(var as u32).neg(); // try false first
-                        if !self.assign(l, true) || !self.process_var(var as u32) {
-                            self.conflicts += 1;
-                            if !self.backtrack() {
-                                return SolveResult::Unsat;
-                            }
+                        let l = Lit::pos(var).neg(); // try false first
+                        if (!self.assign(l, true) || !self.post_assign(l)) && !self.recover() {
+                            return SolveResult::Unsat;
                         }
                     }
                 }
-            } else {
-                self.conflicts += 1;
-                if !self.backtrack() {
-                    return SolveResult::Unsat;
+            } else if !self.recover() {
+                return SolveResult::Unsat;
+            }
+        }
+    }
+
+    /// Conflict bookkeeping: count, decay activities, backtrack, and
+    /// replay any unit conflict clauses the search has learned (trail
+    /// pops cleared them from the queue). Returns false when no
+    /// flippable decision remains.
+    fn recover(&mut self) -> bool {
+        self.conflicts += 1;
+        self.decay();
+        if !self.backtrack() {
+            return false;
+        }
+        if self.mode == SolverMode::Watched {
+            for i in 0..self.fresh_units.len() {
+                let u = self.fresh_units[i];
+                if self.value_of(u) != Some(true) {
+                    self.enqueue(u);
                 }
+            }
+        }
+        true
+    }
+
+    /// The next decision variable: highest activity (ties toward the
+    /// lowest index) under the watched engine, first unassigned index
+    /// under the rescan engine. Both are deterministic.
+    fn pick_branch(&self) -> Option<u32> {
+        match self.mode {
+            SolverMode::Rescan => self
+                .values
+                .iter()
+                .position(|v| v.is_none())
+                .map(|v| v as u32),
+            SolverMode::Watched => {
+                let mut best: Option<u32> = None;
+                let mut best_act = f64::NEG_INFINITY;
+                for (v, val) in self.values.iter().enumerate() {
+                    if val.is_none() && self.activity[v] > best_act {
+                        best_act = self.activity[v];
+                        best = Some(v as u32);
+                    }
+                }
+                best
             }
         }
     }
@@ -759,19 +1234,85 @@ impl Engine {
                 // Mark as flipped so we never flip it back.
                 let last = self.trail.len() - 1;
                 self.trail[last].flipped = true;
-                if self.process_var(entry.var) {
+                if self.post_assign(flipped_lit) {
                     return true;
                 }
             }
             // Flipping caused an immediate conflict; undo and search for an
             // earlier decision.
             self.conflicts += 1;
+            self.decay();
             self.pop_to(pos);
             self.steps += 1;
             if self.steps > self.limit {
                 return false;
             }
         }
+    }
+
+    /// Discards everything a scope added: clauses (unhooking watches or
+    /// occurrence entries), PB constraints, atoms, interned terms, and
+    /// variables. The trail is already empty between queries; difference-
+    /// logic edges were retracted with it, and any stale potential values
+    /// remain feasible for the surviving (smaller) constraint set.
+    fn pop_scope(&mut self, m: &ScopeMark) {
+        self.reset_trail();
+        while self.clauses.len() > m.n_clauses {
+            let ci = (self.clauses.len() - 1) as u32;
+            let clause = self.clauses.pop().expect("len checked");
+            match self.mode {
+                SolverMode::Rescan => {
+                    // Occurrence lists are clause-index-ascending, so a
+                    // popped clause's entries sit at each list's tail.
+                    for l in &clause {
+                        let occ = &mut self.occurs[l.var() as usize];
+                        while occ.last() == Some(&ci) {
+                            occ.pop();
+                        }
+                    }
+                }
+                SolverMode::Watched => {
+                    if clause.len() >= 2 {
+                        for &w in &clause[0..2] {
+                            let ws = &mut self.watches[w.code()];
+                            if let Some(p) = ws.iter().position(|&c| c == ci) {
+                                ws.swap_remove(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.units.truncate(m.n_units);
+        self.empty_clauses = m.n_empty;
+        while self.pbs.len() > m.n_pbs {
+            let pi = (self.pbs.len() - 1) as u32;
+            let pb = self.pbs.pop().expect("len checked");
+            for (_, l) in &pb.terms {
+                let po = &mut self.pb_occurs[l.var() as usize];
+                while po.last() == Some(&pi) {
+                    po.pop();
+                }
+            }
+            let po = &mut self.pb_occurs[pb.act.var() as usize];
+            while po.last() == Some(&pi) {
+                po.pop();
+            }
+        }
+        for a in self.atom_log.split_off(m.n_atoms) {
+            self.atom_ids.remove(&a);
+        }
+        for t in self.intern_log.split_off(m.n_intern) {
+            self.intern.remove(&t);
+        }
+        self.kinds.truncate(m.n_vars);
+        self.values.truncate(m.n_vars);
+        self.trail_pos.truncate(m.n_vars);
+        self.activity.truncate(m.n_vars);
+        self.occurs.truncate(m.n_vars);
+        self.watches.truncate(2 * m.n_vars);
+        self.pb_occurs.truncate(m.n_vars);
+        self.learned = m.learned;
     }
 
     fn extract_model(&self) -> Model {
@@ -1041,5 +1582,195 @@ mod tests {
         // c < a forces b < c < a, so first disjunct must pick b < a.
         let m = s.solve().model().unwrap();
         assert!(m.int_value(b).unwrap() < m.int_value(a).unwrap());
+    }
+
+    // ----------------------------------------------- incremental interface
+
+    #[test]
+    fn push_pop_restores_assertions_and_vars() {
+        let mut s = Solver::new();
+        let a = s.fresh_bool();
+        s.assert(Term::var(a));
+        s.push();
+        let b = s.fresh_bool();
+        s.assert(Term::not(Term::var(a)));
+        s.assert(Term::var(b));
+        assert_eq!(s.num_assertions(), 3);
+        assert!(s.solve().is_unsat());
+        s.pop();
+        assert_eq!(s.num_assertions(), 1);
+        assert!(s.solve().is_sat());
+        // The popped fresh_bool slot is reusable.
+        let b2 = s.fresh_bool();
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn nested_scopes_pop_in_order() {
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..3).map(|_| s.fresh_int()).collect();
+        s.assert(Term::lt(vars[0], vars[1]));
+        s.push();
+        s.assert(Term::lt(vars[1], vars[2]));
+        s.push();
+        s.assert(Term::lt(vars[2], vars[0]));
+        assert_eq!(s.scope_depth(), 2);
+        assert!(s.solve().is_unsat());
+        s.pop();
+        assert!(s.solve().is_sat());
+        s.pop();
+        assert_eq!(s.scope_depth(), 0);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let mut s = Solver::new();
+        let a = s.fresh_bool();
+        let b = s.fresh_bool();
+        s.assert(Term::or([Term::var(a), Term::var(b)]));
+        let m = s
+            .solve_under(&[Term::not(Term::var(a))])
+            .model()
+            .expect("sat under ¬a");
+        assert_eq!(m.bool_value(a), Some(false));
+        assert_eq!(m.bool_value(b), Some(true));
+        assert!(s
+            .solve_under(&[Term::not(Term::var(a)), Term::not(Term::var(b))])
+            .is_unsat());
+        // The solver itself is still satisfiable with no assumptions.
+        assert!(s.solve().is_sat());
+        // ...and a can be true again.
+        assert!(s.solve_under(&[Term::var(a)]).is_sat());
+    }
+
+    #[test]
+    fn assumptions_over_theory_atoms() {
+        let mut s = Solver::new();
+        let a = s.fresh_int();
+        let b = s.fresh_int();
+        s.assert(Term::or([Term::lt(a, b), Term::lt(b, a)]));
+        assert!(s.solve_under(&[Term::lt(a, b)]).is_sat());
+        assert!(s.solve_under(&[Term::lt(b, a)]).is_sat());
+        assert!(s.solve_under(&[Term::lt(a, b), Term::lt(b, a)]).is_unsat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn learned_clauses_are_retained_within_scope() {
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..4).map(|_| s.fresh_int()).collect();
+        for w in vars.windows(2) {
+            s.assert(Term::lt(w[0], w[1]));
+        }
+        s.push();
+        s.assert(Term::lt(vars[3], vars[0]));
+        assert!(s.solve().is_unsat());
+        let learned_after_first = s.num_learned();
+        assert!(learned_after_first > 0, "cycle conflicts must learn");
+        // The second identical query reuses the retained cycle clauses.
+        assert!(s.solve().is_unsat());
+        s.pop();
+        assert_eq!(s.num_learned(), 0, "pop discards scope-learned clauses");
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn watched_and_rescan_agree() {
+        // A differential harness over mixed boolean/theory/PB instances:
+        // both engines must produce the same verdict.
+        let build = |s: &mut Solver, variant: usize| {
+            let ints: Vec<_> = (0..4).map(|_| s.fresh_int()).collect();
+            let bools: Vec<_> = (0..4).map(|_| s.fresh_bool()).collect();
+            for w in ints.windows(2) {
+                s.assert(Term::lt(w[0], w[1]));
+            }
+            s.assert(Term::exactly_one(bools.iter().map(|&v| Atom::Bool(v))));
+            s.assert(Term::implies(
+                Term::var(bools[0]),
+                Term::lt(ints[3], ints[0]),
+            ));
+            if variant.is_multiple_of(2) {
+                s.assert(Term::var(bools[0]));
+            }
+            if variant.is_multiple_of(3) {
+                s.assert(Term::Linear {
+                    terms: bools.iter().map(|&v| (1, Atom::Bool(v))).collect(),
+                    cmp: Cmp::Ge,
+                    k: 2,
+                });
+            }
+        };
+        for variant in 0..6 {
+            let mut w = Solver::with_mode(SolverMode::Watched);
+            build(&mut w, variant);
+            let mut r = Solver::with_mode(SolverMode::Rescan);
+            build(&mut r, variant);
+            let (rw, rr) = (w.solve(), r.solve());
+            assert_eq!(
+                rw.is_sat(),
+                rr.is_sat(),
+                "engines disagree on variant {variant}"
+            );
+            assert_eq!(
+                rw.is_unsat(),
+                rr.is_unsat(),
+                "engines disagree on variant {variant}"
+            );
+        }
+    }
+
+    #[test]
+    fn interner_shares_repeated_subterms() {
+        let mut s = Solver::new();
+        let a = s.fresh_int();
+        let b = s.fresh_int();
+        let p = s.fresh_bool();
+        s.assert(Term::implies(Term::var(p), Term::eq_int(a, b)));
+        let clauses_once = s.num_clauses();
+        // Re-asserting a structurally identical implication re-uses the
+        // interned encoding: only the top-level unit clause is new.
+        s.assert(Term::implies(Term::var(p), Term::eq_int(a, b)));
+        assert_eq!(s.num_clauses(), clauses_once + 1);
+    }
+
+    #[test]
+    fn incremental_query_sequence_matches_fresh() {
+        // Verdict equivalence between one incremental solver answering a
+        // query sequence under assumptions and fresh solvers per query.
+        let assumptions: Vec<Vec<usize>> = vec![vec![0], vec![1], vec![0, 1], vec![2], vec![]];
+        let mut inc = Solver::new();
+        let ints: Vec<_> = (0..3).map(|_| inc.fresh_int()).collect();
+        let flags: Vec<_> = (0..3).map(|_| inc.fresh_bool()).collect();
+        let encode = |s: &mut Solver, ints: &[IntVar], flags: &[BoolVar]| {
+            s.assert(Term::implies(
+                Term::var(flags[0]),
+                Term::lt(ints[0], ints[1]),
+            ));
+            s.assert(Term::implies(
+                Term::var(flags[1]),
+                Term::lt(ints[1], ints[0]),
+            ));
+            s.assert(Term::implies(
+                Term::var(flags[2]),
+                Term::lt(ints[2], ints[2]),
+            ));
+        };
+        encode(&mut inc, &ints, &flags);
+        for set in &assumptions {
+            let assume: Vec<Term> = set.iter().map(|&i| Term::var(flags[i])).collect();
+            let inc_result = inc.solve_under(&assume);
+            let mut fresh = Solver::new();
+            let fints: Vec<_> = (0..3).map(|_| fresh.fresh_int()).collect();
+            let fflags: Vec<_> = (0..3).map(|_| fresh.fresh_bool()).collect();
+            encode(&mut fresh, &fints, &fflags);
+            let fresh_assume: Vec<Term> = set.iter().map(|&i| Term::var(fflags[i])).collect();
+            let fresh_result = fresh.solve_under(&fresh_assume);
+            assert_eq!(
+                inc_result.is_sat(),
+                fresh_result.is_sat(),
+                "incremental vs fresh disagree under {set:?}"
+            );
+        }
     }
 }

@@ -68,7 +68,7 @@ pub enum Cmp {
 }
 
 /// A formula.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Term {
     /// Constant true.
     True,

@@ -13,7 +13,7 @@
 use gcatch_suite::gcatch::{
     faults, render_explain, render_json_with, render_stats_json, BatchConfig, BatchEngine,
     BatchJob, DetectorConfig, FaultPlan, GCatch, HedgePolicy, Incident, JobCtx, Journal,
-    JournalCodec, Selection, Telemetry, TraceLevel, Tracer,
+    JournalCodec, Selection, SolverStrategy, Telemetry, TraceLevel, Tracer,
 };
 use gcatch_suite::{gfix, sim};
 use std::collections::BTreeMap;
@@ -53,7 +53,8 @@ usage: gcatch <command> [options] <file.go>
 
 commands:
   check [--json] [--stats] [--explain] [--trace FILE] [--only C] [--skip C] [--jobs N]
-        [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--step-pool N]
+        [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
+        [--step-pool N]
         [--strict]
                         detect concurrency bugs via the checker registry;
                         --only/--skip select checkers by name (repeatable,
@@ -74,7 +75,8 @@ commands:
   batch [--jobs N] [--max-attempts N] [--backoff-ms MS] [--hedge-ms MS] [--no-hedge]
         [--inject-faults RATE] [--fault-seed N] [--journal FILE | --resume FILE]
         [--report FILE] [--json] [--stats] [--strict] [--trace FILE]
-        [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--step-pool N]
+        [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
+        [--step-pool N]
         <file.go|dir>...
                         check many modules under a supervised worker pool:
                         failed modules retry with exponential backoff,
@@ -88,7 +90,8 @@ commands:
                         Directories expand to their *.go files
                         (non-recursive, sorted)
   extended [--json] [--stats] [--explain] [--trace FILE] [--jobs N]
-        [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--step-pool N]
+        [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
+        [--step-pool N]
         [--strict]
                         run the send-on-closed (panic) detector (paper §6)
 
@@ -96,6 +99,12 @@ budgets (check / extended):
   --timeout SECS        wall-clock deadline for the whole run
   --channel-timeout MS  wall-clock deadline per analyzed channel
   --solver-steps N      solver step limit per query (default 400000)
+  --solver-mode M       constraint-solver strategy: `incremental` (default;
+                        one persistent solver per channel, combos solved as
+                        assumption queries against a shared encoding),
+                        `fresh` (one solver per query), or `rescan` (fresh
+                        solvers with the legacy clone-and-rescan engine);
+                        all three produce identical reports
   --step-pool N         global solver-step pool shared by all queries
                         a channel that exhausts its budget is retried at
                         degraded limits (reduced unroll, then a reduced
@@ -239,6 +248,11 @@ fn budget_config(flags: &[Flag]) -> Result<DetectorConfig, String> {
     if let Some(steps) = parse_u64_flag(flags, "solver-steps")? {
         config.solver_steps = steps;
     }
+    if let Some(mode) = flag_value(flags, "solver-mode") {
+        config.solver_strategy = SolverStrategy::parse(mode).ok_or_else(|| {
+            format!("bad --solver-mode: `{mode}` (expected incremental, fresh, or rescan)")
+        })?;
+    }
     Ok(config)
 }
 
@@ -339,6 +353,7 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
         ("timeout", true),
         ("channel-timeout", true),
         ("solver-steps", true),
+        ("solver-mode", true),
         ("step-pool", true),
         ("strict", false),
     ];
@@ -360,6 +375,7 @@ fn cmd_extended(rest: &[String]) -> Result<ExitCode, String> {
         ("timeout", true),
         ("channel-timeout", true),
         ("solver-steps", true),
+        ("solver-mode", true),
         ("step-pool", true),
         ("strict", false),
     ];
@@ -719,6 +735,7 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         ("timeout", true),
         ("channel-timeout", true),
         ("solver-steps", true),
+        ("solver-mode", true),
         ("step-pool", true),
     ];
     let (inputs, flags) = parse_multi(rest, spec)?;

@@ -605,13 +605,13 @@ fn exhausted_budget_reports_incidents_and_strict_exit() {
 fn ladder_recovers_findings_and_explains_the_rung() {
     let path = write_temp("ladder-ring", RING);
     let p = path.to_str().unwrap();
-    // 40 steps per query: rung 0/1 formulas go Unknown, rung 2's
+    // 200 steps per query: rung 0/1 formulas go Unknown, rung 2's
     // channel-only Pset shrinks them enough to solve.
     let out = gcatch()
         .args([
             "check",
             "--solver-steps",
-            "40",
+            "200",
             "--channel-timeout",
             "60000",
             "--explain",

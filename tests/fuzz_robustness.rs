@@ -239,7 +239,7 @@ fn budget_incidents_are_identical_across_jobs() {
 }
 
 /// The degradation ladder recovers findings the full limits cannot reach:
-/// with ~40 solver steps per query the wide-Pset rung-0/1 formulas go
+/// with ~200 solver steps per query the wide-Pset rung-0/1 formulas go
 /// Unknown, but rung 2's channel-only Pset shrinks them enough to solve —
 /// and the finding's provenance records the rung it was found at.
 #[test]
@@ -248,7 +248,7 @@ fn ladder_findings_record_their_degradation_rung() {
     let module = gcatch_suite::ir::lower_source(&src).expect("ring lowers");
     let gcatch = GCatch::new(&module);
     let config = DetectorConfig {
-        solver_steps: 40,
+        solver_steps: 200,
         channel_timeout: Some(Duration::from_secs(60)),
         ..DetectorConfig::default()
     };
