@@ -1,0 +1,216 @@
+//! Corpus amplifier: parameterized synthetic suites that scale the channel
+//! population into the thousands while keeping ground truth exact.
+//!
+//! Three levers mirror the three optimizations of the corpus-scale
+//! refactor:
+//!
+//! * **shape classes** — channel units are stamped from a small set of
+//!   structural templates; instances of one class differ only in
+//!   identifiers, so the cross-channel verdict cache shares their solver
+//!   work (the canonical encoding key abstracts names away);
+//! * **leak ratio** — every `leak_every`-th unit uses the blocking
+//!   (Fig. 1) template and yields a report, so report byte-identity can be
+//!   asserted across configurations at any scale;
+//! * **ballast** — struct-manipulating helper clusters with points-to
+//!   constraints but no sync operations and no dynamic calls. Eager alias
+//!   analysis solves them; demand mode proves they are never queried and
+//!   skips them, exactly the "bulk of a realistic corpus" case.
+
+/// Suite parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AmpConfig {
+    /// Total channel units (one channel each).
+    pub channels: usize,
+    /// Every k-th unit is the blocking (report-producing) shape; the rest
+    /// cycle through the safe shapes. 0 disables planted leaks.
+    pub leak_every: usize,
+    /// Ballast clusters (a struct type plus two helper functions each).
+    pub ballast: usize,
+}
+
+impl Default for AmpConfig {
+    fn default() -> AmpConfig {
+        AmpConfig {
+            channels: 1000,
+            leak_every: 50,
+            ballast: 500,
+        }
+    }
+}
+
+/// The number of distinct structural shapes [`generate`] cycles through
+/// for safe units. The verdict cache converges after one solve per shape.
+pub const SAFE_SHAPES: usize = 3;
+
+/// Generates one GoLite module at the configured scale. Deterministic:
+/// the same config always yields the same source text.
+pub fn generate(config: &AmpConfig) -> String {
+    let mut src = String::with_capacity(config.channels * 256 + config.ballast * 200);
+    for i in 0..config.channels {
+        let leaky = config.leak_every != 0 && i % config.leak_every == config.leak_every - 1;
+        if leaky {
+            leak_unit(&mut src, i);
+        } else {
+            match i % SAFE_SHAPES {
+                0 => safe_select_unit(&mut src, i),
+                1 => safe_relay_unit(&mut src, i),
+                _ => safe_worker_unit(&mut src, i),
+            }
+        }
+    }
+    for j in 0..config.ballast {
+        ballast_cluster(&mut src, j);
+    }
+    src
+}
+
+/// How many reports a suite generated from `config` must produce.
+pub fn expected_leaks(config: &AmpConfig) -> usize {
+    config.channels.checked_div(config.leak_every).unwrap_or(0)
+}
+
+/// Fig. 1 shape: the child's single send is orphaned when the select
+/// takes the pre-filled quit arm. Blocking — produces one report.
+fn leak_unit(src: &mut String, i: usize) {
+    src.push_str(&format!(
+        r#"
+func leakJob{i}() error {{
+    return nil
+}}
+
+func LeakRun{i}() {{
+    leakdone{i} := make(chan error)
+    leakquit{i} := make(chan struct{{}}, 1)
+    leakquit{i} <- struct{{}}{{}}
+    go func() {{
+        leakdone{i} <- leakJob{i}()
+    }}()
+    select {{
+    case err := <-leakdone{i}:
+        _ = err
+    case <-leakquit{i}:
+        return
+    }}
+}}
+"#
+    ));
+}
+
+/// Same select shape with a buffered result channel: the child's send
+/// always completes, so the solver proves every group safe.
+fn safe_select_unit(src: &mut String, i: usize) {
+    src.push_str(&format!(
+        r#"
+func safeJob{i}() error {{
+    return nil
+}}
+
+func SafeRun{i}() {{
+    safedone{i} := make(chan error, 1)
+    safequit{i} := make(chan struct{{}}, 1)
+    safequit{i} <- struct{{}}{{}}
+    go func() {{
+        safedone{i} <- safeJob{i}()
+    }}()
+    select {{
+    case err := <-safedone{i}:
+        _ = err
+    case <-safequit{i}:
+        return
+    }}
+}}
+"#
+    ));
+}
+
+/// Unbuffered rendezvous where the parent always receives: safe, but the
+/// group still reaches the solver.
+fn safe_relay_unit(src: &mut String, i: usize) {
+    src.push_str(&format!(
+        r#"
+func RelayRun{i}() {{
+    relaymsg{i} := make(chan int)
+    go func() {{
+        relaymsg{i} <- 1
+    }}()
+    <-relaymsg{i}
+}}
+"#
+    ));
+}
+
+/// Buffered worker handoff: send then receive in program order, safe.
+fn safe_worker_unit(src: &mut String, i: usize) {
+    src.push_str(&format!(
+        r#"
+func WorkerRun{i}() {{
+    workch{i} := make(chan int, 1)
+    go func() {{
+        workch{i} <- 2
+    }}()
+    <-workch{i}
+}}
+"#
+    ));
+}
+
+/// A struct type plus statically-called helpers that thread allocations
+/// through parameters and returns: real points-to constraints (allocation
+/// sites, copy edges, return flows) but no sync operations, no dynamic
+/// calls, and no field accesses — nothing any checker queries — so
+/// demand-mode alias never solves the component while eager mode pays for
+/// the whole cluster. (Field reads are deliberately absent: the lockset
+/// race checker queries points-to for every `FieldLoad`/`FieldStore`,
+/// which would demand the component.)
+fn ballast_cluster(src: &mut String, j: usize) {
+    src.push_str(&format!(
+        r#"
+type Ballast{j} struct {{
+    lo int
+    hi int
+}}
+
+func ballastMake{j}(n int) Ballast{j} {{
+    return Ballast{j}{{lo: n, hi: n + 1}}
+}}
+
+func ballastWrap{j}(b Ballast{j}) Ballast{j} {{
+    return b
+}}
+
+func ballastFold{j}() Ballast{j} {{
+    a := ballastMake{j}(3)
+    b := ballastWrap{j}(a)
+    c := ballastWrap{j}(ballastMake{j}(7))
+    d := ballastWrap{j}(c)
+    _ = b
+    return d
+}}
+"#
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_lowers_and_counts_hold() {
+        let config = AmpConfig {
+            channels: 12,
+            leak_every: 4,
+            ballast: 3,
+        };
+        let src = generate(&config);
+        let module = golite_ir::lower_source(&src).expect("amplified suite lowers");
+        let gcatch = gcatch::GCatch::new(&module);
+        let bugs = gcatch.detect_all(&gcatch::DetectorConfig::default());
+        assert_eq!(bugs.len(), expected_leaks(&config), "one report per leak");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = AmpConfig::default();
+        assert_eq!(generate(&config), generate(&config));
+    }
+}

@@ -4,6 +4,7 @@
 use gcatch::DetectorConfig;
 use go_corpus::apps::{generate_all, GenConfig, GeneratedApp};
 
+pub mod amplifier;
 pub mod timing;
 
 /// Reads the filler scale from `GCATCH_FILLER` (filler functions per kLoC of

@@ -43,6 +43,7 @@ use crate::resilience::Budget;
 use crate::telemetry::Telemetry;
 use minismt::{Atom, BoolVar, IntVar, SolveResult, Solver, SolverMode, Term};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
 
 /// A communication occurrence inside a combination.
 #[derive(Debug, Clone)]
@@ -151,6 +152,146 @@ enum Query<'q> {
     },
 }
 
+/// The canonical structure of one query's encoding, modulo channel (and
+/// primitive) identity: primitives are renamed to their first-appearance
+/// index over the combination walk, and only verdict-relevant structure
+/// (event shapes, spawn links, buffer sizes, the guard assignment, the
+/// step limit, the engine mode) enters the key. Two queries with equal
+/// keys produce isomorphic encodings and therefore identical verdicts —
+/// full structural equality, never a bare hash, so a collision cannot
+/// produce a wrong verdict.
+type CanonKey = Vec<u64>;
+
+/// Builds the [`CanonKey`] of one query from its pre-encoding inputs.
+fn canon_key(
+    prims: &Primitives,
+    combo: &Combo,
+    kind: EncodingKind,
+    query: &Query<'_>,
+    step_limit: u64,
+    mode: SolverMode,
+) -> CanonKey {
+    let mut key: Vec<u64> = Vec::with_capacity(64);
+    key.push(match kind {
+        EncodingKind::Group => 0,
+        EncodingKind::Reach => 1,
+    });
+    key.push(match mode {
+        SolverMode::Watched => 0,
+        SolverMode::Rescan => 1,
+    });
+    key.push(step_limit);
+
+    // Primitive renaming: first appearance over the deterministic walk.
+    let mut canon_of: HashMap<PrimId, u64> = HashMap::new();
+    let mut buffers: Vec<u64> = Vec::new();
+    let mut canon = |p: PrimId, buffers: &mut Vec<u64>| -> u64 {
+        *canon_of.entry(p).or_insert_with(|| {
+            buffers.push(prims.all[p.0].buffer_size().unwrap_or(0) as u64);
+            (buffers.len() - 1) as u64
+        })
+    };
+
+    key.push(combo.gos.len() as u64);
+    for g in &combo.gos {
+        match g.spawned_at {
+            Some((parent, ev)) => {
+                key.push(1);
+                key.push(parent as u64);
+                key.push(ev as u64);
+            }
+            None => key.push(0),
+        }
+        key.push(g.path.events.len() as u64);
+        for event in &g.path.events {
+            match event {
+                Event::Op(op) => {
+                    key.push(0);
+                    key.push(canon(op.prim, &mut buffers));
+                    key.push(op.kind as u64);
+                }
+                Event::Select { cases, chosen, .. } => {
+                    key.push(1);
+                    key.push(u64::from(chosen.is_some()));
+                    key.push(cases.len() as u64);
+                    for (case_idx, op) in cases {
+                        key.push(u64::from(Some(case_idx) == chosen.as_ref()));
+                        key.push(canon(op.prim, &mut buffers));
+                        key.push(op.kind as u64);
+                    }
+                }
+                // Spawns and facts only occupy an order slot (part ⇔ kept);
+                // the spawn *links* are captured by `spawned_at` above.
+                _ => key.push(2),
+            }
+        }
+    }
+    key.push(buffers.len() as u64);
+    key.extend(buffers);
+    match query {
+        Query::Group(group) => {
+            key.push(0);
+            key.push(group.len() as u64);
+            for m in *group {
+                key.push(m.goroutine as u64);
+                key.push(m.event as u64);
+            }
+        }
+        Query::Pair { send, close } => {
+            key.push(1);
+            key.push(send.goroutine as u64);
+            key.push(send.event as u64);
+            key.push(close.goroutine as u64);
+            key.push(close.event as u64);
+        }
+    }
+    key
+}
+
+/// Session-global cross-channel verdict cache: structurally identical
+/// queries (see [`canon_key`]) share one solved outcome. Only definitive
+/// verdicts are stored (`true` = blocking, `false` = safe); `Unknown` is
+/// never cached. A `Blocking` hit still re-derives its witness and
+/// provenance from the *actual* combination via the canonical fresh
+/// solve, so reports carry the right names and spans and stay
+/// byte-identical with sharing off.
+#[derive(Debug, Default)]
+pub struct EncodingCache {
+    map: Mutex<HashMap<CanonKey, bool>>,
+}
+
+impl EncodingCache {
+    /// An empty cache.
+    pub fn new() -> EncodingCache {
+        EncodingCache::default()
+    }
+
+    fn lookup(&self, key: &CanonKey) -> Option<bool> {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .copied()
+    }
+
+    fn store(&self, key: CanonKey, blocking: bool) {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, blocking);
+    }
+
+    /// Number of distinct canonical encodings currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The guarded encoding of one combination.
 #[derive(Debug)]
 struct Encoding {
@@ -175,37 +316,73 @@ pub struct ChannelSolver<'p> {
     strategy: SolverStrategy,
     solver: Option<Solver>,
     enc: Option<Encoding>,
+    /// Query kind declared by [`ChannelSolver::begin_combo`]; the actual
+    /// encoding is built lazily on the first query that misses the
+    /// cross-channel cache, so fully shared combinations never pay for
+    /// an encoding at all.
+    pending_kind: Option<EncodingKind>,
     base_clauses: usize,
     combo_queries: u64,
+    /// Cross-channel verdict cache; `None` disables sharing.
+    cache: Option<&'p EncodingCache>,
     /// Queries answered against an already-built combination encoding.
     pub encodings_reused: u64,
     /// Learned clauses retained from earlier queries at the moment a
     /// reusing query starts.
     pub learned_kept: u64,
+    /// Queries answered from a structurally identical channel's cached
+    /// verdict instead of fresh solver work.
+    pub encodings_shared: u64,
 }
 
 impl<'p> ChannelSolver<'p> {
     /// Creates a context for one channel's queries.
     pub fn new(prims: &'p Primitives, strategy: SolverStrategy) -> ChannelSolver<'p> {
+        Self::with_cache(prims, strategy, None)
+    }
+
+    /// [`ChannelSolver::new`] with an optional cross-channel verdict
+    /// cache shared by every channel of the session.
+    pub fn with_cache(
+        prims: &'p Primitives,
+        strategy: SolverStrategy,
+        cache: Option<&'p EncodingCache>,
+    ) -> ChannelSolver<'p> {
         ChannelSolver {
             prims,
             strategy,
             solver: None,
             enc: None,
+            pending_kind: None,
             base_clauses: 0,
             combo_queries: 0,
+            cache,
             encodings_reused: 0,
             learned_kept: 0,
+            encodings_shared: 0,
         }
     }
 
-    /// Opens a combination: under the incremental strategy this pushes a
-    /// scope on the persistent solver and builds the shared guarded
-    /// encoding once; the fresh strategies defer everything to the query.
-    pub fn begin_combo(&mut self, combo: &Combo, kind: EncodingKind) {
+    /// Opens a combination for the incremental strategy. The encoding
+    /// itself is built lazily by the first cache-missing query (see
+    /// [`ChannelSolver::ensure_encoding`]); the fresh strategies defer
+    /// everything to the query.
+    pub fn begin_combo(&mut self, _combo: &Combo, kind: EncodingKind) {
         if self.strategy != SolverStrategy::Incremental {
             return;
         }
+        self.pending_kind = Some(kind);
+    }
+
+    /// Builds the combination's shared guarded encoding into a fresh
+    /// push scope of the persistent solver, once per opened combination.
+    fn ensure_encoding(&mut self, combo: &Combo) {
+        if self.enc.is_some() {
+            return;
+        }
+        let kind = self
+            .pending_kind
+            .expect("begin_combo must be called before incremental queries");
         let solver = self
             .solver
             .get_or_insert_with(|| Solver::with_mode(SolverMode::Watched));
@@ -219,6 +396,7 @@ impl<'p> ChannelSolver<'p> {
     /// Closes the current combination, discarding its encoding scope (the
     /// persistent solver survives for the next combination).
     pub fn end_combo(&mut self) {
+        self.pending_kind = None;
         if self.enc.take().is_some() {
             if let Some(s) = self.solver.as_mut() {
                 s.pop();
@@ -273,6 +451,76 @@ impl<'p> ChannelSolver<'p> {
         step_limit: u64,
         budget: &Budget,
     ) -> GroupCheck {
+        // Cross-channel sharing is bypassed whenever a budget is active
+        // (cache hits would skip budget draws, changing later queries'
+        // rationing) or fault injection is armed (hits would skip fault
+        // draws, breaking the reproducible fault schedule).
+        let shareable = self.cache.is_some() && !budget.is_active() && !faults::armed();
+        if !shareable {
+            return self.run_query_uncached(combo, kind, query, step_limit, budget);
+        }
+        let cache = self.cache.expect("checked above");
+        let key = canon_key(
+            self.prims,
+            combo,
+            kind,
+            &query,
+            step_limit,
+            self.strategy.engine_mode(),
+        );
+        match cache.lookup(&key) {
+            Some(false) => {
+                // A structurally identical query was safe; so is this one.
+                self.encodings_shared += 1;
+                GroupCheck {
+                    verdict: Verdict::Safe,
+                    stats: None,
+                    reused: false,
+                }
+            }
+            Some(true) => {
+                // Blocking: the verdict is shared, but the witness and
+                // provenance must name *this* channel's events, so they
+                // are re-derived by the canonical fresh solve — the exact
+                // code path every strategy uses for a Blocking report,
+                // which keeps reports byte-identical with sharing off.
+                self.encodings_shared += 1;
+                let (verdict, stats) = solve_fresh(
+                    self.prims,
+                    self.strategy.engine_mode(),
+                    combo,
+                    kind,
+                    &query,
+                    step_limit,
+                    budget,
+                    None,
+                );
+                GroupCheck {
+                    verdict,
+                    stats,
+                    reused: false,
+                }
+            }
+            None => {
+                let check = self.run_query_uncached(combo, kind, query, step_limit, budget);
+                match check.verdict {
+                    Verdict::Safe => cache.store(key, false),
+                    Verdict::Blocking(_) => cache.store(key, true),
+                    Verdict::Unknown => {} // indefinite: never cached
+                }
+                check
+            }
+        }
+    }
+
+    fn run_query_uncached(
+        &mut self,
+        combo: &Combo,
+        kind: EncodingKind,
+        query: Query<'_>,
+        step_limit: u64,
+        budget: &Budget,
+    ) -> GroupCheck {
         if budget.is_active() && budget.expired() {
             return GroupCheck {
                 verdict: Verdict::Unknown,
@@ -315,11 +563,9 @@ impl<'p> ChannelSolver<'p> {
             };
         }
 
+        self.ensure_encoding(combo);
         let assume = {
-            let enc = self
-                .enc
-                .as_ref()
-                .expect("begin_combo must be called before incremental queries");
+            let enc = self.enc.as_ref().expect("ensure_encoding built it");
             debug_assert_eq!(
                 enc.kind, kind,
                 "combo was opened for a different query kind"

@@ -105,6 +105,13 @@ pub struct DetectorConfig {
     /// run winds down with partial results. The batch engine uses this to
     /// stop the losing twin of a hedged job.
     pub cancel: Option<crate::resilience::CancelToken>,
+    /// Cross-channel encoding reuse (the default): structurally identical
+    /// channels share solver verdicts through the session's
+    /// [`EncodingCache`](crate::constraints::EncodingCache). Reports are
+    /// byte-identical either way; `--no-share-encodings` turns it off for
+    /// differential testing. Sharing is automatically bypassed while a
+    /// budget is active or fault injection is armed.
+    pub share_encodings: bool,
 }
 
 impl Default for DetectorConfig {
@@ -122,6 +129,7 @@ impl Default for DetectorConfig {
             channel_timeout: None,
             solver_step_pool: None,
             cancel: None,
+            share_encodings: true,
         }
     }
 }
@@ -435,8 +443,10 @@ impl<'m> AnalysisSession<'m> {
         // One solving context for the whole channel: under the incremental
         // strategy the solver persists across combinations and each
         // combination's encoding is built once, in a push/pop scope, then
-        // shared by every group query on it.
-        let mut solver = ChannelSolver::new(&self.prims, config.solver_strategy);
+        // shared by every group query on it. The session's cross-channel
+        // cache extends that reuse to structurally identical channels.
+        let cache = config.share_encodings.then(|| self.encoding_cache());
+        let mut solver = ChannelSolver::with_cache(&self.prims, config.solver_strategy, cache);
         for combo in &combos {
             if budget.is_active() && budget.expired() {
                 exhausted = true;
@@ -514,6 +524,8 @@ impl<'m> AnalysisSession<'m> {
             .add(Counter::SolverEncodingsReused, solver.encodings_reused);
         self.telemetry
             .add(Counter::LearnedClausesKept, solver.learned_kept);
+        self.telemetry
+            .add(Counter::ChannelEncodingsShared, solver.encodings_shared);
         (found, exhausted)
     }
 
@@ -737,7 +749,7 @@ impl<'m> AnalysisSession<'m> {
             .iter()
             .filter_map(|m| {
                 let g = &combo.gos[m.goroutine];
-                let func_name = self.module.func(g.root_func).name.clone();
+                let func_name = self.module.func(g.root_func).name.to_string();
                 match &g.path.events[m.event] {
                     Event::Op(op) => Some(OpRef {
                         loc: op.loc,
@@ -848,8 +860,11 @@ impl<'m> AnalysisSession<'m> {
                 let mut groups_checked = 0u64;
                 // Same per-channel solving context as the BMOC pipeline:
                 // the incremental strategy shares each combination's ΦR
-                // encoding across every (send, close) pair queried on it.
-                let mut solver = ChannelSolver::new(&self.prims, config.solver_strategy);
+                // encoding across every (send, close) pair queried on it,
+                // and the session cache shares verdicts across channels.
+                let cache = config.share_encodings.then(|| self.encoding_cache());
+                let mut solver =
+                    ChannelSolver::with_cache(&self.prims, config.solver_strategy, cache);
                 for combo in &combos {
                     if chan_budget.is_active() && chan_budget.expired() {
                         exhausted = true;
@@ -940,7 +955,7 @@ impl<'m> AnalysisSession<'m> {
                                                     .module
                                                     .func(send_op.loc.func)
                                                     .name
-                                                    .clone(),
+                                                    .to_string(),
                                             },
                                             OpRef {
                                                 loc: close_op.loc,
@@ -950,7 +965,7 @@ impl<'m> AnalysisSession<'m> {
                                                     .module
                                                     .func(close_op.loc.func)
                                                     .name
-                                                    .clone(),
+                                                    .to_string(),
                                             },
                                         ],
                                         witness_order: witness,
@@ -992,6 +1007,8 @@ impl<'m> AnalysisSession<'m> {
                     .add(Counter::SolverEncodingsReused, solver.encodings_reused);
                 self.telemetry
                     .add(Counter::LearnedClausesKept, solver.learned_kept);
+                self.telemetry
+                    .add(Counter::ChannelEncodingsShared, solver.encodings_shared);
                 (found, exhausted)
             });
             let incident = match attempt {

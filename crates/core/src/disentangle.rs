@@ -41,23 +41,46 @@ pub fn compute_scope(module: &Module, analysis: &Analysis, prims: &Primitives, p
     let prim = &prims.all[p.0];
     let mut must_cover: HashSet<FuncId> = prims.funcs_with_ops_of(p).clone();
     must_cover.insert(prim.site.func);
+    let _ = module; // kept in the signature for API stability
 
-    let mut best: Option<(usize, FuncId, HashSet<FuncId>)> = None;
-    for f in &module.funcs {
-        let reach = analysis.reachable_from(f.id);
-        if must_cover.iter().all(|m| reach.contains(m)) {
-            let size = reach.len();
-            let better = match &best {
-                None => true,
-                Some((bsize, bid, _)) => size < *bsize || (size == *bsize && f.id < *bid),
-            };
-            if better {
-                best = Some((size, f.id, reach.as_ref().clone()));
+    // The candidate roots are exactly ∩ reaching(m) over the functions the
+    // scope must cover (`must_cover ⊆ reachable_from(f)` ⟺ `f` reaches
+    // every `m`). Intersecting the usually-tiny reverse-reachability
+    // slices replaces the old scan over every module function, which made
+    // scope computation quadratic in corpus size.
+    let mut candidates: Option<HashSet<FuncId>> = None;
+    for &m in &must_cover {
+        let reaching = analysis.reaching(m);
+        candidates = Some(match candidates {
+            None => reaching.as_ref().clone(),
+            Some(mut set) => {
+                set.retain(|f| reaching.contains(f));
+                set
             }
+        });
+        if candidates.as_ref().is_some_and(HashSet::is_empty) {
+            break;
+        }
+    }
+
+    // `min_by_key` over (size, id) is iteration-order independent, so the
+    // winner matches the old in-order scan exactly.
+    let mut best: Option<(usize, FuncId)> = None;
+    for &f in candidates.iter().flatten() {
+        let size = analysis.reachable_from(f).len();
+        let better = match &best {
+            None => true,
+            Some((bsize, bid)) => size < *bsize || (size == *bsize && f < *bid),
+        };
+        if better {
+            best = Some((size, f));
         }
     }
     match best {
-        Some((_, root, funcs)) => Scope { root, funcs },
+        Some((_, root)) => Scope {
+            root,
+            funcs: analysis.reachable_from(root).as_ref().clone(),
+        },
         None => {
             let root = prim.site.func;
             let funcs = analysis.reachable_from(root).as_ref().clone();
@@ -120,19 +143,53 @@ pub fn build_dependency_graph(
     }
 
     // Rule 1: unblocking op of `a` reachable from blocking op of `b`.
+    // Indexing the unblocking ops by function and walking only the
+    // functions a blocking op can actually reach keeps this linear in the
+    // number of genuinely related op pairs — the old all-pairs sweep was
+    // quadratic in corpus size even though unrelated channels never
+    // produce an edge.
     let blocking: Vec<&SyncOp> = prims.ops.iter().filter(|o| o.kind.can_block()).collect();
-    let unblocking: Vec<&SyncOp> = prims
-        .ops
-        .iter()
-        .filter(|o| matches!(o.kind, OpKind::Send | OpKind::Recv | OpKind::Close))
-        .collect();
+    let mut unblock_by_func: HashMap<FuncId, Vec<&SyncOp>> = HashMap::new();
+    for o in &prims.ops {
+        if matches!(o.kind, OpKind::Send | OpKind::Recv | OpKind::Close) {
+            unblock_by_func.entry(o.func).or_default().push(o);
+        }
+    }
     for ob in &blocking {
-        for oa in &unblocking {
-            if oa.prim == ob.prim && oa.loc == ob.loc {
-                continue;
-            }
-            if op_reachable_from(module, analysis, ob, oa) {
-                depends[oa.prim.0].insert(ob.prim);
+        let reach = analysis.reachable_from(ob.func);
+        // Iterate whichever side is smaller; membership tests on the other.
+        let funcs: Vec<FuncId> = if reach.len() <= unblock_by_func.len() {
+            let mut v: Vec<FuncId> = reach
+                .iter()
+                .copied()
+                .filter(|f| unblock_by_func.contains_key(f))
+                .collect();
+            v.sort_unstable();
+            v
+        } else {
+            let mut v: Vec<FuncId> = unblock_by_func
+                .keys()
+                .copied()
+                .filter(|f| reach.contains(f))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for g in funcs {
+            for oa in &unblock_by_func[&g] {
+                if oa.prim == ob.prim && oa.loc == ob.loc {
+                    continue;
+                }
+                // Same-function pairs need CFG ordering; a different
+                // reachable function is always a valid continuation —
+                // exactly `op_reachable_from`'s two cases.
+                if g == ob.func {
+                    if intra_reachable(module.func(ob.func), ob.loc, oa.loc) {
+                        depends[oa.prim.0].insert(ob.prim);
+                    }
+                } else {
+                    depends[oa.prim.0].insert(ob.prim);
+                }
             }
         }
     }
@@ -155,23 +212,6 @@ pub fn build_dependency_graph(
     }
 
     DependencyGraph { depends }
-}
-
-/// Whether operation `to` can execute after operation `from` on some
-/// continuation: same-function CFG reachability, or `to`'s function is
-/// callable (transitively) from `from`'s function.
-fn op_reachable_from(module: &Module, analysis: &Analysis, from: &SyncOp, to: &SyncOp) -> bool {
-    if from.func == to.func && intra_reachable(module.func(from.func), from.loc, to.loc) {
-        return true;
-    }
-    if to.func != from.func {
-        // Through calls made after `from` (approximated by any call from
-        // `from`'s function), or through goroutines spawned there.
-        if analysis.reachable_from(from.func).contains(&to.func) {
-            return true;
-        }
-    }
-    false
 }
 
 /// Intra-procedural reachability between two locations.
@@ -198,12 +238,18 @@ fn intra_reachable(f: &Function, from: Loc, to: Loc) -> bool {
 /// Computes the Pset of channel `c` (§3.2): `c` plus every primitive that
 /// circularly depends on `c` and whose scope is not larger.
 pub fn pset(c: PrimId, dg: &DependencyGraph, scopes: &[Scope], prims: &Primitives) -> Vec<PrimId> {
+    let _ = prims;
+    // A circular partner must appear in `depends[c]`, so only those
+    // candidates are tested (instead of every primitive in the module);
+    // sorting restores the old ascending-id output order.
+    let mut circ: Vec<PrimId> = dg.depends[c.0]
+        .iter()
+        .copied()
+        .filter(|&p| p != c && dg.depends_on(p, c) && scopes[p.0].size() <= scopes[c.0].size())
+        .collect();
+    circ.sort_unstable();
     let mut out = vec![c];
-    for p in &prims.all {
-        if p.id != c && dg.circular(c, p.id) && scopes[p.id.0].size() <= scopes[c.0].size() {
-            out.push(p.id);
-        }
-    }
+    out.extend(circ);
     out
 }
 
@@ -214,15 +260,17 @@ mod tests {
     use golite_ir::{analyze, lower_source};
 
     struct Setup {
-        module: Module,
-        analysis: Analysis,
+        module: &'static Module,
+        analysis: Analysis<'static>,
         prims: Primitives,
     }
 
     fn setup(src: &str) -> Setup {
-        let module = lower_source(src).expect("lowering");
-        let analysis = analyze(&module);
-        let prims = collect(&module, &analysis);
+        // Leaked so the analysis (which borrows the module) can live in
+        // the same struct; test-only.
+        let module: &'static Module = Box::leak(Box::new(lower_source(src).expect("lowering")));
+        let analysis = analyze(module);
+        let prims = collect(module, &analysis);
         Setup {
             module,
             analysis,
@@ -245,7 +293,7 @@ mod tests {
             "func work(ch chan int) {\n ch <- 1\n}\nfunc driver() {\n ch := make(chan int)\n go work(ch)\n <-ch\n}\nfunc main() {\n driver()\n}",
         );
         let ch = prim_named(&s, "ch");
-        let scope = compute_scope(&s.module, &s.analysis, &s.prims, ch);
+        let scope = compute_scope(s.module, &s.analysis, &s.prims, ch);
         let driver = s.module.func_by_name("driver").unwrap().id;
         assert_eq!(scope.root, driver, "LCA is driver, not main");
         assert!(scope.contains(s.module.func_by_name("work").unwrap().id));
@@ -256,7 +304,7 @@ mod tests {
         let s = setup(
             "func main() {\n a := make(chan int)\n b := make(chan int)\n go func() {\n  a <- 1\n }()\n go func() {\n  b <- 1\n }()\n select {\n case <-a:\n case <-b:\n }\n}",
         );
-        let dg = build_dependency_graph(&s.module, &s.analysis, &s.prims);
+        let dg = build_dependency_graph(s.module, &s.analysis, &s.prims);
         let a = prim_named(&s, "a");
         let b = prim_named(&s, "b");
         assert!(dg.circular(a, b));
@@ -267,12 +315,12 @@ mod tests {
         let s = setup(
             "func main() {\n a := make(chan int)\n b := make(chan int)\n go func() {\n  a <- 1\n }()\n go func() {\n  b <- 1\n }()\n select {\n case <-a:\n case <-b:\n }\n}",
         );
-        let dg = build_dependency_graph(&s.module, &s.analysis, &s.prims);
+        let dg = build_dependency_graph(s.module, &s.analysis, &s.prims);
         let scopes: Vec<Scope> = s
             .prims
             .all
             .iter()
-            .map(|p| compute_scope(&s.module, &s.analysis, &s.prims, p.id))
+            .map(|p| compute_scope(s.module, &s.analysis, &s.prims, p.id))
             .collect();
         let a = prim_named(&s, "a");
         let b = prim_named(&s, "b");
@@ -308,12 +356,12 @@ func main() {
 }
 "#,
         );
-        let dg = build_dependency_graph(&s.module, &s.analysis, &s.prims);
+        let dg = build_dependency_graph(s.module, &s.analysis, &s.prims);
         let scopes: Vec<Scope> = s
             .prims
             .all
             .iter()
-            .map(|p| compute_scope(&s.module, &s.analysis, &s.prims, p.id))
+            .map(|p| compute_scope(s.module, &s.analysis, &s.prims, p.id))
             .collect();
         let out_done = prim_named(&s, "outDone");
         let ctx = prim_named(&s, "ctx");
@@ -340,7 +388,7 @@ func main() {
         let s = setup(
             "func main() {\n ch := make(chan int)\n var mu sync.Mutex\n go func() {\n  mu.Lock()\n  <-ch\n  mu.Unlock()\n }()\n ch <- 1\n mu.Lock()\n mu.Unlock()\n}",
         );
-        let dg = build_dependency_graph(&s.module, &s.analysis, &s.prims);
+        let dg = build_dependency_graph(s.module, &s.analysis, &s.prims);
         let ch = prim_named(&s, "ch");
         let mu = prim_named(&s, "mu");
         assert!(dg.depends_on(mu, ch));

@@ -88,12 +88,13 @@ pub use batch::{
     JobRecord, JobStatus, Journal, JournalCodec,
 };
 pub use checkers::{Checker, Registry, RunOutput, Selection};
-pub use constraints::SolverStrategy;
+pub use constraints::{EncodingCache, SolverStrategy};
 pub use detector::{Detector, DetectorConfig};
 pub use diagnostics::{
     render_explain, render_json, render_json_with, render_stats_json, Diagnostic, Severity,
 };
 pub use faults::FaultPlan;
+pub use golite_ir::{AliasMode, AliasStats};
 pub use report::{BugKind, BugReport, OpRef, Provenance};
 pub use resilience::{Budget, CancelToken, Incident, IncidentKind};
 pub use session::AnalysisSession;
@@ -116,8 +117,20 @@ impl<'m> GCatch<'m> {
     /// [`GCatch::new`] with span tracing at `level`; retrieve the
     /// recording with [`GCatch::trace_snapshot`] after running checkers.
     pub fn with_trace(module: &'m golite_ir::Module, level: TraceLevel) -> GCatch<'m> {
+        Self::with_options(module, level, golite_ir::AliasMode::default())
+    }
+
+    /// [`GCatch::with_trace`] with an explicit alias-analysis scheduling
+    /// mode (`--alias-mode`): `Demand` (the default) solves points-to
+    /// lazily per queried reference component, `Eager` solves the whole
+    /// module up front. Reports are byte-identical either way.
+    pub fn with_options(
+        module: &'m golite_ir::Module,
+        level: TraceLevel,
+        alias_mode: golite_ir::AliasMode,
+    ) -> GCatch<'m> {
         GCatch {
-            session: AnalysisSession::with_trace(module, level),
+            session: AnalysisSession::with_options(module, level, alias_mode),
             registry: Registry::standard(),
         }
     }

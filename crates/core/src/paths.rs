@@ -140,7 +140,7 @@ impl Default for Limits {
 /// The path enumerator for one (channel, Pset, scope) instance.
 pub struct Enumerator<'a> {
     module: &'a Module,
-    analysis: &'a Analysis,
+    analysis: &'a Analysis<'a>,
     prims: &'a Primitives,
     pset: HashSet<PrimId>,
     /// Functions that (transitively) touch a Pset primitive.
@@ -179,15 +179,13 @@ impl<'a> Enumerator<'a> {
                 direct.insert(op.func);
             }
         }
+        // `f` touches the Pset ⟺ some direct function is reachable from
+        // `f` ⟺ `f` can reach a direct function — so the union of the
+        // (memoized) reverse-reachability slices gives the same set
+        // without scanning every module function per channel.
         let mut touchers = HashSet::new();
-        for f in &module.funcs {
-            if analysis
-                .reachable_from(f.id)
-                .iter()
-                .any(|g| direct.contains(g))
-            {
-                touchers.insert(f.id);
-            }
+        for &d in &direct {
+            touchers.extend(analysis.reaching(d).iter().copied());
         }
         Enumerator {
             module,
@@ -612,7 +610,7 @@ impl<'a> Enumerator<'a> {
     ) -> Option<Vec<Event>> {
         match target {
             FuncRef::Static(fid) => {
-                let name = self.module.func(*fid).name.clone();
+                let name = self.module.func(*fid).name;
                 match name.as_str() {
                     // Helper defers: resolve the primitive from the argument
                     // *at the defer site* (context-sensitive).
@@ -727,15 +725,17 @@ mod tests {
     use golite_ir::{analyze, lower_source};
 
     struct Setup {
-        module: Module,
-        analysis: Analysis,
+        module: &'static Module,
+        analysis: Analysis<'static>,
         prims: Primitives,
     }
 
     fn setup(src: &str) -> Setup {
-        let module = lower_source(src).expect("lowering");
-        let analysis = analyze(&module);
-        let prims = collect(&module, &analysis);
+        // Leaked so the analysis (which borrows the module) can live in
+        // the same struct; test-only.
+        let module: &'static Module = Box::leak(Box::new(lower_source(src).expect("lowering")));
+        let analysis = analyze(module);
+        let prims = collect(module, &analysis);
         Setup {
             module,
             analysis,
@@ -751,7 +751,7 @@ mod tests {
     fn straight_line_has_one_path() {
         let s = setup("func main() {\n ch := make(chan int, 1)\n ch <- 1\n <-ch\n}");
         let pset = all_prims(&s);
-        let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
+        let mut e = Enumerator::new(s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let main = s.module.func_by_name("main").unwrap().id;
         let paths = e.paths_of(main);
         assert_eq!(paths.len(), 1);
@@ -796,7 +796,7 @@ func StdCopy() error {
 "#,
         );
         let pset = all_prims(&s);
-        let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
+        let mut e = Enumerator::new(s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let exec = s.module.func_by_name("Exec").unwrap().id;
         let paths = e.paths_of(exec);
         assert_eq!(paths.len(), 3, "case1/err!=nil, case1/err==nil, case2");
@@ -812,7 +812,7 @@ func StdCopy() error {
             "func busy() {\n x := 1\n _ = x\n}\nfunc main() {\n ch := make(chan int, 1)\n busy()\n ch <- 1\n}",
         );
         let pset = all_prims(&s);
-        let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
+        let mut e = Enumerator::new(s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let main = s.module.func_by_name("main").unwrap().id;
         let paths = e.paths_of(main);
         assert_eq!(paths.len(), 1, "busy() contributes no path split");
@@ -824,7 +824,7 @@ func StdCopy() error {
             "func helper(ch chan int) {\n ch <- 1\n}\nfunc main() {\n ch := make(chan int, 1)\n helper(ch)\n <-ch\n}",
         );
         let pset = all_prims(&s);
-        let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
+        let mut e = Enumerator::new(s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let main = s.module.func_by_name("main").unwrap().id;
         let paths = e.paths_of(main);
         assert_eq!(paths.len(), 1);
@@ -847,7 +847,7 @@ func StdCopy() error {
     fn loops_unrolled_at_most_twice() {
         let s = setup("func main() {\n ch := make(chan int, 8)\n for {\n  ch <- 1\n }\n}");
         let pset = all_prims(&s);
-        let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
+        let mut e = Enumerator::new(s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let main = s.module.func_by_name("main").unwrap().id;
         let paths = e.paths_of(main);
         let max_sends = paths
@@ -870,7 +870,7 @@ func StdCopy() error {
     fn defer_close_appends_at_return() {
         let s = setup("func main() {\n ch := make(chan int)\n defer close(ch)\n x := 1\n _ = x\n}");
         let pset = all_prims(&s);
-        let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
+        let mut e = Enumerator::new(s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let main = s.module.func_by_name("main").unwrap().id;
         let paths = e.paths_of(main);
         assert_eq!(paths.len(), 1);
@@ -896,7 +896,7 @@ func TestX(t *testing.T, fail bool) {
 "#,
         );
         let pset = all_prims(&s);
-        let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
+        let mut e = Enumerator::new(s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let f = s.module.func_by_name("TestX").unwrap().id;
         let paths = e.paths_of(f);
         assert_eq!(paths.len(), 2);
@@ -925,7 +925,7 @@ func TestX(t *testing.T, fail bool) {
             "func main(cond bool) {\n ch := make(chan int, 4)\n if cond {\n  ch <- 1\n }\n if cond {\n  ch <- 2\n }\n}",
         );
         let pset = all_prims(&s);
-        let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
+        let mut e = Enumerator::new(s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let main = s.module.func_by_name("main").unwrap().id;
         let paths = e.paths_of(main);
         // Consistent worlds only: cond=true (2 sends) or cond=false (0 sends).
@@ -950,7 +950,7 @@ func TestX(t *testing.T, fail bool) {
             "func main() {\n a := make(chan int)\n b := make(chan int)\n select {\n case <-a:\n case <-b:\n default:\n }\n}",
         );
         let pset = all_prims(&s);
-        let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
+        let mut e = Enumerator::new(s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let main = s.module.func_by_name("main").unwrap().id;
         let paths = e.paths_of(main);
         assert_eq!(paths.len(), 3, "two cases plus default");
@@ -974,7 +974,7 @@ func TestX(t *testing.T, fail bool) {
             "func main() {\n ch := make(chan int)\n select {\n case <-ch:\n default:\n }\n ch <- 1\n close(ch)\n}",
         );
         let pset = all_prims(&s);
-        let mut e = Enumerator::new(&s.module, &s.analysis, &s.prims, &pset, Limits::default());
+        let mut e = Enumerator::new(s.module, &s.analysis, &s.prims, &pset, Limits::default());
         let main = s.module.func_by_name("main").unwrap().id;
         let paths = e.paths_of(main);
         for p in &paths {

@@ -23,15 +23,17 @@ use crate::resilience::{Budget, Incident};
 use crate::telemetry::{Stage, Stats, Telemetry};
 use crate::trace::{TraceLevel, TraceSnapshot, Tracer};
 use crate::traditional::LockSummary;
-use golite_ir::alias::Analysis;
+use golite_ir::alias::{AliasMode, Analysis};
 use golite_ir::ir::Module;
 use std::sync::{Mutex, OnceLock};
 
 /// Shared per-module analyses plus telemetry, built once per checked module.
 pub struct AnalysisSession<'m> {
     pub(crate) module: &'m Module,
-    /// Shared points-to / call-graph results.
-    pub analysis: Analysis,
+    /// Shared points-to / call-graph results. In demand mode the engine
+    /// solves lazily behind this shared handle, so every detector shard
+    /// transparently reuses each component solve.
+    pub analysis: Analysis<'m>,
     /// Discovered primitives and operations.
     pub prims: Primitives,
     /// Channel dependency graph (disentangling §3.2), built on first use.
@@ -50,6 +52,9 @@ pub struct AnalysisSession<'m> {
     /// Run-wide analysis budget, anchored at the first detector call so
     /// `--timeout` bounds the whole run rather than each checker.
     budget: OnceLock<Budget>,
+    /// Cross-channel verdict cache: structurally identical channel
+    /// encodings share solver outcomes across every worker shard.
+    encoding_cache: crate::constraints::EncodingCache,
 }
 
 /// Compatibility alias: the BMOC detector is the session itself.
@@ -64,6 +69,18 @@ impl<'m> AnalysisSession<'m> {
     /// [`AnalysisSession::new`] with span tracing at `level`; retrieve the
     /// recording with [`AnalysisSession::trace_snapshot`].
     pub fn with_trace(module: &'m Module, level: TraceLevel) -> AnalysisSession<'m> {
+        Self::with_options(module, level, AliasMode::default())
+    }
+
+    /// [`AnalysisSession::with_trace`] with an explicit alias-analysis
+    /// scheduling mode (`--alias-mode`). Both modes yield byte-identical
+    /// reports; demand mode skips points-to work for functions no checker
+    /// ever asks about.
+    pub fn with_options(
+        module: &'m Module,
+        level: TraceLevel,
+        alias_mode: AliasMode,
+    ) -> AnalysisSession<'m> {
         let telemetry = Telemetry::new();
         let tracer = Tracer::new(level);
         let (analysis, prims) = {
@@ -72,7 +89,7 @@ impl<'m> AnalysisSession<'m> {
             let mut lane = tracer.lane(0, "main");
             lane.span("analysis", Vec::new(), |_| {
                 telemetry.time(Stage::Analysis, || {
-                    let analysis = golite_ir::analyze(module);
+                    let analysis = golite_ir::analyze_with_mode(module, alias_mode);
                     let prims = collect(module, &analysis);
                     (analysis, prims)
                 })
@@ -89,7 +106,13 @@ impl<'m> AnalysisSession<'m> {
             tracer,
             incidents: Mutex::new(Vec::new()),
             budget: OnceLock::new(),
+            encoding_cache: crate::constraints::EncodingCache::new(),
         }
+    }
+
+    /// The session's cross-channel verdict cache.
+    pub(crate) fn encoding_cache(&self) -> &crate::constraints::EncodingCache {
+        &self.encoding_cache
     }
 
     /// The module under analysis.
@@ -155,8 +178,20 @@ impl<'m> AnalysisSession<'m> {
     }
 
     /// Snapshot of all counters and stage timings recorded so far.
+    ///
+    /// The alias engine's live tallies are folded into the snapshot here
+    /// (rather than `add`ed to the sink) so repeated calls stay idempotent.
     pub fn stats(&self) -> Stats {
-        self.telemetry.snapshot()
+        let mut stats = self.telemetry.snapshot();
+        let alias = self.analysis.alias_stats();
+        for (c, v) in stats.counters.iter_mut() {
+            match c {
+                crate::telemetry::Counter::AliasQueriesSolved => *v += alias.queries_solved,
+                crate::telemetry::Counter::AliasFunctionsSkipped => *v += alias.functions_skipped,
+                _ => {}
+            }
+        }
+        stats
     }
 
     /// Records a contained failure. Callers are responsible for calling

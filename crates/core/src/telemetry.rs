@@ -118,10 +118,20 @@ pub enum Counter {
     JobsQuarantined,
     /// Batch jobs restored from a checkpoint journal instead of re-run.
     JobsResumed,
+    /// Points-to component solves actually performed by the alias engine
+    /// (demand mode solves one per queried reference component; eager
+    /// mode reports a single whole-module solve).
+    AliasQueriesSolved,
+    /// Functions whose points-to constraints were never solved because no
+    /// checker asked about them (demand mode only).
+    AliasFunctionsSkipped,
+    /// Channel verdicts answered from a structurally identical channel's
+    /// cached encoding instead of fresh solver work.
+    ChannelEncodingsShared,
 }
 
 impl Counter {
-    const COUNT: usize = 21;
+    const COUNT: usize = 24;
 
     fn index(self) -> usize {
         match self {
@@ -146,6 +156,9 @@ impl Counter {
             Counter::JobsHedged => 18,
             Counter::JobsQuarantined => 19,
             Counter::JobsResumed => 20,
+            Counter::AliasQueriesSolved => 21,
+            Counter::AliasFunctionsSkipped => 22,
+            Counter::ChannelEncodingsShared => 23,
         }
     }
 
@@ -173,6 +186,9 @@ impl Counter {
             Counter::JobsHedged => "jobs_hedged",
             Counter::JobsQuarantined => "jobs_quarantined",
             Counter::JobsResumed => "jobs_resumed",
+            Counter::AliasQueriesSolved => "alias_queries_solved",
+            Counter::AliasFunctionsSkipped => "alias_functions_skipped",
+            Counter::ChannelEncodingsShared => "channel_encodings_shared",
         }
     }
 
@@ -200,6 +216,9 @@ impl Counter {
             Counter::JobsHedged,
             Counter::JobsQuarantined,
             Counter::JobsResumed,
+            Counter::AliasQueriesSolved,
+            Counter::AliasFunctionsSkipped,
+            Counter::ChannelEncodingsShared,
         ]
     }
 }
@@ -222,10 +241,13 @@ pub enum Metric {
     /// Per-job wall-clock time in the batch engine (ns; one sample per
     /// completed job, hedges and retries included in the winner's time).
     JobWallNs,
+    /// End-to-end wall-clock per checked module (ns; one sample per
+    /// module — analysis through report rendering).
+    ModuleWallNs,
 }
 
 impl Metric {
-    const COUNT: usize = 5;
+    const COUNT: usize = 6;
 
     fn index(self) -> usize {
         match self {
@@ -234,6 +256,7 @@ impl Metric {
             Metric::PathsPerChannel => 2,
             Metric::CombosPerChannel => 3,
             Metric::JobWallNs => 4,
+            Metric::ModuleWallNs => 5,
         }
     }
 
@@ -245,6 +268,7 @@ impl Metric {
             Metric::PathsPerChannel => "paths_per_channel",
             Metric::CombosPerChannel => "combos_per_channel",
             Metric::JobWallNs => "job_wall_ns",
+            Metric::ModuleWallNs => "module_wall_ns",
         }
     }
 
@@ -253,7 +277,10 @@ impl Metric {
     pub fn is_time(self) -> bool {
         matches!(
             self,
-            Metric::ChannelDetectNs | Metric::SolverQueryNs | Metric::JobWallNs
+            Metric::ChannelDetectNs
+                | Metric::SolverQueryNs
+                | Metric::JobWallNs
+                | Metric::ModuleWallNs
         )
     }
 
@@ -265,6 +292,7 @@ impl Metric {
             Metric::PathsPerChannel,
             Metric::CombosPerChannel,
             Metric::JobWallNs,
+            Metric::ModuleWallNs,
         ]
     }
 }

@@ -90,7 +90,7 @@ fn op_ref(module: &Module, loc: Loc, span: golite::Span, what: impl Into<String>
         loc,
         span,
         what: what.into(),
-        func_name: module.func(loc.func).name.clone(),
+        func_name: module.func(loc.func).name.to_string(),
     }
 }
 
@@ -102,7 +102,7 @@ fn op_ref(module: &Module, loc: Loc, span: golite::Span, what: impl Into<String>
 /// unlocks, and the held-before graph.
 struct LockExplorer<'a> {
     module: &'a Module,
-    analysis: &'a Analysis,
+    analysis: &'a Analysis<'a>,
     prims: &'a Primitives,
     /// Functions containing (transitively) a lock/unlock operation.
     touchers: HashSet<FuncId>,
@@ -364,7 +364,9 @@ impl<'a> LockExplorer<'a> {
 /// an access protected by a caller-held lock looks unprotected here.
 fn lockset_race(module: &Module, analysis: &Analysis, prims: &Primitives) -> Vec<BugReport> {
     // Access record: (struct site, field) → [(loc, span, lockset, is_write)].
-    type Key = (Loc, String);
+    // `Symbol` orders by text, so the deterministic sort below matches the
+    // old `(Loc, String)` key exactly.
+    type Key = (Loc, golite_ir::Symbol);
     type Access = (Loc, golite::Span, HashSet<PrimId>, bool);
     let mut accesses: HashMap<Key, Vec<Access>> = HashMap::new();
 
@@ -426,7 +428,7 @@ fn lockset_race(module: &Module, analysis: &Analysis, prims: &Primitives) -> Vec
                         let is_write = matches!(instr, Instr::FieldStore { .. });
                         for o in analysis.operand_points_to(f.id, obj) {
                             if let AbstractObject::Struct(site) = o {
-                                accesses.entry((site, field.clone())).or_default().push((
+                                accesses.entry((site, *field)).or_default().push((
                                     loc,
                                     span,
                                     held.clone(),
@@ -444,7 +446,7 @@ fn lockset_race(module: &Module, analysis: &Analysis, prims: &Primitives) -> Vec
     // Deterministic report order: walk fields by (site, name), not in
     // HashMap order.
     let mut keyed: Vec<(Key, Vec<Access>)> = accesses.into_iter().collect();
-    keyed.sort_by_key(|((site, field), _)| (site.func.0, site.block.0, site.idx, field.clone()));
+    keyed.sort_by_key(|((site, field), _)| (site.func.0, site.block.0, site.idx, *field));
 
     let mut out = Vec::new();
     for ((_site, field), accs) in keyed {
@@ -538,7 +540,7 @@ fn apply_block_locks(
 fn fatal_in_child(module: &Module, analysis: &Analysis) -> Vec<BugReport> {
     // Functions reachable from any `go` target.
     let mut child_funcs: HashSet<FuncId> = HashSet::new();
-    for cs in &analysis.call_sites {
+    for cs in analysis.call_sites() {
         if matches!(cs.kind, CallKind::Go) && !cs.ambiguous {
             for &t in &cs.targets {
                 child_funcs.extend(analysis.reachable_from(t).iter().copied());
@@ -562,7 +564,7 @@ fn fatal_in_child(module: &Module, analysis: &Analysis) -> Vec<BugReport> {
                         kind: BugKind::FatalInChildGoroutine,
                         primitive: None,
                         primitive_span: block.spans[idx],
-                        primitive_name: f.name.clone(),
+                        primitive_name: f.name.to_string(),
                         ops: vec![op_ref(
                             module,
                             loc,

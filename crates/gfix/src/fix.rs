@@ -102,7 +102,7 @@ impl std::fmt::Display for Rejection {
 pub struct GFix<'a> {
     prog: &'a Program,
     module: &'a Module,
-    analysis: &'a Analysis,
+    analysis: &'a Analysis<'a>,
     prims: &'a Primitives,
     /// Memoized channel-locality verdicts (a full-module scan each).
     locality: std::cell::RefCell<std::collections::HashMap<PrimId, bool>>,
@@ -115,7 +115,7 @@ impl<'a> GFix<'a> {
     pub fn new(
         prog: &'a Program,
         module: &'a Module,
-        analysis: &'a Analysis,
+        analysis: &'a Analysis<'a>,
         prims: &'a Primitives,
     ) -> GFix<'a> {
         GFix {

@@ -1,0 +1,202 @@
+//! A global string interner for IR names.
+//!
+//! Every name the IR carries — function names, register names, struct and
+//! field names, global names, external callee names — is interned once into
+//! a process-wide table and handled as a [`Symbol`]: a `Copy` 4-byte id.
+//! This removes the `String` clones and hash-of-string lookups that
+//! dominated the hot paths at corpus scale (`name_to_func` lookups, field
+//! keys in the points-to solver, per-primitive name resolution), while
+//! keeping human-readable text one `as_str()` away for diagnostics.
+//!
+//! Determinism: interning order depends on evaluation order (and, across
+//! threads, on scheduling), so the numeric ids are *not* stable between
+//! runs. `Symbol` therefore implements `Ord`/`PartialOrd` by comparing the
+//! underlying strings, never the ids — anything sorted by `Symbol` sorts
+//! exactly as it would have sorted by `String`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string. Cheap to copy, compare, and hash; resolves to its
+/// text via [`Symbol::as_str`] in O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+/// The process-wide intern table. Strings are leaked on first interning so
+/// resolution hands out `&'static str`; reads take a shared lock (many
+/// concurrent readers), and only the cold interning path takes the
+/// exclusive lock.
+struct Interner {
+    /// text → id for deduplication.
+    ids: HashMap<&'static str, u32>,
+    /// id → text for resolution.
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            ids: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns a string, returning its symbol. Idempotent: the same text
+    /// always maps to the same symbol within one process.
+    pub fn intern(text: &str) -> Symbol {
+        if let Some(&id) = interner().read().expect("intern table").ids.get(text) {
+            return Symbol(id);
+        }
+        let mut table = interner().write().expect("intern table");
+        // Re-check under the write lock: another thread may have interned
+        // the same text between our read and write sections.
+        if let Some(&id) = table.ids.get(text) {
+            return Symbol(id);
+        }
+        let id = table.strings.len() as u32;
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        table.ids.insert(leaked, id);
+        table.strings.push(leaked);
+        Symbol(id)
+    }
+
+    /// The interned text. O(1); no allocation.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("intern table").strings[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// Orders by text, not by id: interning order varies run to run, so id
+/// order would leak nondeterminism into anything sorted by symbol.
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("hello-intern-test");
+        let b = Symbol::intern("hello-intern-test");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "hello-intern-test");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("intern-test-a");
+        let b = Symbol::intern("intern-test-b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ordering_follows_text_not_id() {
+        // Intern in reverse lexicographic order; Ord must still sort by text.
+        let z = Symbol::intern("zz-intern-order");
+        let a = Symbol::intern("aa-intern-order");
+        assert!(a < z);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
+    fn compares_against_str_and_string() {
+        let s = Symbol::intern("mixed-eq-test");
+        assert_eq!(s, "mixed-eq-test");
+        assert_eq!("mixed-eq-test", s);
+        assert_eq!(s, String::from("mixed-eq-test"));
+        assert!(s.starts_with("mixed"), "Deref<Target=str> works");
+    }
+}

@@ -13,6 +13,7 @@
 //! preserving everything the analyses need (creation sites, operation sites,
 //! call/spawn structure).
 
+use crate::intern::Symbol;
 use golite::{Span, Type};
 use std::fmt;
 
@@ -103,7 +104,7 @@ pub enum FuncRef {
     Dynamic(Operand),
     /// A call to a function the module does not define (treated as an
     /// opaque no-op by both the analyses and the simulator).
-    External(String),
+    External(Symbol),
 }
 
 /// Binary operators (same set as the AST).
@@ -181,9 +182,9 @@ pub enum Instr {
         /// Destination register.
         dst: Var,
         /// Struct type name.
-        name: String,
+        name: Symbol,
         /// Explicit field initializers.
-        fields: Vec<(String, Operand)>,
+        fields: Vec<(Symbol, Operand)>,
     },
     /// Creation of a slice with the given elements.
     MakeSlice {
@@ -234,14 +235,14 @@ pub enum Instr {
         /// The struct object.
         obj: Operand,
         /// Field name.
-        field: String,
+        field: Symbol,
     },
     /// `obj.field = value`
     FieldStore {
         /// The struct object.
         obj: Operand,
         /// Field name.
-        field: String,
+        field: Symbol,
         /// Stored value.
         value: Operand,
     },
@@ -517,7 +518,7 @@ impl Block {
 #[derive(Debug, Clone)]
 pub struct Function {
     /// Function name (lifted closures get `<outer>$closureN`).
-    pub name: String,
+    pub name: Symbol,
     /// This function's id within the module.
     pub id: FuncId,
     /// Registers holding the parameters, in order.
@@ -529,7 +530,7 @@ pub struct Function {
     /// Basic blocks; block 0 is the entry.
     pub blocks: Vec<Block>,
     /// Register names (debugging / reports).
-    pub var_names: Vec<String>,
+    pub var_names: Vec<Symbol>,
     /// Register types as inferred during lowering.
     pub var_types: Vec<Type>,
     /// Whether this function was lifted from a closure expression.
@@ -570,8 +571,13 @@ impl Function {
     }
 
     /// The name of a register.
-    pub fn var_name(&self, v: Var) -> &str {
-        &self.var_names[v.0 as usize]
+    pub fn var_name(&self, v: Var) -> &'static str {
+        self.var_names[v.0 as usize].as_str()
+    }
+
+    /// The name of a register as an interned symbol (no resolution cost).
+    pub fn var_symbol(&self, v: Var) -> Symbol {
+        self.var_names[v.0 as usize]
     }
 }
 
@@ -579,7 +585,7 @@ impl Function {
 #[derive(Debug, Clone)]
 pub struct Global {
     /// Source name.
-    pub name: String,
+    pub name: Symbol,
     /// Declared type.
     pub ty: Type,
     /// Id.
@@ -595,8 +601,9 @@ pub struct Module {
     pub structs: Vec<golite::StructDecl>,
     /// Module-level globals.
     pub globals: Vec<Global>,
-    /// Map from function name to id (declared functions only).
-    name_to_func: std::collections::HashMap<String, FuncId>,
+    /// Map from function name to id (declared functions only). Keyed by
+    /// interned symbol: lookups hash 4 bytes, not the whole name.
+    name_to_func: std::collections::HashMap<Symbol, FuncId>,
 }
 
 impl Module {
@@ -611,11 +618,13 @@ impl Module {
     }
 
     /// Adds a function, registering its name if it is not a lifted closure.
+    /// The function is moved into the module — no clone, and the name
+    /// registration copies a 4-byte symbol instead of the name text.
     pub fn add_func(&mut self, mut f: Function) -> FuncId {
         let id = FuncId(self.funcs.len() as u32);
         f.id = id;
         if !f.is_closure {
-            self.name_to_func.insert(f.name.clone(), id);
+            self.name_to_func.insert(f.name, id);
         }
         self.funcs.push(f);
         id
@@ -624,7 +633,15 @@ impl Module {
     /// Looks up a declared (non-closure) function by name.
     pub fn func_by_name(&self, name: &str) -> Option<&Function> {
         self.name_to_func
-            .get(name)
+            .get(&Symbol::intern(name))
+            .map(|id| &self.funcs[id.0 as usize])
+    }
+
+    /// Looks up a declared (non-closure) function by interned name,
+    /// skipping the intern-table round trip.
+    pub fn func_by_symbol(&self, name: Symbol) -> Option<&Function> {
+        self.name_to_func
+            .get(&name)
             .map(|id| &self.funcs[id.0 as usize])
     }
 
@@ -659,9 +676,9 @@ impl Default for Module {
     }
 }
 
-/// Pretty-prints a function's CFG for debugging.
-pub fn dump_function(f: &Function) -> String {
-    let mut out = String::new();
+/// Pretty-prints a function's CFG into `out` (append-only; callers dumping
+/// many functions reuse one buffer instead of allocating per call).
+pub fn dump_function_into(f: &Function, out: &mut String) {
     use fmt::Write as _;
     let _ = writeln!(out, "func {} (id {}) params={:?}", f.name, f.id.0, f.params);
     for (bid, block) in f.iter_blocks() {
@@ -671,6 +688,12 @@ pub fn dump_function(f: &Function) -> String {
         }
         let _ = writeln!(out, "   term: {:?}", block.term);
     }
+}
+
+/// Pretty-prints a function's CFG for debugging.
+pub fn dump_function(f: &Function) -> String {
+    let mut out = String::new();
+    dump_function_into(f, &mut out);
     out
 }
 
@@ -741,7 +764,7 @@ mod tests {
         };
         m.add_func(f.clone());
         let mut c = f;
-        c.name = "main$closure0".into();
+        c.name = Symbol::intern("main$closure0");
         c.is_closure = true;
         m.add_func(c);
         assert!(m.func_by_name("main").is_some());

@@ -27,17 +27,21 @@
 //! let module = golite_ir::lower_source(src).unwrap();
 //! let analysis = golite_ir::analyze(&module);
 //! assert_eq!(module.funcs.len(), 2); // main + lifted closure
-//! assert!(analysis.call_sites.iter().any(|cs| matches!(cs.kind, golite_ir::CallKind::Go)));
+//! assert!(analysis.call_sites().iter().any(|cs| matches!(cs.kind, golite_ir::CallKind::Go)));
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod alias;
 pub mod dom;
+pub mod intern;
 pub mod ir;
 pub mod lower;
 
-pub use alias::{analyze, AbstractObject, Analysis, CallKind, CallSite};
+pub use alias::{
+    analyze, analyze_with_mode, AbstractObject, AliasMode, AliasStats, Analysis, CallKind, CallSite,
+};
 pub use dom::{predecessors, reachable_blocks, Dominators, PostDominators};
+pub use intern::Symbol;
 pub use ir::*;
 pub use lower::{lower, lower_source, LowerError};

@@ -22,6 +22,7 @@
 //! conditions are side-effect free), which keeps branch conditions first-
 //! class values for GCatch's infeasible-path filtering.
 
+use crate::intern::Symbol;
 use crate::ir::*;
 use golite::ast::{self, ExprKind, SelectCaseKind, StmtKind};
 use golite::{Expr, Program, Span, Stmt, Type};
@@ -169,13 +170,15 @@ impl FuncCtx {
 
     fn into_function(self) -> Function {
         Function {
-            name: self.name,
+            // Names are interned exactly once here, at the lowering
+            // boundary; everything downstream handles 4-byte symbols.
+            name: Symbol::intern(&self.name),
             id: self.id,
             params: self.params,
             n_captures: self.n_captures,
             results: self.results,
             blocks: self.blocks,
-            var_names: self.var_names,
+            var_names: self.var_names.iter().map(|n| Symbol::intern(n)).collect(),
             var_types: self.var_types,
             is_closure: self.is_closure,
             span: self.span,
@@ -257,7 +260,7 @@ impl<'a> Lowerer<'a> {
                 ast::Decl::GlobalVar { name, ty, .. } => {
                     let id = GlobalId(self.globals.len() as u32);
                     self.globals.push(Global {
-                        name: name.clone(),
+                        name: Symbol::intern(name),
                         ty: ty.clone(),
                         id,
                     });
@@ -486,7 +489,7 @@ impl<'a> Lowerer<'a> {
                 self.ctx().emit(
                     Instr::MakeStruct {
                         dst,
-                        name,
+                        name: Symbol::intern(&name),
                         fields: inits,
                     },
                     span,
@@ -516,14 +519,14 @@ impl<'a> Lowerer<'a> {
     fn primitive_field_inits(
         &mut self,
         struct_name: &str,
-        already: &[String],
+        already: &[Symbol],
         span: Span,
-    ) -> Vec<(String, Operand)> {
+    ) -> Vec<(Symbol, Operand)> {
         let decl = self.structs.iter().find(|s| s.name == struct_name).cloned();
         let Some(decl) = decl else { return vec![] };
         let mut out = Vec::new();
         for (fname, fty) in &decl.fields {
-            if already.contains(fname) {
+            if already.iter().any(|a| *a == *fname) {
                 continue;
             }
             let make = match fty {
@@ -548,7 +551,7 @@ impl<'a> Lowerer<'a> {
                     _ => unreachable!(),
                 };
                 self.ctx().emit(instr, span);
-                out.push((fname.clone(), Operand::Var(dst)));
+                out.push((Symbol::intern(fname), Operand::Var(dst)));
             }
         }
         out
@@ -908,7 +911,7 @@ impl<'a> Lowerer<'a> {
                 self.ctx().emit(
                     Instr::FieldStore {
                         obj: o,
-                        field: name.clone(),
+                        field: Symbol::intern(name),
                         value,
                     },
                     span,
@@ -1306,7 +1309,7 @@ impl<'a> Lowerer<'a> {
                         } else if let Some(sig) = self.sigs.get(name.as_str()) {
                             Ok((FuncRef::Static(sig.id), ops))
                         } else {
-                            Ok((FuncRef::External(name.clone()), ops))
+                            Ok((FuncRef::External(Symbol::intern(name)), ops))
                         }
                     }
                     ExprKind::Closure { .. } => {
@@ -1327,7 +1330,7 @@ impl<'a> Lowerer<'a> {
                     ops.push(self.lower_expr(a)?.0);
                 }
                 let _ = recv;
-                Ok((FuncRef::External(name.clone()), ops))
+                Ok((FuncRef::External(Symbol::intern(name)), ops))
             }
             _ => Err(self.err("expected call expression", call.span)),
         }
@@ -1885,7 +1888,7 @@ impl<'a> Lowerer<'a> {
                     Instr::FieldLoad {
                         dst,
                         obj: o,
-                        field: name.clone(),
+                        field: Symbol::intern(name),
                     },
                     span,
                 );
@@ -1903,7 +1906,7 @@ impl<'a> Lowerer<'a> {
                     Ok((Operand::Var(dst), ty.clone()))
                 }
                 Type::Named(name) => {
-                    let mut inits = Vec::new();
+                    let mut inits: Vec<(Symbol, Operand)> = Vec::new();
                     let decl_fields: Vec<String> = self
                         .structs
                         .iter()
@@ -1916,16 +1919,16 @@ impl<'a> Lowerer<'a> {
                             .clone()
                             .or_else(|| decl_fields.get(i).cloned())
                             .unwrap_or_else(|| format!("_{i}"));
-                        inits.push((fname, op));
+                        inits.push((Symbol::intern(&fname), op));
                     }
-                    let explicit: Vec<String> = inits.iter().map(|(f, _)| f.clone()).collect();
+                    let explicit: Vec<Symbol> = inits.iter().map(|(f, _)| *f).collect();
                     let prim_inits = self.primitive_field_inits(name, &explicit, span);
                     inits.extend(prim_inits);
                     let dst = self.ctx().fresh_var("obj", ty.clone());
                     self.ctx().emit(
                         Instr::MakeStruct {
                             dst,
-                            name: name.clone(),
+                            name: Symbol::intern(name),
                             fields: inits,
                         },
                         span,

@@ -289,7 +289,7 @@ struct Machine<'m> {
     mutexes: Vec<MutexState>,
     wgs: Vec<WgState>,
     conds: Vec<CondState>,
-    structs: Vec<std::collections::HashMap<String, Value>>,
+    structs: Vec<std::collections::HashMap<golite_ir::Symbol, Value>>,
     slices: Vec<Vec<Value>>,
     globals: Vec<Value>,
     goroutines: Vec<Goroutine>,
@@ -438,7 +438,7 @@ impl<'m> Machine<'m> {
                         .unwrap_or_default();
                     Some(BlockedGoroutine {
                         id: g.id,
-                        func: f.name.clone(),
+                        func: f.name.to_string(),
                         reason: reason.clone(),
                         span,
                     })
@@ -737,12 +737,12 @@ impl<'m> Machine<'m> {
                             golite::Type::String => Value::Str(Rc::from("")),
                             _ => Value::Nil,
                         };
-                        map.insert(fname.clone(), v);
+                        map.insert(golite_ir::Symbol::intern(fname), v);
                     }
                 }
                 for (fname, op) in fields {
                     let v = self.eval(gid, op);
-                    map.insert(fname.clone(), v);
+                    map.insert(*fname, v);
                 }
                 let id = self.structs.len();
                 self.structs.push(map);
@@ -838,7 +838,7 @@ impl<'m> Machine<'m> {
                 let v = self.eval(gid, value);
                 match o {
                     Value::Struct(s) => {
-                        self.structs[s].insert(field.clone(), v);
+                        self.structs[s].insert(*field, v);
                         self.advance(gid);
                     }
                     Value::Nil => self.panic_program("nil pointer dereference"),

@@ -11,9 +11,9 @@
 //! ```
 
 use gcatch_suite::gcatch::{
-    faults, render_explain, render_json_with, render_stats_json, BatchConfig, BatchEngine,
-    BatchJob, DetectorConfig, FaultPlan, GCatch, HedgePolicy, Incident, JobCtx, Journal,
-    JournalCodec, Selection, SolverStrategy, Telemetry, TraceLevel, Tracer,
+    faults, render_explain, render_json_with, render_stats_json, AliasMode, BatchConfig,
+    BatchEngine, BatchJob, DetectorConfig, FaultPlan, GCatch, HedgePolicy, Incident, JobCtx,
+    Journal, JournalCodec, Metric, Selection, SolverStrategy, Telemetry, TraceLevel, Tracer,
 };
 use gcatch_suite::{gfix, sim};
 use std::collections::BTreeMap;
@@ -54,7 +54,7 @@ usage: gcatch <command> [options] <file.go>
 commands:
   check [--json] [--stats] [--explain] [--trace FILE] [--only C] [--skip C] [--jobs N]
         [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
-        [--step-pool N]
+        [--alias-mode M] [--no-share-encodings] [--step-pool N]
         [--strict]
                         detect concurrency bugs via the checker registry;
                         --only/--skip select checkers by name (repeatable,
@@ -76,7 +76,7 @@ commands:
         [--inject-faults RATE] [--fault-seed N] [--journal FILE | --resume FILE]
         [--report FILE] [--json] [--stats] [--strict] [--trace FILE]
         [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
-        [--step-pool N]
+        [--alias-mode M] [--no-share-encodings] [--step-pool N]
         <file.go|dir>...
                         check many modules under a supervised worker pool:
                         failed modules retry with exponential backoff,
@@ -91,7 +91,7 @@ commands:
                         (non-recursive, sorted)
   extended [--json] [--stats] [--explain] [--trace FILE] [--jobs N]
         [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
-        [--step-pool N]
+        [--alias-mode M] [--no-share-encodings] [--step-pool N]
         [--strict]
                         run the send-on-closed (panic) detector (paper §6)
 
@@ -105,6 +105,14 @@ budgets (check / extended):
                         `fresh` (one solver per query), or `rescan` (fresh
                         solvers with the legacy clone-and-rescan engine);
                         all three produce identical reports
+  --alias-mode M        alias-analysis scheduling: `demand` (default;
+                        points-to components solved lazily, only for the
+                        code slices the checkers actually query) or
+                        `eager` (whole module up front); reports are
+                        byte-identical either way
+  --no-share-encodings  disable the cross-channel verdict cache that lets
+                        structurally identical channels share solver work
+                        (sharing never changes the reports)
   --step-pool N         global solver-step pool shared by all queries
                         a channel that exhausts its budget is retried at
                         degraded limits (reduced unroll, then a reduced
@@ -253,7 +261,19 @@ fn budget_config(flags: &[Flag]) -> Result<DetectorConfig, String> {
             format!("bad --solver-mode: `{mode}` (expected incremental, fresh, or rescan)")
         })?;
     }
+    config.share_encodings = !has_flag(flags, "no-share-encodings");
     Ok(config)
+}
+
+/// The alias-analysis scheduling mode (`--alias-mode`), defaulting to
+/// demand-driven solving. Not part of [`DetectorConfig`] because it is
+/// fixed at session construction, before any checker runs.
+fn alias_mode(flags: &[Flag]) -> Result<AliasMode, String> {
+    match flag_value(flags, "alias-mode") {
+        Some(v) => AliasMode::parse(v)
+            .ok_or_else(|| format!("bad --alias-mode: `{v}` (expected eager or demand)")),
+        None => Ok(AliasMode::default()),
+    }
 }
 
 /// Exit code for a diagnostics run: bugs mean 1, incidents under
@@ -287,12 +307,18 @@ fn run_diagnostics(
     let trace_path = flag_value(flags, "trace");
     let level = trace_level(trace_path)?;
     let config = budget_config(flags)?;
+    let alias = alias_mode(flags)?;
     let src = read_source(path)?;
+    let started = std::time::Instant::now();
     let module = gcatch_suite::ir::lower_source(&src)?;
-    let gcatch = GCatch::with_trace(&module, level);
+    let gcatch = GCatch::with_options(&module, level, alias);
     selection.validate(gcatch.registry())?;
     let diagnostics = gcatch.diagnostics(&config, &selection);
     let incidents = gcatch.incidents();
+    gcatch
+        .session()
+        .telemetry()
+        .observe(Metric::ModuleWallNs, started.elapsed().as_nanos() as u64);
     let stats = gcatch.stats();
     if let Some(tp) = trace_path {
         write_trace(tp, &gcatch.trace_snapshot())?;
@@ -354,6 +380,8 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
         ("channel-timeout", true),
         ("solver-steps", true),
         ("solver-mode", true),
+        ("alias-mode", true),
+        ("no-share-encodings", false),
         ("step-pool", true),
         ("strict", false),
     ];
@@ -376,6 +404,8 @@ fn cmd_extended(rest: &[String]) -> Result<ExitCode, String> {
         ("channel-timeout", true),
         ("solver-steps", true),
         ("solver-mode", true),
+        ("alias-mode", true),
+        ("no-share-encodings", false),
         ("step-pool", true),
         ("strict", false),
     ];
@@ -682,12 +712,14 @@ fn payload_bugs(payload: &str) -> usize {
 fn run_batch_module(
     path: &str,
     base: &DetectorConfig,
+    alias: AliasMode,
     telemetry: &Telemetry,
     ctx: &JobCtx,
 ) -> Result<String, String> {
     let src = read_source(path)?;
+    let started = std::time::Instant::now();
     let module = gcatch_suite::ir::lower_source(&src)?;
-    let gcatch = GCatch::new(&module);
+    let gcatch = GCatch::with_options(&module, TraceLevel::Off, alias);
     let config = DetectorConfig {
         cancel: Some(ctx.cancel.clone()),
         ..base.clone()
@@ -705,6 +737,10 @@ fn run_batch_module(
     if ctx.cancel.is_cancelled() {
         return Err("cancelled mid-run".to_string());
     }
+    gcatch
+        .session()
+        .telemetry()
+        .observe(Metric::ModuleWallNs, started.elapsed().as_nanos() as u64);
     telemetry.absorb(&gcatch.stats());
     let mut payload = String::from("{\"module\":\"");
     json_escape(path, &mut payload);
@@ -736,6 +772,8 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         ("channel-timeout", true),
         ("solver-steps", true),
         ("solver-mode", true),
+        ("alias-mode", true),
+        ("no-share-encodings", false),
         ("step-pool", true),
     ];
     let (inputs, flags) = parse_multi(rest, spec)?;
@@ -800,6 +838,7 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
     // the worker pool above instead.
     let mut base = budget_config(&flags)?;
     base.jobs = 1;
+    let alias = alias_mode(&flags)?;
 
     let journal_flag = flag_value(&flags, "journal");
     let resume_flag = flag_value(&flags, "resume");
@@ -830,7 +869,7 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
             let telemetry = &telemetry;
             let path = path.clone();
             BatchJob::new(path.clone(), move |ctx| {
-                run_batch_module(&path, &base, telemetry, ctx)
+                run_batch_module(&path, &base, alias, telemetry, ctx)
             })
         })
         .collect();

@@ -1,0 +1,245 @@
+//! Differential testing of the corpus-scale optimizations: demand-driven
+//! alias analysis and cross-channel encoding sharing must be pure
+//! optimizations. Over the example corpus, a stream of random programs,
+//! and an amplified synthetic suite, every combination of
+//! `--alias-mode eager|demand`, sharing on/off, and `--jobs 1|4` must
+//! produce byte-identical diagnostics and incident sets.
+
+use bench::amplifier::{expected_leaks, generate, AmpConfig};
+use gcatch_suite::gcatch::{
+    render_json, AliasMode, Counter, DetectorConfig, GCatch, Selection, TraceLevel,
+};
+use prng::Prng;
+
+/// One configuration axis point.
+#[derive(Clone, Copy)]
+struct Cfg {
+    alias: AliasMode,
+    share: bool,
+    jobs: usize,
+}
+
+impl Cfg {
+    fn name(&self) -> String {
+        format!(
+            "alias={}/share={}/jobs={}",
+            match self.alias {
+                AliasMode::Eager => "eager",
+                AliasMode::Demand => "demand",
+            },
+            self.share,
+            self.jobs
+        )
+    }
+}
+
+/// Rendered diagnostics + rendered incidents for one module under one
+/// configuration, across both the default registry and the §6 extension.
+fn run_module(source: &str, cfg: Cfg) -> (String, Vec<String>) {
+    let module = golite_ir::lower_source(source).expect("module lowers");
+    let gcatch = GCatch::with_options(&module, TraceLevel::Off, cfg.alias);
+    let config = DetectorConfig {
+        share_encodings: cfg.share,
+        jobs: cfg.jobs,
+        ..DetectorConfig::default()
+    };
+    let extended = Selection {
+        only: vec!["send-on-closed".to_string()],
+        skip: Vec::new(),
+    };
+    let mut rendered = String::new();
+    for selection in [&Selection::default(), &extended] {
+        let diagnostics = gcatch.diagnostics(&config, selection);
+        rendered.push_str(&render_json(&diagnostics, None));
+        rendered.push('\n');
+    }
+    let incidents = gcatch
+        .session()
+        .incidents()
+        .iter()
+        .map(|i| i.render())
+        .collect();
+    (rendered, incidents)
+}
+
+/// The reference configuration every other axis point must match.
+const BASELINE: Cfg = Cfg {
+    alias: AliasMode::Eager,
+    share: false,
+    jobs: 1,
+};
+
+/// The axis points compared against [`BASELINE`].
+const VARIANTS: [Cfg; 4] = [
+    Cfg {
+        alias: AliasMode::Demand,
+        share: false,
+        jobs: 1,
+    },
+    Cfg {
+        alias: AliasMode::Eager,
+        share: true,
+        jobs: 1,
+    },
+    Cfg {
+        alias: AliasMode::Demand,
+        share: true,
+        jobs: 1,
+    },
+    Cfg {
+        alias: AliasMode::Demand,
+        share: true,
+        jobs: 4,
+    },
+];
+
+fn assert_axes_agree(name: &str, source: &str) {
+    let (want, want_incidents) = run_module(source, BASELINE);
+    for cfg in VARIANTS {
+        let (got, got_incidents) = run_module(source, cfg);
+        assert_eq!(
+            want,
+            got,
+            "{name}: {} diagnostics diverge from {}",
+            cfg.name(),
+            BASELINE.name()
+        );
+        assert_eq!(
+            want_incidents,
+            got_incidents,
+            "{name}: {} incidents diverge from {}",
+            cfg.name(),
+            BASELINE.name()
+        );
+    }
+}
+
+/// Every example module, as `(name, source)`.
+fn example_sources() -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    for dir in ["examples", "examples/batch"] {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)
+            .expect("examples directory exists")
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "go"))
+            .collect();
+        entries.sort();
+        files.extend(entries);
+    }
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.display().to_string();
+            let source = std::fs::read_to_string(&p).expect("example readable");
+            (name, source)
+        })
+        .collect()
+}
+
+/// Same snippet-composition generator as the robustness fuzzer (tests are
+/// separate crates, so the generator is replicated here verbatim).
+fn random_program(seed: u64) -> String {
+    let mut rng = Prng::seed_from_u64(seed);
+    let n_funcs = rng.gen_range(1..4usize);
+    let mut src = String::from("package main\n");
+    for f in 0..n_funcs {
+        let cap = rng.gen_range(0..3u32);
+        let spawn = rng.gen_bool(0.7);
+        let select = rng.gen_bool(0.5);
+        let deferred = rng.gen_bool(0.4);
+        let recv_count = rng.gen_range(0..3u32);
+        let mut body = format!("    ch{f} := make(chan int, {cap})\n");
+        if deferred {
+            body.push_str(&format!("    defer close(ch{f})\n"));
+        }
+        if spawn {
+            let sends = rng.gen_range(0..3u32);
+            body.push_str("    go func() {\n");
+            for s in 0..sends {
+                body.push_str(&format!("        ch{f} <- {s}\n"));
+            }
+            body.push_str("    }()\n");
+        }
+        if select {
+            body.push_str(&format!(
+                "    select {{\n    case v := <-ch{f}:\n        _ = v\n    default:\n    }}\n"
+            ));
+        }
+        for _ in 0..recv_count {
+            body.push_str(&format!(
+                "    select {{\n    case <-ch{f}:\n    default:\n    }}\n"
+            ));
+        }
+        src.push_str(&format!("func scenario{f}() {{\n{body}}}\n"));
+    }
+    src.push_str("func main() {\n");
+    for f in 0..n_funcs {
+        src.push_str(&format!("    scenario{f}()\n"));
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// Number of random cases, raised in CI via `GCATCH_FUZZ_CASES`.
+fn fuzz_cases() -> u64 {
+    std::env::var("GCATCH_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The whole example corpus must be invariant across every optimization
+/// axis.
+#[test]
+fn example_corpus_agrees_across_alias_and_sharing() {
+    let sources = example_sources();
+    assert!(!sources.is_empty(), "no example programs found");
+    for (name, source) in &sources {
+        assert_axes_agree(name, source);
+    }
+}
+
+/// Random adversarial programs must be axis-invariant too.
+#[test]
+fn fuzz_programs_agree_across_alias_and_sharing() {
+    let mut pick = Prng::seed_from_u64(0xA11A5);
+    for _ in 0..fuzz_cases() {
+        let seed = pick.gen_range(0u64..10_000);
+        let src = random_program(seed);
+        assert_axes_agree(&format!("fuzz seed {seed}"), &src);
+    }
+}
+
+/// The amplified suite — many structurally identical channels plus
+/// alias-analysis ballast — must be axis-invariant, and the optimized
+/// configuration must actually exercise both fast paths: solver verdicts
+/// shared across channels, ballast components never solved.
+#[test]
+fn amplified_suite_agrees_and_exercises_fast_paths() {
+    let amp = AmpConfig {
+        channels: 36,
+        leak_every: 6,
+        ballast: 12,
+    };
+    let src = generate(&amp);
+    assert_axes_agree("amplified suite", &src);
+
+    let module = golite_ir::lower_source(&src).expect("amplified suite lowers");
+    let gcatch = GCatch::with_options(&module, TraceLevel::Off, AliasMode::Demand);
+    let bugs = gcatch.detect_all(&DetectorConfig::default());
+    assert_eq!(bugs.len(), expected_leaks(&amp), "one report per leak");
+    let stats = gcatch.stats();
+    assert!(
+        stats.counter(Counter::ChannelEncodingsShared) > 0,
+        "structurally identical channels must share solver verdicts"
+    );
+    assert!(
+        stats.counter(Counter::AliasFunctionsSkipped) > 0,
+        "demand mode must skip the ballast components"
+    );
+    assert!(
+        stats.counter(Counter::AliasQueriesSolved) > 0,
+        "demand mode solves the queried components"
+    );
+}
