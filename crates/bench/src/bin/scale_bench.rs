@@ -15,9 +15,10 @@
 
 use bench::amplifier::{expected_leaks, generate, AmpConfig};
 use gcatch::{
-    render_json, AliasMode, Counter, DetectorConfig, GCatch, Selection, SolverStrategy, Stats,
-    TraceLevel,
+    render_json, AliasMode, Counter, DetectorConfig, EventBus, GCatch, ObsScope, Selection,
+    SolverStrategy, Stats, TraceLevel,
 };
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct RunResult {
@@ -147,6 +148,54 @@ fn main() {
         }
         bad
     };
+    // Observability overhead: the same optimized run with a live event
+    // bus attached (every channel_analyzed emitted) against a plain run,
+    // both warm; best of two on each side to damp scheduler noise. The
+    // bus must never change the report.
+    let obs_base = {
+        let (a, b) = (
+            run(&module, AliasMode::Demand, &after_config),
+            run(&module, AliasMode::Demand, &after_config),
+        );
+        if a.wall <= b.wall {
+            a
+        } else {
+            b
+        }
+    };
+    let run_with_bus = || {
+        let bus = Arc::new(EventBus::new("scale-bench".to_string(), false));
+        let obs_config = DetectorConfig {
+            obs: ObsScope {
+                bus: Some(bus.clone()),
+                ..ObsScope::default()
+            },
+            ..DetectorConfig::default()
+        };
+        let result = run(&module, AliasMode::Demand, &obs_config);
+        (result, bus.len())
+    };
+    let (obs_events, emitted) = {
+        let (a, b) = (run_with_bus(), run_with_bus());
+        if a.0.wall <= b.0.wall {
+            a
+        } else {
+            b
+        }
+    };
+    let obs_overhead_pct =
+        (ms(obs_events.wall) - ms(obs_base.wall)) / ms(obs_base.wall).max(1e-9) * 100.0;
+    eprintln!(
+        "scale_bench: observability: {:.1} ms plain vs {:.1} ms with events ({} emitted, {:+.2}% overhead)",
+        ms(obs_base.wall),
+        ms(obs_events.wall),
+        emitted,
+        obs_overhead_pct
+    );
+    let mut divergences = divergences;
+    if obs_events.report != obs_base.report {
+        divergences.push("event bus (on vs off)");
+    }
     let reports_identical = divergences.is_empty();
 
     let expected = expected_leaks(&config);
@@ -171,6 +220,8 @@ fn main() {
             "\"after\":{{\"solver_mode\":\"incremental\",\"alias_mode\":\"demand\",\"share_encodings\":true,",
             "\"wall_ms\":{:.2},\"ms_per_1k_channels\":{:.2},",
             "\"channel_encodings_shared\":{},\"alias_queries_solved\":{},\"alias_functions_skipped\":{}}},",
+            "\"observability\":{{\"base_wall_ms\":{:.2},\"events_wall_ms\":{:.2},",
+            "\"overhead_pct\":{:.2},\"events\":{}}},",
             "\"speedup\":{:.2},\"reports_identical\":{},\"bugs\":{}}}"
         ),
         config.channels,
@@ -183,6 +234,10 @@ fn main() {
         shared,
         alias_solved,
         alias_skipped,
+        ms(obs_base.wall),
+        ms(obs_events.wall),
+        obs_overhead_pct,
+        emitted,
         speedup,
         reports_identical,
         after.bugs,

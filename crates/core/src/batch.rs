@@ -33,7 +33,9 @@
 //! the property the kill-and-resume tests pin down.
 
 use crate::diagnostics::escape_json;
+use crate::events::{Event as ObsEvent, EventBus, EventKind, Field, FlightRecorder};
 use crate::faults::{self, FaultPlan};
+use crate::progress::ProgressSnapshot;
 use crate::resilience::{catch_isolated, CancelToken, Incident, IncidentKind};
 use crate::telemetry::{Counter, Metric, Telemetry};
 use crate::trace::{ArgValue, Tracer};
@@ -59,6 +61,14 @@ pub struct JobCtx {
     /// [`Budget::with_cancel`](crate::Budget::with_cancel)) so the losing
     /// twin stops at its next cooperative budget check.
     pub cancel: CancelToken,
+    /// The job's submission index — the canonical event-ordering group
+    /// for anything the job emits on an event bus.
+    pub index: usize,
+    /// The job's flight recorder: lifecycle lines pushed here end up in
+    /// the quarantine postmortem if the job is given up on. The engine
+    /// records attempt starts/ends and retry decisions itself; work
+    /// closures may push additional context.
+    pub flight: FlightRecorder,
 }
 
 /// One unit of batch work: a stable id plus the closure that produces a
@@ -398,6 +408,20 @@ impl Journal {
             line.push_str(",\"incident\":\"");
             escape_json(&inc.message, &mut line);
             line.push('"');
+            // The flight dump rides along so a resumed run reconstructs
+            // the quarantine postmortem byte-for-byte.
+            if !inc.flight.is_empty() {
+                line.push_str(",\"flight\":[");
+                for (i, fl) in inc.flight.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    line.push('"');
+                    escape_json(fl, &mut line);
+                    line.push('"');
+                }
+                line.push(']');
+            }
         }
         line.push_str(",\"payload\":");
         match &rec.payload {
@@ -457,12 +481,32 @@ fn parse_record_line<T>(line: &str, codec: &JournalCodec<T>) -> Option<JobRecord
     let (incident, rest) = match rest.strip_prefix(",\"incident\":\"") {
         Some(r) => {
             let (msg, r) = parse_json_string(r)?;
+            let (flight, r) = match r.strip_prefix(",\"flight\":[") {
+                Some(mut fl_rest) => {
+                    let mut lines = Vec::new();
+                    match fl_rest.strip_prefix(']') {
+                        Some(after) => (lines, after),
+                        None => loop {
+                            let body = fl_rest.strip_prefix('"')?;
+                            let (fl, after) = parse_json_string(body)?;
+                            lines.push(fl);
+                            if let Some(more) = after.strip_prefix(',') {
+                                fl_rest = more;
+                            } else {
+                                break (lines, after.strip_prefix(']')?);
+                            }
+                        },
+                    }
+                }
+                None => (Vec::new(), r),
+            };
             (
                 Some(Incident {
                     kind: IncidentKind::Quarantined,
                     name: id.clone(),
                     message: msg,
                     rung: 0,
+                    flight,
                 }),
                 r,
             )
@@ -504,6 +548,8 @@ struct Dispatch {
     /// Backoff to sleep (on the worker) before a retry attempt runs.
     backoff: Option<Duration>,
     cancel: CancelToken,
+    /// The job's shared flight recorder (same ring for every attempt).
+    flight: FlightRecorder,
 }
 
 /// Worker → supervisor events.
@@ -537,6 +583,9 @@ struct JobState {
     last_failure: Option<String>,
     identical_failures: u32,
     done: bool,
+    /// Lifecycle ring shared with every dispatch of this job; dumped into
+    /// the incident if the job is quarantined.
+    flight: FlightRecorder,
 }
 
 impl JobState {
@@ -551,8 +600,18 @@ impl JobState {
             last_failure: None,
             identical_failures: 0,
             done: false,
+            flight: FlightRecorder::new(),
         }
     }
+}
+
+/// Supervisor-side counters backing `--progress` snapshots.
+struct Meter {
+    total: usize,
+    resumed: usize,
+    retried: u64,
+    hedged: u64,
+    quarantined: u64,
 }
 
 /// Exact p99 (in the [`crate::trace::HistSnapshot::percentile`] sense:
@@ -577,6 +636,12 @@ pub struct BatchEngine<'t> {
     sleeper: Box<dyn Fn(&str, u32, Duration) + Send + Sync + 't>,
     /// Supervisor tick: how often the hedge scan runs while idle.
     tick: Duration,
+    /// Structured event sink (`--events-out`); `None` leaves it inert.
+    events: Option<&'t EventBus>,
+    /// Progress callback plus its minimum emission interval
+    /// (`--progress`); `None` leaves it inert.
+    #[allow(clippy::type_complexity)]
+    progress: Option<(Box<dyn Fn(&ProgressSnapshot) + Send + Sync + 't>, Duration)>,
 }
 
 impl<'t> BatchEngine<'t> {
@@ -589,6 +654,8 @@ impl<'t> BatchEngine<'t> {
             tracer,
             sleeper: Box::new(|_job, _attempt, d| std::thread::sleep(d)),
             tick: Duration::from_millis(5),
+            events: None,
+            progress: None,
         }
     }
 
@@ -600,6 +667,74 @@ impl<'t> BatchEngine<'t> {
     ) -> Self {
         self.sleeper = Box::new(sleeper);
         self
+    }
+
+    /// Attaches a structured event bus: every attempt start/end, fault
+    /// injection, retry, hedge, quarantine, and resume is emitted with
+    /// the job's id and submission index as correlation keys.
+    pub fn with_events(mut self, events: &'t EventBus) -> Self {
+        self.events = Some(events);
+        self
+    }
+
+    /// Attaches a live progress callback, invoked from the supervisor at
+    /// most once per `every` (plus once at start and once at the end).
+    pub fn with_progress(
+        mut self,
+        callback: impl Fn(&ProgressSnapshot) + Send + Sync + 't,
+        every: Duration,
+    ) -> Self {
+        self.progress = Some((Box::new(callback), every));
+        self
+    }
+
+    /// Emits one job-correlated event when a bus is attached.
+    fn emit(
+        &self,
+        kind: EventKind,
+        index: usize,
+        job: &str,
+        attempt: Option<u32>,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        if let Some(bus) = self.events {
+            bus.emit(ObsEvent {
+                kind,
+                group: index as u64,
+                job: Some(job.to_string()),
+                attempt,
+                channel: None,
+                fields,
+            });
+        }
+    }
+
+    /// Hands a progress snapshot to the callback, throttled to its
+    /// configured interval unless `force`d (start/end of the run).
+    fn emit_progress(&self, meter: &Meter, remaining: usize, last: &mut Instant, force: bool) {
+        let Some((callback, every)) = &self.progress else {
+            return;
+        };
+        if !force && last.elapsed() < *every {
+            return;
+        }
+        *last = Instant::now();
+        let hist = self.telemetry.hist(Metric::JobWallNs).snapshot();
+        let eta_ms = (hist.count > 0 && remaining > 0).then(|| {
+            let per_job_ms = hist.mean() as f64 / 1e6;
+            (per_job_ms * remaining as f64 / self.config.workers.max(1) as f64) as u64
+        });
+        callback(&ProgressSnapshot {
+            total: meter.total,
+            done: meter.total - remaining,
+            resumed: meter.resumed,
+            retried: meter.retried,
+            hedged: meter.hedged,
+            quarantined: meter.quarantined,
+            p50_ms: hist.percentile(50) as f64 / 1e6,
+            p99_ms: hist.percentile(99) as f64 / 1e6,
+            eta_ms,
+        });
     }
 
     /// Runs the batch to completion and returns one record per job in
@@ -629,6 +764,13 @@ impl<'t> BatchEngine<'t> {
                     "job_resumed",
                     vec![("job", ArgValue::from(job.id.as_str()))],
                 );
+                self.emit(
+                    EventKind::JobResumed,
+                    i,
+                    &job.id,
+                    None,
+                    vec![("attempts", Field::U64(u64::from(rec.attempts)))],
+                );
                 records.push(Some(rec));
             } else {
                 pending.push(i);
@@ -656,6 +798,7 @@ impl<'t> BatchEngine<'t> {
                         hedge: false,
                         backoff: None,
                         cancel,
+                        flight: states[i].flight.clone(),
                     });
                 }
             }
@@ -677,6 +820,7 @@ impl<'t> BatchEngine<'t> {
                     &mut states,
                     &mut records,
                     executed,
+                    resumed,
                     journal,
                     &mut journal_error,
                     &mut sup_lane,
@@ -753,7 +897,23 @@ impl<'t> BatchEngine<'t> {
                 job_id: job.id.clone(),
                 attempt: d.attempt,
                 cancel: d.cancel.clone(),
+                index: d.index,
+                flight: d.flight.clone(),
             };
+            // Hedge twins race the original attempt, so their lifecycle is
+            // schedule-dependent; they go to the event bus (operators want
+            // them) but never into the flight ring, which must stay
+            // deterministic for byte-identical quarantine postmortems.
+            if !d.hedge {
+                d.flight.push(format!("attempt {}: started", d.attempt));
+            }
+            self.emit(
+                EventKind::AttemptStart,
+                d.index,
+                &job.id,
+                Some(d.attempt),
+                vec![("hedge", Field::Bool(d.hedge))],
+            );
             lane.begin(
                 "batch_job",
                 vec![
@@ -780,6 +940,46 @@ impl<'t> BatchEngine<'t> {
                 Err(panic_message) => Err(panic_message),
             };
             lane.rewind();
+            match &result {
+                Ok(_) => {
+                    if !d.hedge {
+                        d.flight.push(format!("attempt {}: succeeded", d.attempt));
+                    }
+                    self.emit(
+                        EventKind::AttemptEnd,
+                        d.index,
+                        &job.id,
+                        Some(d.attempt),
+                        vec![("ok", Field::Bool(true)), ("hedge", Field::Bool(d.hedge))],
+                    );
+                }
+                Err(message) => {
+                    if let Some(site) = faults::injected_site(message) {
+                        self.emit(
+                            EventKind::FaultInjected,
+                            d.index,
+                            &job.id,
+                            Some(d.attempt),
+                            vec![("site", Field::Str(site.to_string()))],
+                        );
+                    }
+                    if !d.hedge {
+                        d.flight
+                            .push(format!("attempt {}: failed: {message}", d.attempt));
+                    }
+                    self.emit(
+                        EventKind::AttemptEnd,
+                        d.index,
+                        &job.id,
+                        Some(d.attempt),
+                        vec![
+                            ("ok", Field::Bool(false)),
+                            ("hedge", Field::Bool(d.hedge)),
+                            ("error", Field::Str(message.clone())),
+                        ],
+                    );
+                }
+            }
             let _ = tx.send(Event::Finished {
                 index: d.index,
                 attempt: d.attempt,
@@ -800,16 +1000,27 @@ impl<'t> BatchEngine<'t> {
         states: &mut [JobState],
         records: &mut [Option<JobRecord<T>>],
         mut remaining: usize,
+        resumed: usize,
         journal: Option<(&Journal, &JournalCodec<T>)>,
         journal_error: &mut Option<String>,
         lane: &mut crate::trace::Lane<'_>,
     ) {
         let mut walls: Vec<Duration> = Vec::new();
+        let mut meter = Meter {
+            total: records.len(),
+            resumed,
+            retried: 0,
+            hedged: 0,
+            quarantined: 0,
+        };
+        let mut last_progress = Instant::now();
+        self.emit_progress(&meter, remaining, &mut last_progress, true);
         while remaining > 0 {
             let event = match rx.recv_timeout(self.tick) {
                 Ok(ev) => ev,
                 Err(mpsc::RecvTimeoutError::Timeout) => {
-                    self.scan_stragglers(jobs, queue, ready, states, &walls, lane);
+                    self.scan_stragglers(jobs, queue, ready, states, &walls, &mut meter, lane);
+                    self.emit_progress(&meter, remaining, &mut last_progress, false);
                     continue;
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
@@ -851,6 +1062,14 @@ impl<'t> BatchEngine<'t> {
                             };
                             self.journal_record(&rec, journal, journal_error);
                             records[index] = Some(rec);
+                            self.emit(
+                                EventKind::JobDone,
+                                index,
+                                &jobs[index].id,
+                                Some(attempt),
+                                vec![("attempts", Field::U64(u64::from(attempt)))],
+                            );
+                            self.emit_progress(&meter, remaining, &mut last_progress, false);
                         }
                         Err(message) => {
                             if message == st.last_failure.as_deref().unwrap_or("") {
@@ -867,6 +1086,7 @@ impl<'t> BatchEngine<'t> {
                             if st.attempts_launched >= self.config.max_attempts || deterministic {
                                 st.done = true;
                                 remaining -= 1;
+                                meter.quarantined += 1;
                                 self.telemetry.add(Counter::JobsQuarantined, 1);
                                 lane.instant(
                                     "job_quarantined",
@@ -880,6 +1100,20 @@ impl<'t> BatchEngine<'t> {
                                 );
                                 let wall =
                                     st.first_started.map(|s| s.elapsed()).unwrap_or_default();
+                                st.flight.push(format!(
+                                    "quarantined after {} attempt(s)",
+                                    st.attempts_launched
+                                ));
+                                self.emit(
+                                    EventKind::JobQuarantined,
+                                    index,
+                                    &jobs[index].id,
+                                    Some(st.attempts_launched),
+                                    vec![
+                                        ("attempts", Field::U64(u64::from(st.attempts_launched))),
+                                        ("error", Field::Str(message.clone())),
+                                    ],
+                                );
                                 let rec = JobRecord {
                                     id: jobs[index].id.clone(),
                                     status: JobStatus::Quarantined,
@@ -890,17 +1124,20 @@ impl<'t> BatchEngine<'t> {
                                         name: jobs[index].id.clone(),
                                         message,
                                         rung: 0,
+                                        flight: st.flight.dump(),
                                     }),
                                     wall,
                                 };
                                 self.journal_record(&rec, journal, journal_error);
                                 records[index] = Some(rec);
+                                self.emit_progress(&meter, remaining, &mut last_progress, false);
                             } else {
                                 let next = st.attempts_launched + 1;
                                 st.attempts_launched = next;
                                 st.active = 1;
                                 st.hedged = false;
                                 st.started = None;
+                                meter.retried += 1;
                                 self.telemetry.add(Counter::JobsRetried, 1);
                                 lane.instant(
                                     "job_retry",
@@ -912,6 +1149,17 @@ impl<'t> BatchEngine<'t> {
                                 let cancel = CancelToken::new();
                                 st.cancels = vec![cancel.clone()];
                                 let backoff = self.config.backoff.delay(&jobs[index].id, next - 1);
+                                st.flight.push(format!(
+                                    "retry: attempt {next} scheduled (backoff {} ms)",
+                                    backoff.as_millis()
+                                ));
+                                self.emit(
+                                    EventKind::JobRetry,
+                                    index,
+                                    &jobs[index].id,
+                                    Some(next),
+                                    vec![("backoff_ms", Field::U64(backoff.as_millis() as u64))],
+                                );
                                 let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
                                 q.items.push_back(Dispatch {
                                     index,
@@ -919,6 +1167,7 @@ impl<'t> BatchEngine<'t> {
                                     hedge: false,
                                     backoff: Some(backoff),
                                     cancel,
+                                    flight: st.flight.clone(),
                                 });
                                 ready.notify_one();
                             }
@@ -927,10 +1176,12 @@ impl<'t> BatchEngine<'t> {
                 }
             }
         }
+        self.emit_progress(&meter, remaining, &mut last_progress, true);
     }
 
     /// Hedge any job running past `max(p99, min_age)` once enough jobs
     /// have completed.
+    #[allow(clippy::too_many_arguments)]
     fn scan_stragglers<'a, T>(
         &self,
         jobs: &[BatchJob<'a, T>],
@@ -938,6 +1189,7 @@ impl<'t> BatchEngine<'t> {
         ready: &Condvar,
         states: &mut [JobState],
         walls: &[Duration],
+        meter: &mut Meter,
         lane: &mut crate::trace::Lane<'_>,
     ) {
         let Some(hedge) = &self.config.hedge else {
@@ -957,6 +1209,7 @@ impl<'t> BatchEngine<'t> {
             }
             st.hedged = true;
             st.active += 1;
+            meter.hedged += 1;
             self.telemetry.add(Counter::JobsHedged, 1);
             lane.instant(
                 "job_hedged",
@@ -964,6 +1217,15 @@ impl<'t> BatchEngine<'t> {
                     ("job", ArgValue::from(jobs[i].id.as_str())),
                     ("attempt", ArgValue::from(u64::from(st.attempts_launched))),
                 ],
+            );
+            // Bus only: hedge launches are schedule-dependent, so they
+            // never enter the deterministic flight ring.
+            self.emit(
+                EventKind::JobHedged,
+                i,
+                &jobs[i].id,
+                Some(st.attempts_launched),
+                Vec::new(),
             );
             let cancel = CancelToken::new();
             st.cancels.push(cancel.clone());
@@ -974,6 +1236,7 @@ impl<'t> BatchEngine<'t> {
                 hedge: true,
                 backoff: None,
                 cancel,
+                flight: st.flight.clone(),
             });
             ready.notify_one();
         }
@@ -1333,6 +1596,10 @@ mod tests {
                         name: ids[0].clone(),
                         message: "panic: \"boom\"\nwith newline".to_string(),
                         rung: 0,
+                        flight: vec![
+                            "attempt 1: failed: panic: \"boom\"\nwith newline".to_string(),
+                            "quarantined after 3 attempt(s)".to_string(),
+                        ],
                     }),
                     wall: Duration::from_millis(5),
                 },
@@ -1345,6 +1612,14 @@ mod tests {
         assert_eq!(rec.attempts, 3);
         let inc = rec.incident.as_ref().unwrap();
         assert_eq!(inc.message, "panic: \"boom\"\nwith newline");
+        assert_eq!(
+            inc.flight,
+            vec![
+                "attempt 1: failed: panic: \"boom\"\nwith newline".to_string(),
+                "quarantined after 3 attempt(s)".to_string(),
+            ],
+            "flight dump round-trips through the journal"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

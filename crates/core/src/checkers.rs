@@ -322,6 +322,7 @@ impl Registry {
                         name: checker.name().to_string(),
                         message,
                         rung: 0,
+                        flight: Vec::new(),
                     });
                     out.push(RunOutput {
                         checker: checker.name(),

@@ -112,6 +112,10 @@ pub struct DetectorConfig {
     /// differential testing. Sharing is automatically bypassed while a
     /// budget is active or fault injection is armed.
     pub share_encodings: bool,
+    /// Observability context (`--events-out`, the batch flight recorder).
+    /// Default is fully inert; the CLI and batch engine fill in the sinks
+    /// and correlation ids. Detection results are identical either way.
+    pub obs: crate::events::ObsScope,
 }
 
 impl Default for DetectorConfig {
@@ -130,6 +134,7 @@ impl Default for DetectorConfig {
             solver_step_pool: None,
             cancel: None,
             share_encodings: true,
+            obs: crate::events::ObsScope::default(),
         }
     }
 }
@@ -275,6 +280,7 @@ impl<'m> AnalysisSession<'m> {
                     name: chan_name.clone(),
                     message,
                     rung: 0,
+                    flight: Vec::new(),
                 };
                 (Vec::new(), Some(incident))
             }
@@ -287,6 +293,19 @@ impl<'m> AnalysisSession<'m> {
                     ("name", ArgValue::from(incident.name.as_str())),
                 ],
             );
+        }
+        if config.obs.enabled() {
+            config
+                .obs
+                .channel_analyzed(chan.0 as u64, &chan_name, found.len() as u64);
+            if let Some(incident) = &incident {
+                config.obs.incident(
+                    chan.0 as u64,
+                    &chan_name,
+                    incident.kind.label(),
+                    &incident.message,
+                );
+            }
         }
         self.telemetry
             .observe(Metric::ChannelDetectNs, started.elapsed().as_nanos() as u64);
@@ -352,11 +371,15 @@ impl<'m> AnalysisSession<'m> {
             }
         }
         self.telemetry.add(Counter::IncompleteChannels, 1);
+        config
+            .obs
+            .budget_exhausted(chan.0 as u64, chan_name, LADDER_RUNGS - 1);
         let incident = Incident {
             kind: IncidentKind::Channel,
             name: chan_name.to_string(),
             message: "analysis budget exhausted; results for this channel are partial".into(),
             rung: LADDER_RUNGS - 1,
+            flight: Vec::new(),
         };
         (acc, Some(incident))
     }
@@ -1021,6 +1044,7 @@ impl<'m> AnalysisSession<'m> {
                         message: "analysis budget exhausted; results for this channel are partial"
                             .into(),
                         rung: 0,
+                        flight: Vec::new(),
                     })
                 }
                 Err(message) => {
@@ -1030,6 +1054,7 @@ impl<'m> AnalysisSession<'m> {
                         name: chan.name.clone(),
                         message,
                         rung: 0,
+                        flight: Vec::new(),
                     })
                 }
             };
@@ -1041,6 +1066,12 @@ impl<'m> AnalysisSession<'m> {
                         ("kind", ArgValue::from(incident.kind.label())),
                         ("name", ArgValue::from(incident.name.as_str())),
                     ],
+                );
+                config.obs.incident(
+                    chan.id.0 as u64,
+                    &incident.name,
+                    incident.kind.label(),
+                    &incident.message,
                 );
                 self.record_incident(incident);
             }

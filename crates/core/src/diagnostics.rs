@@ -177,7 +177,10 @@ fn push_str_field(out: &mut String, key: &str, value: &str) {
 ///   (`*_ns` suffix) are integer nanoseconds.
 /// * `incidents` (added with the resilience layer, via
 ///   [`render_json_with`]) appears only when the run recorded contained
-///   failures; each entry is `{"kind", "name", "message", "rung"}`.
+///   failures; each entry is `{"kind", "name", "message", "rung"}` plus
+///   an optional `"flight"` array of flight-recorder lines (added with
+///   the run-level observability layer; present only when non-empty, so
+///   flight-free runs keep their exact prior bytes).
 ///   Likewise `provenance.degradation_rung` appears only on findings
 ///   produced below full limits, so budget-free runs are byte-identical
 ///   to earlier versions.
@@ -282,6 +285,18 @@ pub fn render_json_with(
             push_str_field(&mut out, "message", &inc.message);
             out.push_str(",\"rung\":");
             out.push_str(&inc.rung.to_string());
+            if !inc.flight.is_empty() {
+                out.push_str(",\"flight\":[");
+                for (j, line) in inc.flight.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json(line, &mut out);
+                    out.push('"');
+                }
+                out.push(']');
+            }
             out.push('}');
         }
         out.push(']');
@@ -493,6 +508,7 @@ mod tests {
             name: "panic-test".into(),
             message: "boom \"quoted\"".into(),
             rung: 0,
+            flight: Vec::new(),
         };
         let json = render_json_with(
             &[Diagnostic::new("bmoc", r)],
@@ -504,6 +520,20 @@ mod tests {
             "\"incidents\":[{\"kind\":\"checker\",\"name\":\"panic-test\",\
              \"message\":\"boom \\\"quoted\\\"\",\"rung\":0}]"
         ));
+        crate::trace::validate_json(&json).expect("well-formed");
+    }
+
+    #[test]
+    fn json_incidents_carry_flight_dump_only_when_present() {
+        let incident = crate::resilience::Incident {
+            kind: crate::resilience::IncidentKind::Quarantined,
+            name: "job-1".into(),
+            message: "gave up".into(),
+            rung: 0,
+            flight: vec!["attempt 1: failed: \"boom\"".into()],
+        };
+        let json = render_json_with(&[], None, std::slice::from_ref(&incident));
+        assert!(json.contains("\"rung\":0,\"flight\":[\"attempt 1: failed: \\\"boom\\\"\"]"));
         crate::trace::validate_json(&json).expect("well-formed");
     }
 

@@ -62,6 +62,15 @@ pub fn is_injected(message: &str) -> bool {
     message.starts_with(INJECTED_PREFIX)
 }
 
+/// The site name embedded in an injected panic message
+/// (`"injected fault: panic at SITE (KEY)"`), for event-bus correlation.
+/// `None` for non-injected messages or injections without a site marker.
+pub fn injected_site(message: &str) -> Option<&str> {
+    let rest = message.strip_prefix(INJECTED_PREFIX)?;
+    let rest = rest.trim_start().strip_prefix("panic at ")?;
+    Some(rest.split(" (").next().unwrap_or(rest))
+}
+
 /// A deterministic fault-injection plan: how often faults fire, from
 /// which seed, at which sites.
 #[derive(Debug, Clone)]
@@ -361,6 +370,16 @@ mod tests {
         };
         assert_eq!(seq(1), seq(1));
         assert_ne!(seq(1), seq(2));
+    }
+
+    #[test]
+    fn injected_site_parses_panic_messages() {
+        assert_eq!(
+            injected_site("injected fault: panic at batch.job (mod-a)"),
+            Some("batch.job")
+        );
+        assert_eq!(injected_site("real panic"), None);
+        assert_eq!(injected_site("injected fault: solver budget"), None);
     }
 
     #[test]

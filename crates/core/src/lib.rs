@@ -32,7 +32,13 @@
 //! * [`telemetry`] — counters, per-stage timings, and percentile
 //!   histograms recorded throughout the pipeline;
 //! * [`trace`] — hierarchical span tracing (Chrome trace-event export,
-//!   per-worker lanes) and bug provenance plumbing.
+//!   per-worker lanes) and bug provenance plumbing;
+//! * [`metrics`] — the named `gcatch_*` metrics registry over telemetry
+//!   snapshots with Prometheus text-exposition rendering (`--metrics-out`);
+//! * [`events`] — the correlated structured event bus (`--events-out`
+//!   JSONL) and the per-job [`FlightRecorder`] attached to quarantine
+//!   incidents;
+//! * [`progress`] — live batch progress snapshots (`batch --progress`).
 //!
 //! # Examples
 //!
@@ -73,9 +79,12 @@ pub mod constraints;
 pub mod detector;
 pub mod diagnostics;
 pub mod disentangle;
+pub mod events;
 pub mod faults;
+pub mod metrics;
 pub mod paths;
 pub mod primitives;
+pub mod progress;
 pub mod report;
 pub mod resilience;
 pub mod session;
@@ -93,8 +102,13 @@ pub use detector::{Detector, DetectorConfig};
 pub use diagnostics::{
     render_explain, render_json, render_json_with, render_stats_json, Diagnostic, Severity,
 };
+pub use events::{
+    derive_run_id, obs_zero_time, Event, EventBus, EventKind, FlightRecorder, ObsScope,
+};
 pub use faults::FaultPlan;
 pub use golite_ir::{AliasMode, AliasStats};
+pub use metrics::{render_prometheus, validate_exposition, ExpositionSummary};
+pub use progress::ProgressSnapshot;
 pub use report::{BugKind, BugReport, OpRef, Provenance};
 pub use resilience::{Budget, CancelToken, Incident, IncidentKind};
 pub use session::AnalysisSession;

@@ -1,0 +1,131 @@
+//! Live progress snapshots for `gcatch batch --progress`.
+//!
+//! The batch supervisor periodically freezes its bookkeeping into a
+//! [`ProgressSnapshot`] and hands it to a caller-supplied callback; the CLI
+//! renders it as a single carriage-return-refreshed TTY status line. The
+//! snapshot is derived entirely from state the supervisor already tracks —
+//! job counts plus the `job_wall_ns` histogram — so enabling progress
+//! changes no analysis behavior and no report bytes.
+
+/// A point-in-time view of a batch run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Jobs in the run (restored + executed).
+    pub total: usize,
+    /// Jobs decided so far (succeeded, quarantined, or restored).
+    pub done: usize,
+    /// Jobs restored from a checkpoint journal.
+    pub resumed: usize,
+    /// Retry dispatches so far.
+    pub retried: u64,
+    /// Hedge twins launched so far.
+    pub hedged: u64,
+    /// Jobs quarantined so far.
+    pub quarantined: u64,
+    /// p50 of completed-job wall time, milliseconds.
+    pub p50_ms: f64,
+    /// p99 of completed-job wall time, milliseconds.
+    pub p99_ms: f64,
+    /// Estimated milliseconds until the run drains, from the mean
+    /// completed-job wall time and the live worker count. `None` until the
+    /// first job completes.
+    pub eta_ms: Option<u64>,
+}
+
+fn fmt_eta(ms: u64) -> String {
+    let secs = ms / 1000;
+    if secs >= 60 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else if secs >= 1 {
+        format!("{}s", secs)
+    } else {
+        format!("{ms}ms")
+    }
+}
+
+impl ProgressSnapshot {
+    /// Renders the one-line TTY status, e.g.
+    /// `batch 5/8 done · 1 retried · 1 quarantined · p50 12 ms · p99 80 ms · eta 3s`.
+    /// Zero-valued optional segments are omitted to keep the line short.
+    pub fn render_line(&self) -> String {
+        let mut line = format!("batch {}/{} done", self.done, self.total);
+        if self.resumed > 0 {
+            line.push_str(&format!(" · {} resumed", self.resumed));
+        }
+        if self.retried > 0 {
+            line.push_str(&format!(" · {} retried", self.retried));
+        }
+        if self.hedged > 0 {
+            line.push_str(&format!(" · {} hedged", self.hedged));
+        }
+        if self.quarantined > 0 {
+            line.push_str(&format!(" · {} quarantined", self.quarantined));
+        }
+        if self.p50_ms > 0.0 || self.p99_ms > 0.0 {
+            line.push_str(&format!(
+                " · p50 {:.0} ms · p99 {:.0} ms",
+                self.p50_ms, self.p99_ms
+            ));
+        }
+        match self.eta_ms {
+            Some(ms) if self.done < self.total => {
+                line.push_str(&format!(" · eta {}", fmt_eta(ms)));
+            }
+            _ => {}
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_line_omits_zero_segments() {
+        let snap = ProgressSnapshot {
+            total: 8,
+            done: 3,
+            ..ProgressSnapshot::default()
+        };
+        assert_eq!(snap.render_line(), "batch 3/8 done");
+    }
+
+    #[test]
+    fn render_line_includes_everything_when_present() {
+        let snap = ProgressSnapshot {
+            total: 8,
+            done: 5,
+            resumed: 1,
+            retried: 2,
+            hedged: 1,
+            quarantined: 1,
+            p50_ms: 12.4,
+            p99_ms: 80.2,
+            eta_ms: Some(3_200),
+        };
+        assert_eq!(
+            snap.render_line(),
+            "batch 5/8 done · 1 resumed · 2 retried · 1 hedged · 1 quarantined \
+             · p50 12 ms · p99 80 ms · eta 3s"
+        );
+    }
+
+    #[test]
+    fn eta_is_suppressed_once_done() {
+        let snap = ProgressSnapshot {
+            total: 4,
+            done: 4,
+            eta_ms: Some(1_000),
+            ..ProgressSnapshot::default()
+        };
+        assert!(!snap.render_line().contains("eta"));
+    }
+
+    #[test]
+    fn eta_humanizes_minutes() {
+        assert_eq!(fmt_eta(61_000), "1m01s");
+        assert_eq!(fmt_eta(900), "900ms");
+        assert_eq!(fmt_eta(59_000), "59s");
+    }
+}

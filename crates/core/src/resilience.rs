@@ -217,23 +217,38 @@ pub struct Incident {
     /// The degradation-ladder rung reached before giving up
     /// (0 when the ladder was not involved, e.g. a checker panic).
     pub rung: u32,
+    /// Flight-recorder dump: the last lifecycle lines recorded for the
+    /// failed unit before it was given up on. Populated for `Quarantined`
+    /// incidents by the batch engine; empty elsewhere.
+    pub flight: Vec<String>,
 }
 
 impl Incident {
-    /// One-line rendering used by the CLI text and `--explain` output.
+    /// One-line rendering used by the CLI text and `--explain` output;
+    /// when a flight-recorder dump is attached it follows as an indented
+    /// block, oldest line first.
     pub fn render(&self) -> String {
         let rung = if self.rung > 0 {
             format!(" (gave up at ladder rung {})", self.rung)
         } else {
             String::new()
         };
-        format!(
+        let mut out = format!(
             "incident: {} `{}`: {}{}\n",
             self.kind.label(),
             self.name,
             self.message,
             rung
-        )
+        );
+        if !self.flight.is_empty() {
+            out.push_str("  flight recorder:\n");
+            for line in &self.flight {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
     }
 }
 
@@ -392,17 +407,38 @@ mod tests {
             name: "done".to_string(),
             message: "budget exhausted".to_string(),
             rung: 2,
+            flight: Vec::new(),
         };
         let s = i.render();
         assert!(s.contains("channel `done`"), "{s}");
         assert!(s.contains("budget exhausted"), "{s}");
         assert!(s.contains("rung 2"), "{s}");
+        assert!(!s.contains("flight recorder"), "{s}");
         let j = Incident {
             kind: IncidentKind::Checker,
             name: "panic-test".to_string(),
             message: "boom".to_string(),
             rung: 0,
+            flight: Vec::new(),
         };
         assert!(!j.render().contains("rung"), "{}", j.render());
+    }
+
+    #[test]
+    fn incident_render_appends_flight_dump() {
+        let i = Incident {
+            kind: IncidentKind::Quarantined,
+            name: "job-3".to_string(),
+            message: "gave up".to_string(),
+            rung: 0,
+            flight: vec![
+                "attempt 1: started".to_string(),
+                "attempt 1: failed".to_string(),
+            ],
+        };
+        let s = i.render();
+        assert!(s.contains("  flight recorder:\n"), "{s}");
+        assert!(s.contains("    attempt 1: started\n"), "{s}");
+        assert!(s.contains("    attempt 1: failed\n"), "{s}");
     }
 }

@@ -192,6 +192,42 @@ impl Counter {
         }
     }
 
+    /// The subsystem a counter belongs to (grouping for `--stats` text
+    /// and the Prometheus metric HELP lines). Every counter maps to
+    /// exactly one of [`Counter::subsystems`].
+    pub fn subsystem(self) -> &'static str {
+        match self {
+            Counter::AliasQueriesSolved | Counter::AliasFunctionsSkipped => "alias",
+            Counter::SolverQueries
+            | Counter::SolverSteps
+            | Counter::SolverDecisions
+            | Counter::SolverConflicts
+            | Counter::SolverEncodingsReused
+            | Counter::LearnedClausesKept
+            | Counter::ChannelEncodingsShared => "solver",
+            Counter::JobsTotal
+            | Counter::JobsRetried
+            | Counter::JobsHedged
+            | Counter::JobsQuarantined
+            | Counter::JobsResumed => "batch",
+            Counter::ChannelsAnalyzed
+            | Counter::PsetsComputed
+            | Counter::PsetPrimsTotal
+            | Counter::PathsEnumerated
+            | Counter::BranchesPruned
+            | Counter::CombosBuilt
+            | Counter::GroupsChecked
+            | Counter::ReportsEmitted
+            | Counter::DuplicatesDropped
+            | Counter::IncompleteChannels => "detector",
+        }
+    }
+
+    /// Subsystem display order for grouped `--stats` text.
+    pub fn subsystems() -> [&'static str; 4] {
+        ["alias", "solver", "batch", "detector"]
+    }
+
     /// All counters in reporting order.
     pub fn all() -> [Counter; Counter::COUNT] {
         [
@@ -458,8 +494,13 @@ impl Stats {
             out.push_str(&format!("  {:<22} {:>12} ms\n", s.name(), fmt_ms(*d)));
         }
         out.push_str("counters:\n");
-        for (c, v) in &self.counters {
-            out.push_str(&format!("  {:<22} {v:>12}\n", c.name()));
+        for subsystem in Counter::subsystems() {
+            out.push_str(&format!("  {subsystem}:\n"));
+            for (c, v) in &self.counters {
+                if c.subsystem() == subsystem {
+                    out.push_str(&format!("    {:<24} {v:>12}\n", c.name()));
+                }
+            }
         }
         out.push_str("percentiles (p50/p90/p99/max):\n");
         for (m, h) in &self.hists {
@@ -561,6 +602,114 @@ mod tests {
         assert!(text.contains("percentiles (p50/p90/p99/max):"));
         assert!(text.contains("channel_detect_ns"));
         assert!(text.contains("solver_query_ns"));
+    }
+
+    /// A telemetry sink where every counter, stage, and metric carries a
+    /// distinct nonzero value — the probe for the exhaustiveness guards.
+    fn saturated() -> Telemetry {
+        let t = Telemetry::new();
+        for (i, c) in Counter::all().into_iter().enumerate() {
+            t.add(c, i as u64 + 1);
+        }
+        for (i, s) in Stage::all().into_iter().enumerate() {
+            t.record(s, Duration::from_micros(i as u64 + 1));
+        }
+        for (i, m) in Metric::all().into_iter().enumerate() {
+            t.observe(m, i as u64 + 1);
+        }
+        t
+    }
+
+    #[test]
+    fn every_counter_belongs_to_exactly_one_subsystem() {
+        let subsystems = Counter::subsystems();
+        for c in Counter::all() {
+            assert!(
+                subsystems.contains(&c.subsystem()),
+                "{} maps to unknown subsystem {}",
+                c.name(),
+                c.subsystem()
+            );
+        }
+        let grouped: usize = subsystems
+            .iter()
+            .map(|sub| {
+                Counter::all()
+                    .into_iter()
+                    .filter(|c| c.subsystem() == *sub)
+                    .count()
+            })
+            .sum();
+        assert_eq!(grouped, Counter::all().len());
+    }
+
+    #[test]
+    fn absorb_covers_every_counter_stage_and_histogram() {
+        let inner = saturated();
+        let outer = Telemetry::new();
+        outer.absorb(&inner.snapshot());
+        for (i, c) in Counter::all().into_iter().enumerate() {
+            assert_eq!(outer.get(c), i as u64 + 1, "absorb dropped {}", c.name());
+        }
+        for (i, s) in Stage::all().into_iter().enumerate() {
+            assert_eq!(
+                outer.stage_time(s),
+                Duration::from_micros(i as u64 + 1),
+                "absorb dropped {}",
+                s.name()
+            );
+        }
+        let snap = outer.snapshot();
+        for m in Metric::all() {
+            assert_eq!(snap.hist(m).count, 1, "absorb dropped {}", m.name());
+        }
+    }
+
+    #[test]
+    fn render_stats_json_covers_every_counter_stage_and_histogram() {
+        let json = crate::diagnostics::render_stats_json(&saturated().snapshot());
+        for c in Counter::all() {
+            assert!(
+                json.contains(&format!("\"{}\":", c.name())),
+                "render_stats_json missing counter {}",
+                c.name()
+            );
+        }
+        for s in Stage::all() {
+            assert!(
+                json.contains(&format!("\"{}\":", s.name())),
+                "render_stats_json missing stage {}",
+                s.name()
+            );
+        }
+        for m in Metric::all() {
+            assert!(
+                json.contains(&format!("\"{}\":", m.name())),
+                "render_stats_json missing histogram {}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn render_text_groups_counters_by_subsystem_and_covers_all() {
+        let text = saturated().snapshot().render_text();
+        for sub in Counter::subsystems() {
+            assert!(text.contains(&format!("  {sub}:\n")), "missing group {sub}");
+        }
+        for c in Counter::all() {
+            assert!(text.contains(c.name()), "missing counter {}", c.name());
+        }
+        // Subsystem groups appear in the documented stable order.
+        let positions: Vec<usize> = Counter::subsystems()
+            .iter()
+            .map(|sub| text.find(&format!("  {sub}:\n")).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        // PR-6 counters surface in the text output, not just JSON.
+        assert!(text.contains("alias_queries_solved"));
+        assert!(text.contains("alias_functions_skipped"));
+        assert!(text.contains("channel_encodings_shared"));
     }
 
     #[test]

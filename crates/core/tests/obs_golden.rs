@@ -1,0 +1,79 @@
+//! Golden Prometheus exposition for the Figure 1 program, plus the
+//! self-validation contract: every rendering must pass the same minimal
+//! parser CI runs over `--metrics-out` artifacts.
+
+use gcatch::{render_prometheus, validate_exposition, DetectorConfig, GCatch, Selection};
+
+/// The Figure 1 Docker#24991 program (same source as the trace golden).
+const FIGURE1: &str = r#"
+func Exec(ctx context.Context) error {
+    outDone := make(chan error)
+    go func() {
+        outDone <- nil
+    }()
+    select {
+    case err := <-outDone:
+        return err
+    case <-ctx.Done():
+        return ctx.Err()
+    }
+}
+
+func main() {
+    ctx, cancel := context.WithCancel(context.Background())
+    defer cancel()
+    Exec(ctx)
+}
+"#;
+
+fn figure1_stats() -> gcatch::Stats {
+    let module = golite_ir::lower_source(FIGURE1).expect("figure 1 lowers");
+    let gcatch = GCatch::new(&module);
+    let config = DetectorConfig {
+        jobs: 1,
+        ..DetectorConfig::default()
+    };
+    let diagnostics = gcatch.diagnostics(&config, &Selection::default());
+    assert!(!diagnostics.is_empty(), "figure 1 should report a bug");
+    gcatch.stats()
+}
+
+/// Golden test: the exact zero-time exposition for Figure 1 under
+/// `--jobs 1`. Counter values and sample counts are pinned (they are pure
+/// functions of the module); every time-derived value renders as 0, so
+/// the document is byte-stable across machines. Bless with
+/// `GCATCH_BLESS=1`.
+#[test]
+fn figure1_zeroed_exposition_matches_golden() {
+    let text = render_prometheus(&figure1_stats(), true);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/figure1_metrics.golden.prom"
+    );
+    if std::env::var_os("GCATCH_BLESS").is_some() {
+        std::fs::write(path, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file (GCATCH_BLESS=1 to create)");
+    assert_eq!(text.trim_end(), golden.trim_end());
+}
+
+/// A live (non-zeroed) rendering must satisfy the CI exposition parser
+/// and declare every counter family by its stable name.
+#[test]
+fn live_rendering_validates_and_names_are_stable() {
+    let text = render_prometheus(&figure1_stats(), false);
+    let summary = validate_exposition(&text).expect("exposition validates");
+    assert!(summary.families > 0 && summary.samples > 0);
+    for family in [
+        "gcatch_channels_analyzed_total",
+        "gcatch_solver_queries_total",
+        "gcatch_stage_seconds",
+        "gcatch_channel_detect_seconds",
+        "gcatch_paths_per_channel",
+    ] {
+        assert!(text.contains(family), "missing family `{family}`");
+    }
+    // Nanosecond histograms export seconds; no raw `_ns` family leaks out.
+    assert!(!text.contains("_ns "), "raw nanosecond family leaked");
+}

@@ -82,6 +82,7 @@ pub fn try_run_app(app: &GeneratedApp, config: &DetectorConfig) -> Result<AppRes
         name: app.name.to_string(),
         message,
         rung: 0,
+        flight: Vec::new(),
     })
 }
 
@@ -119,6 +120,7 @@ pub fn run_apps_supervised(
                 name: rec.id,
                 message: "quarantined without a recorded failure".to_string(),
                 rung: 0,
+                flight: Vec::new(),
             }),
         }
     }

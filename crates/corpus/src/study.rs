@@ -214,6 +214,7 @@ pub fn try_is_detected(bug: &StudyBug, config: &DetectorConfig) -> Result<bool, 
         name: format!("study-{}", bug.id),
         message,
         rung: 0,
+        flight: Vec::new(),
     })
 }
 

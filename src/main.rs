@@ -10,10 +10,12 @@
 //! $ gcatch extended file.go           # §6 send-on-closed panic detector
 //! ```
 
+use gcatch_suite::gcatch::events::Field;
 use gcatch_suite::gcatch::{
-    faults, render_explain, render_json_with, render_stats_json, AliasMode, BatchConfig,
-    BatchEngine, BatchJob, DetectorConfig, FaultPlan, GCatch, HedgePolicy, Incident, JobCtx,
-    Journal, JournalCodec, Metric, Selection, SolverStrategy, Telemetry, TraceLevel, Tracer,
+    derive_run_id, faults, obs_zero_time, render_explain, render_json_with, render_prometheus,
+    render_stats_json, AliasMode, BatchConfig, BatchEngine, BatchJob, DetectorConfig, Event,
+    EventBus, EventKind, FaultPlan, GCatch, HedgePolicy, Incident, JobCtx, Journal, JournalCodec,
+    Metric, ObsScope, Selection, SolverStrategy, Telemetry, TraceLevel, Tracer,
 };
 use gcatch_suite::{gfix, sim};
 use std::collections::BTreeMap;
@@ -55,7 +57,7 @@ commands:
   check [--json] [--stats] [--explain] [--trace FILE] [--only C] [--skip C] [--jobs N]
         [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
         [--alias-mode M] [--no-share-encodings] [--step-pool N]
-        [--strict]
+        [--metrics-out FILE] [--events-out FILE] [--strict]
                         detect concurrency bugs via the checker registry;
                         --only/--skip select checkers by name (repeatable,
                         comma-separated lists accepted), --jobs shards the
@@ -74,7 +76,8 @@ commands:
                         explore schedules and report outcomes
   batch [--jobs N] [--max-attempts N] [--backoff-ms MS] [--hedge-ms MS] [--no-hedge]
         [--inject-faults RATE] [--fault-seed N] [--journal FILE | --resume FILE]
-        [--report FILE] [--json] [--stats] [--strict] [--trace FILE]
+        [--report FILE] [--json] [--stats] [--strict] [--explain] [--trace FILE]
+        [--metrics-out FILE] [--events-out FILE] [--progress]
         [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
         [--alias-mode M] [--no-share-encodings] [--step-pool N]
         <file.go|dir>...
@@ -92,7 +95,7 @@ commands:
   extended [--json] [--stats] [--explain] [--trace FILE] [--jobs N]
         [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
         [--alias-mode M] [--no-share-encodings] [--step-pool N]
-        [--strict]
+        [--metrics-out FILE] [--events-out FILE] [--strict]
                         run the send-on-closed (panic) detector (paper §6)
 
 budgets (check / extended):
@@ -121,6 +124,25 @@ budgets (check / extended):
   --strict              treat any incident (panic or exhausted budget) as
                         fatal: exit 2 instead of 0/1
 
+observability (check / extended / batch):
+  --metrics-out FILE    write every pipeline counter, stage timing, and
+                        histogram as Prometheus text exposition under the
+                        stable gcatch_* name schema (written atomically at
+                        the end of the run; batch also republishes the
+                        file every ~200 ms while running)
+  --events-out FILE     write the structured run event stream as JSONL;
+                        every event carries the run id plus the job,
+                        attempt, and channel that produced it, so one
+                        grep reconstructs any job's full lifecycle
+  --progress            (batch) render a live progress line on stderr:
+                        done/retried/hedged/quarantined counts, p50/p99
+                        job wall, and an ETA; auto-disabled when stderr
+                        is not a tty or under --json
+  --explain             (batch) print each quarantined job's flight
+                        recorder: the last lifecycle lines (attempts,
+                        faults, retries, incidents) before the job was
+                        given up on
+
 fault injection (batch):
   --inject-faults RATE  inject deterministic faults (panics, delays,
                         solver-step exhaustion) at named sites with the
@@ -135,6 +157,9 @@ environment:
   GCATCH_FAULT_RATE     arm fault injection without CLI flags (batch);
                         GCATCH_FAULT_SEED, GCATCH_FAULT_SITES, and
                         GCATCH_FAULT_DELAY_MS refine the plan
+  GCATCH_OBS_ZERO_TIME  zero every --metrics-out/--events-out timestamp
+                        and derive the run id deterministically (golden
+                        files, byte-exact diffs)
 
 exit status: 0 = clean, 1 = bugs found, 2 = usage or input error;
 with --strict, a run that recorded incidents (or, for batch, quarantined
@@ -212,6 +237,19 @@ fn trace_level(trace_path: Option<&str>) -> Result<TraceLevel, String> {
 fn write_trace(path: &str, snapshot: &gcatch_suite::gcatch::TraceSnapshot) -> Result<(), String> {
     std::fs::write(path, snapshot.render_chrome())
         .map_err(|e| format!("cannot write trace file {path}: {e}"))
+}
+
+/// A run-level (`run_start`/`run_end`) event: group 0, no job/channel
+/// correlation, so canonical ordering brackets the stream with it.
+fn run_event(kind: EventKind, fields: Vec<(&'static str, Field)>) -> Event {
+    Event {
+        kind,
+        group: 0,
+        job: None,
+        attempt: None,
+        channel: None,
+        fields,
+    }
 }
 
 /// All values of a repeatable flag, with comma-separated lists split up.
@@ -305,8 +343,27 @@ fn run_diagnostics(
     let explain = has_flag(flags, "explain");
     let strict = has_flag(flags, "strict");
     let trace_path = flag_value(flags, "trace");
+    let metrics_out = flag_value(flags, "metrics-out");
+    let events_out = flag_value(flags, "events-out");
+    let zero_time = obs_zero_time();
+    let bus = events_out.map(|_| {
+        Arc::new(EventBus::new(
+            derive_run_id(&[path.to_string()], zero_time),
+            zero_time,
+        ))
+    });
+    if let Some(bus) = &bus {
+        bus.emit(run_event(
+            EventKind::RunStart,
+            vec![("modules", Field::U64(1))],
+        ));
+    }
     let level = trace_level(trace_path)?;
-    let config = budget_config(flags)?;
+    let mut config = budget_config(flags)?;
+    config.obs = ObsScope {
+        bus: bus.clone(),
+        ..ObsScope::default()
+    };
     let alias = alias_mode(flags)?;
     let src = read_source(path)?;
     let started = std::time::Instant::now();
@@ -322,6 +379,19 @@ fn run_diagnostics(
     let stats = gcatch.stats();
     if let Some(tp) = trace_path {
         write_trace(tp, &gcatch.trace_snapshot())?;
+    }
+    if let Some(mp) = metrics_out {
+        write_atomic(mp, &render_prometheus(&stats, zero_time))?;
+    }
+    if let (Some(bus), Some(ep)) = (&bus, events_out) {
+        bus.emit(run_event(
+            EventKind::RunEnd,
+            vec![
+                ("diagnostics", Field::U64(diagnostics.len() as u64)),
+                ("incidents", Field::U64(incidents.len() as u64)),
+            ],
+        ));
+        write_atomic(ep, &bus.render_jsonl())?;
     }
     if json {
         println!(
@@ -373,6 +443,8 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
         ("stats", false),
         ("explain", false),
         ("trace", true),
+        ("metrics-out", true),
+        ("events-out", true),
         ("only", true),
         ("skip", true),
         ("jobs", true),
@@ -399,6 +471,8 @@ fn cmd_extended(rest: &[String]) -> Result<ExitCode, String> {
         ("stats", false),
         ("explain", false),
         ("trace", true),
+        ("metrics-out", true),
+        ("events-out", true),
         ("jobs", true),
         ("timeout", true),
         ("channel-timeout", true),
@@ -714,14 +788,25 @@ fn run_batch_module(
     base: &DetectorConfig,
     alias: AliasMode,
     telemetry: &Telemetry,
+    bus: &Option<Arc<EventBus>>,
     ctx: &JobCtx,
 ) -> Result<String, String> {
     let src = read_source(path)?;
     let started = std::time::Instant::now();
     let module = gcatch_suite::ir::lower_source(&src)?;
     let gcatch = GCatch::with_options(&module, TraceLevel::Off, alias);
+    // The flight recorder is always attached (its lines feed the
+    // quarantine postmortem, which must be byte-identical whether or not
+    // --events-out was passed); the bus only when the run armed one.
     let config = DetectorConfig {
         cancel: Some(ctx.cancel.clone()),
+        obs: ObsScope {
+            bus: bus.clone(),
+            flight: Some(ctx.flight.clone()),
+            job: Some(ctx.job_id.clone()),
+            group: Some(ctx.index as u64),
+            attempt: Some(ctx.attempt),
+        },
         ..base.clone()
     };
     let diagnostics = gcatch.diagnostics(&config, &Selection::default());
@@ -767,6 +852,10 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         ("json", false),
         ("stats", false),
         ("strict", false),
+        ("explain", false),
+        ("progress", false),
+        ("metrics-out", true),
+        ("events-out", true),
         ("trace", true),
         ("timeout", true),
         ("channel-timeout", true),
@@ -781,8 +870,22 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
     let json = has_flag(&flags, "json");
     let want_stats = has_flag(&flags, "stats");
     let strict = has_flag(&flags, "strict");
+    let explain = has_flag(&flags, "explain");
     let trace_path = flag_value(&flags, "trace");
     let level = trace_level(trace_path)?;
+    let metrics_out = flag_value(&flags, "metrics-out");
+    let events_out = flag_value(&flags, "events-out");
+    let zero_time = obs_zero_time();
+    let bus =
+        events_out.map(|_| Arc::new(EventBus::new(derive_run_id(&modules, zero_time), zero_time)));
+    if let Some(bus) = &bus {
+        // Worker count is deliberately absent: the stream must be
+        // byte-identical across --jobs once timestamps are normalized.
+        bus.emit(run_event(
+            EventKind::RunStart,
+            vec![("modules", Field::U64(modules.len() as u64))],
+        ));
+    }
 
     // Fault plan: CLI flags override the GCATCH_FAULT_* environment.
     let fault_rate = flag_value(&flags, "inject-faults")
@@ -868,13 +971,58 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
             let base = base.clone();
             let telemetry = &telemetry;
             let path = path.clone();
+            let bus = bus.clone();
             BatchJob::new(path.clone(), move |ctx| {
-                run_batch_module(&path, &base, alias, telemetry, ctx)
+                run_batch_module(&path, &base, alias, telemetry, &bus, ctx)
             })
         })
         .collect();
-    let engine = BatchEngine::new(batch, &telemetry, &tracer);
-    let outcome = engine.run(&jobs, journal.as_ref().map(|j| (j, &codec)), restored);
+    let mut engine = BatchEngine::new(batch, &telemetry, &tracer);
+    if let Some(bus) = &bus {
+        engine = engine.with_events(bus);
+    }
+    let progress = has_flag(&flags, "progress")
+        && !json
+        && std::io::IsTerminal::is_terminal(&std::io::stderr());
+    if progress {
+        engine = engine.with_progress(
+            |snap| {
+                use std::io::Write;
+                let mut err = std::io::stderr().lock();
+                let _ = write!(err, "\r\x1b[K{}", snap.render_line());
+                let _ = err.flush();
+            },
+            Duration::from_millis(100),
+        );
+    }
+    // While the batch runs, a ticker thread periodically republishes the
+    // metrics file so external scrapers see live progress; the final
+    // (authoritative) exposition is rewritten after the run completes.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let outcome = std::thread::scope(|scope| {
+        let ticker = metrics_out.map(|path| {
+            let stop = &stop;
+            let telemetry = &telemetry;
+            scope.spawn(move || loop {
+                for _ in 0..8 {
+                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                let _ = write_atomic(path, &render_prometheus(&telemetry.snapshot(), zero_time));
+            })
+        });
+        let outcome = engine.run(&jobs, journal.as_ref().map(|j| (j, &codec)), restored);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(t) = ticker {
+            let _ = t.join();
+        }
+        outcome
+    });
+    if progress {
+        eprint!("\r\x1b[K");
+    }
     drop(jobs);
     if let Some(tp) = trace_path {
         write_trace(tp, &tracer.snapshot())?;
@@ -904,7 +1052,22 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
                 if let Some(inc) = &rec.incident {
                     json_escape(&inc.message, &mut report);
                 }
-                report.push_str("\"}");
+                // The flight-recorder dump rides along unconditionally:
+                // it is deterministic (attempt lifecycle only, no wall
+                // times), so the report stays byte-identical whether or
+                // not observability flags were passed.
+                report.push_str("\",\"flight\":[");
+                if let Some(inc) = &rec.incident {
+                    for (i, line) in inc.flight.iter().enumerate() {
+                        if i > 0 {
+                            report.push(',');
+                        }
+                        report.push('"');
+                        json_escape(line, &mut report);
+                        report.push('"');
+                    }
+                }
+                report.push_str("]}");
             }
         }
     }
@@ -918,6 +1081,22 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         write_atomic(path, &format!("{report}\n"))?;
     }
     let stats = telemetry.snapshot();
+    if let Some(mp) = metrics_out {
+        write_atomic(mp, &render_prometheus(&stats, zero_time))?;
+    }
+    if let (Some(bus), Some(ep)) = (&bus, events_out) {
+        bus.emit(run_event(
+            EventKind::RunEnd,
+            vec![
+                ("modules", Field::U64(outcome.records.len() as u64)),
+                ("executed", Field::U64(outcome.executed as u64)),
+                ("resumed", Field::U64(outcome.resumed as u64)),
+                ("quarantined", Field::U64(outcome.quarantined as u64)),
+                ("total_bugs", Field::U64(total_bugs as u64)),
+            ],
+        ));
+        write_atomic(ep, &bus.render_jsonl())?;
+    }
     if json {
         if want_stats {
             let mut with_stats = report[..report.len() - 1].to_string();
@@ -942,6 +1121,11 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
                 None => {
                     let why = rec.incident.as_ref().map_or("", |inc| inc.message.as_str());
                     println!("  {}: quarantined — {why}", rec.id);
+                    if explain {
+                        if let Some(inc) = &rec.incident {
+                            print!("{}", inc.render());
+                        }
+                    }
                 }
             }
         }
