@@ -281,7 +281,7 @@ const JOURNAL_VERSION: u64 = 1;
 
 /// FNV fingerprint of the submitted job-id set, written into the header
 /// so `--resume` refuses a journal from a different job set.
-fn fingerprint(ids: &[String]) -> String {
+pub(crate) fn fingerprint(ids: &[String]) -> String {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for id in ids {
         h = faults::fnv(h, id.as_bytes());
@@ -313,6 +313,10 @@ impl Journal {
         );
         file.write_all(header.as_bytes())?;
         file.sync_data()?;
+        // Durability of the *name*, not just the bytes: fsync the parent
+        // directory so a metadata-losing crash cannot forget the journal
+        // file itself (the file's own fsyncs only cover its contents).
+        crate::sweep::fsync_parent(path)?;
         Ok(Journal {
             path: path.to_path_buf(),
             file: Mutex::new(file),
@@ -391,6 +395,43 @@ impl Journal {
         &self.path
     }
 
+    /// Reads a journal without opening it for appending: validates the
+    /// header against `ids`, parses every intact record line, and drops a
+    /// torn or malformed tail — but never truncates the file. The sweep
+    /// merge uses this to fold every worker's journal into one record set
+    /// while the files stay untouched for postmortem inspection.
+    pub fn read_records<T>(
+        path: &Path,
+        ids: &[String],
+        codec: &JournalCodec<T>,
+    ) -> Result<Vec<JobRecord<T>>, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+        let mut lines = text.split_inclusive('\n');
+        let header = lines.next().unwrap_or("");
+        if !header.ends_with('\n') || !header.starts_with(&format!("{{\"{JOURNAL_MAGIC}\":")) {
+            return Err(format!("{} is not a gcatch batch journal", path.display()));
+        }
+        let want = fingerprint(ids);
+        if !header.contains(&format!("\"fingerprint\":\"{want}\"")) {
+            return Err(format!(
+                "journal {} was written for a different job set",
+                path.display()
+            ));
+        }
+        let mut records = Vec::new();
+        for line in lines {
+            if !line.ends_with('\n') {
+                break;
+            }
+            match parse_record_line(line.trim_end_matches('\n'), codec) {
+                Some(rec) => records.push(rec),
+                None => break,
+            }
+        }
+        Ok(records)
+    }
+
     /// Appends one decided job and fsyncs.
     pub fn record<T>(&self, rec: &JobRecord<T>, codec: &JournalCodec<T>) -> std::io::Result<()> {
         let mut line = String::from("{\"job\":\"");
@@ -438,7 +479,7 @@ impl Journal {
 /// Parses one JSON string literal starting at `s` (which must begin with
 /// the opening quote's *content*, i.e. just after `"`). Returns the
 /// unescaped string and the rest after the closing quote.
-fn parse_json_string(s: &str) -> Option<(String, &str)> {
+pub(crate) fn parse_json_string(s: &str) -> Option<(String, &str)> {
     let mut out = String::new();
     let mut chars = s.char_indices();
     while let Some((i, c)) = chars.next() {
@@ -469,7 +510,7 @@ fn parse_json_string(s: &str) -> Option<(String, &str)> {
 }
 
 /// Parses one journal record line (without the trailing newline).
-fn parse_record_line<T>(line: &str, codec: &JournalCodec<T>) -> Option<JobRecord<T>> {
+pub(crate) fn parse_record_line<T>(line: &str, codec: &JournalCodec<T>) -> Option<JobRecord<T>> {
     let rest = line.strip_prefix("{\"job\":\"")?;
     let (id, rest) = parse_json_string(rest)?;
     let rest = rest.strip_prefix(",\"status\":\"")?;
@@ -734,6 +775,7 @@ impl<'t> BatchEngine<'t> {
             p50_ms: hist.percentile(50) as f64 / 1e6,
             p99_ms: hist.percentile(99) as f64 / 1e6,
             eta_ms,
+            ..ProgressSnapshot::default()
         });
     }
 

@@ -82,6 +82,12 @@ pub enum EventKind {
     JobHedged,
     JobDone,
     JobQuarantined,
+    WorkerSpawned,
+    WorkerLost,
+    JobLeased,
+    LeaseExpired,
+    JobReleased,
+    DuplicateDecision,
     RunEnd,
 }
 
@@ -101,6 +107,12 @@ impl EventKind {
             EventKind::JobHedged => "job_hedged",
             EventKind::JobDone => "job_done",
             EventKind::JobQuarantined => "job_quarantined",
+            EventKind::WorkerSpawned => "worker_spawned",
+            EventKind::WorkerLost => "worker_lost",
+            EventKind::JobLeased => "job_leased",
+            EventKind::LeaseExpired => "lease_expired",
+            EventKind::JobReleased => "job_released",
+            EventKind::DuplicateDecision => "duplicate_decision",
             EventKind::RunEnd => "run_end",
         }
     }

@@ -14,6 +14,9 @@
 //! | `detector.channel` | panic inside one channel's BMOC pipeline         |
 //! | `solver.steps`     | step-exhaustion panic inside the DPLL loop       |
 //! | `corpus.app`       | panic while running one corpus replica           |
+//! | `sweep.worker`     | a sweep worker process self-terminates mid-job   |
+//! | `sweep.heartbeat`  | a sweep worker stops writing heartbeats          |
+//! | `sweep.lease`      | a sweep worker stops renewing its job lease      |
 //!
 //! Every decision is a pure function of the [`FaultPlan`] seed, the site
 //! name, the enclosing scope (job id + attempt number), and a per-call
@@ -43,14 +46,26 @@ pub const SITE_DETECT_CHANNEL: &str = "detector.channel";
 pub const SITE_SOLVER_STEPS: &str = "solver.steps";
 /// Panic while running one corpus replica through the census.
 pub const SITE_CORPUS_APP: &str = "corpus.app";
+/// A sweep worker process self-terminates (simulated crash) right after
+/// claiming a job, leaving an orphaned lease behind.
+pub const SITE_SWEEP_WORKER: &str = "sweep.worker";
+/// A sweep worker silently stops writing heartbeat files while it keeps
+/// working, so the coordinator must detect and kill it.
+pub const SITE_SWEEP_HEARTBEAT: &str = "sweep.heartbeat";
+/// A sweep worker stops renewing the lease of its current job, letting
+/// the lease expire mid-run (drives the duplicate-decision path).
+pub const SITE_SWEEP_LEASE: &str = "sweep.lease";
 
 /// All registered fault sites, in documentation order.
-pub const ALL_SITES: [&str; 5] = [
+pub const ALL_SITES: [&str; 8] = [
     SITE_BATCH_JOB,
     SITE_BATCH_DELAY,
     SITE_DETECT_CHANNEL,
     SITE_SOLVER_STEPS,
     SITE_CORPUS_APP,
+    SITE_SWEEP_WORKER,
+    SITE_SWEEP_HEARTBEAT,
+    SITE_SWEEP_LEASE,
 ];
 
 /// Prefix of every injected-fault panic message; supervisors use it to

@@ -38,7 +38,12 @@
 //! * [`events`] — the correlated structured event bus (`--events-out`
 //!   JSONL) and the per-job [`FlightRecorder`] attached to quarantine
 //!   incidents;
-//! * [`progress`] — live batch progress snapshots (`batch --progress`).
+//! * [`progress`] — live batch progress snapshots (`batch --progress`);
+//! * [`sweep`] — the multi-process sweep coordinator: lease-based on-disk
+//!   work queue, heartbeat supervision, dead-worker re-lease, and the
+//!   byte-deterministic journal merge (`gcatch sweep`);
+//! * [`worker`] — the sweep worker loop (`gcatch worker`): claim, execute,
+//!   journal, mark done, release.
 //!
 //! # Examples
 //!
@@ -88,9 +93,11 @@ pub mod progress;
 pub mod report;
 pub mod resilience;
 pub mod session;
+pub mod sweep;
 pub mod telemetry;
 pub mod trace;
 pub mod traditional;
+pub mod worker;
 
 pub use batch::{
     BackoffPolicy, BatchConfig, BatchEngine, BatchJob, BatchOutcome, HedgePolicy, JobCtx,
@@ -112,8 +119,13 @@ pub use progress::ProgressSnapshot;
 pub use report::{BugKind, BugReport, OpRef, Provenance};
 pub use resilience::{Budget, CancelToken, Incident, IncidentKind};
 pub use session::AnalysisSession;
+pub use sweep::{
+    merge_journals, read_manifest, write_manifest, Coordinator, DuplicateDecision, MergeOutcome,
+    SweepConfig, SweepLayout, SweepOutcome, WORKER_KILL_EXIT,
+};
 pub use telemetry::{Counter, Metric, Stage, Stats, Telemetry};
 pub use trace::{HistSnapshot, Histogram, TraceLevel, TraceSnapshot, Tracer};
+pub use worker::{run_worker, WorkerConfig, WorkerSummary};
 
 /// The complete GCatch system: one [`AnalysisSession`] plus the checker
 /// [`Registry`] behind one entry point.

@@ -85,6 +85,12 @@ pub fn counter_help(c: Counter) -> &'static str {
         Counter::ChannelEncodingsShared => {
             "Channel verdicts answered from a structurally identical channel's cache."
         }
+        Counter::JobsReleases => {
+            "Sweep jobs released back to the queue after lease expiry or worker death."
+        }
+        Counter::LeasesExpired => "Sweep leases whose deadline passed before renewal.",
+        Counter::WorkersSpawned => "Worker processes spawned by the sweep coordinator.",
+        Counter::WorkersLost => "Worker processes the sweep coordinator declared dead.",
     }
 }
 

@@ -1,15 +1,19 @@
-//! Live progress snapshots for `gcatch batch --progress`.
+//! Live progress snapshots for `gcatch batch --progress` and
+//! `gcatch sweep --progress`.
 //!
-//! The batch supervisor periodically freezes its bookkeeping into a
-//! [`ProgressSnapshot`] and hands it to a caller-supplied callback; the CLI
-//! renders it as a single carriage-return-refreshed TTY status line. The
-//! snapshot is derived entirely from state the supervisor already tracks —
-//! job counts plus the `job_wall_ns` histogram — so enabling progress
-//! changes no analysis behavior and no report bytes.
+//! The batch supervisor (or sweep coordinator) periodically freezes its
+//! bookkeeping into a [`ProgressSnapshot`] and hands it to a caller-supplied
+//! callback; the CLI renders it as a single carriage-return-refreshed TTY
+//! status line. The snapshot is derived entirely from state the supervisor
+//! already tracks — job counts plus the `job_wall_ns` histogram — so
+//! enabling progress changes no analysis behavior and no report bytes.
 
 /// A point-in-time view of a batch run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ProgressSnapshot {
+    /// True for a multi-process sweep (renders a `sweep` prefix instead of
+    /// `batch`).
+    pub sweep: bool,
     /// Jobs in the run (restored + executed).
     pub total: usize,
     /// Jobs decided so far (succeeded, quarantined, or restored).
@@ -22,6 +26,10 @@ pub struct ProgressSnapshot {
     pub hedged: u64,
     /// Jobs quarantined so far.
     pub quarantined: u64,
+    /// Sweep jobs released back to the queue (lease expiry, worker death).
+    pub released: u64,
+    /// Sweep worker processes declared dead by the coordinator.
+    pub workers_lost: u64,
     /// p50 of completed-job wall time, milliseconds.
     pub p50_ms: f64,
     /// p99 of completed-job wall time, milliseconds.
@@ -48,7 +56,8 @@ impl ProgressSnapshot {
     /// `batch 5/8 done · 1 retried · 1 quarantined · p50 12 ms · p99 80 ms · eta 3s`.
     /// Zero-valued optional segments are omitted to keep the line short.
     pub fn render_line(&self) -> String {
-        let mut line = format!("batch {}/{} done", self.done, self.total);
+        let verb = if self.sweep { "sweep" } else { "batch" };
+        let mut line = format!("{verb} {}/{} done", self.done, self.total);
         if self.resumed > 0 {
             line.push_str(&format!(" · {} resumed", self.resumed));
         }
@@ -60,6 +69,12 @@ impl ProgressSnapshot {
         }
         if self.quarantined > 0 {
             line.push_str(&format!(" · {} quarantined", self.quarantined));
+        }
+        if self.released > 0 {
+            line.push_str(&format!(" · {} released", self.released));
+        }
+        if self.workers_lost > 0 {
+            line.push_str(&format!(" · {} workers lost", self.workers_lost));
         }
         if self.p50_ms > 0.0 || self.p99_ms > 0.0 {
             line.push_str(&format!(
@@ -103,11 +118,28 @@ mod tests {
             p50_ms: 12.4,
             p99_ms: 80.2,
             eta_ms: Some(3_200),
+            ..ProgressSnapshot::default()
         };
         assert_eq!(
             snap.render_line(),
             "batch 5/8 done · 1 resumed · 2 retried · 1 hedged · 1 quarantined \
              · p50 12 ms · p99 80 ms · eta 3s"
+        );
+    }
+
+    #[test]
+    fn sweep_line_carries_release_and_loss_segments() {
+        let snap = ProgressSnapshot {
+            sweep: true,
+            total: 6,
+            done: 4,
+            released: 2,
+            workers_lost: 1,
+            ..ProgressSnapshot::default()
+        };
+        assert_eq!(
+            snap.render_line(),
+            "sweep 4/6 done · 2 released · 1 workers lost"
         );
     }
 

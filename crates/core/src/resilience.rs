@@ -184,6 +184,10 @@ pub enum IncidentKind {
     /// aside (quarantined) so the rest of the batch can finish, never
     /// silently dropped.
     Quarantined,
+    /// A sweep job decided by more than one worker (an expired lease was
+    /// re-leased while the original owner kept working). The merge keeps
+    /// exactly one decision; this incident records the collision.
+    DuplicateDecision,
 }
 
 impl IncidentKind {
@@ -194,6 +198,7 @@ impl IncidentKind {
             IncidentKind::Checker => "checker",
             IncidentKind::App => "app",
             IncidentKind::Quarantined => "quarantined",
+            IncidentKind::DuplicateDecision => "duplicate-decision",
         }
     }
 }

@@ -128,10 +128,21 @@ pub enum Counter {
     /// Channel verdicts answered from a structurally identical channel's
     /// cached encoding instead of fresh solver work.
     ChannelEncodingsShared,
+    /// Sweep jobs released back to the queue after their lease expired or
+    /// their worker died (each release makes the job claimable again).
+    JobsReleases,
+    /// Sweep leases whose deadline passed before the owner renewed them.
+    LeasesExpired,
+    /// Worker processes spawned by the sweep coordinator (initial fleet
+    /// plus replacements).
+    WorkersSpawned,
+    /// Worker processes the coordinator declared dead (exited abnormally
+    /// or missed the heartbeat deadline and were killed).
+    WorkersLost,
 }
 
 impl Counter {
-    const COUNT: usize = 24;
+    const COUNT: usize = 28;
 
     fn index(self) -> usize {
         match self {
@@ -159,6 +170,10 @@ impl Counter {
             Counter::AliasQueriesSolved => 21,
             Counter::AliasFunctionsSkipped => 22,
             Counter::ChannelEncodingsShared => 23,
+            Counter::JobsReleases => 24,
+            Counter::LeasesExpired => 25,
+            Counter::WorkersSpawned => 26,
+            Counter::WorkersLost => 27,
         }
     }
 
@@ -189,6 +204,10 @@ impl Counter {
             Counter::AliasQueriesSolved => "alias_queries_solved",
             Counter::AliasFunctionsSkipped => "alias_functions_skipped",
             Counter::ChannelEncodingsShared => "channel_encodings_shared",
+            Counter::JobsReleases => "jobs_releases",
+            Counter::LeasesExpired => "leases_expired",
+            Counter::WorkersSpawned => "workers_spawned",
+            Counter::WorkersLost => "workers_lost",
         }
     }
 
@@ -210,6 +229,10 @@ impl Counter {
             | Counter::JobsHedged
             | Counter::JobsQuarantined
             | Counter::JobsResumed => "batch",
+            Counter::JobsReleases
+            | Counter::LeasesExpired
+            | Counter::WorkersSpawned
+            | Counter::WorkersLost => "sweep",
             Counter::ChannelsAnalyzed
             | Counter::PsetsComputed
             | Counter::PsetPrimsTotal
@@ -224,8 +247,8 @@ impl Counter {
     }
 
     /// Subsystem display order for grouped `--stats` text.
-    pub fn subsystems() -> [&'static str; 4] {
-        ["alias", "solver", "batch", "detector"]
+    pub fn subsystems() -> [&'static str; 5] {
+        ["alias", "solver", "batch", "sweep", "detector"]
     }
 
     /// All counters in reporting order.
@@ -255,6 +278,10 @@ impl Counter {
             Counter::AliasQueriesSolved,
             Counter::AliasFunctionsSkipped,
             Counter::ChannelEncodingsShared,
+            Counter::JobsReleases,
+            Counter::LeasesExpired,
+            Counter::WorkersSpawned,
+            Counter::WorkersLost,
         ]
     }
 }

@@ -12,10 +12,12 @@
 
 use gcatch_suite::gcatch::events::Field;
 use gcatch_suite::gcatch::{
-    derive_run_id, faults, obs_zero_time, render_explain, render_json_with, render_prometheus,
-    render_stats_json, AliasMode, BatchConfig, BatchEngine, BatchJob, DetectorConfig, Event,
-    EventBus, EventKind, FaultPlan, GCatch, HedgePolicy, Incident, JobCtx, Journal, JournalCodec,
-    Metric, ObsScope, Selection, SolverStrategy, Telemetry, TraceLevel, Tracer,
+    derive_run_id, faults, obs_zero_time, read_manifest, render_explain, render_json_with,
+    render_prometheus, render_stats_json, run_worker, write_manifest, AliasMode, BatchConfig,
+    BatchEngine, BatchJob, Coordinator, DetectorConfig, Event, EventBus, EventKind, FaultPlan,
+    GCatch, HedgePolicy, Incident, JobCtx, JobRecord, Journal, JournalCodec, Metric, ObsScope,
+    Selection, SolverStrategy, SweepConfig, SweepLayout, Telemetry, TraceLevel, Tracer,
+    WorkerConfig,
 };
 use gcatch_suite::{gfix, sim};
 use std::collections::BTreeMap;
@@ -35,6 +37,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "extended" => cmd_extended(rest),
         "batch" => cmd_batch(rest),
+        "sweep" => cmd_sweep(rest),
+        "worker" => cmd_worker(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -92,6 +96,33 @@ commands:
                         arms the deterministic fault layer (see below).
                         Directories expand to their *.go files
                         (non-recursive, sorted)
+  sweep [--workers N] [--dir DIR] [--lease-ms MS] [--max-releases N]
+        [--max-attempts N] [--backoff-ms MS]
+        [--inject-faults RATE] [--fault-seed N]
+        [--report FILE] [--json] [--stats] [--strict] [--progress]
+        [--metrics-out FILE] [--events-out FILE]
+        [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
+        [--alias-mode M] [--no-share-encodings] [--step-pool N]
+        <file.go|dir>...
+                        check many modules across a fleet of --workers N
+                        worker *processes* coordinated through an on-disk
+                        lease queue under --dir (a fresh temp directory by
+                        default). Each worker claims one job at a time via
+                        an O_EXCL lease file, heartbeats while it works,
+                        and journals every decision to its own crash-safe
+                        JSONL journal; the coordinator re-leases jobs from
+                        workers that die (even SIGKILLed) or miss the
+                        heartbeat deadline, quarantines jobs released more
+                        than --max-releases times, and finally merges all
+                        journals into one report that is byte-identical to
+                        a single-process `gcatch batch --no-hedge` run over
+                        the same modules. A job decided by two workers
+                        keeps exactly one record (first durable decision
+                        wins) and surfaces a duplicate-decision warning on
+                        stderr without changing the report bytes
+  worker --dir DIR --id W [--lease-ms MS] [exec flags as for sweep]
+                        internal: one sweep worker process (spawned by
+                        `gcatch sweep`; runnable by hand for debugging)
   extended [--json] [--stats] [--explain] [--trace FILE] [--jobs N]
         [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
         [--alias-mode M] [--no-share-encodings] [--step-pool N]
@@ -161,9 +192,19 @@ environment:
                         and derive the run id deterministically (golden
                         files, byte-exact diffs)
 
+fault injection (sweep adds three process-level sites):
+  sweep.worker          a worker self-terminates right after claiming a
+                        job (exit code 17); the coordinator re-leases
+  sweep.heartbeat       a worker never writes heartbeats; the coordinator
+                        kills and replaces it after the staleness deadline
+  sweep.lease           a worker stops renewing one claim's lease; the
+                        lease expires mid-job and the job is re-leased
+                        while the original owner keeps working (the
+                        duplicate-decision path)
+
 exit status: 0 = clean, 1 = bugs found, 2 = usage or input error;
-with --strict, a run that recorded incidents (or, for batch, quarantined
-any job) also exits 2";
+with --strict, a run that recorded incidents (or, for batch/sweep,
+quarantined any job) also exits 2";
 
 /// A parsed `--flag [value]` pair.
 type Flag = (String, Option<String>);
@@ -592,6 +633,8 @@ fn cmd_fix(rest: &[String]) -> Result<ExitCode, String> {
 /// Replaces `path` atomically: the new contents go to a temp file in the
 /// same directory, which is then renamed over the original, so an
 /// interrupted `fix --write` can never leave a truncated source file.
+/// The containing directory is fsynced after the rename so the new name
+/// itself survives a crash, not just the bytes behind it.
 fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
     use std::io::Write;
     let target = std::path::Path::new(path);
@@ -608,7 +651,8 @@ fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(contents.as_bytes())?;
         f.sync_all()?;
-        std::fs::rename(&tmp, target)
+        std::fs::rename(&tmp, target)?;
+        gcatch_suite::gcatch::sweep::fsync_dir(dir)
     })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
@@ -778,6 +822,59 @@ fn payload_bugs(payload: &str) -> usize {
         .unwrap_or(0)
 }
 
+/// Renders the merged batch/sweep report from decided records, returning
+/// `(report, total_bugs)`. The output is deterministic — submission
+/// order, no attempt counts or timings, payloads that are pure functions
+/// of each module — so a resumed batch, and a multi-process sweep, are
+/// byte-identical to an uninterrupted single-process run. Sweep reuses
+/// this renderer verbatim (including `"command":"batch"`): the report
+/// describes *what was decided*, not which topology decided it.
+fn render_batch_report(records: &[JobRecord<String>], quarantined: usize) -> (String, usize) {
+    let mut total_bugs = 0usize;
+    let mut report = String::from("{\"version\":1,\"command\":\"batch\",\"modules\":[");
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            report.push(',');
+        }
+        match &rec.payload {
+            Some(p) => {
+                total_bugs += payload_bugs(p);
+                report.push_str(p);
+            }
+            None => {
+                report.push_str("{\"module\":\"");
+                json_escape(&rec.id, &mut report);
+                report.push_str("\",\"quarantined\":true,\"message\":\"");
+                if let Some(inc) = &rec.incident {
+                    json_escape(&inc.message, &mut report);
+                }
+                // The flight-recorder dump rides along unconditionally:
+                // it is deterministic (attempt lifecycle only, no wall
+                // times), so the report stays byte-identical whether or
+                // not observability flags were passed.
+                report.push_str("\",\"flight\":[");
+                if let Some(inc) = &rec.incident {
+                    for (i, line) in inc.flight.iter().enumerate() {
+                        if i > 0 {
+                            report.push(',');
+                        }
+                        report.push('"');
+                        json_escape(line, &mut report);
+                        report.push('"');
+                    }
+                }
+                report.push_str("]}");
+            }
+        }
+    }
+    report.push_str("],\"total_bugs\":");
+    report.push_str(&total_bugs.to_string());
+    report.push_str(",\"quarantined\":");
+    report.push_str(&quarantined.to_string());
+    report.push('}');
+    (report, total_bugs)
+}
+
 /// One batch job: lower and check a single module, returning a
 /// self-contained JSON payload. Failures surface as `Err` so the engine
 /// retries (transient, e.g. injected faults) or quarantines
@@ -887,26 +984,7 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         ));
     }
 
-    // Fault plan: CLI flags override the GCATCH_FAULT_* environment.
-    let fault_rate = flag_value(&flags, "inject-faults")
-        .map(|v| {
-            v.parse::<f64>()
-                .map_err(|e| format!("bad --inject-faults: {e}"))
-        })
-        .transpose()?;
-    let fault_seed = parse_u64_flag(&flags, "fault-seed")?;
-    if fault_seed.is_some() && fault_rate.is_none() {
-        return Err("--fault-seed needs --inject-faults".into());
-    }
-    let plan = match fault_rate {
-        Some(rate) => {
-            if !(0.0..=1.0).contains(&rate) {
-                return Err(format!("bad --inject-faults: {rate} is not in [0, 1]"));
-            }
-            Some(FaultPlan::new(rate, fault_seed.unwrap_or(0)))
-        }
-        None => FaultPlan::from_env()?,
-    };
+    let (plan, fault_seed) = fault_plan(&flags)?;
 
     let max_attempts = parse_u64_flag(&flags, "max-attempts")?.unwrap_or(3);
     if max_attempts == 0 {
@@ -1031,51 +1109,7 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         eprintln!("gcatch: warning: journal write failed: {err}");
     }
 
-    // The merged report is deterministic: submission order, no attempt
-    // counts or timings, payloads that are pure functions of the module —
-    // so a resumed run is byte-identical to an uninterrupted one.
-    let mut total_bugs = 0usize;
-    let mut report = String::from("{\"version\":1,\"command\":\"batch\",\"modules\":[");
-    for (i, rec) in outcome.records.iter().enumerate() {
-        if i > 0 {
-            report.push(',');
-        }
-        match &rec.payload {
-            Some(p) => {
-                total_bugs += payload_bugs(p);
-                report.push_str(p);
-            }
-            None => {
-                report.push_str("{\"module\":\"");
-                json_escape(&rec.id, &mut report);
-                report.push_str("\",\"quarantined\":true,\"message\":\"");
-                if let Some(inc) = &rec.incident {
-                    json_escape(&inc.message, &mut report);
-                }
-                // The flight-recorder dump rides along unconditionally:
-                // it is deterministic (attempt lifecycle only, no wall
-                // times), so the report stays byte-identical whether or
-                // not observability flags were passed.
-                report.push_str("\",\"flight\":[");
-                if let Some(inc) = &rec.incident {
-                    for (i, line) in inc.flight.iter().enumerate() {
-                        if i > 0 {
-                            report.push(',');
-                        }
-                        report.push('"');
-                        json_escape(line, &mut report);
-                        report.push('"');
-                    }
-                }
-                report.push_str("]}");
-            }
-        }
-    }
-    report.push_str("],\"total_bugs\":");
-    report.push_str(&total_bugs.to_string());
-    report.push_str(",\"quarantined\":");
-    report.push_str(&outcome.quarantined.to_string());
-    report.push('}');
+    let (report, total_bugs) = render_batch_report(&outcome.records, outcome.quarantined);
 
     if let Some(path) = flag_value(&flags, "report") {
         write_atomic(path, &format!("{report}\n"))?;
@@ -1135,6 +1169,373 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(if strict && outcome.quarantined > 0 {
+        ExitCode::from(2)
+    } else if total_bugs > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Exec-layer flags shared by `batch`, `sweep`, and `worker`: everything
+/// here shapes a job's decided record (attempt budget, backoff schedule,
+/// fault plan, analysis budgets), so `sweep` forwards them verbatim to
+/// every worker process — otherwise the merged report would diverge from
+/// a single-process `batch` run over the same modules.
+const EXEC_FLAGS: &[FlagSpec] = &[
+    ("max-attempts", true),
+    ("backoff-ms", true),
+    ("inject-faults", true),
+    ("fault-seed", true),
+    ("timeout", true),
+    ("channel-timeout", true),
+    ("solver-steps", true),
+    ("solver-mode", true),
+    ("alias-mode", true),
+    ("no-share-encodings", false),
+    ("step-pool", true),
+];
+
+/// Resolves the fault plan shared by batch/sweep/worker: CLI flags
+/// override the `GCATCH_FAULT_*` environment. Also returns the CLI
+/// `--fault-seed` (it doubles as the retry-backoff seed).
+fn fault_plan(flags: &[Flag]) -> Result<(Option<FaultPlan>, Option<u64>), String> {
+    let fault_rate = flag_value(flags, "inject-faults")
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|e| format!("bad --inject-faults: {e}"))
+        })
+        .transpose()?;
+    let fault_seed = parse_u64_flag(flags, "fault-seed")?;
+    if fault_seed.is_some() && fault_rate.is_none() {
+        return Err("--fault-seed needs --inject-faults".into());
+    }
+    let plan = match fault_rate {
+        Some(rate) => {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("bad --inject-faults: {rate} is not in [0, 1]"));
+            }
+            Some(FaultPlan::new(rate, fault_seed.unwrap_or(0)))
+        }
+        None => FaultPlan::from_env()?,
+    };
+    Ok((plan, fault_seed))
+}
+
+/// The engine configuration a sweep worker runs each claimed job under:
+/// identical to `cmd_batch`'s in every record-shaping knob, pinned to one
+/// thread and no hedging so each decision is a pure function of its
+/// module. This is what makes the merged sweep report byte-identical to
+/// `gcatch batch --no-hedge` regardless of fleet size, kills, or
+/// re-leases.
+fn worker_engine_config(
+    flags: &[Flag],
+    plan: Option<Arc<FaultPlan>>,
+    fault_seed: Option<u64>,
+) -> Result<BatchConfig, String> {
+    let max_attempts = parse_u64_flag(flags, "max-attempts")?.unwrap_or(3);
+    if max_attempts == 0 {
+        return Err("--max-attempts must be at least 1".into());
+    }
+    let mut batch = BatchConfig {
+        workers: 1,
+        max_attempts: max_attempts as u32,
+        ..BatchConfig::default()
+    };
+    if let Some(ms) = parse_u64_flag(flags, "backoff-ms")? {
+        batch.backoff.base = Duration::from_millis(ms);
+    }
+    batch.backoff.seed = fault_seed.unwrap_or(0);
+    batch.hedge = None;
+    batch.faults = plan;
+    Ok(batch)
+}
+
+/// The subset of `flags` in [`EXEC_FLAGS`], re-rendered as command-line
+/// arguments for a spawned worker process.
+fn forward_exec_flags(flags: &[Flag]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (name, value) in flags {
+        if EXEC_FLAGS.iter().any(|(n, _)| n == name) {
+            out.push(format!("--{name}"));
+            if let Some(v) = value {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Like [`parse_multi`] but for commands that take no positional
+/// arguments at all (`gcatch worker`).
+fn parse_flags_only(rest: &[String], spec: &[FlagSpec]) -> Result<Vec<Flag>, String> {
+    let mut flags = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        let Some(&(_, takes_value)) = spec.iter().find(|(n, _)| *n == name) else {
+            let known: Vec<String> = spec.iter().map(|(n, _)| format!("--{n}")).collect();
+            return Err(format!(
+                "unknown flag `--{name}` (known: {})",
+                known.join(", ")
+            ));
+        };
+        let value = if takes_value {
+            Some(
+                it.next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?
+                    .clone(),
+            )
+        } else {
+            None
+        };
+        flags.push((name.to_string(), value));
+    }
+    Ok(flags)
+}
+
+/// One sweep worker process (spawned by `gcatch sweep`): claims jobs from
+/// the on-disk lease queue and runs each through a single-job batch
+/// engine that journals the decided record to this worker's own journal.
+fn cmd_worker(rest: &[String]) -> Result<ExitCode, String> {
+    let mut spec: Vec<FlagSpec> = vec![("dir", true), ("id", true), ("lease-ms", true)];
+    spec.extend_from_slice(EXEC_FLAGS);
+    let flags = parse_flags_only(rest, &spec)?;
+    let dir = flag_value(&flags, "dir").ok_or("worker needs --dir")?;
+    let id = flag_value(&flags, "id")
+        .ok_or("worker needs --id")?
+        .to_string();
+    let lease = Duration::from_millis(parse_u64_flag(&flags, "lease-ms")?.unwrap_or(1_000).max(20));
+
+    let layout = SweepLayout::new(dir);
+    let ids = read_manifest(&layout)?;
+    let (plan, fault_seed) = fault_plan(&flags)?;
+    let plan = plan.map(Arc::new);
+    let batch = worker_engine_config(&flags, plan.clone(), fault_seed)?;
+    let mut base = budget_config(&flags)?;
+    base.jobs = 1;
+    let alias = alias_mode(&flags)?;
+
+    let codec = JournalCodec::raw_json();
+    let journal = Journal::create(&layout.journal_path(&id), &ids)
+        .map_err(|e| format!("cannot create worker journal: {e}"))?;
+    let telemetry = Telemetry::new();
+    let tracer = Tracer::new(TraceLevel::Off);
+    let bus: Option<Arc<EventBus>> = None;
+    let config = WorkerConfig {
+        id,
+        lease,
+        poll: Duration::from_millis(10),
+        plan,
+    };
+    run_worker(&layout, &ids, &config, |_, module| {
+        let path = module.to_string();
+        let job = BatchJob::new(path.clone(), {
+            let base = base.clone();
+            let bus = bus.clone();
+            let telemetry = &telemetry;
+            move |ctx| run_batch_module(&path, &base, alias, telemetry, &bus, ctx)
+        });
+        let engine = BatchEngine::new(batch.clone(), &telemetry, &tracer);
+        let outcome = engine.run(&[job], Some((&journal, &codec)), BTreeMap::new());
+        match outcome.journal_error {
+            Some(err) => Err(format!("journal write failed: {err}")),
+            None => Ok(()),
+        }
+    })?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_sweep(rest: &[String]) -> Result<ExitCode, String> {
+    let mut spec: Vec<FlagSpec> = vec![
+        ("workers", true),
+        ("dir", true),
+        ("lease-ms", true),
+        ("max-releases", true),
+        ("report", true),
+        ("json", false),
+        ("stats", false),
+        ("strict", false),
+        ("progress", false),
+        ("metrics-out", true),
+        ("events-out", true),
+    ];
+    spec.extend_from_slice(EXEC_FLAGS);
+    let (inputs, flags) = parse_multi(rest, &spec)?;
+    let modules = expand_modules(&inputs)?;
+    let json = has_flag(&flags, "json");
+    let want_stats = has_flag(&flags, "stats");
+    let strict = has_flag(&flags, "strict");
+    let metrics_out = flag_value(&flags, "metrics-out");
+    let events_out = flag_value(&flags, "events-out");
+
+    // Validate every exec-layer flag up front so usage errors surface
+    // here, with exit code 2, instead of inside a spawned worker.
+    let (plan, fault_seed) = fault_plan(&flags)?;
+    worker_engine_config(&flags, plan.map(Arc::new), fault_seed)?;
+    budget_config(&flags)?;
+    alias_mode(&flags)?;
+
+    let workers = match parse_u64_flag(&flags, "workers")?.unwrap_or(4) {
+        0 => return Err("--workers must be at least 1".into()),
+        n => n as usize,
+    };
+    let lease_ms = parse_u64_flag(&flags, "lease-ms")?.unwrap_or(1_000).max(20);
+    let max_releases = parse_u64_flag(&flags, "max-releases")?.unwrap_or(3);
+
+    // The sweep directory: caller-provided (kept afterwards, must be
+    // fresh) or an ephemeral temp directory (removed after the run).
+    let ephemeral = flag_value(&flags, "dir").is_none();
+    let root = match flag_value(&flags, "dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("gcatch-sweep-{}", std::process::id())),
+    };
+    let layout = SweepLayout::new(&root);
+    if layout.manifest_path().exists() {
+        return Err(format!(
+            "sweep directory {} already contains a manifest; use a fresh --dir",
+            root.display()
+        ));
+    }
+    layout
+        .init()
+        .map_err(|e| format!("cannot create sweep directory {}: {e}", root.display()))?;
+    write_manifest(&layout, &modules).map_err(|e| format!("cannot write sweep manifest: {e}"))?;
+
+    let zero_time = obs_zero_time();
+    let bus =
+        events_out.map(|_| Arc::new(EventBus::new(derive_run_id(&modules, zero_time), zero_time)));
+    if let Some(bus) = &bus {
+        bus.emit(run_event(
+            EventKind::RunStart,
+            vec![("modules", Field::U64(modules.len() as u64))],
+        ));
+    }
+
+    let telemetry = Telemetry::new();
+    let lease = Duration::from_millis(lease_ms);
+    let config = SweepConfig {
+        workers,
+        lease,
+        max_releases,
+        poll: Duration::from_millis(15),
+        stale_after: lease * 4,
+    };
+    let mut coordinator = Coordinator::new(layout.clone(), modules.clone(), config, &telemetry);
+    if let Some(bus) = &bus {
+        coordinator = coordinator.with_events(bus);
+    }
+    let progress = has_flag(&flags, "progress")
+        && !json
+        && std::io::IsTerminal::is_terminal(&std::io::stderr());
+    if progress {
+        coordinator = coordinator.with_progress(
+            |snap| {
+                use std::io::Write;
+                let mut err = std::io::stderr().lock();
+                let _ = write!(err, "\r\x1b[K{}", snap.render_line());
+                let _ = err.flush();
+            },
+            Duration::from_millis(100),
+        );
+    }
+
+    let exe =
+        std::env::current_exe().map_err(|e| format!("cannot locate the gcatch executable: {e}"))?;
+    let forwarded = forward_exec_flags(&flags);
+    let outcome = coordinator.run(|name| {
+        std::process::Command::new(&exe)
+            .arg("worker")
+            .arg("--dir")
+            .arg(&root)
+            .arg("--id")
+            .arg(name)
+            .arg("--lease-ms")
+            .arg(lease_ms.to_string())
+            .args(&forwarded)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+    })?;
+    if progress {
+        eprint!("\r\x1b[K");
+    }
+
+    // Duplicate decisions never change the report (the kept record is
+    // byte-identical to what a single-process run would have produced);
+    // they surface as warnings and structured incidents instead.
+    for dup in &outcome.merge.duplicates {
+        let incident = dup.incident();
+        eprintln!(
+            "gcatch: warning: duplicate decision for {}: {}",
+            dup.job, incident.message
+        );
+    }
+
+    let records = &outcome.merge.records;
+    let quarantined = records.iter().filter(|r| r.payload.is_none()).count();
+    let (report, total_bugs) = render_batch_report(records, quarantined);
+
+    if let Some(path) = flag_value(&flags, "report") {
+        write_atomic(path, &format!("{report}\n"))?;
+    }
+    let stats = telemetry.snapshot();
+    if let Some(mp) = metrics_out {
+        write_atomic(mp, &render_prometheus(&stats, zero_time))?;
+    }
+    if let (Some(bus), Some(ep)) = (&bus, events_out) {
+        bus.emit(run_event(
+            EventKind::RunEnd,
+            vec![
+                ("modules", Field::U64(records.len() as u64)),
+                ("quarantined", Field::U64(quarantined as u64)),
+                ("total_bugs", Field::U64(total_bugs as u64)),
+                ("workers_spawned", Field::U64(outcome.workers_spawned)),
+                ("workers_lost", Field::U64(outcome.workers_lost)),
+                ("releases", Field::U64(outcome.jobs_releases)),
+            ],
+        ));
+        write_atomic(ep, &bus.render_jsonl())?;
+    }
+    if json {
+        if want_stats {
+            let mut with_stats = report[..report.len() - 1].to_string();
+            with_stats.push_str(",\"stats\":");
+            with_stats.push_str(&render_stats_json(&stats));
+            with_stats.push('}');
+            println!("{with_stats}");
+        } else {
+            println!("{report}");
+        }
+    } else {
+        println!(
+            "sweep: {} module(s) — {} workers spawned, {} lost, {} releases, {} quarantined",
+            records.len(),
+            outcome.workers_spawned,
+            outcome.workers_lost,
+            outcome.jobs_releases,
+            quarantined
+        );
+        for rec in records.iter() {
+            match &rec.payload {
+                Some(p) => println!("  {}: {} bug(s)", rec.id, payload_bugs(p)),
+                None => {
+                    let why = rec.incident.as_ref().map_or("", |inc| inc.message.as_str());
+                    println!("  {}: quarantined — {why}", rec.id);
+                }
+            }
+        }
+        println!("total: {total_bugs} bug(s)");
+        if want_stats {
+            print!("{}", stats.render_text());
+        }
+    }
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    Ok(if strict && quarantined > 0 {
         ExitCode::from(2)
     } else if total_bugs > 0 {
         ExitCode::FAILURE

@@ -51,6 +51,51 @@ fn run_batch(corpus: &Path, extra: &[&str]) -> std::process::Output {
     out
 }
 
+/// A sweep's event stream carries the worker-lifecycle kinds (spawn,
+/// lease) alongside the run frame, all correlated by one run id — the
+/// same contract the batch stream honors, extended to the fleet.
+#[test]
+fn sweep_event_stream_carries_worker_lifecycle() {
+    let dir = scratch("sweep");
+    let events = dir.join("events.jsonl");
+    let out = gcatch()
+        .args([
+            "sweep",
+            "examples/batch",
+            "--workers",
+            "2",
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .env("GCATCH_OBS_ZERO_TIME", "1")
+        // Report-neutral delays keep each lease alive across coordinator
+        // polls, so the stream reliably observes a claim in flight.
+        .env("GCATCH_FAULT_RATE", "1.0")
+        .env("GCATCH_FAULT_SITES", "batch.delay")
+        .env("GCATCH_FAULT_DELAY_MS", "120")
+        .output()
+        .expect("gcatch sweep runs");
+    assert!(
+        out.status.code() == Some(0) || out.status.code() == Some(1),
+        "sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stream = std::fs::read_to_string(&events).expect("events file");
+    for kind in ["run_start", "worker_spawned", "job_leased", "run_end"] {
+        assert!(
+            stream.contains(&format!("\"event\":\"{kind}\"")),
+            "sweep stream must carry {kind}: {stream}"
+        );
+    }
+    let run_ids: std::collections::BTreeSet<&str> = stream
+        .lines()
+        .filter_map(|l| l.split("\"run\":\"").nth(1))
+        .filter_map(|rest| rest.split('"').next())
+        .collect();
+    assert_eq!(run_ids.len(), 1, "one sweep, one run id: {run_ids:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn event_stream_is_byte_identical_across_worker_counts() {
     let dir = scratch("jobs");
