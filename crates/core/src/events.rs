@@ -88,6 +88,12 @@ pub enum EventKind {
     LeaseExpired,
     JobReleased,
     DuplicateDecision,
+    RequestReceived,
+    RequestShed,
+    RequestDone,
+    RequestFailed,
+    CacheHit,
+    CacheEvicted,
     RunEnd,
 }
 
@@ -113,6 +119,12 @@ impl EventKind {
             EventKind::LeaseExpired => "lease_expired",
             EventKind::JobReleased => "job_released",
             EventKind::DuplicateDecision => "duplicate_decision",
+            EventKind::RequestReceived => "request_received",
+            EventKind::RequestShed => "request_shed",
+            EventKind::RequestDone => "request_done",
+            EventKind::RequestFailed => "request_failed",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheEvicted => "cache_evicted",
             EventKind::RunEnd => "run_end",
         }
     }
@@ -189,6 +201,9 @@ impl EventBus {
     }
 
     /// Appends one event; the bus stamps arrival order and a timestamp.
+    /// A poisoned lock (an emitter panicked mid-push — contained by the
+    /// supervisor) degrades to appending past the poison rather than
+    /// cascading the panic into every later emitter.
     pub fn emit(&self, event: Event) {
         let ts_ns = if self.zero_time {
             0
@@ -197,13 +212,13 @@ impl EventBus {
         };
         self.events
             .lock()
-            .expect("event bus poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .push(Stored { event, ts_ns });
     }
 
     /// Number of events buffered so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("event bus poisoned").len()
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when no events have been emitted.
@@ -215,7 +230,7 @@ impl EventBus {
     /// `(class, group, arrival)`, then a per-group `seq` counter so
     /// consumers can order a job's events without trusting file order.
     pub fn render_jsonl(&self) -> String {
-        let events = self.events.lock().expect("event bus poisoned");
+        let events = self.events.lock().unwrap_or_else(|e| e.into_inner());
         let mut order: Vec<usize> = (0..events.len()).collect();
         order.sort_by_key(|&i| (events[i].event.kind.class(), events[i].event.group, i));
 
@@ -298,9 +313,11 @@ impl FlightRecorder {
         FlightRecorder::default()
     }
 
-    /// Appends a line, evicting the oldest once the ring is full.
+    /// Appends a line, evicting the oldest once the ring is full. Like the
+    /// bus, a poisoned ring (its pusher panicked and was contained)
+    /// degrades to writing past the poison.
     pub fn push(&self, line: impl Into<String>) {
-        let mut flight = self.0.lock().expect("flight recorder poisoned");
+        let mut flight = self.0.lock().unwrap_or_else(|e| e.into_inner());
         if flight.lines.len() == FLIGHT_CAPACITY {
             flight.lines.pop_front();
             flight.dropped += 1;
@@ -311,7 +328,7 @@ impl FlightRecorder {
     /// The recorded lines, oldest first. When the ring overflowed, the
     /// first line notes how many earlier entries were evicted.
     pub fn dump(&self) -> Vec<String> {
-        let flight = self.0.lock().expect("flight recorder poisoned");
+        let flight = self.0.lock().unwrap_or_else(|e| e.into_inner());
         let mut lines = Vec::with_capacity(flight.lines.len() + 1);
         if flight.dropped > 0 {
             lines.push(format!("({} earlier line(s) dropped)", flight.dropped));

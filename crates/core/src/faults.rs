@@ -17,6 +17,9 @@
 //! | `sweep.worker`     | a sweep worker process self-terminates mid-job   |
 //! | `sweep.heartbeat`  | a sweep worker stops writing heartbeats          |
 //! | `sweep.lease`      | a sweep worker stops renewing its job lease      |
+//! | `serve.accept`     | panic while setting up an accepted connection    |
+//! | `serve.request`    | panic or delay inside one daemon request         |
+//! | `serve.cache`      | a serve cache index entry is written corrupted   |
 //!
 //! Every decision is a pure function of the [`FaultPlan`] seed, the site
 //! name, the enclosing scope (job id + attempt number), and a per-call
@@ -55,9 +58,19 @@ pub const SITE_SWEEP_HEARTBEAT: &str = "sweep.heartbeat";
 /// A sweep worker stops renewing the lease of its current job, letting
 /// the lease expire mid-run (drives the duplicate-decision path).
 pub const SITE_SWEEP_LEASE: &str = "sweep.lease";
+/// Panic while the serve daemon sets up an accepted connection; the
+/// daemon must survive and keep accepting.
+pub const SITE_SERVE_ACCEPT: &str = "serve.accept";
+/// Panic (key `exec`) or artificial delay (key `delay`) inside one serve
+/// request's execution; both must surface as structured incident
+/// responses, never a dead connection.
+pub const SITE_SERVE_REQUEST: &str = "serve.request";
+/// A serve cache index entry is persisted as a deliberately corrupt line,
+/// which the warm-restart load must drop and recompute.
+pub const SITE_SERVE_CACHE: &str = "serve.cache";
 
 /// All registered fault sites, in documentation order.
-pub const ALL_SITES: [&str; 8] = [
+pub const ALL_SITES: [&str; 11] = [
     SITE_BATCH_JOB,
     SITE_BATCH_DELAY,
     SITE_DETECT_CHANNEL,
@@ -66,6 +79,9 @@ pub const ALL_SITES: [&str; 8] = [
     SITE_SWEEP_WORKER,
     SITE_SWEEP_HEARTBEAT,
     SITE_SWEEP_LEASE,
+    SITE_SERVE_ACCEPT,
+    SITE_SERVE_REQUEST,
+    SITE_SERVE_CACHE,
 ];
 
 /// Prefix of every injected-fault panic message; supervisors use it to

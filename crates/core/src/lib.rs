@@ -42,6 +42,12 @@
 //! * [`sweep`] — the multi-process sweep coordinator: lease-based on-disk
 //!   work queue, heartbeat supervision, dead-worker re-lease, and the
 //!   byte-deterministic journal merge (`gcatch sweep`);
+//! * [`serve`] — the crash-only analysis daemon (`gcatch serve`):
+//!   JSON-lines request protocol, bounded admission with deterministic
+//!   load shedding, per-request deadlines, and a persistent warm response
+//!   cache that self-heals after `kill -9`;
+//! * [`signals`] — SIGINT/SIGTERM as a pollable graceful-drain flag
+//!   shared by the daemon and the sweep coordinator;
 //! * [`worker`] — the sweep worker loop (`gcatch worker`): claim, execute,
 //!   journal, mark done, release.
 //!
@@ -92,7 +98,9 @@ pub mod primitives;
 pub mod progress;
 pub mod report;
 pub mod resilience;
+pub mod serve;
 pub mod session;
+pub mod signals;
 pub mod sweep;
 pub mod telemetry;
 pub mod trace;
@@ -118,6 +126,9 @@ pub use metrics::{render_prometheus, validate_exposition, ExpositionSummary};
 pub use progress::ProgressSnapshot;
 pub use report::{BugKind, BugReport, OpRef, Provenance};
 pub use resilience::{Budget, CancelToken, Incident, IncidentKind};
+pub use serve::{
+    serve_socket, serve_stdio, Request, ResponseCache, ServeConfig, ServeSummary, WorkKind,
+};
 pub use session::AnalysisSession;
 pub use sweep::{
     merge_journals, read_manifest, write_manifest, Coordinator, DuplicateDecision, MergeOutcome,

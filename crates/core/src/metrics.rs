@@ -91,6 +91,11 @@ pub fn counter_help(c: Counter) -> &'static str {
         Counter::LeasesExpired => "Sweep leases whose deadline passed before renewal.",
         Counter::WorkersSpawned => "Worker processes spawned by the sweep coordinator.",
         Counter::WorkersLost => "Worker processes the sweep coordinator declared dead.",
+        Counter::RequestsTotal => "Requests received by the serve daemon.",
+        Counter::RequestsShed => "Requests shed by serve admission control (queue full).",
+        Counter::RequestsFailed => "Requests answered with an incident response.",
+        Counter::CacheHits => "Requests answered from the serve response cache.",
+        Counter::CacheEvictions => "Serve cache entries evicted past capacity.",
     }
 }
 

@@ -188,6 +188,14 @@ pub enum IncidentKind {
     /// re-leased while the original owner kept working). The merge keeps
     /// exactly one decision; this incident records the collision.
     DuplicateDecision,
+    /// One request handled by the serve daemon: a contained panic, an
+    /// expired request deadline, or an executor error. Delivered to the
+    /// client as a structured response instead of a dead connection.
+    Request,
+    /// An observability sink (`--metrics-out`/`--events-out`) could not
+    /// be written — full disk, yanked path. The run keeps its results and
+    /// reports the sink failure instead of aborting.
+    Sink,
 }
 
 impl IncidentKind {
@@ -199,6 +207,8 @@ impl IncidentKind {
             IncidentKind::App => "app",
             IncidentKind::Quarantined => "quarantined",
             IncidentKind::DuplicateDecision => "duplicate-decision",
+            IncidentKind::Request => "request",
+            IncidentKind::Sink => "sink",
         }
     }
 }

@@ -1,0 +1,89 @@
+//! Process shutdown signals as a pollable flag.
+//!
+//! The serve daemon ([`serve`](crate::serve)) and the sweep coordinator
+//! ([`sweep`](crate::sweep)) both need the same contract: SIGINT/SIGTERM
+//! must trigger a *graceful drain* — stop taking new work, let in-flight
+//! work finish, flush durable state, exit cleanly — instead of the
+//! default immediate termination. The handler itself does the only thing
+//! that is async-signal-safe here: it stores into a process-wide
+//! `AtomicBool`. Supervision loops poll [`shutdown_signaled`] at their
+//! own cadence.
+//!
+//! The workspace is dependency-free by policy (no `libc` crate), so the
+//! `signal(2)` binding is declared by hand; `std` already links the
+//! platform C library, which provides the symbol. On non-Unix targets
+//! the module compiles to an inert flag that is only ever set by
+//! [`request_shutdown_for_tests`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `sighandler_t signal(int signum, sighandler_t handler)` from
+        /// the C library `std` links anyway.
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: the one thing guaranteed safe inside a
+        // signal handler.
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// Installs the SIGINT/SIGTERM → flag handler. Idempotent; safe to call
+/// from both the serve daemon and the sweep coordinator in one process.
+pub fn install_shutdown_handler() {
+    #[cfg(unix)]
+    unsafe {
+        let handler = sys::on_signal as extern "C" fn(i32) as usize;
+        sys::signal(sys::SIGINT, handler);
+        sys::signal(sys::SIGTERM, handler);
+    }
+}
+
+/// Whether SIGINT or SIGTERM has been received since the handler was
+/// installed (or [`request_shutdown_for_tests`] was called).
+pub fn shutdown_signaled() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the flag without a signal — unit tests and the serve `shutdown`
+/// request use this to drive the same drain path a signal would.
+pub fn request_shutdown_for_tests() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag. Tests in one process run sequentially through the
+/// same static; production code installs the handler once and never
+/// clears.
+pub fn reset_for_tests() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        reset_for_tests();
+        assert!(!shutdown_signaled());
+        request_shutdown_for_tests();
+        assert!(shutdown_signaled());
+        reset_for_tests();
+        assert!(!shutdown_signaled());
+    }
+
+    #[test]
+    fn installing_the_handler_is_idempotent() {
+        install_shutdown_handler();
+        install_shutdown_handler();
+    }
+}

@@ -622,6 +622,12 @@ pub struct SweepOutcome {
     pub leases_expired: u64,
     /// Job releases (lease expiry + worker death combined).
     pub jobs_releases: u64,
+    /// True when the sweep was wound down early by SIGINT/SIGTERM: the
+    /// shutdown marker was written, workers drained after their current
+    /// job, every decided job was merged, and the jobs that never got a
+    /// decision are listed in `merge.missing` (a later sweep over the same
+    /// directory picks them up).
+    pub interrupted: bool,
     /// Jobs quarantined by the coordinator after exhausting the re-lease
     /// budget (already included in the merged records).
     pub coordinator_quarantined: u64,
@@ -728,6 +734,7 @@ impl<'t> Coordinator<'t> {
             workers_lost: 0,
             leases_expired: 0,
             jobs_releases: 0,
+            interrupted: false,
             coordinator_quarantined: 0,
         };
         // Highest lease generation already announced per job, so each
@@ -743,8 +750,16 @@ impl<'t> Coordinator<'t> {
             self.spawn_worker(&mut spawn, &mut fleet, &mut next_worker, &mut stats)?;
         }
         self.emit_progress(n, &stats, &mut last_progress, true);
+        crate::signals::install_shutdown_handler();
 
         loop {
+            // Ctrl-C / SIGTERM: stop supervising (no more respawns or
+            // re-leases), hand the fleet the shutdown marker below, and
+            // merge whatever was decided.
+            if crate::signals::shutdown_signaled() {
+                stats.interrupted = true;
+                break;
+            }
             let done = (0..n).filter(|&j| is_done(&self.layout, j)).count();
             self.emit_progress(n, &stats, &mut last_progress, false);
             if done == n {
@@ -896,8 +911,26 @@ impl<'t> Coordinator<'t> {
             }
         }
 
+        if stats.interrupted {
+            // Every worker is reaped by now; their pid files and any lease
+            // they still held are stale. Remove both so nothing points at
+            // dead processes and a later sweep over this directory starts
+            // from a clean queue.
+            if let Ok(entries) = std::fs::read_dir(self.layout.pids_dir()) {
+                for entry in entries.flatten() {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+                let _ = fsync_dir(&self.layout.pids_dir());
+            }
+            for job in 0..n {
+                if !is_done(&self.layout, job) && read_lease(&self.layout, job).is_some() {
+                    let _ = remove_lease(&self.layout, job);
+                }
+            }
+        }
+
         stats.merge = merge_journals(&self.layout, &self.ids, &codec)?;
-        if !stats.merge.missing.is_empty() {
+        if !stats.merge.missing.is_empty() && !stats.interrupted {
             return Err(format!(
                 "sweep finished with undecided jobs: {}",
                 stats.merge.missing.join(", ")

@@ -139,10 +139,25 @@ pub enum Counter {
     /// Worker processes the coordinator declared dead (exited abnormally
     /// or missed the heartbeat deadline and were killed).
     WorkersLost,
+    /// Requests received by the serve daemon (every parsed request line,
+    /// control ops and shed requests included).
+    RequestsTotal,
+    /// Requests shed by admission control because the queue was at
+    /// `--max-queue` depth (answered with an `overloaded` response).
+    RequestsShed,
+    /// Requests answered with an incident response (contained panic,
+    /// expired deadline, executor error, or unparseable request line).
+    RequestsFailed,
+    /// Requests answered from the content-hashed response cache instead
+    /// of re-running the analysis.
+    CacheHits,
+    /// Cache entries evicted after the cache exceeded `--max-cache`
+    /// (oldest insertion first).
+    CacheEvictions,
 }
 
 impl Counter {
-    const COUNT: usize = 28;
+    const COUNT: usize = 33;
 
     fn index(self) -> usize {
         match self {
@@ -174,6 +189,11 @@ impl Counter {
             Counter::LeasesExpired => 25,
             Counter::WorkersSpawned => 26,
             Counter::WorkersLost => 27,
+            Counter::RequestsTotal => 28,
+            Counter::RequestsShed => 29,
+            Counter::RequestsFailed => 30,
+            Counter::CacheHits => 31,
+            Counter::CacheEvictions => 32,
         }
     }
 
@@ -208,6 +228,11 @@ impl Counter {
             Counter::LeasesExpired => "leases_expired",
             Counter::WorkersSpawned => "workers_spawned",
             Counter::WorkersLost => "workers_lost",
+            Counter::RequestsTotal => "requests_total",
+            Counter::RequestsShed => "requests_shed",
+            Counter::RequestsFailed => "requests_failed",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheEvictions => "cache_evictions",
         }
     }
 
@@ -233,6 +258,11 @@ impl Counter {
             | Counter::LeasesExpired
             | Counter::WorkersSpawned
             | Counter::WorkersLost => "sweep",
+            Counter::RequestsTotal
+            | Counter::RequestsShed
+            | Counter::RequestsFailed
+            | Counter::CacheHits
+            | Counter::CacheEvictions => "serve",
             Counter::ChannelsAnalyzed
             | Counter::PsetsComputed
             | Counter::PsetPrimsTotal
@@ -247,8 +277,8 @@ impl Counter {
     }
 
     /// Subsystem display order for grouped `--stats` text.
-    pub fn subsystems() -> [&'static str; 5] {
-        ["alias", "solver", "batch", "sweep", "detector"]
+    pub fn subsystems() -> [&'static str; 6] {
+        ["alias", "solver", "batch", "sweep", "serve", "detector"]
     }
 
     /// All counters in reporting order.
@@ -282,6 +312,11 @@ impl Counter {
             Counter::LeasesExpired,
             Counter::WorkersSpawned,
             Counter::WorkersLost,
+            Counter::RequestsTotal,
+            Counter::RequestsShed,
+            Counter::RequestsFailed,
+            Counter::CacheHits,
+            Counter::CacheEvictions,
         ]
     }
 }
@@ -361,11 +396,23 @@ impl Metric {
 }
 
 /// Shared, thread-safe telemetry sink.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Telemetry {
     counters: [AtomicU64; Counter::COUNT],
     stage_ns: [AtomicU64; Stage::COUNT],
     hists: [Histogram; Metric::COUNT],
+}
+
+impl Default for Telemetry {
+    // Hand-written: `Default` for arrays stops at 32 elements and the
+    // counter family is past that now.
+    fn default() -> Telemetry {
+        Telemetry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            stage_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| Histogram::default()),
+        }
+    }
 }
 
 impl Telemetry {

@@ -13,11 +13,11 @@
 use gcatch_suite::gcatch::events::Field;
 use gcatch_suite::gcatch::{
     derive_run_id, faults, obs_zero_time, read_manifest, render_explain, render_json_with,
-    render_prometheus, render_stats_json, run_worker, write_manifest, AliasMode, BatchConfig,
-    BatchEngine, BatchJob, Coordinator, DetectorConfig, Event, EventBus, EventKind, FaultPlan,
-    GCatch, HedgePolicy, Incident, JobCtx, JobRecord, Journal, JournalCodec, Metric, ObsScope,
-    Selection, SolverStrategy, SweepConfig, SweepLayout, Telemetry, TraceLevel, Tracer,
-    WorkerConfig,
+    render_prometheus, render_stats_json, run_worker, serve_socket, serve_stdio, write_manifest,
+    AliasMode, BatchConfig, BatchEngine, BatchJob, Budget, Coordinator, DetectorConfig, Event,
+    EventBus, EventKind, FaultPlan, GCatch, HedgePolicy, Incident, IncidentKind, JobCtx, JobRecord,
+    Journal, JournalCodec, Metric, ObsScope, Selection, ServeConfig, SolverStrategy, SweepConfig,
+    SweepLayout, Telemetry, TraceLevel, Tracer, WorkKind, WorkerConfig,
 };
 use gcatch_suite::{gfix, sim};
 use std::collections::BTreeMap;
@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(rest),
         "sweep" => cmd_sweep(rest),
         "worker" => cmd_worker(rest),
+        "serve" => cmd_serve(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -123,6 +124,31 @@ commands:
   worker --dir DIR --id W [--lease-ms MS] [exec flags as for sweep]
                         internal: one sweep worker process (spawned by
                         `gcatch sweep`; runnable by hand for debugging)
+  serve (--socket PATH | --stdio) [--workers N] [--max-queue N]
+        [--request-timeout-ms MS] [--cache-dir DIR] [--max-cache N]
+        [--inject-faults RATE] [--fault-seed N]
+        [--metrics-out FILE] [--events-out FILE]
+        [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
+        [--alias-mode M] [--no-share-encodings] [--step-pool N]
+                        crash-only analysis daemon speaking a JSON-lines
+                        protocol (one request object per line, each
+                        echoing its client-supplied id): ops `check`,
+                        `explain`, and `fix-dry-run` take a `module` path
+                        and run on a bounded worker pool; `status` and
+                        `shutdown` answer inline. Every request runs
+                        isolated under its own deadline — panics and
+                        expired deadlines come back as structured
+                        incident responses, never a dead connection.
+                        Past --max-queue outstanding requests admission
+                        control sheds deterministically with an
+                        `overloaded` response and a retry-after hint.
+                        `check` responses are cached by content hash
+                        under --cache-dir through an fsync'd journal
+                        index that drops torn entries on startup, so a
+                        kill -9 mid-request plus restart replays
+                        responses byte-identical to a cold single-shot
+                        `gcatch check --json`. SIGTERM/SIGINT drain
+                        gracefully (finish in flight, flush, exit 0)
   extended [--json] [--stats] [--explain] [--trace FILE] [--jobs N]
         [--timeout SECS] [--channel-timeout MS] [--solver-steps N] [--solver-mode M]
         [--alias-mode M] [--no-share-encodings] [--step-pool N]
@@ -211,6 +237,48 @@ type Flag = (String, Option<String>);
 
 /// `(name, takes_value)` — the flags a command accepts.
 type FlagSpec = (&'static str, bool);
+
+// Every command's accepted-flag table is composed from these shared
+// groups by [`spec`], so each flag's name and arity is declared exactly
+// once — a new flag (say, serve's `--socket`) registers in one place and
+// cannot drift between the commands that accept it.
+
+/// Output shaping shared by check/extended/batch/sweep.
+const REPORT_FLAGS: &[FlagSpec] = &[("json", false), ("stats", false), ("strict", false)];
+
+/// The observability sinks (`--metrics-out` / `--events-out`).
+const OBS_FLAGS: &[FlagSpec] = &[("metrics-out", true), ("events-out", true)];
+
+/// The whole-run wall-clock budget.
+const TIMEOUT_FLAG: &[FlagSpec] = &[("timeout", true)];
+
+/// Per-analysis knobs that shape every report byte (alias scheduling,
+/// solver strategy and budgets, encoding sharing).
+const ANALYSIS_FLAGS: &[FlagSpec] = &[
+    ("channel-timeout", true),
+    ("solver-steps", true),
+    ("solver-mode", true),
+    ("alias-mode", true),
+    ("no-share-encodings", false),
+    ("step-pool", true),
+];
+
+/// Retry policy shared by batch/sweep/worker.
+const RETRY_FLAGS: &[FlagSpec] = &[("max-attempts", true), ("backoff-ms", true)];
+
+/// The deterministic fault-injection plan.
+const FAULT_FLAGS: &[FlagSpec] = &[("inject-faults", true), ("fault-seed", true)];
+
+/// Composes a command's flag table from shared groups plus
+/// command-specific extras.
+fn spec(groups: &[&[FlagSpec]], extra: &[FlagSpec]) -> Vec<FlagSpec> {
+    let mut out: Vec<FlagSpec> = Vec::new();
+    for group in groups {
+        out.extend_from_slice(group);
+    }
+    out.extend_from_slice(extra);
+    out
+}
 
 /// Splits flags from the single positional file argument, rejecting any
 /// flag not in `spec` (exit code 2 at the caller).
@@ -422,7 +490,7 @@ fn run_diagnostics(
         write_trace(tp, &gcatch.trace_snapshot())?;
     }
     if let Some(mp) = metrics_out {
-        write_atomic(mp, &render_prometheus(&stats, zero_time))?;
+        write_sink(mp, &render_prometheus(&stats, zero_time));
     }
     if let (Some(bus), Some(ep)) = (&bus, events_out) {
         bus.emit(run_event(
@@ -432,7 +500,7 @@ fn run_diagnostics(
                 ("incidents", Field::U64(incidents.len() as u64)),
             ],
         ));
-        write_atomic(ep, &bus.render_jsonl())?;
+        write_sink(ep, &bus.render_jsonl());
     }
     if json {
         println!(
@@ -479,26 +547,17 @@ fn run_diagnostics(
 }
 
 fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
-    let spec: &[FlagSpec] = &[
-        ("json", false),
-        ("stats", false),
-        ("explain", false),
-        ("trace", true),
-        ("metrics-out", true),
-        ("events-out", true),
-        ("only", true),
-        ("skip", true),
-        ("jobs", true),
-        ("timeout", true),
-        ("channel-timeout", true),
-        ("solver-steps", true),
-        ("solver-mode", true),
-        ("alias-mode", true),
-        ("no-share-encodings", false),
-        ("step-pool", true),
-        ("strict", false),
-    ];
-    let (path, flags) = parse_common(rest, spec)?;
+    let spec = spec(
+        &[REPORT_FLAGS, OBS_FLAGS, TIMEOUT_FLAG, ANALYSIS_FLAGS],
+        &[
+            ("explain", false),
+            ("trace", true),
+            ("only", true),
+            ("skip", true),
+            ("jobs", true),
+        ],
+    );
+    let (path, flags) = parse_common(rest, &spec)?;
     let selection = Selection {
         only: flag_values(&flags, "only"),
         skip: flag_values(&flags, "skip"),
@@ -507,24 +566,11 @@ fn cmd_check(rest: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_extended(rest: &[String]) -> Result<ExitCode, String> {
-    let spec: &[FlagSpec] = &[
-        ("json", false),
-        ("stats", false),
-        ("explain", false),
-        ("trace", true),
-        ("metrics-out", true),
-        ("events-out", true),
-        ("jobs", true),
-        ("timeout", true),
-        ("channel-timeout", true),
-        ("solver-steps", true),
-        ("solver-mode", true),
-        ("alias-mode", true),
-        ("no-share-encodings", false),
-        ("step-pool", true),
-        ("strict", false),
-    ];
-    let (path, flags) = parse_common(rest, spec)?;
+    let spec = spec(
+        &[REPORT_FLAGS, OBS_FLAGS, TIMEOUT_FLAG, ANALYSIS_FLAGS],
+        &[("explain", false), ("trace", true), ("jobs", true)],
+    );
+    let (path, flags) = parse_common(rest, &spec)?;
     let selection = Selection {
         only: vec!["send-on-closed".to_string()],
         skip: Vec::new(),
@@ -658,6 +704,23 @@ fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
         let _ = std::fs::remove_file(&tmp);
     }
     result.map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Writes an observability sink file (`--metrics-out` / `--events-out`).
+/// A sink failure — full disk, yanked directory — must never kill the run
+/// that produced the results: it degrades to a structured `sink` incident
+/// on stderr, and the run's own exit code stands.
+fn write_sink(path: &str, contents: &str) {
+    if let Err(message) = write_atomic(path, contents) {
+        let incident = Incident {
+            kind: IncidentKind::Sink,
+            name: path.to_string(),
+            message,
+            rung: 0,
+            flight: Vec::new(),
+        };
+        eprint!("gcatch: warning: {}", incident.render());
+    }
 }
 
 fn cmd_simulate(rest: &[String]) -> Result<ExitCode, String> {
@@ -935,34 +998,28 @@ fn run_batch_module(
 }
 
 fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
-    let spec: &[FlagSpec] = &[
-        ("jobs", true),
-        ("max-attempts", true),
-        ("backoff-ms", true),
-        ("hedge-ms", true),
-        ("no-hedge", false),
-        ("inject-faults", true),
-        ("fault-seed", true),
-        ("journal", true),
-        ("resume", true),
-        ("report", true),
-        ("json", false),
-        ("stats", false),
-        ("strict", false),
-        ("explain", false),
-        ("progress", false),
-        ("metrics-out", true),
-        ("events-out", true),
-        ("trace", true),
-        ("timeout", true),
-        ("channel-timeout", true),
-        ("solver-steps", true),
-        ("solver-mode", true),
-        ("alias-mode", true),
-        ("no-share-encodings", false),
-        ("step-pool", true),
-    ];
-    let (inputs, flags) = parse_multi(rest, spec)?;
+    let spec = spec(
+        &[
+            REPORT_FLAGS,
+            OBS_FLAGS,
+            RETRY_FLAGS,
+            FAULT_FLAGS,
+            TIMEOUT_FLAG,
+            ANALYSIS_FLAGS,
+        ],
+        &[
+            ("jobs", true),
+            ("hedge-ms", true),
+            ("no-hedge", false),
+            ("journal", true),
+            ("resume", true),
+            ("report", true),
+            ("explain", false),
+            ("progress", false),
+            ("trace", true),
+        ],
+    );
+    let (inputs, flags) = parse_multi(rest, &spec)?;
     let modules = expand_modules(&inputs)?;
     let json = has_flag(&flags, "json");
     let want_stats = has_flag(&flags, "stats");
@@ -1081,14 +1138,26 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
         let ticker = metrics_out.map(|path| {
             let stop = &stop;
             let telemetry = &telemetry;
-            scope.spawn(move || loop {
-                for _ in 0..8 {
-                    if stop.load(std::sync::atomic::Ordering::Relaxed) {
-                        return;
+            scope.spawn(move || {
+                // A failing live republish degrades to one warning, not a
+                // warning every tick and never an aborted batch; the final
+                // post-run write reports again through write_sink.
+                let mut warned = false;
+                loop {
+                    for _ in 0..8 {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(25));
                     }
-                    std::thread::sleep(Duration::from_millis(25));
+                    let rendered = render_prometheus(&telemetry.snapshot(), zero_time);
+                    if let Err(e) = write_atomic(path, &rendered) {
+                        if !warned {
+                            eprintln!("gcatch: warning: live metrics republish failed: {e}");
+                            warned = true;
+                        }
+                    }
                 }
-                let _ = write_atomic(path, &render_prometheus(&telemetry.snapshot(), zero_time));
             })
         });
         let outcome = engine.run(&jobs, journal.as_ref().map(|j| (j, &codec)), restored);
@@ -1116,7 +1185,7 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
     }
     let stats = telemetry.snapshot();
     if let Some(mp) = metrics_out {
-        write_atomic(mp, &render_prometheus(&stats, zero_time))?;
+        write_sink(mp, &render_prometheus(&stats, zero_time));
     }
     if let (Some(bus), Some(ep)) = (&bus, events_out) {
         bus.emit(run_event(
@@ -1129,7 +1198,7 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
                 ("total_bugs", Field::U64(total_bugs as u64)),
             ],
         ));
-        write_atomic(ep, &bus.render_jsonl())?;
+        write_sink(ep, &bus.render_jsonl());
     }
     if json {
         if want_stats {
@@ -1182,19 +1251,12 @@ fn cmd_batch(rest: &[String]) -> Result<ExitCode, String> {
 /// fault plan, analysis budgets), so `sweep` forwards them verbatim to
 /// every worker process — otherwise the merged report would diverge from
 /// a single-process `batch` run over the same modules.
-const EXEC_FLAGS: &[FlagSpec] = &[
-    ("max-attempts", true),
-    ("backoff-ms", true),
-    ("inject-faults", true),
-    ("fault-seed", true),
-    ("timeout", true),
-    ("channel-timeout", true),
-    ("solver-steps", true),
-    ("solver-mode", true),
-    ("alias-mode", true),
-    ("no-share-encodings", false),
-    ("step-pool", true),
-];
+fn exec_flags() -> Vec<FlagSpec> {
+    spec(
+        &[RETRY_FLAGS, FAULT_FLAGS, TIMEOUT_FLAG, ANALYSIS_FLAGS],
+        &[],
+    )
+}
 
 /// Resolves the fault plan shared by batch/sweep/worker: CLI flags
 /// override the `GCATCH_FAULT_*` environment. Also returns the CLI
@@ -1254,9 +1316,10 @@ fn worker_engine_config(
 /// The subset of `flags` in [`EXEC_FLAGS`], re-rendered as command-line
 /// arguments for a spawned worker process.
 fn forward_exec_flags(flags: &[Flag]) -> Vec<String> {
+    let exec = exec_flags();
     let mut out = Vec::new();
     for (name, value) in flags {
-        if EXEC_FLAGS.iter().any(|(n, _)| n == name) {
+        if exec.iter().any(|(n, _)| n == name) {
             out.push(format!("--{name}"));
             if let Some(v) = value {
                 out.push(v.clone());
@@ -1300,8 +1363,10 @@ fn parse_flags_only(rest: &[String], spec: &[FlagSpec]) -> Result<Vec<Flag>, Str
 /// the on-disk lease queue and runs each through a single-job batch
 /// engine that journals the decided record to this worker's own journal.
 fn cmd_worker(rest: &[String]) -> Result<ExitCode, String> {
-    let mut spec: Vec<FlagSpec> = vec![("dir", true), ("id", true), ("lease-ms", true)];
-    spec.extend_from_slice(EXEC_FLAGS);
+    let spec = spec(
+        &[&exec_flags()],
+        &[("dir", true), ("id", true), ("lease-ms", true)],
+    );
     let flags = parse_flags_only(rest, &spec)?;
     let dir = flag_value(&flags, "dir").ok_or("worker needs --dir")?;
     let id = flag_value(&flags, "id")
@@ -1349,20 +1414,17 @@ fn cmd_worker(rest: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_sweep(rest: &[String]) -> Result<ExitCode, String> {
-    let mut spec: Vec<FlagSpec> = vec![
-        ("workers", true),
-        ("dir", true),
-        ("lease-ms", true),
-        ("max-releases", true),
-        ("report", true),
-        ("json", false),
-        ("stats", false),
-        ("strict", false),
-        ("progress", false),
-        ("metrics-out", true),
-        ("events-out", true),
-    ];
-    spec.extend_from_slice(EXEC_FLAGS);
+    let spec = spec(
+        &[REPORT_FLAGS, OBS_FLAGS, &exec_flags()],
+        &[
+            ("workers", true),
+            ("dir", true),
+            ("lease-ms", true),
+            ("max-releases", true),
+            ("report", true),
+            ("progress", false),
+        ],
+    );
     let (inputs, flags) = parse_multi(rest, &spec)?;
     let modules = expand_modules(&inputs)?;
     let json = has_flag(&flags, "json");
@@ -1483,7 +1545,7 @@ fn cmd_sweep(rest: &[String]) -> Result<ExitCode, String> {
     }
     let stats = telemetry.snapshot();
     if let Some(mp) = metrics_out {
-        write_atomic(mp, &render_prometheus(&stats, zero_time))?;
+        write_sink(mp, &render_prometheus(&stats, zero_time));
     }
     if let (Some(bus), Some(ep)) = (&bus, events_out) {
         bus.emit(run_event(
@@ -1497,7 +1559,7 @@ fn cmd_sweep(rest: &[String]) -> Result<ExitCode, String> {
                 ("releases", Field::U64(outcome.jobs_releases)),
             ],
         ));
-        write_atomic(ep, &bus.render_jsonl())?;
+        write_sink(ep, &bus.render_jsonl());
     }
     if json {
         if want_stats {
@@ -1532,14 +1594,240 @@ fn cmd_sweep(rest: &[String]) -> Result<ExitCode, String> {
             print!("{}", stats.render_text());
         }
     }
+    if outcome.interrupted {
+        eprintln!(
+            "gcatch: sweep interrupted — {} decided job(s) merged, {} undecided",
+            records.len(),
+            outcome.merge.missing.len()
+        );
+    }
     if ephemeral {
         let _ = std::fs::remove_dir_all(&root);
     }
-    Ok(if strict && quarantined > 0 {
+    Ok(if outcome.interrupted {
+        // The conventional 128 + SIGINT exit for a run wound down early;
+        // decided work was merged and reported above.
+        ExitCode::from(130)
+    } else if strict && quarantined > 0 {
         ExitCode::from(2)
     } else if total_bugs > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// Fingerprint of every flag that shapes a serve response byte. The
+/// cache index records it in its header; an index written under a
+/// different fingerprint is discarded wholesale on startup, because its
+/// cached responses would no longer match what this daemon computes.
+fn serve_fingerprint(flags: &[Flag]) -> String {
+    let mut fp = String::from("v1");
+    for (name, takes_value) in ANALYSIS_FLAGS {
+        fp.push(';');
+        fp.push_str(name);
+        fp.push('=');
+        if *takes_value {
+            fp.push_str(flag_value(flags, name).unwrap_or("default"));
+        } else {
+            fp.push_str(if has_flag(flags, name) { "on" } else { "off" });
+        }
+    }
+    fp
+}
+
+/// One serve work request, executed on a daemon pool thread. `check`
+/// returns the exact report `gcatch check --json` would print for the
+/// module (that byte-identity is what makes the response cache sound);
+/// `explain` wraps the provenance text; `fix-dry-run` summarizes the
+/// patches GFix would apply without writing anything.
+fn serve_execute(
+    op: WorkKind,
+    source: &str,
+    budget: &Budget,
+    base: &DetectorConfig,
+    alias: AliasMode,
+) -> Result<String, String> {
+    // The request deadline flows into the analysis budget, so a slow
+    // module degrades through the usual rungs instead of running
+    // unbounded; the daemon still issues the authoritative deadline
+    // verdict after the call returns.
+    let mut config = base.clone();
+    if let Some(deadline) = budget.deadline() {
+        config.timeout = Some(deadline.saturating_duration_since(std::time::Instant::now()));
+    }
+    match op {
+        WorkKind::Check => {
+            let module = gcatch_suite::ir::lower_source(source)?;
+            let gcatch = GCatch::with_options(&module, TraceLevel::Off, alias);
+            let diagnostics = gcatch.diagnostics(&config, &Selection::default());
+            let incidents = gcatch.incidents();
+            Ok(render_json_with(&diagnostics, None, &incidents))
+        }
+        WorkKind::Explain => {
+            let module = gcatch_suite::ir::lower_source(source)?;
+            let gcatch = GCatch::with_options(&module, TraceLevel::Off, alias);
+            let diagnostics = gcatch.diagnostics(&config, &Selection::default());
+            let text = render_explain(&diagnostics);
+            let mut out = String::from("{\"diagnostics\":");
+            out.push_str(&diagnostics.len().to_string());
+            out.push_str(",\"explain\":\"");
+            json_escape(&text, &mut out);
+            out.push_str("\"}");
+            Ok(out)
+        }
+        WorkKind::FixDryRun => {
+            let pipeline = gfix::Pipeline::from_source(source)?;
+            let results = pipeline.run(&config);
+            let mut out = String::from("{\"bugs\":");
+            out.push_str(&results.bugs.len().to_string());
+            out.push_str(",\"patches\":[");
+            for (i, patch) in results.patches.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"strategy\":\"");
+                json_escape(&patch.strategy.to_string(), &mut out);
+                out.push_str("\",\"description\":\"");
+                json_escape(&patch.description, &mut out);
+                out.push_str("\",\"changed_lines\":");
+                out.push_str(&patch.changed_lines.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
+            Ok(out)
+        }
+    }
+}
+
+fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
+    let spec = spec(
+        &[OBS_FLAGS, FAULT_FLAGS, ANALYSIS_FLAGS],
+        &[
+            ("socket", true),
+            ("stdio", false),
+            ("cache-dir", true),
+            ("max-queue", true),
+            ("workers", true),
+            ("request-timeout-ms", true),
+            ("max-cache", true),
+        ],
+    );
+    let flags = parse_flags_only(rest, &spec)?;
+    let socket = flag_value(&flags, "socket").map(std::path::PathBuf::from);
+    let stdio = has_flag(&flags, "stdio");
+    if socket.is_some() && stdio {
+        return Err("--socket and --stdio are mutually exclusive".into());
+    }
+    if socket.is_none() && !stdio {
+        return Err("serve needs --socket PATH or --stdio".into());
+    }
+    let (plan, _fault_seed) = fault_plan(&flags)?;
+    // Each request analyzes single-threaded (parallelism comes from the
+    // daemon's own pool), keeping fault schedules and reports identical
+    // to single-shot runs.
+    let mut base = budget_config(&flags)?;
+    base.jobs = 1;
+    let alias = alias_mode(&flags)?;
+    let workers = parse_u64_flag(&flags, "workers")?.unwrap_or(4).max(1) as usize;
+    let max_queue = parse_u64_flag(&flags, "max-queue")?.unwrap_or(64) as usize;
+    let request_timeout = parse_u64_flag(&flags, "request-timeout-ms")?.map(Duration::from_millis);
+    let cache_capacity = parse_u64_flag(&flags, "max-cache")?.unwrap_or(512).max(1) as usize;
+    let cache_dir = flag_value(&flags, "cache-dir").map(std::path::PathBuf::from);
+    let metrics_out = flag_value(&flags, "metrics-out");
+    let events_out = flag_value(&flags, "events-out");
+    let zero_time = obs_zero_time();
+    let bus = events_out.map(|_| {
+        Arc::new(EventBus::new(
+            derive_run_id(&["serve".to_string()], zero_time),
+            zero_time,
+        ))
+    });
+    if let Some(bus) = &bus {
+        bus.emit(run_event(
+            EventKind::RunStart,
+            vec![("modules", Field::U64(0))],
+        ));
+    }
+
+    let config = ServeConfig {
+        workers,
+        max_queue,
+        request_timeout,
+        cache_dir,
+        cache_capacity,
+        config_fingerprint: serve_fingerprint(&flags),
+        plan: plan.map(Arc::new),
+    };
+    let telemetry = Telemetry::new();
+    let executor = |op: WorkKind, _path: &str, source: &str, budget: &Budget| {
+        serve_execute(op, source, budget, &base, alias)
+    };
+
+    // Same live-republish ticker as batch: scrapers watching
+    // --metrics-out see the request counters move while the daemon runs.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let summary = std::thread::scope(|scope| {
+        let ticker = metrics_out.map(|path| {
+            let stop = &stop;
+            let telemetry = &telemetry;
+            scope.spawn(move || {
+                let mut warned = false;
+                loop {
+                    for _ in 0..8 {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    let rendered = render_prometheus(&telemetry.snapshot(), zero_time);
+                    if let Err(e) = write_atomic(path, &rendered) {
+                        if !warned {
+                            eprintln!("gcatch: warning: live metrics republish failed: {e}");
+                            warned = true;
+                        }
+                    }
+                }
+            })
+        });
+        let summary = match &socket {
+            Some(path) => serve_socket(path, &config, &executor, &telemetry, bus.clone()),
+            None => serve_stdio(&config, &executor, &telemetry, bus.clone()),
+        };
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(t) = ticker {
+            let _ = t.join();
+        }
+        summary
+    })?;
+
+    let stats = telemetry.snapshot();
+    if let Some(mp) = metrics_out {
+        write_sink(mp, &render_prometheus(&stats, zero_time));
+    }
+    if let (Some(bus), Some(ep)) = (&bus, events_out) {
+        bus.emit(run_event(
+            EventKind::RunEnd,
+            vec![
+                ("requests", Field::U64(summary.requests)),
+                ("shed", Field::U64(summary.shed)),
+                ("failed", Field::U64(summary.failed)),
+                ("cache_hits", Field::U64(summary.cache_hits)),
+            ],
+        ));
+        write_sink(ep, &bus.render_jsonl());
+    }
+    // The summary goes to stderr: in --stdio mode stdout is the protocol
+    // stream and must carry response lines only.
+    eprintln!(
+        "gcatch: serve drained — {} request(s), {} shed, {} failed, {} cache hit(s), \
+         cache warm {} / dropped {}",
+        summary.requests,
+        summary.shed,
+        summary.failed,
+        summary.cache_hits,
+        summary.cache_warm,
+        summary.cache_dropped,
+    );
+    Ok(ExitCode::SUCCESS)
 }

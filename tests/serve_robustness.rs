@@ -1,0 +1,384 @@
+//! Robustness drills for `gcatch serve`: concurrent socket clients,
+//! injected request panics, request deadlines, deterministic load
+//! shedding, SIGTERM drain, and the crash-only contract — SIGKILL the
+//! daemon mid-run, restart over the same cache directory, and assert the
+//! replayed responses are byte-identical to a cold daemon and that the
+//! `result` payload equals a single-shot `gcatch check --json`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn gcatch() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gcatch-suite"))
+}
+
+/// A scratch directory unique to this test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gcatch-serve-it-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The Figure 1 module checked into the repo (one known BMOC bug).
+const MODULE: &str = "examples/figure1.go";
+/// A clean module from the batch corpus.
+const CLEAN: &str = "examples/batch/clean_buffered.go";
+
+/// A daemon child in `--stdio` mode with piped stdin/stdout.
+struct StdioDaemon {
+    child: Child,
+    stdin: Option<std::process::ChildStdin>,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl StdioDaemon {
+    fn spawn(extra: &[&str], envs: &[(&str, &str)]) -> StdioDaemon {
+        let mut cmd = gcatch();
+        cmd.args(["serve", "--stdio"])
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("serve --stdio starts");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        StdioDaemon {
+            child,
+            stdin: Some(stdin),
+            stdout,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        let stdin = self.stdin.as_mut().expect("stdin open");
+        stdin.write_all(line.as_bytes()).expect("request written");
+        stdin.write_all(b"\n").expect("newline written");
+        stdin.flush().expect("request flushed");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.stdout.read_line(&mut line).expect("response read");
+        assert!(n > 0, "daemon closed stdout unexpectedly");
+        line.trim_end().to_string()
+    }
+
+    /// Closes stdin (EOF drain) and waits for a clean exit.
+    fn finish(mut self) -> (i32, String) {
+        drop(self.stdin.take());
+        let out = self.child.wait_with_output().expect("daemon exits");
+        (
+            out.status.code().expect("daemon exit code"),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    }
+}
+
+fn check_request(id: &str, module: &str) -> String {
+    format!(r#"{{"id":"{id}","op":"check","module":"{module}"}}"#)
+}
+
+/// Runs one daemon over a fixed request script and returns the full
+/// response transcript plus the exit code.
+fn transcript(requests: &[String], extra: &[&str], envs: &[(&str, &str)]) -> (Vec<String>, i32) {
+    let mut daemon = StdioDaemon::spawn(extra, envs);
+    for r in requests {
+        daemon.send(r);
+    }
+    let lines: Vec<String> = (0..requests.len()).map(|_| daemon.recv()).collect();
+    let (code, _) = daemon.finish();
+    (lines, code)
+}
+
+/// Concurrent socket clients: every client gets its own correct response
+/// on its own connection, and the daemon drains cleanly afterwards.
+#[test]
+fn concurrent_socket_clients_each_get_their_response() {
+    let dir = scratch("socket");
+    let sock = dir.join("gcatch.sock");
+    let mut child = gcatch()
+        .args([
+            "serve",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve --socket starts");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "socket never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let mut stream = UnixStream::connect(&sock).expect("client connects");
+                let module = if i % 2 == 0 { MODULE } else { CLEAN };
+                let req = check_request(&format!("c{i}"), module);
+                stream.write_all(req.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                // Half-close: the daemon answers, then the connection ends.
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut response = String::new();
+                stream.read_to_string(&mut response).unwrap();
+                (i, module, response)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (i, module, response) = h.join().expect("client thread");
+        assert!(
+            response.contains(&format!(r#""id":"c{i}","ok":true"#)),
+            "client {i} response: {response}"
+        );
+        assert!(response.contains(module), "client {i} response: {response}");
+        let expect_diags = module == MODULE;
+        assert_eq!(
+            response.contains(r#""checker":"bmoc""#),
+            expect_diags,
+            "client {i} got the wrong module's report: {response}"
+        );
+    }
+
+    // A shutdown request drains the daemon; the process exits 0.
+    let mut stream = UnixStream::connect(&sock).expect("shutdown client connects");
+    stream
+        .write_all(b"{\"id\":\"q\",\"op\":\"shutdown\"}\n")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.contains(r#""draining":true"#), "{response}");
+    let out = child.wait().expect("daemon exits");
+    assert_eq!(out.code(), Some(0), "graceful drain exits 0");
+    assert!(!sock.exists(), "socket file removed on drain");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Injected `serve.request` panics are contained: the faulted request
+/// gets a structured incident response and the daemon keeps serving.
+#[test]
+fn injected_request_panic_is_contained_and_the_daemon_survives() {
+    let mut daemon = StdioDaemon::spawn(
+        &[],
+        &[
+            ("GCATCH_FAULT_RATE", "1.0"),
+            ("GCATCH_FAULT_SITES", "serve.request"),
+            ("GCATCH_FAULT_DELAY_MS", "0"),
+        ],
+    );
+    daemon.send(&check_request("boom", MODULE));
+    let line = daemon.recv();
+    assert!(line.contains(r#""id":"boom","ok":false"#), "{line}");
+    assert!(line.contains(r#""kind":"request""#), "{line}");
+    assert!(
+        line.contains("injected fault: panic at serve.request"),
+        "{line}"
+    );
+    // Still alive: an inline status request is answered (the fault plan
+    // only covers pooled work execution).
+    daemon.send(r#"{"id":"s","op":"status"}"#);
+    let line = daemon.recv();
+    assert!(line.contains(r#""id":"s","ok":true"#), "{line}");
+    assert!(line.contains(r#""requests_failed":1"#), "{line}");
+    let (code, _) = daemon.finish();
+    assert_eq!(code, 0, "a contained panic must not change the exit code");
+}
+
+/// A request whose deadline expires gets a deadline incident, never a
+/// partial result — and the verdict is deterministic because a zero
+/// deadline is expired before the work even starts.
+#[test]
+fn expired_request_deadline_becomes_an_incident() {
+    let mut daemon = StdioDaemon::spawn(&[], &[]);
+    daemon.send(&format!(
+        r#"{{"id":"slow","op":"check","module":"{MODULE}","timeout_ms":0}}"#
+    ));
+    let line = daemon.recv();
+    assert!(line.contains(r#""id":"slow","ok":false"#), "{line}");
+    assert!(line.contains("request deadline of 0 ms expired"), "{line}");
+    // The expired verdict must not poison the cache: the same module
+    // without a deadline computes the full result.
+    daemon.send(&check_request("retry", MODULE));
+    let line = daemon.recv();
+    assert!(line.contains(r#""id":"retry","ok":true"#), "{line}");
+    assert!(line.contains(r#""checker":"bmoc""#), "{line}");
+    let (code, _) = daemon.finish();
+    assert_eq!(code, 0);
+}
+
+/// Load shedding under `--workers 1 --max-queue 1` is deterministic in
+/// the request sequence: with every request slowed by an injected delay,
+/// the third concurrent request is always shed with the same bytes.
+#[test]
+fn overload_sheds_the_same_request_with_the_same_bytes() {
+    // Delay-then-panic faults at rate 1.0 make every work request occupy
+    // its worker for a deterministic 400 ms; three back-to-back requests
+    // therefore always see: r1 executing, r2 queued, r3 shed.
+    let envs = [
+        ("GCATCH_FAULT_RATE", "1.0"),
+        ("GCATCH_FAULT_SITES", "serve.request"),
+        ("GCATCH_FAULT_DELAY_MS", "400"),
+        ("GCATCH_FAULT_SEED", "7"),
+    ];
+    let requests: Vec<String> = (1..=3)
+        .map(|i| check_request(&format!("r{i}"), MODULE))
+        .collect();
+    let args = ["--workers", "1", "--max-queue", "1"];
+    let (first, code) = transcript(&requests, &args, &envs);
+    assert_eq!(code, 0);
+    let shed: Vec<&String> = first
+        .iter()
+        .filter(|l| l.contains(r#""overloaded":true"#))
+        .collect();
+    assert_eq!(shed.len(), 1, "exactly one request is shed: {first:?}");
+    assert!(shed[0].contains(r#""id":"r3""#), "{}", shed[0]);
+    assert!(shed[0].contains("retry_after_ms"), "{}", shed[0]);
+
+    let (second, _) = transcript(&requests, &args, &envs);
+    assert_eq!(first, second, "shedding must be deterministic");
+}
+
+/// SIGTERM drains the daemon: in-flight work finishes, the summary is
+/// flushed, and the process exits 0.
+#[test]
+fn sigterm_drains_the_stdio_daemon_cleanly() {
+    let mut daemon = StdioDaemon::spawn(&[], &[]);
+    daemon.send(&check_request("a", MODULE));
+    let line = daemon.recv();
+    assert!(line.contains(r#""id":"a","ok":true"#), "{line}");
+    let pid = daemon.child.id().to_string();
+    let out = Command::new("kill")
+        .args(["-TERM", &pid])
+        .output()
+        .expect("kill runs");
+    assert!(out.status.success(), "SIGTERM delivered");
+    let (code, stderr) = daemon.finish();
+    assert_eq!(code, 0, "SIGTERM drain exits 0 (stderr: {stderr})");
+    assert!(stderr.contains("serve drained"), "{stderr}");
+}
+
+/// The crash-only contract. A daemon with `serve.cache` faults persists
+/// deliberately corrupt index lines and is then SIGKILLed mid-request —
+/// no destructor, no flush, exactly like an OOM kill. A restart over the
+/// same cache directory must heal the index (corrupt entries dropped,
+/// survivors compacted) and replay the full request set byte-identical
+/// to a cold daemon on a fresh cache — which itself answers `check` with
+/// the exact bytes of a single-shot `gcatch check --json`.
+#[test]
+fn sigkill_then_warm_restart_replays_cold_responses_byte_identically() {
+    let dir = scratch("crash");
+    let warm_cache = dir.join("warm-cache");
+    let cold_cache = dir.join("cold-cache");
+
+    // Victim daemon: every cache insert writes a corrupt index line.
+    let mut victim = StdioDaemon::spawn(
+        &["--cache-dir", warm_cache.to_str().unwrap()],
+        &[
+            ("GCATCH_FAULT_RATE", "1.0"),
+            ("GCATCH_FAULT_SITES", "serve.cache"),
+            ("GCATCH_FAULT_DELAY_MS", "0"),
+        ],
+    );
+    victim.send(&check_request("v1", MODULE));
+    let answered = victim.recv();
+    assert!(answered.contains(r#""id":"v1","ok":true"#), "{answered}");
+    // Second request in flight when the daemon dies.
+    victim.send(&check_request("v2", CLEAN));
+    victim.child.kill().expect("SIGKILL delivered");
+    victim.child.wait().expect("victim reaped");
+
+    // The index now holds a header plus corrupt line(s); a restart heals
+    // it and recomputes — warmth is the only thing a crash can lose.
+    let requests = vec![
+        check_request("r1", MODULE),
+        check_request("r2", CLEAN),
+        format!(r#"{{"id":"r3","op":"explain","module":"{MODULE}"}}"#),
+        format!(r#"{{"id":"r4","op":"fix-dry-run","module":"{MODULE}"}}"#),
+    ];
+    let warm_args = ["--cache-dir", warm_cache.to_str().unwrap()];
+    let (warm, warm_code) = transcript(&requests, &warm_args, &[]);
+    let cold_args = ["--cache-dir", cold_cache.to_str().unwrap()];
+    let (cold, cold_code) = transcript(&requests, &cold_args, &[]);
+    assert_eq!(warm_code, 0);
+    assert_eq!(cold_code, 0);
+    assert_eq!(
+        warm, cold,
+        "kill -9 + warm restart must replay cold responses byte-identically"
+    );
+
+    // And the daemon's check result is the single-shot report, byte for
+    // byte: response r1 is exactly the `gcatch check --json` output
+    // wrapped in the response envelope.
+    let single = gcatch()
+        .args(["check", MODULE, "--json"])
+        .output()
+        .expect("gcatch check runs");
+    let report = String::from_utf8(single.stdout).unwrap();
+    let expected = format!(
+        r#"{{"id":"r1","ok":true,"op":"check","module":"{MODULE}","result":{}}}"#,
+        report.trim_end()
+    );
+    assert_eq!(warm[0], expected, "daemon check == single-shot check");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The healed index survives a second restart intact: entries recomputed
+/// after the crash are persisted correctly and served as cache hits.
+#[test]
+fn healed_cache_serves_hits_on_the_next_restart() {
+    let dir = scratch("heal");
+    let cache = dir.join("cache");
+    let requests = [check_request("r1", MODULE)];
+    let args = ["--cache-dir", cache.to_str().unwrap()];
+
+    let mut first = StdioDaemon::spawn(&args, &[]);
+    first.send(&requests[0]);
+    let cold_line = first.recv();
+    let (code, stderr) = first.finish();
+    assert_eq!(code, 0);
+    assert!(stderr.contains("cache warm 0"), "{stderr}");
+
+    let mut second = StdioDaemon::spawn(&args, &[]);
+    second.send(&requests[0]);
+    let warm_line = second.recv();
+    let (code, stderr) = second.finish();
+    assert_eq!(code, 0);
+    assert!(stderr.contains("1 cache hit(s)"), "{stderr}");
+    assert!(stderr.contains("cache warm 1"), "{stderr}");
+    assert_eq!(cold_line, warm_line, "a cache hit changes no bytes");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Usage errors: serve rejects contradictory or missing transports and
+/// unknown flags with exit 2, before binding anything.
+#[test]
+fn serve_usage_errors_exit_2() {
+    for args in [
+        vec!["serve"],
+        vec!["serve", "--stdio", "--socket", "/tmp/x.sock"],
+        vec!["serve", "--stdio", "--bogus"],
+        vec!["serve", "--stdio", "extra-positional"],
+    ] {
+        let out = gcatch().args(&args).output().expect("gcatch runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2 (stderr: {})",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

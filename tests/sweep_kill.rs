@@ -4,8 +4,9 @@
 //! with every killed worker's jobs re-leased and zero decisions lost or
 //! duplicated in the output.
 
+use std::io::Read;
 use std::path::{Path, PathBuf};
-use std::process::Command;
+use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 fn gcatch() -> Command {
@@ -349,4 +350,98 @@ fn sweep_usage_errors_exit_2() {
         let out = gcatch().args(&args).output().expect("gcatch runs");
         assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
     }
+}
+
+/// SIGTERM drill: interrupt a live sweep coordinator mid-run. The
+/// coordinator must write the shutdown marker, let workers finish their
+/// current job, merge every decided job into the report, clean up pids/
+/// and stale leases, and exit 130 — leaving no orphan workers behind.
+#[test]
+fn sigterm_interrupts_the_sweep_cleanly_with_partial_results() {
+    let dir = scratch("term");
+    let sweep_dir = dir.join("sweep");
+    let report = dir.join("sweep.json");
+    let mut child = gcatch()
+        .args([
+            "sweep",
+            corpus(),
+            "--workers",
+            "2",
+            "--dir",
+            sweep_dir.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ])
+        // Delay-only faults slow every job down so the interrupt lands
+        // while most of the corpus is still undecided.
+        .env("GCATCH_FAULT_RATE", "1.0")
+        .env("GCATCH_FAULT_SITES", "batch.delay")
+        .env("GCATCH_FAULT_DELAY_MS", "400")
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("sweep starts");
+
+    // Wait for the fleet to exist (a worker pid file appears), then
+    // SIGTERM the coordinator.
+    let pids_dir = sweep_dir.join("pids");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "workers never spawned");
+        let live = std::fs::read_dir(&pids_dir).map(|d| d.count()).unwrap_or(0);
+        if live > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let worker_pids: Vec<String> = std::fs::read_dir(&pids_dir)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| std::fs::read_to_string(e.path()).ok())
+        .map(|p| p.trim().to_string())
+        .collect();
+    let out = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .output()
+        .expect("kill runs");
+    assert!(out.status.success(), "SIGTERM delivered");
+
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .expect("stderr read");
+    let status = child.wait().expect("sweep exits");
+    assert_eq!(
+        status.code(),
+        Some(130),
+        "interrupted sweep exits 130 (stderr: {stderr})"
+    );
+    assert!(stderr.contains("sweep interrupted"), "{stderr}");
+
+    // No orphans: every worker the coordinator had spawned is gone.
+    for pid in &worker_pids {
+        let gone = Command::new("kill")
+            .args(["-0", pid])
+            .output()
+            .expect("kill -0 runs");
+        assert!(
+            !gone.status.success(),
+            "worker {pid} still alive after coordinator exit"
+        );
+    }
+    // No stale state: pids/ is empty and no undecided job holds a lease.
+    let pids_left = std::fs::read_dir(&pids_dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(pids_left, 0, "pids/ must be cleaned up");
+    let leases_left = std::fs::read_dir(sweep_dir.join("leases"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert_eq!(leases_left, 0, "stale leases must be removed");
+    // The shutdown marker persists so late-waking workers also stop.
+    assert!(
+        sweep_dir.join("shutdown").exists(),
+        "shutdown marker must be written"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
