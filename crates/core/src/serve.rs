@@ -30,7 +30,10 @@
 //!   `shutdown` request stops accepting new work, finishes everything
 //!   in flight, flushes, and returns — the CLI exits 0.
 //! * **Crash-only.** Responses for work requests are cached keyed by
-//!   `(op, content hash of module source)` and persisted through an
+//!   `(op, content hash of module source, effective deadline)` — the
+//!   deadline is in the key because a tight budget can shape result bytes
+//!   through the degradation ladder, and a deadline-shaped response must
+//!   never be replayed to an untimed request — and persisted through an
 //!   append-only, fsync'd journal-style index. On startup the index is
 //!   reloaded with torn/corrupt/stale entries dropped (exactly like
 //!   `--resume`'s torn-tail healing) and compacted atomically. A
@@ -545,7 +548,8 @@ impl ResponseCache {
     /// the next startup drops the bad line and recomputes. Returns the
     /// number of evicted entries. Disk errors degrade the cache to
     /// memory-only for this entry (the response is already correct);
-    /// the caller surfaces them as incidents.
+    /// the caller surfaces them — [`Server::execute`] warns once on
+    /// stderr and emits an `incident` event per failed append.
     pub fn insert(
         &mut self,
         key: &str,
@@ -561,8 +565,14 @@ impl ResponseCache {
             let line = Self::render_entry(key, module, result);
             let persisted = if corrupt {
                 // Keep the newline so later appends stay line-aligned;
-                // the half-line itself can never parse back.
-                format!("{}\n", &line[..line.len() / 2])
+                // the half-line itself can never parse back. The midpoint
+                // may fall inside a multibyte character — back up to a
+                // boundary so the slice cannot panic.
+                let mut mid = line.len() / 2;
+                while !line.is_char_boundary(mid) {
+                    mid -= 1;
+                }
+                format!("{}\n", &line[..mid])
             } else {
                 format!("{line}\n")
             };
@@ -609,10 +619,19 @@ fn parse_cache_entry(line: &str) -> Option<(String, String, String)> {
     Some((key, module, raw.to_string()))
 }
 
-/// The cache key of one work request: op name + FNV of the module source.
-pub fn cache_key(op: WorkKind, source: &str) -> String {
+/// The cache key of one work request: op name + FNV of the module source,
+/// plus the effective deadline when one applies. The deadline is part of
+/// the key because it shapes result bytes — the degradation ladder can
+/// complete early with a degraded report under a tight budget, and
+/// replaying that to an untimed request would break byte-identity with a
+/// cold `gcatch check --json`. Untimed requests keep the bare
+/// `op:hash` key, so persisted indexes from untimed runs stay valid.
+pub fn cache_key(op: WorkKind, source: &str, timeout_ms: Option<u64>) -> String {
     let h = crate::faults::fnv(0xcbf2_9ce4_8422_2325, source.as_bytes());
-    format!("{}:{h:016x}", op.name())
+    match timeout_ms {
+        None => format!("{}:{h:016x}", op.name()),
+        Some(ms) => format!("{}:{h:016x}:t{ms}", op.name()),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -647,8 +666,12 @@ struct Server<'a> {
     bus: Option<Arc<EventBus>>,
     queue: Mutex<QueueState>,
     cond: Condvar,
-    drain: AtomicBool,
+    /// Shared with the caller's line source (stdin pump, socket poll) so a
+    /// `shutdown` request handled here is observable by an iterator that
+    /// is blocked waiting for the next line.
+    drain: Arc<AtomicBool>,
     cache: Mutex<ResponseCache>,
+    cache_warned: AtomicBool,
     arrivals: AtomicU64,
     load: CacheLoad,
 }
@@ -663,6 +686,7 @@ impl<'a> Server<'a> {
         executor: &'a ExecutorFn<'a>,
         telemetry: &'a Telemetry,
         bus: Option<Arc<EventBus>>,
+        drain: Arc<AtomicBool>,
     ) -> Result<Server<'a>, String> {
         let (cache, load) = ResponseCache::open(
             config.cache_dir.as_deref(),
@@ -676,8 +700,9 @@ impl<'a> Server<'a> {
             bus,
             queue: Mutex::new(QueueState::default()),
             cond: Condvar::new(),
-            drain: AtomicBool::new(false),
+            drain,
             cache: Mutex::new(cache),
+            cache_warned: AtomicBool::new(false),
             arrivals: AtomicU64::new(0),
             load,
         })
@@ -685,6 +710,13 @@ impl<'a> Server<'a> {
 
     fn draining(&self) -> bool {
         self.drain.load(Ordering::SeqCst) || signals::shutdown_signaled()
+    }
+
+    /// The deadline a work request will actually run under, in ms: the
+    /// per-request override, else the daemon default. Feeds the cache key,
+    /// so it must match what [`Server::execute`] derives.
+    fn effective_timeout_ms(&self, request_override: Option<u64>) -> Option<u64> {
+        request_override.or_else(|| self.config.request_timeout.map(|t| t.as_millis() as u64))
     }
 
     fn begin_drain(&self) {
@@ -818,7 +850,7 @@ impl<'a> Server<'a> {
                 return;
             }
         };
-        let key = cache_key(op, &source);
+        let key = cache_key(op, &source, self.effective_timeout_ms(req.timeout_ms));
         if let Some(result) = lock(&self.cache).get(&key).cloned() {
             self.telemetry.add(Counter::CacheHits, 1);
             self.emit(
@@ -911,11 +943,38 @@ impl<'a> Server<'a> {
             match result {
                 Ok(Ok(raw)) => {
                     let corrupt = faults::should_inject(SITE_SERVE_CACHE, &work.key);
-                    let evicted = {
+                    let inserted = {
                         let mut cache = lock(&self.cache);
-                        cache
-                            .insert(&work.key, &work.module, &raw, corrupt)
-                            .unwrap_or(0)
+                        cache.insert(&work.key, &work.module, &raw, corrupt)
+                    };
+                    let evicted = match inserted {
+                        Ok(n) => n,
+                        Err(e) => {
+                            // The response itself is correct; only its
+                            // persistence failed. Degrading to memory-only
+                            // silently would hide a full disk — warn once
+                            // and surface every failure as an incident
+                            // event so telemetry consumers see it.
+                            if !self.cache_warned.swap(true, Ordering::Relaxed) {
+                                eprintln!(
+                                    "gcatch: warning: response cache index append failed \
+                                     (cache degrades to memory-only): {e}"
+                                );
+                            }
+                            self.emit(
+                                EventKind::IncidentRecorded,
+                                work.arrival,
+                                &work.id,
+                                vec![
+                                    ("kind", Field::Str("cache".to_string())),
+                                    (
+                                        "message",
+                                        Field::Str(format!("cache index append failed: {e}")),
+                                    ),
+                                ],
+                            );
+                            0
+                        }
                     };
                     if evicted > 0 {
                         self.telemetry.add(Counter::CacheEvictions, evicted as u64);
@@ -1037,7 +1096,32 @@ pub fn serve_lines(
     lines: impl Iterator<Item = String>,
     out: &mut (dyn Write + Send),
 ) -> Result<ServeSummary, String> {
-    let server = Server::new(config, executor, telemetry, bus)?;
+    serve_lines_shared(
+        config,
+        executor,
+        telemetry,
+        bus,
+        lines,
+        out,
+        Arc::new(AtomicBool::new(false)),
+    )
+}
+
+/// Like [`serve_lines`], but the server's drain flag *is* the
+/// caller-supplied `AtomicBool`: a `shutdown` request handled by the
+/// server flips the very flag the external line source (stdin pump)
+/// polls, so an iterator blocked waiting for the next line still
+/// observes the drain and terminates — there is no mirror to race.
+fn serve_lines_shared(
+    config: &ServeConfig,
+    executor: &ExecutorFn<'_>,
+    telemetry: &Telemetry,
+    bus: Option<Arc<EventBus>>,
+    lines: impl Iterator<Item = String>,
+    out: &mut (dyn Write + Send),
+    drain: Arc<AtomicBool>,
+) -> Result<ServeSummary, String> {
+    let server = Server::new(config, executor, telemetry, bus, drain)?;
     if let Some(line) = server.accept_fault("conn-0") {
         let _ = out.write_all(line.as_bytes());
         let _ = out.write_all(b"\n");
@@ -1103,6 +1187,10 @@ pub fn serve_stdio(
             }
         }
     });
+    // The server drains through the SAME flag the line iterator polls:
+    // a `shutdown` request flips it from inside `handle_line`, so the
+    // iterator wakes within one poll interval even while stdin stays
+    // open and idle — the daemon never waits for another line to notice.
     let flag = drain_flag.clone();
     let drain = move || flag.load(Ordering::SeqCst) || signals::shutdown_signaled();
     let lines = DrainingLines {
@@ -1110,65 +1198,15 @@ pub fn serve_stdio(
         drain: &drain,
     };
     let mut stdout = std::io::stdout();
-    // `shutdown` requests flip the server's internal flag; mirror it into
-    // the line source via a shared telemetry-free channel: the reader owns
-    // both, so polling the server flag directly is not possible from the
-    // iterator. Instead the server's drain is checked through a second
-    // closure bound after construction — see `serve_lines_with_drain`.
-    serve_lines_with_drain(
+    serve_lines_shared(
         config,
         executor,
         telemetry,
         bus,
         lines,
         &mut stdout,
-        &drain_flag,
+        drain_flag,
     )
-}
-
-/// Like [`serve_lines`], but shares the server's drain flag with the
-/// caller-supplied `AtomicBool` so an external line source (stdin pump,
-/// socket poll) can observe a `shutdown` request.
-fn serve_lines_with_drain(
-    config: &ServeConfig,
-    executor: &ExecutorFn<'_>,
-    telemetry: &Telemetry,
-    bus: Option<Arc<EventBus>>,
-    lines: impl Iterator<Item = String>,
-    out: &mut (dyn Write + Send),
-    drain_mirror: &AtomicBool,
-) -> Result<ServeSummary, String> {
-    let server = Server::new(config, executor, telemetry, bus)?;
-    if let Some(line) = server.accept_fault("conn-0") {
-        let _ = out.write_all(line.as_bytes());
-        let _ = out.write_all(b"\n");
-        let _ = out.flush();
-        return Ok(server.summary());
-    }
-    std::thread::scope(|s| {
-        for _ in 0..config.workers.max(1) {
-            s.spawn(|| server.worker_loop());
-        }
-        let (tx, rx) = mpsc::channel::<Reply>();
-        let writer = s.spawn(move || write_ordered(out, rx));
-        let mut seq = 0u64;
-        for line in lines {
-            if server.draining() {
-                drain_mirror.store(true, Ordering::SeqCst);
-                break;
-            }
-            if line.trim().is_empty() {
-                continue;
-            }
-            server.handle_line(&line, seq, &tx);
-            seq += 1;
-        }
-        drain_mirror.store(true, Ordering::SeqCst);
-        drop(tx);
-        server.close_queue();
-        let _ = writer.join();
-    });
-    Ok(server.summary())
 }
 
 /// Binds `socket_path` and serves connections until SIGTERM/SIGINT or a
@@ -1200,17 +1238,31 @@ pub fn serve_socket(
     listener
         .set_nonblocking(true)
         .map_err(|e| format!("cannot configure listener: {e}"))?;
-    let server = Server::new(config, executor, telemetry, bus)?;
-    let streams: Mutex<Vec<UnixStream>> = Mutex::new(Vec::new());
+    let server = Server::new(
+        config,
+        executor,
+        telemetry,
+        bus,
+        Arc::new(AtomicBool::new(false)),
+    )?;
+    // Live connections only: each writer removes its own entry when the
+    // connection finishes, so a long-running daemon holds fds for open
+    // connections, not for every connection it ever accepted.
+    let streams: Mutex<BTreeMap<u64, UnixStream>> = Mutex::new(BTreeMap::new());
     std::thread::scope(|s| {
         for _ in 0..config.workers.max(1) {
             s.spawn(|| server.worker_loop());
         }
         let mut readers = Vec::new();
         let mut conn = 0u64;
+        let mut last_accept_err: Option<std::io::ErrorKind> = None;
         while !server.draining() {
+            // Finished connections joined lazily here; the scope joins
+            // whatever is still running at drain.
+            readers.retain(|r: &std::thread::ScopedJoinHandle<'_, ()>| !r.is_finished());
             match listener.accept() {
                 Ok((stream, _addr)) => {
+                    last_accept_err = None;
                     conn += 1;
                     let conn_id = format!("conn-{conn}");
                     if let Some(line) = server.accept_fault(&conn_id) {
@@ -1223,10 +1275,11 @@ pub fn serve_socket(
                         continue;
                     };
                     if let Ok(clone) = stream.try_clone() {
-                        lock(&streams).push(clone);
+                        lock(&streams).insert(conn, clone);
                     }
                     let (tx, rx) = mpsc::channel::<Reply>();
                     let server = &server;
+                    let streams = &streams;
                     s.spawn(move || {
                         let mut write_half = stream;
                         write_ordered(&mut write_half, rx);
@@ -1235,6 +1288,8 @@ pub fn serve_socket(
                         // client reading to connection close — half-close
                         // explicitly once every response is out.
                         let _ = write_half.shutdown(std::net::Shutdown::Write);
+                        // Connection done: release its registry fd.
+                        lock(streams).remove(&conn);
                     });
                     readers.push(s.spawn(move || {
                         let lines = BufReader::new(read_half).lines().map_while(Result::ok);
@@ -1244,12 +1299,23 @@ pub fn serve_socket(
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(15));
                 }
-                Err(_) => break,
+                Err(e) => {
+                    // Transient accept failures (EMFILE under fd pressure,
+                    // ECONNABORTED, EINTR) shed that one connection; a
+                    // long-running daemon must not die over them. Warn once
+                    // per error kind to avoid log storms, then keep
+                    // accepting — drain remains the only exit.
+                    if last_accept_err != Some(e.kind()) {
+                        last_accept_err = Some(e.kind());
+                        eprintln!("gcatch: warning: accept failed (will keep serving): {e}");
+                    }
+                    std::thread::sleep(Duration::from_millis(15));
+                }
             }
         }
-        // Drain: half-close every connection so blocked readers see EOF,
-        // join them, then let the pool finish what is queued.
-        for stream in lock(&streams).iter() {
+        // Drain: half-close every live connection so blocked readers see
+        // EOF, join them, then let the pool finish what is queued.
+        for stream in lock(&streams).values() {
             let _ = stream.shutdown(std::net::Shutdown::Read);
         }
         for reader in readers {
@@ -1369,6 +1435,73 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(load3.restored, 0);
         assert!(load3.dropped >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_injection_truncates_at_a_char_boundary() {
+        let dir = scratch("utf8");
+        let (mut cache, _) = ResponseCache::open(Some(&dir), 8, "fp").unwrap();
+        // Multibyte result text: growing a run of 2-byte characters one
+        // character at a time moves the line midpoint by one byte per
+        // step, so consecutive lengths are guaranteed to put the midpoint
+        // inside a character at least once — the truncation must back up
+        // to a boundary instead of panicking.
+        // The run must dominate the line so the midpoint lands inside it:
+        // the fixed prefix (key + module + field syntax) is 74 bytes, so
+        // an 80+ byte run puts the midpoint in the run, and stepping the
+        // length makes its run-relative offset hit both parities.
+        for i in 0..4 {
+            let key = format!("check:{i:016x}");
+            let result = format!("{{\"text\":\"{}\"}}", "é".repeat(40 + i));
+            cache.insert(&key, "mödülé.go", &result, true).unwrap();
+        }
+        assert_eq!(cache.len(), 4, "in-memory entries stay intact");
+        // Every persisted line was torn: the reload drops them all.
+        let (reloaded, load) = ResponseCache::open(Some(&dir), 8, "fp").unwrap();
+        assert!(reloaded.is_empty());
+        assert_eq!(load.dropped, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_key_separates_deadlines_from_untimed_requests() {
+        let src = "package m\n";
+        let untimed = cache_key(WorkKind::Check, src, None);
+        let timed = cache_key(WorkKind::Check, src, Some(50));
+        assert_ne!(untimed, timed, "a deadline shapes result bytes");
+        assert_ne!(timed, cache_key(WorkKind::Check, src, Some(51)));
+        assert!(timed.starts_with(&untimed), "untimed key format unchanged");
+    }
+
+    #[test]
+    fn timed_requests_never_replay_untimed_cache_entries() {
+        crate::signals::reset_for_tests();
+        let dir = scratch("timedkey");
+        let m = module_file(&dir, "m.go", "package m\n");
+        let config = ServeConfig {
+            workers: 1,
+            cache_dir: Some(dir.join("cache")),
+            ..ServeConfig::default()
+        };
+        // Untimed first: populates the bare-key entry.
+        let (lines, summary) = run(
+            &config,
+            vec![format!(r#"{{"id":"r1","op":"check","module":"{m}"}}"#)],
+        );
+        assert!(lines[0].contains(r#""ok":true"#), "{}", lines[0]);
+        assert_eq!(summary.cache_hits, 0);
+        // Same module under a deadline, on a warm restart: must be
+        // computed fresh, not served from the untimed entry.
+        let timed = format!(r#"{{"id":"r2","op":"check","module":"{m}","timeout_ms":5000}}"#);
+        let (lines, summary) = run(&config, vec![timed.clone()]);
+        assert!(lines[0].contains(r#""ok":true"#), "{}", lines[0]);
+        assert_eq!(summary.cache_warm, 1, "untimed entry restored");
+        assert_eq!(summary.cache_hits, 0, "a deadline never replays untimed");
+        // An identical timed request does hit the timed entry.
+        let (_, summary) = run(&config, vec![timed]);
+        assert_eq!(summary.cache_warm, 2);
+        assert_eq!(summary.cache_hits, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

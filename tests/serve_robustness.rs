@@ -271,6 +271,36 @@ fn sigterm_drains_the_stdio_daemon_cleanly() {
     assert!(stderr.contains("serve drained"), "{stderr}");
 }
 
+/// A `shutdown` request must wind the daemon down even while stdin stays
+/// open and idle: the drain flag the server flips is the same flag the
+/// stdin line iterator polls, so no further input is needed for the
+/// daemon to notice. (Regression: the drain used to be mirrored into the
+/// iterator only after the NEXT line arrived, so a shutdown over --stdio
+/// with an open, silent stdin hung forever.)
+#[test]
+fn shutdown_request_exits_while_stdin_stays_open() {
+    let mut daemon = StdioDaemon::spawn(&[], &[]);
+    daemon.send(&check_request("a", MODULE));
+    let line = daemon.recv();
+    assert!(line.contains(r#""id":"a","ok":true"#), "{line}");
+    daemon.send(r#"{"id":"q","op":"shutdown"}"#);
+    let ack = daemon.recv();
+    assert!(ack.contains(r#""draining":true"#), "{ack}");
+    // Hold stdin open: the daemon must still exit on its own.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let code = loop {
+        match daemon.child.try_wait().expect("try_wait") {
+            Some(status) => break status.code().expect("exit code"),
+            None if Instant::now() >= deadline => {
+                let _ = daemon.child.kill();
+                panic!("daemon did not exit after shutdown with stdin open");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+    assert_eq!(code, 0, "shutdown drain exits 0");
+}
+
 /// The crash-only contract. A daemon with `serve.cache` faults persists
 /// deliberately corrupt index lines and is then SIGKILLed mid-request —
 /// no destructor, no flush, exactly like an OOM kill. A restart over the
