@@ -69,6 +69,87 @@ pub fn expected_leaks(config: &AmpConfig) -> usize {
     config.channels.checked_div(config.leak_every).unwrap_or(0)
 }
 
+/// [`generate`] with path-heavy units: every channel sits between two
+/// branch ladders whose arms all perform the same communication, so the
+/// enumerator multiplies paths (and the solver checks many combinations
+/// per channel) without the branching changing any verdict. This makes
+/// per-channel detection dominate whole-module analysis — the regime the
+/// serve warm-session bench measures, where replaying a verdict skips
+/// the dominant cost.
+pub fn generate_deep(config: &AmpConfig) -> String {
+    let mut src = String::with_capacity(config.channels * 640 + config.ballast * 200);
+    for i in 0..config.channels {
+        let leaky = config.leak_every != 0 && i % config.leak_every == config.leak_every - 1;
+        deep_unit(&mut src, i, leaky);
+    }
+    for j in 0..config.ballast {
+        ballast_cluster(&mut src, j);
+    }
+    src
+}
+
+/// Rendezvous unit with four `if`/`else` pairs around the sends and
+/// four around the receives: 16 x 16 enumerated path combinations per
+/// channel. Safe shape: both arms of every pair communicate, so all 4
+/// sends always pair with all 4 receives. Leaky shape: the last receive
+/// happens on only one arm, so the child's fourth send blocks on the
+/// other — one report per leaky unit, on every path combination that
+/// takes that arm.
+fn deep_unit(src: &mut String, i: usize, leaky: bool) {
+    let last = if leaky {
+        format!("if deepf{i} > 0 {{\n        <-deepch{i}\n    }}")
+    } else {
+        format!(
+            "if deepf{i} > 0 {{\n        <-deepch{i}\n    }} else {{\n        <-deepch{i}\n    }}"
+        )
+    };
+    src.push_str(&format!(
+        r#"
+func DeepRun{i}(deepa{i} int, deepb{i} int, deepc{i} int, deepd{i} int, deepe{i} int, deepf{i} int, deepg{i} int, deeph{i} int) {{
+    deepch{i} := make(chan int)
+    go func() {{
+        if deepa{i} > 0 {{
+            deepch{i} <- 1
+        }} else {{
+            deepch{i} <- 2
+        }}
+        if deepb{i} > 0 {{
+            deepch{i} <- 3
+        }} else {{
+            deepch{i} <- 4
+        }}
+        if deepc{i} > 0 {{
+            deepch{i} <- 5
+        }} else {{
+            deepch{i} <- 6
+        }}
+        if deepg{i} > 0 {{
+            deepch{i} <- 7
+        }} else {{
+            deepch{i} <- 8
+        }}
+    }}()
+    if deepd{i} > 0 {{
+        <-deepch{i}
+    }} else {{
+        <-deepch{i}
+    }}
+    if deepe{i} > 0 {{
+        <-deepch{i}
+    }} else {{
+        <-deepch{i}
+    }}
+    if deeph{i} > 0 {{
+        <-deepch{i}
+    }} else {{
+        <-deepch{i}
+    }}
+    {last}
+}}
+"#
+    ));
+}
+
 /// Fig. 1 shape: the child's single send is orphaned when the select
 /// takes the pre-filled quit arm. Blocking — produces one report.
 fn leak_unit(src: &mut String, i: usize) {

@@ -286,6 +286,27 @@ impl EncodingCache {
         self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
+    /// Snapshots every cached verdict, sorted by key, for carrying solver
+    /// warmth across daemon requests. Keys are fully structural (names
+    /// renamed by first appearance, no positions), so a snapshot taken
+    /// against one module version is sound to replay against any other.
+    pub fn export(&self) -> Vec<(Vec<u64>, bool)> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries: Vec<(Vec<u64>, bool)> = map.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        entries.sort();
+        entries
+    }
+
+    /// Seeds this cache with verdicts previously taken via
+    /// [`EncodingCache::export`]. Existing entries win on collision (both
+    /// sides hold the same verdict for the same canonical key anyway).
+    pub fn import(&self, entries: &[(Vec<u64>, bool)]) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        for (k, v) in entries {
+            map.entry(k.clone()).or_insert(*v);
+        }
+    }
+
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

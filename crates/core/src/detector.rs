@@ -16,7 +16,7 @@
 //! sequential, so `jobs = 1` and `jobs = N` produce identical reports.
 
 use crate::constraints::{ChannelSolver, EncodingKind, SolverStrategy, Verdict};
-use crate::disentangle::pset;
+use crate::disentangle::{influences, pset};
 use crate::faults;
 use crate::paths::{Enumerator, Event, Limits, Path};
 use crate::primitives::{OpKind, PrimId};
@@ -116,6 +116,12 @@ pub struct DetectorConfig {
     /// Default is fully inert; the CLI and batch engine fill in the sinks
     /// and correlation ids. Detection results are identical either way.
     pub obs: crate::events::ObsScope,
+    /// Warm-session context for `gcatch serve` incremental re-analysis
+    /// (`None` everywhere else): carries the prior module's per-channel
+    /// records and changed-function set in, and the fresh harvest out.
+    /// Replay is byte-identity-preserving by construction — see
+    /// [`crate::warm`].
+    pub warm: Option<std::sync::Arc<crate::warm::WarmCheck>>,
 }
 
 impl Default for DetectorConfig {
@@ -135,16 +141,17 @@ impl Default for DetectorConfig {
             cancel: None,
             share_encodings: true,
             obs: crate::events::ObsScope::default(),
+            warm: None,
         }
     }
 }
 
 /// Cross-channel deduplication key of one suspicious group.
-type GroupKey = (BugKind, Option<Loc>, Vec<Loc>);
+pub(crate) type GroupKey = (BugKind, Option<Loc>, Vec<Loc>);
 
 /// One channel's detection result: findings keyed for the cross-channel
 /// merge, plus the incident (panic or exhausted budget), if any.
-type ChannelOutcome = (Vec<(GroupKey, BugReport)>, Option<Incident>);
+pub(crate) type ChannelOutcome = (Vec<(GroupKey, BugReport)>, Option<Incident>);
 
 /// Resolves the worker count: `0` means every available core, and there is
 /// never a reason to spawn more workers than work items.
@@ -263,8 +270,10 @@ impl<'m> AnalysisSession<'m> {
             "bmoc_channel",
             vec![("chan", ArgValue::from(chan_name.as_str()))],
         );
-        let attempt =
-            catch_isolated(|| self.detect_channel_laddered(chan, &chan_name, config, budget, lane));
+        let attempt = catch_isolated(|| match config.warm.as_deref() {
+            Some(warm) => self.detect_channel_warm(warm, chan, &chan_name, config, budget, lane),
+            None => self.detect_channel_laddered(chan, &chan_name, config, budget, lane),
+        });
         let (found, incident) = match attempt {
             Ok(outcome) => {
                 lane.end();
@@ -310,6 +319,71 @@ impl<'m> AnalysisSession<'m> {
         self.telemetry
             .observe(Metric::ChannelDetectNs, started.elapsed().as_nanos() as u64);
         (found, incident)
+    }
+
+    /// The warm-session wrapper around one channel's detection: decides
+    /// replay vs re-analysis against the prior module's record, and
+    /// harvests this channel's record (either way) for the next request.
+    ///
+    /// Replay requires *all* of: disentangling on, an inactive budget (the
+    /// ladder changes outcomes), a prior record at the same creation site
+    /// with identical metadata (kind/buffer/name/span), identical scope
+    /// root and Pset member sites, identical Pset operation lists, and no
+    /// changed function that can influence the channel — inside its scope,
+    /// reaching into it (the memoized reverse-reachability), or holding a
+    /// Pset operation. Anything less re-analyzes from scratch, which is
+    /// always sound.
+    fn detect_channel_warm(
+        &self,
+        warm: &crate::warm::WarmCheck,
+        chan: PrimId,
+        chan_name: &str,
+        config: &DetectorConfig,
+        budget: &Budget,
+        lane: &mut Lane<'_>,
+    ) -> ChannelOutcome {
+        if !config.disentangle || budget.tightened(config.channel_timeout).is_active() {
+            // No disentangling metadata to gate replay on, or a live
+            // budget (whose draining is stateful): run cold, no harvest.
+            return self.detect_channel_laddered(chan, chan_name, config, budget, lane);
+        }
+        let prim = &self.prims.all[chan.0];
+        let scopes = self.scopes();
+        let scope = &scopes[chan.0];
+        let prim_set = pset(chan, self.dependency_graph(), scopes, &self.prims);
+        let pset_sites: Vec<Loc> = prim_set.iter().map(|&p| self.prims.all[p.0].site).collect();
+        let meta = crate::warm::channel_meta(prim);
+        let ops_hash = crate::warm::ops_hash(&self.prims, &prim_set);
+        let replay = warm.prior_record(prim.site).and_then(|old| {
+            let same_shape = old.meta == meta
+                && old.ops_hash == ops_hash
+                && old.root == scope.root
+                && old.pset_sites == pset_sites;
+            let clean = same_shape
+                && !warm
+                    .changed()
+                    .iter()
+                    .any(|&f| influences(scope, &self.analysis, &self.prims, &prim_set, f));
+            clean.then(|| (old.findings.clone(), old.incident.clone()))
+        });
+        let (outcome, replayed) = match replay {
+            Some(outcome) => (outcome, true),
+            None => (
+                self.detect_channel_laddered(chan, chan_name, config, budget, lane),
+                false,
+            ),
+        };
+        warm.note(replayed);
+        warm.record(crate::warm::ChannelRecord {
+            site: prim.site,
+            meta,
+            ops_hash,
+            root: scope.root,
+            pset_sites,
+            findings: outcome.0.clone(),
+            incident: outcome.1.clone(),
+        });
+        outcome
     }
 
     /// Runs the channel pipeline under its budget, descending the

@@ -253,6 +253,30 @@ pub fn pset(c: PrimId, dg: &DependencyGraph, scopes: &[Scope], prims: &Primitive
     out
 }
 
+/// Whether an edited function can influence the analysis of a channel
+/// scoped at `scope` with Pset `pset` — the dirty-set rule of the serve
+/// daemon's incremental re-analysis. An edit is influential when the
+/// function is inside the scope (the enumerator can walk into it), when
+/// the scope root can reach it through the call graph (tested with the
+/// memoized reverse-reachability: `root ∈ reaching(edited)`), or when it
+/// holds an operation of any Pset member (it shapes the encodings). A
+/// channel none of whose influence functions changed re-solves to the
+/// same verdict, witnesses, and provenance, so its cached outcome can be
+/// replayed verbatim.
+pub fn influences(
+    scope: &Scope,
+    analysis: &Analysis,
+    prims: &Primitives,
+    pset: &[PrimId],
+    edited: FuncId,
+) -> bool {
+    if scope.contains(edited) || analysis.reaching(edited).contains(&scope.root) {
+        return true;
+    }
+    pset.iter()
+        .any(|&p| prims.funcs_with_ops_of(p).contains(&edited))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

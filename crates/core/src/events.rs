@@ -94,6 +94,8 @@ pub enum EventKind {
     RequestFailed,
     CacheHit,
     CacheEvicted,
+    SessionReuse,
+    SessionEvict,
     RunEnd,
 }
 
@@ -125,6 +127,8 @@ impl EventKind {
             EventKind::RequestFailed => "request_failed",
             EventKind::CacheHit => "cache_hit",
             EventKind::CacheEvicted => "cache_evicted",
+            EventKind::SessionReuse => "session_reuse",
+            EventKind::SessionEvict => "session_evict",
             EventKind::RunEnd => "run_end",
         }
     }

@@ -68,9 +68,13 @@ pub const SITE_SERVE_REQUEST: &str = "serve.request";
 /// A serve cache index entry is persisted as a deliberately corrupt line,
 /// which the warm-restart load must drop and recompute.
 pub const SITE_SERVE_CACHE: &str = "serve.cache";
+/// The warm per-module session for a check request is lost (simulated
+/// daemon-side session corruption): the request must evict the session and
+/// fall back to a cold analysis, never to a wrong or partial response.
+pub const SITE_SERVE_SESSION: &str = "serve.session";
 
 /// All registered fault sites, in documentation order.
-pub const ALL_SITES: [&str; 11] = [
+pub const ALL_SITES: [&str; 12] = [
     SITE_BATCH_JOB,
     SITE_BATCH_DELAY,
     SITE_DETECT_CHANNEL,
@@ -82,6 +86,7 @@ pub const ALL_SITES: [&str; 11] = [
     SITE_SERVE_ACCEPT,
     SITE_SERVE_REQUEST,
     SITE_SERVE_CACHE,
+    SITE_SERVE_SESSION,
 ];
 
 /// Prefix of every injected-fault panic message; supervisors use it to

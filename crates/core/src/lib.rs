@@ -105,6 +105,7 @@ pub mod sweep;
 pub mod telemetry;
 pub mod trace;
 pub mod traditional;
+pub mod warm;
 pub mod worker;
 
 pub use batch::{
@@ -136,6 +137,7 @@ pub use sweep::{
 };
 pub use telemetry::{Counter, Metric, Stage, Stats, Telemetry};
 pub use trace::{HistSnapshot, Histogram, TraceLevel, TraceSnapshot, Tracer};
+pub use warm::{warm_check, WarmOutcome, WarmSessions};
 pub use worker::{run_worker, WorkerConfig, WorkerSummary};
 
 /// The complete GCatch system: one [`AnalysisSession`] plus the checker

@@ -96,6 +96,10 @@ pub fn counter_help(c: Counter) -> &'static str {
         Counter::RequestsFailed => "Requests answered with an incident response.",
         Counter::CacheHits => "Requests answered from the serve response cache.",
         Counter::CacheEvictions => "Serve cache entries evicted past capacity.",
+        Counter::SessionsReused => "Check requests answered with help from a warm session.",
+        Counter::ChannelsReanalyzed => "Channels re-analyzed on a warm check (diff-reachable).",
+        Counter::ChannelsReplayed => "Channel verdicts replayed from a warm session.",
+        Counter::SessionEvictions => "Warm sessions evicted (LRU, fault, or incomparable shape).",
     }
 }
 

@@ -155,6 +155,10 @@ pub struct ServeConfig {
     pub config_fingerprint: String,
     /// Deterministic fault plan for the `serve.*` sites.
     pub plan: Option<Arc<FaultPlan>>,
+    /// Warm per-module session store (`--max-sessions`); `None` disables
+    /// incremental re-analysis. The CLI shares this store with its
+    /// executor closure; the daemon itself only reads it for `status`.
+    pub warm: Option<Arc<crate::warm::WarmSessions>>,
 }
 
 impl Default for ServeConfig {
@@ -167,6 +171,7 @@ impl Default for ServeConfig {
             cache_capacity: 512,
             config_fingerprint: "default".to_string(),
             plan: None,
+            warm: None,
         }
     }
 }
@@ -747,9 +752,18 @@ impl<'a> Server<'a> {
         let outstanding = q.items.len() + q.executing;
         drop(q);
         let cached = lock(&self.cache).len();
+        let sessions = match &self.config.warm {
+            Some(warm) => warm.status_json(),
+            None => concat!(
+                "{\"capacity\":0,\"resident\":0,\"hits\":0,",
+                "\"misses\":0,\"evictions\":0,\"modules\":[]}"
+            )
+            .to_string(),
+        };
         format!(
             "{{\"requests_total\":{},\"requests_shed\":{},\"requests_failed\":{},\
              \"cache_hits\":{},\"cache_evictions\":{},\"cache_entries\":{cached},\
+             \"sessions\":{sessions},\
              \"outstanding\":{outstanding},\"workers\":{},\"draining\":{}}}",
             self.telemetry.get(Counter::RequestsTotal),
             self.telemetry.get(Counter::RequestsShed),

@@ -154,10 +154,23 @@ pub enum Counter {
     /// Cache entries evicted after the cache exceeded `--max-cache`
     /// (oldest insertion first).
     CacheEvictions,
+    /// Check requests answered with help from a warm per-module session
+    /// (at least the diff ran against cached artifacts; see
+    /// `channels_replayed` for how much work was actually skipped).
+    SessionsReused,
+    /// Channels re-analyzed from scratch on a warm check because the
+    /// module diff could reach them.
+    ChannelsReanalyzed,
+    /// Channels whose verdict, witnesses, and provenance were replayed
+    /// from a warm session instead of being re-analyzed.
+    ChannelsReplayed,
+    /// Warm sessions dropped: LRU pressure past `--max-sessions`, an
+    /// injected `serve.session` fault, or an incomparable module shape.
+    SessionEvictions,
 }
 
 impl Counter {
-    const COUNT: usize = 33;
+    const COUNT: usize = 37;
 
     fn index(self) -> usize {
         match self {
@@ -194,6 +207,10 @@ impl Counter {
             Counter::RequestsFailed => 30,
             Counter::CacheHits => 31,
             Counter::CacheEvictions => 32,
+            Counter::SessionsReused => 33,
+            Counter::ChannelsReanalyzed => 34,
+            Counter::ChannelsReplayed => 35,
+            Counter::SessionEvictions => 36,
         }
     }
 
@@ -233,6 +250,10 @@ impl Counter {
             Counter::RequestsFailed => "requests_failed",
             Counter::CacheHits => "cache_hits",
             Counter::CacheEvictions => "cache_evictions",
+            Counter::SessionsReused => "sessions_reused",
+            Counter::ChannelsReanalyzed => "channels_reanalyzed",
+            Counter::ChannelsReplayed => "channels_replayed",
+            Counter::SessionEvictions => "session_evictions",
         }
     }
 
@@ -262,7 +283,11 @@ impl Counter {
             | Counter::RequestsShed
             | Counter::RequestsFailed
             | Counter::CacheHits
-            | Counter::CacheEvictions => "serve",
+            | Counter::CacheEvictions
+            | Counter::SessionsReused
+            | Counter::ChannelsReanalyzed
+            | Counter::ChannelsReplayed
+            | Counter::SessionEvictions => "serve",
             Counter::ChannelsAnalyzed
             | Counter::PsetsComputed
             | Counter::PsetPrimsTotal
@@ -317,6 +342,10 @@ impl Counter {
             Counter::RequestsFailed,
             Counter::CacheHits,
             Counter::CacheEvictions,
+            Counter::SessionsReused,
+            Counter::ChannelsReanalyzed,
+            Counter::ChannelsReplayed,
+            Counter::SessionEvictions,
         ]
     }
 }

@@ -1,0 +1,213 @@
+//! Function-granular module diffing for incremental re-analysis.
+//!
+//! The serve daemon keeps per-module analysis artifacts warm across
+//! requests; when an edited module comes back, it needs to know *which
+//! functions* actually changed so only the channels whose analysis can
+//! observe the edit are recomputed. This module provides the shape the
+//! daemon caches ([`ModuleShape`]) and the comparison ([`changed_funcs`]).
+//!
+//! A function fingerprint must cover everything that can influence a
+//! detection result anchored in that function, including data the CFG dump
+//! omits:
+//!
+//! * the instruction/terminator structure ([`dump_function_into`]);
+//! * every source span — reports carry line/column positions, so a purely
+//!   positional shift (same code, new lines) must read as a change;
+//! * the [`FuncId`] — replayed reports embed `Loc`s, which are only valid
+//!   if the function kept its id;
+//! * register names and types — reports name primitives after the first
+//!   variable bound to them.
+//!
+//! Fingerprints are position-*sensitive* on purpose: an edit that shifts a
+//! function without changing it still dirties that function (its spans
+//! moved), but never dirties functions above the edit.
+
+use crate::intern::Symbol;
+use crate::ir::{dump_function_into, FuncId, Function, Module};
+use golite::Span;
+use std::collections::HashMap;
+
+/// 64-bit FNV-1a over a byte slice, continuing from `h`.
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+fn fnv_u32(h: u64, v: u32) -> u64 {
+    fnv(h, &v.to_le_bytes())
+}
+
+fn fnv_span(mut h: u64, s: &Span) -> u64 {
+    h = fnv_u32(h, s.start);
+    h = fnv_u32(h, s.end);
+    h = fnv_u32(h, s.line);
+    fnv_u32(h, s.col)
+}
+
+fn fnv_symbol(h: u64, s: Symbol) -> u64 {
+    fnv(h, s.as_str().as_bytes())
+}
+
+/// Fingerprint of one function: id, name, signature, register metadata,
+/// the full CFG dump, and every source span.
+pub fn function_fingerprint(f: &Function, scratch: &mut String) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv_u32(h, f.id.0);
+    h = fnv_symbol(h, f.name);
+    h = fnv_u32(h, f.params.len() as u32);
+    h = fnv_u32(h, f.n_captures as u32);
+    h = fnv(h, if f.is_closure { b"c" } else { b"f" });
+    h = fnv(h, format!("{:?}", f.results).as_bytes());
+    for &name in &f.var_names {
+        h = fnv_symbol(h, name);
+    }
+    h = fnv(h, format!("{:?}", f.var_types).as_bytes());
+    scratch.clear();
+    dump_function_into(f, scratch);
+    h = fnv(h, scratch.as_bytes());
+    h = fnv_span(h, &f.span);
+    for block in &f.blocks {
+        for span in &block.spans {
+            h = fnv_span(h, span);
+        }
+        h = fnv_span(h, &block.term_span);
+    }
+    h
+}
+
+/// Everything the differ needs to compare two lowered versions of one
+/// module: per-function fingerprints plus a hash of the module-level
+/// items (globals, struct declarations, function roster).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleShape {
+    /// Fingerprint per function, keyed by id.
+    pub funcs: HashMap<FuncId, u64>,
+    /// Hash of everything outside function bodies: globals, structs, and
+    /// the function roster (count + names in id order). Two shapes with
+    /// different toplevel hashes are incomparable.
+    pub toplevel: u64,
+    /// Combined fingerprint of the whole shape (toplevel + every function
+    /// in id order) — the module identity the daemon reports in `status`.
+    pub fingerprint: u64,
+}
+
+/// Computes the diffable shape of a lowered module.
+pub fn module_shape(module: &Module) -> ModuleShape {
+    let mut toplevel = FNV_OFFSET;
+    toplevel = fnv_u32(toplevel, module.funcs.len() as u32);
+    for f in &module.funcs {
+        toplevel = fnv_symbol(toplevel, f.name);
+    }
+    for g in &module.globals {
+        toplevel = fnv_symbol(toplevel, g.name);
+        toplevel = fnv(toplevel, format!("{:?}", g.ty).as_bytes());
+        toplevel = fnv_u32(toplevel, g.id.0);
+    }
+    toplevel = fnv(toplevel, format!("{:?}", module.structs).as_bytes());
+
+    let mut scratch = String::new();
+    let mut funcs = HashMap::with_capacity(module.funcs.len());
+    let mut fingerprint = toplevel;
+    for f in &module.funcs {
+        let fp = function_fingerprint(f, &mut scratch);
+        fingerprint = fnv(fingerprint, &fp.to_le_bytes());
+        funcs.insert(f.id, fp);
+    }
+    ModuleShape {
+        funcs,
+        toplevel,
+        fingerprint,
+    }
+}
+
+/// Function-granular diff of two shapes of the *same* module path.
+///
+/// Returns the ids (in the new module) of functions whose fingerprint
+/// differs from the old shape, including functions the old shape did not
+/// have. Returns `None` when the shapes are incomparable — the toplevel
+/// items differ, or the old shape had a function the new one lost — in
+/// which case the caller must fall back to a full re-analysis.
+pub fn changed_funcs(old: &ModuleShape, new: &ModuleShape) -> Option<Vec<FuncId>> {
+    if old.toplevel != new.toplevel {
+        return None;
+    }
+    if old.funcs.keys().any(|id| !new.funcs.contains_key(id)) {
+        return None;
+    }
+    let mut changed: Vec<FuncId> = new
+        .funcs
+        .iter()
+        .filter(|(id, fp)| old.funcs.get(id) != Some(fp))
+        .map(|(&id, _)| id)
+        .collect();
+    changed.sort_unstable();
+    Some(changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_source;
+
+    const BASE: &str = r#"
+package main
+
+func helper(n int) int {
+    return n + 1
+}
+
+func main() {
+    ch := make(chan int, 1)
+    ch <- helper(1)
+    <-ch
+}
+"#;
+
+    #[test]
+    fn identical_sources_have_no_changes() {
+        let a = module_shape(&lower_source(BASE).unwrap());
+        let b = module_shape(&lower_source(BASE).unwrap());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(changed_funcs(&a, &b), Some(Vec::new()));
+    }
+
+    #[test]
+    fn body_edit_changes_exactly_that_function() {
+        let a = module_shape(&lower_source(BASE).unwrap());
+        let edited = BASE.replace("return n + 1", "return n + 2");
+        let new_module = lower_source(&edited).unwrap();
+        let b = module_shape(&new_module);
+        let changed = changed_funcs(&a, &b).expect("comparable shapes");
+        assert_eq!(changed.len(), 1);
+        let f = new_module.func(changed[0]);
+        assert_eq!(f.name.as_str(), "helper");
+    }
+
+    #[test]
+    fn positional_shift_dirties_shifted_functions_only() {
+        // A comment added above `main` shifts `main`'s spans but leaves
+        // `helper` (declared first) untouched.
+        let a = module_shape(&lower_source(BASE).unwrap());
+        let edited = BASE.replace("func main()", "// note\nfunc main()");
+        let new_module = lower_source(&edited).unwrap();
+        let b = module_shape(&new_module);
+        let changed = changed_funcs(&a, &b).expect("comparable shapes");
+        assert!(!changed.is_empty(), "shifted spans must read as changes");
+        assert!(changed
+            .iter()
+            .all(|&id| new_module.func(id).name.as_str() != "helper"));
+    }
+
+    #[test]
+    fn toplevel_change_is_incomparable() {
+        let a = module_shape(&lower_source(BASE).unwrap());
+        let edited = format!("{BASE}\nfunc extra() {{\n}}\n");
+        let b = module_shape(&lower_source(&edited).unwrap());
+        assert_eq!(changed_funcs(&a, &b), None, "roster change: full rerun");
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod diff;
 pub mod dom;
 pub mod intern;
 pub mod ir;
@@ -41,6 +42,7 @@ pub mod lower;
 pub use alias::{
     analyze, analyze_with_mode, AbstractObject, AliasMode, AliasStats, Analysis, CallKind, CallSite,
 };
+pub use diff::{changed_funcs, module_shape, ModuleShape};
 pub use dom::{predecessors, reachable_blocks, Dominators, PostDominators};
 pub use intern::Symbol;
 pub use ir::*;

@@ -14,10 +14,10 @@ use gcatch_suite::gcatch::events::Field;
 use gcatch_suite::gcatch::{
     derive_run_id, faults, obs_zero_time, read_manifest, render_explain, render_json_with,
     render_prometheus, render_stats_json, run_worker, serve_socket, serve_stdio, write_manifest,
-    AliasMode, BatchConfig, BatchEngine, BatchJob, Budget, Coordinator, DetectorConfig, Event,
-    EventBus, EventKind, FaultPlan, GCatch, HedgePolicy, Incident, IncidentKind, JobCtx, JobRecord,
-    Journal, JournalCodec, Metric, ObsScope, Selection, ServeConfig, SolverStrategy, SweepConfig,
-    SweepLayout, Telemetry, TraceLevel, Tracer, WorkKind, WorkerConfig,
+    AliasMode, BatchConfig, BatchEngine, BatchJob, Budget, Coordinator, Counter, DetectorConfig,
+    Event, EventBus, EventKind, FaultPlan, GCatch, HedgePolicy, Incident, IncidentKind, JobCtx,
+    JobRecord, Journal, JournalCodec, Metric, ObsScope, Selection, ServeConfig, SolverStrategy,
+    SweepConfig, SweepLayout, Telemetry, TraceLevel, Tracer, WorkKind, WorkerConfig,
 };
 use gcatch_suite::{gfix, sim};
 use std::collections::BTreeMap;
@@ -1711,6 +1711,7 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
             ("workers", true),
             ("request-timeout-ms", true),
             ("max-cache", true),
+            ("max-sessions", true),
         ],
     );
     let flags = parse_flags_only(rest, &spec)?;
@@ -1733,6 +1734,7 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
     let max_queue = parse_u64_flag(&flags, "max-queue")?.unwrap_or(64) as usize;
     let request_timeout = parse_u64_flag(&flags, "request-timeout-ms")?.map(Duration::from_millis);
     let cache_capacity = parse_u64_flag(&flags, "max-cache")?.unwrap_or(512).max(1) as usize;
+    let max_sessions = parse_u64_flag(&flags, "max-sessions")?.unwrap_or(8) as usize;
     let cache_dir = flag_value(&flags, "cache-dir").map(std::path::PathBuf::from);
     let metrics_out = flag_value(&flags, "metrics-out");
     let events_out = flag_value(&flags, "events-out");
@@ -1750,6 +1752,24 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
         ));
     }
 
+    // Warm-session eligibility. Sessions carry analysis artifacts across
+    // requests, so they are only sound when every request computes the
+    // same bytes a cold run would: no budgets that could truncate a rung
+    // mid-module, disentangling on (the dirty-set rule is scope-based),
+    // and no fault plan other than one scoped to the session-loss site
+    // itself (whose injection is handled inside `warm_check`).
+    let warm_plan_ok = plan.as_ref().is_none_or(|p| {
+        p.sites
+            .as_ref()
+            .is_some_and(|s| s.iter().all(|site| site == faults::SITE_SERVE_SESSION))
+    });
+    let warm_base_ok = base.timeout.is_none()
+        && base.channel_timeout.is_none()
+        && base.solver_step_pool.is_none()
+        && base.disentangle;
+    let warm_store = (max_sessions > 0 && warm_plan_ok && warm_base_ok)
+        .then(|| Arc::new(gcatch_suite::gcatch::WarmSessions::new(max_sessions)));
+
     let config = ServeConfig {
         workers,
         max_queue,
@@ -1758,9 +1778,53 @@ fn cmd_serve(rest: &[String]) -> Result<ExitCode, String> {
         cache_capacity,
         config_fingerprint: serve_fingerprint(&flags),
         plan: plan.map(Arc::new),
+        warm: warm_store.clone(),
     };
     let telemetry = Telemetry::new();
-    let executor = |op: WorkKind, _path: &str, source: &str, budget: &Budget| {
+    let executor = |op: WorkKind, path: &str, source: &str, budget: &Budget| {
+        // Timed requests bypass the warm layer: a deadline can truncate
+        // analysis rungs, and truncated verdicts must never be harvested
+        // into (or replayed from) a session.
+        if op == WorkKind::Check && budget.deadline().is_none() {
+            if let Some(store) = warm_store.as_deref() {
+                let outcome = gcatch_suite::gcatch::warm_check(store, path, source, &base, alias)?;
+                if outcome.reused {
+                    telemetry.add(Counter::SessionsReused, 1);
+                }
+                telemetry.add(Counter::ChannelsReplayed, outcome.replayed);
+                telemetry.add(Counter::ChannelsReanalyzed, outcome.reanalyzed);
+                telemetry.add(Counter::SessionEvictions, outcome.evicted);
+                if let Some(bus) = &bus {
+                    if outcome.reused {
+                        bus.emit(Event {
+                            kind: EventKind::SessionReuse,
+                            group: 0,
+                            job: Some(path.to_string()),
+                            attempt: None,
+                            channel: None,
+                            fields: vec![
+                                ("replayed", Field::U64(outcome.replayed)),
+                                ("reanalyzed", Field::U64(outcome.reanalyzed)),
+                            ],
+                        });
+                    }
+                    if outcome.evicted > 0 || outcome.fault_evicted {
+                        bus.emit(Event {
+                            kind: EventKind::SessionEvict,
+                            group: 0,
+                            job: Some(path.to_string()),
+                            attempt: None,
+                            channel: None,
+                            fields: vec![
+                                ("evicted", Field::U64(outcome.evicted)),
+                                ("fault", Field::Bool(outcome.fault_evicted)),
+                            ],
+                        });
+                    }
+                }
+                return Ok(outcome.json);
+            }
+        }
         serve_execute(op, source, budget, &base, alias)
     };
 
